@@ -1,0 +1,94 @@
+#ifndef BOS_BENCH_BENCH_COMMON_H_
+#define BOS_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the per-figure benchmark binaries. Each binary
+// regenerates one table/figure of the paper's evaluation (Section VIII);
+// see DESIGN.md section 4 for the experiment index.
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "data/dataset.h"
+#include "floatcodec/float_codec.h"
+#include "floatcodec/registry.h"
+
+namespace bos::bench {
+
+inline double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Result of running one codec over one dataset.
+struct RunResult {
+  double ratio = 0;           ///< uncompressed bytes / compressed bytes
+  double compress_ns_pt = 0;  ///< compression ns per value
+  double decompress_ns_pt = 0;
+  bool lossless = false;
+};
+
+/// The operator column order of Figure 10.
+inline std::vector<std::string> FigureOperators() {
+  return {"BP", "PFOR", "NEWPFOR", "OPTPFOR", "FASTPFOR",
+          "BOS-V", "BOS-B", "BOS-M"};
+}
+
+/// Builds the FloatCodec for a Figure-10 row label on a given dataset:
+/// the four float codecs, or a scaled integer series codec.
+inline std::shared_ptr<const floatcodec::FloatCodec> MakeRowCodec(
+    const std::string& row, const data::DatasetInfo& info) {
+  auto codec = floatcodec::MakeFloatCodec(row, info.precision);
+  return codec.ok() ? *codec : nullptr;
+}
+
+/// Runs a FloatCodec over the float form of a dataset, `reps` times, and
+/// reports the average timings. Ratio counts 8 bytes per uncompressed
+/// value, matching the paper's metric.
+inline RunResult RunFloatCodec(const floatcodec::FloatCodec& codec,
+                               const std::vector<double>& values, int reps = 3) {
+  RunResult result;
+  Bytes out;
+  double compress_s = 0, decompress_s = 0;
+  std::vector<double> back;
+  for (int r = 0; r < reps; ++r) {
+    out.clear();
+    auto start = std::chrono::steady_clock::now();
+    if (!codec.Compress(values, &out).ok()) return result;
+    compress_s += Seconds(start);
+    back.clear();
+    start = std::chrono::steady_clock::now();
+    if (!codec.Decompress(out, &back).ok()) return result;
+    decompress_s += Seconds(start);
+  }
+  result.lossless = back.size() == values.size();
+  for (size_t i = 0; result.lossless && i < values.size(); ++i) {
+    if (std::bit_cast<uint64_t>(back[i]) != std::bit_cast<uint64_t>(values[i])) {
+      result.lossless = false;
+    }
+  }
+  const double n = static_cast<double>(values.size());
+  result.ratio = n * 8.0 / static_cast<double>(out.size());
+  result.compress_ns_pt = compress_s / reps * 1e9 / n;
+  result.decompress_ns_pt = decompress_s / reps * 1e9 / n;
+  return result;
+}
+
+/// Dataset sizes used by the table benches: large enough for stable
+/// ratios, small enough that the whole grid finishes in seconds.
+inline size_t BenchSize(const data::DatasetInfo& info, size_t cap = 16384) {
+  return std::min(info.default_size, cap);
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bos::bench
+
+#endif  // BOS_BENCH_BENCH_COMMON_H_

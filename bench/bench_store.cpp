@@ -1,0 +1,109 @@
+// TsStore throughput micro-benchmarks (google-benchmark): write path
+// (WAL on/off), time-window query across files, and pushdown aggregation.
+// Not a paper figure; regression-tracks the storage substrate.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "data/dataset.h"
+#include "storage/store.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bos;
+using codecs::DataPoint;
+
+std::string TempDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("bos_bench_store_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+void BM_Write(benchmark::State& state, bool enable_wal) {
+  const std::string dir = TempDir(enable_wal ? "wal" : "nowal");
+  storage::StoreOptions options;
+  options.dir = dir;
+  options.enable_wal = enable_wal;
+  options.memtable_points = 1 << 14;
+  auto store = storage::TsStore::Open(options);
+  if (!store.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  Rng rng(1);
+  int64_t t = 0;
+  for (auto _ : state) {
+    const DataPoint p{t += 1000, rng.UniformInt(-1000, 1000)};
+    benchmark::DoNotOptimize((*store)->Write("s", p));
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+
+void BM_QueryWindow(benchmark::State& state) {
+  const std::string dir = TempDir("query");
+  storage::StoreOptions options;
+  options.dir = dir;
+  options.enable_wal = false;
+  auto store = storage::TsStore::Open(options);
+  if (!store.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  // Four flushed files of 32k points each.
+  int64_t t = 0;
+  Rng rng(2);
+  for (int f = 0; f < 4; ++f) {
+    std::vector<DataPoint> points(32768);
+    for (auto& p : points) p = {t += 1000, rng.UniformInt(-1000, 1000)};
+    (void)(*store)->WriteBatch("s", points);
+    (void)(*store)->Flush();
+  }
+  const int64_t t_mid = t / 2;
+  for (auto _ : state) {
+    std::vector<DataPoint> out;
+    benchmark::DoNotOptimize(
+        (*store)->Query("s", t_mid, t_mid + 2'000'000, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+void BM_Aggregate(benchmark::State& state) {
+  const std::string dir = TempDir("agg");
+  storage::StoreOptions options;
+  options.dir = dir;
+  options.enable_wal = false;
+  auto store = storage::TsStore::Open(options);
+  if (!store.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  int64_t t = 0;
+  Rng rng(3);
+  std::vector<DataPoint> points(131072);
+  for (auto& p : points) p = {t += 1000, rng.UniformInt(-1000, 1000)};
+  (void)(*store)->WriteBatch("s", points);
+  (void)(*store)->Flush();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*store)->Aggregate("s"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("StoreWrite/wal", BM_Write, true);
+  benchmark::RegisterBenchmark("StoreWrite/nowal", BM_Write, false);
+  benchmark::RegisterBenchmark("StoreQueryWindow", BM_QueryWindow);
+  benchmark::RegisterBenchmark("StoreAggregatePushdown", BM_Aggregate);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

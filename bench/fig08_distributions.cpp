@@ -1,0 +1,45 @@
+// Figure 8 + Table III: value distribution of all datasets after TS2DIFF,
+// printed as ASCII histograms alongside the dataset inventory.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "codecs/ts2diff.h"
+
+int main() {
+  using namespace bos;
+
+  std::printf("Table III: dataset inventory (synthetic profiles; see "
+              "DESIGN.md substitutions)\n");
+  std::printf("%-18s %-5s %-8s %-10s %s\n", "Dataset", "Abbr", "Type",
+              "Precision", "# Values (bench)");
+  bench::PrintRule(64);
+  for (const auto& info : data::AllDatasets()) {
+    std::printf("%-18s %-5s %-8s %-10d %zu\n", info.name.c_str(),
+                info.abbr.c_str(),
+                info.kind == data::ValueKind::kInteger ? "Integer" : "Float",
+                info.precision, info.default_size);
+  }
+
+  std::printf("\nFigure 8: value distribution after TS2DIFF (delta "
+              "transform), 32 bins\n");
+  for (const auto& info : data::AllDatasets()) {
+    const auto values = data::GenerateInteger(info, bench::BenchSize(info, 32768));
+    auto deltas = codecs::DeltaTransform(values);
+    deltas.erase(deltas.begin());  // first entry is the absolute value
+    const auto hist = data::ComputeHistogram(deltas, 32);
+    const uint64_t peak = *std::max_element(hist.bins.begin(), hist.bins.end());
+    std::printf("\n(%s) %s: deltas in [%lld, %lld]\n", info.abbr.c_str(),
+                info.name.c_str(), static_cast<long long>(hist.min),
+                static_cast<long long>(hist.max));
+    for (size_t b = 0; b < hist.bins.size(); ++b) {
+      const int bar =
+          peak == 0 ? 0 : static_cast<int>(hist.bins[b] * 50 / peak);
+      std::printf("  %8llu |", static_cast<unsigned long long>(hist.bins[b]));
+      for (int i = 0; i < bar; ++i) std::putchar('#');
+      std::putchar('\n');
+    }
+  }
+  return 0;
+}

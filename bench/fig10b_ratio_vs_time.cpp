@@ -1,0 +1,58 @@
+// Figure 10b: average compression ratio vs. average compression time per
+// method across all datasets (the paper's scatter plot, as a table sorted
+// by ratio).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace bos;
+
+  std::vector<std::string> rows = {"GORILLA", "CHIMP", "Elf", "BUFF"};
+  for (const auto& t : codecs::TransformNames()) {
+    for (const auto& op : bench::FigureOperators()) rows.push_back(t + "+" + op);
+  }
+  const auto& datasets = data::AllDatasets();
+
+  struct Point {
+    std::string name;
+    double ratio = 0;
+    double compress = 0;
+    double decompress = 0;
+  };
+  std::vector<Point> points;
+  for (const auto& row : rows) {
+    Point p{row, 0, 0, 0};
+    for (const auto& ds : datasets) {
+      const auto values = data::GenerateFloat(ds, bench::BenchSize(ds, 8192));
+      const auto codec = bench::MakeRowCodec(row, ds);
+      const auto result = bench::RunFloatCodec(*codec, values, /*reps=*/2);
+      p.ratio += result.ratio;
+      p.compress += result.compress_ns_pt;
+      p.decompress += result.decompress_ns_pt;
+    }
+    const auto n = static_cast<double>(datasets.size());
+    p.ratio /= n;
+    p.compress /= n;
+    p.decompress /= n;
+    points.push_back(std::move(p));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.ratio > b.ratio; });
+
+  std::printf("Figure 10b: average ratio vs. average time (sorted by ratio)\n");
+  std::printf("%-20s %8s %14s %16s\n", "Method", "ratio", "compress(ns/pt)",
+              "decompress(ns/pt)");
+  bench::PrintRule(62);
+  for (const auto& p : points) {
+    std::printf("%-20s %8.2f %14.0f %16.0f\n", p.name.c_str(), p.ratio,
+                p.compress, p.decompress);
+  }
+  std::printf("\nExpected shape: X+BOS-V == X+BOS-B at the top of the ratio "
+              "axis,\nBOS-B much faster than BOS-V, BOS-M near baseline "
+              "speed with ratio\nbetween the PFOR family and BOS-B.\n");
+  return 0;
+}

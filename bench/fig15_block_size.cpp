@@ -1,0 +1,82 @@
+// Figure 15: compression and decompression time per block as the block
+// size n varies over 2^6..2^13, for BOS-V, BOS-B and BOS-M
+// (google-benchmark binary).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "data/dataset.h"
+
+namespace {
+
+using namespace bos;
+
+std::vector<int64_t> MakeBlock(size_t n) {
+  // Deltas of the EE profile: gaussian center with two-sided outliers.
+  const auto info = data::FindDataset("EE");
+  auto values = data::GenerateInteger(*info, n + 1);
+  std::vector<int64_t> deltas(n);
+  for (size_t i = 0; i < n; ++i) deltas[i] = values[i + 1] - values[i];
+  return deltas;
+}
+
+void BM_Compress(benchmark::State& state, core::SeparationStrategy strategy) {
+  const auto block = MakeBlock(static_cast<size_t>(state.range(0)));
+  const core::BosOperator op(strategy);
+  for (auto _ : state) {
+    Bytes out;
+    benchmark::DoNotOptimize(op.Encode(block, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Decompress(benchmark::State& state, core::SeparationStrategy strategy) {
+  const auto block = MakeBlock(static_cast<size_t>(state.range(0)));
+  const core::BosOperator op(strategy);
+  Bytes encoded;
+  if (!op.Encode(block, &encoded).ok()) {
+    state.SkipWithError("encode failed");
+    return;
+  }
+  for (auto _ : state) {
+    size_t offset = 0;
+    std::vector<int64_t> out;
+    benchmark::DoNotOptimize(op.Decode(encoded, &offset, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void RegisterAll() {
+  const struct {
+    const char* name;
+    core::SeparationStrategy strategy;
+  } strategies[] = {
+      {"BOS-V", core::SeparationStrategy::kValue},
+      {"BOS-B", core::SeparationStrategy::kBitWidth},
+      {"BOS-M", core::SeparationStrategy::kMedian},
+  };
+  for (const auto& s : strategies) {
+    benchmark::RegisterBenchmark((std::string("Compress/") + s.name).c_str(),
+                                 BM_Compress, s.strategy)
+        ->RangeMultiplier(2)
+        ->Range(64, 8192);
+    benchmark::RegisterBenchmark((std::string("Decompress/") + s.name).c_str(),
+                                 BM_Decompress, s.strategy)
+        ->RangeMultiplier(2)
+        ->Range(64, 8192);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

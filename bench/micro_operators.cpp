@@ -1,0 +1,65 @@
+// Micro-benchmarks of the packing operators on a canonical 1024-value
+// outlier-bearing block (google-benchmark binary). Not a paper figure;
+// used for regression-tracking the operator kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bos;
+
+std::vector<int64_t> CanonicalBlock() {
+  Rng rng(0xB05);
+  std::vector<int64_t> block(1024);
+  for (auto& v : block) {
+    v = static_cast<int64_t>(rng.Normal(0, 100));
+    if (rng.Bernoulli(0.03)) v += rng.UniformInt(-1000000, 1000000);
+  }
+  return block;
+}
+
+void BM_Encode(benchmark::State& state, const std::string& name) {
+  const auto op = codecs::MakeOperator(name);
+  const auto block = CanonicalBlock();
+  for (auto _ : state) {
+    Bytes out;
+    benchmark::DoNotOptimize((*op)->Encode(block, &out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * block.size());
+}
+
+void BM_Decode(benchmark::State& state, const std::string& name) {
+  const auto op = codecs::MakeOperator(name);
+  const auto block = CanonicalBlock();
+  Bytes encoded;
+  if (!(*op)->Encode(block, &encoded).ok()) {
+    state.SkipWithError("encode failed");
+    return;
+  }
+  for (auto _ : state) {
+    size_t offset = 0;
+    std::vector<int64_t> out;
+    benchmark::DoNotOptimize((*op)->Decode(encoded, &offset, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * block.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : codecs::OperatorNames()) {
+    benchmark::RegisterBenchmark(("Encode/" + name).c_str(), BM_Encode, name);
+    benchmark::RegisterBenchmark(("Decode/" + name).c_str(), BM_Decode, name);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

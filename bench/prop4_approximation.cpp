@@ -1,0 +1,44 @@
+// Proposition 4 (and the paper's appendix): empirical approximation ratio
+// rho = C(BOS-M) / C(optimal) on normally distributed blocks, against the
+// stated bound: rho <= 2 for sigma <= 5/3, else rho <= ceil(log2(3*sigma-1)).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/separation.h"
+#include "util/random.h"
+
+int main() {
+  using namespace bos;
+
+  std::printf("Proposition 4: BOS-M approximation ratio under N(0, sigma^2)\n");
+  std::printf("%8s %10s %10s %12s\n", "sigma", "avg rho", "max rho", "bound");
+  bench::PrintRule(44);
+  for (double sigma : {0.5, 1.0, 5.0 / 3.0, 3.0, 10.0, 50.0, 300.0, 3000.0}) {
+    double max_rho = 0, sum_rho = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(1000 + static_cast<uint64_t>(sigma * 100) + t);
+      std::vector<int64_t> x(1024);
+      for (auto& v : x) v = std::llround(rng.Normal(0, sigma));
+      const uint64_t opt = core::SeparateValues(x).cost_bits;
+      const uint64_t approx = core::SeparateMedian(x).cost_bits;
+      const double rho = opt == 0 ? 1.0
+                                  : static_cast<double>(approx) /
+                                        static_cast<double>(opt);
+      max_rho = std::max(max_rho, rho);
+      sum_rho += rho;
+    }
+    const double bound =
+        sigma <= 5.0 / 3.0 ? 2.0 : std::ceil(std::log2(3.0 * sigma - 1.0));
+    std::printf("%8.2f %10.3f %10.3f %12.1f\n", sigma, sum_rho / trials,
+                max_rho, bound);
+  }
+  std::printf("\nExpected shape: measured rho stays far below the theoretical\n"
+              "bound and close to 1 — BOS-M is near-optimal on normal data,\n"
+              "which is why it works after TS2DIFF (Figure 8).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef BOS_BITPACK_BIT_READER_H_
+#define BOS_BITPACK_BIT_READER_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/buffer.h"
+
+namespace bos::bitpack {
+
+/// \brief MSB-first bit cursor over an immutable byte view.
+///
+/// Mirror of `BitWriter`. Reads never run past the view: callers must
+/// check `RemainingBits()` (the BOS/PFOR decoders validate sizes from
+/// their headers before reading).
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  /// Reads `width` bits MSB-first; `width` in [0, 64]. Returns false if
+  /// fewer than `width` bits remain.
+  bool ReadBits(int width, uint64_t* value) {
+    assert(width >= 0 && width <= 64);
+    if (RemainingBits() < static_cast<size_t>(width)) return false;
+    uint64_t v = 0;
+    int remaining = width;
+    while (remaining > 0) {
+      const int avail = 8 - bit_pos_;
+      const int take = remaining < avail ? remaining : avail;
+      const uint8_t byte = data_[byte_pos_];
+      const uint64_t chunk = (byte >> (avail - take)) & ((1u << take) - 1);
+      v = (v << take) | chunk;
+      bit_pos_ += take;
+      if (bit_pos_ == 8) {
+        bit_pos_ = 0;
+        ++byte_pos_;
+      }
+      remaining -= take;
+    }
+    *value = v;
+    return true;
+  }
+
+  /// Reads one bit.
+  bool ReadBit(bool* bit) {
+    uint64_t v;
+    if (!ReadBits(1, &v)) return false;
+    *bit = v != 0;
+    return true;
+  }
+
+  /// Skips to the next byte boundary.
+  void AlignToByte() {
+    if (bit_pos_ != 0) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+  }
+
+  size_t RemainingBits() const {
+    return (data_.size() - byte_pos_) * 8 - bit_pos_;
+  }
+
+  /// Byte offset of the cursor (rounded up to the current byte).
+  size_t byte_position() const { return byte_pos_ + (bit_pos_ != 0 ? 1 : 0); }
+
+ private:
+  BytesView data_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+};
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_BIT_READER_H_

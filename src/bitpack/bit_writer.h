@@ -1,0 +1,59 @@
+#ifndef BOS_BITPACK_BIT_WRITER_H_
+#define BOS_BITPACK_BIT_WRITER_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/buffer.h"
+
+namespace bos::bitpack {
+
+/// \brief MSB-first bit appender over a growable byte buffer.
+///
+/// Bits are written most-significant-first within each byte, which makes
+/// hex dumps of encoded blocks readable left-to-right and matches the
+/// bitmap layout in Figure 2 of the paper. The writer owns no memory; it
+/// appends to a caller-supplied `Bytes`.
+class BitWriter {
+ public:
+  /// Starts appending at the current end of `out`, on a byte boundary.
+  explicit BitWriter(Bytes* out) : out_(out) {}
+
+  BitWriter(const BitWriter&) = delete;
+  BitWriter& operator=(const BitWriter&) = delete;
+
+  /// Appends the low `width` bits of `value`, MSB first. width in [0, 64].
+  void WriteBits(uint64_t value, int width) {
+    assert(width >= 0 && width <= 64);
+    if (width < 64) value &= (width == 0) ? 0 : ((~0ULL) >> (64 - width));
+    int remaining = width;
+    while (remaining > 0) {
+      if (bit_pos_ == 0) out_->push_back(0);
+      const int avail = 8 - bit_pos_;
+      const int take = remaining < avail ? remaining : avail;
+      const uint64_t chunk = (value >> (remaining - take)) & ((1ULL << take) - 1);
+      out_->back() |= static_cast<uint8_t>(chunk << (avail - take));
+      bit_pos_ = (bit_pos_ + take) & 7;
+      remaining -= take;
+    }
+  }
+
+  /// Appends a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Pads with zero bits to the next byte boundary.
+  void AlignToByte() { bit_pos_ = 0; }
+
+  /// Total bits written so far (including alignment padding).
+  size_t bit_count() const {
+    return out_->size() * 8 - (bit_pos_ == 0 ? 0 : (8 - bit_pos_));
+  }
+
+ private:
+  Bytes* out_;
+  int bit_pos_ = 0;  // Next free bit within the last byte; 0 = byte-aligned.
+};
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_BIT_WRITER_H_

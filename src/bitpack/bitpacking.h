@@ -1,0 +1,48 @@
+#ifndef BOS_BITPACK_BITPACKING_H_
+#define BOS_BITPACK_BITPACKING_H_
+
+#include <cstdint>
+#include <span>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::bitpack {
+
+/// \brief Packs `values` at a fixed `width` (bits per value, 0..64)
+/// MSB-first through `writer`. Values must already fit in `width` bits;
+/// higher bits are masked off.
+void PackFixed(std::span<const uint64_t> values, int width, BitWriter* writer);
+
+/// \brief Unpacks `n` fixed-width values from `reader` into `out`.
+/// Fails when the reader runs out of bits.
+Status UnpackFixed(BitReader* reader, int width, size_t n, uint64_t* out);
+
+/// \brief Fast path for byte-aligned fixed-width packing: appends exactly
+/// the bytes a byte-aligned `BitWriter` stream of PackFixed would produce
+/// (MSB-first, zero-padded to a whole byte), but accumulates into a
+/// 64-bit register and stores whole bytes. Used by the plain-block and
+/// PFOR-slot encoders, whose payloads start on byte boundaries.
+void PackFixedAligned(std::span<const uint64_t> values, int width, Bytes* out);
+
+/// \brief Inverse of PackFixedAligned. Reads ceil(n*width/8) bytes at
+/// `*offset`, advancing it; fails on a short buffer.
+Status UnpackFixedAligned(BytesView data, size_t* offset, int width, size_t n,
+                          uint64_t* out);
+
+/// \brief Computes min and max of a non-empty span.
+struct MinMax {
+  int64_t min;
+  int64_t max;
+};
+MinMax ComputeMinMax(std::span<const int64_t> values);
+
+/// \brief Frame-of-reference helper: the packed width Definition 1 charges
+/// for a series, ceil(log2(max - min + 1)).
+int FrameWidth(std::span<const int64_t> values);
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_BITPACKING_H_

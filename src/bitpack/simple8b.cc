@@ -1,0 +1,106 @@
+#include "bitpack/simple8b.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace bos::bitpack {
+namespace {
+
+// (max value count, bits per value) for each 4-bit selector.
+struct Layout {
+  int count;
+  int bits;
+};
+constexpr Layout kLayouts[16] = {
+    {240, 0}, {120, 0}, {60, 1}, {30, 2}, {20, 3}, {15, 4}, {12, 5}, {10, 6},
+    {8, 7},   {7, 8},   {6, 10}, {5, 12}, {4, 15}, {3, 20}, {2, 30}, {1, 60},
+};
+
+bool Fits(uint64_t v, int bits) { return BitWidth(v) <= bits; }
+
+}  // namespace
+
+Status Simple8bEncode(std::span<const uint64_t> values, Bytes* out) {
+  size_t pos = 0;
+  const size_t n = values.size();
+  while (pos < n) {
+    // Pick the densest selector whose layout every next value fits.
+    bool emitted = false;
+    for (int sel = 0; sel < 16; ++sel) {
+      const Layout layout = kLayouts[sel];
+      const size_t take = std::min(static_cast<size_t>(layout.count), n - pos);
+      // Selectors 0/1 encode full runs of zeros only.
+      if (layout.bits == 0) {
+        if (take < static_cast<size_t>(layout.count)) continue;
+        bool all_zero = true;
+        for (size_t i = 0; i < take; ++i) {
+          if (values[pos + i] != 0) {
+            all_zero = false;
+            break;
+          }
+        }
+        if (!all_zero) continue;
+        PutFixed<uint64_t>(out, static_cast<uint64_t>(sel) << 60);
+        pos += take;
+        emitted = true;
+        break;
+      }
+      bool ok = true;
+      for (size_t i = 0; i < take; ++i) {
+        if (!Fits(values[pos + i], layout.bits)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // take < layout.count only happens at the tail of the stream; the
+      // unused slots stay zero and the decoder stops after n values.
+      uint64_t word = static_cast<uint64_t>(sel) << 60;
+      int shift = 60 - layout.bits;
+      for (size_t i = 0; i < take; ++i) {
+        word |= values[pos + i] << shift;
+        shift -= layout.bits;
+      }
+      PutFixed<uint64_t>(out, word);
+      pos += take;
+      emitted = true;
+      break;
+    }
+    if (!emitted) {
+      return Status::InvalidArgument("Simple-8b value exceeds 60 bits");
+    }
+  }
+  return Status::OK();
+}
+
+Status Simple8bDecode(BytesView data, size_t* offset, size_t n,
+                      std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(n);
+  size_t pos = *offset;
+  while (out->size() < n) {
+    uint64_t word;
+    if (!GetFixed<uint64_t>(data, pos, &word)) {
+      return Status::Corruption("Simple-8b stream truncated");
+    }
+    pos += sizeof(uint64_t);
+    const int sel = static_cast<int>(word >> 60);
+    const Layout layout = kLayouts[sel];
+    if (layout.bits == 0) {
+      for (int i = 0; i < layout.count && out->size() < n; ++i) out->push_back(0);
+      continue;
+    }
+    const uint64_t mask = (layout.bits == 60) ? ((1ULL << 60) - 1)
+                                              : ((1ULL << layout.bits) - 1);
+    int shift = 60 - layout.bits;
+    for (int i = 0; i < layout.count && out->size() < n; ++i) {
+      out->push_back((word >> shift) & mask);
+      shift -= layout.bits;
+    }
+  }
+  *offset = pos;
+  return Status::OK();
+}
+
+}  // namespace bos::bitpack

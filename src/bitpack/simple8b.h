@@ -1,0 +1,31 @@
+#ifndef BOS_BITPACK_SIMPLE8B_H_
+#define BOS_BITPACK_SIMPLE8B_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::bitpack {
+
+/// \brief Simple-8b word-aligned codec (Anh & Moffat).
+///
+/// Packs a sequence of unsigned integers into 64-bit words: 4 selector
+/// bits choose one of 16 (count, width) layouts for the remaining 60 data
+/// bits. NewPFOR uses it here to compress exception high bits and
+/// positions, as in Yan et al.'s original design.
+///
+/// Values must fit in 60 bits; larger values are rejected with
+/// InvalidArgument.
+Status Simple8bEncode(std::span<const uint64_t> values, Bytes* out);
+
+/// \brief Decodes exactly `n` values appended by Simple8bEncode starting
+/// at `*offset`; advances `*offset` past the consumed words.
+Status Simple8bDecode(BytesView data, size_t* offset, size_t n,
+                      std::vector<uint64_t>* out);
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_SIMPLE8B_H_

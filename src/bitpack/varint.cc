@@ -1,0 +1,51 @@
+#include "bitpack/varint.h"
+
+#include "bitpack/zigzag.h"
+#include "util/macros.h"
+
+namespace bos::bitpack {
+
+void PutVarint(Bytes* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void PutSignedVarint(Bytes* out, int64_t v) { PutVarint(out, ZigZagEncode(v)); }
+
+Status GetVarint(BytesView data, size_t* offset, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t pos = *offset;
+  while (true) {
+    if (pos >= data.size()) return Status::Corruption("varint truncated");
+    if (shift >= 70) return Status::Corruption("varint too long");
+    const uint8_t byte = data[pos++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *offset = pos;
+  *v = result;
+  return Status::OK();
+}
+
+Status GetSignedVarint(BytesView data, size_t* offset, int64_t* v) {
+  uint64_t raw;
+  BOS_RETURN_NOT_OK(GetVarint(data, offset, &raw));
+  *v = ZigZagDecode(raw);
+  return Status::OK();
+}
+
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace bos::bitpack

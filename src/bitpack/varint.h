@@ -1,0 +1,29 @@
+#ifndef BOS_BITPACK_VARINT_H_
+#define BOS_BITPACK_VARINT_H_
+
+#include <cstdint>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::bitpack {
+
+/// Appends `v` as LEB128 (7 bits per byte, little groups first).
+void PutVarint(Bytes* out, uint64_t v);
+
+/// Appends a zigzag-coded signed varint.
+void PutSignedVarint(Bytes* out, int64_t v);
+
+/// Reads a varint at `*offset`, advancing it. Fails on truncation or a
+/// value longer than 10 bytes.
+Status GetVarint(BytesView data, size_t* offset, uint64_t* v);
+
+/// Reads a zigzag-coded signed varint.
+Status GetSignedVarint(BytesView data, size_t* offset, int64_t* v);
+
+/// Number of bytes PutVarint would emit for `v`.
+int VarintLength(uint64_t v);
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_VARINT_H_

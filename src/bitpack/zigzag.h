@@ -1,0 +1,24 @@
+#ifndef BOS_BITPACK_ZIGZAG_H_
+#define BOS_BITPACK_ZIGZAG_H_
+
+#include <cstdint>
+
+namespace bos::bitpack {
+
+/// \brief ZigZag maps signed integers to unsigned so that values of small
+/// magnitude get small codes: 0→0, -1→1, 1→2, -2→3, ...
+///
+/// Used by SPRINTZ after delta prediction and by the varint codec for
+/// signed headers.
+constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_ZIGZAG_H_

@@ -1,0 +1,68 @@
+#include "codecs/advisor.h"
+
+#include <algorithm>
+
+#include "codecs/registry.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+namespace {
+
+std::vector<std::string> DefaultCandidates() {
+  return {"TS2DIFF+BP",    "TS2DIFF+FASTPFOR", "TS2DIFF+BOS-B",
+          "TS2DIFF+BOS-M", "SPRINTZ+BOS-B",    "SPRINTZ+FASTPFOR",
+          "RLE+BP",        "RLE+BOS-B"};
+}
+
+// Evenly spaced blocks across the series, preserving local structure
+// (deltas and runs) inside each block.
+std::vector<int64_t> Sample(std::span<const int64_t> values, size_t target) {
+  if (values.size() <= target) {
+    return {values.begin(), values.end()};
+  }
+  constexpr size_t kBlock = 1024;
+  const size_t blocks = std::max<size_t>(1, target / kBlock);
+  const size_t stride = values.size() / blocks;
+  std::vector<int64_t> sample;
+  sample.reserve(target);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t start = b * stride;
+    const size_t len = std::min(kBlock, values.size() - start);
+    sample.insert(sample.end(), values.begin() + start,
+                  values.begin() + start + len);
+  }
+  return sample;
+}
+
+}  // namespace
+
+Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
+                                   const AdvisorOptions& options) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot advise on an empty series");
+  }
+  const std::vector<std::string> candidates =
+      options.candidates.empty() ? DefaultCandidates() : options.candidates;
+  const std::vector<int64_t> sample = Sample(values, options.sample_values);
+
+  Recommendation rec;
+  for (const std::string& spec : candidates) {
+    BOS_ASSIGN_OR_RETURN(auto codec, MakeSeriesCodec(spec));
+    Bytes out;
+    BOS_RETURN_NOT_OK(codec->Compress(sample, &out));
+    CandidateScore score;
+    score.spec = spec;
+    score.ratio = static_cast<double>(sample.size() * 8) /
+                  static_cast<double>(out.size());
+    rec.ranking.push_back(std::move(score));
+  }
+  std::sort(rec.ranking.begin(), rec.ranking.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              return a.ratio > b.ratio;
+            });
+  rec.spec = rec.ranking.front().spec;
+  rec.estimated_ratio = rec.ranking.front().ratio;
+  return rec;
+}
+
+}  // namespace bos::codecs

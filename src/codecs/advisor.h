@@ -1,0 +1,46 @@
+#ifndef BOS_CODECS_ADVISOR_H_
+#define BOS_CODECS_ADVISOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codecs/series_codec.h"
+#include "util/result.h"
+
+namespace bos::codecs {
+
+/// Options for AdviseCodec.
+struct AdvisorOptions {
+  /// Values sampled from the series (evenly spaced blocks). The sample is
+  /// capped at the series length.
+  size_t sample_values = 8192;
+
+  /// Candidate codec specs; empty selects a curated default covering the
+  /// transform/operator grid's useful corners.
+  std::vector<std::string> candidates;
+};
+
+/// One candidate's measured performance on the sample.
+struct CandidateScore {
+  std::string spec;
+  double ratio = 0;  ///< 8*n / compressed bytes on the sample
+};
+
+/// The advisor's verdict.
+struct Recommendation {
+  std::string spec;        ///< best candidate
+  double estimated_ratio;  ///< its ratio on the sample
+  std::vector<CandidateScore> ranking;  ///< all candidates, best first
+};
+
+/// \brief Encoding advisor in the spirit of Apache IoTDB's: compresses a
+/// sample of the series with each candidate codec and recommends the one
+/// with the best ratio. The sample interleaves blocks from the head,
+/// middle and tail so trend changes are represented.
+Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
+                                   const AdvisorOptions& options = {});
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_ADVISOR_H_

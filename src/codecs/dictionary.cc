@@ -1,0 +1,95 @@
+#include "codecs/dictionary.h"
+
+#include <algorithm>
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+namespace {
+
+constexpr uint8_t kDictBlock = 1;
+constexpr uint8_t kRawBlock = 0;
+
+}  // namespace
+
+DictionaryCodec::DictionaryCodec(
+    std::shared_ptr<const core::PackingOperator> op, size_t block_size)
+    : op_(std::move(op)), block_size_(block_size) {}
+
+std::string DictionaryCodec::name() const {
+  return std::string("DICT+") + std::string(op_->name());
+}
+
+Status DictionaryCodec::Compress(std::span<const int64_t> values,
+                                 Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  std::vector<int64_t> dict;
+  std::vector<int64_t> indexes;
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    const auto block = values.subspan(start, len);
+
+    dict.assign(block.begin(), block.end());
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+    if (dict.size() * 2 > len) {
+      out->push_back(kRawBlock);
+      BOS_RETURN_NOT_OK(op_->Encode(block, out));
+      continue;
+    }
+    out->push_back(kDictBlock);
+    indexes.resize(len);
+    for (size_t i = 0; i < len; ++i) {
+      indexes[i] = std::lower_bound(dict.begin(), dict.end(), block[i]) -
+                   dict.begin();
+    }
+    BOS_RETURN_NOT_OK(op_->Encode(dict, out));
+    BOS_RETURN_NOT_OK(op_->Encode(indexes, out));
+  }
+  return Status::OK();
+}
+
+Status DictionaryCodec::Decompress(BytesView data,
+                                   std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("DICT: n too large");
+  ReserveBounded(out, n);
+  std::vector<int64_t> dict, indexes;
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    if (offset >= data.size()) return Status::Corruption("DICT: truncated");
+    const uint8_t mode = data[offset++];
+    if (mode == kRawBlock) {
+      const size_t before = out->size();
+      BOS_RETURN_NOT_OK(op_->Decode(data, &offset, out));
+      if (out->size() - before != len) {
+        return Status::Corruption("DICT: raw block length mismatch");
+      }
+      continue;
+    }
+    if (mode != kDictBlock) return Status::Corruption("DICT: bad block mode");
+    dict.clear();
+    indexes.clear();
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &dict));
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &indexes));
+    if (indexes.size() != len) {
+      return Status::Corruption("DICT: index length mismatch");
+    }
+    for (int64_t idx : indexes) {
+      if (idx < 0 || static_cast<size_t>(idx) >= dict.size()) {
+        return Status::Corruption("DICT: index out of range");
+      }
+      out->push_back(dict[static_cast<size_t>(idx)]);
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("DICT: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

@@ -1,0 +1,36 @@
+#ifndef BOS_CODECS_DICTIONARY_H_
+#define BOS_CODECS_DICTIONARY_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+
+namespace bos::codecs {
+
+/// \brief Dictionary encoding (the IoTDB DICTIONARY strategy, applied to
+/// integers): per block, distinct values go into a sorted dictionary and
+/// the data becomes small dictionary indexes. Both the dictionary and the
+/// index stream are packed with the configured operator, so outliers in
+/// the *dictionary* still benefit from BOS while the indexes stay dense.
+///
+/// Blocks whose distinct-value count exceeds half the block fall back to
+/// packing the raw values (flagged per block) — dictionaries only pay off
+/// on low-cardinality data.
+class DictionaryCodec final : public SeriesCodec {
+ public:
+  DictionaryCodec(std::shared_ptr<const core::PackingOperator> op,
+                  size_t block_size = kDefaultBlockSize);
+
+  std::string name() const override;
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+
+ private:
+  std::shared_ptr<const core::PackingOperator> op_;
+  size_t block_size_;
+};
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_DICTIONARY_H_

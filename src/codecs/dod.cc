@@ -1,0 +1,128 @@
+#include "codecs/dod.h"
+
+#include <algorithm>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+namespace {
+
+int64_t WrappingSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+int64_t WrappingAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+
+// GORILLA's bucket offsets: a value v in [-(2^(w-1) - 1), 2^(w-1)] is
+// stored as v + (2^(w-1) - 1) in w bits.
+struct Bucket {
+  int64_t lo, hi;
+  int bits;
+};
+constexpr Bucket kBuckets[3] = {{-63, 64, 7}, {-255, 256, 9}, {-2047, 2048, 12}};
+
+}  // namespace
+
+DodCodec::DodCodec(size_t block_size) : block_size_(block_size) {}
+
+Status DodCodec::Compress(std::span<const int64_t> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    const auto block = values.subspan(start, len);
+    bitpack::PutSignedVarint(out, block[0]);
+    if (len == 1) continue;
+    const int64_t first_delta = WrappingSub(block[1], block[0]);
+    bitpack::PutSignedVarint(out, first_delta);
+
+    bitpack::BitWriter writer(out);
+    int64_t prev_delta = first_delta;
+    for (size_t i = 2; i < len; ++i) {
+      const int64_t delta = WrappingSub(block[i], block[i - 1]);
+      const int64_t dod = WrappingSub(delta, prev_delta);
+      prev_delta = delta;
+      if (dod == 0) {
+        writer.WriteBit(false);
+        continue;
+      }
+      bool bucketed = false;
+      for (int b = 0; b < 3; ++b) {
+        if (dod >= kBuckets[b].lo && dod <= kBuckets[b].hi) {
+          // Prefix '10' / '110' / '1110': (b+1) ones then a zero.
+          writer.WriteBits(((1ULL << (b + 1)) - 1) << 1, b + 2);
+          writer.WriteBits(
+              static_cast<uint64_t>(dod - kBuckets[b].lo), kBuckets[b].bits);
+          bucketed = true;
+          break;
+        }
+      }
+      if (!bucketed) {
+        writer.WriteBits(0b1111, 4);
+        writer.WriteBits(static_cast<uint64_t>(dod), 64);
+      }
+    }
+    writer.AlignToByte();
+  }
+  return Status::OK();
+}
+
+Status DodCodec::Decompress(BytesView data, std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("DOD: n too large");
+  ReserveBounded(out, n);
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    int64_t cur;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, &offset, &cur));
+    out->push_back(cur);
+    if (len == 1) continue;
+    int64_t delta;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, &offset, &delta));
+    cur = WrappingAdd(cur, delta);
+    out->push_back(cur);
+
+    bitpack::BitReader reader(data.subspan(offset));
+    for (uint64_t i = 2; i < len; ++i) {
+      // Count the leading ones of the prefix (max 4).
+      int ones = 0;
+      bool bit;
+      while (ones < 4) {
+        if (!reader.ReadBit(&bit)) return Status::Corruption("DOD: truncated");
+        if (!bit) break;
+        ++ones;
+      }
+      int64_t dod = 0;
+      if (ones == 0) {
+        dod = 0;
+      } else if (ones <= 3) {
+        const Bucket& bucket = kBuckets[ones - 1];
+        uint64_t raw;
+        if (!reader.ReadBits(bucket.bits, &raw)) {
+          return Status::Corruption("DOD: truncated");
+        }
+        dod = static_cast<int64_t>(raw) + bucket.lo;
+      } else {
+        uint64_t raw;
+        if (!reader.ReadBits(64, &raw)) return Status::Corruption("DOD: truncated");
+        dod = static_cast<int64_t>(raw);
+      }
+      delta = WrappingAdd(delta, dod);
+      cur = WrappingAdd(cur, delta);
+      out->push_back(cur);
+    }
+    reader.AlignToByte();
+    offset += reader.byte_position();
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("DOD: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

@@ -1,0 +1,30 @@
+#ifndef BOS_CODECS_DOD_H_
+#define BOS_CODECS_DOD_H_
+
+#include "codecs/series_codec.h"
+
+namespace bos::codecs {
+
+/// \brief Delta-of-delta encoding in the GORILLA timestamp style
+/// (Pelkonen et al. §4.1.1): the second difference of near-regular
+/// timestamps is almost always zero, costing a single bit.
+///
+/// Prefix buckets per value: '0' when dod == 0; '10' + 7 bits for
+/// [-63, 64]; '110' + 9 bits for [-255, 256]; '1110' + 12 bits for
+/// [-2047, 2048]; '1111' + 64 bits otherwise (widened from GORILLA's 32
+/// so arbitrary int64 series stay lossless).
+class DodCodec final : public SeriesCodec {
+ public:
+  explicit DodCodec(size_t block_size = kDefaultBlockSize);
+
+  std::string name() const override { return "DOD"; }
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+
+ private:
+  size_t block_size_;
+};
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_DOD_H_

@@ -1,0 +1,71 @@
+#include "codecs/registry.h"
+
+#include "codecs/dictionary.h"
+#include "codecs/dod.h"
+#include "codecs/rle.h"
+#include "codecs/sprintz.h"
+#include "codecs/ts2diff.h"
+#include "core/bos_codec.h"
+#include "pfor/pfor.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+
+std::vector<std::string> OperatorNames() {
+  return {"BP",    "PFOR",  "NEWPFOR",   "OPTPFOR",  "FASTPFOR",     "BOS-V",
+          "BOS-B", "BOS-M", "BOS-UPPER", "BOS-LIST", "BOS-ADAPTIVE"};
+}
+
+std::vector<std::string> TransformNames() { return {"RLE", "SPRINTZ", "TS2DIFF"}; }
+
+Result<std::shared_ptr<const core::PackingOperator>> MakeOperator(
+    std::string_view name) {
+  using core::SeparationStrategy;
+  if (name == "BP") return {std::make_shared<core::BitPackingOperator>()};
+  if (name == "PFOR") return {std::make_shared<pfor::PforOperator>()};
+  if (name == "NEWPFOR") return {std::make_shared<pfor::NewPforOperator>()};
+  if (name == "OPTPFOR") return {std::make_shared<pfor::OptPforOperator>()};
+  if (name == "FASTPFOR") return {std::make_shared<pfor::FastPforOperator>()};
+  if (name == "BOS-V")
+    return {std::make_shared<core::BosOperator>(SeparationStrategy::kValue)};
+  if (name == "BOS-B")
+    return {std::make_shared<core::BosOperator>(SeparationStrategy::kBitWidth)};
+  if (name == "BOS-M")
+    return {std::make_shared<core::BosOperator>(SeparationStrategy::kMedian)};
+  if (name == "BOS-UPPER")
+    return {std::make_shared<core::BosUpperOnlyOperator>()};
+  if (name == "BOS-LIST") return {std::make_shared<core::BosListOperator>()};
+  if (name == "BOS-ADAPTIVE")
+    return {std::make_shared<core::BosAdaptiveOperator>()};
+  return Status::InvalidArgument("unknown packing operator: " +
+                                 std::string(name));
+}
+
+Result<std::shared_ptr<const SeriesCodec>> MakeSeriesCodec(
+    std::string_view spec, size_t block_size) {
+  // Self-contained codecs without an operator slot.
+  if (spec == "DOD") return {std::make_shared<DodCodec>(block_size)};
+  const size_t plus = spec.find('+');
+  if (plus == std::string_view::npos) {
+    return Status::InvalidArgument("codec spec must be TRANSFORM+OPERATOR: " +
+                                   std::string(spec));
+  }
+  const std::string_view transform = spec.substr(0, plus);
+  const std::string_view op_name = spec.substr(plus + 1);
+  BOS_ASSIGN_OR_RETURN(auto op, MakeOperator(op_name));
+  if (transform == "RLE") {
+    return {std::make_shared<RleCodec>(std::move(op), block_size)};
+  }
+  if (transform == "SPRINTZ") {
+    return {std::make_shared<SprintzCodec>(std::move(op), block_size)};
+  }
+  if (transform == "TS2DIFF") {
+    return {std::make_shared<Ts2DiffCodec>(std::move(op), block_size)};
+  }
+  if (transform == "DICT") {
+    return {std::make_shared<DictionaryCodec>(std::move(op), block_size)};
+  }
+  return Status::InvalidArgument("unknown transform: " + std::string(transform));
+}
+
+}  // namespace bos::codecs

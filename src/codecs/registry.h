@@ -1,0 +1,34 @@
+#ifndef BOS_CODECS_REGISTRY_H_
+#define BOS_CODECS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+#include "util/result.h"
+
+namespace bos::codecs {
+
+/// Names of all registered packing operators, in the order Figure 10
+/// lists them: "BP", "PFOR", "NEWPFOR", "OPTPFOR", "FASTPFOR", "BOS-V",
+/// "BOS-B", "BOS-M" (plus "BOS-UPPER", the Figure-12 ablation).
+std::vector<std::string> OperatorNames();
+
+/// Names of the transform codecs: "RLE", "SPRINTZ", "TS2DIFF".
+std::vector<std::string> TransformNames();
+
+/// \brief Creates a packing operator by name.
+Result<std::shared_ptr<const core::PackingOperator>> MakeOperator(
+    std::string_view name);
+
+/// \brief Creates a composed series codec from a "TRANSFORM+OPERATOR"
+/// spec, e.g. "TS2DIFF+BOS-B" or "RLE+FASTPFOR".
+Result<std::shared_ptr<const SeriesCodec>> MakeSeriesCodec(
+    std::string_view spec, size_t block_size = kDefaultBlockSize);
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_REGISTRY_H_

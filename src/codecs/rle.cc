@@ -1,0 +1,77 @@
+#include "codecs/rle.h"
+
+#include <algorithm>
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+
+RleCodec::RleCodec(std::shared_ptr<const core::PackingOperator> op,
+                   size_t block_size)
+    : op_(std::move(op)), block_size_(block_size) {}
+
+std::string RleCodec::name() const {
+  return std::string("RLE+") + std::string(op_->name());
+}
+
+Status RleCodec::Compress(std::span<const int64_t> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  std::vector<int64_t> run_values;
+  std::vector<uint64_t> run_lengths;
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    run_values.clear();
+    run_lengths.clear();
+    for (size_t i = 0; i < len; ++i) {
+      const int64_t v = values[start + i];
+      if (!run_values.empty() && run_values.back() == v) {
+        ++run_lengths.back();
+      } else {
+        run_values.push_back(v);
+        run_lengths.push_back(1);
+      }
+    }
+    bitpack::PutVarint(out, run_values.size());
+    for (uint64_t rl : run_lengths) bitpack::PutVarint(out, rl);
+    BOS_RETURN_NOT_OK(op_->Encode(run_values, out));
+  }
+  return Status::OK();
+}
+
+Status RleCodec::Decompress(BytesView data, std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("RLE: n too large");
+  ReserveBounded(out, n);
+  std::vector<int64_t> run_values;
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    uint64_t num_runs;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &num_runs));
+    if (num_runs > len) return Status::Corruption("RLE: too many runs");
+    std::vector<uint64_t> run_lengths(num_runs);
+    uint64_t total = 0;
+    for (auto& rl : run_lengths) {
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &rl));
+      total += rl;
+      if (rl == 0 || total > len) return Status::Corruption("RLE: bad run length");
+    }
+    if (total != len) return Status::Corruption("RLE: run lengths mismatch");
+    run_values.clear();
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &run_values));
+    if (run_values.size() != num_runs) {
+      return Status::Corruption("RLE: run values mismatch");
+    }
+    for (uint64_t r = 0; r < num_runs; ++r) {
+      out->insert(out->end(), run_lengths[r], run_values[r]);
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("RLE: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

@@ -1,0 +1,33 @@
+#ifndef BOS_CODECS_RLE_H_
+#define BOS_CODECS_RLE_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+
+namespace bos::codecs {
+
+/// \brief Run-length encoding (Golomb'66 style, as used by Apache IoTDB):
+/// the series is split into maximal runs; run lengths are varint-coded and
+/// the distinct run values are packed with the configured operator.
+///
+/// Excellent on high-repeat data; the packing operator determines how well
+/// the run *values* compress, which is where BOS substitutes for BP.
+class RleCodec final : public SeriesCodec {
+ public:
+  RleCodec(std::shared_ptr<const core::PackingOperator> op,
+           size_t block_size = kDefaultBlockSize);
+
+  std::string name() const override;
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+
+ private:
+  std::shared_ptr<const core::PackingOperator> op_;
+  size_t block_size_;
+};
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_RLE_H_

@@ -1,0 +1,54 @@
+#ifndef BOS_CODECS_SERIES_CODEC_H_
+#define BOS_CODECS_SERIES_CODEC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::codecs {
+
+/// \brief A whole-series lossless integer compressor.
+///
+/// This is the level at which the paper's Figure 10 grid operates: a
+/// transform codec (RLE / SPRINTZ / TS2DIFF) composed with a block
+/// packing operator (BP / PFOR family / BOS family).
+class SeriesCodec {
+ public:
+  virtual ~SeriesCodec() = default;
+
+  /// Display name, e.g. "TS2DIFF+BOS-B".
+  virtual std::string name() const = 0;
+
+  /// Compresses the series into `out` (appending).
+  virtual Status Compress(std::span<const int64_t> values, Bytes* out) const = 0;
+
+  /// Decompresses a buffer produced by Compress. Appends to `out`.
+  virtual Status Decompress(BytesView data, std::vector<int64_t>* out) const = 0;
+};
+
+/// Default block size used across the evaluation, matching the paper's
+/// scalability sweep midpoint (Figure 15 covers 2^6..2^13).
+inline constexpr size_t kDefaultBlockSize = 1024;
+
+/// Decompression-bomb guard: decoders reject streams that claim more
+/// values than this before allocating anything. Larger series must be
+/// chunked by the caller (the TsFile-lite pages do this naturally).
+inline constexpr uint64_t kMaxStreamValues = 1ULL << 26;
+
+/// Bounded reservation helper: hostile streams can claim huge counts, so
+/// reserve at most a sane amount up front and let the vector grow if the
+/// data really is that large.
+template <typename T>
+inline void ReserveBounded(std::vector<T>* out, uint64_t extra) {
+  out->reserve(out->size() + static_cast<size_t>(
+                                 std::min<uint64_t>(extra, 1ULL << 20)));
+}
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_SERIES_CODEC_H_

@@ -1,0 +1,79 @@
+#include "codecs/sprintz.h"
+
+#include <algorithm>
+
+#include "bitpack/varint.h"
+#include "bitpack/zigzag.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+namespace {
+
+int64_t WrappingSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+int64_t WrappingAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+
+}  // namespace
+
+SprintzCodec::SprintzCodec(std::shared_ptr<const core::PackingOperator> op,
+                           size_t block_size)
+    : op_(std::move(op)), block_size_(block_size) {}
+
+std::string SprintzCodec::name() const {
+  return std::string("SPRINTZ+") + std::string(op_->name());
+}
+
+Status SprintzCodec::Compress(std::span<const int64_t> values,
+                              Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  std::vector<int64_t> coded;
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    bitpack::PutSignedVarint(out, values[start]);
+    coded.clear();
+    for (size_t i = 1; i < len; ++i) {
+      const int64_t delta = WrappingSub(values[start + i], values[start + i - 1]);
+      // The zigzag code is carried bit-exactly through int64.
+      coded.push_back(static_cast<int64_t>(bitpack::ZigZagEncode(delta)));
+    }
+    BOS_RETURN_NOT_OK(op_->Encode(coded, out));
+  }
+  return Status::OK();
+}
+
+Status SprintzCodec::Decompress(BytesView data,
+                                std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("SPRINTZ: n too large");
+  ReserveBounded(out, n);
+  std::vector<int64_t> coded;
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    int64_t first;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, &offset, &first));
+    coded.clear();
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &coded));
+    if (coded.size() != len - 1) {
+      return Status::Corruption("SPRINTZ: block length mismatch");
+    }
+    int64_t cur = first;
+    out->push_back(cur);
+    for (int64_t c : coded) {
+      const int64_t delta =
+          bitpack::ZigZagDecode(static_cast<uint64_t>(c));
+      cur = WrappingAdd(cur, delta);
+      out->push_back(cur);
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("SPRINTZ: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

@@ -1,0 +1,34 @@
+#ifndef BOS_CODECS_SPRINTZ_H_
+#define BOS_CODECS_SPRINTZ_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+
+namespace bos::codecs {
+
+/// \brief SPRINTZ (Blalock et al.): delta prediction, zigzag mapping of
+/// the residuals, then block packing with the configured operator.
+///
+/// Zigzag folds the signed residuals toward zero so the packed domain is
+/// non-negative with small magnitudes — SPRINTZ's headline trick. The
+/// packing operator replaces SPRINTZ's plain bit-packer, giving
+/// SPRINTZ+BP / SPRINTZ+PFOR / SPRINTZ+BOS from one code path.
+class SprintzCodec final : public SeriesCodec {
+ public:
+  SprintzCodec(std::shared_ptr<const core::PackingOperator> op,
+               size_t block_size = kDefaultBlockSize);
+
+  std::string name() const override;
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+
+ private:
+  std::shared_ptr<const core::PackingOperator> op_;
+  size_t block_size_;
+};
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_SPRINTZ_H_

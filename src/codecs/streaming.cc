@@ -1,0 +1,72 @@
+#include "codecs/streaming.h"
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+
+SeriesStreamEncoder::SeriesStreamEncoder(
+    std::shared_ptr<const SeriesCodec> codec, size_t block_size)
+    : codec_(std::move(codec)), block_size_(block_size) {
+  pending_.reserve(block_size_);
+}
+
+void SeriesStreamEncoder::Append(int64_t value) {
+  pending_.push_back(value);
+  ++appended_;
+  if (pending_.size() >= block_size_ && deferred_error_.ok()) {
+    deferred_error_ = EmitBlock();
+  }
+}
+
+void SeriesStreamEncoder::AppendSpan(std::span<const int64_t> values) {
+  for (int64_t v : values) Append(v);
+}
+
+Status SeriesStreamEncoder::EmitBlock() {
+  Bytes frame;
+  BOS_RETURN_NOT_OK(codec_->Compress(pending_, &frame));
+  bitpack::PutVarint(&sink_, frame.size());
+  sink_.insert(sink_.end(), frame.begin(), frame.end());
+  pending_.clear();
+  return Status::OK();
+}
+
+Status SeriesStreamEncoder::Finish() {
+  BOS_RETURN_NOT_OK(deferred_error_);
+  if (!pending_.empty()) BOS_RETURN_NOT_OK(EmitBlock());
+  bitpack::PutVarint(&sink_, 0);  // end-of-stream marker
+  appended_ = 0;
+  return Status::OK();
+}
+
+SeriesStreamDecoder::SeriesStreamDecoder(
+    std::shared_ptr<const SeriesCodec> codec, BytesView data)
+    : codec_(std::move(codec)), data_(data) {}
+
+Status SeriesStreamDecoder::NextBlock(std::vector<int64_t>* out, bool* done) {
+  *done = false;
+  uint64_t frame_len;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data_, &offset_, &frame_len));
+  if (frame_len == 0) {
+    *done = true;
+    return Status::OK();
+  }
+  if (offset_ + frame_len > data_.size()) {
+    return Status::Corruption("stream frame truncated");
+  }
+  BOS_RETURN_NOT_OK(
+      codec_->Decompress(data_.subspan(offset_, frame_len), out));
+  offset_ += frame_len;
+  return Status::OK();
+}
+
+Status SeriesStreamDecoder::ReadAll(std::vector<int64_t>* out) {
+  bool done = false;
+  while (!done) {
+    BOS_RETURN_NOT_OK(NextBlock(out, &done));
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

@@ -1,0 +1,76 @@
+#ifndef BOS_CODECS_STREAMING_H_
+#define BOS_CODECS_STREAMING_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+
+namespace bos::codecs {
+
+/// \brief Incremental series encoder for ingestion pipelines: values are
+/// appended one at a time (or in spans); every full block is compressed
+/// and emitted immediately, so memory stays bounded by one block
+/// regardless of stream length.
+///
+/// The emitted stream is *chunked*: a sequence of `varint length | bytes`
+/// frames, each frame a complete SeriesCodec stream of one block. Use
+/// `SeriesStreamDecoder` to read it back; the total value count lives in
+/// the final frame marker, so the stream is valid after every `Flush`.
+class SeriesStreamEncoder {
+ public:
+  /// The codec compresses each block independently; `block_size` values
+  /// per frame.
+  SeriesStreamEncoder(std::shared_ptr<const SeriesCodec> codec,
+                      size_t block_size = kDefaultBlockSize);
+
+  /// Appends one value; may emit a frame into the sink buffer.
+  void Append(int64_t value);
+
+  /// Appends many values.
+  void AppendSpan(std::span<const int64_t> values);
+
+  /// Compresses any buffered tail and writes the end-of-stream marker
+  /// (an empty frame). The encoder can be reused afterwards.
+  Status Finish();
+
+  /// The sink holding emitted frames; the caller may drain it between
+  /// appends (e.g. write to a socket) as long as bytes are consumed
+  /// front-to-back.
+  Bytes* sink() { return &sink_; }
+
+  /// Values appended since construction / the last Finish.
+  uint64_t values_appended() const { return appended_; }
+
+ private:
+  Status EmitBlock();
+
+  std::shared_ptr<const SeriesCodec> codec_;
+  size_t block_size_;
+  std::vector<int64_t> pending_;
+  Bytes sink_;
+  uint64_t appended_ = 0;
+  Status deferred_error_;
+};
+
+/// \brief Decoder for SeriesStreamEncoder output. Pull-based: call
+/// `NextBlock` until it reports end-of-stream.
+class SeriesStreamDecoder {
+ public:
+  SeriesStreamDecoder(std::shared_ptr<const SeriesCodec> codec, BytesView data);
+
+  /// Decodes the next frame into `out` (appending). Sets `*done` when the
+  /// end-of-stream marker was consumed.
+  Status NextBlock(std::vector<int64_t>* out, bool* done);
+
+  /// Convenience: decodes the whole stream.
+  Status ReadAll(std::vector<int64_t>* out);
+
+ private:
+  std::shared_ptr<const SeriesCodec> codec_;
+  BytesView data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_STREAMING_H_

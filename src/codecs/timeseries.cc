@@ -1,0 +1,73 @@
+#include "codecs/timeseries.h"
+
+#include "bitpack/varint.h"
+#include "codecs/registry.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+
+TimeSeriesCodec::TimeSeriesCodec(std::shared_ptr<const SeriesCodec> time_codec,
+                                 std::shared_ptr<const SeriesCodec> value_codec)
+    : time_codec_(std::move(time_codec)), value_codec_(std::move(value_codec)) {}
+
+std::string TimeSeriesCodec::name() const {
+  return time_codec_->name() + "|" + value_codec_->name();
+}
+
+Status TimeSeriesCodec::Compress(std::span<const DataPoint> points,
+                                 Bytes* out) const {
+  std::vector<int64_t> column(points.size());
+  for (size_t i = 0; i < points.size(); ++i) column[i] = points[i].timestamp;
+  Bytes time_stream;
+  BOS_RETURN_NOT_OK(time_codec_->Compress(column, &time_stream));
+
+  for (size_t i = 0; i < points.size(); ++i) column[i] = points[i].value;
+  Bytes value_stream;
+  BOS_RETURN_NOT_OK(value_codec_->Compress(column, &value_stream));
+
+  bitpack::PutVarint(out, time_stream.size());
+  out->insert(out->end(), time_stream.begin(), time_stream.end());
+  out->insert(out->end(), value_stream.begin(), value_stream.end());
+  return Status::OK();
+}
+
+Status TimeSeriesCodec::Decompress(BytesView data,
+                                   std::vector<DataPoint>* out) const {
+  size_t offset = 0;
+  uint64_t time_len;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &time_len));
+  if (offset + time_len > data.size()) {
+    return Status::Corruption("timeseries: time column truncated");
+  }
+  std::vector<int64_t> timestamps;
+  BOS_RETURN_NOT_OK(
+      time_codec_->Decompress(data.subspan(offset, time_len), &timestamps));
+  std::vector<int64_t> values;
+  BOS_RETURN_NOT_OK(
+      value_codec_->Decompress(data.subspan(offset + time_len), &values));
+  if (timestamps.size() != values.size()) {
+    return Status::Corruption("timeseries: column length mismatch");
+  }
+  out->reserve(out->size() + values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out->push_back({timestamps[i], values[i]});
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const TimeSeriesCodec>> MakeTimeSeriesCodec(
+    std::string_view spec, size_t block_size) {
+  const size_t bar = spec.find('|');
+  if (bar == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "time-series spec must be time_spec|value_spec: " + std::string(spec));
+  }
+  BOS_ASSIGN_OR_RETURN(auto time_codec,
+                       MakeSeriesCodec(spec.substr(0, bar), block_size));
+  BOS_ASSIGN_OR_RETURN(auto value_codec,
+                       MakeSeriesCodec(spec.substr(bar + 1), block_size));
+  return {std::make_shared<TimeSeriesCodec>(std::move(time_codec),
+                                            std::move(value_codec))};
+}
+
+}  // namespace bos::codecs

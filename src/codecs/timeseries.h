@@ -1,0 +1,49 @@
+#ifndef BOS_CODECS_TIMESERIES_H_
+#define BOS_CODECS_TIMESERIES_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "util/result.h"
+
+namespace bos::codecs {
+
+/// \brief One timestamped sample, as ingested by Apache IoTDB — the
+/// deployment target of the paper (§VII).
+struct DataPoint {
+  int64_t timestamp = 0;
+  int64_t value = 0;
+
+  friend bool operator==(const DataPoint&, const DataPoint&) = default;
+};
+
+/// \brief Two-column codec for timestamped series: timestamps and values
+/// are compressed independently, each with its own SeriesCodec.
+///
+/// IoT timestamps are near-regular, so their deltas are tiny with a few
+/// outliers at gaps — exactly BOS's sweet spot; `TS2DIFF+BOS-B` is the
+/// recommended (and default registry) choice for the time column.
+class TimeSeriesCodec {
+ public:
+  TimeSeriesCodec(std::shared_ptr<const SeriesCodec> time_codec,
+                  std::shared_ptr<const SeriesCodec> value_codec);
+
+  /// "time_spec|value_spec", e.g. "TS2DIFF+BOS-B|RLE+BOS-B".
+  std::string name() const;
+
+  Status Compress(std::span<const DataPoint> points, Bytes* out) const;
+  Status Decompress(BytesView data, std::vector<DataPoint>* out) const;
+
+ private:
+  std::shared_ptr<const SeriesCodec> time_codec_;
+  std::shared_ptr<const SeriesCodec> value_codec_;
+};
+
+/// \brief Builds a TimeSeriesCodec from a "time_spec|value_spec" pair
+/// (each half a codecs::MakeSeriesCodec spec).
+Result<std::shared_ptr<const TimeSeriesCodec>> MakeTimeSeriesCodec(
+    std::string_view spec, size_t block_size = kDefaultBlockSize);
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_TIMESERIES_H_

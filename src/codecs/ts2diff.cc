@@ -1,0 +1,85 @@
+#include "codecs/ts2diff.h"
+
+#include <algorithm>
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+namespace {
+
+// Wrapping arithmetic keeps deltas well-defined across the whole int64
+// domain; decode adds modulo 2^64 and recovers the value exactly.
+int64_t WrappingSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+int64_t WrappingAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+
+}  // namespace
+
+std::vector<int64_t> DeltaTransform(std::span<const int64_t> values) {
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.push_back(i == 0 ? values[0] : WrappingSub(values[i], values[i - 1]));
+  }
+  return out;
+}
+
+Ts2DiffCodec::Ts2DiffCodec(std::shared_ptr<const core::PackingOperator> op,
+                           size_t block_size)
+    : op_(std::move(op)), block_size_(block_size) {}
+
+std::string Ts2DiffCodec::name() const {
+  return std::string("TS2DIFF+") + std::string(op_->name());
+}
+
+Status Ts2DiffCodec::Compress(std::span<const int64_t> values,
+                              Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  std::vector<int64_t> deltas;
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    bitpack::PutSignedVarint(out, values[start]);
+    deltas.clear();
+    for (size_t i = 1; i < len; ++i) {
+      deltas.push_back(WrappingSub(values[start + i], values[start + i - 1]));
+    }
+    BOS_RETURN_NOT_OK(op_->Encode(deltas, out));
+  }
+  return Status::OK();
+}
+
+Status Ts2DiffCodec::Decompress(BytesView data,
+                                std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("TS2DIFF: n too large");
+  ReserveBounded(out, n);
+  std::vector<int64_t> deltas;
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    int64_t first;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, &offset, &first));
+    deltas.clear();
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &deltas));
+    if (deltas.size() != len - 1) {
+      return Status::Corruption("TS2DIFF: block length mismatch");
+    }
+    int64_t cur = first;
+    out->push_back(cur);
+    for (int64_t d : deltas) {
+      cur = WrappingAdd(cur, d);
+      out->push_back(cur);
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("TS2DIFF: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

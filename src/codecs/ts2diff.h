@@ -1,0 +1,39 @@
+#ifndef BOS_CODECS_TS2DIFF_H_
+#define BOS_CODECS_TS2DIFF_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+
+namespace bos::codecs {
+
+/// \brief TS2DIFF (the Apache IoTDB delta encoding): per block, store the
+/// first value and pack the consecutive differences with the configured
+/// packing operator.
+///
+/// The operator performs the frame-of-reference min subtraction, which is
+/// exactly TS2DIFF's "subtract min delta" step; swapping BP for BOS gives
+/// TS2DIFF+BOS, as in Figure 10.
+class Ts2DiffCodec final : public SeriesCodec {
+ public:
+  Ts2DiffCodec(std::shared_ptr<const core::PackingOperator> op,
+               size_t block_size = kDefaultBlockSize);
+
+  std::string name() const override;
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+
+ private:
+  std::shared_ptr<const core::PackingOperator> op_;
+  size_t block_size_;
+};
+
+/// \brief The delta pre-transform on its own (used by Figure 8 to plot the
+/// value distribution "after TS2DIFF"). `out[0] = values[0]`, then
+/// consecutive wrapped differences.
+std::vector<int64_t> DeltaTransform(std::span<const int64_t> values);
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_TS2DIFF_H_

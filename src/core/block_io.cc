@@ -1,0 +1,47 @@
+#include "core/block_io.h"
+
+#include "bitpack/bitpacking.h"
+#include "bitpack/varint.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace bos::core {
+
+void EncodePlainBlock(std::span<const int64_t> values, Bytes* out) {
+  out->push_back(kPlainBlockMode);
+  bitpack::PutVarint(out, values.size());
+  if (values.empty()) return;
+  const auto mm = bitpack::ComputeMinMax(values);
+  const int width = BitWidth(UnsignedRange(mm.min, mm.max));
+  bitpack::PutSignedVarint(out, mm.min);
+  out->push_back(static_cast<uint8_t>(width));
+  std::vector<uint64_t> deltas(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    deltas[i] = UnsignedRange(mm.min, values[i]);
+  }
+  bitpack::PackFixedAligned(deltas, width, out);
+}
+
+Status DecodePlainBlockBody(BytesView data, size_t* offset,
+                            std::vector<int64_t>* out) {
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > kMaxBlockValues) return Status::Corruption("plain block: n too large");
+  if (n == 0) return Status::OK();
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+  if (*offset >= data.size()) return Status::Corruption("plain block truncated");
+  const int width = data[(*offset)++];
+  if (width > 64) return Status::Corruption("plain block width > 64");
+  std::vector<uint64_t> deltas(n);
+  BOS_RETURN_NOT_OK(
+      bitpack::UnpackFixedAligned(data, offset, width, n, deltas.data()));
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out->push_back(
+        static_cast<int64_t>(static_cast<uint64_t>(min) + deltas[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::core

@@ -1,0 +1,39 @@
+#ifndef BOS_CORE_BLOCK_IO_H_
+#define BOS_CORE_BLOCK_IO_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::core {
+
+/// Mode byte shared by the plain and separated block layouts, so a BOS
+/// stream degrades to plain bit-packing block-by-block when separation
+/// does not pay off.
+inline constexpr uint8_t kPlainBlockMode = 0;
+inline constexpr uint8_t kSeparatedBlockMode = 1;
+/// Separated layout with varint gap lists for outlier positions instead
+/// of the bitmap (the §II-C position-encoding ablation).
+inline constexpr uint8_t kSeparatedListBlockMode = 2;
+
+/// Upper bound on the declared value count of a single block, far above
+/// any real block size; decoders reject larger counts as corruption
+/// before allocating.
+inline constexpr uint64_t kMaxBlockValues = 1ULL << 28;
+
+/// \brief Appends a plain frame-of-reference bit-packed block (Definition
+/// 1 layout): mode byte, varint n, zigzag-varint min, width byte, packed
+/// payload of `n * width` bits.
+void EncodePlainBlock(std::span<const int64_t> values, Bytes* out);
+
+/// \brief Decodes a block written by EncodePlainBlock (after the caller
+/// consumed and verified the mode byte). Appends to `out`.
+Status DecodePlainBlockBody(BytesView data, size_t* offset,
+                            std::vector<int64_t>* out);
+
+}  // namespace bos::core
+
+#endif  // BOS_CORE_BLOCK_IO_H_

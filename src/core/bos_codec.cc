@@ -1,0 +1,390 @@
+#include "core/bos_codec.h"
+
+#include <cassert>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "core/block_io.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace bos::core {
+namespace {
+
+// Value classes, matching the bitmap codes of Figure 2.
+enum Class : uint8_t { kCenter = 0, kLower = 1, kUpper = 2 };
+
+// Decode-side MSB-first bit cursor over a payload whose total bit count
+// the caller has already validated against the buffer size; reads past
+// the end (only ever into padding) yield zero bits. Roughly 4x faster
+// than going through BitReader's per-call bounds check on the hot
+// per-value loop.
+class MsbBitCursor {
+ public:
+  MsbBitCursor(const uint8_t* data, size_t bytes)
+      : src_(data), end_(data + bytes) {}
+
+  // bits <= 32.
+  uint64_t Take(int bits) {
+    while (acc_bits_ < bits) {
+      acc_ = (acc_ << 8) | (src_ < end_ ? *src_++ : 0);
+      acc_bits_ += 8;
+    }
+    acc_bits_ -= bits;
+    return (acc_ >> acc_bits_) &
+           (bits == 0 ? 0 : ((~0ULL) >> (64 - bits)));
+  }
+
+  // bits <= 64.
+  uint64_t TakeWide(int bits) {
+    if (bits <= 32) return Take(bits);
+    const uint64_t high = Take(bits - 32);
+    return (high << 32) | Take(32);
+  }
+
+  bool TakeBit() { return Take(1) != 0; }
+
+ private:
+  const uint8_t* src_;
+  const uint8_t* end_;
+  uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+Status EncodeSeparated(std::span<const int64_t> values, const Separation& sep,
+                       Bytes* out) {
+  const Partition& p = sep.partition;
+  const PartWidths w = ComputeWidths(p);
+
+  out->push_back(kSeparatedBlockMode);
+  bitpack::PutVarint(out, p.n);
+  bitpack::PutVarint(out, p.nl);
+  bitpack::PutVarint(out, p.nu);
+  if (p.nl > 0) bitpack::PutSignedVarint(out, p.xmin);
+  bitpack::PutSignedVarint(out, p.min_xc);
+  if (p.nu > 0) bitpack::PutSignedVarint(out, p.min_xu);
+  if (p.nl > 0) out->push_back(static_cast<uint8_t>(w.alpha));
+  out->push_back(static_cast<uint8_t>(w.beta));
+  if (p.nu > 0) out->push_back(static_cast<uint8_t>(w.gamma));
+
+  bitpack::BitWriter writer(out);
+  // Bitmap: '0' center, '10' lower, '11' upper (Figure 2).
+  for (int64_t v : values) {
+    if (sep.has_lower && v <= sep.xl) {
+      writer.WriteBits(0b10, 2);
+    } else if (sep.has_upper && v >= sep.xu) {
+      writer.WriteBits(0b11, 2);
+    } else {
+      writer.WriteBit(false);
+    }
+  }
+  // Values in original order at their class width (Figure 7).
+  for (int64_t v : values) {
+    if (sep.has_lower && v <= sep.xl) {
+      writer.WriteBits(UnsignedRange(p.xmin, v), w.alpha);
+    } else if (sep.has_upper && v >= sep.xu) {
+      writer.WriteBits(UnsignedRange(p.min_xu, v), w.gamma);
+    } else {
+      writer.WriteBits(UnsignedRange(p.min_xc, v), w.beta);
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeSeparatedBody(BytesView data, size_t* offset,
+                           std::vector<int64_t>* out) {
+  uint64_t n, nl, nu;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &nl));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &nu));
+  if (n > kMaxBlockValues) return Status::Corruption("BOS block: n too large");
+  if (nl > n || nu > n || nl + nu > n) {
+    return Status::Corruption("BOS block: outlier counts exceed n");
+  }
+
+  int64_t xmin = 0, min_xc = 0, min_xu = 0;
+  if (nl > 0) BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &xmin));
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min_xc));
+  if (nu > 0) BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min_xu));
+
+  int alpha = 0, beta = 0, gamma = 0;
+  auto read_width = [&](int* width) -> Status {
+    if (*offset >= data.size()) return Status::Corruption("BOS block truncated");
+    *width = data[(*offset)++];
+    if (*width > 64) return Status::Corruption("BOS block width > 64");
+    return Status::OK();
+  };
+  if (nl > 0) BOS_RETURN_NOT_OK(read_width(&alpha));
+  BOS_RETURN_NOT_OK(read_width(&beta));
+  if (nu > 0) BOS_RETURN_NOT_OK(read_width(&gamma));
+
+  const uint64_t payload_bits =
+      (n + nl + nu) +  // bitmap
+      nl * static_cast<uint64_t>(alpha) + nu * static_cast<uint64_t>(gamma) +
+      (n - nl - nu) * static_cast<uint64_t>(beta);
+  const uint64_t payload_bytes = BitsToBytes(payload_bits);
+  if (*offset + payload_bytes > data.size()) {
+    return Status::Corruption("BOS block payload truncated");
+  }
+  MsbBitCursor cursor(data.data() + *offset, payload_bytes);
+
+  std::vector<uint8_t> classes(n);
+  uint64_t seen_l = 0, seen_u = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!cursor.TakeBit()) {
+      classes[i] = kCenter;
+      continue;
+    }
+    const bool upper = cursor.TakeBit();
+    classes[i] = upper ? kUpper : kLower;
+    (upper ? seen_u : seen_l) += 1;
+  }
+  if (seen_l != nl || seen_u != nu) {
+    return Status::Corruption("BOS bitmap does not match outlier counts");
+  }
+
+  // Per-class base and width tables keep the hot loop branch-free.
+  const int64_t bases[3] = {min_xc, xmin, min_xu};
+  const int widths[3] = {beta, alpha, gamma};
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t cls = classes[i];
+    const uint64_t delta = cursor.TakeWide(widths[cls]);
+    out->push_back(static_cast<int64_t>(
+        static_cast<uint64_t>(bases[cls]) + delta));
+  }
+  *offset += payload_bytes;
+  return Status::OK();
+}
+
+// Mode-2 layout: same header as the bitmap layout, then the outlier
+// positions as two ascending varint gap lists, then the values in
+// original order at their class widths.
+Status EncodeSeparatedList(std::span<const int64_t> values,
+                           const Separation& sep, Bytes* out) {
+  const Partition& p = sep.partition;
+  const PartWidths w = ComputeWidths(p);
+
+  out->push_back(kSeparatedListBlockMode);
+  bitpack::PutVarint(out, p.n);
+  bitpack::PutVarint(out, p.nl);
+  bitpack::PutVarint(out, p.nu);
+  if (p.nl > 0) bitpack::PutSignedVarint(out, p.xmin);
+  bitpack::PutSignedVarint(out, p.min_xc);
+  if (p.nu > 0) bitpack::PutSignedVarint(out, p.min_xu);
+  if (p.nl > 0) out->push_back(static_cast<uint8_t>(w.alpha));
+  out->push_back(static_cast<uint8_t>(w.beta));
+  if (p.nu > 0) out->push_back(static_cast<uint8_t>(w.gamma));
+
+  auto put_positions = [&](bool lower) {
+    uint64_t prev = 0;
+    bool first = true;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const bool is_lower = sep.has_lower && values[i] <= sep.xl;
+      const bool is_upper =
+          !is_lower && sep.has_upper && values[i] >= sep.xu;
+      if ((lower && !is_lower) || (!lower && !is_upper)) continue;
+      bitpack::PutVarint(out, first ? i : i - prev - 1);
+      prev = i;
+      first = false;
+    }
+  };
+  put_positions(/*lower=*/true);
+  put_positions(/*lower=*/false);
+
+  bitpack::BitWriter writer(out);
+  for (int64_t v : values) {
+    if (sep.has_lower && v <= sep.xl) {
+      writer.WriteBits(UnsignedRange(p.xmin, v), w.alpha);
+    } else if (sep.has_upper && v >= sep.xu) {
+      writer.WriteBits(UnsignedRange(p.min_xu, v), w.gamma);
+    } else {
+      writer.WriteBits(UnsignedRange(p.min_xc, v), w.beta);
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeSeparatedListBody(BytesView data, size_t* offset,
+                               std::vector<int64_t>* out) {
+  uint64_t n, nl, nu;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &nl));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &nu));
+  if (n > kMaxBlockValues) return Status::Corruption("BOS-LIST: n too large");
+  if (nl > n || nu > n || nl + nu > n) {
+    return Status::Corruption("BOS-LIST: outlier counts exceed n");
+  }
+
+  int64_t xmin = 0, min_xc = 0, min_xu = 0;
+  if (nl > 0) BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &xmin));
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min_xc));
+  if (nu > 0) BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min_xu));
+
+  int alpha = 0, beta = 0, gamma = 0;
+  auto read_width = [&](int* width) -> Status {
+    if (*offset >= data.size()) return Status::Corruption("BOS-LIST truncated");
+    *width = data[(*offset)++];
+    if (*width > 64) return Status::Corruption("BOS-LIST: width > 64");
+    return Status::OK();
+  };
+  if (nl > 0) BOS_RETURN_NOT_OK(read_width(&alpha));
+  BOS_RETURN_NOT_OK(read_width(&beta));
+  if (nu > 0) BOS_RETURN_NOT_OK(read_width(&gamma));
+
+  std::vector<uint8_t> classes(n, kCenter);
+  auto read_positions = [&](uint64_t count, uint8_t cls) -> Status {
+    uint64_t pos = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t gap;
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &gap));
+      pos = (i == 0) ? gap : pos + 1 + gap;
+      if (pos >= n || classes[pos] != kCenter) {
+        return Status::Corruption("BOS-LIST: bad position");
+      }
+      classes[pos] = cls;
+    }
+    return Status::OK();
+  };
+  BOS_RETURN_NOT_OK(read_positions(nl, kLower));
+  BOS_RETURN_NOT_OK(read_positions(nu, kUpper));
+
+  const uint64_t payload_bits = nl * static_cast<uint64_t>(alpha) +
+                                nu * static_cast<uint64_t>(gamma) +
+                                (n - nl - nu) * static_cast<uint64_t>(beta);
+  const uint64_t payload_bytes = BitsToBytes(payload_bits);
+  if (*offset + payload_bytes > data.size()) {
+    return Status::Corruption("BOS-LIST: payload truncated");
+  }
+  MsbBitCursor cursor(data.data() + *offset, payload_bytes);
+  const int64_t bases[3] = {min_xc, xmin, min_xu};
+  const int widths[3] = {beta, alpha, gamma};
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t cls = classes[i];
+    const uint64_t delta = cursor.TakeWide(widths[cls]);
+    out->push_back(static_cast<int64_t>(
+        static_cast<uint64_t>(bases[cls]) + delta));
+  }
+  *offset += payload_bytes;
+  return Status::OK();
+}
+
+Status EncodeWithSeparation(std::span<const int64_t> values,
+                            const Separation& sep, Bytes* out) {
+  if (!sep.separated) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  return EncodeSeparated(values, sep, out);
+}
+
+Status DecodeBosBlock(BytesView data, size_t* offset,
+                      std::vector<int64_t>* out) {
+  if (*offset >= data.size()) return Status::Corruption("BOS block: no mode byte");
+  const uint8_t mode = data[(*offset)++];
+  switch (mode) {
+    case kPlainBlockMode:
+      return DecodePlainBlockBody(data, offset, out);
+    case kSeparatedBlockMode:
+      return DecodeSeparatedBody(data, offset, out);
+    case kSeparatedListBlockMode:
+      return DecodeSeparatedListBody(data, offset, out);
+    default:
+      return Status::Corruption("BOS block: unknown mode byte");
+  }
+}
+
+}  // namespace
+
+Status BitPackingOperator::Encode(std::span<const int64_t> values,
+                                  Bytes* out) const {
+  EncodePlainBlock(values, out);
+  return Status::OK();
+}
+
+Status BitPackingOperator::Decode(BytesView data, size_t* offset,
+                                  std::vector<int64_t>* out) const {
+  if (*offset >= data.size()) return Status::Corruption("BP block: no mode byte");
+  const uint8_t mode = data[(*offset)++];
+  if (mode != kPlainBlockMode) {
+    return Status::Corruption("BP block: unexpected mode byte");
+  }
+  return DecodePlainBlockBody(data, offset, out);
+}
+
+Status BosOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
+  if (values.empty()) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  const Separation sep = Separate(strategy_, values);
+  return EncodeWithSeparation(values, sep, out);
+}
+
+Status BosOperator::Decode(BytesView data, size_t* offset,
+                           std::vector<int64_t>* out) const {
+  return DecodeBosBlock(data, offset, out);
+}
+
+Status BosUpperOnlyOperator::Encode(std::span<const int64_t> values,
+                                    Bytes* out) const {
+  if (values.empty()) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  const Separation sep = SeparateUpperOnly(values);
+  return EncodeWithSeparation(values, sep, out);
+}
+
+Status BosUpperOnlyOperator::Decode(BytesView data, size_t* offset,
+                                    std::vector<int64_t>* out) const {
+  return DecodeBosBlock(data, offset, out);
+}
+
+Status BosListOperator::Encode(std::span<const int64_t> values,
+                               Bytes* out) const {
+  if (values.empty()) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  const Separation sep = SeparateBitWidth(values);
+  if (!sep.separated) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  return EncodeSeparatedList(values, sep, out);
+}
+
+Status BosListOperator::Decode(BytesView data, size_t* offset,
+                               std::vector<int64_t>* out) const {
+  return DecodeBosBlock(data, offset, out);
+}
+
+Status BosAdaptiveOperator::Encode(std::span<const int64_t> values,
+                                   Bytes* out) const {
+  if (values.empty()) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  const Separation sep = SeparateBitWidth(values);
+  if (!sep.separated) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  Bytes bitmap_form, list_form;
+  BOS_RETURN_NOT_OK(EncodeSeparated(values, sep, &bitmap_form));
+  BOS_RETURN_NOT_OK(EncodeSeparatedList(values, sep, &list_form));
+  const Bytes& smaller =
+      list_form.size() < bitmap_form.size() ? list_form : bitmap_form;
+  out->insert(out->end(), smaller.begin(), smaller.end());
+  return Status::OK();
+}
+
+Status BosAdaptiveOperator::Decode(BytesView data, size_t* offset,
+                                   std::vector<int64_t>* out) const {
+  return DecodeBosBlock(data, offset, out);
+}
+
+}  // namespace bos::core

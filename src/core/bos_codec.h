@@ -1,0 +1,89 @@
+#ifndef BOS_CORE_BOS_CODEC_H_
+#define BOS_CORE_BOS_CODEC_H_
+
+#include <memory>
+
+#include "core/packing.h"
+#include "core/separation.h"
+
+namespace bos::core {
+
+/// \brief Plain bit-packing (BP): the operator BOS replaces. Encodes each
+/// block as frame-of-reference fixed-width values (Definition 1).
+class BitPackingOperator final : public PackingOperator {
+ public:
+  std::string_view name() const override { return "BP"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+/// \brief Bit-packing with Outlier Separation — the paper's contribution.
+///
+/// Runs the configured separation strategy (BOS-V / BOS-B / BOS-M) on each
+/// block, and emits either the separated layout of Figure 7 or, when the
+/// search finds no split cheaper than Definition 1, a plain block.
+///
+/// Separated layout, after the mode byte:
+///   varint n, nl, nu;
+///   zigzag-varint bases: xmin (iff nl>0), minXc, minXu (iff nu>0);
+///   width bytes: alpha (iff nl>0), beta, gamma (iff nu>0);
+///   bitmap, one entry per value in original order: '0' center,
+///   '10' lower outlier, '11' upper outlier (Figure 2);
+///   values in original order, each packed at its class width relative to
+///   its class base (Figure 7), so decoding scans the data exactly once.
+class BosOperator final : public PackingOperator {
+ public:
+  explicit BosOperator(SeparationStrategy strategy) : strategy_(strategy) {}
+
+  std::string_view name() const override {
+    return SeparationStrategyName(strategy_);
+  }
+  SeparationStrategy strategy() const { return strategy_; }
+
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+
+ private:
+  SeparationStrategy strategy_;
+};
+
+/// \brief Figure-12 ablation: BOS restricted to upper-outlier separation
+/// only (lower outliers are never split off), exact search.
+class BosUpperOnlyOperator final : public PackingOperator {
+ public:
+  std::string_view name() const override { return "BOS-UPPER"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+/// \brief Position-encoding ablation (paper §II-C): the PFOR family keeps
+/// outlier *index lists* while BOS uses a bitmap. This operator runs the
+/// exact BOS-B separation but serializes outlier positions as varint gap
+/// lists — bitmap-free — so the two index encodings can be compared on
+/// identical splits.
+class BosListOperator final : public PackingOperator {
+ public:
+  std::string_view name() const override { return "BOS-LIST"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+/// \brief Adaptive position encoding: encodes each block both ways
+/// (bitmap and gap list) and keeps the smaller — "in some cases, bitmap
+/// could save the index storage" (§II-C), and in the remaining cases the
+/// list does. Decodes any of the three block modes.
+class BosAdaptiveOperator final : public PackingOperator {
+ public:
+  std::string_view name() const override { return "BOS-ADAPTIVE"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+}  // namespace bos::core
+
+#endif  // BOS_CORE_BOS_CODEC_H_

@@ -1,0 +1,26 @@
+#include "core/cost.h"
+
+#include "util/bits.h"
+
+namespace bos::core {
+
+uint64_t PlainCostBits(uint64_t n, int64_t xmin, int64_t xmax) {
+  return n * static_cast<uint64_t>(BitWidth(UnsignedRange(xmin, xmax)));
+}
+
+PartWidths ComputeWidths(const Partition& p) {
+  PartWidths w;
+  if (p.nl > 0) w.alpha = RangeBitWidth(UnsignedRange(p.xmin, p.max_xl));
+  if (p.nc() > 0) w.beta = RangeBitWidth(UnsignedRange(p.min_xc, p.max_xc));
+  if (p.nu > 0) w.gamma = RangeBitWidth(UnsignedRange(p.min_xu, p.xmax));
+  return w;
+}
+
+uint64_t SeparatedCostBits(const Partition& p) {
+  const PartWidths w = ComputeWidths(p);
+  return p.nl * static_cast<uint64_t>(w.alpha + 1) +
+         p.nu * static_cast<uint64_t>(w.gamma + 1) +
+         p.nc() * static_cast<uint64_t>(w.beta) + p.n;
+}
+
+}  // namespace bos::core

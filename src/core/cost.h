@@ -1,0 +1,48 @@
+#ifndef BOS_CORE_COST_H_
+#define BOS_CORE_COST_H_
+
+#include <cstdint>
+
+namespace bos::core {
+
+/// \brief The three-part split of a block that BOS prices (Figure 1).
+///
+/// `nl` lower outliers (values <= xl), `nc` center values, `nu` upper
+/// outliers (values >= xu). Bases are only meaningful when the matching
+/// count is non-zero; the invariant from Definition 5 is
+/// `xmin <= max_xl < min_xc <= max_xc < min_xu <= xmax`.
+struct Partition {
+  uint64_t n = 0;
+  uint64_t nl = 0;
+  uint64_t nu = 0;
+  int64_t xmin = 0;    ///< minimum of the whole block
+  int64_t xmax = 0;    ///< maximum of the whole block
+  int64_t max_xl = 0;  ///< largest lower outlier (valid iff nl > 0)
+  int64_t min_xc = 0;  ///< smallest center value (center must be non-empty)
+  int64_t max_xc = 0;  ///< largest center value
+  int64_t min_xu = 0;  ///< smallest upper outlier (valid iff nu > 0)
+
+  uint64_t nc() const { return n - nl - nu; }
+};
+
+/// \brief Storage cost of plain bit-packing with min subtraction
+/// (Definition 1): n * ceil(log2(xmax - xmin + 1)) bits.
+uint64_t PlainCostBits(uint64_t n, int64_t xmin, int64_t xmax);
+
+/// \brief Bit-widths the separated layout uses (Figure 7). Degenerate
+/// non-empty parts are clamped to 1 bit, per Definition 5's edge cases.
+struct PartWidths {
+  int alpha = 0;  ///< lower outliers, relative to xmin (0 when nl == 0)
+  int beta = 0;   ///< center values, relative to min_xc
+  int gamma = 0;  ///< upper outliers, relative to min_xu (0 when nu == 0)
+};
+PartWidths ComputeWidths(const Partition& p);
+
+/// \brief Storage cost with outlier separation (Definition 5):
+/// nl*(alpha+1) + nu*(gamma+1) + nc*beta + n bits, where the trailing `n`
+/// plus the per-outlier `+1`s are exactly the bitmap of Figure 2.
+uint64_t SeparatedCostBits(const Partition& p);
+
+}  // namespace bos::core
+
+#endif  // BOS_CORE_COST_H_

@@ -1,0 +1,288 @@
+#include "core/multi_part.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "core/block_io.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace bos::core {
+namespace {
+
+// Extra tag bits a non-short class pays beyond its leading '1', when the
+// block actually uses `m` classes.
+int ExtraTagBits(int m) { return m <= 2 ? 0 : BitWidth(static_cast<uint64_t>(m - 2)); }
+
+struct Segment {
+  int i, j;       // unique-value index range [i, j)
+  bool is_short;  // this class carries the 1-bit tag
+};
+
+// Interval DP: exactly `m` contiguous classes over the `u` sorted unique
+// values, one of them short-tagged, tag widths priced for `m` classes.
+// Returns the optimal cost and fills `segments`; returns infinity when
+// m > u.
+uint64_t ExactPartitionDp(const std::vector<int64_t>& uniq,
+                          const std::vector<uint64_t>& cum, int m,
+                          std::vector<Segment>* segments) {
+  const int u = static_cast<int>(uniq.size());
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max() / 4;
+  if (m > u) return kInf;
+  const uint64_t extra = ExtraTagBits(m);
+
+  const auto idx = [&](int j, int c, int s) { return (j * (m + 1) + c) * 2 + s; };
+  std::vector<uint64_t> dp((u + 1) * (m + 1) * 2, kInf);
+  struct Parent {
+    int i = -1;
+    int c = -1;
+    int s = -1;
+  };
+  std::vector<Parent> parent((u + 1) * (m + 1) * 2);
+  dp[idx(0, 0, 0)] = 0;
+
+  for (int j = 1; j <= u; ++j) {
+    for (int i = 0; i < j; ++i) {
+      const uint64_t cnt = cum[j - 1] - (i > 0 ? cum[i - 1] : 0);
+      const uint64_t width = RangeBitWidth(UnsignedRange(uniq[i], uniq[j - 1]));
+      const uint64_t cost_long = cnt * (width + 1 + extra);
+      const uint64_t cost_short = cnt * (width + 1);
+      for (int c = 1; c <= m; ++c) {
+        const uint64_t from0 = dp[idx(i, c - 1, 0)];
+        const uint64_t from1 = dp[idx(i, c - 1, 1)];
+        if (from0 < kInf && from0 + cost_long < dp[idx(j, c, 0)]) {
+          dp[idx(j, c, 0)] = from0 + cost_long;
+          parent[idx(j, c, 0)] = {i, c - 1, 0};
+        }
+        if (from1 < kInf && from1 + cost_long < dp[idx(j, c, 1)]) {
+          dp[idx(j, c, 1)] = from1 + cost_long;
+          parent[idx(j, c, 1)] = {i, c - 1, 1};
+        }
+        if (from0 < kInf && from0 + cost_short < dp[idx(j, c, 1)]) {
+          dp[idx(j, c, 1)] = from0 + cost_short;
+          parent[idx(j, c, 1)] = {i, c - 1, 0};
+        }
+      }
+    }
+  }
+
+  const uint64_t best = dp[idx(u, m, 1)];
+  if (best >= kInf) return kInf;
+  segments->clear();
+  int j = u, c = m, s = 1;
+  while (j > 0) {
+    const Parent par = parent[idx(j, c, s)];
+    segments->push_back({par.i, j, s == 1 && par.s == 0});
+    j = par.i;
+    c = par.c;
+    s = par.s;
+  }
+  std::reverse(segments->begin(), segments->end());
+  return best;
+}
+
+}  // namespace
+
+MultiPartPlan PlanMultiPart(std::span<const int64_t> values, int k) {
+  assert(!values.empty() && k >= 1);
+  std::vector<int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> uniq;
+  std::vector<uint64_t> cum;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (uniq.empty() || sorted[i] != uniq.back()) {
+      uniq.push_back(sorted[i]);
+      cum.push_back(i + 1);
+    } else {
+      cum.back() = i + 1;
+    }
+  }
+  const int u = static_cast<int>(uniq.size());
+  const uint64_t n = values.size();
+  const int kk = std::min(k, u);
+
+  // m = 1 baseline: a single untagged class (Definition 1 layout).
+  MultiPartPlan plan;
+  {
+    PartClass c;
+    c.count = n;
+    c.base = uniq.front();
+    c.top = uniq.back();
+    c.width = BitWidth(UnsignedRange(c.base, c.top));
+    plan.classes.push_back(c);
+    plan.short_class = 0;
+    plan.cost_bits = n * static_cast<uint64_t>(c.width);
+  }
+  if (kk <= 1) return plan;
+
+  // Tag width depends on the class count actually used, so search each
+  // exact m separately; monotonicity in k follows because larger k only
+  // adds candidate values of m.
+  uint64_t best = plan.cost_bits;
+  std::vector<Segment> best_segments;
+  for (int m = 2; m <= kk; ++m) {
+    std::vector<Segment> segments;
+    const uint64_t cost = ExactPartitionDp(uniq, cum, m, &segments);
+    if (cost < best) {
+      best = cost;
+      best_segments = std::move(segments);
+    }
+  }
+  if (best_segments.empty()) return plan;  // no split beats plain packing
+
+  plan.classes.clear();
+  plan.cost_bits = best;
+  for (size_t si = 0; si < best_segments.size(); ++si) {
+    const Segment& seg = best_segments[si];
+    PartClass pc;
+    pc.base = uniq[seg.i];
+    pc.top = uniq[seg.j - 1];
+    pc.count = cum[seg.j - 1] - (seg.i > 0 ? cum[seg.i - 1] : 0);
+    pc.width = static_cast<int>(RangeBitWidth(UnsignedRange(pc.base, pc.top)));
+    if (seg.is_short) plan.short_class = static_cast<int>(si);
+    plan.classes.push_back(pc);
+  }
+  return plan;
+}
+
+MultiPartOperator::MultiPartOperator(int k) : k_(k) {
+  assert(k >= 1 && k <= 16);
+  name_ = "MULTIPART-" + std::to_string(k);
+}
+
+Status MultiPartOperator::Encode(std::span<const int64_t> values,
+                                 Bytes* out) const {
+  out->push_back(static_cast<uint8_t>(k_));
+  bitpack::PutVarint(out, values.size());
+  if (values.empty()) return Status::OK();
+
+  const MultiPartPlan plan = PlanMultiPart(values, k_);
+  const int m = static_cast<int>(plan.classes.size());
+  out->push_back(static_cast<uint8_t>(m));
+  out->push_back(static_cast<uint8_t>(plan.short_class));
+  for (const PartClass& c : plan.classes) {
+    bitpack::PutVarint(out, c.count);
+    bitpack::PutSignedVarint(out, c.base);
+    out->push_back(static_cast<uint8_t>(c.width));
+  }
+  if (m == 1) {
+    bitpack::BitWriter writer(out);
+    for (int64_t v : values) {
+      writer.WriteBits(UnsignedRange(plan.classes[0].base, v),
+                       plan.classes[0].width);
+    }
+    return Status::OK();
+  }
+
+  // Rank of each non-short class in tag order.
+  const int extra = ExtraTagBits(m);
+  std::vector<int> rank(m, -1);
+  for (int ci = 0, r = 0; ci < m; ++ci) {
+    if (ci != plan.short_class) rank[ci] = r++;
+  }
+  auto class_of = [&](int64_t v) {
+    for (int ci = 0; ci < m; ++ci) {
+      if (v <= plan.classes[ci].top) return ci;
+    }
+    return m - 1;
+  };
+
+  bitpack::BitWriter writer(out);
+  for (int64_t v : values) {
+    const int ci = class_of(v);
+    if (ci == plan.short_class) {
+      writer.WriteBit(false);
+    } else {
+      writer.WriteBit(true);
+      writer.WriteBits(static_cast<uint64_t>(rank[ci]), extra);
+    }
+  }
+  for (int64_t v : values) {
+    const int ci = class_of(v);
+    writer.WriteBits(UnsignedRange(plan.classes[ci].base, v),
+                     plan.classes[ci].width);
+  }
+  return Status::OK();
+}
+
+Status MultiPartOperator::Decode(BytesView data, size_t* offset,
+                                 std::vector<int64_t>* out) const {
+  if (*offset >= data.size()) return Status::Corruption("multipart: truncated");
+  const int k = data[(*offset)++];
+  if (k < 1 || k > 16) return Status::Corruption("multipart: bad k");
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > kMaxBlockValues) return Status::Corruption("multipart: n too large");
+  if (n == 0) return Status::OK();
+
+  if (*offset + 2 > data.size()) return Status::Corruption("multipart: truncated");
+  const int m = data[(*offset)++];
+  const int short_class = data[(*offset)++];
+  if (m < 1 || m > k || short_class >= m) {
+    return Status::Corruption("multipart: bad class header");
+  }
+  std::vector<PartClass> classes(m);
+  uint64_t total = 0;
+  for (PartClass& c : classes) {
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &c.count));
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &c.base));
+    if (*offset >= data.size()) return Status::Corruption("multipart: truncated");
+    c.width = data[(*offset)++];
+    if (c.width > 64) return Status::Corruption("multipart: width > 64");
+    total += c.count;
+  }
+  if (total != n) return Status::Corruption("multipart: class counts mismatch");
+
+  const int extra = ExtraTagBits(m);
+  uint64_t payload_bits = 0;
+  for (const PartClass& c : classes) {
+    payload_bits += c.count * static_cast<uint64_t>(c.width);
+  }
+  if (m > 1) {
+    payload_bits += n;  // leading tag bit
+    payload_bits += (n - classes[short_class].count) * static_cast<uint64_t>(extra);
+  }
+  const uint64_t payload_bytes = BitsToBytes(payload_bits);
+  if (*offset + payload_bytes > data.size()) {
+    return Status::Corruption("multipart: payload truncated");
+  }
+  bitpack::BitReader reader(data.subspan(*offset, payload_bytes));
+
+  std::vector<int> class_ids(n, short_class);
+  if (m > 1) {
+    // Map rank -> class index.
+    std::vector<int> by_rank;
+    for (int ci = 0; ci < m; ++ci) {
+      if (ci != short_class) by_rank.push_back(ci);
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      bool bit;
+      if (!reader.ReadBit(&bit)) return Status::Corruption("multipart: tags truncated");
+      if (!bit) continue;
+      uint64_t r = 0;
+      if (extra > 0 && !reader.ReadBits(extra, &r)) {
+        return Status::Corruption("multipart: tags truncated");
+      }
+      if (r >= by_rank.size()) return Status::Corruption("multipart: bad tag rank");
+      class_ids[i] = by_rank[r];
+    }
+  }
+
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const PartClass& c = classes[class_ids[i]];
+    uint64_t delta = 0;
+    if (c.width > 0 && !reader.ReadBits(c.width, &delta)) {
+      return Status::Corruption("multipart: values truncated");
+    }
+    out->push_back(static_cast<int64_t>(static_cast<uint64_t>(c.base) + delta));
+  }
+  *offset += payload_bytes;
+  return Status::OK();
+}
+
+}  // namespace bos::core

@@ -1,0 +1,61 @@
+#ifndef BOS_CORE_MULTI_PART_H_
+#define BOS_CORE_MULTI_PART_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/packing.h"
+
+namespace bos::core {
+
+/// \brief One class of a k-part split: a contiguous value interval packed
+/// at its own width, tagged in the per-value tag stream.
+struct PartClass {
+  uint64_t count = 0;
+  int64_t base = 0;   ///< minimum value of the class
+  int64_t top = 0;    ///< maximum value of the class
+  int width = 0;      ///< bits per value, relative to base
+};
+
+/// \brief Result of the k-part partition search.
+struct MultiPartPlan {
+  std::vector<PartClass> classes;  ///< ordered by value interval
+  int short_class = 0;             ///< index of the class with the 1-bit tag
+  uint64_t cost_bits = 0;          ///< modeled payload cost
+};
+
+/// \brief Optimal contiguous partition of the block's value domain into at
+/// most `k` classes (Figure 14's "number of divided parts").
+///
+/// Generalizes BOS: k=1 is plain bit-packing, k=3 is lower/center/upper.
+/// Exactly one class pays a 1-bit tag per value ('0'); every other class
+/// pays 1 + ceil(log2(k-1)) bits ('1' + class rank). The split and the
+/// short-tag assignment are chosen jointly by interval DP over the sorted
+/// unique values, O(u^2 * k).
+MultiPartPlan PlanMultiPart(std::span<const int64_t> values, int k);
+
+/// \brief PackingOperator encoding each block with the optimal k-part
+/// split. `MultiPartOperator(3)` is cost-equivalent to BOS-B up to the
+/// tag-code difference documented in DESIGN.md.
+class MultiPartOperator final : public PackingOperator {
+ public:
+  /// `k` in [1, 16].
+  explicit MultiPartOperator(int k);
+
+  std::string_view name() const override { return name_; }
+  int parts() const { return k_; }
+
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+
+ private:
+  int k_;
+  std::string name_;
+};
+
+}  // namespace bos::core
+
+#endif  // BOS_CORE_MULTI_PART_H_

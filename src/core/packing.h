@@ -1,0 +1,42 @@
+#ifndef BOS_CORE_PACKING_H_
+#define BOS_CORE_PACKING_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::core {
+
+/// \brief A block-level packing operator: the role Bit-packing plays inside
+/// RLE / SPRINTZ / TS2DIFF, and the role BOS replaces (paper §I-B).
+///
+/// An operator encodes one block of integers into a self-delimiting byte
+/// string appended to `out`, and decodes it back from an offset. Because
+/// the encoding is self-delimiting, series codecs can concatenate blocks
+/// without extra framing.
+///
+/// Implementations: plain bit-packing (`BitPackingOperator`), the PFOR
+/// family (`src/pfor/`), and BOS-V / BOS-B / BOS-M (`BosOperator`).
+class PackingOperator {
+ public:
+  virtual ~PackingOperator() = default;
+
+  /// Display name used in benchmark tables, e.g. "BOS-B".
+  virtual std::string_view name() const = 0;
+
+  /// Appends the encoded block to `out`. An empty block is legal.
+  virtual Status Encode(std::span<const int64_t> values, Bytes* out) const = 0;
+
+  /// Decodes one block starting at `*offset`, advancing it past the block.
+  /// Decoded values are appended to `out`.
+  virtual Status Decode(BytesView data, size_t* offset,
+                        std::vector<int64_t>* out) const = 0;
+};
+
+}  // namespace bos::core
+
+#endif  // BOS_CORE_PACKING_H_

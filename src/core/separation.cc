@@ -1,0 +1,371 @@
+#include "core/separation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace bos::core {
+namespace {
+
+// Sorted unique values with cumulative counts (Definition 6): cum[i] is the
+// number of block values <= uniq[i].
+struct UniqueCounts {
+  std::vector<int64_t> uniq;
+  std::vector<uint64_t> cum;
+};
+
+UniqueCounts BuildUniqueCounts(std::span<const int64_t> values) {
+  UniqueCounts uc;
+  std::vector<int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  uc.uniq.reserve(sorted.size());
+  uc.cum.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (uc.uniq.empty() || sorted[i] != uc.uniq.back()) {
+      uc.uniq.push_back(sorted[i]);
+      uc.cum.push_back(i + 1);
+    } else {
+      uc.cum.back() = i + 1;
+    }
+  }
+  return uc;
+}
+
+// Builds the Partition for the candidate where lower outliers are
+// uniq[0..li] and upper outliers are uniq[ui..u-1]. li == -1 means no lower
+// outliers; ui == u means no upper outliers. Requires a non-empty center:
+// ui >= li + 2.
+Partition MakePartition(const UniqueCounts& uc, int li, int ui, uint64_t n) {
+  const int u = static_cast<int>(uc.uniq.size());
+  assert(ui >= li + 2 && li >= -1 && ui <= u);
+  Partition p;
+  p.n = n;
+  p.xmin = uc.uniq.front();
+  p.xmax = uc.uniq.back();
+  if (li >= 0) {
+    p.nl = uc.cum[li];
+    p.max_xl = uc.uniq[li];
+  }
+  if (ui < u) {
+    p.nu = n - uc.cum[ui - 1];
+    p.min_xu = uc.uniq[ui];
+  }
+  p.min_xc = uc.uniq[li + 1];
+  p.max_xc = uc.uniq[ui - 1];
+  return p;
+}
+
+// Tracks the best candidate seen so far.
+struct Best {
+  uint64_t cost;
+  int li = -1;
+  int ui = 0;
+  bool separated = false;
+};
+
+// Precomputed per-boundary cost pieces so each candidate evaluation is a
+// handful of arithmetic ops: lower_term[li] = nl*(alpha+1) for lower
+// outliers uniq[0..li]; upper_term[ui] = nu*(gamma+1) for upper outliers
+// uniq[ui..u-1].
+struct SearchContext {
+  const UniqueCounts& uc;
+  uint64_t n;
+  std::vector<uint64_t> lower_term;
+  std::vector<uint64_t> lower_count;
+  std::vector<uint64_t> upper_term;
+  std::vector<uint64_t> upper_count;
+
+  explicit SearchContext(const UniqueCounts& counts, uint64_t total)
+      : uc(counts), n(total) {
+    const size_t u = uc.uniq.size();
+    lower_term.resize(u);
+    lower_count.resize(u);
+    upper_term.resize(u + 1, 0);
+    upper_count.resize(u + 1, 0);
+    for (size_t li = 0; li < u; ++li) {
+      const uint64_t nl = uc.cum[li];
+      lower_count[li] = nl;
+      lower_term[li] =
+          nl * (RangeBitWidth(UnsignedRange(uc.uniq.front(), uc.uniq[li])) + 1);
+    }
+    for (size_t ui = 0; ui < u; ++ui) {
+      // upper_count[ui] = #values >= uniq[ui]; ui == 0 never occurs as a
+      // candidate (the center would be empty) but is filled for symmetry.
+      upper_count[ui] = ui == 0 ? n : n - uc.cum[ui - 1];
+      upper_term[ui] =
+          upper_count[ui] *
+          (RangeBitWidth(UnsignedRange(uc.uniq[ui], uc.uniq.back())) + 1);
+    }
+  }
+
+  uint64_t Cost(int li, int ui) const {
+    const uint64_t nl = li >= 0 ? lower_count[li] : 0;
+    const uint64_t nu = upper_count[ui];  // upper_count[u] == 0
+    const uint64_t nc = n - nl - nu;
+    return n + (li >= 0 ? lower_term[li] : 0) + upper_term[ui] +
+           nc * RangeBitWidth(UnsignedRange(uc.uniq[li + 1], uc.uniq[ui - 1]));
+  }
+};
+
+void Consider(const SearchContext& ctx, int li, int ui, Best* best) {
+  const uint64_t cost = ctx.Cost(li, ui);
+  if (cost < best->cost) {
+    best->cost = cost;
+    best->li = li;
+    best->ui = ui;
+    best->separated = true;
+  }
+}
+
+Separation Finish(const UniqueCounts& uc, uint64_t n, const Best& best) {
+  Separation s;
+  s.cost_bits = best.cost;
+  if (!best.separated) return s;
+  const int u = static_cast<int>(uc.uniq.size());
+  s.separated = true;
+  s.partition = MakePartition(uc, best.li, best.ui, n);
+  s.has_lower = best.li >= 0;
+  s.has_upper = best.ui < u;
+  if (s.has_lower) s.xl = uc.uniq[best.li];
+  if (s.has_upper) s.xu = uc.uniq[best.ui];
+  return s;
+}
+
+Separation PlainOnly(const UniqueCounts& uc, uint64_t n) {
+  Separation s;
+  s.cost_bits = PlainCostBits(n, uc.uniq.front(), uc.uniq.back());
+  return s;
+}
+
+// Shared BOS-V search body; `allow_lower` disabled gives the Figure-12
+// upper-only ablation (and the BOS-B body reuses the candidate helpers).
+Separation ValueSearch(std::span<const int64_t> values, bool allow_lower) {
+  const uint64_t n = values.size();
+  const UniqueCounts uc = BuildUniqueCounts(values);
+  const int u = static_cast<int>(uc.uniq.size());
+  if (u < 2) return PlainOnly(uc, n);
+
+  const SearchContext ctx(uc, n);
+  Best best{PlainCostBits(n, uc.uniq.front(), uc.uniq.back())};
+  const int li_max = allow_lower ? u - 2 : -1;
+  for (int li = -1; li <= li_max; ++li) {
+    for (int ui = li + 2; ui <= u; ++ui) {
+      if (li == -1 && ui == u) continue;  // no split at all == plain
+      Consider(ctx, li, ui, &best);
+    }
+  }
+  return Finish(uc, n, best);
+}
+
+// First index in uniq with uniq[idx] >= threshold (== u when none).
+int LowerBoundIndex(const std::vector<int64_t>& uniq, int64_t threshold) {
+  return static_cast<int>(
+      std::lower_bound(uniq.begin(), uniq.end(), threshold) - uniq.begin());
+}
+
+Separation BitWidthSearch(std::span<const int64_t> values, bool allow_lower) {
+  const uint64_t n = values.size();
+  const UniqueCounts uc = BuildUniqueCounts(values);
+  const int u = static_cast<int>(uc.uniq.size());
+  if (u < 2) return PlainOnly(uc, n);
+
+  const int64_t xmax = uc.uniq.back();
+  const SearchContext ctx(uc, n);
+  Best best{PlainCostBits(n, uc.uniq.front(), xmax)};
+  const int li_max = allow_lower ? u - 2 : -1;
+
+  // Case beta <= gamma (Proposition 2): xu = minXc + 2^beta. As Algorithm
+  // 2 notes, traversing the bit-width first lets the cumulative count of
+  // xl + 2^beta be fetched with a monotone cursor instead of a search:
+  // minXc grows with li, so the threshold and its index only move right.
+  for (int beta = 1; beta < 64; ++beta) {
+    const uint64_t step = 1ULL << beta;
+    int ui = 0;
+    for (int li = -1; li <= li_max; ++li) {
+      const int64_t min_xc = uc.uniq[li + 1];
+      // Once 2^beta exceeds the remaining span it does for all larger li
+      // too (minXc only grows); those candidates collapse into no-upper.
+      if (step > UnsignedRange(min_xc, xmax)) break;
+      const int64_t threshold =
+          static_cast<int64_t>(static_cast<uint64_t>(min_xc) + step);
+      if (ui < li + 2) ui = li + 2;
+      while (ui < u && uc.uniq[ui] < threshold) ++ui;
+      if (ui < u) Consider(ctx, li, ui, &best);
+    }
+  }
+
+  // Case beta > gamma (Proposition 3): xu = xmax - 2^gamma + 1 does not
+  // depend on xl, so the index is resolved once per gamma.
+  for (int gamma = 1; gamma < 64; ++gamma) {
+    const uint64_t step = (1ULL << gamma) - 1;
+    if (step > UnsignedRange(uc.uniq.front(), xmax)) break;
+    const int64_t threshold =
+        static_cast<int64_t>(static_cast<uint64_t>(xmax) - step);
+    const int ui = LowerBoundIndex(uc.uniq, threshold);
+    if (ui >= u) continue;
+    for (int li = -1; li <= std::min(li_max, ui - 2); ++li) {
+      Consider(ctx, li, ui, &best);
+    }
+  }
+
+  // No upper outliers for each xl.
+  for (int li = 0; li <= li_max; ++li) Consider(ctx, li, u, &best);
+
+  return Finish(uc, n, best);
+}
+
+}  // namespace
+
+std::string_view SeparationStrategyName(SeparationStrategy s) {
+  switch (s) {
+    case SeparationStrategy::kValue:
+      return "BOS-V";
+    case SeparationStrategy::kBitWidth:
+      return "BOS-B";
+    case SeparationStrategy::kMedian:
+      return "BOS-M";
+  }
+  return "BOS-?";
+}
+
+Separation SeparateValues(std::span<const int64_t> values) {
+  assert(!values.empty());
+  return ValueSearch(values, /*allow_lower=*/true);
+}
+
+Separation SeparateBitWidth(std::span<const int64_t> values) {
+  assert(!values.empty());
+  return BitWidthSearch(values, /*allow_lower=*/true);
+}
+
+Separation SeparateUpperOnly(std::span<const int64_t> values) {
+  assert(!values.empty());
+  return BitWidthSearch(values, /*allow_lower=*/false);
+}
+
+Separation SeparateMedian(std::span<const int64_t> values) {
+  assert(!values.empty());
+  const uint64_t n = values.size();
+
+  // FindMedian (QuickSelect): the lower median, an actual block value.
+  std::vector<int64_t> scratch(values.begin(), values.end());
+  const size_t mid = (scratch.size() - 1) / 2;
+  std::nth_element(scratch.begin(), scratch.begin() + mid, scratch.end());
+  const int64_t median = scratch[mid];
+
+  // Bucket counts of Definition 7, augmented with per-bucket min/max so
+  // Formula 5 can be evaluated exactly for every candidate beta.
+  struct Bucket {
+    uint64_t count = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    void Add(int64_t v) {
+      if (count == 0) {
+        min = max = v;
+      } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+      }
+      ++count;
+    }
+  };
+  constexpr int kMaxW = 65;
+  std::vector<Bucket> low(kMaxW + 2), high(kMaxW + 2);
+  int64_t xmin = values.front(), xmax = values.front();
+  int maxw = 1;
+  for (int64_t v : values) {
+    xmin = std::min(xmin, v);
+    xmax = std::max(xmax, v);
+    if (v < median) {
+      const int b = RangeBitWidth(UnsignedRange(v, median));
+      low[b].Add(v);
+      maxw = std::max(maxw, b);
+    } else if (v > median) {
+      const int b = RangeBitWidth(UnsignedRange(median, v));
+      high[b].Add(v);
+      maxw = std::max(maxw, b);
+    }
+  }
+
+  // Suffix aggregates over buckets > beta (the outliers for candidate beta)
+  // and prefix aggregates over buckets <= beta (the center).
+  std::vector<uint64_t> low_cnt_suf(kMaxW + 2, 0), high_cnt_suf(kMaxW + 2, 0);
+  std::vector<int64_t> low_max_suf(kMaxW + 2, 0), high_min_suf(kMaxW + 2, 0);
+  for (int b = kMaxW; b >= 1; --b) {
+    low_cnt_suf[b] = low_cnt_suf[b + 1] + low[b].count;
+    low_max_suf[b] = low[b].count > 0
+                         ? (low_cnt_suf[b + 1] > 0
+                                ? std::max(low[b].max, low_max_suf[b + 1])
+                                : low[b].max)
+                         : low_max_suf[b + 1];
+    high_cnt_suf[b] = high_cnt_suf[b + 1] + high[b].count;
+    high_min_suf[b] = high[b].count > 0
+                          ? (high_cnt_suf[b + 1] > 0
+                                 ? std::min(high[b].min, high_min_suf[b + 1])
+                                 : high[b].min)
+                          : high_min_suf[b + 1];
+  }
+  std::vector<int64_t> low_min_pre(kMaxW + 2, median), high_max_pre(kMaxW + 2, median);
+  std::vector<uint64_t> low_cnt_pre(kMaxW + 2, 0), high_cnt_pre(kMaxW + 2, 0);
+  for (int b = 1; b <= kMaxW; ++b) {
+    low_cnt_pre[b] = low_cnt_pre[b - 1] + low[b].count;
+    low_min_pre[b] = low[b].count > 0 ? std::min(low_min_pre[b - 1], low[b].min)
+                                      : low_min_pre[b - 1];
+    high_cnt_pre[b] = high_cnt_pre[b - 1] + high[b].count;
+    high_max_pre[b] = high[b].count > 0
+                          ? std::max(high_max_pre[b - 1], high[b].max)
+                          : high_max_pre[b - 1];
+  }
+
+  const uint64_t plain_cost = PlainCostBits(n, xmin, xmax);
+  uint64_t best_cost = plain_cost;
+  int best_beta = -1;
+  Partition best_partition;
+  for (int beta = maxw; beta >= 1; --beta) {
+    Partition p;
+    p.n = n;
+    p.xmin = xmin;
+    p.xmax = xmax;
+    p.nl = low_cnt_suf[beta + 1];
+    p.nu = high_cnt_suf[beta + 1];
+    if (p.nl > 0) p.max_xl = low_max_suf[beta + 1];
+    if (p.nu > 0) p.min_xu = high_min_suf[beta + 1];
+    // The center always contains the median itself, so it is non-empty.
+    p.min_xc = low_cnt_pre[beta] > 0 ? low_min_pre[beta] : median;
+    p.max_xc = high_cnt_pre[beta] > 0 ? high_max_pre[beta] : median;
+    if (p.nl == 0 && p.nu == 0) continue;  // degenerate: plain is cheaper
+    const uint64_t cost = SeparatedCostBits(p);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_beta = beta;
+      best_partition = p;
+    }
+  }
+
+  Separation s;
+  s.cost_bits = best_cost;
+  if (best_beta < 0) return s;
+  s.separated = true;
+  s.partition = best_partition;
+  s.has_lower = best_partition.nl > 0;
+  s.has_upper = best_partition.nu > 0;
+  if (s.has_lower) s.xl = best_partition.max_xl;
+  if (s.has_upper) s.xu = best_partition.min_xu;
+  return s;
+}
+
+Separation Separate(SeparationStrategy strategy, std::span<const int64_t> values) {
+  switch (strategy) {
+    case SeparationStrategy::kValue:
+      return SeparateValues(values);
+    case SeparationStrategy::kBitWidth:
+      return SeparateBitWidth(values);
+    case SeparationStrategy::kMedian:
+      return SeparateMedian(values);
+  }
+  return SeparateBitWidth(values);
+}
+
+}  // namespace bos::core

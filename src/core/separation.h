@@ -1,0 +1,64 @@
+#ifndef BOS_CORE_SEPARATION_H_
+#define BOS_CORE_SEPARATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/cost.h"
+
+namespace bos::core {
+
+/// \brief Result of the outlier-separation search (Problem 1).
+///
+/// When `separated` is false the search concluded that plain bit-packing
+/// (Definition 1) is at least as cheap as any split, and the other fields
+/// besides `cost_bits` are meaningless. Otherwise `partition` describes
+/// the chosen split; `has_lower`/`has_upper` say which outlier classes are
+/// non-empty, and `xl`/`xu` are *inclusive* thresholds realized by actual
+/// block values: lower outliers are `x <= xl`, upper outliers `x >= xu`.
+struct Separation {
+  bool separated = false;
+  bool has_lower = false;
+  bool has_upper = false;
+  int64_t xl = 0;
+  int64_t xu = 0;
+  uint64_t cost_bits = 0;  ///< modeled payload cost (Definition 1 or 5)
+  Partition partition;
+};
+
+/// Strategy selector for `Separate` and `BosOperator`.
+enum class SeparationStrategy {
+  kValue,     ///< BOS-V: exact, O(n^2) enumeration of value pairs (Alg. 1)
+  kBitWidth,  ///< BOS-B: exact, O(n log n) bit-width enumeration (Alg. 2)
+  kMedian,    ///< BOS-M: approximate, O(n) median + bucket search (Alg. 3)
+};
+
+std::string_view SeparationStrategyName(SeparationStrategy s);
+
+/// \brief BOS-V (Algorithm 1): enumerates every pair of block values as
+/// (xl, xu) via cumulative counts; provably optimal (Proposition 1).
+/// `values` must be non-empty.
+Separation SeparateValues(std::span<const int64_t> values);
+
+/// \brief BOS-B (Algorithm 2): for each candidate xl enumerates only the
+/// bit-width solutions of Table II — `xu = minXc + 2^beta` (Prop. 2) and
+/// `xu = xmax - 2^gamma + 1` (Prop. 3) — yet still returns an optimal
+/// separation, at O(n log n).
+Separation SeparateBitWidth(std::span<const int64_t> values);
+
+/// \brief BOS-M (Algorithm 3): approximate separation using the median
+/// and the bucket counts of Definition 7, candidates
+/// `(median - 2^beta, median + 2^beta)`; O(n).
+Separation SeparateMedian(std::span<const int64_t> values);
+
+/// Dispatches on `strategy`.
+Separation Separate(SeparationStrategy strategy, std::span<const int64_t> values);
+
+/// \brief Ablation for Figure 12: the BOS-B search restricted to upper
+/// outliers only (the PFOR-style setting — lower outliers never split).
+Separation SeparateUpperOnly(std::span<const int64_t> values);
+
+}  // namespace bos::core
+
+#endif  // BOS_CORE_SEPARATION_H_

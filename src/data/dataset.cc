@@ -1,0 +1,305 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace bos::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Per-profile seed salt so two profiles never share a stream.
+uint64_t ProfileSeed(const DatasetInfo& info, uint64_t seed) {
+  uint64_t h = 0xB05B05B05ULL ^ seed;
+  for (char c : info.abbr) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+  return h;
+}
+
+int64_t Clamp(double v, int64_t lo, int64_t hi) {
+  if (v < static_cast<double>(lo)) return lo;
+  if (v > static_cast<double>(hi)) return hi;
+  return static_cast<int64_t>(v);
+}
+
+// ---- profile generators (integer domain, pre-scaled for float sets) ----
+// Each matches the paper's qualitative description: value magnitudes from
+// Figure 8's axes, delta distributions from Figure 8's shapes, outlier
+// fractions from Figure 9.
+
+// EPM-Education: large magnitudes (up to ~150k), gaussian deltas with
+// sparse two-sided spikes.
+std::vector<int64_t> GenEe(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 60000;
+  for (auto& v : x) {
+    cur += rng.Normal(0, 300);
+    if (rng.Bernoulli(0.015)) cur += rng.Normal(0, 20000);
+    cur = std::clamp(cur, 0.0, 160000.0);
+    v = static_cast<int64_t>(cur);
+  }
+  return x;
+}
+
+// Metro-Traffic: daily periodic counts up to ~7000 plus noise and jumps.
+std::vector<int64_t> GenMt(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    const double daily = 3000 + 2500 * std::sin(2 * kPi * t / 288.0);
+    double v = daily + rng.Normal(0, 150);
+    if (rng.Bernoulli(0.01)) v += rng.UniformInt(-2500, 2500);
+    x[i] = Clamp(v, 0, 10000);
+  }
+  return x;
+}
+
+// Vehicle-Charge: session ramps and plateaus, small magnitudes.
+std::vector<int64_t> GenVc(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 200;
+  int phase = 0;  // 0 = plateau, 1 = ramp up, 2 = ramp down
+  size_t phase_left = 50;
+  for (auto& v : x) {
+    if (phase_left-- == 0) {
+      phase = static_cast<int>(rng.Uniform(3));
+      phase_left = 20 + rng.Uniform(120);
+    }
+    if (phase == 1) cur += rng.UniformInt(3, 12);
+    if (phase == 2) cur -= rng.UniformInt(3, 12);
+    cur = std::clamp(cur, 0.0, 3000.0);
+    double v_out = cur + rng.Normal(0, 1.5);
+    if (rng.Bernoulli(0.008)) v_out += rng.UniformInt(-800, 800);
+    v = Clamp(v_out, 0, 3000);
+  }
+  return x;
+}
+
+// CS-Sensors: stable level with small discrete jitter, occasional level
+// shifts and strong two-sided spikes — the profile where separation pays
+// off most (Figure 10a column CS).
+std::vector<int64_t> GenCs(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  int64_t level = 2000;
+  size_t hold = 0;
+  for (auto& v : x) {
+    if (hold == 0) {
+      hold = 20 + rng.Uniform(400);
+      if (rng.Bernoulli(0.3)) level += rng.UniformInt(-40, 40);
+    }
+    --hold;
+    int64_t out = level + rng.UniformInt(-3, 3);
+    if (rng.Bernoulli(0.01)) out += rng.UniformInt(1000, 4000);
+    if (rng.Bernoulli(0.005)) out -= rng.UniformInt(500, 2000);
+    v = std::clamp<int64_t>(out, 0, 6000);
+  }
+  return x;
+}
+
+// TH-Climate: skewed — mostly tiny deltas plus a dense cluster of lower
+// outliers in a very small range (the case where BOS-M struggles,
+// §VIII-B1).
+std::vector<int64_t> GenTc(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 700;
+  for (auto& v : x) {
+    cur += rng.Normal(0, 0.8);
+    cur = std::clamp(cur, 60.0, 1000.0);
+    double out = cur;
+    if (rng.Bernoulli(0.06)) out = 40 + rng.Normal(0, 4);  // low cluster
+    v = Clamp(out, 0, 1000);
+  }
+  return x;
+}
+
+// TY-Transport: small counts with high (but not extreme) repeatability
+// and sparse upper spikes.
+std::vector<int64_t> GenTt(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  int64_t level = 20;
+  size_t hold = 0;
+  for (auto& v : x) {
+    if (hold == 0) {
+      hold = 5 + rng.Uniform(60);
+      level = rng.UniformInt(0, 40);
+    }
+    --hold;
+    int64_t out = level + (rng.Bernoulli(0.5) ? rng.UniformInt(-2, 2) : 0);
+    if (rng.Bernoulli(0.01)) out += rng.UniformInt(40, 90);
+    v = std::clamp<int64_t>(out, 0, 130);
+  }
+  return x;
+}
+
+// YZ-Electricity: float p=2, magnitudes up to ~20000, bursty.
+std::vector<int64_t> GenYe(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 800000;  // scaled by 100
+  for (auto& v : x) {
+    cur += rng.Normal(0, 2000);
+    if (rng.Bernoulli(0.02)) cur += rng.Normal(0, 120000);
+    cur = std::clamp(cur, 0.0, 2000000.0);
+    v = static_cast<int64_t>(cur);
+  }
+  return x;
+}
+
+// GW-Magnetic: float p=3, very wide range with heavy tails.
+std::vector<int64_t> GenGm(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 3.0e8;  // scaled by 1000 -> values up to ~6e5 in float terms
+  for (auto& v : x) {
+    cur += rng.Laplace() * 20000;
+    if (rng.Bernoulli(0.004)) cur += rng.Normal(0, 5.0e7);
+    cur = std::clamp(cur, 0.0, 6.0e8);
+    v = static_cast<int64_t>(cur);
+  }
+  return x;
+}
+
+// USGS-Earthquakes: bursty, heavy-tailed jumps (quake clusters).
+std::vector<int64_t> GenUe(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 500000;  // p=2 scaled
+  size_t burst = 0;
+  for (auto& v : x) {
+    if (burst > 0) {
+      --burst;
+      cur += rng.Normal(0, 40000);
+    } else {
+      cur += rng.Normal(0, 900);
+      if (rng.Bernoulli(0.003)) burst = 10 + rng.Uniform(40);
+    }
+    cur = std::clamp(cur, 0.0, 2.2e6);
+    v = static_cast<int64_t>(cur);
+  }
+  return x;
+}
+
+// Cyber-Vehicle: mixed telemetry, moderate deltas, sparse huge spikes.
+std::vector<int64_t> GenCv(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 900000;  // p=1 scaled, float magnitude ~2e5
+  for (auto& v : x) {
+    cur += rng.Normal(0, 120);
+    double out = cur;
+    if (rng.Bernoulli(0.012)) out += rng.UniformInt(-600000, 600000);
+    out = std::clamp(out, 0.0, 2.0e6);
+    v = static_cast<int64_t>(out);
+  }
+  return x;
+}
+
+// TY-Fuel: small magnitudes (0..150 in float terms, p=1), step-like.
+std::vector<int64_t> GenTf(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 900;  // scaled by 10
+  for (auto& v : x) {
+    if (rng.Bernoulli(0.02)) cur -= rng.Uniform(30);
+    if (rng.Bernoulli(0.002)) cur = 1400;  // refuel
+    cur = std::clamp(cur, 0.0, 1500.0);
+    double out = cur + rng.Normal(0, 2);
+    v = Clamp(out, 0, 1500);
+  }
+  return x;
+}
+
+// Nifty-Stocks: price random walk, wide range, p=2.
+std::vector<int64_t> GenNs(Rng& rng, size_t n) {
+  std::vector<int64_t> x(n);
+  double cur = 2500000;  // 25000.00
+  for (auto& v : x) {
+    cur += cur * rng.Normal(0, 0.0008);
+    if (rng.Bernoulli(0.002)) cur += cur * rng.Normal(0, 0.02);
+    cur = std::clamp(cur, 100000.0, 7500000.0);
+    v = static_cast<int64_t>(cur);
+  }
+  return x;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& AllDatasets() {
+  static const std::vector<DatasetInfo>* kDatasets = new std::vector<DatasetInfo>{
+      {"EPM-Education", "EE", ValueKind::kInteger, 0, 65536},
+      {"Metro-Traffic", "MT", ValueKind::kInteger, 0, 48204},
+      {"Vehicle-Charge", "VC", ValueKind::kInteger, 0, 3396},
+      {"CS-Sensors", "CS", ValueKind::kInteger, 0, 65536},
+      {"TH-Climate", "TC", ValueKind::kInteger, 0, 65536},
+      {"TY-Transport", "TT", ValueKind::kInteger, 0, 65536},
+      {"YZ-Electricity", "YE", ValueKind::kFloat, 2, 10108},
+      {"GW-Magnetic", "GM", ValueKind::kFloat, 3, 65536},
+      {"USGS-Earthquakes", "UE", ValueKind::kFloat, 2, 65536},
+      {"Cyber-Vehicle", "CV", ValueKind::kFloat, 1, 65536},
+      {"TY-Fuel", "TF", ValueKind::kFloat, 1, 65536},
+      {"Nifty-Stocks", "NS", ValueKind::kFloat, 2, 65536},
+  };
+  return *kDatasets;
+}
+
+Result<DatasetInfo> FindDataset(const std::string& abbr) {
+  for (const DatasetInfo& info : AllDatasets()) {
+    if (info.abbr == abbr) return info;
+  }
+  return Status::InvalidArgument("unknown dataset: " + abbr);
+}
+
+std::vector<int64_t> GenerateInteger(const DatasetInfo& info, size_t n,
+                                     uint64_t seed) {
+  Rng rng(ProfileSeed(info, seed));
+  if (info.abbr == "EE") return GenEe(rng, n);
+  if (info.abbr == "MT") return GenMt(rng, n);
+  if (info.abbr == "VC") return GenVc(rng, n);
+  if (info.abbr == "CS") return GenCs(rng, n);
+  if (info.abbr == "TC") return GenTc(rng, n);
+  if (info.abbr == "TT") return GenTt(rng, n);
+  if (info.abbr == "YE") return GenYe(rng, n);
+  if (info.abbr == "GM") return GenGm(rng, n);
+  if (info.abbr == "UE") return GenUe(rng, n);
+  if (info.abbr == "CV") return GenCv(rng, n);
+  if (info.abbr == "TF") return GenTf(rng, n);
+  if (info.abbr == "NS") return GenNs(rng, n);
+  return {};
+}
+
+std::vector<double> GenerateFloat(const DatasetInfo& info, size_t n,
+                                  uint64_t seed) {
+  const std::vector<int64_t> ints = GenerateInteger(info, n, seed);
+  const double scale = std::pow(10.0, info.precision);
+  std::vector<double> out(ints.size());
+  for (size_t i = 0; i < ints.size(); ++i) {
+    out[i] = static_cast<double>(ints[i]) / scale;
+  }
+  return out;
+}
+
+std::vector<int64_t> GenerateTimestamps(size_t n, int64_t start,
+                                        int64_t interval_ms, uint64_t seed) {
+  Rng rng(0x7157A3B ^ seed);
+  std::vector<int64_t> out(n);
+  int64_t t = start;
+  for (auto& v : out) {
+    v = t;
+    t += interval_ms + rng.UniformInt(-interval_ms / 20, interval_ms / 20);
+    if (rng.Bernoulli(0.002)) t += interval_ms * rng.UniformInt(10, 600);  // gap
+  }
+  return out;
+}
+
+Histogram ComputeHistogram(std::span<const int64_t> values, size_t num_bins) {
+  Histogram h;
+  h.bins.assign(num_bins, 0);
+  if (values.empty() || num_bins == 0) return h;
+  h.min = *std::min_element(values.begin(), values.end());
+  h.max = *std::max_element(values.begin(), values.end());
+  const double range = static_cast<double>(h.max - h.min) + 1.0;
+  for (int64_t v : values) {
+    auto bin = static_cast<size_t>(static_cast<double>(v - h.min) /
+                                   range * static_cast<double>(num_bins));
+    h.bins[std::min(bin, num_bins - 1)]++;
+  }
+  return h;
+}
+
+}  // namespace bos::data

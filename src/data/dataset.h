@@ -1,0 +1,63 @@
+#ifndef BOS_DATA_DATASET_H_
+#define BOS_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bos::data {
+
+/// Whether a profile models an integer or a floating-point dataset
+/// (Table III's "Data Type" column).
+enum class ValueKind { kInteger, kFloat };
+
+/// \brief One synthetic dataset profile, standing in for a row of
+/// Table III. The generators are deterministic in (profile, n, seed),
+/// and are shaped to match the paper's descriptions: the post-TS2DIFF
+/// value distributions of Figure 8 and the outlier fractions of Figure 9.
+struct DatasetInfo {
+  std::string name;  ///< full name, e.g. "EPM-Education"
+  std::string abbr;  ///< Figure-10 column key, e.g. "EE"
+  ValueKind kind;
+  int precision;        ///< decimal digits for float profiles (0 for int)
+  size_t default_size;  ///< row count used by the benchmarks
+};
+
+/// The 12 profiles in Table III order.
+const std::vector<DatasetInfo>& AllDatasets();
+
+/// Looks a profile up by abbreviation ("EE", "MT", ...).
+Result<DatasetInfo> FindDataset(const std::string& abbr);
+
+/// \brief Generates the integer form of a profile: for float profiles this
+/// is the 10^p-scaled fixed-point series the integer codecs consume
+/// (§VIII-A2); for integer profiles it is the series itself.
+std::vector<int64_t> GenerateInteger(const DatasetInfo& info, size_t n,
+                                     uint64_t seed = 0);
+
+/// \brief Generates the double form: float profiles at their precision;
+/// integer profiles as exact integral doubles.
+std::vector<double> GenerateFloat(const DatasetInfo& info, size_t n,
+                                  uint64_t seed = 0);
+
+/// \brief Generates a realistic IoT timestamp column: a regular interval
+/// with per-sample jitter and occasional connectivity gaps. Sorted,
+/// starting at `start`.
+std::vector<int64_t> GenerateTimestamps(size_t n, int64_t start = 1700000000000,
+                                        int64_t interval_ms = 1000,
+                                        uint64_t seed = 0);
+
+/// \brief Fixed-width histogram used to print Figure 8.
+struct Histogram {
+  int64_t min = 0;
+  int64_t max = 0;
+  std::vector<uint64_t> bins;
+};
+Histogram ComputeHistogram(std::span<const int64_t> values, size_t num_bins);
+
+}  // namespace bos::data
+
+#endif  // BOS_DATA_DATASET_H_

@@ -1,0 +1,180 @@
+#include "floatcodec/buff.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "codecs/series_codec.h"
+#include "bitpack/varint.h"
+#include "floatcodec/quantize.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+namespace {
+
+uint64_t ToBits(double v) { return std::bit_cast<uint64_t>(v); }
+
+// A slice flips to the sparse layout when at most 10% of its bytes are
+// non-zero (BUFF's frequency-based outlier split).
+bool ShouldBeSparse(const std::vector<uint8_t>& slice) {
+  size_t nonzero = 0;
+  for (uint8_t b : slice) nonzero += (b != 0);
+  return nonzero * 10 <= slice.size();
+}
+
+}  // namespace
+
+BuffCodec::BuffCodec(int precision) : precision_(precision) {
+  assert(precision >= 0 && precision <= 15);
+  scale_ = std::pow(10.0, precision);
+}
+
+Status BuffCodec::Compress(std::span<const double> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  out->push_back(static_cast<uint8_t>(precision_));
+  if (values.empty()) return Status::OK();
+  const size_t n = values.size();
+
+  // Quantize; collect exceptions (non-decimal doubles) verbatim.
+  std::vector<int64_t> q(n, 0);
+  std::vector<uint64_t> exc_positions;
+  std::vector<double> exc_values;
+  for (size_t i = 0; i < n; ++i) {
+    if (!RoundTripsAtPrecision(values[i], scale_, &q[i])) {
+      q[i] = 0;
+      exc_positions.push_back(i);
+      exc_values.push_back(values[i]);
+    }
+  }
+
+  bitpack::PutVarint(out, exc_positions.size());
+  uint64_t prev_pos = 0;
+  for (size_t e = 0; e < exc_positions.size(); ++e) {
+    bitpack::PutVarint(out, exc_positions[e] - prev_pos);
+    prev_pos = exc_positions[e];
+    PutFixed<uint64_t>(out, ToBits(exc_values[e]));
+  }
+
+  // Frame of reference over the quantized values.
+  int64_t min = q[0];
+  int64_t max = q[0];
+  for (int64_t v : q) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  const int width = BitWidth(UnsignedRange(min, max));
+  const int num_slices = static_cast<int>((width + 7) / 8);
+  bitpack::PutSignedVarint(out, min);
+  out->push_back(static_cast<uint8_t>(num_slices));
+
+  // Column-wise byte slices, least significant first.
+  std::vector<uint8_t> slice(n);
+  for (int s = 0; s < num_slices; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      slice[i] = static_cast<uint8_t>(UnsignedRange(min, q[i]) >> (8 * s));
+    }
+    if (ShouldBeSparse(slice)) {
+      out->push_back(1);  // sparse slice
+      uint64_t count = 0;
+      for (uint8_t b : slice) count += (b != 0);
+      bitpack::PutVarint(out, count);
+      uint64_t prev = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (slice[i] == 0) continue;
+        bitpack::PutVarint(out, i - prev);
+        prev = i;
+        out->push_back(slice[i]);
+      }
+    } else {
+      out->push_back(0);  // dense slice
+      out->insert(out->end(), slice.begin(), slice.end());
+    }
+  }
+  return Status::OK();
+}
+
+Status BuffCodec::Decompress(BytesView data, std::vector<double>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (offset >= data.size()) return Status::Corruption("BUFF: missing precision");
+  const int precision = data[offset++];
+  if (precision > 15) return Status::Corruption("BUFF: bad precision");
+  const double scale = std::pow(10.0, precision);
+  if (n == 0) return Status::OK();
+  // Constant data compresses below a bit per value, so bound n by a fixed
+  // sanity cap (decompression-bomb guard) rather than the payload size.
+  if (n > codecs::kMaxStreamValues) return Status::Corruption("BUFF: n too large");
+
+  uint64_t num_exc;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &num_exc));
+  if (num_exc > n) return Status::Corruption("BUFF: exception count");
+  std::vector<uint64_t> exc_positions(num_exc);
+  std::vector<double> exc_values(num_exc);
+  uint64_t prev_pos = 0;
+  for (uint64_t e = 0; e < num_exc; ++e) {
+    uint64_t gap;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &gap));
+    prev_pos += gap;
+    if (prev_pos >= n) return Status::Corruption("BUFF: exception position");
+    exc_positions[e] = prev_pos;
+    uint64_t bits;
+    if (!GetFixed<uint64_t>(data, offset, &bits)) {
+      return Status::Corruption("BUFF: exception value truncated");
+    }
+    offset += 8;
+    exc_values[e] = std::bit_cast<double>(bits);
+  }
+
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, &offset, &min));
+  if (offset >= data.size()) return Status::Corruption("BUFF: missing slices");
+  const int num_slices = data[offset++];
+  if (num_slices > 8) return Status::Corruption("BUFF: too many slices");
+
+  std::vector<uint64_t> delta(n, 0);
+  for (int s = 0; s < num_slices; ++s) {
+    if (offset >= data.size()) return Status::Corruption("BUFF: slice truncated");
+    const uint8_t sparse = data[offset++];
+    if (sparse == 1) {
+      uint64_t count;
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &count));
+      if (count > n) return Status::Corruption("BUFF: sparse count");
+      uint64_t pos = 0;
+      for (uint64_t k = 0; k < count; ++k) {
+        uint64_t gap;
+        BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &gap));
+        pos += gap;
+        if (pos >= n || offset >= data.size()) {
+          return Status::Corruption("BUFF: sparse slice truncated");
+        }
+        delta[pos] |= static_cast<uint64_t>(data[offset++]) << (8 * s);
+      }
+    } else if (sparse == 0) {
+      if (offset + n > data.size()) {
+        return Status::Corruption("BUFF: dense slice truncated");
+      }
+      for (uint64_t i = 0; i < n; ++i) {
+        delta[i] |= static_cast<uint64_t>(data[offset + i]) << (8 * s);
+      }
+      offset += n;
+    } else {
+      return Status::Corruption("BUFF: bad slice flag");
+    }
+  }
+
+  out->reserve(out->size() + n);
+  size_t e = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (e < num_exc && exc_positions[e] == i) {
+      out->push_back(exc_values[e++]);
+      continue;
+    }
+    const int64_t q = static_cast<int64_t>(static_cast<uint64_t>(min) + delta[i]);
+    out->push_back(static_cast<double>(q) / scale);
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::floatcodec

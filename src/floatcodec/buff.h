@@ -1,0 +1,33 @@
+#ifndef BOS_FLOATCODEC_BUFF_H_
+#define BOS_FLOATCODEC_BUFF_H_
+
+#include "floatcodec/float_codec.h"
+
+namespace bos::floatcodec {
+
+/// \brief BUFF (Liu et al., VLDB'21): decomposed bounded floats.
+///
+/// Values are quantized to fixed point at the configured decimal
+/// precision, offset by the block minimum, and stored column-wise in
+/// 8-bit slices. Slices that are mostly zero (the high bytes, i.e. the
+/// outliers) switch to a sparse position+value encoding — BUFF's outlier
+/// handling, which the BOS paper contrasts with in §II-A. Doubles that are
+/// not exact decimals at the precision are carried verbatim in an
+/// exception list, keeping the codec lossless on arbitrary input.
+class BuffCodec final : public FloatCodec {
+ public:
+  /// `precision` = number of decimal digits after the point (0..15).
+  explicit BuffCodec(int precision = 3);
+
+  std::string name() const override { return "BUFF"; }
+  Status Compress(std::span<const double> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<double>* out) const override;
+
+ private:
+  int precision_;
+  double scale_;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_BUFF_H_

@@ -1,0 +1,135 @@
+#include "floatcodec/chimp.h"
+
+#include <bit>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+namespace {
+
+uint64_t ToBits(double v) { return std::bit_cast<uint64_t>(v); }
+double FromBits(uint64_t b) { return std::bit_cast<double>(b); }
+
+// CHIMP's rounded leading-zero classes and their 3-bit codes.
+constexpr int kLeadingRound[65] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  8,  8,  8,  8,  12, 12, 12, 12, 16,
+    16, 18, 18, 20, 20, 22, 22, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24};
+constexpr int kLeadingToCode[25] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2,
+                                    2, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7};
+constexpr int kCodeToLeading[8] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+constexpr int kTrailingThreshold = 6;
+
+}  // namespace
+
+Status ChimpCodec::Compress(std::span<const double> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  if (values.empty()) return Status::OK();
+
+  bitpack::BitWriter writer(out);
+  uint64_t prev = ToBits(values[0]);
+  writer.WriteBits(prev, 64);
+  int prev_lead = -1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    const uint64_t cur = ToBits(values[i]);
+    const uint64_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      writer.WriteBits(0b00, 2);
+      prev_lead = -1;  // reference forbids window reuse after a repeat
+      continue;
+    }
+    const int lead = kLeadingRound[std::countl_zero(x)];
+    const int trail = std::countr_zero(x);
+    if (trail > kTrailingThreshold) {
+      writer.WriteBits(0b01, 2);
+      writer.WriteBits(static_cast<uint64_t>(kLeadingToCode[lead]), 3);
+      const int sig = 64 - lead - trail;
+      writer.WriteBits(static_cast<uint64_t>(sig), 6);  // sig in 1..58
+      writer.WriteBits(x >> trail, sig);
+      prev_lead = -1;  // reference resets the stored leading count
+    } else if (lead == prev_lead) {
+      writer.WriteBits(0b10, 2);
+      writer.WriteBits(x, 64 - lead);
+    } else {
+      writer.WriteBits(0b11, 2);
+      writer.WriteBits(static_cast<uint64_t>(kLeadingToCode[lead]), 3);
+      writer.WriteBits(x, 64 - lead);
+      prev_lead = lead;
+    }
+  }
+  return Status::OK();
+}
+
+Status ChimpCodec::Decompress(BytesView data, std::vector<double>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n == 0) return Status::OK();
+  if (n > data.size() * 8) return Status::Corruption("CHIMP: n too large");
+
+  bitpack::BitReader reader(data.subspan(offset));
+  uint64_t prev;
+  if (!reader.ReadBits(64, &prev)) return Status::Corruption("CHIMP: header");
+  out->reserve(out->size() + n);
+  out->push_back(FromBits(prev));
+  int prev_lead = -1;
+  for (uint64_t i = 1; i < n; ++i) {
+    uint64_t flag;
+    if (!reader.ReadBits(2, &flag)) return Status::Corruption("CHIMP: truncated");
+    uint64_t x = 0;
+    switch (flag) {
+      case 0b00:
+        prev_lead = -1;
+        break;
+      case 0b01: {
+        uint64_t code, sig;
+        if (!reader.ReadBits(3, &code) || !reader.ReadBits(6, &sig)) {
+          return Status::Corruption("CHIMP: truncated");
+        }
+        const int lead = kCodeToLeading[code];
+        if (sig == 0 || lead + static_cast<int>(sig) > 64) {
+          return Status::Corruption("CHIMP: bad window");
+        }
+        uint64_t sig_bits;
+        if (!reader.ReadBits(static_cast<int>(sig), &sig_bits)) {
+          return Status::Corruption("CHIMP: truncated");
+        }
+        x = sig_bits << (64 - lead - static_cast<int>(sig));
+        prev_lead = -1;
+        break;
+      }
+      case 0b10: {
+        if (prev_lead < 0) return Status::Corruption("CHIMP: no leading state");
+        uint64_t rest;
+        if (!reader.ReadBits(64 - prev_lead, &rest)) {
+          return Status::Corruption("CHIMP: truncated");
+        }
+        x = rest;
+        break;
+      }
+      case 0b11: {
+        uint64_t code;
+        if (!reader.ReadBits(3, &code)) return Status::Corruption("CHIMP: truncated");
+        const int lead = kCodeToLeading[code];
+        uint64_t rest;
+        if (!reader.ReadBits(64 - lead, &rest)) {
+          return Status::Corruption("CHIMP: truncated");
+        }
+        x = rest;
+        prev_lead = lead;
+        break;
+      }
+    }
+    prev ^= x;
+    out->push_back(FromBits(prev));
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::floatcodec

@@ -1,0 +1,24 @@
+#ifndef BOS_FLOATCODEC_CHIMP_H_
+#define BOS_FLOATCODEC_CHIMP_H_
+
+#include "floatcodec/float_codec.h"
+
+namespace bos::floatcodec {
+
+/// \brief CHIMP (Liakos et al., VLDB'22): improves GORILLA's XOR scheme
+/// with a 2-bit flag per value and a rounded 3-bit leading-zero code.
+///
+/// Flags: 00 identical value; 01 the XOR has more than 6 trailing zeros
+/// (store rounded leading-zero code, 6-bit significant length and the
+/// significant bits); 10 reuse the previous leading-zero count and store
+/// all remaining bits; 11 fresh leading-zero code plus remaining bits.
+class ChimpCodec final : public FloatCodec {
+ public:
+  std::string name() const override { return "CHIMP"; }
+  Status Compress(std::span<const double> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<double>* out) const override;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_CHIMP_H_

@@ -1,0 +1,181 @@
+#include "floatcodec/chimp128.h"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+namespace {
+
+uint64_t ToBits(double v) { return std::bit_cast<uint64_t>(v); }
+double FromBits(uint64_t b) { return std::bit_cast<double>(b); }
+
+constexpr int kWindow = 128;          // previous values searched
+constexpr int kIndexBits = 7;         // log2(kWindow)
+constexpr int kKeyBits = 14;          // hash key = low 14 bits of the value
+constexpr int kTrailingThreshold = 6;
+
+// Same rounded leading-zero classes as CHIMP.
+constexpr int kLeadingRound[65] = {
+    0,  0,  0,  0,  0,  0,  0,  0,  8,  8,  8,  8,  12, 12, 12, 12, 16,
+    16, 18, 18, 20, 20, 22, 22, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+    24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24, 24};
+constexpr int kLeadingToCode[25] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2,
+                                    2, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7};
+constexpr int kCodeToLeading[8] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+}  // namespace
+
+Status Chimp128Codec::Compress(std::span<const double> values,
+                               Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  if (values.empty()) return Status::OK();
+
+  bitpack::BitWriter writer(out);
+  std::array<uint64_t, kWindow> ring{};
+  // Last global position seen for each low-bits key (-1 = none).
+  std::vector<int64_t> key_index(size_t{1} << kKeyBits, -1);
+
+  uint64_t prev = ToBits(values[0]);
+  writer.WriteBits(prev, 64);
+  ring[0] = prev;
+  key_index[prev & ((1u << kKeyBits) - 1)] = 0;
+
+  int prev_lead = -1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    const uint64_t cur = ToBits(values[i]);
+    const uint64_t key = cur & ((1u << kKeyBits) - 1);
+    const int64_t candidate_pos = key_index[key];
+
+    bool emitted = false;
+    if (candidate_pos >= 0 &&
+        static_cast<int64_t>(i) - candidate_pos <= kWindow) {
+      const int ring_slot = static_cast<int>(candidate_pos % kWindow);
+      const uint64_t ref = ring[ring_slot];
+      const uint64_t x = cur ^ ref;
+      if (x == 0) {
+        writer.WriteBits(0b00, 2);
+        writer.WriteBits(static_cast<uint64_t>(ring_slot), kIndexBits);
+        prev_lead = -1;
+        emitted = true;
+      } else if (std::countr_zero(x) > kTrailingThreshold) {
+        const int lead = kLeadingRound[std::countl_zero(x)];
+        const int trail = std::countr_zero(x);
+        const int sig = 64 - lead - trail;
+        writer.WriteBits(0b01, 2);
+        writer.WriteBits(static_cast<uint64_t>(ring_slot), kIndexBits);
+        writer.WriteBits(static_cast<uint64_t>(kLeadingToCode[lead]), 3);
+        writer.WriteBits(static_cast<uint64_t>(sig), 6);
+        writer.WriteBits(x >> trail, sig);
+        prev_lead = -1;
+        emitted = true;
+      }
+    }
+    if (!emitted) {
+      // Fall back to the CHIMP immediate-predecessor path.
+      const uint64_t x = cur ^ prev;
+      const int lead = x == 0 ? 24 : kLeadingRound[std::countl_zero(x)];
+      if (x != 0 && lead == prev_lead) {
+        writer.WriteBits(0b10, 2);
+        writer.WriteBits(x, 64 - lead);
+      } else {
+        writer.WriteBits(0b11, 2);
+        writer.WriteBits(static_cast<uint64_t>(kLeadingToCode[lead]), 3);
+        writer.WriteBits(x, 64 - lead);
+        prev_lead = lead;
+      }
+    }
+    prev = cur;
+    ring[i % kWindow] = cur;
+    key_index[key] = static_cast<int64_t>(i);
+  }
+  return Status::OK();
+}
+
+Status Chimp128Codec::Decompress(BytesView data,
+                                 std::vector<double>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n == 0) return Status::OK();
+  if (n > data.size() * 8) return Status::Corruption("CHIMP128: n too large");
+
+  bitpack::BitReader reader(data.subspan(offset));
+  std::array<uint64_t, kWindow> ring{};
+  uint64_t prev;
+  if (!reader.ReadBits(64, &prev)) return Status::Corruption("CHIMP128: header");
+  out->reserve(out->size() + n);
+  out->push_back(FromBits(prev));
+  ring[0] = prev;
+
+  int prev_lead = -1;
+  for (uint64_t i = 1; i < n; ++i) {
+    uint64_t flag;
+    if (!reader.ReadBits(2, &flag)) return Status::Corruption("CHIMP128: truncated");
+    uint64_t cur = 0;
+    switch (flag) {
+      case 0b00: {
+        uint64_t slot;
+        if (!reader.ReadBits(kIndexBits, &slot)) {
+          return Status::Corruption("CHIMP128: truncated");
+        }
+        cur = ring[slot];
+        prev_lead = -1;
+        break;
+      }
+      case 0b01: {
+        uint64_t slot, code, sig;
+        if (!reader.ReadBits(kIndexBits, &slot) || !reader.ReadBits(3, &code) ||
+            !reader.ReadBits(6, &sig)) {
+          return Status::Corruption("CHIMP128: truncated");
+        }
+        const int lead = kCodeToLeading[code];
+        if (sig == 0 || lead + static_cast<int>(sig) > 64) {
+          return Status::Corruption("CHIMP128: bad window");
+        }
+        uint64_t sig_bits;
+        if (!reader.ReadBits(static_cast<int>(sig), &sig_bits)) {
+          return Status::Corruption("CHIMP128: truncated");
+        }
+        cur = ring[slot] ^ (sig_bits << (64 - lead - static_cast<int>(sig)));
+        prev_lead = -1;
+        break;
+      }
+      case 0b10: {
+        if (prev_lead < 0) return Status::Corruption("CHIMP128: no leading state");
+        uint64_t rest;
+        if (!reader.ReadBits(64 - prev_lead, &rest)) {
+          return Status::Corruption("CHIMP128: truncated");
+        }
+        cur = prev ^ rest;
+        break;
+      }
+      case 0b11: {
+        uint64_t code;
+        if (!reader.ReadBits(3, &code)) {
+          return Status::Corruption("CHIMP128: truncated");
+        }
+        const int lead = kCodeToLeading[code];
+        uint64_t rest;
+        if (!reader.ReadBits(64 - lead, &rest)) {
+          return Status::Corruption("CHIMP128: truncated");
+        }
+        cur = prev ^ rest;
+        prev_lead = lead;
+        break;
+      }
+    }
+    out->push_back(FromBits(cur));
+    prev = cur;
+    ring[i % kWindow] = cur;
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::floatcodec

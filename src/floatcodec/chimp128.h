@@ -1,0 +1,31 @@
+#ifndef BOS_FLOATCODEC_CHIMP128_H_
+#define BOS_FLOATCODEC_CHIMP128_H_
+
+#include "floatcodec/float_codec.h"
+
+namespace bos::floatcodec {
+
+/// \brief CHIMP128 (Liakos et al., VLDB'22): CHIMP with a 128-value
+/// reference window.
+///
+/// For every value a reference is looked up among the previous 128 values
+/// by hashing their low bits; XORing against a similar *older* value
+/// often leaves far more trailing zeros than XORing against the
+/// immediate predecessor. Flags:
+///   00 — identical to the referenced value: 7-bit index only;
+///   01 — XOR with the reference has > 6 trailing zeros: 7-bit index,
+///        3-bit rounded leading-zero code, 6-bit significant length,
+///        significant bits;
+///   10 — XOR with the immediate predecessor, reusing the previous
+///        leading-zero count;
+///   11 — XOR with the immediate predecessor, fresh 3-bit leading code.
+class Chimp128Codec final : public FloatCodec {
+ public:
+  std::string name() const override { return "CHIMP128"; }
+  Status Compress(std::span<const double> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<double>* out) const override;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_CHIMP128_H_

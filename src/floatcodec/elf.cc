@@ -1,0 +1,99 @@
+#include "floatcodec/elf.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "floatcodec/quantize.h"
+#include "floatcodec/xor_window.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+namespace {
+
+uint64_t ToBits(double v) { return std::bit_cast<uint64_t>(v); }
+double FromBits(uint64_t b) { return std::bit_cast<double>(b); }
+
+}  // namespace
+
+ElfCodec::ElfCodec(int precision) : precision_(precision) {
+  assert(precision >= 0 && precision <= 15);
+  scale_ = std::pow(10.0, precision);
+}
+
+Status ElfCodec::Compress(std::span<const double> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  out->push_back(static_cast<uint8_t>(precision_));
+  if (values.empty()) return Status::OK();
+
+  bitpack::BitWriter writer(out);
+  XorWindowWriter xw(&writer);
+  bool first = true;
+  for (double v : values) {
+    int64_t q;
+    uint64_t emitted;
+    if (RoundTripsAtPrecision(v, scale_, &q)) {
+      // Erase: zero as many trailing mantissa bits as still re-quantize to
+      // the same decimal.
+      const uint64_t bits = ToBits(v);
+      uint64_t erased = bits;
+      for (int t = 52; t >= 1; --t) {
+        const uint64_t candidate = bits & ~((1ULL << t) - 1);
+        if (Quantizable(FromBits(candidate), scale_) &&
+            std::llround(FromBits(candidate) * scale_) == q) {
+          erased = candidate;
+          break;
+        }
+      }
+      writer.WriteBit(true);
+      emitted = erased;
+    } else {
+      writer.WriteBit(false);
+      emitted = ToBits(v);
+    }
+    if (first) {
+      xw.WriteFirst(emitted);
+      first = false;
+    } else {
+      xw.WriteNext(emitted);
+    }
+  }
+  return Status::OK();
+}
+
+Status ElfCodec::Decompress(BytesView data, std::vector<double>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (offset >= data.size()) return Status::Corruption("Elf: missing precision");
+  const int precision = data[offset++];
+  if (precision > 15) return Status::Corruption("Elf: bad precision");
+  const double scale = std::pow(10.0, precision);
+  if (n == 0) return Status::OK();
+  if (n > data.size() * 8) return Status::Corruption("Elf: n too large");
+
+  bitpack::BitReader reader(data.subspan(offset));
+  XorWindowReader xr(&reader);
+  out->reserve(out->size() + n);
+  bool first = true;
+  for (uint64_t i = 0; i < n; ++i) {
+    bool erased;
+    if (!reader.ReadBit(&erased)) return Status::Corruption("Elf: truncated");
+    uint64_t bits;
+    const bool ok = first ? xr.ReadFirst(&bits) : xr.ReadNext(&bits);
+    first = false;
+    if (!ok) return Status::Corruption("Elf: truncated");
+    double v = FromBits(bits);
+    if (erased) {
+      if (!Quantizable(v, scale)) return Status::Corruption("Elf: bad erased value");
+      v = static_cast<double>(std::llround(v * scale)) / scale;
+    }
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::floatcodec

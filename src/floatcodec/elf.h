@@ -1,0 +1,38 @@
+#ifndef BOS_FLOATCODEC_ELF_H_
+#define BOS_FLOATCODEC_ELF_H_
+
+#include "floatcodec/float_codec.h"
+
+namespace bos::floatcodec {
+
+/// \brief Elf (Li et al., VLDB'23): erasing-based lossless float
+/// compression.
+///
+/// Values that are exact decimals at the configured precision have their
+/// low mantissa bits erased (zeroed) before XOR compression — the erased
+/// double still rounds back to the same decimal, so decompression restores
+/// the original exactly by re-quantizing. A per-value flag distinguishes
+/// erased values from pass-through values (non-decimal doubles keep their
+/// full mantissa). The XOR stage reuses the GORILLA window encoding.
+///
+/// This follows the paper's published algorithm in spirit; the per-value
+/// alpha computation is specialized to a fixed dataset precision, which is
+/// how the BOS paper's datasets are described (a single precision p per
+/// series). The substitution is documented in DESIGN.md.
+class ElfCodec final : public FloatCodec {
+ public:
+  /// `precision` = number of decimal digits after the point (0..15).
+  explicit ElfCodec(int precision = 3);
+
+  std::string name() const override { return "Elf"; }
+  Status Compress(std::span<const double> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<double>* out) const override;
+
+ private:
+  int precision_;
+  double scale_;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_ELF_H_

@@ -1,0 +1,32 @@
+#ifndef BOS_FLOATCODEC_FLOAT_CODEC_H_
+#define BOS_FLOATCODEC_FLOAT_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::floatcodec {
+
+/// \brief A whole-series lossless double-precision compressor: the "Float"
+/// rows of Figure 10 (GORILLA, CHIMP, Elf, BUFF) plus the scaled-integer
+/// adapter used by the RLE/SPRINTZ/TS2DIFF rows on float datasets.
+class FloatCodec {
+ public:
+  virtual ~FloatCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compresses the series into `out` (appending). Must be lossless: the
+  /// decompressed doubles compare bit-identical to the input.
+  virtual Status Compress(std::span<const double> values, Bytes* out) const = 0;
+
+  virtual Status Decompress(BytesView data, std::vector<double>* out) const = 0;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_FLOAT_CODEC_H_

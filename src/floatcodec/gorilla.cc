@@ -1,0 +1,46 @@
+#include "floatcodec/gorilla.h"
+
+#include <bit>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/varint.h"
+#include "floatcodec/xor_window.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+
+Status GorillaCodec::Compress(std::span<const double> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  if (values.empty()) return Status::OK();
+
+  bitpack::BitWriter writer(out);
+  XorWindowWriter xw(&writer);
+  xw.WriteFirst(std::bit_cast<uint64_t>(values[0]));
+  for (size_t i = 1; i < values.size(); ++i) {
+    xw.WriteNext(std::bit_cast<uint64_t>(values[i]));
+  }
+  return Status::OK();
+}
+
+Status GorillaCodec::Decompress(BytesView data, std::vector<double>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n == 0) return Status::OK();
+  if (n > data.size() * 8) return Status::Corruption("GORILLA: n too large");
+
+  bitpack::BitReader reader(data.subspan(offset));
+  XorWindowReader xr(&reader);
+  out->reserve(out->size() + n);
+  uint64_t bits;
+  if (!xr.ReadFirst(&bits)) return Status::Corruption("GORILLA: header");
+  out->push_back(std::bit_cast<double>(bits));
+  for (uint64_t i = 1; i < n; ++i) {
+    if (!xr.ReadNext(&bits)) return Status::Corruption("GORILLA: truncated");
+    out->push_back(std::bit_cast<double>(bits));
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::floatcodec

@@ -1,0 +1,23 @@
+#ifndef BOS_FLOATCODEC_GORILLA_H_
+#define BOS_FLOATCODEC_GORILLA_H_
+
+#include "floatcodec/float_codec.h"
+
+namespace bos::floatcodec {
+
+/// \brief GORILLA (Pelkonen et al., VLDB'15) XOR float compression.
+///
+/// Each value is XORed with its predecessor. A zero XOR costs one '0'
+/// bit; otherwise a '10' control reuses the previous leading/trailing
+/// window, and '11' writes a fresh 5-bit leading-zero count and 6-bit
+/// significant-bit length before the significant bits.
+class GorillaCodec final : public FloatCodec {
+ public:
+  std::string name() const override { return "GORILLA"; }
+  Status Compress(std::span<const double> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<double>* out) const override;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_GORILLA_H_

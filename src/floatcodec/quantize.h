@@ -1,0 +1,31 @@
+#ifndef BOS_FLOATCODEC_QUANTIZE_H_
+#define BOS_FLOATCODEC_QUANTIZE_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace bos::floatcodec {
+
+/// \brief Decimal fixed-point quantization shared by Elf, BUFF and the
+/// scaled-integer adapter (§VIII-A2: "convert float into integer by
+/// scaling 10^p, where p is the precision of the original data").
+
+/// True when |v| * scale stays well inside int64, so llround is defined.
+inline bool Quantizable(double v, double scale) {
+  return std::isfinite(v) && std::abs(v) * scale < 4.0e18;
+}
+
+/// True when v is an exact decimal at the precision: re-dividing the
+/// quantized integer reproduces v bit-for-bit. On success *q holds the
+/// quantized value.
+inline bool RoundTripsAtPrecision(double v, double scale, int64_t* q) {
+  if (!Quantizable(v, scale)) return false;
+  *q = std::llround(v * scale);
+  return std::bit_cast<uint64_t>(static_cast<double>(*q) / scale) ==
+         std::bit_cast<uint64_t>(v);
+}
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_QUANTIZE_H_

@@ -1,0 +1,32 @@
+#include "floatcodec/registry.h"
+
+#include "codecs/registry.h"
+#include "floatcodec/buff.h"
+#include "floatcodec/chimp.h"
+#include "floatcodec/chimp128.h"
+#include "floatcodec/elf.h"
+#include "floatcodec/gorilla.h"
+#include "floatcodec/scaled.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+
+std::vector<std::string> FloatCodecNames() {
+  return {"GORILLA", "CHIMP", "CHIMP128", "Elf", "BUFF"};
+}
+
+Result<std::shared_ptr<const FloatCodec>> MakeFloatCodec(std::string_view name,
+                                                         int precision) {
+  if (precision < 0 || precision > 15) {
+    return Status::InvalidArgument("precision must be in [0, 15]");
+  }
+  if (name == "GORILLA") return {std::make_shared<GorillaCodec>()};
+  if (name == "CHIMP") return {std::make_shared<ChimpCodec>()};
+  if (name == "CHIMP128") return {std::make_shared<Chimp128Codec>()};
+  if (name == "Elf") return {std::make_shared<ElfCodec>(precision)};
+  if (name == "BUFF") return {std::make_shared<BuffCodec>(precision)};
+  BOS_ASSIGN_OR_RETURN(auto inner, codecs::MakeSeriesCodec(name));
+  return {std::make_shared<ScaledSeriesFloatCodec>(std::move(inner), precision)};
+}
+
+}  // namespace bos::floatcodec

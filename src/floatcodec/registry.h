@@ -1,0 +1,26 @@
+#ifndef BOS_FLOATCODEC_REGISTRY_H_
+#define BOS_FLOATCODEC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floatcodec/float_codec.h"
+#include "util/result.h"
+
+namespace bos::floatcodec {
+
+/// The native float codecs of Figure 10's "Float" rows.
+std::vector<std::string> FloatCodecNames();
+
+/// \brief Creates a float codec by name. Accepts the native codecs
+/// ("GORILLA", "CHIMP", "Elf", "BUFF") and any integer series-codec spec
+/// ("TRANSFORM+OPERATOR"), which is wrapped in the decimal-scaling
+/// adapter at `precision` digits — the paper's §VIII-A2 convention.
+Result<std::shared_ptr<const FloatCodec>> MakeFloatCodec(std::string_view name,
+                                                         int precision = 3);
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_REGISTRY_H_

@@ -1,0 +1,86 @@
+#include "floatcodec/scaled.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "bitpack/varint.h"
+#include "floatcodec/quantize.h"
+#include "util/macros.h"
+
+namespace bos::floatcodec {
+
+ScaledSeriesFloatCodec::ScaledSeriesFloatCodec(
+    std::shared_ptr<const codecs::SeriesCodec> inner, int precision)
+    : inner_(std::move(inner)), precision_(precision) {
+  assert(precision >= 0 && precision <= 15);
+  scale_ = std::pow(10.0, precision);
+}
+
+Status ScaledSeriesFloatCodec::Compress(std::span<const double> values,
+                                        Bytes* out) const {
+  out->push_back(static_cast<uint8_t>(precision_));
+
+  std::vector<int64_t> q(values.size(), 0);
+  std::vector<uint64_t> exc_positions;
+  std::vector<double> exc_values;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!RoundTripsAtPrecision(values[i], scale_, &q[i])) {
+      q[i] = i > 0 ? q[i - 1] : 0;  // neutral filler for the delta codecs
+      exc_positions.push_back(i);
+      exc_values.push_back(values[i]);
+    }
+  }
+  bitpack::PutVarint(out, exc_positions.size());
+  uint64_t prev = 0;
+  for (size_t e = 0; e < exc_positions.size(); ++e) {
+    bitpack::PutVarint(out, exc_positions[e] - prev);
+    prev = exc_positions[e];
+    PutFixed<uint64_t>(out, std::bit_cast<uint64_t>(exc_values[e]));
+  }
+  return inner_->Compress(q, out);
+}
+
+Status ScaledSeriesFloatCodec::Decompress(BytesView data,
+                                          std::vector<double>* out) const {
+  size_t offset = 0;
+  if (offset >= data.size()) return Status::Corruption("scaled: missing precision");
+  const int precision = data[offset++];
+  if (precision > 15) return Status::Corruption("scaled: bad precision");
+  const double scale = std::pow(10.0, precision);
+
+  uint64_t num_exc;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &num_exc));
+  if (num_exc > data.size()) return Status::Corruption("scaled: exception count");
+  std::vector<uint64_t> exc_positions(num_exc);
+  std::vector<double> exc_values(num_exc);
+  uint64_t prev = 0;
+  for (uint64_t e = 0; e < num_exc; ++e) {
+    uint64_t gap;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &gap));
+    prev += gap;
+    exc_positions[e] = prev;
+    uint64_t bits;
+    if (!GetFixed<uint64_t>(data, offset, &bits)) {
+      return Status::Corruption("scaled: exception truncated");
+    }
+    offset += 8;
+    exc_values[e] = std::bit_cast<double>(bits);
+  }
+
+  std::vector<int64_t> q;
+  BOS_RETURN_NOT_OK(inner_->Decompress(data.subspan(offset), &q));
+  out->reserve(out->size() + q.size());
+  size_t e = 0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (e < num_exc && exc_positions[e] == i) {
+      out->push_back(exc_values[e++]);
+    } else {
+      out->push_back(static_cast<double>(q[i]) / scale);
+    }
+  }
+  if (e != num_exc) return Status::Corruption("scaled: exception positions");
+  return Status::OK();
+}
+
+}  // namespace bos::floatcodec

@@ -1,0 +1,36 @@
+#ifndef BOS_FLOATCODEC_SCALED_H_
+#define BOS_FLOATCODEC_SCALED_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "floatcodec/float_codec.h"
+
+namespace bos::floatcodec {
+
+/// \brief Adapter running an integer SeriesCodec over float data by
+/// decimal scaling (paper §VIII-A2) — this is how the RLE / SPRINTZ /
+/// TS2DIFF rows of Figure 10 handle the float datasets.
+///
+/// Doubles that are not exact decimals at the precision are stored
+/// verbatim in an exception list, so the adapter is lossless on any
+/// input; the synthetic datasets are generated at fixed precision, so
+/// exceptions are empty there, as with the paper's datasets.
+class ScaledSeriesFloatCodec final : public FloatCodec {
+ public:
+  ScaledSeriesFloatCodec(std::shared_ptr<const codecs::SeriesCodec> inner,
+                         int precision);
+
+  std::string name() const override { return inner_->name(); }
+  Status Compress(std::span<const double> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<double>* out) const override;
+
+ private:
+  std::shared_ptr<const codecs::SeriesCodec> inner_;
+  int precision_;
+  double scale_;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_SCALED_H_

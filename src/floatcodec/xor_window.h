@@ -1,0 +1,113 @@
+#ifndef BOS_FLOATCODEC_XOR_WINDOW_H_
+#define BOS_FLOATCODEC_XOR_WINDOW_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+
+namespace bos::floatcodec {
+
+/// \brief The GORILLA XOR window encoder, shared by GorillaCodec and
+/// ElfCodec's XOR stage.
+///
+/// Controls: '0' identical; '10' reuse the previous leading/trailing
+/// window; '11' fresh 5-bit leading-zero count + 6-bit significant length
+/// + significant bits.
+class XorWindowWriter {
+ public:
+  explicit XorWindowWriter(bitpack::BitWriter* writer) : writer_(writer) {}
+
+  /// Writes the first value raw (64 bits) and seeds the chain.
+  void WriteFirst(uint64_t bits) {
+    writer_->WriteBits(bits, 64);
+    prev_ = bits;
+  }
+
+  /// Writes a subsequent value as a XOR against the previous one.
+  void WriteNext(uint64_t bits) {
+    const uint64_t x = bits ^ prev_;
+    prev_ = bits;
+    if (x == 0) {
+      writer_->WriteBit(false);
+      return;
+    }
+    int lead = std::countl_zero(x);
+    const int trail = std::countr_zero(x);
+    if (lead > 31) lead = 31;  // 5-bit field
+    const int sig = 64 - lead - trail;
+    if (lead >= prev_lead_ && 64 - prev_lead_ - prev_sig_ <= trail) {
+      writer_->WriteBits(0b10, 2);
+      writer_->WriteBits(x >> (64 - prev_lead_ - prev_sig_), prev_sig_);
+    } else {
+      writer_->WriteBits(0b11, 2);
+      writer_->WriteBits(static_cast<uint64_t>(lead), 5);
+      writer_->WriteBits(static_cast<uint64_t>(sig - 1), 6);
+      writer_->WriteBits(x >> trail, sig);
+      prev_lead_ = lead;
+      prev_sig_ = sig;
+    }
+  }
+
+ private:
+  bitpack::BitWriter* writer_;
+  uint64_t prev_ = 0;
+  int prev_lead_ = 65;  // 65 = no window yet
+  int prev_sig_ = 0;
+};
+
+/// Mirror of XorWindowWriter. Read methods return false on truncated or
+/// malformed input.
+class XorWindowReader {
+ public:
+  explicit XorWindowReader(bitpack::BitReader* reader) : reader_(reader) {}
+
+  bool ReadFirst(uint64_t* bits) {
+    if (!reader_->ReadBits(64, &prev_)) return false;
+    *bits = prev_;
+    return true;
+  }
+
+  bool ReadNext(uint64_t* bits) {
+    bool bit;
+    if (!reader_->ReadBit(&bit)) return false;
+    if (!bit) {
+      *bits = prev_;
+      return true;
+    }
+    if (!reader_->ReadBit(&bit)) return false;
+    uint64_t x;
+    if (!bit) {
+      if (prev_lead_ > 64) return false;  // '10' before any '11'
+      uint64_t sig_bits;
+      if (!reader_->ReadBits(prev_sig_, &sig_bits)) return false;
+      x = sig_bits << (64 - prev_lead_ - prev_sig_);
+    } else {
+      uint64_t lead, sig_m1;
+      if (!reader_->ReadBits(5, &lead) || !reader_->ReadBits(6, &sig_m1)) {
+        return false;
+      }
+      const int sig = static_cast<int>(sig_m1) + 1;
+      if (static_cast<int>(lead) + sig > 64) return false;
+      uint64_t sig_bits;
+      if (!reader_->ReadBits(sig, &sig_bits)) return false;
+      x = sig_bits << (64 - static_cast<int>(lead) - sig);
+      prev_lead_ = static_cast<int>(lead);
+      prev_sig_ = sig;
+    }
+    prev_ ^= x;
+    *bits = prev_;
+    return true;
+  }
+
+ private:
+  bitpack::BitReader* reader_;
+  uint64_t prev_ = 0;
+  int prev_lead_ = 65;
+  int prev_sig_ = 0;
+};
+
+}  // namespace bos::floatcodec
+
+#endif  // BOS_FLOATCODEC_XOR_WINDOW_H_

@@ -1,0 +1,31 @@
+#ifndef BOS_GENERAL_BYTE_CODEC_H_
+#define BOS_GENERAL_BYTE_CODEC_H_
+
+#include <string>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::general {
+
+/// \brief A general-purpose lossless byte-stream compressor (the LZ4 and
+/// 7-Zip roles of Figure 13). Byte codecs apply directly over data encoded
+/// by a packing operator, i.e. they are complementary to BOS (§II-B):
+/// `BOS+LZ4` is `Lz4Compress(BosEncode(values))`.
+class ByteCodec {
+ public:
+  virtual ~ByteCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compresses `input` into `out` (appending). Self-framing: the
+  /// uncompressed size is stored in the stream.
+  virtual Status Compress(BytesView input, Bytes* out) const = 0;
+
+  /// Inverse of Compress: consumes the entire `data` buffer.
+  virtual Status Decompress(BytesView data, Bytes* out) const = 0;
+};
+
+}  // namespace bos::general
+
+#endif  // BOS_GENERAL_BYTE_CODEC_H_

@@ -1,0 +1,111 @@
+#include "general/fft.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bos::general {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+[[maybe_unused]] bool IsPowerOfTwo(size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>* data, bool inverse) {
+  auto& a = *data;
+  const size_t n = a.size();
+  assert(IsPowerOfTwo(n));
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2 * kPi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> Dct(std::span<const double> input) {
+  const size_t n = input.size();
+  assert(IsPowerOfTwo(n));
+  // Makhoul's even-odd reordering: v = (x0, x2, ..., x3, x1).
+  std::vector<std::complex<double>> v(n);
+  for (size_t k = 0; k < n / 2; ++k) {
+    v[k] = input[2 * k];
+    v[n - 1 - k] = input[2 * k + 1];
+  }
+  if (n == 1) v[0] = input[0];
+  Fft(&v, /*inverse=*/false);
+  std::vector<double> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double angle = -kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+    const std::complex<double> w(std::cos(angle), std::sin(angle));
+    out[k] = 2.0 * (w * v[k]).real();
+  }
+  return out;
+}
+
+std::vector<double> InverseDct(std::span<const double> coeffs) {
+  const size_t n = coeffs.size();
+  assert(IsPowerOfTwo(n));
+  if (n == 1) return {coeffs[0] / 2.0};
+  std::vector<std::complex<double>> v(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double ck = coeffs[k];
+    const double cnk = k == 0 ? 0.0 : coeffs[n - k];
+    const double angle = kPi * static_cast<double>(k) / (2.0 * static_cast<double>(n));
+    const std::complex<double> w(std::cos(angle), std::sin(angle));
+    v[k] = 0.5 * w * std::complex<double>(ck, -cnk);
+  }
+  Fft(&v, /*inverse=*/true);
+  std::vector<double> out(n);
+  for (size_t k = 0; k < n / 2; ++k) {
+    out[2 * k] = v[k].real();
+    out[2 * k + 1] = v[n - 1 - k].real();
+  }
+  return out;
+}
+
+std::vector<std::complex<double>> RealFft(std::span<const double> input) {
+  const size_t n = input.size();
+  assert(IsPowerOfTwo(n));
+  std::vector<std::complex<double>> data(n);
+  for (size_t i = 0; i < n; ++i) data[i] = input[i];
+  Fft(&data, /*inverse=*/false);
+  data.resize(n / 2 + 1);
+  return data;
+}
+
+std::vector<double> InverseRealFft(std::span<const std::complex<double>> bins,
+                                   size_t n) {
+  assert(IsPowerOfTwo(n));
+  assert(bins.size() == n / 2 + 1);
+  std::vector<std::complex<double>> data(n);
+  for (size_t k = 0; k <= n / 2; ++k) data[k] = bins[k];
+  for (size_t k = n / 2 + 1; k < n; ++k) data[k] = std::conj(bins[n - k]);
+  Fft(&data, /*inverse=*/true);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = data[i].real();
+  return out;
+}
+
+}  // namespace bos::general

@@ -1,0 +1,34 @@
+#ifndef BOS_GENERAL_FFT_H_
+#define BOS_GENERAL_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace bos::general {
+
+/// \brief In-place iterative radix-2 FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform and divides by n.
+void Fft(std::vector<std::complex<double>>* data, bool inverse);
+
+/// \brief DCT-II of a real sequence (any power-of-two length), computed
+/// via a same-size complex FFT using the even-odd reordering identity.
+/// Orthonormal scaling is NOT applied; `InverseDct` is the exact inverse
+/// of this transform.
+std::vector<double> Dct(std::span<const double> input);
+
+/// \brief Inverse of `Dct` (a scaled DCT-III).
+std::vector<double> InverseDct(std::span<const double> coeffs);
+
+/// \brief Real-input FFT: returns the first n/2+1 complex bins (the rest
+/// follow by conjugate symmetry). `n` must be a power of two.
+std::vector<std::complex<double>> RealFft(std::span<const double> input);
+
+/// \brief Inverse of `RealFft`: reconstructs the length-`n` real sequence
+/// from its n/2+1 bins.
+std::vector<double> InverseRealFft(
+    std::span<const std::complex<double>> bins, size_t n);
+
+}  // namespace bos::general
+
+#endif  // BOS_GENERAL_FFT_H_

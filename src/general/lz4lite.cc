@@ -1,0 +1,136 @@
+#include "general/lz4lite.h"
+
+#include <cstring>
+#include <vector>
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::general {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761U) >> (32 - kHashBits);
+}
+
+// Emits a length in the LZ4 style: the 4-bit nibble is given by the
+// caller; the remainder is a run of 255-bytes plus a final byte.
+void PutExtendedLength(Bytes* out, size_t remainder) {
+  while (remainder >= 255) {
+    out->push_back(255);
+    remainder -= 255;
+  }
+  out->push_back(static_cast<uint8_t>(remainder));
+}
+
+Status GetExtendedLength(BytesView data, size_t* pos, size_t* length) {
+  for (;;) {
+    if (*pos >= data.size()) return Status::Corruption("LZ4: length truncated");
+    const uint8_t b = data[(*pos)++];
+    *length += b;
+    if (b != 255) return Status::OK();
+  }
+}
+
+void EmitSequence(BytesView literals, size_t match_len, size_t offset,
+                  Bytes* out) {
+  const size_t lit_len = literals.size();
+  const size_t match_extra = match_len == 0 ? 0 : match_len - kMinMatch;
+  const uint8_t token =
+      static_cast<uint8_t>((std::min<size_t>(lit_len, 15) << 4) |
+                           std::min<size_t>(match_extra, 15));
+  out->push_back(token);
+  if (lit_len >= 15) PutExtendedLength(out, lit_len - 15);
+  out->insert(out->end(), literals.begin(), literals.end());
+  if (match_len == 0) return;  // final literal-only sequence
+  out->push_back(static_cast<uint8_t>(offset & 0xff));
+  out->push_back(static_cast<uint8_t>(offset >> 8));
+  if (match_extra >= 15) PutExtendedLength(out, match_extra - 15);
+}
+
+}  // namespace
+
+Status Lz4LiteCodec::Compress(BytesView input, Bytes* out) const {
+  bitpack::PutVarint(out, input.size());
+  if (input.empty()) return Status::OK();
+
+  std::vector<int64_t> table(1 << kHashBits, -1);
+  const uint8_t* base = input.data();
+  const size_t n = input.size();
+  size_t pos = 0;
+  size_t literal_start = 0;
+  // The last kMinMatch+1 bytes are always literals (simplified end rule).
+  const size_t match_limit = n > kMinMatch + 1 ? n - kMinMatch - 1 : 0;
+  while (pos < match_limit) {
+    const uint32_t h = Hash4(base + pos);
+    const int64_t candidate = table[h];
+    table[h] = static_cast<int64_t>(pos);
+    if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kMaxOffset &&
+        std::memcmp(base + candidate, base + pos, kMinMatch) == 0) {
+      // Extend the match forward.
+      size_t len = kMinMatch;
+      while (pos + len < n &&
+             base[candidate + len] == base[pos + len]) {
+        ++len;
+      }
+      EmitSequence(input.subspan(literal_start, pos - literal_start), len,
+                   pos - static_cast<size_t>(candidate), out);
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals (omitted when a match ended exactly at the input
+  // end; the decoder stops on the byte count).
+  if (literal_start < n) EmitSequence(input.subspan(literal_start), 0, 0, out);
+  return Status::OK();
+}
+
+Status Lz4LiteCodec::Decompress(BytesView data, Bytes* out) const {
+  size_t pos = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &pos, &n));
+  if (n > (1ULL << 30)) return Status::Corruption("LZ4: size too large");
+  const size_t out_start = out->size();
+  out->reserve(out_start + static_cast<size_t>(std::min<uint64_t>(n, 1ULL << 20)));
+  while (out->size() - out_start < n) {
+    if (pos >= data.size()) return Status::Corruption("LZ4: token truncated");
+    const uint8_t token = data[pos++];
+    size_t lit_len = token >> 4;
+    if (lit_len == 15) BOS_RETURN_NOT_OK(GetExtendedLength(data, &pos, &lit_len));
+    if (pos + lit_len > data.size()) {
+      return Status::Corruption("LZ4: literals truncated");
+    }
+    out->insert(out->end(), data.begin() + pos, data.begin() + pos + lit_len);
+    pos += lit_len;
+    if (out->size() - out_start >= n) break;  // final sequence has no match
+
+    if (pos + 2 > data.size()) return Status::Corruption("LZ4: offset truncated");
+    const size_t offset = data[pos] | (static_cast<size_t>(data[pos + 1]) << 8);
+    pos += 2;
+    size_t match_len = token & 0x0f;
+    if (match_len == 15) {
+      BOS_RETURN_NOT_OK(GetExtendedLength(data, &pos, &match_len));
+    }
+    match_len += kMinMatch;
+    if (offset == 0 || offset > out->size() - out_start) {
+      return Status::Corruption("LZ4: bad offset");
+    }
+    // Byte-by-byte copy: offsets shorter than the match length replicate.
+    size_t src = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      out->push_back((*out)[src + i]);
+    }
+  }
+  if (out->size() - out_start != n) return Status::Corruption("LZ4: size mismatch");
+  return Status::OK();
+}
+
+}  // namespace bos::general

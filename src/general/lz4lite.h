@@ -1,0 +1,24 @@
+#ifndef BOS_GENERAL_LZ4LITE_H_
+#define BOS_GENERAL_LZ4LITE_H_
+
+#include "general/byte_codec.h"
+
+namespace bos::general {
+
+/// \brief LZ4-lite: an LZ77 compressor in the LZ4 block format spirit
+/// (Collet) — greedy hash-table matching, token bytes with 4-bit literal
+/// and match lengths, 2-byte offsets, minimum match of 4.
+///
+/// Stands in for the LZ4 binary in the Figure 13 experiment; same
+/// algorithmic family (byte-oriented sliding-window LZ77), independent
+/// implementation.
+class Lz4LiteCodec final : public ByteCodec {
+ public:
+  std::string name() const override { return "LZ4"; }
+  Status Compress(BytesView input, Bytes* out) const override;
+  Status Decompress(BytesView data, Bytes* out) const override;
+};
+
+}  // namespace bos::general
+
+#endif  // BOS_GENERAL_LZ4LITE_H_

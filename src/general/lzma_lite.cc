@@ -1,0 +1,223 @@
+#include "general/lzma_lite.h"
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+
+namespace bos::general {
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = kMinMatch + 255;  // length fits the 8-bit tree
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 16;
+constexpr uint16_t kProbInit = 1024;  // = 2048 / 2
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761U) >> (32 - kHashBits);
+}
+
+// ----- LZMA-style binary range coder ---------------------------------
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(Bytes* out) : out_(out) {}
+
+  void EncodeBit(uint16_t* prob, int bit) {
+    const uint32_t bound = (range_ >> 11) * *prob;
+    if (bit == 0) {
+      range_ = bound;
+      *prob += (2048 - *prob) >> 5;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      *prob -= *prob >> 5;
+    }
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  void EncodeTree(uint16_t* probs, int bits, uint32_t value) {
+    uint32_t ctx = 1;
+    for (int i = bits - 1; i >= 0; --i) {
+      const int bit = (value >> i) & 1;
+      EncodeBit(&probs[ctx], bit);
+      ctx = (ctx << 1) | bit;
+    }
+  }
+
+  void Flush() {
+    for (int i = 0; i < 5; ++i) ShiftLow();
+  }
+
+ private:
+  void ShiftLow() {
+    if (static_cast<uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      const uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+      do {
+        out_->push_back(static_cast<uint8_t>(cache_ + carry));
+        cache_ = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = static_cast<uint32_t>(low_) << 8;
+  }
+
+  Bytes* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  RangeDecoder(BytesView data, size_t* pos) : data_(data), pos_(pos) {
+    for (int i = 0; i < 5; ++i) code_ = (code_ << 8) | NextByte();
+  }
+
+  int DecodeBit(uint16_t* prob) {
+    const uint32_t bound = (range_ >> 11) * *prob;
+    int bit;
+    if (code_ < bound) {
+      range_ = bound;
+      *prob += (2048 - *prob) >> 5;
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      *prob -= *prob >> 5;
+      bit = 1;
+    }
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | NextByte();
+    }
+    return bit;
+  }
+
+  uint32_t DecodeTree(uint16_t* probs, int bits) {
+    uint32_t ctx = 1;
+    for (int i = 0; i < bits; ++i) {
+      ctx = (ctx << 1) | static_cast<uint32_t>(DecodeBit(&probs[ctx]));
+    }
+    return ctx - (1u << bits);
+  }
+
+ private:
+  // Reading past the stream yields zero bytes; the symbol loop is bounded
+  // by the decoded size, and truncation surfaces as a size mismatch.
+  uint8_t NextByte() {
+    return *pos_ < data_.size() ? data_[(*pos_)++] : 0;
+  }
+
+  BytesView data_;
+  size_t* pos_;
+  uint32_t code_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+};
+
+// ----- Probability model ----------------------------------------------
+
+struct Model {
+  uint16_t is_match = kProbInit;
+  std::array<uint16_t, 512> literal;    // 8-bit tree (256 leaves)
+  std::array<uint16_t, 512> match_len;  // 8-bit tree, length - kMinMatch
+  std::vector<uint16_t> offset;         // 16-bit tree, offset - 1
+
+  Model() : offset(1u << 17, kProbInit) {
+    literal.fill(kProbInit);
+    match_len.fill(kProbInit);
+  }
+};
+
+}  // namespace
+
+Status LzmaLiteCodec::Compress(BytesView input, Bytes* out) const {
+  bitpack::PutVarint(out, input.size());
+  if (input.empty()) return Status::OK();
+
+  auto model = std::make_unique<Model>();
+  RangeEncoder enc(out);
+  std::vector<int64_t> table(1 << kHashBits, -1);
+  const uint8_t* base = input.data();
+  const size_t n = input.size();
+  size_t pos = 0;
+  const size_t match_limit = n > kMinMatch ? n - kMinMatch : 0;
+  while (pos < n) {
+    size_t match_len = 0;
+    size_t match_offset = 0;
+    if (pos < match_limit) {
+      const uint32_t h = Hash4(base + pos);
+      const int64_t candidate = table[h];
+      table[h] = static_cast<int64_t>(pos);
+      if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kMaxOffset &&
+          std::memcmp(base + candidate, base + pos, kMinMatch) == 0) {
+        size_t len = kMinMatch;
+        while (len < kMaxMatch && pos + len < n &&
+               base[candidate + len] == base[pos + len]) {
+          ++len;
+        }
+        match_len = len;
+        match_offset = pos - static_cast<size_t>(candidate);
+      }
+    }
+    if (match_len >= kMinMatch) {
+      enc.EncodeBit(&model->is_match, 1);
+      enc.EncodeTree(model->match_len.data(), 8,
+                     static_cast<uint32_t>(match_len - kMinMatch));
+      enc.EncodeTree(model->offset.data(), 16,
+                     static_cast<uint32_t>(match_offset - 1));
+      pos += match_len;
+    } else {
+      enc.EncodeBit(&model->is_match, 0);
+      enc.EncodeTree(model->literal.data(), 8, base[pos]);
+      ++pos;
+    }
+  }
+  enc.Flush();
+  return Status::OK();
+}
+
+Status LzmaLiteCodec::Decompress(BytesView data, Bytes* out) const {
+  size_t pos = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &pos, &n));
+  if (n == 0) return Status::OK();
+  if (n > (1ULL << 30)) return Status::Corruption("LZMA: size too large");
+
+  auto model = std::make_unique<Model>();
+  RangeDecoder dec(data, &pos);
+  const size_t out_start = out->size();
+  out->reserve(out_start + static_cast<size_t>(std::min<uint64_t>(n, 1ULL << 20)));
+  while (out->size() - out_start < n) {
+    if (dec.DecodeBit(&model->is_match)) {
+      const size_t match_len =
+          kMinMatch + dec.DecodeTree(model->match_len.data(), 8);
+      const size_t offset = 1 + dec.DecodeTree(model->offset.data(), 16);
+      if (offset > out->size() - out_start) {
+        return Status::Corruption("LZMA: bad offset");
+      }
+      if (out->size() - out_start + match_len > n) {
+        return Status::Corruption("LZMA: overlong match");
+      }
+      const size_t src = out->size() - offset;
+      for (size_t i = 0; i < match_len; ++i) out->push_back((*out)[src + i]);
+    } else {
+      out->push_back(
+          static_cast<uint8_t>(dec.DecodeTree(model->literal.data(), 8)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::general

@@ -1,0 +1,27 @@
+#ifndef BOS_GENERAL_LZMA_LITE_H_
+#define BOS_GENERAL_LZMA_LITE_H_
+
+#include "general/byte_codec.h"
+
+namespace bos::general {
+
+/// \brief LZMA-lite: dictionary compression with range encoding, the two
+/// ingredients the paper attributes to 7-Zip (§II-B).
+///
+/// A greedy LZ77 parse (hash-table matcher, 64 KiB window, minimum match
+/// 4) feeds an adaptive binary range coder in the LZMA style: one
+/// probability per is-match flag, a 256-leaf bit tree for literals, an
+/// 8-bit tree for match lengths and a 16-bit tree for offsets. All
+/// probabilities adapt with the classic 2048/32 update rule.
+///
+/// Stands in for the 7-Zip binary in the Figure 13 experiment.
+class LzmaLiteCodec final : public ByteCodec {
+ public:
+  std::string name() const override { return "7-Zip"; }
+  Status Compress(BytesView input, Bytes* out) const override;
+  Status Decompress(BytesView data, Bytes* out) const override;
+};
+
+}  // namespace bos::general
+
+#endif  // BOS_GENERAL_LZMA_LITE_H_

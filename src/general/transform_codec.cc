@@ -1,0 +1,166 @@
+#include "general/transform_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <complex>
+
+#include "bitpack/varint.h"
+#include "general/fft.h"
+#include "util/macros.h"
+
+namespace bos::general {
+namespace {
+
+// Quantization target: coefficients land in roughly +-2^20.
+constexpr double kCoeffRange = 1048576.0;
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+double ChooseQuantStep(const std::vector<double>& coeffs) {
+  double max_abs = 0;
+  for (double c : coeffs) max_abs = std::max(max_abs, std::abs(c));
+  return std::max(1.0, max_abs / kCoeffRange);
+}
+
+std::vector<int64_t> Quantize(const std::vector<double>& coeffs, double q) {
+  std::vector<int64_t> out(coeffs.size());
+  for (size_t i = 0; i < coeffs.size(); ++i) out[i] = std::llround(coeffs[i] / q);
+  return out;
+}
+
+std::vector<double> Dequantize(const std::vector<int64_t>& coeffs, double q) {
+  std::vector<double> out(coeffs.size());
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    out[i] = static_cast<double>(coeffs[i]) * q;
+  }
+  return out;
+}
+
+// Reconstruction must be bit-identical between encoder and decoder, so
+// both sides call exactly this function.
+std::vector<double> Reconstruct(TransformKind kind,
+                                const std::vector<int64_t>& qcoeffs, double q,
+                                size_t padded) {
+  const std::vector<double> coeffs = Dequantize(qcoeffs, q);
+  if (kind == TransformKind::kDct) return InverseDct(coeffs);
+  // FFT: coefficients hold interleaved (re, im) for padded/2+1 bins.
+  std::vector<std::complex<double>> bins(padded / 2 + 1);
+  for (size_t k = 0; k < bins.size(); ++k) {
+    bins[k] = {coeffs[2 * k], coeffs[2 * k + 1]};
+  }
+  return InverseRealFft(bins, padded);
+}
+
+int64_t SafeRound(double v) {
+  if (!(std::abs(v) < 4.0e18)) return 0;  // residual absorbs the difference
+  return std::llround(v);
+}
+
+int64_t WrappingSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+int64_t WrappingAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+
+}  // namespace
+
+TransformCodec::TransformCodec(TransformKind kind,
+                               std::shared_ptr<const core::PackingOperator> op,
+                               size_t block_size)
+    : kind_(kind), op_(std::move(op)), block_size_(block_size) {
+  assert(block_size_ >= 2 && (block_size_ & (block_size_ - 1)) == 0);
+}
+
+std::string TransformCodec::name() const {
+  return std::string(kind_ == TransformKind::kDct ? "DCT+" : "FFT+") +
+         std::string(op_->name());
+}
+
+Status TransformCodec::Compress(std::span<const int64_t> values,
+                                Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    const size_t padded = NextPowerOfTwo(std::max<size_t>(len, 2));
+    // Pad with the last value: keeps the padded tail smooth.
+    std::vector<double> d(padded, static_cast<double>(values[start + len - 1]));
+    for (size_t i = 0; i < len; ++i) {
+      d[i] = static_cast<double>(values[start + i]);
+    }
+
+    std::vector<double> coeffs;
+    if (kind_ == TransformKind::kDct) {
+      coeffs = Dct(d);
+    } else {
+      const auto bins = RealFft(d);
+      coeffs.reserve(2 * bins.size());
+      for (const auto& b : bins) {
+        coeffs.push_back(b.real());
+        coeffs.push_back(b.imag());
+      }
+    }
+    const double q = ChooseQuantStep(coeffs);
+    const std::vector<int64_t> qcoeffs = Quantize(coeffs, q);
+    const std::vector<double> recon = Reconstruct(kind_, qcoeffs, q, padded);
+
+    std::vector<int64_t> residuals(len);
+    for (size_t i = 0; i < len; ++i) {
+      residuals[i] = WrappingSub(values[start + i], SafeRound(recon[i]));
+    }
+
+    PutFixed<uint64_t>(out, std::bit_cast<uint64_t>(q));
+    BOS_RETURN_NOT_OK(op_->Encode(qcoeffs, out));
+    BOS_RETURN_NOT_OK(op_->Encode(residuals, out));
+  }
+  return Status::OK();
+}
+
+Status TransformCodec::Decompress(BytesView data,
+                                  std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > codecs::kMaxStreamValues) {
+    return Status::Corruption("transform: n too large");
+  }
+  codecs::ReserveBounded(out, n);
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const size_t len = std::min<uint64_t>(block_size_, n - done);
+    const size_t padded = NextPowerOfTwo(std::max<size_t>(len, 2));
+    uint64_t q_bits;
+    if (!GetFixed<uint64_t>(data, offset, &q_bits)) {
+      return Status::Corruption("transform: quant step truncated");
+    }
+    offset += 8;
+    const double q = std::bit_cast<double>(q_bits);
+    if (!(q >= 1.0) || !std::isfinite(q)) {
+      return Status::Corruption("transform: bad quant step");
+    }
+
+    std::vector<int64_t> qcoeffs, residuals;
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &qcoeffs));
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &residuals));
+    const size_t expected_coeffs =
+        kind_ == TransformKind::kDct ? padded : 2 * (padded / 2 + 1);
+    if (qcoeffs.size() != expected_coeffs || residuals.size() != len) {
+      return Status::Corruption("transform: block shape mismatch");
+    }
+    const std::vector<double> recon = Reconstruct(kind_, qcoeffs, q, padded);
+    for (size_t i = 0; i < len; ++i) {
+      out->push_back(WrappingAdd(SafeRound(recon[i]), residuals[i]));
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("transform: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::general

@@ -1,0 +1,44 @@
+#ifndef BOS_GENERAL_TRANSFORM_CODEC_H_
+#define BOS_GENERAL_TRANSFORM_CODEC_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+
+namespace bos::general {
+
+/// Frequency transform used by TransformCodec.
+enum class TransformKind {
+  kDct,  ///< DCT-II, the speech-processing path of §II-B
+  kFft,  ///< real FFT, the signal-processing path of §II-B
+};
+
+/// \brief Lossless frequency-domain codec: per block, transform, quantize
+/// the coefficients, and store quantized coefficients *plus* the integer
+/// residuals needed to reproduce the input exactly (the paper: "to enable
+/// lossless compression, the corresponding residuals need to be stored").
+///
+/// Both the coefficient stream and the residual stream go through the
+/// configured packing operator, so `DCT+BOS` / `FFT+BOS` vs `DCT+BP` /
+/// `FFT+BP` (Figure 13) differ only in the operator.
+class TransformCodec final : public codecs::SeriesCodec {
+ public:
+  /// `block_size` must be a power of two.
+  TransformCodec(TransformKind kind,
+                 std::shared_ptr<const core::PackingOperator> op,
+                 size_t block_size = 1024);
+
+  std::string name() const override;
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+
+ private:
+  TransformKind kind_;
+  std::shared_ptr<const core::PackingOperator> op_;
+  size_t block_size_;
+};
+
+}  // namespace bos::general
+
+#endif  // BOS_GENERAL_TRANSFORM_CODEC_H_

@@ -1,0 +1,467 @@
+#include "pfor/pfor.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/bitpacking.h"
+#include "bitpack/simple8b.h"
+#include "bitpack/varint.h"
+#include "core/block_io.h"
+#include "pfor/pfor_common.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace bos::pfor {
+namespace {
+
+using bos::core::kMaxBlockValues;
+
+// ---------------------------------------------------------------------
+// PFOR (Zukowski et al.): in-slot linked-list positions, compulsory
+// exceptions, uncompressed exception values.
+// ---------------------------------------------------------------------
+
+// Exception positions for slot width b, including the compulsory ones
+// forced by the linked list's maximum stride of 2^b.
+std::vector<int> PforExceptionPositions(const std::vector<uint64_t>& deltas,
+                                        int b) {
+  std::vector<int> mandatory;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (BitWidth(deltas[i]) > b) mandatory.push_back(static_cast<int>(i));
+  }
+  if (mandatory.empty()) return {};
+  // The chain stores (next - cur - 1) in b bits, so next - cur <= 2^b.
+  const int64_t max_stride = b >= 31 ? (1LL << 31) : (1LL << b);
+  std::vector<int> all;
+  all.push_back(mandatory[0]);
+  int prev = mandatory[0];
+  for (size_t k = 1; k < mandatory.size(); ++k) {
+    const int next = mandatory[k];
+    while (next - prev > max_stride) {
+      prev += static_cast<int>(max_stride);
+      all.push_back(prev);
+    }
+    all.push_back(next);
+    prev = next;
+  }
+  return all;
+}
+
+int ChoosePforWidth(const std::vector<uint64_t>& deltas, int maxbits) {
+  uint64_t best_cost = std::numeric_limits<uint64_t>::max();
+  int best_b = maxbits;
+  for (int b = 0; b <= maxbits; ++b) {
+    const auto exceptions = PforExceptionPositions(deltas, b);
+    const uint64_t cost =
+        deltas.size() * static_cast<uint64_t>(b) + exceptions.size() * 64;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+void EncodePforChunk(std::span<const int64_t> chunk, Bytes* out) {
+  const ChunkStats stats = AnalyzeChunk(chunk);
+  const std::vector<uint64_t> deltas = ChunkDeltas(chunk, stats.min);
+  const int b = ChoosePforWidth(deltas, stats.maxbits);
+  const std::vector<int> exceptions = PforExceptionPositions(deltas, b);
+
+  bitpack::PutSignedVarint(out, stats.min);
+  out->push_back(static_cast<uint8_t>(b));
+  bitpack::PutVarint(out, exceptions.size());
+  if (!exceptions.empty()) bitpack::PutVarint(out, exceptions.front());
+
+  // Slots: chain strides for exceptions, deltas otherwise.
+  std::vector<uint64_t> slots(deltas.size());
+  size_t e = 0;
+  const uint64_t slot_mask = b == 0 ? 0 : (b == 64 ? ~0ULL : (1ULL << b) - 1);
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (e < exceptions.size() && static_cast<int>(i) == exceptions[e]) {
+      slots[i] = (e + 1 < exceptions.size())
+                     ? static_cast<uint64_t>(exceptions[e + 1] - exceptions[e] - 1)
+                     : 0;
+      ++e;
+    } else {
+      slots[i] = deltas[i] & slot_mask;
+    }
+  }
+  bitpack::PackFixedAligned(slots, b, out);
+  for (int pos : exceptions) PutFixed<uint64_t>(out, deltas[pos]);
+}
+
+Status DecodePforChunk(BytesView data, size_t* offset, size_t chunk_n,
+                       std::vector<int64_t>* out) {
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+  if (*offset >= data.size()) return Status::Corruption("PFOR chunk truncated");
+  const int b = data[(*offset)++];
+  if (b > 64) return Status::Corruption("PFOR width > 64");
+  uint64_t num_exc;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &num_exc));
+  if (num_exc > chunk_n) return Status::Corruption("PFOR exception count");
+  uint64_t first_idx = 0;
+  if (num_exc > 0) {
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &first_idx));
+    if (first_idx >= chunk_n) return Status::Corruption("PFOR chain head");
+  }
+
+  const uint64_t slot_bytes = BitsToBytes(chunk_n * static_cast<uint64_t>(b));
+  if (*offset + slot_bytes + num_exc * 8 > data.size()) {
+    return Status::Corruption("PFOR payload truncated");
+  }
+  std::vector<uint64_t> slots(chunk_n);
+  BOS_RETURN_NOT_OK(
+      bitpack::UnpackFixedAligned(data, offset, b, chunk_n, slots.data()));
+
+  std::vector<uint64_t> exc(num_exc);
+  for (auto& v : exc) {
+    GetFixed<uint64_t>(data, *offset, &v);
+    *offset += 8;
+  }
+
+  // Patch along the chain, reading strides before overwriting.
+  std::vector<uint64_t> deltas = slots;
+  uint64_t pos = first_idx;
+  for (uint64_t i = 0; i < num_exc; ++i) {
+    if (pos >= chunk_n) return Status::Corruption("PFOR chain out of range");
+    const uint64_t stride = slots[pos];
+    deltas[pos] = exc[i];
+    pos = pos + 1 + stride;
+  }
+  for (uint64_t i = 0; i < chunk_n; ++i) {
+    out->push_back(static_cast<int64_t>(static_cast<uint64_t>(min) + deltas[i]));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// NewPFOR / OptPFOR (Yan et al.): low bits in slots, high bits and
+// positions compressed with Simple-8b.
+// ---------------------------------------------------------------------
+
+// Simple-8b holds at most 60-bit values, so the slot width must leave at
+// most 60 high bits.
+int MinWidthForSimple8b(int maxbits) { return std::max(0, maxbits - 60); }
+
+Status EncodeNewPforChunk(std::span<const int64_t> chunk, int b, Bytes* out) {
+  const ChunkStats stats = AnalyzeChunk(chunk);
+  const std::vector<uint64_t> deltas = ChunkDeltas(chunk, stats.min);
+
+  std::vector<uint64_t> positions, highs;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    if (BitWidth(deltas[i]) > b) {
+      positions.push_back(i);
+      highs.push_back(deltas[i] >> b);
+    }
+  }
+
+  bitpack::PutSignedVarint(out, stats.min);
+  out->push_back(static_cast<uint8_t>(b));
+  bitpack::PutVarint(out, positions.size());
+
+  const uint64_t low_mask = b == 0 ? 0 : (b == 64 ? ~0ULL : (1ULL << b) - 1);
+  std::vector<uint64_t> slots(deltas.size());
+  for (size_t i = 0; i < deltas.size(); ++i) slots[i] = deltas[i] & low_mask;
+  bitpack::PackFixedAligned(slots, b, out);
+
+  if (!positions.empty()) {
+    // Positions as first + (gap - 1) deltas: small values for Simple-8b.
+    std::vector<uint64_t> pos_deltas;
+    pos_deltas.push_back(positions[0]);
+    for (size_t i = 1; i < positions.size(); ++i) {
+      pos_deltas.push_back(positions[i] - positions[i - 1] - 1);
+    }
+    BOS_RETURN_NOT_OK(bitpack::Simple8bEncode(pos_deltas, out));
+    BOS_RETURN_NOT_OK(bitpack::Simple8bEncode(highs, out));
+  }
+  return Status::OK();
+}
+
+Status DecodeNewPforChunk(BytesView data, size_t* offset, size_t chunk_n,
+                          std::vector<int64_t>* out) {
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+  if (*offset >= data.size()) return Status::Corruption("NewPFOR chunk truncated");
+  const int b = data[(*offset)++];
+  if (b > 64) return Status::Corruption("NewPFOR width > 64");
+  uint64_t num_exc;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &num_exc));
+  if (num_exc > chunk_n) return Status::Corruption("NewPFOR exception count");
+
+  std::vector<uint64_t> deltas(chunk_n);
+  BOS_RETURN_NOT_OK(
+      bitpack::UnpackFixedAligned(data, offset, b, chunk_n, deltas.data()));
+
+  if (num_exc > 0) {
+    std::vector<uint64_t> pos_deltas, highs;
+    BOS_RETURN_NOT_OK(bitpack::Simple8bDecode(data, offset, num_exc, &pos_deltas));
+    BOS_RETURN_NOT_OK(bitpack::Simple8bDecode(data, offset, num_exc, &highs));
+    uint64_t pos = 0;
+    for (uint64_t i = 0; i < num_exc; ++i) {
+      pos = (i == 0) ? pos_deltas[0] : pos + 1 + pos_deltas[i];
+      if (pos >= chunk_n) return Status::Corruption("NewPFOR position range");
+      deltas[pos] |= highs[i] << b;
+    }
+  }
+  for (uint64_t d : deltas) {
+    out->push_back(static_cast<int64_t>(static_cast<uint64_t>(min) + d));
+  }
+  return Status::OK();
+}
+
+// NewPFOR heuristic: let ~10% of the chunk be exceptions (the paper's
+// "top 10% of values as outliers", §I-A2).
+int ChooseNewPforWidth(std::span<const int64_t> chunk) {
+  const ChunkStats stats = AnalyzeChunk(chunk);
+  std::vector<int> widths;
+  widths.reserve(chunk.size());
+  for (int64_t v : chunk) {
+    widths.push_back(BitWidth(UnsignedRange(stats.min, v)));
+  }
+  std::sort(widths.begin(), widths.end());
+  const size_t idx = (chunk.size() * 9 + 9) / 10;  // ceil(0.9 n)
+  const int b = widths[std::min(idx, chunk.size()) - 1];
+  return std::max(b, MinWidthForSimple8b(stats.maxbits));
+}
+
+// OptPFOR: exhaustive minimization of the real encoded size.
+Status EncodeOptPforChunk(std::span<const int64_t> chunk, Bytes* out) {
+  const ChunkStats stats = AnalyzeChunk(chunk);
+  Bytes best;
+  for (int b = MinWidthForSimple8b(stats.maxbits); b <= stats.maxbits; ++b) {
+    Bytes attempt;
+    BOS_RETURN_NOT_OK(EncodeNewPforChunk(chunk, b, &attempt));
+    if (best.empty() || attempt.size() < best.size()) best = std::move(attempt);
+  }
+  out->insert(out->end(), best.begin(), best.end());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// FastPFOR (Lemire & Boytsov): per-chunk low bits, exception high bits
+// grouped by bit-width into shared arrays at block scope.
+// ---------------------------------------------------------------------
+
+int ChooseFastPforWidth(const std::vector<uint64_t>& deltas, int maxbits) {
+  // Histogram of value bit-widths, as in the original's getBestBFromData.
+  std::array<uint32_t, 65> freq{};
+  for (uint64_t d : deltas) ++freq[BitWidth(d)];
+  uint64_t best_cost = std::numeric_limits<uint64_t>::max();
+  int best_b = maxbits;
+  uint32_t exceptions = 0;
+  for (int b = maxbits; b >= 0; --b) {
+    // exceptions = count of widths > b.
+    if (b < maxbits) exceptions += freq[b + 1];
+    const uint64_t cost = deltas.size() * static_cast<uint64_t>(b) +
+                          exceptions * static_cast<uint64_t>(maxbits - b + 8);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_b = b;
+    }
+  }
+  return best_b;
+}
+
+struct FastChunkMeta {
+  int b = 0;
+  int maxbits = 0;
+  std::vector<uint8_t> positions;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Operator entry points
+// ---------------------------------------------------------------------
+
+Status PforOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  for (size_t start = 0; start < values.size(); start += kChunkSize) {
+    const size_t len = std::min(kChunkSize, values.size() - start);
+    EncodePforChunk(values.subspan(start, len), out);
+  }
+  return Status::OK();
+}
+
+Status PforOperator::Decode(BytesView data, size_t* offset,
+                            std::vector<int64_t>* out) const {
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > kMaxBlockValues) return Status::Corruption("PFOR: n too large");
+  out->reserve(out->size() + n);
+  for (uint64_t done = 0; done < n; done += kChunkSize) {
+    const size_t len = std::min<uint64_t>(kChunkSize, n - done);
+    BOS_RETURN_NOT_OK(DecodePforChunk(data, offset, len, out));
+  }
+  return Status::OK();
+}
+
+Status NewPforOperator::Encode(std::span<const int64_t> values,
+                               Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  for (size_t start = 0; start < values.size(); start += kChunkSize) {
+    const size_t len = std::min(kChunkSize, values.size() - start);
+    const auto chunk = values.subspan(start, len);
+    BOS_RETURN_NOT_OK(EncodeNewPforChunk(chunk, ChooseNewPforWidth(chunk), out));
+  }
+  return Status::OK();
+}
+
+Status NewPforOperator::Decode(BytesView data, size_t* offset,
+                               std::vector<int64_t>* out) const {
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > kMaxBlockValues) return Status::Corruption("NewPFOR: n too large");
+  out->reserve(out->size() + n);
+  for (uint64_t done = 0; done < n; done += kChunkSize) {
+    const size_t len = std::min<uint64_t>(kChunkSize, n - done);
+    BOS_RETURN_NOT_OK(DecodeNewPforChunk(data, offset, len, out));
+  }
+  return Status::OK();
+}
+
+Status OptPforOperator::Encode(std::span<const int64_t> values,
+                               Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  for (size_t start = 0; start < values.size(); start += kChunkSize) {
+    const size_t len = std::min(kChunkSize, values.size() - start);
+    BOS_RETURN_NOT_OK(EncodeOptPforChunk(values.subspan(start, len), out));
+  }
+  return Status::OK();
+}
+
+Status OptPforOperator::Decode(BytesView data, size_t* offset,
+                               std::vector<int64_t>* out) const {
+  // Same chunk layout as NewPFOR; only the width selection differs.
+  NewPforOperator same_layout;
+  return same_layout.Decode(data, offset, out);
+}
+
+Status FastPforOperator::Encode(std::span<const int64_t> values,
+                                Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  if (values.empty()) return Status::OK();
+
+  // Bucketed high bits shared across chunks, keyed by width.
+  std::array<std::vector<uint64_t>, 65> buckets;
+
+  for (size_t start = 0; start < values.size(); start += kChunkSize) {
+    const size_t len = std::min(kChunkSize, values.size() - start);
+    const auto chunk = values.subspan(start, len);
+    const ChunkStats stats = AnalyzeChunk(chunk);
+    const std::vector<uint64_t> deltas = ChunkDeltas(chunk, stats.min);
+    const int b = ChooseFastPforWidth(deltas, stats.maxbits);
+    const int w = stats.maxbits - b;
+
+    std::vector<uint8_t> positions;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (BitWidth(deltas[i]) > b) {
+        positions.push_back(static_cast<uint8_t>(i));
+        buckets[w].push_back(deltas[i] >> b);
+      }
+    }
+
+    bitpack::PutSignedVarint(out, stats.min);
+    out->push_back(static_cast<uint8_t>(b));
+    out->push_back(static_cast<uint8_t>(stats.maxbits));
+    out->push_back(static_cast<uint8_t>(positions.size()));
+    out->insert(out->end(), positions.begin(), positions.end());
+
+    const uint64_t low_mask = b == 0 ? 0 : (b == 64 ? ~0ULL : (1ULL << b) - 1);
+    std::vector<uint64_t> slots(deltas.size());
+    for (size_t i = 0; i < deltas.size(); ++i) slots[i] = deltas[i] & low_mask;
+    bitpack::PackFixedAligned(slots, b, out);
+  }
+
+  // Trailer: one packed array per non-empty width bucket.
+  for (int w = 1; w <= 64; ++w) {
+    if (buckets[w].empty()) continue;
+    out->push_back(static_cast<uint8_t>(w));
+    bitpack::PutVarint(out, buckets[w].size());
+    bitpack::PackFixedAligned(buckets[w], w, out);
+  }
+  out->push_back(0);  // terminator
+  return Status::OK();
+}
+
+Status FastPforOperator::Decode(BytesView data, size_t* offset,
+                                std::vector<int64_t>* out) const {
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > kMaxBlockValues) return Status::Corruption("FastPFOR: n too large");
+  if (n == 0) return Status::OK();
+
+  struct PendingChunk {
+    int64_t min = 0;
+    int b = 0;
+    int w = 0;
+    std::vector<uint8_t> positions;
+    std::vector<uint64_t> deltas;
+  };
+  std::vector<PendingChunk> chunks;
+  for (uint64_t done = 0; done < n; done += kChunkSize) {
+    const size_t len = std::min<uint64_t>(kChunkSize, n - done);
+    PendingChunk pc;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &pc.min));
+    if (*offset + 3 > data.size()) return Status::Corruption("FastPFOR truncated");
+    pc.b = data[(*offset)++];
+    const int maxbits = data[(*offset)++];
+    const int num_exc = data[(*offset)++];
+    if (pc.b > 64 || maxbits > 64 || pc.b > maxbits ||
+        num_exc > static_cast<int>(len)) {
+      return Status::Corruption("FastPFOR chunk header");
+    }
+    pc.w = maxbits - pc.b;
+    if (*offset + num_exc > data.size()) {
+      return Status::Corruption("FastPFOR positions truncated");
+    }
+    pc.positions.assign(data.begin() + *offset, data.begin() + *offset + num_exc);
+    *offset += num_exc;
+    for (uint8_t p : pc.positions) {
+      if (p >= len) return Status::Corruption("FastPFOR position range");
+    }
+
+    pc.deltas.resize(len);
+    BOS_RETURN_NOT_OK(bitpack::UnpackFixedAligned(data, offset, pc.b, len,
+                                                  pc.deltas.data()));
+    chunks.push_back(std::move(pc));
+  }
+
+  // Trailer buckets.
+  std::array<std::vector<uint64_t>, 65> buckets;
+  for (;;) {
+    if (*offset >= data.size()) return Status::Corruption("FastPFOR trailer");
+    const int w = data[(*offset)++];
+    if (w == 0) break;
+    if (w > 64) return Status::Corruption("FastPFOR trailer width");
+    uint64_t count;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &count));
+    if (count > n) return Status::Corruption("FastPFOR trailer count");
+    buckets[w].resize(count);
+    BOS_RETURN_NOT_OK(bitpack::UnpackFixedAligned(data, offset, w, count,
+                                                  buckets[w].data()));
+  }
+
+  std::array<size_t, 65> cursors{};
+  out->reserve(out->size() + n);
+  for (const PendingChunk& pc : chunks) {
+    std::vector<uint64_t> deltas = pc.deltas;
+    for (uint8_t p : pc.positions) {
+      if (cursors[pc.w] >= buckets[pc.w].size()) {
+        return Status::Corruption("FastPFOR bucket underflow");
+      }
+      deltas[p] |= buckets[pc.w][cursors[pc.w]++] << pc.b;
+    }
+    for (uint64_t d : deltas) {
+      out->push_back(static_cast<int64_t>(static_cast<uint64_t>(pc.min) + d));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::pfor

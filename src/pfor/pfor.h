@@ -1,0 +1,60 @@
+#ifndef BOS_PFOR_PFOR_H_
+#define BOS_PFOR_PFOR_H_
+
+#include "core/packing.h"
+
+namespace bos::pfor {
+
+/// \brief PFOR (Zukowski et al., ICDE'06): patched frame-of-reference.
+///
+/// Each 128-value chunk picks a slot width b; values whose delta from the
+/// chunk minimum does not fit become exceptions. Exception *positions* are
+/// kept as an in-slot linked list (each exception's slot holds the gap to
+/// the next exception), which forces a *compulsory* exception whenever a
+/// gap would exceed 2^b — the weakness the paper calls out in §II-C.
+/// Exception values are stored uncompressed (8 bytes each), as in the
+/// original design.
+class PforOperator final : public core::PackingOperator {
+ public:
+  std::string_view name() const override { return "PFOR"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+/// \brief NewPFOR (Yan et al., WWW'09): exceptions keep their low b bits
+/// in the slot; high bits and positions are compressed with Simple-8b, so
+/// compulsory exceptions disappear. b follows the paper's heuristic of
+/// letting ~10% of the values be outliers (the 90th-percentile bit-width).
+class NewPforOperator final : public core::PackingOperator {
+ public:
+  std::string_view name() const override { return "NEWPFOR"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+/// \brief OptPFOR (Yan et al., WWW'09): NewPFOR's layout with b chosen per
+/// chunk by exhaustively minimizing the actual encoded size.
+class OptPforOperator final : public core::PackingOperator {
+ public:
+  std::string_view name() const override { return "OPTPFOR"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+/// \brief FastPFOR (Lemire & Boytsov, SP&E'15): per-chunk slot width with
+/// exception high bits grouped by bit-width into shared arrays packed at
+/// the end of the block — the "pages" of the original, at block scope.
+class FastPforOperator final : public core::PackingOperator {
+ public:
+  std::string_view name() const override { return "FASTPFOR"; }
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+};
+
+}  // namespace bos::pfor
+
+#endif  // BOS_PFOR_PFOR_H_

@@ -1,0 +1,25 @@
+#include "pfor/pfor_common.h"
+
+#include "bitpack/bitpacking.h"
+#include "util/bits.h"
+
+namespace bos::pfor {
+
+ChunkStats AnalyzeChunk(std::span<const int64_t> chunk) {
+  const auto mm = bitpack::ComputeMinMax(chunk);
+  ChunkStats stats;
+  stats.min = mm.min;
+  stats.max_delta = UnsignedRange(mm.min, mm.max);
+  stats.maxbits = BitWidth(stats.max_delta);
+  return stats;
+}
+
+std::vector<uint64_t> ChunkDeltas(std::span<const int64_t> chunk, int64_t min) {
+  std::vector<uint64_t> deltas(chunk.size());
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    deltas[i] = UnsignedRange(min, chunk[i]);
+  }
+  return deltas;
+}
+
+}  // namespace bos::pfor

@@ -1,0 +1,30 @@
+#ifndef BOS_PFOR_PFOR_COMMON_H_
+#define BOS_PFOR_PFOR_COMMON_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bos::pfor {
+
+/// All PFOR-family operators work on sub-blocks of 128 values, the
+/// granularity of NewPFOR/OptPFOR (Yan et al.) and FastPFOR (Lemire &
+/// Boytsov).
+inline constexpr size_t kChunkSize = 128;
+
+/// Frame-of-reference statistics of one chunk.
+struct ChunkStats {
+  int64_t min = 0;
+  uint64_t max_delta = 0;  ///< max - min as unsigned
+  int maxbits = 0;         ///< BitWidth(max_delta)
+};
+
+ChunkStats AnalyzeChunk(std::span<const int64_t> chunk);
+
+/// Deltas of a chunk relative to its minimum.
+std::vector<uint64_t> ChunkDeltas(std::span<const int64_t> chunk,
+                                  int64_t min);
+
+}  // namespace bos::pfor
+
+#endif  // BOS_PFOR_PFOR_COMMON_H_

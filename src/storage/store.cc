@@ -1,0 +1,250 @@
+#include "storage/store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+#include "codecs/advisor.h"
+#include "util/macros.h"
+
+namespace bos::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kFileSuffix = ".tsfile";
+
+bool TimeLess(const codecs::DataPoint& a, const codecs::DataPoint& b) {
+  return a.timestamp < b.timestamp;
+}
+
+}  // namespace
+
+TsStore::TsStore(StoreOptions options) : options_(std::move(options)) {}
+
+TsStore::~TsStore() = default;
+
+Result<std::unique_ptr<TsStore>> TsStore::Open(const StoreOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("store directory must be set");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) return Status::IoError("cannot create " + options.dir);
+
+  auto store = std::unique_ptr<TsStore>(new TsStore(options));
+
+  if (options.enable_wal) {
+    const std::string wal_path = (fs::path(options.dir) / "wal").string();
+    // Recover any points that never made it into an immutable file.
+    BOS_ASSIGN_OR_RETURN(
+        const uint64_t replayed,
+        ReplayWal(wal_path, [&store](const std::string& series,
+                                     const codecs::DataPoint& point) {
+          store->memtable_[series].push_back(point);
+          ++store->memtable_size_;
+        }));
+    (void)replayed;
+    store->wal_ = std::make_unique<WalWriter>(wal_path);
+    BOS_RETURN_NOT_OK(store->wal_->Open());
+  }
+
+  // Adopt existing files, oldest (lowest sequence) first.
+  std::vector<std::string> found;
+  for (const auto& entry : fs::directory_iterator(options.dir, ec)) {
+    if (entry.path().extension() == kFileSuffix) {
+      found.push_back(entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  for (const std::string& path : found) {
+    // Validate eagerly so a corrupt store fails at open, not at query.
+    TsFileReader reader;
+    BOS_RETURN_NOT_OK(reader.Open(path));
+    store->files_.push_back(path);
+  }
+  store->next_file_seq_ = found.size();
+  return store;
+}
+
+Result<TsFileReader*> TsStore::ReaderFor(const std::string& path) {
+  auto it = readers_.find(path);
+  if (it == readers_.end()) {
+    auto reader = std::make_unique<TsFileReader>();
+    BOS_RETURN_NOT_OK(reader->Open(path));
+    it = readers_.emplace(path, std::move(reader)).first;
+  }
+  return it->second.get();
+}
+
+std::string TsStore::NextFileName() {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%08llu%s",
+                static_cast<unsigned long long>(next_file_seq_++), kFileSuffix);
+  return (fs::path(options_.dir) / name).string();
+}
+
+Status TsStore::Write(const std::string& series, codecs::DataPoint point) {
+  if (wal_ != nullptr) BOS_RETURN_NOT_OK(wal_->Append(series, point));
+  memtable_[series].push_back(point);
+  ++memtable_size_;
+  if (memtable_size_ >= options_.memtable_points) return Flush();
+  return Status::OK();
+}
+
+Status TsStore::WriteBatch(const std::string& series,
+                           std::span<const codecs::DataPoint> points) {
+  if (wal_ != nullptr) {
+    for (const codecs::DataPoint& p : points) {
+      BOS_RETURN_NOT_OK(wal_->Append(series, p));
+    }
+  }
+  auto& buffer = memtable_[series];
+  buffer.insert(buffer.end(), points.begin(), points.end());
+  memtable_size_ += points.size();
+  if (memtable_size_ >= options_.memtable_points) return Flush();
+  return Status::OK();
+}
+
+std::string TsStore::SpecFor(const std::string& series) const {
+  const auto it = advised_specs_.find(series);
+  return it != advised_specs_.end() ? it->second : options_.spec;
+}
+
+Status TsStore::Flush() {
+  if (memtable_size_ == 0) return Status::OK();
+  const std::string path = NextFileName();
+  TsFileWriter writer(path, options_.page_size);
+  BOS_RETURN_NOT_OK(writer.Open());
+  for (auto& [series, points] : memtable_) {
+    std::stable_sort(points.begin(), points.end(), TimeLess);
+    if (options_.auto_advise && advised_specs_.find(series) == advised_specs_.end()) {
+      std::vector<int64_t> values(points.size());
+      for (size_t i = 0; i < points.size(); ++i) values[i] = points[i].value;
+      auto rec = codecs::AdviseCodec(values);
+      if (rec.ok()) {
+        const size_t bar = options_.spec.find('|');
+        const std::string time_half =
+            bar == std::string::npos ? "TS2DIFF+BOS-B"
+                                     : options_.spec.substr(0, bar);
+        advised_specs_[series] = time_half + "|" + rec->spec;
+      }
+    }
+    BOS_RETURN_NOT_OK(writer.AppendTimeSeries(series, SpecFor(series), points));
+  }
+  BOS_RETURN_NOT_OK(writer.Finish());
+  files_.push_back(path);
+  memtable_.clear();
+  memtable_size_ = 0;
+  // The flushed points are durable in the file; the log restarts empty.
+  if (wal_ != nullptr) BOS_RETURN_NOT_OK(wal_->Reset());
+  return Status::OK();
+}
+
+Status TsStore::Query(const std::string& series, int64_t t_min, int64_t t_max,
+                      std::vector<codecs::DataPoint>* out) {
+  std::vector<codecs::DataPoint> merged;
+  for (const std::string& path : files_) {
+    BOS_ASSIGN_OR_RETURN(TsFileReader* reader, ReaderFor(path));
+    if (!reader->FindSeries(series).ok()) continue;  // not in this file
+    BOS_RETURN_NOT_OK(reader->ReadTimeRange(series, t_min, t_max, &merged));
+  }
+  const auto it = memtable_.find(series);
+  if (it != memtable_.end()) {
+    for (const codecs::DataPoint& p : it->second) {
+      if (p.timestamp >= t_min && p.timestamp <= t_max) merged.push_back(p);
+    }
+  }
+  // Files are time-sorted individually but may interleave; a stable sort
+  // keeps older files (and the memtable last) in write order on ties.
+  std::stable_sort(merged.begin(), merged.end(), TimeLess);
+  out->insert(out->end(), merged.begin(), merged.end());
+  return Status::OK();
+}
+
+Result<AggregateResult> TsStore::Aggregate(const std::string& series) {
+  AggregateResult agg;
+  bool first = true;
+  auto fold = [&](const AggregateResult& part) {
+    if (part.count == 0) return;
+    agg.count += part.count;
+    if (first) {
+      agg.min = part.min;
+      agg.max = part.max;
+      first = false;
+    } else {
+      agg.min = std::min(agg.min, part.min);
+      agg.max = std::max(agg.max, part.max);
+    }
+    agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
+                                   static_cast<uint64_t>(part.sum));
+  };
+
+  for (const std::string& path : files_) {
+    BOS_ASSIGN_OR_RETURN(TsFileReader* reader, ReaderFor(path));
+    if (!reader->FindSeries(series).ok()) continue;
+    BOS_ASSIGN_OR_RETURN(const AggregateResult part,
+                         reader->AggregateQuery(series));
+    fold(part);
+  }
+  const auto it = memtable_.find(series);
+  if (it != memtable_.end() && !it->second.empty()) {
+    AggregateResult part;
+    part.count = it->second.size();
+    part.min = part.max = it->second.front().value;
+    for (const codecs::DataPoint& p : it->second) {
+      part.min = std::min(part.min, p.value);
+      part.max = std::max(part.max, p.value);
+      part.sum = static_cast<int64_t>(static_cast<uint64_t>(part.sum) +
+                                      static_cast<uint64_t>(p.value));
+    }
+    fold(part);
+  }
+  return agg;
+}
+
+Status TsStore::Compact() {
+  BOS_RETURN_NOT_OK(Flush());
+  if (files_.size() <= 1) return Status::OK();
+
+  // Collect every series across all files, fully merged.
+  std::set<std::string> names;
+  for (const std::string& path : files_) {
+    BOS_ASSIGN_OR_RETURN(TsFileReader* reader, ReaderFor(path));
+    for (const SeriesInfo& s : reader->series()) names.insert(s.name);
+  }
+
+  const std::string path = NextFileName();
+  TsFileWriter writer(path, options_.page_size);
+  BOS_RETURN_NOT_OK(writer.Open());
+  for (const std::string& name : names) {
+    std::vector<codecs::DataPoint> all;
+    BOS_RETURN_NOT_OK(Query(name, INT64_MIN, INT64_MAX, &all));
+    BOS_RETURN_NOT_OK(writer.AppendTimeSeries(name, options_.spec, all));
+  }
+  BOS_RETURN_NOT_OK(writer.Finish());
+
+  std::error_code ec;
+  for (const std::string& old : files_) {
+    readers_.erase(old);
+    fs::remove(old, ec);
+  }
+  files_.assign(1, path);
+  return Status::OK();
+}
+
+std::vector<std::string> TsStore::ListSeries() const {
+  std::set<std::string> names;
+  for (const auto& [series, points] : memtable_) names.insert(series);
+  for (const std::string& path : files_) {
+    TsFileReader reader;
+    if (!reader.Open(path).ok()) continue;  // const method: no cache access
+    for (const SeriesInfo& s : reader.series()) names.insert(s.name);
+  }
+  return {names.begin(), names.end()};
+}
+
+size_t TsStore::memtable_points() const { return memtable_size_; }
+size_t TsStore::num_files() const { return files_.size(); }
+
+}  // namespace bos::storage

@@ -1,0 +1,112 @@
+#ifndef BOS_STORAGE_STORE_H_
+#define BOS_STORAGE_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codecs/timeseries.h"
+#include "storage/tsfile.h"
+#include "storage/wal.h"
+#include "util/result.h"
+
+namespace bos::storage {
+
+/// Options for TsStore.
+struct StoreOptions {
+  std::string dir;  ///< directory holding the flushed TsFile-lite files
+
+  /// Points buffered across all series before an automatic flush.
+  size_t memtable_points = 65536;
+
+  /// Codec spec ("time_spec|value_spec") for flushed series.
+  std::string spec = "TS2DIFF+BOS-B|TS2DIFF+BOS-B";
+
+  /// Values per page inside flushed files.
+  size_t page_size = codecs::kDefaultBlockSize;
+
+  /// Write-ahead logging: memtable writes are appended to `<dir>/wal`
+  /// and replayed on Open, so un-flushed points survive a crash.
+  bool enable_wal = true;
+
+  /// When true, the first flush of each series runs the encoding advisor
+  /// on its values and pins the recommended value codec for that series
+  /// (timestamps keep the spec's time half).
+  bool auto_advise = false;
+};
+
+/// \brief A miniature IoTDB-style time-series store: an in-memory
+/// memtable absorbs writes (out-of-order allowed), flushes sort each
+/// series by time and persist one immutable TsFile-lite file per flush,
+/// and queries merge the memtable with every on-disk file. `Compact()`
+/// folds all files into one.
+///
+/// This is the write/read path BOS sits on in its Apache IoTDB
+/// deployment (paper §VII), at laptop scale. Single-threaded by design;
+/// callers serialize access.
+class TsStore {
+ public:
+  /// Opens (or creates) a store in `options.dir`, adopting any TsFile-lite
+  /// files already present from previous runs.
+  static Result<std::unique_ptr<TsStore>> Open(const StoreOptions& options);
+
+  ~TsStore();
+  TsStore(const TsStore&) = delete;
+  TsStore& operator=(const TsStore&) = delete;
+
+  /// Buffers one point; flushes automatically past the memtable limit.
+  Status Write(const std::string& series, codecs::DataPoint point);
+
+  /// Buffers many points.
+  Status WriteBatch(const std::string& series,
+                    std::span<const codecs::DataPoint> points);
+
+  /// Persists the memtable as a new immutable file (no-op when empty).
+  Status Flush();
+
+  /// Points of `series` with timestamp in [t_min, t_max], merged across
+  /// the memtable and all files, sorted by timestamp.
+  Status Query(const std::string& series, int64_t t_min, int64_t t_max,
+               std::vector<codecs::DataPoint>* out);
+
+  /// count/min/max/sum over the series' *values*: pushdown over on-disk
+  /// page statistics plus a scan of the memtable tail.
+  Result<AggregateResult> Aggregate(const std::string& series);
+
+  /// Merges every on-disk file into a single new file. The memtable is
+  /// flushed first.
+  Status Compact();
+
+  /// All series names across memtable and files, sorted.
+  std::vector<std::string> ListSeries() const;
+
+  /// The codec spec a series flushes with ("time|value"); reflects the
+  /// advisor's pick once auto_advise has seen the series.
+  std::string SpecFor(const std::string& series) const;
+
+  size_t memtable_points() const;
+  size_t num_files() const;
+
+ private:
+  explicit TsStore(StoreOptions options);
+
+  std::string NextFileName();
+
+  /// Cached reader for an immutable file (files never change once
+  /// written, so readers stay valid until the file is removed).
+  Result<TsFileReader*> ReaderFor(const std::string& path);
+
+  StoreOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  std::map<std::string, std::unique_ptr<TsFileReader>> readers_;
+  std::map<std::string, std::vector<codecs::DataPoint>> memtable_;
+  size_t memtable_size_ = 0;
+  std::vector<std::string> files_;  // oldest first
+  std::map<std::string, std::string> advised_specs_;
+  uint64_t next_file_seq_ = 0;
+};
+
+}  // namespace bos::storage
+
+#endif  // BOS_STORAGE_STORE_H_

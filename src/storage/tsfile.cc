@@ -1,0 +1,544 @@
+#include "storage/tsfile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bitpack/varint.h"
+#include "codecs/registry.h"
+#include "util/crc32.h"
+#include "util/macros.h"
+
+namespace bos::storage {
+namespace {
+
+constexpr char kMagic[4] = {'B', 'O', 'S', '1'};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void PutString(Bytes* out, const std::string& s) {
+  bitpack::PutVarint(out, s.size());
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Status GetString(BytesView data, size_t* offset, std::string* s) {
+  uint64_t len;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &len));
+  if (*offset + len > data.size()) return Status::Corruption("string truncated");
+  s->assign(reinterpret_cast<const char*>(data.data() + *offset), len);
+  *offset += len;
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct TsFileWriter::Impl {
+  std::FILE* file = nullptr;
+  uint64_t offset = 0;
+  std::vector<SeriesInfo> series;
+  bool finished = false;
+
+  ~Impl() {
+    if (file != nullptr) std::fclose(file);
+  }
+
+  Status Write(const void* data, size_t size) {
+    if (std::fwrite(data, 1, size, file) != size) {
+      return Status::IoError("short write");
+    }
+    offset += size;
+    return Status::OK();
+  }
+};
+
+TsFileWriter::TsFileWriter(std::string path, size_t page_size)
+    : path_(std::move(path)), page_size_(page_size),
+      impl_(std::make_unique<Impl>()) {}
+
+TsFileWriter::~TsFileWriter() = default;
+
+Status TsFileWriter::Open() {
+  impl_->file = std::fopen(path_.c_str(), "wb");
+  if (impl_->file == nullptr) {
+    return Status::IoError("cannot create " + path_);
+  }
+  return impl_->Write(kMagic, sizeof(kMagic));
+}
+
+Status TsFileWriter::CheckAppendable(const std::string& name) const {
+  if (impl_->file == nullptr || impl_->finished) {
+    return Status::InvalidArgument("writer not open");
+  }
+  for (const SeriesInfo& s : impl_->series) {
+    if (s.name == name) {
+      return Status::InvalidArgument("duplicate series: " + name);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Value statistics of one page, for aggregate pushdown.
+void FillValueStats(std::span<const int64_t> values, PageInfo* pi) {
+  if (values.empty()) return;
+  pi->min_value = pi->max_value = values[0];
+  uint64_t sum = 0;
+  for (int64_t v : values) {
+    pi->min_value = std::min(pi->min_value, v);
+    pi->max_value = std::max(pi->max_value, v);
+    sum += static_cast<uint64_t>(v);
+  }
+  pi->sum_value = static_cast<int64_t>(sum);
+}
+
+}  // namespace
+
+Status TsFileWriter::WritePage(const Bytes& payload, uint64_t count,
+                               uint64_t first_index, int64_t min_time,
+                               int64_t max_time,
+                               std::span<const int64_t> values,
+                               SeriesInfo* info) {
+  Bytes page;
+  bitpack::PutVarint(&page, count);
+  bitpack::PutVarint(&page, payload.size());
+  page.insert(page.end(), payload.begin(), payload.end());
+  PutFixed<uint32_t>(&page, Crc32(payload.data(), payload.size()));
+
+  PageInfo pi;
+  pi.offset = impl_->offset;
+  pi.size = page.size();
+  pi.count = count;
+  pi.first_index = first_index;
+  pi.min_time = min_time;
+  pi.max_time = max_time;
+  FillValueStats(values, &pi);
+  info->pages.push_back(pi);
+  return impl_->Write(page.data(), page.size());
+}
+
+Status TsFileWriter::AppendSeries(const std::string& name,
+                                  std::string_view spec,
+                                  std::span<const int64_t> values) {
+  BOS_RETURN_NOT_OK(CheckAppendable(name));
+  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(spec, page_size_));
+
+  SeriesInfo info;
+  info.name = name;
+  info.codec_spec = std::string(spec);
+  info.num_values = values.size();
+
+  for (size_t start = 0; start == 0 || start < values.size();
+       start += page_size_) {
+    const size_t len = std::min(page_size_, values.size() - start);
+    const auto page_values = values.subspan(start, len);
+    Bytes payload;
+    BOS_RETURN_NOT_OK(codec->Compress(page_values, &payload));
+    BOS_RETURN_NOT_OK(WritePage(payload, len, start, 0, 0, page_values, &info));
+    if (values.empty()) break;  // single empty page
+  }
+  impl_->series.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status TsFileWriter::AppendTimeSeries(
+    const std::string& name, std::string_view spec,
+    std::span<const codecs::DataPoint> points) {
+  BOS_RETURN_NOT_OK(CheckAppendable(name));
+  BOS_ASSIGN_OR_RETURN(auto codec,
+                       codecs::MakeTimeSeriesCodec(spec, page_size_));
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].timestamp < points[i - 1].timestamp) {
+      return Status::InvalidArgument("time series must be sorted by time");
+    }
+  }
+
+  SeriesInfo info;
+  info.name = name;
+  info.codec_spec = std::string(spec);
+  info.timed = true;
+  info.num_values = points.size();
+
+  for (size_t start = 0; start == 0 || start < points.size();
+       start += page_size_) {
+    const size_t len = std::min(page_size_, points.size() - start);
+    Bytes payload;
+    BOS_RETURN_NOT_OK(codec->Compress(points.subspan(start, len), &payload));
+    const int64_t min_time = len > 0 ? points[start].timestamp : 0;
+    const int64_t max_time = len > 0 ? points[start + len - 1].timestamp : 0;
+    std::vector<int64_t> page_values(len);
+    for (size_t i = 0; i < len; ++i) page_values[i] = points[start + i].value;
+    BOS_RETURN_NOT_OK(
+        WritePage(payload, len, start, min_time, max_time, page_values, &info));
+    if (points.empty()) break;  // single empty page
+  }
+  impl_->series.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status TsFileWriter::Finish() {
+  if (impl_->file == nullptr || impl_->finished) {
+    return Status::InvalidArgument("writer not open");
+  }
+  const uint64_t footer_offset = impl_->offset;
+  Bytes footer;
+  bitpack::PutVarint(&footer, impl_->series.size());
+  for (const SeriesInfo& s : impl_->series) {
+    PutString(&footer, s.name);
+    PutString(&footer, s.codec_spec);
+    footer.push_back(s.timed ? 1 : 0);
+    bitpack::PutVarint(&footer, s.num_values);
+    bitpack::PutVarint(&footer, s.pages.size());
+    for (const PageInfo& p : s.pages) {
+      bitpack::PutVarint(&footer, p.offset);
+      bitpack::PutVarint(&footer, p.size);
+      bitpack::PutVarint(&footer, p.count);
+      bitpack::PutVarint(&footer, p.first_index);
+      bitpack::PutSignedVarint(&footer, p.min_time);
+      bitpack::PutSignedVarint(&footer, p.max_time);
+      bitpack::PutSignedVarint(&footer, p.min_value);
+      bitpack::PutSignedVarint(&footer, p.max_value);
+      bitpack::PutSignedVarint(&footer, p.sum_value);
+    }
+  }
+  PutFixed<uint32_t>(&footer, Crc32(footer.data(), footer.size()));
+  BOS_RETURN_NOT_OK(impl_->Write(footer.data(), footer.size()));
+  Bytes tail;
+  PutFixed<uint64_t>(&tail, footer_offset);
+  tail.insert(tail.end(), kMagic, kMagic + sizeof(kMagic));
+  BOS_RETURN_NOT_OK(impl_->Write(tail.data(), tail.size()));
+  if (std::fclose(impl_->file) != 0) {
+    impl_->file = nullptr;
+    return Status::IoError("close failed");
+  }
+  impl_->file = nullptr;
+  impl_->finished = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct TsFileReader::Impl {
+  std::FILE* file = nullptr;
+  uint64_t file_size = 0;
+  std::vector<SeriesInfo> series;
+
+  ~Impl() {
+    if (file != nullptr) std::fclose(file);
+  }
+
+  Status ReadAt(uint64_t offset, uint64_t size, Bytes* out) {
+    out->resize(size);
+    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("seek failed");
+    }
+    if (std::fread(out->data(), 1, size, file) != size) {
+      return Status::IoError("short read");
+    }
+    return Status::OK();
+  }
+
+  const SeriesInfo* Find(const std::string& name) const {
+    for (const SeriesInfo& s : series) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  // Reads and CRC-checks one page; `raw` receives the page bytes and
+  // `payload` the validated codec payload view into it.
+  Status FetchPagePayload(const SeriesInfo& info, const PageInfo& page,
+                          Bytes* raw, BytesView* payload, ScanStats* stats) {
+    const auto io_start = std::chrono::steady_clock::now();
+    BOS_RETURN_NOT_OK(ReadAt(page.offset, page.size, raw));
+    if (stats != nullptr) {
+      stats->io_seconds += SecondsSince(io_start);
+      stats->bytes_read += page.size;
+      ++stats->pages_read;
+    }
+
+    size_t pos = 0;
+    uint64_t count, payload_size;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(*raw, &pos, &count));
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(*raw, &pos, &payload_size));
+    if (pos + payload_size + 4 != raw->size() || count != page.count) {
+      return Status::Corruption("page header mismatch");
+    }
+    uint32_t crc = 0;
+    GetFixed<uint32_t>(*raw, pos + payload_size, &crc);
+    if (crc != Crc32(raw->data() + pos, payload_size)) {
+      return Status::Corruption("page CRC mismatch in series " + info.name);
+    }
+    *payload = BytesView(*raw).subspan(pos, payload_size);
+    return Status::OK();
+  }
+
+  // Fetches and decodes one plain (untimed) page, appending to `out`.
+  Status ReadPage(const SeriesInfo& info, const PageInfo& page,
+                  const codecs::SeriesCodec& codec, std::vector<int64_t>* out,
+                  ScanStats* stats) {
+    Bytes raw;
+    BytesView payload;
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    const auto decode_start = std::chrono::steady_clock::now();
+    const size_t before = out->size();
+    BOS_RETURN_NOT_OK(codec.Decompress(payload, out));
+    if (out->size() - before != page.count) {
+      return Status::Corruption("page value count mismatch");
+    }
+    if (stats != nullptr) {
+      stats->decode_seconds += SecondsSince(decode_start);
+      stats->values_scanned += page.count;
+    }
+    return Status::OK();
+  }
+
+  // Fetches and decodes one timed page, appending to `out`.
+  Status ReadTimedPage(const SeriesInfo& info, const PageInfo& page,
+                       const codecs::TimeSeriesCodec& codec,
+                       std::vector<codecs::DataPoint>* out, ScanStats* stats) {
+    Bytes raw;
+    BytesView payload;
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    const auto decode_start = std::chrono::steady_clock::now();
+    const size_t before = out->size();
+    BOS_RETURN_NOT_OK(codec.Decompress(payload, out));
+    if (out->size() - before != page.count) {
+      return Status::Corruption("page point count mismatch");
+    }
+    if (stats != nullptr) {
+      stats->decode_seconds += SecondsSince(decode_start);
+      stats->values_scanned += page.count;
+    }
+    return Status::OK();
+  }
+};
+
+TsFileReader::TsFileReader() : impl_(std::make_unique<Impl>()) {}
+TsFileReader::~TsFileReader() = default;
+
+Status TsFileReader::Open(const std::string& path) {
+  impl_->file = std::fopen(path.c_str(), "rb");
+  if (impl_->file == nullptr) return Status::IoError("cannot open " + path);
+  if (std::fseek(impl_->file, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed");
+  }
+  impl_->file_size = static_cast<uint64_t>(std::ftell(impl_->file));
+  if (impl_->file_size < sizeof(kMagic) * 2 + 8 + 4) {
+    return Status::Corruption("file too small");
+  }
+
+  Bytes head;
+  BOS_RETURN_NOT_OK(impl_->ReadAt(0, sizeof(kMagic), &head));
+  Bytes tail;
+  BOS_RETURN_NOT_OK(
+      impl_->ReadAt(impl_->file_size - 12, 12, &tail));
+  if (std::memcmp(head.data(), kMagic, 4) != 0 ||
+      std::memcmp(tail.data() + 8, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  uint64_t footer_offset = 0;
+  GetFixed<uint64_t>(tail, 0, &footer_offset);
+  if (footer_offset >= impl_->file_size - 12 || footer_offset < 4) {
+    return Status::Corruption("bad footer offset");
+  }
+
+  Bytes footer;
+  BOS_RETURN_NOT_OK(impl_->ReadAt(footer_offset,
+                                  impl_->file_size - 12 - footer_offset,
+                                  &footer));
+  if (footer.size() < 4) return Status::Corruption("footer too small");
+  uint32_t crc = 0;
+  GetFixed<uint32_t>(footer, footer.size() - 4, &crc);
+  if (crc != Crc32(footer.data(), footer.size() - 4)) {
+    return Status::Corruption("footer CRC mismatch");
+  }
+
+  size_t pos = 0;
+  uint64_t num_series;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &num_series));
+  if (num_series > 1'000'000) return Status::Corruption("series count");
+  impl_->series.clear();
+  for (uint64_t i = 0; i < num_series; ++i) {
+    SeriesInfo info;
+    BOS_RETURN_NOT_OK(GetString(footer, &pos, &info.name));
+    BOS_RETURN_NOT_OK(GetString(footer, &pos, &info.codec_spec));
+    if (pos >= footer.size()) return Status::Corruption("footer truncated");
+    info.timed = footer[pos++] != 0;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &info.num_values));
+    uint64_t num_pages;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &num_pages));
+    if (num_pages > impl_->file_size) return Status::Corruption("page count");
+    for (uint64_t p = 0; p < num_pages; ++p) {
+      PageInfo page;
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &page.offset));
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &page.size));
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &page.count));
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &page.first_index));
+      BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.min_time));
+      BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.max_time));
+      BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.min_value));
+      BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.max_value));
+      BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.sum_value));
+      if (page.offset + page.size > footer_offset) {
+        return Status::Corruption("page out of bounds");
+      }
+      info.pages.push_back(page);
+    }
+    impl_->series.push_back(std::move(info));
+  }
+  return Status::OK();
+}
+
+const std::vector<SeriesInfo>& TsFileReader::series() const {
+  return impl_->series;
+}
+
+Result<const SeriesInfo*> TsFileReader::FindSeries(
+    const std::string& name) const {
+  const SeriesInfo* info = impl_->Find(name);
+  if (info == nullptr) return Status::InvalidArgument("no series: " + name);
+  return info;
+}
+
+uint64_t TsFileReader::file_size() const { return impl_->file_size; }
+
+Status TsFileReader::ReadSeries(const std::string& name,
+                                std::vector<int64_t>* out, ScanStats* stats) {
+  return ReadRange(name, 0, UINT64_MAX, out, stats);
+}
+
+Status TsFileReader::ReadRange(const std::string& name, uint64_t first,
+                               uint64_t last, std::vector<int64_t>* out,
+                               ScanStats* stats) {
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  if (info->timed) {
+    return Status::InvalidArgument("series is timed; use ReadTimeSeries: " +
+                                   name);
+  }
+  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  std::vector<int64_t> page_values;
+  for (const PageInfo& page : info->pages) {
+    const uint64_t page_last = page.first_index + page.count;
+    if (page.count == 0 || page_last <= first || page.first_index > last) {
+      continue;  // pruned
+    }
+    page_values.clear();
+    BOS_RETURN_NOT_OK(impl_->ReadPage(*info, page, *codec, &page_values, stats));
+    const uint64_t lo = std::max(first, page.first_index) - page.first_index;
+    const uint64_t hi =
+        std::min<uint64_t>(last - page.first_index, page.count - 1);
+    for (uint64_t i = lo; i <= hi; ++i) out->push_back(page_values[i]);
+  }
+  return Status::OK();
+}
+
+Status TsFileReader::ReadValueRange(
+    const std::string& name, int64_t v_min, int64_t v_max,
+    std::vector<std::pair<uint64_t, int64_t>>* out, ScanStats* stats) {
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  if (info->timed) {
+    return Status::InvalidArgument("series is timed; use ReadTimeRange: " +
+                                   name);
+  }
+  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  std::vector<int64_t> page_values;
+  for (const PageInfo& page : info->pages) {
+    if (page.count == 0 || page.max_value < v_min || page.min_value > v_max) {
+      continue;  // pruned by value statistics
+    }
+    page_values.clear();
+    BOS_RETURN_NOT_OK(impl_->ReadPage(*info, page, *codec, &page_values, stats));
+    for (uint64_t i = 0; i < page.count; ++i) {
+      if (page_values[i] >= v_min && page_values[i] <= v_max) {
+        out->emplace_back(page.first_index + i, page_values[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TsFileReader::ReadTimeSeries(const std::string& name,
+                                    std::vector<codecs::DataPoint>* out,
+                                    ScanStats* stats) {
+  return ReadTimeRange(name, INT64_MIN, INT64_MAX, out, stats);
+}
+
+Status TsFileReader::ReadTimeRange(const std::string& name, int64_t t_min,
+                                   int64_t t_max,
+                                   std::vector<codecs::DataPoint>* out,
+                                   ScanStats* stats) {
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  if (!info->timed) {
+    return Status::InvalidArgument("series is not timed: " + name);
+  }
+  BOS_ASSIGN_OR_RETURN(auto codec,
+                       codecs::MakeTimeSeriesCodec(info->codec_spec));
+  std::vector<codecs::DataPoint> page_points;
+  for (const PageInfo& page : info->pages) {
+    if (page.count == 0 || page.max_time < t_min || page.min_time > t_max) {
+      continue;  // pruned by the page time index
+    }
+    page_points.clear();
+    BOS_RETURN_NOT_OK(
+        impl_->ReadTimedPage(*info, page, *codec, &page_points, stats));
+    for (const codecs::DataPoint& p : page_points) {
+      if (p.timestamp >= t_min && p.timestamp <= t_max) out->push_back(p);
+    }
+  }
+  return Status::OK();
+}
+
+Result<AggregateResult> TsFileReader::AggregateQuery(const std::string& name,
+                                                     ScanStats* stats) {
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  // Pushdown: combine the footer's per-page statistics. No page IO.
+  (void)stats;  // nothing is read, so the stats stay zero by design
+  AggregateResult agg;
+  bool first = true;
+  for (const PageInfo& page : info->pages) {
+    if (page.count == 0) continue;
+    agg.count += page.count;
+    if (first) {
+      agg.min = page.min_value;
+      agg.max = page.max_value;
+      first = false;
+    } else {
+      agg.min = std::min(agg.min, page.min_value);
+      agg.max = std::max(agg.max, page.max_value);
+    }
+    agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
+                                   static_cast<uint64_t>(page.sum_value));
+  }
+  return agg;
+}
+
+Result<AggregateResult> TsFileReader::AggregateQueryScan(
+    const std::string& name, ScanStats* stats) {
+  std::vector<int64_t> values;
+  BOS_RETURN_NOT_OK(ReadSeries(name, &values, stats));
+  AggregateResult agg;
+  agg.count = values.size();
+  if (!values.empty()) {
+    agg.min = agg.max = values[0];
+    for (int64_t v : values) {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+      agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
+                                     static_cast<uint64_t>(v));
+    }
+  }
+  return agg;
+}
+
+}  // namespace bos::storage

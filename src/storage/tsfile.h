@@ -1,0 +1,176 @@
+#ifndef BOS_STORAGE_TSFILE_H_
+#define BOS_STORAGE_TSFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codecs/series_codec.h"
+#include "codecs/timeseries.h"
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::storage {
+
+/// \brief TsFile-lite: a columnar time-series file format standing in for
+/// Apache TsFile in the Figure-11 storage/query experiment.
+///
+/// Layout:
+///   "BOS1" magic |
+///   pages (per series, in order): varint count | varint payload size |
+///     payload (one SeriesCodec stream) | crc32 of the payload |
+///   footer: varint series count, per series { name, codec spec,
+///     page directory (offset, size, count, first index) } |
+///   fixed64 footer offset | "BOS1" magic
+///
+/// Pages are independently decodable, so range queries touch only the
+/// pages that overlap the requested index window.
+struct PageInfo {
+  uint64_t offset = 0;       ///< file offset of the page payload header
+  uint64_t size = 0;         ///< bytes including header and CRC
+  uint64_t count = 0;        ///< values in the page
+  uint64_t first_index = 0;  ///< series index of the first value
+  int64_t min_time = 0;      ///< smallest timestamp (timed series only)
+  int64_t max_time = 0;      ///< largest timestamp (timed series only)
+  // Value statistics for aggregate pushdown (valid when count > 0):
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t sum_value = 0;  ///< wrapping sum of the page's values
+};
+
+struct SeriesInfo {
+  std::string name;
+  std::string codec_spec;  ///< "TS2DIFF+BOS-B", or "time|value" when timed
+  bool timed = false;      ///< true for (timestamp, value) series
+  uint64_t num_values = 0;
+  std::vector<PageInfo> pages;
+};
+
+/// \brief Single-pass writer. Series are appended one at a time, then
+/// `Finish()` writes the footer. The writer owns the output file.
+class TsFileWriter {
+ public:
+  /// `page_size` = values per page.
+  explicit TsFileWriter(std::string path,
+                        size_t page_size = codecs::kDefaultBlockSize);
+  ~TsFileWriter();
+
+  TsFileWriter(const TsFileWriter&) = delete;
+  TsFileWriter& operator=(const TsFileWriter&) = delete;
+
+  /// Creates/truncates the file and writes the magic.
+  Status Open();
+
+  /// Compresses and appends one series with the codec named by `spec`
+  /// (any "TRANSFORM+OPERATOR" accepted by codecs::MakeSeriesCodec).
+  Status AppendSeries(const std::string& name, std::string_view spec,
+                      std::span<const int64_t> values);
+
+  /// Compresses and appends one timestamped series with a two-column
+  /// "time_spec|value_spec" codec. `points` must be sorted by timestamp;
+  /// the page index records per-page time ranges for pruned time-range
+  /// queries.
+  Status AppendTimeSeries(const std::string& name, std::string_view spec,
+                          std::span<const codecs::DataPoint> points);
+
+  /// Writes footer and closes. The file is invalid until Finish succeeds.
+  Status Finish();
+
+ private:
+  Status CheckAppendable(const std::string& name) const;
+  Status WritePage(const Bytes& payload, uint64_t count, uint64_t first_index,
+                   int64_t min_time, int64_t max_time,
+                   std::span<const int64_t> values, SeriesInfo* info);
+
+  std::string path_;
+  size_t page_size_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// \brief Statistics a scan reports, separating IO from decode time —
+/// the two bars of Figure 11b.
+struct ScanStats {
+  uint64_t bytes_read = 0;
+  uint64_t pages_read = 0;
+  uint64_t values_scanned = 0;
+  double io_seconds = 0;
+  double decode_seconds = 0;
+};
+
+/// \brief Aggregates computed by AggregateQuery.
+struct AggregateResult {
+  uint64_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t sum = 0;  ///< wrapping sum
+};
+
+/// \brief Reader with page-level pruning.
+class TsFileReader {
+ public:
+  TsFileReader();
+  ~TsFileReader();
+
+  TsFileReader(const TsFileReader&) = delete;
+  TsFileReader& operator=(const TsFileReader&) = delete;
+
+  /// Opens the file and parses the footer (validating both magics).
+  Status Open(const std::string& path);
+
+  const std::vector<SeriesInfo>& series() const;
+  Result<const SeriesInfo*> FindSeries(const std::string& name) const;
+
+  /// Reads a full series. `stats` (optional) accumulates IO/decode time.
+  Status ReadSeries(const std::string& name, std::vector<int64_t>* out,
+                    ScanStats* stats = nullptr);
+
+  /// Reads values with series index in [first, last]; prunes pages that
+  /// do not overlap.
+  Status ReadRange(const std::string& name, uint64_t first, uint64_t last,
+                   std::vector<int64_t>* out, ScanStats* stats = nullptr);
+
+  /// Aggregate (count / min / max / sum) over one series, answered from
+  /// the footer's per-page statistics without reading any page —
+  /// `stats->pages_read` stays 0.
+  Result<AggregateResult> AggregateQuery(const std::string& name,
+                                         ScanStats* stats = nullptr);
+
+  /// The same aggregate computed by scanning and decoding every page;
+  /// used to validate the pushdown path and to measure its benefit.
+  Result<AggregateResult> AggregateQueryScan(const std::string& name,
+                                             ScanStats* stats = nullptr);
+
+  /// Reads the values (and their series indexes) with value in
+  /// [v_min, v_max], pruning pages whose min/max statistics cannot
+  /// overlap — a predicate pushdown over the footer statistics.
+  Status ReadValueRange(const std::string& name, int64_t v_min, int64_t v_max,
+                        std::vector<std::pair<uint64_t, int64_t>>* out,
+                        ScanStats* stats = nullptr);
+
+  /// Reads a full timestamped series.
+  Status ReadTimeSeries(const std::string& name,
+                        std::vector<codecs::DataPoint>* out,
+                        ScanStats* stats = nullptr);
+
+  /// Reads points with timestamp in [t_min, t_max] from a timed series,
+  /// pruning pages whose time range does not overlap.
+  Status ReadTimeRange(const std::string& name, int64_t t_min, int64_t t_max,
+                       std::vector<codecs::DataPoint>* out,
+                       ScanStats* stats = nullptr);
+
+  /// Total size of the open file in bytes.
+  uint64_t file_size() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bos::storage
+
+#endif  // BOS_STORAGE_TSFILE_H_

@@ -1,0 +1,105 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bitpack/varint.h"
+#include "util/buffer.h"
+#include "util/crc32.h"
+#include "util/macros.h"
+
+namespace bos::storage {
+
+WalWriter::WalWriter(std::string path) : path_(std::move(path)) {}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) return Status::IoError("cannot open WAL " + path_);
+  return Status::OK();
+}
+
+Status WalWriter::Append(const std::string& series,
+                         const codecs::DataPoint& point) {
+  if (file_ == nullptr) return Status::InvalidArgument("WAL not open");
+  Bytes payload;
+  bitpack::PutVarint(&payload, series.size());
+  payload.insert(payload.end(), series.begin(), series.end());
+  bitpack::PutSignedVarint(&payload, point.timestamp);
+  bitpack::PutSignedVarint(&payload, point.value);
+
+  Bytes record;
+  PutFixed<uint32_t>(&record, Crc32(payload.data(), payload.size()));
+  bitpack::PutVarint(&record, payload.size());
+  record.insert(record.end(), payload.begin(), payload.end());
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IoError("WAL append failed");
+  }
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  Close();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+  return Open();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<uint64_t> ReplayWal(
+    const std::string& path,
+    const std::function<void(const std::string& series,
+                             const codecs::DataPoint& point)>& sink) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return uint64_t{0};  // no log, nothing to replay
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(static_cast<size_t>(size));
+  const bool read_ok = std::fread(data.data(), 1, data.size(), f) == data.size();
+  std::fclose(f);
+  if (!read_ok) return Status::IoError("cannot read WAL " + path);
+
+  uint64_t replayed = 0;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    // Any parse failure from here on is a torn tail: stop silently.
+    uint32_t crc;
+    if (!GetFixed<uint32_t>(data, offset, &crc)) break;
+    size_t pos = offset + 4;
+    uint64_t payload_len;
+    if (!bitpack::GetVarint(data, &pos, &payload_len).ok()) break;
+    if (pos + payload_len > data.size()) break;
+    if (Crc32(data.data() + pos, payload_len) != crc) break;
+
+    const size_t payload_end = pos + payload_len;
+    uint64_t name_len;
+    if (!bitpack::GetVarint(data, &pos, &name_len).ok() ||
+        pos + name_len > payload_end) {
+      break;
+    }
+    const std::string series(reinterpret_cast<const char*>(data.data() + pos),
+                             name_len);
+    pos += name_len;
+    codecs::DataPoint point;
+    if (!bitpack::GetSignedVarint(data, &pos, &point.timestamp).ok() ||
+        !bitpack::GetSignedVarint(data, &pos, &point.value).ok() ||
+        pos != payload_end) {
+      break;
+    }
+    sink(series, point);
+    ++replayed;
+    offset = payload_end;
+  }
+  return replayed;
+}
+
+}  // namespace bos::storage

@@ -1,0 +1,56 @@
+#ifndef BOS_STORAGE_WAL_H_
+#define BOS_STORAGE_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "codecs/timeseries.h"
+#include "util/status.h"
+
+namespace bos::storage {
+
+/// \brief Append-only write-ahead log for TsStore's memtable.
+///
+/// Record layout: u32 crc32(payload) | varint payload_len | payload,
+/// where payload = string series | svarint timestamp | svarint value.
+/// Replay stops cleanly at the first torn or corrupt record (the normal
+/// state after a crash mid-append), so everything durably appended before
+/// the crash is recovered.
+class WalWriter {
+ public:
+  explicit WalWriter(std::string path);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the log for appending (creating it if absent).
+  Status Open();
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(const std::string& series, const codecs::DataPoint& point);
+
+  /// Truncates the log to empty — called after the memtable was safely
+  /// flushed into an immutable file.
+  Status Reset();
+
+  /// Closes the file (idempotent).
+  void Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// \brief Replays a WAL, invoking `sink` for every intact record in
+/// order. A missing file is an empty log. Returns the number of records
+/// replayed. Torn/corrupt tails are ignored, not errors.
+Result<uint64_t> ReplayWal(
+    const std::string& path,
+    const std::function<void(const std::string& series,
+                             const codecs::DataPoint& point)>& sink);
+
+}  // namespace bos::storage
+
+#endif  // BOS_STORAGE_WAL_H_

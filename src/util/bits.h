@@ -1,0 +1,40 @@
+#ifndef BOS_UTIL_BITS_H_
+#define BOS_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace bos {
+
+/// \brief Number of bits needed to represent `v`: ceil(log2(v + 1)).
+///
+/// This matches the paper's bit-width of a value after removing leading
+/// zeros: BitWidth(8) == 4, BitWidth(7) == 3, BitWidth(0) == 0.
+constexpr int BitWidth(uint64_t v) {
+  return 64 - std::countl_zero(v);
+  // std::countl_zero(0) == 64, so BitWidth(0) == 0.
+}
+
+/// \brief Bit-width of a value *range*, clamped to at least 1 bit.
+///
+/// Definition 5's edge cases ("if maxXl = xmin, the first term is 2*nl";
+/// "if maxXc = minXc, the third term is (n - nl - nu)") imply that a
+/// degenerate part still pays 1 bit per value, so the width of a part
+/// whose range is 0 is 1.
+constexpr int RangeBitWidth(uint64_t range) {
+  int w = BitWidth(range);
+  return w == 0 ? 1 : w;
+}
+
+/// \brief Difference b - a computed without signed overflow, valid for any
+/// int64 pair with a <= b.
+constexpr uint64_t UnsignedRange(int64_t a, int64_t b) {
+  return static_cast<uint64_t>(b) - static_cast<uint64_t>(a);
+}
+
+/// \brief Rounds `bits` up to whole bytes.
+constexpr uint64_t BitsToBytes(uint64_t bits) { return (bits + 7) / 8; }
+
+}  // namespace bos
+
+#endif  // BOS_UTIL_BITS_H_

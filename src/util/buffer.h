@@ -1,0 +1,38 @@
+#ifndef BOS_UTIL_BUFFER_H_
+#define BOS_UTIL_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bos {
+
+/// Growable byte buffer used by all encoders. A plain alias keeps the
+/// encoded form trivially inspectable and hashable.
+using Bytes = std::vector<uint8_t>;
+
+/// View over immutable encoded bytes.
+using BytesView = std::span<const uint8_t>;
+
+/// Appends a little-endian fixed-width integer to `out`.
+template <typename T>
+inline void PutFixed(Bytes* out, T v) {
+  uint8_t tmp[sizeof(T)];
+  std::memcpy(tmp, &v, sizeof(T));
+  out->insert(out->end(), tmp, tmp + sizeof(T));
+}
+
+/// Reads a little-endian fixed-width integer at `offset`; returns false on
+/// short buffer.
+template <typename T>
+inline bool GetFixed(BytesView data, size_t offset, T* v) {
+  if (offset + sizeof(T) > data.size()) return false;
+  std::memcpy(v, data.data() + offset, sizeof(T));
+  return true;
+}
+
+}  // namespace bos
+
+#endif  // BOS_UTIL_BUFFER_H_

@@ -1,0 +1,18 @@
+#ifndef BOS_UTIL_CRC32_H_
+#define BOS_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bos {
+
+/// \brief CRC-32 (IEEE 802.3 polynomial, reflected) of a byte buffer.
+///
+/// Used by the TsFile-lite page format to detect on-disk corruption.
+/// `seed` allows incremental computation: pass the previous CRC to
+/// continue over a subsequent buffer.
+uint32_t Crc32(const void* data, size_t length, uint32_t seed = 0);
+
+}  // namespace bos
+
+#endif  // BOS_UTIL_CRC32_H_

@@ -1,0 +1,22 @@
+#ifndef BOS_UTIL_MACROS_H_
+#define BOS_UTIL_MACROS_H_
+
+/// Propagates a non-OK Status from the current function.
+#define BOS_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::bos::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#define BOS_CONCAT_IMPL(x, y) x##y
+#define BOS_CONCAT(x, y) BOS_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its status on failure and
+/// otherwise assigning the value to `lhs`.
+#define BOS_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto BOS_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!BOS_CONCAT(_res_, __LINE__).ok())                          \
+    return BOS_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(BOS_CONCAT(_res_, __LINE__)).value()
+
+#endif  // BOS_UTIL_MACROS_H_

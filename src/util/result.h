@@ -1,0 +1,64 @@
+#ifndef BOS_UTIL_RESULT_H_
+#define BOS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace bos {
+
+/// \brief A value-or-status holder, in the style of arrow::Result.
+///
+/// A `Result<T>` either holds a `T` (success) or a non-OK `Status`
+/// (failure). Accessing the value of a failed result aborts in debug
+/// builds; use `ok()` / `status()` first, or the `BOS_ASSIGN_OR_RETURN`
+/// macro from util/macros.h.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from a failed status.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` when the result failed.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace bos
+
+#endif  // BOS_UTIL_RESULT_H_

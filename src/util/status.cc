@@ -1,0 +1,33 @@
+#include "util/status.h"
+
+namespace bos {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace bos

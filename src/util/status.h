@@ -1,0 +1,96 @@
+#ifndef BOS_UTIL_STATUS_H_
+#define BOS_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bos {
+
+/// \brief Error categories used across the library.
+///
+/// The library never throws; every fallible operation returns a `Status`
+/// (or a `Result<T>`, see result.h). `StatusCode::kOk` is represented by a
+/// null internal state so that the success path carries no allocation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kCorruption = 2,
+  kNotImplemented = 3,
+  kIoError = 4,
+  kOutOfRange = 5,
+  kUnknown = 6,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Arrow-style status object: cheap success, descriptive failure.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+
+  /// Renders e.g. "Corruption: bitmap truncated" (or "OK").
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace bos
+
+#endif  // BOS_UTIL_STATUS_H_

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitpack/bit_reader.h"
+#include "bitpack/bit_writer.h"
+#include "bitpack/bitpacking.h"
+#include "bitpack/simple8b.h"
+#include "bitpack/varint.h"
+#include "bitpack/zigzag.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace bos::bitpack {
+namespace {
+
+TEST(BitWriterTest, SingleBitsMsbFirst) {
+  Bytes out;
+  BitWriter w(&out);
+  // 1010 1100 -> 0xAC
+  for (bool b : {true, false, true, false, true, true, false, false}) {
+    w.WriteBit(b);
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0xAC);
+}
+
+TEST(BitWriterTest, CrossesByteBoundaries) {
+  Bytes out;
+  BitWriter w(&out);
+  w.WriteBits(0b101, 3);
+  w.WriteBits(0b11001100110, 11);  // total 14 bits
+  ASSERT_EQ(out.size(), 2u);
+  // 101 11001100110 00 -> 10111001 10011000
+  EXPECT_EQ(out[0], 0b10111001);
+  EXPECT_EQ(out[1], 0b10011000);
+}
+
+TEST(BitWriterTest, MasksHighBits) {
+  Bytes out;
+  BitWriter w(&out);
+  w.WriteBits(~0ULL, 4);  // only low 4 bits
+  w.WriteBits(0, 4);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0xF0);
+}
+
+TEST(BitWriterTest, Width64RoundTrips) {
+  Bytes out;
+  BitWriter w(&out);
+  const uint64_t v = 0x8000000000000001ULL;
+  w.WriteBits(v, 64);
+  BitReader r(out);
+  uint64_t got;
+  ASSERT_TRUE(r.ReadBits(64, &got));
+  EXPECT_EQ(got, v);
+}
+
+TEST(BitWriterTest, BitCountTracksProgress) {
+  Bytes out;
+  BitWriter w(&out);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.WriteBits(1, 3);
+  EXPECT_EQ(w.bit_count(), 3u);
+  w.WriteBits(1, 13);
+  EXPECT_EQ(w.bit_count(), 16u);
+}
+
+TEST(BitReaderTest, RefusesOverRead) {
+  Bytes out{0xFF};
+  BitReader r(out);
+  uint64_t v;
+  ASSERT_TRUE(r.ReadBits(8, &v));
+  EXPECT_FALSE(r.ReadBits(1, &v));
+}
+
+TEST(BitReaderTest, AlignToByteSkipsPadding) {
+  Bytes out;
+  BitWriter w(&out);
+  w.WriteBits(0b1, 1);
+  w.AlignToByte();
+  // Writer alignment: next push starts a fresh byte.
+  w.WriteBits(0xAB, 8);
+  BitReader r(out);
+  uint64_t v;
+  ASSERT_TRUE(r.ReadBits(1, &v));
+  r.AlignToByte();
+  ASSERT_TRUE(r.ReadBits(8, &v));
+  EXPECT_EQ(v, 0xABu);
+}
+
+class BitRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitRoundTripTest, RandomValuesRoundTripAtWidth) {
+  const int width = GetParam();
+  Rng rng(100 + width);
+  std::vector<uint64_t> values(257);
+  const uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  for (auto& v : values) v = rng.Next() & mask;
+
+  Bytes out;
+  BitWriter w(&out);
+  PackFixed(values, width, &w);
+  EXPECT_EQ(out.size(), BitsToBytes(static_cast<uint64_t>(width) * values.size()));
+
+  BitReader r(out);
+  std::vector<uint64_t> got(values.size());
+  ASSERT_TRUE(UnpackFixed(&r, width, got.size(), got.data()).ok());
+  EXPECT_EQ(got, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitRoundTripTest,
+                         ::testing::Range(0, 65));
+
+TEST(ZigZagTest, SmallMagnitudesGetSmallCodes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+}
+
+TEST(ZigZagTest, RoundTripsExtremes) {
+  for (int64_t v : {INT64_MIN, INT64_MIN + 1, int64_t{-1}, int64_t{0},
+                    int64_t{1}, INT64_MAX - 1, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(ZigZagTest, RandomRoundTrip) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Next());
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(VarintTest, KnownEncodings) {
+  Bytes out;
+  PutVarint(&out, 0);
+  PutVarint(&out, 127);
+  PutVarint(&out, 128);
+  PutVarint(&out, 300);
+  EXPECT_EQ(out, (Bytes{0x00, 0x7f, 0x80, 0x01, 0xac, 0x02}));
+}
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  std::vector<uint64_t> values{0, 1, 127, 128, 16383, 16384, ~0ULL};
+  Bytes out;
+  for (uint64_t v : values) PutVarint(&out, v);
+  size_t offset = 0;
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint(out, &offset, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(offset, out.size());
+}
+
+TEST(VarintTest, SignedRoundTrip) {
+  std::vector<int64_t> values{INT64_MIN, -1, 0, 1, INT64_MAX, -123456789};
+  Bytes out;
+  for (int64_t v : values) PutSignedVarint(&out, v);
+  size_t offset = 0;
+  for (int64_t v : values) {
+    int64_t got;
+    ASSERT_TRUE(GetSignedVarint(out, &offset, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(VarintTest, TruncatedFails) {
+  Bytes out;
+  PutVarint(&out, 1ULL << 40);
+  out.pop_back();
+  size_t offset = 0;
+  uint64_t v;
+  EXPECT_TRUE(GetVarint(out, &offset, &v).IsCorruption());
+}
+
+TEST(VarintTest, OverlongFails) {
+  Bytes out(11, 0x80);
+  size_t offset = 0;
+  uint64_t v;
+  EXPECT_TRUE(GetVarint(out, &offset, &v).IsCorruption());
+}
+
+TEST(VarintTest, LengthMatchesEncoding) {
+  Rng rng(55);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Uniform(64));
+    Bytes out;
+    PutVarint(&out, v);
+    EXPECT_EQ(static_cast<size_t>(VarintLength(v)), out.size());
+  }
+}
+
+TEST(Simple8bTest, AllZerosUseDenseSelectors) {
+  std::vector<uint64_t> zeros(480, 0);
+  Bytes out;
+  ASSERT_TRUE(Simple8bEncode(zeros, &out).ok());
+  EXPECT_EQ(out.size(), 2 * sizeof(uint64_t));  // two words of 240 zeros
+  size_t offset = 0;
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(Simple8bDecode(out, &offset, zeros.size(), &got).ok());
+  EXPECT_EQ(got, zeros);
+}
+
+TEST(Simple8bTest, RejectsOversizedValue) {
+  std::vector<uint64_t> values{1ULL << 60};
+  Bytes out;
+  EXPECT_TRUE(Simple8bEncode(values, &out).IsInvalidArgument());
+}
+
+TEST(Simple8bTest, MaxRepresentableValueRoundTrips) {
+  std::vector<uint64_t> values{(1ULL << 60) - 1, 0, (1ULL << 60) - 1};
+  Bytes out;
+  ASSERT_TRUE(Simple8bEncode(values, &out).ok());
+  size_t offset = 0;
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(Simple8bDecode(out, &offset, values.size(), &got).ok());
+  EXPECT_EQ(got, values);
+}
+
+TEST(Simple8bTest, TruncatedStreamFails) {
+  std::vector<uint64_t> values(100, 3);
+  Bytes out;
+  ASSERT_TRUE(Simple8bEncode(values, &out).ok());
+  ASSERT_FALSE(out.empty());
+  out.pop_back();
+  size_t offset = 0;
+  std::vector<uint64_t> got;
+  EXPECT_TRUE(Simple8bDecode(out, &offset, values.size(), &got).IsCorruption());
+}
+
+class Simple8bSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Simple8bSweepTest, RandomStreamsRoundTrip) {
+  const int max_bits = GetParam();
+  Rng rng(800 + max_bits);
+  std::vector<uint64_t> values(1000);
+  const uint64_t mask = (1ULL << max_bits) - 1;
+  for (auto& v : values) v = rng.Next() & mask;
+  Bytes out;
+  ASSERT_TRUE(Simple8bEncode(values, &out).ok());
+  size_t offset = 0;
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(Simple8bDecode(out, &offset, values.size(), &got).ok());
+  EXPECT_EQ(got, values);
+  EXPECT_EQ(offset, out.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(BitBudgets, Simple8bSweepTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 10, 15, 20, 30,
+                                           45, 59));
+
+TEST(Simple8bTest, MixedMagnitudesInterleaved) {
+  Rng rng(99);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(i % 7 == 0 ? (rng.Next() & ((1ULL << 40) - 1))
+                                : rng.Next() & 0xF);
+  }
+  Bytes out;
+  ASSERT_TRUE(Simple8bEncode(values, &out).ok());
+  size_t offset = 0;
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(Simple8bDecode(out, &offset, values.size(), &got).ok());
+  EXPECT_EQ(got, values);
+}
+
+class AlignedKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlignedKernelTest, MatchesStreamingWriterByteForByte) {
+  // The aligned fast path must be bit-compatible with a byte-aligned
+  // BitWriter stream, so decoders can mix the two freely.
+  const int width = GetParam();
+  Rng rng(4242 + width);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{129},
+                   size_t{1000}}) {
+    std::vector<uint64_t> values(n);
+    const uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    for (auto& v : values) v = rng.Next() & mask;
+
+    Bytes streaming;
+    BitWriter writer(&streaming);
+    PackFixed(values, width, &writer);
+
+    Bytes aligned;
+    PackFixedAligned(values, width, &aligned);
+    EXPECT_EQ(aligned, streaming) << "width=" << width << " n=" << n;
+
+    std::vector<uint64_t> got(n);
+    size_t offset = 0;
+    ASSERT_TRUE(
+        UnpackFixedAligned(aligned, &offset, width, n, got.data()).ok());
+    EXPECT_EQ(got, values);
+    EXPECT_EQ(offset, aligned.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, AlignedKernelTest, ::testing::Range(0, 65));
+
+TEST(AlignedKernelTest, MasksOversizedValues) {
+  std::vector<uint64_t> values{~0ULL, 0x123456789abcdefULL};
+  Bytes out;
+  PackFixedAligned(values, 5, &out);
+  std::vector<uint64_t> got(2);
+  size_t offset = 0;
+  ASSERT_TRUE(UnpackFixedAligned(out, &offset, 5, 2, got.data()).ok());
+  EXPECT_EQ(got[0], 0x1Fu);
+  EXPECT_EQ(got[1], 0x123456789abcdefULL & 0x1F);
+}
+
+TEST(AlignedKernelTest, ShortBufferFails) {
+  std::vector<uint64_t> values(100, 7);
+  Bytes out;
+  PackFixedAligned(values, 13, &out);
+  out.pop_back();
+  std::vector<uint64_t> got(100);
+  size_t offset = 0;
+  EXPECT_TRUE(
+      UnpackFixedAligned(out, &offset, 13, 100, got.data()).IsCorruption());
+}
+
+TEST(AlignedKernelTest, AppendsAfterExistingContent) {
+  Bytes out{0xAA, 0xBB};
+  std::vector<uint64_t> values{1, 2, 3};
+  PackFixedAligned(values, 8, &out);
+  EXPECT_EQ(out, (Bytes{0xAA, 0xBB, 1, 2, 3}));
+}
+
+TEST(BitpackingTest, ComputeMinMax) {
+  std::vector<int64_t> values{3, -7, 22, 0, -7, 22};
+  const auto mm = ComputeMinMax(values);
+  EXPECT_EQ(mm.min, -7);
+  EXPECT_EQ(mm.max, 22);
+}
+
+TEST(BitpackingTest, FrameWidthMatchesDefinition1) {
+  // Section I example: X = (3,2,4,5,3,2,0,8), width 4 with min subtraction.
+  std::vector<int64_t> values{3, 2, 4, 5, 3, 2, 0, 8};
+  EXPECT_EQ(FrameWidth(values), 4);
+  std::vector<int64_t> no_outlier{3, 2, 4, 5, 3, 2};
+  EXPECT_EQ(FrameWidth(no_outlier), 2);  // (1,0,2,3,1,0) after -2
+}
+
+}  // namespace
+}  // namespace bos::bitpack

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "core/separation.h"
+#include "util/random.h"
+
+namespace bos::core {
+namespace {
+
+std::vector<std::unique_ptr<PackingOperator>> AllOperators() {
+  std::vector<std::unique_ptr<PackingOperator>> ops;
+  ops.push_back(std::make_unique<BitPackingOperator>());
+  ops.push_back(std::make_unique<BosOperator>(SeparationStrategy::kValue));
+  ops.push_back(std::make_unique<BosOperator>(SeparationStrategy::kBitWidth));
+  ops.push_back(std::make_unique<BosOperator>(SeparationStrategy::kMedian));
+  ops.push_back(std::make_unique<BosUpperOnlyOperator>());
+  return ops;
+}
+
+void ExpectRoundTrip(const PackingOperator& op, const std::vector<int64_t>& x) {
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok()) << op.name();
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok()) << op.name();
+  EXPECT_EQ(got, x) << op.name();
+  EXPECT_EQ(offset, out.size()) << op.name();
+}
+
+TEST(BosCodecTest, EmptyBlock) {
+  for (const auto& op : AllOperators()) ExpectRoundTrip(*op, {});
+}
+
+TEST(BosCodecTest, SingleValue) {
+  for (const auto& op : AllOperators()) {
+    ExpectRoundTrip(*op, {0});
+    ExpectRoundTrip(*op, {-1});
+    ExpectRoundTrip(*op, {INT64_MAX});
+    ExpectRoundTrip(*op, {INT64_MIN});
+  }
+}
+
+TEST(BosCodecTest, IntroExample) {
+  for (const auto& op : AllOperators()) {
+    ExpectRoundTrip(*op, {3, 2, 4, 5, 3, 2, 0, 8});
+  }
+}
+
+TEST(BosCodecTest, ConstantBlock) {
+  std::vector<int64_t> x(1000, -777);
+  for (const auto& op : AllOperators()) ExpectRoundTrip(*op, x);
+}
+
+TEST(BosCodecTest, Int64ExtremesRoundTrip) {
+  std::vector<int64_t> x{INT64_MIN, -1, 0, 1, INT64_MAX, 5, 5, 5, 5, 5, 5, 5};
+  for (const auto& op : AllOperators()) ExpectRoundTrip(*op, x);
+}
+
+TEST(BosCodecTest, SeparatedBlockIsSmallerOnOutlierData) {
+  Rng rng(42);
+  std::vector<int64_t> x(1024);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 20));
+    if (rng.Bernoulli(0.03)) v += rng.UniformInt(-1000000, 1000000);
+  }
+  BitPackingOperator bp;
+  BosOperator bos(SeparationStrategy::kBitWidth);
+  Bytes bp_out, bos_out;
+  ASSERT_TRUE(bp.Encode(x, &bp_out).ok());
+  ASSERT_TRUE(bos.Encode(x, &bos_out).ok());
+  EXPECT_LT(bos_out.size(), bp_out.size());
+}
+
+TEST(BosCodecTest, SeparatedPayloadMatchesCostModel) {
+  Rng rng(77);
+  std::vector<int64_t> x(512);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(100, 8));
+    if (rng.Bernoulli(0.05)) v += 100000;
+    if (rng.Bernoulli(0.05)) v -= 100000;
+  }
+  const Separation sep = SeparateBitWidth(x);
+  ASSERT_TRUE(sep.separated);
+
+  BosOperator bos(SeparationStrategy::kBitWidth);
+  Bytes out;
+  ASSERT_TRUE(bos.Encode(x, &out).ok());
+  // Recompute the header size to isolate the payload: encode an empty
+  // payload equivalent by measuring total minus modeled payload bytes.
+  // The payload is byte-aligned, so:
+  const uint64_t payload_bytes = (sep.cost_bits + 7) / 8;
+  ASSERT_GE(out.size(), payload_bytes);
+  const uint64_t header_bytes = out.size() - payload_bytes;
+  // Header: mode + varints + width bytes; generous upper bound.
+  EXPECT_LE(header_bytes, 40u);
+}
+
+TEST(BosCodecTest, MultipleBlocksConcatenated) {
+  BosOperator bos(SeparationStrategy::kBitWidth);
+  Rng rng(5);
+  std::vector<std::vector<int64_t>> blocks;
+  Bytes out;
+  for (int b = 0; b < 10; ++b) {
+    std::vector<int64_t> x(100 + b * 17);
+    for (auto& v : x) v = rng.UniformInt(-500, 500);
+    if (b % 2 == 0) x[0] = 1 << 30;
+    ASSERT_TRUE(bos.Encode(x, &out).ok());
+    blocks.push_back(std::move(x));
+  }
+  size_t offset = 0;
+  for (const auto& expected : blocks) {
+    std::vector<int64_t> got;
+    ASSERT_TRUE(bos.Decode(out, &offset, &got).ok());
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(offset, out.size());
+}
+
+TEST(BosCodecTest, DecodeRejectsTruncation) {
+  BosOperator bos(SeparationStrategy::kBitWidth);
+  Rng rng(6);
+  std::vector<int64_t> x(256);
+  for (auto& v : x) v = rng.UniformInt(0, 100);
+  x[0] = 1 << 29;
+  x[1] = -(1 << 29);
+  Bytes out;
+  ASSERT_TRUE(bos.Encode(x, &out).ok());
+  // Every strict prefix must fail cleanly, never crash or mis-decode into
+  // a full block.
+  for (size_t cut : {out.size() - 1, out.size() / 2, size_t{3}, size_t{1},
+                     size_t{0}}) {
+    Bytes prefix(out.begin(), out.begin() + cut);
+    size_t offset = 0;
+    std::vector<int64_t> got;
+    const Status st = bos.Decode(prefix, &offset, &got);
+    EXPECT_FALSE(st.ok() && got.size() == x.size());
+  }
+}
+
+TEST(BosCodecTest, DecodeRejectsBadModeByte) {
+  Bytes out{0x7F};
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  BosOperator bos(SeparationStrategy::kValue);
+  EXPECT_TRUE(bos.Decode(out, &offset, &got).IsCorruption());
+  BitPackingOperator bp;
+  offset = 0;
+  EXPECT_TRUE(bp.Decode(out, &offset, &got).IsCorruption());
+}
+
+TEST(BosCodecTest, DecodeRejectsAbsurdCounts) {
+  // Handcrafted separated block claiming n = 2^40.
+  Bytes out;
+  out.push_back(1);  // separated mode
+  for (uint8_t b : {0x80, 0x80, 0x80, 0x80, 0x80, 0x40}) out.push_back(b);
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  BosOperator bos(SeparationStrategy::kValue);
+  EXPECT_TRUE(bos.Decode(out, &offset, &got).IsCorruption());
+}
+
+struct CodecCase {
+  std::string name;
+  uint64_t seed;
+  int n;
+  int kind;
+};
+
+class CodecSweepTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecSweepTest, RoundTripAcrossOperators) {
+  const CodecCase& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<int64_t> x(c.n);
+  switch (c.kind) {
+    case 0:  // gaussian center, sparse two-sided outliers
+      for (auto& v : x) {
+        v = static_cast<int64_t>(rng.Normal(0, 25));
+        if (rng.Bernoulli(0.04)) v += rng.UniformInt(-2000000, 2000000);
+      }
+      break;
+    case 1:  // strictly increasing ramp
+      for (int i = 0; i < c.n; ++i) x[i] = static_cast<int64_t>(i) * 977;
+      break;
+    case 2:  // alternating extremes
+      for (int i = 0; i < c.n; ++i) x[i] = (i % 2 == 0) ? -1000000 : 1000000;
+      break;
+    case 3:  // few distinct values
+      for (auto& v : x) v = rng.UniformInt(0, 2) * 50;
+      break;
+    case 4:  // heavy lower tail
+      for (auto& v : x) {
+        v = 5000 + static_cast<int64_t>(rng.Normal(0, 3));
+        if (rng.Bernoulli(0.15)) v -= static_cast<int64_t>(rng.Exponential(0.0005));
+      }
+      break;
+  }
+  for (const auto& op : AllOperators()) ExpectRoundTrip(*op, x);
+}
+
+std::vector<CodecCase> MakeCodecCases() {
+  std::vector<CodecCase> cases;
+  int id = 0;
+  for (int kind = 0; kind <= 4; ++kind) {
+    for (int n : {1, 2, 17, 128, 1024}) {
+      cases.push_back({"kind" + std::to_string(kind) + "_n" + std::to_string(n),
+                       4000 + static_cast<uint64_t>(id++), n, kind});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, CodecSweepTest,
+                         ::testing::ValuesIn(MakeCodecCases()),
+                         [](const ::testing::TestParamInfo<CodecCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(BosCodecTest, OperatorNames) {
+  EXPECT_EQ(BitPackingOperator().name(), "BP");
+  EXPECT_EQ(BosOperator(SeparationStrategy::kValue).name(), "BOS-V");
+  EXPECT_EQ(BosOperator(SeparationStrategy::kBitWidth).name(), "BOS-B");
+  EXPECT_EQ(BosOperator(SeparationStrategy::kMedian).name(), "BOS-M");
+}
+
+TEST(BosCodecTest, VAndBProduceSameSize) {
+  // BOS-B must realize the same optimal cost as BOS-V (paper §VIII-B1);
+  // block encodings may differ in chosen thresholds but not in size class.
+  Rng rng(123);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<int64_t> x(256);
+    for (auto& v : x) {
+      v = static_cast<int64_t>(rng.Normal(0, 50));
+      if (rng.Bernoulli(0.06)) v *= 1000;
+    }
+    BosOperator v_op(SeparationStrategy::kValue);
+    BosOperator b_op(SeparationStrategy::kBitWidth);
+    Bytes v_out, b_out;
+    ASSERT_TRUE(v_op.Encode(x, &v_out).ok());
+    ASSERT_TRUE(b_op.Encode(x, &b_out).ok());
+    EXPECT_EQ(SeparateValues(x).cost_bits, SeparateBitWidth(x).cost_bits);
+    // Header sizes can differ by a few varint bytes at most.
+    const auto diff = static_cast<int64_t>(v_out.size()) -
+                      static_cast<int64_t>(b_out.size());
+    EXPECT_LE(std::abs(diff), 8);
+  }
+}
+
+}  // namespace
+}  // namespace bos::core

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "codecs/rle.h"
+#include "codecs/sprintz.h"
+#include "codecs/ts2diff.h"
+#include "util/random.h"
+
+namespace bos::codecs {
+namespace {
+
+std::vector<std::string> AllSpecs() {
+  std::vector<std::string> specs;
+  for (const auto& t : TransformNames()) {
+    for (const auto& o : OperatorNames()) {
+      specs.push_back(t + "+" + o);
+    }
+  }
+  return specs;
+}
+
+void ExpectRoundTrip(const SeriesCodec& codec, const std::vector<int64_t>& x) {
+  Bytes out;
+  ASSERT_TRUE(codec.Compress(x, &out).ok()) << codec.name();
+  std::vector<int64_t> got;
+  ASSERT_TRUE(codec.Decompress(out, &got).ok()) << codec.name();
+  EXPECT_EQ(got, x) << codec.name();
+}
+
+TEST(RegistryTest, AllSpecsConstruct) {
+  for (const auto& spec : AllSpecs()) {
+    auto codec = MakeSeriesCodec(spec);
+    ASSERT_TRUE(codec.ok()) << spec;
+    EXPECT_EQ((*codec)->name(), spec);
+  }
+}
+
+TEST(RegistryTest, RejectsUnknownNames) {
+  EXPECT_TRUE(MakeOperator("NOPE").status().IsInvalidArgument());
+  EXPECT_TRUE(MakeSeriesCodec("RLE").status().IsInvalidArgument());
+  EXPECT_TRUE(MakeSeriesCodec("NOPE+BP").status().IsInvalidArgument());
+  EXPECT_TRUE(MakeSeriesCodec("RLE+NOPE").status().IsInvalidArgument());
+}
+
+TEST(DeltaTransformTest, MatchesManualDifferences) {
+  std::vector<int64_t> x{10, 12, 11, 11, 20};
+  const auto d = DeltaTransform(x);
+  EXPECT_EQ(d, (std::vector<int64_t>{10, 2, -1, 0, 9}));
+}
+
+TEST(DeltaTransformTest, HandlesWrapAround) {
+  std::vector<int64_t> x{INT64_MAX, INT64_MIN};
+  const auto d = DeltaTransform(x);
+  EXPECT_EQ(d[1], 1);  // wraps modulo 2^64
+}
+
+class CodecSpecTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::shared_ptr<const SeriesCodec> Codec(size_t block = kDefaultBlockSize) {
+    auto r = MakeSeriesCodec(GetParam(), block);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+};
+
+TEST_P(CodecSpecTest, EmptySeries) { ExpectRoundTrip(*Codec(), {}); }
+
+TEST_P(CodecSpecTest, SingleValue) {
+  ExpectRoundTrip(*Codec(), {42});
+  ExpectRoundTrip(*Codec(), {INT64_MIN});
+}
+
+TEST_P(CodecSpecTest, ConstantSeries) {
+  ExpectRoundTrip(*Codec(), std::vector<int64_t>(5000, -3));
+}
+
+TEST_P(CodecSpecTest, SmoothSeriesWithOutliers) {
+  Rng rng(404);
+  std::vector<int64_t> x(4096);
+  int64_t cur = 1000;
+  for (auto& v : x) {
+    cur += static_cast<int64_t>(rng.Normal(0, 4));
+    v = cur;
+    if (rng.Bernoulli(0.01)) v += rng.UniformInt(-100000, 100000);
+  }
+  ExpectRoundTrip(*Codec(), x);
+}
+
+TEST_P(CodecSpecTest, HighRepeatSeries) {
+  Rng rng(405);
+  std::vector<int64_t> x;
+  while (x.size() < 3000) {
+    const int64_t v = rng.UniformInt(0, 50);
+    const int run = 1 + static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < run && x.size() < 3000; ++i) x.push_back(v);
+  }
+  ExpectRoundTrip(*Codec(), x);
+}
+
+TEST_P(CodecSpecTest, BlockBoundaryLengths) {
+  Rng rng(406);
+  for (size_t n : {size_t{1023}, size_t{1024}, size_t{1025}, size_t{2048}}) {
+    std::vector<int64_t> x(n);
+    for (auto& v : x) v = rng.UniformInt(-5000, 5000);
+    ExpectRoundTrip(*Codec(), x);
+  }
+}
+
+TEST_P(CodecSpecTest, SmallBlockSize) {
+  Rng rng(407);
+  std::vector<int64_t> x(500);
+  for (auto& v : x) v = rng.UniformInt(0, 1000);
+  ExpectRoundTrip(*Codec(64), x);
+}
+
+TEST_P(CodecSpecTest, ExtremeValues) {
+  std::vector<int64_t> x{0,         INT64_MAX, INT64_MIN, 17, -17,
+                         INT64_MAX, 0,         INT64_MIN, 1,  -1};
+  ExpectRoundTrip(*Codec(), x);
+}
+
+TEST_P(CodecSpecTest, DecompressRejectsTrailingGarbage) {
+  std::vector<int64_t> x(100, 7);
+  Bytes out;
+  ASSERT_TRUE(Codec()->Compress(x, &out).ok());
+  out.push_back(0xFF);
+  std::vector<int64_t> got;
+  EXPECT_FALSE(Codec()->Decompress(out, &got).ok());
+}
+
+TEST_P(CodecSpecTest, DecompressRejectsTruncation) {
+  Rng rng(408);
+  std::vector<int64_t> x(512);
+  for (auto& v : x) v = rng.UniformInt(-100, 100);
+  Bytes out;
+  ASSERT_TRUE(Codec()->Compress(x, &out).ok());
+  Bytes prefix(out.begin(), out.begin() + out.size() / 2);
+  std::vector<int64_t> got;
+  const Status st = Codec()->Decompress(prefix, &got);
+  EXPECT_FALSE(st.ok() && got.size() == x.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, CodecSpecTest,
+                         ::testing::ValuesIn(AllSpecs()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '+' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(CodecCompositionTest, BosBeatsBpInsideEachTransform) {
+  // The paper's core claim at codec level: replacing BP with BOS improves
+  // the compressed size on outlier-bearing data (Figure 10a).
+  Rng rng(500);
+  std::vector<int64_t> x(8192);
+  int64_t cur = 0;
+  for (auto& v : x) {
+    cur += static_cast<int64_t>(rng.Normal(0, 6));
+    v = cur;
+    if (rng.Bernoulli(0.02)) v += rng.UniformInt(-500000, 500000);
+  }
+  for (const auto& t : TransformNames()) {
+    Bytes bp_out, bos_out;
+    ASSERT_TRUE((*MakeSeriesCodec(t + "+BP"))->Compress(x, &bp_out).ok());
+    ASSERT_TRUE((*MakeSeriesCodec(t + "+BOS-B"))->Compress(x, &bos_out).ok());
+    EXPECT_LT(bos_out.size(), bp_out.size()) << t;
+  }
+}
+
+TEST(CodecCompositionTest, BosVAndBosBSameSizeClass) {
+  Rng rng(501);
+  std::vector<int64_t> x(4096);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 100));
+    if (rng.Bernoulli(0.05)) v *= 100;
+  }
+  Bytes v_out, b_out;
+  ASSERT_TRUE((*MakeSeriesCodec("TS2DIFF+BOS-V"))->Compress(x, &v_out).ok());
+  ASSERT_TRUE((*MakeSeriesCodec("TS2DIFF+BOS-B"))->Compress(x, &b_out).ok());
+  const auto diff =
+      static_cast<int64_t>(v_out.size()) - static_cast<int64_t>(b_out.size());
+  EXPECT_LE(std::abs(diff), 8 * static_cast<int64_t>(x.size() / 1024 + 1));
+}
+
+TEST(CodecCompositionTest, RleWinsOnRepeats) {
+  std::vector<int64_t> x;
+  for (int r = 0; r < 100; ++r) {
+    for (int i = 0; i < 100; ++i) x.push_back(r % 7);
+  }
+  Bytes rle_out, diff_out;
+  ASSERT_TRUE((*MakeSeriesCodec("RLE+BP"))->Compress(x, &rle_out).ok());
+  ASSERT_TRUE((*MakeSeriesCodec("TS2DIFF+BP"))->Compress(x, &diff_out).ok());
+  EXPECT_LT(rle_out.size(), diff_out.size());
+}
+
+TEST(CodecCompositionTest, DeltaCodecsWinOnSmoothSeries) {
+  Rng rng(502);
+  std::vector<int64_t> x(4000);
+  int64_t cur = 1000000;
+  for (auto& v : x) {
+    cur += rng.UniformInt(-2, 3);
+    v = cur;
+  }
+  Bytes rle_out, diff_out;
+  ASSERT_TRUE((*MakeSeriesCodec("RLE+BP"))->Compress(x, &rle_out).ok());
+  ASSERT_TRUE((*MakeSeriesCodec("TS2DIFF+BP"))->Compress(x, &diff_out).ok());
+  EXPECT_LT(diff_out.size(), rle_out.size());
+}
+
+}  // namespace
+}  // namespace bos::codecs

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "codecs/registry.h"
+#include "codecs/ts2diff.h"
+#include "data/dataset.h"
+#include "floatcodec/quantize.h"
+
+namespace bos::data {
+namespace {
+
+TEST(DatasetTest, TwelveProfilesInTableOrder) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 12u);
+  EXPECT_EQ(all[0].abbr, "EE");
+  EXPECT_EQ(all[11].abbr, "NS");
+  std::set<std::string> abbrs;
+  for (const auto& d : all) abbrs.insert(d.abbr);
+  EXPECT_EQ(abbrs.size(), 12u);
+}
+
+TEST(DatasetTest, FindByAbbr) {
+  auto r = FindDataset("TC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->name, "TH-Climate");
+  EXPECT_TRUE(FindDataset("XX").status().IsInvalidArgument());
+}
+
+TEST(DatasetTest, GeneratorsAreDeterministic) {
+  for (const auto& info : AllDatasets()) {
+    const auto a = GenerateInteger(info, 1000);
+    const auto b = GenerateInteger(info, 1000);
+    EXPECT_EQ(a, b) << info.abbr;
+    const auto c = GenerateInteger(info, 1000, /*seed=*/1);
+    EXPECT_NE(a, c) << info.abbr;  // different seed, different stream
+  }
+}
+
+TEST(DatasetTest, ProfilesProduceDistinctStreams) {
+  const auto ee = GenerateInteger(*FindDataset("EE"), 500);
+  const auto mt = GenerateInteger(*FindDataset("MT"), 500);
+  EXPECT_NE(ee, mt);
+}
+
+TEST(DatasetTest, RequestedLengthHonored) {
+  for (const auto& info : AllDatasets()) {
+    EXPECT_EQ(GenerateInteger(info, 0).size(), 0u) << info.abbr;
+    EXPECT_EQ(GenerateInteger(info, 1).size(), 1u) << info.abbr;
+    EXPECT_EQ(GenerateInteger(info, 4097).size(), 4097u) << info.abbr;
+  }
+}
+
+TEST(DatasetTest, ValuesAreNonNegativeAndBounded) {
+  // All profiles model physical quantities with known ceilings.
+  for (const auto& info : AllDatasets()) {
+    const auto x = GenerateInteger(info, 20000);
+    const auto [mn, mx] = std::minmax_element(x.begin(), x.end());
+    EXPECT_GE(*mn, 0) << info.abbr;
+    EXPECT_LE(*mx, int64_t{1} << 40) << info.abbr;
+    EXPECT_GT(*mx, *mn) << info.abbr << " should not be constant";
+  }
+}
+
+TEST(DatasetTest, FloatProfilesAreExactDecimals) {
+  // The float generators must emit exact p-decimals so the scaled integer
+  // codecs run exception-free, as with the paper's datasets.
+  for (const auto& info : AllDatasets()) {
+    if (info.kind != ValueKind::kFloat) continue;
+    const auto x = GenerateFloat(info, 5000);
+    const double scale = std::pow(10.0, info.precision);
+    for (double v : x) {
+      int64_t q;
+      ASSERT_TRUE(floatcodec::RoundTripsAtPrecision(v, scale, &q))
+          << info.abbr << " value " << v;
+    }
+  }
+}
+
+TEST(DatasetTest, FloatAndIntegerFormsAgree) {
+  for (const auto& info : AllDatasets()) {
+    const auto ints = GenerateInteger(info, 200);
+    const auto floats = GenerateFloat(info, 200);
+    const double scale = std::pow(10.0, info.precision);
+    for (size_t i = 0; i < ints.size(); ++i) {
+      EXPECT_EQ(std::llround(floats[i] * scale), ints[i]) << info.abbr;
+    }
+  }
+}
+
+TEST(DatasetTest, DeltasCenterNearZero) {
+  // Figure 8: post-TS2DIFF distributions are centered (near zero median).
+  for (const auto& info : AllDatasets()) {
+    auto x = GenerateInteger(info, 30000);
+    auto deltas = codecs::DeltaTransform(x);
+    deltas.erase(deltas.begin());  // drop the absolute first value
+    std::nth_element(deltas.begin(), deltas.begin() + deltas.size() / 2,
+                     deltas.end());
+    const int64_t median = deltas[deltas.size() / 2];
+    const auto [mn, mx] = std::minmax_element(deltas.begin(), deltas.end());
+    const int64_t spread = *mx - *mn;
+    EXPECT_LE(std::abs(median), std::max<int64_t>(spread / 10, 2)) << info.abbr;
+  }
+}
+
+TEST(DatasetTest, ProfilesCarryOutliers) {
+  // Figure 9: every dataset has some separable outliers; verify the delta
+  // domain has a spread far wider than its central 90%.
+  int with_outliers = 0;
+  for (const auto& info : AllDatasets()) {
+    auto x = GenerateInteger(info, 30000);
+    auto deltas = codecs::DeltaTransform(x);
+    deltas.erase(deltas.begin());
+    std::sort(deltas.begin(), deltas.end());
+    const int64_t p5 = deltas[deltas.size() / 20];
+    const int64_t p95 = deltas[deltas.size() * 19 / 20];
+    const int64_t full = deltas.back() - deltas.front();
+    const int64_t central = p95 - p5;
+    if (full > central * 4) ++with_outliers;
+  }
+  EXPECT_GE(with_outliers, 8);  // most profiles are outlier-bearing
+}
+
+TEST(DatasetTest, CsProfileHasNarrowCenterWithSpikes) {
+  const auto x = GenerateInteger(*FindDataset("CS"), 20000);
+  std::vector<int64_t> sorted(x);
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t p5 = sorted[sorted.size() / 20];
+  const int64_t p95 = sorted[sorted.size() * 19 / 20];
+  const int64_t full = sorted.back() - sorted.front();
+  // Narrow center (jitter around a level) with spikes far outside it.
+  EXPECT_LT(p95 - p5, 200);
+  EXPECT_GT(full, 1000);
+}
+
+TEST(DatasetTest, TcProfileHasLowerOutlierCluster) {
+  // TH-Climate: a dense cluster of low values far below the center.
+  const auto x = GenerateInteger(*FindDataset("TC"), 20000);
+  std::vector<int64_t> sorted(x);
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t median = sorted[sorted.size() / 2];
+  size_t low_cluster = 0;
+  for (int64_t v : x) low_cluster += (v < median / 2);
+  EXPECT_GT(low_cluster, x.size() / 50);   // a large number of low outliers
+  EXPECT_LT(low_cluster, x.size() / 4);    // ... but still outliers
+}
+
+TEST(HistogramTest, CountsSumToN) {
+  const auto x = GenerateInteger(*FindDataset("MT"), 10000);
+  const Histogram h = ComputeHistogram(x, 40);
+  uint64_t total = 0;
+  for (uint64_t b : h.bins) total += b;
+  EXPECT_EQ(total, x.size());
+  EXPECT_EQ(h.bins.size(), 40u);
+  EXPECT_LE(h.min, h.max);
+}
+
+TEST(HistogramTest, EdgeCases) {
+  EXPECT_TRUE(ComputeHistogram({}, 10).bins.size() == 10);
+  std::vector<int64_t> constant(100, 5);
+  const Histogram h = ComputeHistogram(constant, 4);
+  EXPECT_EQ(h.bins[0], 100u);
+  EXPECT_EQ(h.min, 5);
+  EXPECT_EQ(h.max, 5);
+}
+
+}  // namespace
+}  // namespace bos::data

@@ -1,0 +1,171 @@
+// Tests for the codecs beyond the paper's Figure-10 grid: dictionary
+// encoding and GORILLA-style delta-of-delta.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "codecs/dictionary.h"
+#include "codecs/dod.h"
+#include "codecs/registry.h"
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace bos::codecs {
+namespace {
+
+void ExpectRoundTrip(const SeriesCodec& codec, const std::vector<int64_t>& x) {
+  Bytes out;
+  ASSERT_TRUE(codec.Compress(x, &out).ok()) << codec.name();
+  std::vector<int64_t> got;
+  ASSERT_TRUE(codec.Decompress(out, &got).ok()) << codec.name();
+  EXPECT_EQ(got, x) << codec.name();
+}
+
+std::shared_ptr<const SeriesCodec> Make(const std::string& spec,
+                                        size_t block = kDefaultBlockSize) {
+  auto r = MakeSeriesCodec(spec, block);
+  EXPECT_TRUE(r.ok()) << spec;
+  return *r;
+}
+
+// ----- dictionary ------------------------------------------------------
+
+TEST(DictionaryTest, RegistrySpec) {
+  EXPECT_EQ(Make("DICT+BOS-B")->name(), "DICT+BOS-B");
+  EXPECT_TRUE(MakeSeriesCodec("DICT").status().IsInvalidArgument());
+}
+
+TEST(DictionaryTest, RoundTripLowCardinality) {
+  Rng rng(1);
+  std::vector<int64_t> x(5000);
+  const int64_t alphabet[] = {-1000000, 0, 7, 123456789};
+  for (auto& v : x) v = alphabet[rng.Uniform(4)];
+  for (const char* spec : {"DICT+BP", "DICT+BOS-B", "DICT+FASTPFOR"}) {
+    ExpectRoundTrip(*Make(spec), x);
+  }
+}
+
+TEST(DictionaryTest, RoundTripHighCardinalityFallback) {
+  Rng rng(2);
+  std::vector<int64_t> x(3000);
+  for (auto& v : x) v = static_cast<int64_t>(rng.Next());  // all distinct
+  ExpectRoundTrip(*Make("DICT+BOS-B"), x);
+}
+
+TEST(DictionaryTest, EdgeCases) {
+  const auto codec = Make("DICT+BOS-B");
+  ExpectRoundTrip(*codec, {});
+  ExpectRoundTrip(*codec, {42});
+  ExpectRoundTrip(*codec, std::vector<int64_t>(2000, -5));
+  ExpectRoundTrip(*codec, {INT64_MIN, INT64_MAX, INT64_MIN, INT64_MIN});
+}
+
+TEST(DictionaryTest, BeatsDirectPackingOnWideSparseAlphabet) {
+  // Few distinct but widely spread values: indexes need 2 bits, while
+  // direct packing needs ~40 per value.
+  Rng rng(3);
+  std::vector<int64_t> x(8192);
+  const int64_t alphabet[] = {0, int64_t{1} << 40, int64_t{1} << 41,
+                              (int64_t{1} << 40) + 12345};
+  for (auto& v : x) v = alphabet[rng.Uniform(4)];
+  Bytes dict_out, direct_out;
+  ASSERT_TRUE(Make("DICT+BOS-B")->Compress(x, &dict_out).ok());
+  ASSERT_TRUE(Make("TS2DIFF+BOS-B")->Compress(x, &direct_out).ok());
+  EXPECT_LT(dict_out.size() * 4, direct_out.size());
+}
+
+TEST(DictionaryTest, TruncationRejected) {
+  Rng rng(4);
+  std::vector<int64_t> x(2000);
+  for (auto& v : x) v = rng.UniformInt(0, 5);
+  const auto codec = Make("DICT+BOS-B");
+  Bytes out;
+  ASSERT_TRUE(codec->Compress(x, &out).ok());
+  Bytes prefix(out.begin(), out.begin() + out.size() / 2);
+  std::vector<int64_t> got;
+  const Status st = codec->Decompress(prefix, &got);
+  EXPECT_FALSE(st.ok() && got.size() == x.size());
+}
+
+// ----- delta-of-delta ---------------------------------------------------
+
+TEST(DodTest, RegistrySpec) { EXPECT_EQ(Make("DOD")->name(), "DOD"); }
+
+TEST(DodTest, RoundTripTimestamps) {
+  const auto times = data::GenerateTimestamps(50000);
+  ExpectRoundTrip(*Make("DOD"), times);
+}
+
+TEST(DodTest, RegularTimestampsCostAboutOneBit) {
+  // Perfectly regular: every dod is 0 after the first two values.
+  std::vector<int64_t> times(16384);
+  for (size_t i = 0; i < times.size(); ++i) {
+    times[i] = 1700000000000 + static_cast<int64_t>(i) * 1000;
+  }
+  const auto codec = Make("DOD");
+  Bytes out;
+  ASSERT_TRUE(codec->Compress(times, &out).ok());
+  EXPECT_LT(out.size(), times.size() / 7);  // ~1.15 bits/value
+  ExpectRoundTrip(*codec, times);
+}
+
+TEST(DodTest, EdgeCases) {
+  const auto codec = Make("DOD");
+  ExpectRoundTrip(*codec, {});
+  ExpectRoundTrip(*codec, {7});
+  ExpectRoundTrip(*codec, {7, -9});
+  ExpectRoundTrip(*codec, {INT64_MIN, INT64_MAX, 0, INT64_MAX, INT64_MIN});
+}
+
+TEST(DodTest, AllBucketsExercised) {
+  // Craft deltas hitting every dod bucket: 0, small, medium, large, raw.
+  std::vector<int64_t> x{0};
+  const int64_t dods[] = {0,     1,      -63,    64,     -255,
+                          256,   -2047,  2048,   100000, -123456789,
+                          int64_t{1} << 50, -(int64_t{1} << 50), 0, 0};
+  int64_t delta = 1000;
+  for (int64_t dod : dods) {
+    delta += dod;
+    x.push_back(x.back() + delta);
+  }
+  ExpectRoundTrip(*Make("DOD"), x);
+}
+
+TEST(DodTest, RandomWalksRoundTrip) {
+  Rng rng(5);
+  for (size_t block : {size_t{64}, size_t{1024}}) {
+    std::vector<int64_t> x(5000);
+    int64_t cur = 0;
+    for (auto& v : x) {
+      cur += rng.UniformInt(-10000, 10000);
+      v = cur;
+    }
+    ExpectRoundTrip(*Make("DOD", block), x);
+  }
+}
+
+TEST(DodTest, BeatsTs2DiffBpOnNearRegularTimestamps) {
+  const auto times = data::GenerateTimestamps(30000);
+  Bytes dod_out, diff_out;
+  ASSERT_TRUE(Make("DOD")->Compress(times, &dod_out).ok());
+  ASSERT_TRUE(Make("TS2DIFF+BP")->Compress(times, &diff_out).ok());
+  EXPECT_LT(dod_out.size(), diff_out.size());
+}
+
+TEST(DodTest, TruncationRejected) {
+  const auto times = data::GenerateTimestamps(3000);
+  const auto codec = Make("DOD");
+  Bytes out;
+  ASSERT_TRUE(codec->Compress(times, &out).ok());
+  for (size_t cut : {out.size() - 1, out.size() / 2}) {
+    Bytes prefix(out.begin(), out.begin() + cut);
+    std::vector<int64_t> got;
+    const Status st = codec->Decompress(prefix, &got);
+    EXPECT_FALSE(st.ok() && got.size() == times.size());
+  }
+}
+
+}  // namespace
+}  // namespace bos::codecs

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "floatcodec/buff.h"
+#include "floatcodec/chimp.h"
+#include "floatcodec/chimp128.h"
+#include "floatcodec/elf.h"
+#include "floatcodec/gorilla.h"
+#include "floatcodec/quantize.h"
+#include "floatcodec/registry.h"
+#include "floatcodec/scaled.h"
+#include "util/random.h"
+
+namespace bos::floatcodec {
+namespace {
+
+std::vector<std::unique_ptr<FloatCodec>> XorCodecs() {
+  std::vector<std::unique_ptr<FloatCodec>> codecs;
+  codecs.push_back(std::make_unique<GorillaCodec>());
+  codecs.push_back(std::make_unique<ChimpCodec>());
+  codecs.push_back(std::make_unique<Chimp128Codec>());
+  codecs.push_back(std::make_unique<ElfCodec>(3));
+  codecs.push_back(std::make_unique<BuffCodec>(3));
+  return codecs;
+}
+
+void ExpectRoundTrip(const FloatCodec& codec, const std::vector<double>& x) {
+  Bytes out;
+  ASSERT_TRUE(codec.Compress(x, &out).ok()) << codec.name();
+  std::vector<double> got;
+  ASSERT_TRUE(codec.Decompress(out, &got).ok()) << codec.name();
+  ASSERT_EQ(got.size(), x.size()) << codec.name();
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(got[i]), std::bit_cast<uint64_t>(x[i]))
+        << codec.name() << " at " << i << ": " << got[i] << " vs " << x[i];
+  }
+}
+
+// Sensor-like decimal data at precision 3.
+std::vector<double> DecimalSeries(uint64_t seed, size_t n, double outlier_p) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  double cur = 100.0;
+  for (auto& v : x) {
+    cur += rng.Normal(0, 0.5);
+    double val = cur;
+    if (rng.Bernoulli(outlier_p)) val += rng.UniformInt(-10000, 10000);
+    v = std::round(val * 1000.0) / 1000.0;
+  }
+  return x;
+}
+
+TEST(FloatCodecTest, EmptySeries) {
+  for (const auto& c : XorCodecs()) ExpectRoundTrip(*c, {});
+}
+
+TEST(FloatCodecTest, SingleValue) {
+  for (const auto& c : XorCodecs()) {
+    ExpectRoundTrip(*c, {0.0});
+    ExpectRoundTrip(*c, {-1.5});
+    ExpectRoundTrip(*c, {1e300});
+  }
+}
+
+TEST(FloatCodecTest, ConstantSeries) {
+  std::vector<double> x(2000, 3.141);
+  for (const auto& c : XorCodecs()) ExpectRoundTrip(*c, x);
+}
+
+TEST(FloatCodecTest, DecimalSensorSeries) {
+  const auto x = DecimalSeries(1, 4096, 0.01);
+  for (const auto& c : XorCodecs()) ExpectRoundTrip(*c, x);
+}
+
+TEST(FloatCodecTest, NonDecimalDoubles) {
+  // Irrational-ish values that do not round-trip at any decimal precision:
+  // Elf and BUFF must fall back to verbatim storage.
+  Rng rng(2);
+  std::vector<double> x(1000);
+  for (auto& v : x) v = rng.Normal() * 1e-7;
+  for (const auto& c : XorCodecs()) ExpectRoundTrip(*c, x);
+}
+
+TEST(FloatCodecTest, SpecialValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> x{0.0, -0.0, inf, -inf, 1e-308, -1e308, 42.5};
+  for (const auto& c : XorCodecs()) ExpectRoundTrip(*c, x);
+}
+
+TEST(FloatCodecTest, NegativeZeroPreserved) {
+  std::vector<double> x{0.0, -0.0, 0.0, -0.0};
+  for (const auto& c : XorCodecs()) {
+    Bytes out;
+    ASSERT_TRUE(c->Compress(x, &out).ok());
+    std::vector<double> got;
+    ASSERT_TRUE(c->Decompress(out, &got).ok());
+    EXPECT_EQ(std::signbit(got[1]), true) << c->name();
+    EXPECT_EQ(std::signbit(got[0]), false) << c->name();
+  }
+}
+
+TEST(FloatCodecTest, MixedMagnitudes) {
+  Rng rng(3);
+  std::vector<double> x(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = (i % 5 == 0) ? rng.Normal() * 1e12 : rng.Normal();
+  }
+  for (const auto& c : XorCodecs()) ExpectRoundTrip(*c, x);
+}
+
+TEST(FloatCodecTest, TruncationRejected) {
+  const auto x = DecimalSeries(4, 512, 0.02);
+  for (const auto& c : XorCodecs()) {
+    Bytes out;
+    ASSERT_TRUE(c->Compress(x, &out).ok());
+    Bytes prefix(out.begin(), out.begin() + out.size() / 2);
+    std::vector<double> got;
+    const Status st = c->Decompress(prefix, &got);
+    EXPECT_FALSE(st.ok() && got.size() == x.size()) << c->name();
+  }
+}
+
+TEST(GorillaTest, RepeatedValuesCostOneBit) {
+  // 1000 repeats: ~1 bit each after the 64-bit header.
+  std::vector<double> x(1001, 12.25);
+  GorillaCodec codec;
+  Bytes out;
+  ASSERT_TRUE(codec.Compress(x, &out).ok());
+  EXPECT_LT(out.size(), 2 + 8 + 1000 / 8 + 2);
+}
+
+TEST(ChimpTest, BeatsGorillaOnNoisyDecimals) {
+  // CHIMP's rounded leading codes usually win on real-ish data.
+  const auto x = DecimalSeries(5, 8192, 0.0);
+  GorillaCodec g;
+  ChimpCodec c;
+  Bytes g_out, c_out;
+  ASSERT_TRUE(g.Compress(x, &g_out).ok());
+  ASSERT_TRUE(c.Compress(x, &c_out).ok());
+  EXPECT_LT(static_cast<double>(c_out.size()),
+            static_cast<double>(g_out.size()) * 1.1);
+}
+
+TEST(ElfTest, ErasureShrinksDecimalData) {
+  const auto x = DecimalSeries(6, 8192, 0.0);
+  GorillaCodec g;
+  ElfCodec e(3);
+  Bytes g_out, e_out;
+  ASSERT_TRUE(g.Compress(x, &g_out).ok());
+  ASSERT_TRUE(e.Compress(x, &e_out).ok());
+  EXPECT_LT(e_out.size(), g_out.size());
+}
+
+TEST(ElfTest, PrecisionZeroIntegers) {
+  std::vector<double> x{1.0, 2.0, 3.0, 100.0, -5.0};
+  ElfCodec e(0);
+  ExpectRoundTrip(e, x);
+}
+
+TEST(Chimp128Test, WindowReferencesBeatChimpOnPeriodicData) {
+  // Full-mantissa values repeating with period 64: the 128-value window
+  // finds exact references (flag 00, 9 bits/value) the immediate
+  // predecessor cannot offer. The low-bit hash needs varying mantissa
+  // tails, so use sin() rather than exact decimals.
+  std::vector<double> x;
+  for (int i = 0; i < 8192; ++i) {
+    x.push_back(std::sin(static_cast<double>(i % 64)) * 123.456);
+  }
+  ChimpCodec chimp;
+  Chimp128Codec chimp128;
+  Bytes a, b;
+  ASSERT_TRUE(chimp.Compress(x, &a).ok());
+  ASSERT_TRUE(chimp128.Compress(x, &b).ok());
+  EXPECT_LT(b.size(), a.size() / 4);
+}
+
+TEST(Chimp128Test, RoundTripsAtWindowBoundary) {
+  // Exactly 128 and 129 values: reference ages right at the window edge.
+  Rng rng(909);
+  for (size_t n : {127u, 128u, 129u, 257u}) {
+    std::vector<double> x(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = (i % 5 == 0) ? x[i > 4 ? i - 5 : 0] : rng.Normal() * 100;
+    }
+    Chimp128Codec codec;
+    ExpectRoundTrip(codec, x);
+  }
+}
+
+TEST(BuffTest, SparseHighSliceOnOutlierData) {
+  // Mostly small decimals with a few huge outliers: BUFF's top slices are
+  // sparse, so the encoding should be much smaller than 8 bytes/value.
+  const auto x = DecimalSeries(7, 4096, 0.005);
+  BuffCodec b(3);
+  Bytes out;
+  ASSERT_TRUE(b.Compress(x, &out).ok());
+  EXPECT_LT(out.size(), x.size() * 8 / 2);
+  ExpectRoundTrip(b, x);
+}
+
+TEST(FloatRegistryTest, NativeNamesAndScaledSpecs) {
+  EXPECT_EQ(FloatCodecNames().size(), 5u);
+  for (const auto& name : FloatCodecNames()) {
+    auto codec = MakeFloatCodec(name, 3);
+    ASSERT_TRUE(codec.ok()) << name;
+    ExpectRoundTrip(**codec, DecimalSeries(77, 500, 0.01));
+  }
+  auto scaled = MakeFloatCodec("TS2DIFF+BOS-B", 3);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ((*scaled)->name(), "TS2DIFF+BOS-B");
+  ExpectRoundTrip(**scaled, DecimalSeries(78, 500, 0.01));
+  EXPECT_TRUE(MakeFloatCodec("NOPE", 3).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeFloatCodec("GORILLA", 99).status().IsInvalidArgument());
+}
+
+TEST(QuantizeTest, RoundTripDetection) {
+  int64_t q;
+  EXPECT_TRUE(RoundTripsAtPrecision(1.5, 10.0, &q));
+  EXPECT_EQ(q, 15);
+  EXPECT_TRUE(RoundTripsAtPrecision(-2.375, 1000.0, &q));
+  EXPECT_FALSE(RoundTripsAtPrecision(1.0 / 3.0, 1000.0, &q));
+  EXPECT_FALSE(RoundTripsAtPrecision(
+      std::numeric_limits<double>::infinity(), 10.0, &q));
+}
+
+class ScaledCodecTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScaledCodecTest, RoundTripsDecimalData) {
+  auto inner = codecs::MakeSeriesCodec(GetParam());
+  ASSERT_TRUE(inner.ok());
+  ScaledSeriesFloatCodec codec(*inner, 3);
+  EXPECT_EQ(codec.name(), GetParam());
+  ExpectRoundTrip(codec, DecimalSeries(8, 3000, 0.01));
+  ExpectRoundTrip(codec, {});
+  ExpectRoundTrip(codec, {1.125});
+}
+
+TEST_P(ScaledCodecTest, HandlesNonDecimalExceptions) {
+  auto inner = codecs::MakeSeriesCodec(GetParam());
+  ASSERT_TRUE(inner.ok());
+  ScaledSeriesFloatCodec codec(*inner, 3);
+  Rng rng(9);
+  std::vector<double> x = DecimalSeries(10, 500, 0.01);
+  for (size_t i = 0; i < x.size(); i += 37) x[i] = rng.Normal() * 1e-9;
+  x[0] = std::numeric_limits<double>::infinity();
+  ExpectRoundTrip(codec, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(InnerCodecs, ScaledCodecTest,
+                         ::testing::Values("RLE+BP", "TS2DIFF+BOS-B",
+                                           "SPRINTZ+FASTPFOR", "TS2DIFF+BOS-M"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '+' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(ScaledCodecTest, BosImprovesScaledFloatCompression) {
+  const auto x = DecimalSeries(11, 8192, 0.02);
+  auto bp = codecs::MakeSeriesCodec("TS2DIFF+BP");
+  auto bos = codecs::MakeSeriesCodec("TS2DIFF+BOS-B");
+  ASSERT_TRUE(bp.ok() && bos.ok());
+  Bytes bp_out, bos_out;
+  ASSERT_TRUE(ScaledSeriesFloatCodec(*bp, 3).Compress(x, &bp_out).ok());
+  ASSERT_TRUE(ScaledSeriesFloatCodec(*bos, 3).Compress(x, &bos_out).ok());
+  EXPECT_LT(bos_out.size(), bp_out.size());
+}
+
+}  // namespace
+}  // namespace bos::floatcodec

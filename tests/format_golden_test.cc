@@ -1,0 +1,98 @@
+// Golden-byte tests: pin the on-disk formats documented in docs/FORMAT.md.
+// If any of these fail, the change broke compatibility with existing
+// encoded data and needs a format version bump, not a test update.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "core/multi_part.h"
+
+namespace bos::core {
+namespace {
+
+TEST(FormatGoldenTest, PlainBlock) {
+  // Values {3, 5, 4}: min 3, width 2, payload bits 00 10 01 -> 0x24.
+  BitPackingOperator bp;
+  Bytes out;
+  ASSERT_TRUE(bp.Encode(std::vector<int64_t>{3, 5, 4}, &out).ok());
+  EXPECT_EQ(out, (Bytes{
+                     0x00,        // mode: plain
+                     0x03,        // n = 3
+                     0x06,        // zigzag(3) = 6
+                     0x02,        // width 2
+                     0b00'10'01'00  // deltas 0,2,1 MSB-first, padded
+                 }));
+}
+
+TEST(FormatGoldenTest, PlainEmptyBlock) {
+  BitPackingOperator bp;
+  Bytes out;
+  ASSERT_TRUE(bp.Encode({}, &out).ok());
+  EXPECT_EQ(out, (Bytes{0x00, 0x00}));
+}
+
+TEST(FormatGoldenTest, SeparatedBlockIntroExample) {
+  // The Section-I series (3,2,4,5,3,2,0,8): nl = nu = 1, xmin = 0,
+  // minXc = 2, minXu = 8, alpha = 1, beta = 2, gamma = 1.
+  BosOperator bos(SeparationStrategy::kBitWidth);
+  Bytes out;
+  ASSERT_TRUE(bos.Encode(std::vector<int64_t>{3, 2, 4, 5, 3, 2, 0, 8}, &out).ok());
+  const Bytes expected{
+      0x01,  // mode: separated (bitmap)
+      0x08,  // n = 8
+      0x01,  // nl = 1
+      0x01,  // nu = 1
+      0x00,  // zigzag(xmin = 0)
+      0x04,  // zigzag(minXc = 2)
+      0x10,  // zigzag(minXu = 8)
+      0x01,  // alpha
+      0x02,  // beta
+      0x01,  // gamma
+      // bitmap: 0 0 0 0 0 0 10 11 -> 00000010 11......
+      // then values: center deltas (1,0,2,3,1,0) at 2 bits, lower delta 0
+      // at 1 bit, upper delta 0 at 1 bit, in original order:
+      // 01 00 10 11 01 00, 0, 0
+      0b00000010, 0b11'01'00'10, 0b11'01'00'0'0 /* l=0, u=0, pad */,
+  };
+  EXPECT_EQ(out, expected);
+}
+
+TEST(FormatGoldenTest, SeparatedCostEqualsPayload) {
+  // 24 modeled bits -> 3 payload bytes after the 10-byte header.
+  BosOperator bos(SeparationStrategy::kValue);
+  Bytes out;
+  ASSERT_TRUE(bos.Encode(std::vector<int64_t>{3, 2, 4, 5, 3, 2, 0, 8}, &out).ok());
+  EXPECT_EQ(out.size(), 10u + 3u);
+}
+
+TEST(FormatGoldenTest, MultiPartSingleClass) {
+  MultiPartOperator op(3);
+  Bytes out;
+  ASSERT_TRUE(op.Encode(std::vector<int64_t>{1, 2, 3, 2}, &out).ok());
+  // Uniform data: one untagged class, base 1, width 2.
+  EXPECT_EQ(out, (Bytes{
+                     0x03,        // k = 3
+                     0x04,        // n = 4
+                     0x01,        // m = 1 class
+                     0x00,        // short_class = 0
+                     0x04,        // count = 4
+                     0x02,        // zigzag(base = 1)
+                     0x02,        // width = 2
+                     0b00'01'10'01  // deltas 0,1,2,1
+                 }));
+}
+
+TEST(FormatGoldenTest, DecodersAcceptGoldenBytes) {
+  // The inverse direction: fixed byte strings decode to the fixed values.
+  const Bytes plain{0x00, 0x03, 0x06, 0x02, 0b00'10'01'00};
+  BitPackingOperator bp;
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(bp.Decode(plain, &offset, &got).ok());
+  EXPECT_EQ(got, (std::vector<int64_t>{3, 5, 4}));
+}
+
+}  // namespace
+}  // namespace bos::core

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "general/byte_codec.h"
+#include "general/fft.h"
+#include "general/lz4lite.h"
+#include "general/lzma_lite.h"
+#include "general/transform_codec.h"
+#include "util/random.h"
+
+namespace bos::general {
+namespace {
+
+// ----- FFT / DCT substrate ---------------------------------------------
+
+TEST(FftTest, DeltaImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  Fft(&data, false);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ForwardInverseIsIdentity) {
+  Rng rng(1);
+  for (size_t n : {1u, 2u, 8u, 64u, 1024u}) {
+    std::vector<std::complex<double>> data(n);
+    std::vector<std::complex<double>> orig(n);
+    for (size_t i = 0; i < n; ++i) {
+      orig[i] = data[i] = {rng.Normal(), rng.Normal()};
+    }
+    Fft(&data, false);
+    Fft(&data, true);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-9);
+      EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(2);
+  const size_t n = 256;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0;
+  for (auto& c : data) {
+    c = {rng.Normal(), 0.0};
+    time_energy += std::norm(c);
+  }
+  Fft(&data, false);
+  double freq_energy = 0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(DctTest, RoundTripIsIdentity) {
+  Rng rng(3);
+  for (size_t n : {1u, 2u, 4u, 32u, 512u}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.Normal() * 100;
+    const auto c = Dct(x);
+    const auto back = InverseDct(c);
+    ASSERT_EQ(back.size(), n);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-8);
+  }
+}
+
+TEST(DctTest, ConstantSignalConcentratesInDc) {
+  std::vector<double> x(64, 5.0);
+  const auto c = Dct(x);
+  EXPECT_NEAR(c[0], 2.0 * 64 * 5.0, 1e-9);  // unnormalized DCT-II DC term
+  for (size_t k = 1; k < c.size(); ++k) EXPECT_NEAR(c[k], 0.0, 1e-9);
+}
+
+TEST(DctTest, MatchesDirectDefinition) {
+  // C[k] = 2 * sum_j x[j] cos(pi k (2j+1) / (2n)).
+  Rng rng(4);
+  const size_t n = 16;
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.Normal();
+  const auto c = Dct(x);
+  for (size_t k = 0; k < n; ++k) {
+    double direct = 0;
+    for (size_t j = 0; j < n; ++j) {
+      direct += x[j] * std::cos(M_PI * static_cast<double>(k) *
+                                (2.0 * static_cast<double>(j) + 1.0) /
+                                (2.0 * static_cast<double>(n)));
+    }
+    EXPECT_NEAR(c[k], 2.0 * direct, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(RealFftTest, RoundTripIsIdentity) {
+  Rng rng(5);
+  for (size_t n : {2u, 8u, 128u}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.Normal() * 10;
+    const auto bins = RealFft(x);
+    ASSERT_EQ(bins.size(), n / 2 + 1);
+    const auto back = InverseRealFft(bins, n);
+    for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+// ----- Byte codecs -------------------------------------------------------
+
+std::vector<std::unique_ptr<ByteCodec>> ByteCodecs() {
+  std::vector<std::unique_ptr<ByteCodec>> codecs;
+  codecs.push_back(std::make_unique<Lz4LiteCodec>());
+  codecs.push_back(std::make_unique<LzmaLiteCodec>());
+  return codecs;
+}
+
+void ExpectByteRoundTrip(const ByteCodec& codec, const Bytes& input) {
+  Bytes compressed;
+  ASSERT_TRUE(codec.Compress(input, &compressed).ok()) << codec.name();
+  Bytes back;
+  ASSERT_TRUE(codec.Decompress(compressed, &back).ok()) << codec.name();
+  EXPECT_EQ(back, input) << codec.name();
+}
+
+TEST(ByteCodecTest, EmptyInput) {
+  for (const auto& c : ByteCodecs()) ExpectByteRoundTrip(*c, {});
+}
+
+TEST(ByteCodecTest, ShortInputs) {
+  for (const auto& c : ByteCodecs()) {
+    ExpectByteRoundTrip(*c, {0x42});
+    ExpectByteRoundTrip(*c, {1, 2, 3});
+    ExpectByteRoundTrip(*c, {0, 0, 0, 0, 0});
+  }
+}
+
+TEST(ByteCodecTest, HighlyRepetitiveCompressesWell) {
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) {
+    const char* s = "sensor_reading:12.5;";
+    input.insert(input.end(), s, s + 20);
+  }
+  for (const auto& c : ByteCodecs()) {
+    Bytes compressed;
+    ASSERT_TRUE(c->Compress(input, &compressed).ok());
+    EXPECT_LT(compressed.size(), input.size() / 10) << c->name();
+    Bytes back;
+    ASSERT_TRUE(c->Decompress(compressed, &back).ok());
+    EXPECT_EQ(back, input) << c->name();
+  }
+}
+
+TEST(ByteCodecTest, IncompressibleRandomSurvives) {
+  Rng rng(6);
+  Bytes input(4096);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  for (const auto& c : ByteCodecs()) ExpectByteRoundTrip(*c, input);
+}
+
+TEST(ByteCodecTest, LongMatchesAndLongLiterals) {
+  Rng rng(7);
+  Bytes input;
+  // 500 random literals, then a 5000-byte repeat of a 13-byte motif, then
+  // random again — exercises extended length encodings on both sides.
+  for (int i = 0; i < 500; ++i) input.push_back(static_cast<uint8_t>(rng.Next()));
+  for (int i = 0; i < 5000; ++i) input.push_back(static_cast<uint8_t>(i % 13));
+  for (int i = 0; i < 500; ++i) input.push_back(static_cast<uint8_t>(rng.Next()));
+  for (const auto& c : ByteCodecs()) ExpectByteRoundTrip(*c, input);
+}
+
+TEST(ByteCodecTest, OverlappingMatchReplication) {
+  // "aaaa..." forces matches whose offset (1) is shorter than their length.
+  Bytes input(300, 'a');
+  for (const auto& c : ByteCodecs()) ExpectByteRoundTrip(*c, input);
+}
+
+TEST(ByteCodecTest, TruncationRejectedOrMismatched) {
+  Rng rng(8);
+  Bytes input(2000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<uint8_t>(i % 50 + (rng.Bernoulli(0.1) ? rng.Next() : 0));
+  }
+  for (const auto& c : ByteCodecs()) {
+    Bytes compressed;
+    ASSERT_TRUE(c->Compress(input, &compressed).ok());
+    Bytes prefix(compressed.begin(), compressed.begin() + compressed.size() / 2);
+    Bytes back;
+    const Status st = c->Decompress(prefix, &back);
+    EXPECT_FALSE(st.ok() && back == input) << c->name();
+  }
+}
+
+TEST(ByteCodecTest, LzmaBeatsLz4OnText) {
+  Bytes input;
+  Rng rng(9);
+  const char* words[] = {"temperature", "pressure", "humidity", "voltage"};
+  for (int i = 0; i < 3000; ++i) {
+    const char* w = words[rng.Uniform(4)];
+    input.insert(input.end(), w, w + std::strlen(w));
+    input.push_back('0' + static_cast<uint8_t>(rng.Uniform(10)));
+  }
+  Lz4LiteCodec lz4;
+  LzmaLiteCodec lzma;
+  Bytes lz4_out, lzma_out;
+  ASSERT_TRUE(lz4.Compress(input, &lz4_out).ok());
+  ASSERT_TRUE(lzma.Compress(input, &lzma_out).ok());
+  EXPECT_LT(lzma_out.size(), lz4_out.size());
+}
+
+// ----- Transform codecs --------------------------------------------------
+
+std::vector<int64_t> SmoothSeries(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<int64_t> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = static_cast<int64_t>(10000.0 * std::sin(t / 50.0) +
+                                3000.0 * std::sin(t / 7.0) + rng.Normal(0, 20));
+  }
+  return x;
+}
+
+class TransformCodecTest
+    : public ::testing::TestWithParam<std::pair<TransformKind, std::string>> {
+ protected:
+  std::unique_ptr<TransformCodec> Make(size_t block = 256) {
+    auto op = codecs::MakeOperator(GetParam().second);
+    EXPECT_TRUE(op.ok());
+    return std::make_unique<TransformCodec>(GetParam().first, *op, block);
+  }
+};
+
+TEST_P(TransformCodecTest, RoundTripSmooth) {
+  const auto x = SmoothSeries(10, 2000);
+  auto codec = Make();
+  Bytes out;
+  ASSERT_TRUE(codec->Compress(x, &out).ok());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(codec->Decompress(out, &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST_P(TransformCodecTest, RoundTripEdgeLengths) {
+  auto codec = Make(64);
+  for (size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 300u}) {
+    const auto x = SmoothSeries(11, n);
+    Bytes out;
+    ASSERT_TRUE(codec->Compress(x, &out).ok()) << n;
+    std::vector<int64_t> got;
+    ASSERT_TRUE(codec->Decompress(out, &got).ok()) << n;
+    EXPECT_EQ(got, x) << n;
+  }
+}
+
+TEST_P(TransformCodecTest, RoundTripNoisyWithOutliers) {
+  Rng rng(12);
+  std::vector<int64_t> x(1000);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 1000));
+    if (rng.Bernoulli(0.02)) v += rng.UniformInt(-100000000, 100000000);
+  }
+  auto codec = Make();
+  Bytes out;
+  ASSERT_TRUE(codec->Compress(x, &out).ok());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(codec->Decompress(out, &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndOps, TransformCodecTest,
+    ::testing::Values(std::make_pair(TransformKind::kDct, std::string("BP")),
+                      std::make_pair(TransformKind::kDct, std::string("BOS-B")),
+                      std::make_pair(TransformKind::kFft, std::string("BP")),
+                      std::make_pair(TransformKind::kFft, std::string("BOS-B"))),
+    [](const auto& info) {
+      std::string n = info.param.first == TransformKind::kDct ? "DCT_" : "FFT_";
+      for (char c : info.param.second) {
+        if (c != '-') n += c;
+      }
+      return n;
+    });
+
+TEST(TransformCodecTest, NamesIncludeOperator) {
+  auto bp = codecs::MakeOperator("BP");
+  ASSERT_TRUE(bp.ok());
+  EXPECT_EQ(TransformCodec(TransformKind::kDct, *bp).name(), "DCT+BP");
+  EXPECT_EQ(TransformCodec(TransformKind::kFft, *bp).name(), "FFT+BP");
+}
+
+TEST(TransformCodecTest, BosImprovesResidualStorage) {
+  // Smooth series + outliers: residual stream carries the outliers, which
+  // BOS separates better than plain bit-packing (the Figure 13 claim).
+  Rng rng(13);
+  auto x = SmoothSeries(14, 8192);
+  for (auto& v : x) {
+    if (rng.Bernoulli(0.01)) v += rng.UniformInt(-10000000, 10000000);
+  }
+  auto bp = codecs::MakeOperator("BP");
+  auto bos = codecs::MakeOperator("BOS-B");
+  ASSERT_TRUE(bp.ok() && bos.ok());
+  Bytes bp_out, bos_out;
+  ASSERT_TRUE(TransformCodec(TransformKind::kDct, *bp).Compress(x, &bp_out).ok());
+  ASSERT_TRUE(TransformCodec(TransformKind::kDct, *bos).Compress(x, &bos_out).ok());
+  EXPECT_LT(bos_out.size(), bp_out.size());
+}
+
+}  // namespace
+}  // namespace bos::general

@@ -1,0 +1,190 @@
+// End-to-end flows across subsystems: dataset -> codecs -> storage ->
+// queries, and dataset -> streaming -> byte codecs. These mirror how a
+// downstream system (an IoTDB-like database) would actually compose the
+// library.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "codecs/streaming.h"
+#include "codecs/timeseries.h"
+#include "data/dataset.h"
+#include "floatcodec/registry.h"
+#include "general/lz4lite.h"
+#include "general/lzma_lite.h"
+#include "storage/tsfile.h"
+
+namespace bos {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bos_integration_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationTest, EveryDatasetThroughEveryTransformWithBosB) {
+  // The full Figure-10a "BOS-B column" at reduced size, verified lossless.
+  for (const auto& info : data::AllDatasets()) {
+    const auto values = data::GenerateInteger(info, 6000);
+    for (const auto& t : codecs::TransformNames()) {
+      auto codec = codecs::MakeSeriesCodec(t + "+BOS-B");
+      ASSERT_TRUE(codec.ok());
+      Bytes out;
+      ASSERT_TRUE((*codec)->Compress(values, &out).ok()) << info.abbr;
+      std::vector<int64_t> back;
+      ASSERT_TRUE((*codec)->Decompress(out, &back).ok()) << info.abbr;
+      EXPECT_EQ(back, values) << info.abbr << " " << t;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, FloatDatasetsThroughFloatCodecs) {
+  for (const auto& info : data::AllDatasets()) {
+    if (info.kind != data::ValueKind::kFloat) continue;
+    const auto values = data::GenerateFloat(info, 4000);
+    for (const auto& name : floatcodec::FloatCodecNames()) {
+      auto codec = floatcodec::MakeFloatCodec(name, info.precision);
+      ASSERT_TRUE(codec.ok());
+      Bytes out;
+      ASSERT_TRUE((*codec)->Compress(values, &out).ok()) << name;
+      std::vector<double> back;
+      ASSERT_TRUE((*codec)->Decompress(out, &back).ok()) << name;
+      ASSERT_EQ(back.size(), values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        ASSERT_EQ(back[i], values[i]) << name << " " << info.abbr;
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, FullDatabaseRoundTrip) {
+  // Write a file holding every dataset as its own series, each with the
+  // codec a tuned deployment would pick; read everything back.
+  const std::string path = Path("warehouse.tsfile");
+  std::vector<std::vector<int64_t>> originals;
+  {
+    storage::TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    for (const auto& info : data::AllDatasets()) {
+      auto values = data::GenerateInteger(info, 5000);
+      const char* spec = info.abbr == "CS" ? "RLE+BOS-B" : "TS2DIFF+BOS-B";
+      ASSERT_TRUE(writer.AppendSeries(info.abbr, spec, values).ok());
+      originals.push_back(std::move(values));
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_EQ(reader.series().size(), data::AllDatasets().size());
+  for (size_t i = 0; i < data::AllDatasets().size(); ++i) {
+    std::vector<int64_t> got;
+    ASSERT_TRUE(reader.ReadSeries(data::AllDatasets()[i].abbr, &got).ok());
+    EXPECT_EQ(got, originals[i]);
+  }
+  // The compressed file is much smaller than raw.
+  const uint64_t raw = 12 * 5000 * 8;
+  EXPECT_LT(reader.file_size(), raw / 2);
+}
+
+TEST_F(IntegrationTest, StreamingIntoTsFilePages) {
+  // Stream-encode, ship frames, decode on arrival, land in a TsFile, and
+  // answer a range query — the full ingestion path.
+  const auto info = data::FindDataset("MT");
+  const auto values = data::GenerateInteger(*info, 12000);
+  auto codec = codecs::MakeSeriesCodec("TS2DIFF+BOS-B");
+  ASSERT_TRUE(codec.ok());
+
+  codecs::SeriesStreamEncoder encoder(*codec, 512);
+  encoder.AppendSpan(values);
+  ASSERT_TRUE(encoder.Finish().ok());
+
+  codecs::SeriesStreamDecoder decoder(*codec, *encoder.sink());
+  std::vector<int64_t> landed;
+  ASSERT_TRUE(decoder.ReadAll(&landed).ok());
+  ASSERT_EQ(landed, values);
+
+  const std::string path = Path("ingested.tsfile");
+  {
+    storage::TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("mt", "TS2DIFF+BOS-B", landed).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<int64_t> window;
+  ASSERT_TRUE(reader.ReadRange("mt", 100, 199, &window).ok());
+  ASSERT_EQ(window.size(), 100u);
+  for (size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i], values[100 + i]);
+  }
+}
+
+TEST_F(IntegrationTest, BosPlusByteCodecComposition) {
+  // The Figure-13 composition: BOS output re-compressed with LZ4 / LZMA
+  // round-trips through both stages.
+  const auto values = data::GenerateInteger(*data::FindDataset("TC"), 8000);
+  auto codec = codecs::MakeSeriesCodec("TS2DIFF+BOS-B");
+  ASSERT_TRUE(codec.ok());
+  Bytes bos_stream;
+  ASSERT_TRUE((*codec)->Compress(values, &bos_stream).ok());
+
+  const general::Lz4LiteCodec lz4;
+  const general::LzmaLiteCodec lzma;
+  for (const general::ByteCodec* byte_codec :
+       {static_cast<const general::ByteCodec*>(&lz4),
+        static_cast<const general::ByteCodec*>(&lzma)}) {
+    Bytes doubled;
+    ASSERT_TRUE(byte_codec->Compress(bos_stream, &doubled).ok());
+    Bytes restored_stream;
+    ASSERT_TRUE(byte_codec->Decompress(doubled, &restored_stream).ok());
+    ASSERT_EQ(restored_stream, bos_stream) << byte_codec->name();
+    std::vector<int64_t> back;
+    ASSERT_TRUE((*codec)->Decompress(restored_stream, &back).ok());
+    EXPECT_EQ(back, values) << byte_codec->name();
+  }
+}
+
+TEST_F(IntegrationTest, TimedPipelineEndToEnd) {
+  const auto times = data::GenerateTimestamps(8000);
+  const auto raw_values = data::GenerateInteger(*data::FindDataset("TF"), 8000);
+  std::vector<codecs::DataPoint> points(times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    points[i] = {times[i], raw_values[i]};
+  }
+  const std::string path = Path("timed.tsfile");
+  {
+    storage::TsFileWriter writer(path, 512);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(
+        writer.AppendTimeSeries("fuel", "TS2DIFF+BOS-B|TS2DIFF+BOS-B", points)
+            .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  storage::ScanStats stats;
+  std::vector<codecs::DataPoint> window;
+  const int64_t t0 = points[4000].timestamp;
+  const int64_t t1 = points[4200].timestamp;
+  ASSERT_TRUE(reader.ReadTimeRange("fuel", t0, t1, &window, &stats).ok());
+  ASSERT_EQ(window.size(), 201u);
+  EXPECT_EQ(window.front(), points[4000]);
+  EXPECT_EQ(window.back(), points[4200]);
+  // 8000 points in 512-point pages = 16 pages; the window spans ~1.
+  EXPECT_LE(stats.pages_read, 2u);
+}
+
+}  // namespace
+}  // namespace bos

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "core/multi_part.h"
+#include "core/separation.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace bos::core {
+namespace {
+
+std::vector<int64_t> OutlierBlock(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<int64_t> x(n);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 15));
+    if (rng.Bernoulli(0.05)) v += rng.UniformInt(100000, 300000);
+    if (rng.Bernoulli(0.05)) v -= rng.UniformInt(100000, 300000);
+  }
+  return x;
+}
+
+TEST(MultiPartPlanTest, SinglePartIsPlainWidth) {
+  std::vector<int64_t> x{0, 5, 9, 14};
+  const MultiPartPlan plan = PlanMultiPart(x, 1);
+  ASSERT_EQ(plan.classes.size(), 1u);
+  EXPECT_EQ(plan.classes[0].width, 4);  // range 14 -> 4 bits
+  EXPECT_EQ(plan.cost_bits, 16u);
+}
+
+TEST(MultiPartPlanTest, CostNeverIncreasesWithK) {
+  const auto x = OutlierBlock(1, 512);
+  uint64_t prev = PlanMultiPart(x, 1).cost_bits;
+  for (int k = 2; k <= 7; ++k) {
+    const uint64_t cost = PlanMultiPart(x, k).cost_bits;
+    EXPECT_LE(cost, prev) << "k=" << k;
+    prev = cost;
+  }
+}
+
+TEST(MultiPartPlanTest, ThreePartsTrackBosCost) {
+  // k=3 with the DP tag model should be close to the BOS-B optimum (both
+  // charge 1 bit for the center class and 2 for each outlier class).
+  for (uint64_t seed : {7u, 8u, 9u, 10u}) {
+    const auto x = OutlierBlock(seed, 256);
+    const uint64_t bos = SeparateBitWidth(x).cost_bits;
+    const uint64_t mp3 = PlanMultiPart(x, 3).cost_bits;
+    EXPECT_LE(mp3, bos) << "DP may also choose k<3 or a better split";
+  }
+}
+
+TEST(MultiPartPlanTest, ClassesPartitionTheValueDomain) {
+  const auto x = OutlierBlock(11, 300);
+  const MultiPartPlan plan = PlanMultiPart(x, 5);
+  uint64_t total = 0;
+  for (size_t i = 0; i < plan.classes.size(); ++i) {
+    total += plan.classes[i].count;
+    EXPECT_LE(plan.classes[i].base, plan.classes[i].top);
+    if (i > 0) {
+      EXPECT_LT(plan.classes[i - 1].top, plan.classes[i].base);
+    }
+  }
+  EXPECT_EQ(total, x.size());
+  EXPECT_LT(plan.short_class, static_cast<int>(plan.classes.size()));
+}
+
+TEST(MultiPartPlanTest, ShortTagGoesToHeavyClassWhenFree) {
+  // 90 small values, 10 huge: the populous class should carry the 1-bit tag.
+  std::vector<int64_t> x;
+  for (int i = 0; i < 90; ++i) x.push_back(i % 4);
+  for (int i = 0; i < 10; ++i) x.push_back(1000000 + i);
+  const MultiPartPlan plan = PlanMultiPart(x, 2);
+  ASSERT_EQ(plan.classes.size(), 2u);
+  EXPECT_EQ(plan.short_class, 0);
+  EXPECT_EQ(plan.classes[0].count, 90u);
+}
+
+TEST(MultiPartPlanTest, NoTaggedSplitOnUniformData) {
+  std::vector<int64_t> x;
+  for (int i = 0; i < 256; ++i) x.push_back(i % 16);
+  const MultiPartPlan plan = PlanMultiPart(x, 3);
+  // Splitting uniform data can only add tag bits; expect one class.
+  EXPECT_EQ(plan.classes.size(), 1u);
+}
+
+// Brute-force reference: enumerate every contiguous partition of the
+// sorted unique values into exactly m classes (m = 1..k), every choice of
+// short-tag class, and price it the way the encoder does.
+uint64_t BruteForceCost(const std::vector<int64_t>& values, int k) {
+  std::vector<int64_t> uniq(values);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  const int u = static_cast<int>(uniq.size());
+  const uint64_t n = values.size();
+
+  auto count_in = [&](int64_t lo, int64_t hi) {
+    uint64_t c = 0;
+    for (int64_t v : values) c += (v >= lo && v <= hi);
+    return c;
+  };
+  auto width = [&](int64_t lo, int64_t hi) {
+    const int w = BitWidth(UnsignedRange(lo, hi));
+    return w == 0 ? 1 : w;
+  };
+
+  // m = 1: untagged plain layout, no clamp.
+  uint64_t best =
+      n * static_cast<uint64_t>(BitWidth(UnsignedRange(uniq.front(), uniq.back())));
+
+  const int kk = std::min(k, u);
+  // Boundaries: choose m-1 cut positions among u-1 gaps (u small).
+  for (int m = 2; m <= kk; ++m) {
+    const int extra = m <= 2 ? 0 : BitWidth(static_cast<uint64_t>(m - 2));
+    std::vector<int> cuts(m - 1);
+    // Enumerate combinations via simple odometer.
+    std::function<void(int, int)> rec = [&](int idx, int start) {
+      if (idx == m - 1) {
+        // Build segments.
+        std::vector<std::pair<int, int>> segs;
+        int prev = 0;
+        for (int c : cuts) {
+          segs.push_back({prev, c});
+          prev = c;
+        }
+        segs.push_back({prev, u});
+        for (int short_idx = 0; short_idx < m; ++short_idx) {
+          uint64_t cost = 0;
+          for (int s = 0; s < m; ++s) {
+            const auto [lo, hi] = segs[s];
+            const uint64_t cnt = count_in(uniq[lo], uniq[hi - 1]);
+            const int tag = s == short_idx ? 1 : 1 + extra;
+            cost += cnt * (width(uniq[lo], uniq[hi - 1]) + tag);
+          }
+          best = std::min(best, cost);
+        }
+        return;
+      }
+      for (int c = start; c < u; ++c) {
+        cuts[idx] = c;
+        rec(idx + 1, c + 1);
+      }
+    };
+    rec(0, 1);
+  }
+  return best;
+}
+
+TEST(MultiPartPlanTest, MatchesBruteForceOnSmallAlphabets) {
+  Rng rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int u = 2 + static_cast<int>(rng.Uniform(6));  // 2..7 unique values
+    std::vector<int64_t> alphabet(u);
+    for (auto& v : alphabet) v = rng.UniformInt(-100000, 100000);
+    std::vector<int64_t> x(40);
+    for (auto& v : x) v = alphabet[rng.Uniform(u)];
+    for (int k : {1, 2, 3, 4}) {
+      EXPECT_EQ(PlanMultiPart(x, k).cost_bits, BruteForceCost(x, k))
+          << "trial " << trial << " k=" << k;
+    }
+  }
+}
+
+class MultiPartRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiPartRoundTripTest, RoundTripsAcrossK) {
+  const int k = GetParam();
+  MultiPartOperator op(k);
+  for (uint64_t seed : {21u, 22u}) {
+    for (int n : {1, 2, 50, 400}) {
+      const auto x = OutlierBlock(seed, n);
+      Bytes out;
+      ASSERT_TRUE(op.Encode(x, &out).ok());
+      size_t offset = 0;
+      std::vector<int64_t> got;
+      ASSERT_TRUE(op.Decode(out, &offset, &got).ok());
+      EXPECT_EQ(got, x) << "k=" << k << " n=" << n;
+      EXPECT_EQ(offset, out.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, MultiPartRoundTripTest,
+                         ::testing::Range(1, 8));
+
+TEST(MultiPartOperatorTest, EmptyBlock) {
+  MultiPartOperator op(3);
+  Bytes out;
+  ASSERT_TRUE(op.Encode({}, &out).ok());
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(MultiPartOperatorTest, ConstantBlock) {
+  MultiPartOperator op(4);
+  std::vector<int64_t> x(100, 9);
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok());
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST(MultiPartOperatorTest, ExtremesRoundTrip) {
+  MultiPartOperator op(5);
+  std::vector<int64_t> x{INT64_MIN, INT64_MAX, 0, 0, 0, 1, -1, 2, -2, 3};
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok());
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST(MultiPartOperatorTest, DecodeRejectsTruncation) {
+  MultiPartOperator op(3);
+  const auto x = OutlierBlock(33, 200);
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok());
+  for (size_t cut : {out.size() - 1, out.size() / 2, size_t{2}}) {
+    Bytes prefix(out.begin(), out.begin() + cut);
+    size_t offset = 0;
+    std::vector<int64_t> got;
+    const Status st = op.Decode(prefix, &offset, &got);
+    EXPECT_FALSE(st.ok() && got.size() == x.size());
+  }
+}
+
+TEST(MultiPartOperatorTest, EncodedSizeShrinksThenPlateaus) {
+  // The Figure 14 shape: 1 -> 3 parts improves clearly; 3 -> 7 marginal.
+  const auto x = OutlierBlock(44, 1024);
+  std::vector<size_t> sizes;
+  for (int k = 1; k <= 7; ++k) {
+    MultiPartOperator op(k);
+    Bytes out;
+    ASSERT_TRUE(op.Encode(x, &out).ok());
+    sizes.push_back(out.size());
+  }
+  EXPECT_LT(sizes[2], sizes[0]);  // 3 parts clearly beat 1
+  for (int k = 3; k < 7; ++k) EXPECT_LE(sizes[k], sizes[k - 1] + 8);
+}
+
+}  // namespace
+}  // namespace bos::core

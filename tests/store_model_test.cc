@@ -1,0 +1,105 @@
+// Model-based test: a random sequence of store operations is mirrored
+// against a trivially correct in-memory reference; every query must agree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/store.h"
+#include "util/random.h"
+
+namespace bos::storage {
+namespace {
+
+using codecs::DataPoint;
+
+class StoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreModelTest, RandomOperationSequencesMatchReference) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bos_store_model_" + std::to_string(::getpid()) + "_" +
+        std::to_string(GetParam())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  StoreOptions options;
+  options.dir = dir;
+  options.memtable_points = 700;  // force frequent automatic flushes
+  options.page_size = 128;        // many pages -> real pruning
+  auto store = TsStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  // Reference: per series, the multiset of points in insertion order.
+  std::map<std::string, std::vector<DataPoint>> reference;
+  const std::string series[] = {"a", "b", "c"};
+
+  Rng rng(GetParam());
+  for (int op = 0; op < 4000; ++op) {
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 80) {  // write
+      const std::string& s = series[rng.Uniform(3)];
+      const DataPoint p{rng.UniformInt(0, 100000), rng.UniformInt(-500, 500)};
+      ASSERT_TRUE((*store)->Write(s, p).ok());
+      reference[s].push_back(p);
+    } else if (kind < 88) {  // explicit flush
+      ASSERT_TRUE((*store)->Flush().ok());
+    } else if (kind < 92) {  // compact
+      ASSERT_TRUE((*store)->Compact().ok());
+    } else {  // query a random window and compare with the reference
+      const std::string& s = series[rng.Uniform(3)];
+      int64_t t0 = rng.UniformInt(0, 100000);
+      int64_t t1 = rng.UniformInt(0, 100000);
+      if (t0 > t1) std::swap(t0, t1);
+      std::vector<DataPoint> got;
+      ASSERT_TRUE((*store)->Query(s, t0, t1, &got).ok());
+
+      std::vector<DataPoint> expected;
+      for (const DataPoint& p : reference[s]) {
+        if (p.timestamp >= t0 && p.timestamp <= t1) expected.push_back(p);
+      }
+      // Order within equal timestamps is not specified across flush
+      // boundaries; compare as multisets sorted by (time, value).
+      auto key = [](const DataPoint& a, const DataPoint& b) {
+        return a.timestamp != b.timestamp ? a.timestamp < b.timestamp
+                                          : a.value < b.value;
+      };
+      std::sort(got.begin(), got.end(), key);
+      std::sort(expected.begin(), expected.end(), key);
+      ASSERT_EQ(got, expected) << "op " << op << " series " << s;
+    }
+  }
+
+  // Final full check per series, plus aggregates.
+  for (const std::string& s : series) {
+    std::vector<DataPoint> got;
+    ASSERT_TRUE((*store)->Query(s, INT64_MIN, INT64_MAX, &got).ok());
+    EXPECT_EQ(got.size(), reference[s].size());
+
+    auto agg = (*store)->Aggregate(s);
+    ASSERT_TRUE(agg.ok());
+    EXPECT_EQ(agg->count, reference[s].size());
+    if (!reference[s].empty()) {
+      int64_t min = reference[s][0].value, max = reference[s][0].value, sum = 0;
+      for (const DataPoint& p : reference[s]) {
+        min = std::min(min, p.value);
+        max = std::max(max, p.value);
+        sum += p.value;
+      }
+      EXPECT_EQ(agg->min, min);
+      EXPECT_EQ(agg->max, max);
+      EXPECT_EQ(agg->sum, sum);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace bos::storage

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "storage/store.h"
+#include "util/random.h"
+
+namespace bos::storage {
+namespace {
+
+using codecs::DataPoint;
+
+class TsStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("bos_store_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  StoreOptions Options(size_t memtable = 1 << 20) {
+    StoreOptions options;
+    options.dir = dir_;
+    options.memtable_points = memtable;
+    return options;
+  }
+
+  static std::vector<DataPoint> Points(uint64_t seed, size_t n,
+                                       int64_t t_start = 0) {
+    Rng rng(seed);
+    std::vector<DataPoint> points(n);
+    int64_t t = t_start;
+    for (auto& p : points) {
+      t += 1 + rng.Uniform(10);
+      p = {t, rng.UniformInt(-1000, 1000)};
+    }
+    return points;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(TsStoreTest, RejectsEmptyDir) {
+  StoreOptions options;
+  EXPECT_TRUE(TsStore::Open(options).status().IsInvalidArgument());
+}
+
+TEST_F(TsStoreTest, WriteQueryWithoutFlushHitsMemtable) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  const auto points = Points(1, 100);
+  ASSERT_TRUE((*store)->WriteBatch("s", points).ok());
+  EXPECT_EQ((*store)->num_files(), 0u);
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, points);
+}
+
+TEST_F(TsStoreTest, AutomaticFlushAtThreshold) {
+  auto store = TsStore::Open(Options(/*memtable=*/500));
+  ASSERT_TRUE(store.ok());
+  const auto points = Points(2, 1200);
+  for (const auto& p : points) ASSERT_TRUE((*store)->Write("s", p).ok());
+  EXPECT_GE((*store)->num_files(), 2u);
+  EXPECT_LT((*store)->memtable_points(), 500u);
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, points);
+}
+
+TEST_F(TsStoreTest, OutOfOrderWritesAreSortedAtRead) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Write("s", {30, 3}).ok());
+  ASSERT_TRUE((*store)->Write("s", {10, 1}).ok());
+  ASSERT_TRUE((*store)->Write("s", {20, 2}).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (DataPoint{10, 1}));
+  EXPECT_EQ(got[1], (DataPoint{20, 2}));
+  EXPECT_EQ(got[2], (DataPoint{30, 3}));
+}
+
+TEST_F(TsStoreTest, QueryMergesFilesAndMemtable) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  const auto first = Points(3, 300, 0);
+  const auto second = Points(4, 300, 100000);
+  ASSERT_TRUE((*store)->WriteBatch("s", first).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->WriteBatch("s", second).ok());  // stays in memtable
+
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  ASSERT_EQ(got.size(), 600u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].timestamp, got[i].timestamp);
+  }
+}
+
+TEST_F(TsStoreTest, TimeWindowQuery) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  std::vector<DataPoint> points;
+  for (int64_t t = 0; t < 1000; ++t) points.push_back({t, t * 2});
+  ASSERT_TRUE((*store)->WriteBatch("s", points).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", 100, 199, &got).ok());
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_EQ(got.front().timestamp, 100);
+  EXPECT_EQ(got.back().timestamp, 199);
+}
+
+TEST_F(TsStoreTest, MultipleSeries) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->WriteBatch("a", Points(5, 50)).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->WriteBatch("b", Points(6, 50)).ok());
+  const auto names = (*store)->ListSeries();
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("b", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got.size(), 50u);
+  got.clear();
+  ASSERT_TRUE((*store)->Query("missing", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_F(TsStoreTest, AggregateAcrossFilesAndMemtable) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  std::vector<DataPoint> all;
+  for (int part = 0; part < 3; ++part) {
+    const auto points = Points(10 + part, 400, part * 100000);
+    all.insert(all.end(), points.begin(), points.end());
+    ASSERT_TRUE((*store)->WriteBatch("s", points).ok());
+    if (part < 2) {
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
+  }
+  auto agg = (*store)->Aggregate("s");
+  ASSERT_TRUE(agg.ok());
+  int64_t min = all[0].value, max = all[0].value, sum = 0;
+  for (const auto& p : all) {
+    min = std::min(min, p.value);
+    max = std::max(max, p.value);
+    sum += p.value;
+  }
+  EXPECT_EQ(agg->count, all.size());
+  EXPECT_EQ(agg->min, min);
+  EXPECT_EQ(agg->max, max);
+  EXPECT_EQ(agg->sum, sum);
+}
+
+TEST_F(TsStoreTest, ReopenAdoptsExistingFiles) {
+  const auto points = Points(20, 500);
+  {
+    auto store = TsStore::Open(Options());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->WriteBatch("s", points).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = TsStore::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_files(), 1u);
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*reopened)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, points);
+  // New flushes do not collide with adopted file names.
+  ASSERT_TRUE((*reopened)->WriteBatch("s", Points(21, 10, 1 << 20)).ok());
+  ASSERT_TRUE((*reopened)->Flush().ok());
+  EXPECT_EQ((*reopened)->num_files(), 2u);
+}
+
+TEST_F(TsStoreTest, CompactMergesToOneFile) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  std::vector<DataPoint> all;
+  for (int part = 0; part < 4; ++part) {
+    const auto points = Points(30 + part, 250, part * 50000);
+    all.insert(all.end(), points.begin(), points.end());
+    ASSERT_TRUE((*store)->WriteBatch("s", points).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  EXPECT_EQ((*store)->num_files(), 4u);
+  ASSERT_TRUE((*store)->Compact().ok());
+  EXPECT_EQ((*store)->num_files(), 1u);
+
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, all);  // parts were time-disjoint and ordered
+  // Old files really are gone from disk.
+  size_t on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    on_disk += entry.path().extension() == ".tsfile";
+  }
+  EXPECT_EQ(on_disk, 1u);
+}
+
+TEST_F(TsStoreTest, AutoAdvisePinsPerSeriesCodec) {
+  StoreOptions options = Options();
+  options.auto_advise = true;
+  auto store = TsStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  // Series "runs" is pure runs (RLE territory); "walk" is a smooth walk.
+  std::vector<DataPoint> runs, walk;
+  Rng rng(50);
+  int64_t cur = 100000;
+  for (int64_t t = 0; t < 20000; ++t) {
+    runs.push_back({t, (t / 700) % 5});
+    cur += rng.UniformInt(-2, 2);
+    walk.push_back({t, cur});
+  }
+  ASSERT_TRUE((*store)->WriteBatch("runs", runs).ok());
+  ASSERT_TRUE((*store)->WriteBatch("walk", walk).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  // The advisor picked codecs, and they differ by data shape.
+  const std::string runs_spec = (*store)->SpecFor("runs");
+  const std::string walk_spec = (*store)->SpecFor("walk");
+  EXPECT_NE(runs_spec, options.spec);
+  EXPECT_TRUE(runs_spec.find("RLE+") != std::string::npos) << runs_spec;
+  EXPECT_TRUE(walk_spec.find("RLE+") == std::string::npos) << walk_spec;
+
+  // Data still round-trips under the advised codecs.
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("runs", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, runs);
+  got.clear();
+  ASSERT_TRUE((*store)->Query("walk", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, walk);
+
+  // The pick is pinned: later flushes reuse it.
+  ASSERT_TRUE((*store)->Write("runs", {30000, 1}).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->SpecFor("runs"), runs_spec);
+}
+
+TEST_F(TsStoreTest, CorruptAdoptedFileFailsOpen) {
+  {
+    auto store = TsStore::Open(Options());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->WriteBatch("s", Points(40, 100)).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Truncate the flushed file (skip the WAL).
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".tsfile") continue;
+    std::filesystem::resize_file(entry.path(),
+                                 std::filesystem::file_size(entry.path()) - 4);
+  }
+  EXPECT_FALSE(TsStore::Open(Options()).ok());
+}
+
+}  // namespace
+}  // namespace bos::storage

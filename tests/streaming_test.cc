@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codecs/registry.h"
+#include "codecs/streaming.h"
+#include "util/random.h"
+
+namespace bos::codecs {
+namespace {
+
+std::shared_ptr<const SeriesCodec> Codec(const std::string& spec) {
+  auto r = MakeSeriesCodec(spec);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+std::vector<int64_t> Values(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<int64_t> x(n);
+  int64_t cur = 0;
+  for (auto& v : x) {
+    cur += static_cast<int64_t>(rng.Normal(0, 10));
+    v = cur;
+    if (rng.Bernoulli(0.02)) v += rng.UniformInt(-100000, 100000);
+  }
+  return x;
+}
+
+TEST(StreamingTest, RoundTripOneByOne) {
+  const auto x = Values(1, 5000);
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BOS-B"));
+  for (int64_t v : x) encoder.Append(v);
+  ASSERT_TRUE(encoder.Finish().ok());
+
+  SeriesStreamDecoder decoder(Codec("TS2DIFF+BOS-B"), *encoder.sink());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(decoder.ReadAll(&got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST(StreamingTest, RoundTripSpans) {
+  const auto x = Values(2, 4096);
+  SeriesStreamEncoder encoder(Codec("RLE+BOS-M"), 256);
+  encoder.AppendSpan(std::span<const int64_t>(x).subspan(0, 1000));
+  encoder.AppendSpan(std::span<const int64_t>(x).subspan(1000));
+  ASSERT_TRUE(encoder.Finish().ok());
+
+  SeriesStreamDecoder decoder(Codec("RLE+BOS-M"), *encoder.sink());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(decoder.ReadAll(&got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST(StreamingTest, EmptyStream) {
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BP"));
+  ASSERT_TRUE(encoder.Finish().ok());
+  SeriesStreamDecoder decoder(Codec("TS2DIFF+BP"), *encoder.sink());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(decoder.ReadAll(&got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(StreamingTest, PartialTailBlock) {
+  const auto x = Values(3, 1000);  // not a multiple of the block size
+  SeriesStreamEncoder encoder(Codec("SPRINTZ+FASTPFOR"), 300);
+  for (int64_t v : x) encoder.Append(v);
+  ASSERT_TRUE(encoder.Finish().ok());
+  SeriesStreamDecoder decoder(Codec("SPRINTZ+FASTPFOR"), *encoder.sink());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(decoder.ReadAll(&got).ok());
+  EXPECT_EQ(got, x);
+}
+
+TEST(StreamingTest, BlockByBlockPull) {
+  const auto x = Values(4, 2500);
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BOS-B"), 1000);
+  for (int64_t v : x) encoder.Append(v);
+  ASSERT_TRUE(encoder.Finish().ok());
+
+  SeriesStreamDecoder decoder(Codec("TS2DIFF+BOS-B"), *encoder.sink());
+  std::vector<int64_t> got;
+  bool done = false;
+  int blocks = 0;
+  while (!done) {
+    ASSERT_TRUE(decoder.NextBlock(&got, &done).ok());
+    if (!done) ++blocks;
+  }
+  EXPECT_EQ(blocks, 3);  // 1000 + 1000 + 500
+  EXPECT_EQ(got, x);
+}
+
+TEST(StreamingTest, MemoryStaysBoundedByBlock) {
+  // The pending buffer never exceeds one block even for long streams.
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BOS-M"), 128);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    encoder.Append(rng.UniformInt(-100, 100));
+  }
+  ASSERT_TRUE(encoder.Finish().ok());
+  SeriesStreamDecoder decoder(Codec("TS2DIFF+BOS-M"), *encoder.sink());
+  std::vector<int64_t> got;
+  ASSERT_TRUE(decoder.ReadAll(&got).ok());
+  EXPECT_EQ(got.size(), 100000u);
+}
+
+TEST(StreamingTest, TruncatedStreamFails) {
+  const auto x = Values(6, 3000);
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BP"));
+  for (int64_t v : x) encoder.Append(v);
+  ASSERT_TRUE(encoder.Finish().ok());
+  const Bytes& full = *encoder.sink();
+  for (size_t cut : {full.size() - 1, full.size() / 2, size_t{0}}) {
+    Bytes prefix(full.begin(), full.begin() + cut);
+    SeriesStreamDecoder decoder(Codec("TS2DIFF+BP"), prefix);
+    std::vector<int64_t> got;
+    const Status st = decoder.ReadAll(&got);
+    EXPECT_FALSE(st.ok() && got.size() == x.size());
+  }
+}
+
+TEST(StreamingTest, ReusableAfterFinish) {
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BP"), 64);
+  encoder.Append(1);
+  ASSERT_TRUE(encoder.Finish().ok());
+  const size_t first_stream_end = encoder.sink()->size();
+  encoder.Append(2);
+  ASSERT_TRUE(encoder.Finish().ok());
+
+  // Two back-to-back streams in the sink.
+  BytesView all(*encoder.sink());
+  SeriesStreamDecoder first(Codec("TS2DIFF+BP"), all.subspan(0, first_stream_end));
+  std::vector<int64_t> got;
+  ASSERT_TRUE(first.ReadAll(&got).ok());
+  EXPECT_EQ(got, (std::vector<int64_t>{1}));
+  SeriesStreamDecoder second(Codec("TS2DIFF+BP"), all.subspan(first_stream_end));
+  got.clear();
+  ASSERT_TRUE(second.ReadAll(&got).ok());
+  EXPECT_EQ(got, (std::vector<int64_t>{2}));
+}
+
+}  // namespace
+}  // namespace bos::codecs

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "codecs/timeseries.h"
+#include "data/dataset.h"
+#include "storage/tsfile.h"
+#include "util/random.h"
+
+namespace bos::codecs {
+namespace {
+
+std::vector<DataPoint> MakePoints(uint64_t seed, size_t n) {
+  const auto times = data::GenerateTimestamps(n, 1700000000000, 1000, seed);
+  const auto values =
+      data::GenerateInteger(*data::FindDataset("MT"), n, seed);
+  std::vector<DataPoint> points(n);
+  for (size_t i = 0; i < n; ++i) points[i] = {times[i], values[i]};
+  return points;
+}
+
+TEST(TimestampGeneratorTest, SortedWithJitterAndGaps) {
+  const auto times = data::GenerateTimestamps(50000);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LT(times[i - 1], times[i]);
+  }
+  // Gaps exist: some deltas far above the nominal interval.
+  int64_t max_delta = 0;
+  for (size_t i = 1; i < times.size(); ++i) {
+    max_delta = std::max(max_delta, times[i] - times[i - 1]);
+  }
+  EXPECT_GT(max_delta, 5000);
+}
+
+TEST(TimeSeriesCodecTest, SpecParsing) {
+  EXPECT_TRUE(MakeTimeSeriesCodec("TS2DIFF+BOS-B|RLE+BP").ok());
+  EXPECT_TRUE(MakeTimeSeriesCodec("TS2DIFF+BOS-B").status().IsInvalidArgument());
+  EXPECT_TRUE(MakeTimeSeriesCodec("NOPE+X|RLE+BP").status().IsInvalidArgument());
+  auto codec = MakeTimeSeriesCodec("TS2DIFF+BOS-B|SPRINTZ+BOS-M");
+  ASSERT_TRUE(codec.ok());
+  EXPECT_EQ((*codec)->name(), "TS2DIFF+BOS-B|SPRINTZ+BOS-M");
+}
+
+TEST(TimeSeriesCodecTest, RoundTrip) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1024}, size_t{5000}}) {
+    const auto points = MakePoints(n, n);
+    auto codec = MakeTimeSeriesCodec("TS2DIFF+BOS-B|TS2DIFF+BOS-B");
+    ASSERT_TRUE(codec.ok());
+    Bytes out;
+    ASSERT_TRUE((*codec)->Compress(points, &out).ok());
+    std::vector<DataPoint> back;
+    ASSERT_TRUE((*codec)->Decompress(out, &back).ok());
+    EXPECT_EQ(back, points) << n;
+  }
+}
+
+TEST(TimeSeriesCodecTest, NearRegularTimestampsCompressHard) {
+  // Timestamp deltas are ~1000 +- 50 with rare gap outliers: BOS territory.
+  const auto points = MakePoints(7, 20000);
+  auto codec = MakeTimeSeriesCodec("TS2DIFF+BOS-B|TS2DIFF+BOS-B");
+  ASSERT_TRUE(codec.ok());
+  Bytes out;
+  ASSERT_TRUE((*codec)->Compress(points, &out).ok());
+  // 16 bytes/point raw; expect well below 4.
+  EXPECT_LT(out.size(), points.size() * 4);
+}
+
+TEST(TimeSeriesCodecTest, TruncationRejected) {
+  const auto points = MakePoints(8, 2000);
+  auto codec = MakeTimeSeriesCodec("TS2DIFF+BP|TS2DIFF+BP");
+  ASSERT_TRUE(codec.ok());
+  Bytes out;
+  ASSERT_TRUE((*codec)->Compress(points, &out).ok());
+  Bytes prefix(out.begin(), out.begin() + out.size() / 3);
+  std::vector<DataPoint> back;
+  const Status st = (*codec)->Decompress(prefix, &back);
+  EXPECT_FALSE(st.ok() && back.size() == points.size());
+}
+
+class TimedTsFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bos_timed_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) { return (dir_ / n).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TimedTsFileTest, WriteReadTimedSeries) {
+  const auto points = MakePoints(9, 10240);
+  const std::string path = Path("timed.bos");
+  {
+    storage::TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer
+                    .AppendTimeSeries("sensor.temp",
+                                      "TS2DIFF+BOS-B|TS2DIFF+BOS-B", points)
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ASSERT_EQ(reader.series().size(), 1u);
+  EXPECT_TRUE(reader.series()[0].timed);
+
+  std::vector<DataPoint> got;
+  ASSERT_TRUE(reader.ReadTimeSeries("sensor.temp", &got).ok());
+  EXPECT_EQ(got, points);
+}
+
+TEST_F(TimedTsFileTest, TimeRangeQueryPrunesPages) {
+  const auto points = MakePoints(10, 10240);  // 10 pages
+  const std::string path = Path("range.bos");
+  {
+    storage::TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer
+                    .AppendTimeSeries("s", "TS2DIFF+BOS-B|TS2DIFF+BOS-B",
+                                      points)
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  // Window covering roughly one page in the middle.
+  const int64_t t0 = points[3000].timestamp;
+  const int64_t t1 = points[3500].timestamp;
+  storage::ScanStats stats;
+  std::vector<DataPoint> got;
+  ASSERT_TRUE(reader.ReadTimeRange("s", t0, t1, &got, &stats).ok());
+  ASSERT_EQ(got.size(), 501u);
+  EXPECT_EQ(got.front(), points[3000]);
+  EXPECT_EQ(got.back(), points[3500]);
+  EXPECT_LE(stats.pages_read, 2u);
+
+  // Window before all data returns nothing and reads nothing.
+  stats = {};
+  got.clear();
+  ASSERT_TRUE(reader.ReadTimeRange("s", 0, 100, &got, &stats).ok());
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.pages_read, 0u);
+}
+
+TEST_F(TimedTsFileTest, MixedTimedAndPlainSeries) {
+  const auto points = MakePoints(11, 3000);
+  const auto plain = data::GenerateInteger(*data::FindDataset("CS"), 3000);
+  const std::string path = Path("mixed.bos");
+  {
+    storage::TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(
+        writer.AppendTimeSeries("timed", "TS2DIFF+BOS-B|RLE+BOS-B", points)
+            .ok());
+    ASSERT_TRUE(writer.AppendSeries("plain", "TS2DIFF+BOS-B", plain).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  std::vector<DataPoint> got_points;
+  ASSERT_TRUE(reader.ReadTimeSeries("timed", &got_points).ok());
+  EXPECT_EQ(got_points, points);
+  std::vector<int64_t> got_plain;
+  ASSERT_TRUE(reader.ReadSeries("plain", &got_plain).ok());
+  EXPECT_EQ(got_plain, plain);
+
+  // Type confusion is rejected cleanly.
+  got_plain.clear();
+  EXPECT_TRUE(reader.ReadSeries("timed", &got_plain).IsInvalidArgument());
+  got_points.clear();
+  EXPECT_TRUE(reader.ReadTimeSeries("plain", &got_points).IsInvalidArgument());
+}
+
+TEST_F(TimedTsFileTest, UnsortedTimestampsRejected) {
+  std::vector<DataPoint> points{{100, 1}, {50, 2}};
+  storage::TsFileWriter writer(Path("unsorted.bos"));
+  ASSERT_TRUE(writer.Open().ok());
+  EXPECT_TRUE(writer.AppendTimeSeries("s", "TS2DIFF+BP|TS2DIFF+BP", points)
+                  .IsInvalidArgument());
+}
+
+TEST_F(TimedTsFileTest, EmptyTimedSeries) {
+  const std::string path = Path("empty.bos");
+  {
+    storage::TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendTimeSeries("s", "TS2DIFF+BP|TS2DIFF+BP", {}).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  storage::TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<DataPoint> got;
+  ASSERT_TRUE(reader.ReadTimeSeries("s", &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace bos::codecs

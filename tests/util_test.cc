@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "util/bits.h"
+#include "util/buffer.h"
+#include "util/crc32.h"
+#include "util/macros.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "bad page");
+  EXPECT_EQ(s.ToString(), "Corruption: bad page");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::InvalidArgument("x");
+  Status t = s;
+  EXPECT_TRUE(t.IsInvalidArgument());
+  EXPECT_EQ(t.message(), "x");
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotImplemented("").IsNotImplemented());
+  EXPECT_TRUE(Status::IoError("").IsIoError());
+  EXPECT_TRUE(Status::OutOfRange("").IsOutOfRange());
+  EXPECT_EQ(Status::Unknown("").code(), StatusCode::kUnknown);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::IoError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  BOS_ASSIGN_OR_RETURN(const int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(UseAssignOrReturn(-1, &out).IsInvalidArgument());
+}
+
+TEST(BitsTest, BitWidthMatchesPaperExamples) {
+  // "The bit-width of 8 is 4 after removing leading zero" (Section I).
+  EXPECT_EQ(BitWidth(8), 4);
+  EXPECT_EQ(BitWidth(7), 3);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(0), 0);
+  EXPECT_EQ(BitWidth(~0ULL), 64);
+}
+
+TEST(BitsTest, BitWidthIsCeilLog2Plus1) {
+  for (int w = 1; w <= 63; ++w) {
+    const uint64_t v = 1ULL << w;
+    EXPECT_EQ(BitWidth(v - 1), w);
+    EXPECT_EQ(BitWidth(v), w + 1);
+  }
+}
+
+TEST(BitsTest, RangeBitWidthClampsDegenerateRange) {
+  EXPECT_EQ(RangeBitWidth(0), 1);  // Definition 5 edge case
+  EXPECT_EQ(RangeBitWidth(1), 1);
+  EXPECT_EQ(RangeBitWidth(2), 2);
+}
+
+TEST(BitsTest, UnsignedRangeHandlesFullInt64Span) {
+  EXPECT_EQ(UnsignedRange(INT64_MIN, INT64_MAX), ~0ULL);
+  EXPECT_EQ(UnsignedRange(-1, 1), 2ULL);
+  EXPECT_EQ(UnsignedRange(5, 5), 0ULL);
+}
+
+TEST(BitsTest, BitsToBytesRoundsUp) {
+  EXPECT_EQ(BitsToBytes(0), 0u);
+  EXPECT_EQ(BitsToBytes(1), 1u);
+  EXPECT_EQ(BitsToBytes(8), 1u);
+  EXPECT_EQ(BitsToBytes(9), 2u);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32("123456789") is the classic check value.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xcbf43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const char* s = "hello, bit-packing world";
+  const size_t n = std::strlen(s);
+  const uint32_t whole = Crc32(s, n);
+  const uint32_t part = Crc32(s + 7, n - 7, Crc32(s, 7));
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  Bytes data(128, 0xa5);
+  const uint32_t before = Crc32(data.data(), data.size());
+  data[64] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), before);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalHasRoughMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithRoughMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Exponential(0.5);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, LaplaceIsSymmetricHeavyTailed) {
+  Rng rng(17);
+  double sum = 0;
+  int extreme = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Laplace();
+    sum += v;
+    if (std::abs(v) > 4.0) ++extreme;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_GT(extreme, 0);  // heavier tail than a clipped distribution
+}
+
+TEST(BufferTest, PutGetFixedRoundTrip) {
+  Bytes out;
+  PutFixed<uint32_t>(&out, 0xdeadbeefU);
+  PutFixed<uint64_t>(&out, 0x0123456789abcdefULL);
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(GetFixed<uint32_t>(out, 0, &a));
+  ASSERT_TRUE(GetFixed<uint64_t>(out, 4, &b));
+  EXPECT_EQ(a, 0xdeadbeefU);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_FALSE(GetFixed<uint64_t>(out, 8, &b));  // short read
+}
+
+}  // namespace
+}  // namespace bos

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/store.h"
+#include "storage/wal.h"
+#include "util/random.h"
+
+namespace bos::storage {
+namespace {
+
+using codecs::DataPoint;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("bos_wal_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& n) {
+    return (std::filesystem::path(dir_) / n).string();
+  }
+  std::string dir_;
+};
+
+TEST_F(WalTest, AppendReplayRoundTrip) {
+  const std::string path = Path("wal");
+  {
+    WalWriter wal(path);
+    ASSERT_TRUE(wal.Open().ok());
+    ASSERT_TRUE(wal.Append("a", {1, 10}).ok());
+    ASSERT_TRUE(wal.Append("b", {2, -20}).ok());
+    ASSERT_TRUE(wal.Append("a", {3, 30}).ok());
+  }
+  std::vector<std::pair<std::string, DataPoint>> got;
+  auto replayed = ReplayWal(path, [&](const std::string& s, const DataPoint& p) {
+    got.emplace_back(s, p);
+  });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 3u);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, "a");
+  EXPECT_EQ(got[0].second, (DataPoint{1, 10}));
+  EXPECT_EQ(got[1].first, "b");
+  EXPECT_EQ(got[1].second, (DataPoint{2, -20}));
+  EXPECT_EQ(got[2].second, (DataPoint{3, 30}));
+}
+
+TEST_F(WalTest, MissingLogIsEmpty) {
+  auto replayed = ReplayWal(Path("absent"), [](const auto&, const auto&) {});
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 0u);
+}
+
+TEST_F(WalTest, ResetTruncates) {
+  const std::string path = Path("wal");
+  WalWriter wal(path);
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append("a", {1, 1}).ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  ASSERT_TRUE(wal.Append("a", {2, 2}).ok());
+  wal.Close();
+  uint64_t count = 0;
+  int64_t last_t = 0;
+  ASSERT_TRUE(ReplayWal(path, [&](const auto&, const DataPoint& p) {
+                ++count;
+                last_t = p.timestamp;
+              }).ok());
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(last_t, 2);
+}
+
+TEST_F(WalTest, TornTailIsIgnored) {
+  const std::string path = Path("wal");
+  {
+    WalWriter wal(path);
+    ASSERT_TRUE(wal.Open().ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal.Append("s", {i, i * 2}).ok());
+    }
+  }
+  // Chop bytes off the end: a crash mid-append.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 3);
+  uint64_t count = 0;
+  ASSERT_TRUE(
+      ReplayWal(path, [&](const auto&, const auto&) { ++count; }).ok());
+  EXPECT_EQ(count, 9u);  // last record torn, rest intact
+}
+
+TEST_F(WalTest, CorruptMiddleStopsReplay) {
+  const std::string path = Path("wal");
+  {
+    WalWriter wal(path);
+    ASSERT_TRUE(wal.Open().ok());
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(wal.Append("s", {i, i}).ok());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 20, SEEK_SET);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+  }
+  uint64_t count = 0;
+  ASSERT_TRUE(
+      ReplayWal(path, [&](const auto&, const auto&) { ++count; }).ok());
+  EXPECT_LT(count, 5u);  // replay stops at the corrupt record
+}
+
+TEST_F(WalTest, StoreRecoversUnflushedWrites) {
+  // Simulate a crash: write without flushing, drop the store object, and
+  // reopen — the WAL rebuilds the memtable.
+  StoreOptions options;
+  options.dir = dir_;
+  Rng rng(7);
+  std::vector<DataPoint> points;
+  {
+    auto store = TsStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 500; ++i) {
+      const DataPoint p{i, rng.UniformInt(-100, 100)};
+      points.push_back(p);
+      ASSERT_TRUE((*store)->Write("s", p).ok());
+    }
+    // No Flush(): destructor abandons the memtable, as a crash would.
+  }
+  auto reopened = TsStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->memtable_points(), 500u);
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*reopened)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, points);
+}
+
+TEST_F(WalTest, RecoveryAfterFlushOnlyReplaysNewWrites) {
+  StoreOptions options;
+  options.dir = dir_;
+  {
+    auto store = TsStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Write("s", {1, 11}).ok());
+    ASSERT_TRUE((*store)->Flush().ok());          // resets the log
+    ASSERT_TRUE((*store)->Write("s", {2, 22}).ok());  // only this is in WAL
+  }
+  auto reopened = TsStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->memtable_points(), 1u);
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*reopened)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  ASSERT_EQ(got.size(), 2u);  // one from the file + one recovered
+  EXPECT_EQ(got[0], (DataPoint{1, 11}));
+  EXPECT_EQ(got[1], (DataPoint{2, 22}));
+}
+
+TEST_F(WalTest, DisabledWalSkipsRecovery) {
+  StoreOptions options;
+  options.dir = dir_;
+  options.enable_wal = false;
+  {
+    auto store = TsStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Write("s", {1, 1}).ok());
+  }
+  auto reopened = TsStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->memtable_points(), 0u);  // lost, by configuration
+}
+
+}  // namespace
+}  // namespace bos::storage

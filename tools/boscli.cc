@@ -1,0 +1,243 @@
+// boscli — command-line front end for the BOS library.
+//
+//   boscli ops                               list codecs and operators
+//   boscli gen <abbr> <n> <file>             write a dataset as raw int64 LE
+//   boscli compress <spec> <in> <out>        compress raw int64 LE file
+//   boscli decompress <in> <out>             invert `compress`
+//   boscli inspect <file.tsfile>             dump a TsFile-lite footer
+//   boscli bench <abbr> [spec ...]           quick ratio table for a profile
+//
+// Compressed files are framed as: "BOSC" magic | varint spec length | spec
+// string | codec stream — so `decompress` needs no extra arguments.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bitpack/varint.h"
+#include "codecs/advisor.h"
+#include "codecs/registry.h"
+#include "data/dataset.h"
+#include "storage/tsfile.h"
+#include "util/buffer.h"
+
+namespace {
+
+using namespace bos;
+
+constexpr char kMagic[4] = {'B', 'O', 'S', 'C'};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "boscli: %s\n", message.c_str());
+  return 1;
+}
+
+bool ReadFile(const std::string& path, Bytes* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const bool ok = std::fread(out->data(), 1, out->size(), f) == out->size();
+  std::fclose(f);
+  return ok;
+}
+
+bool WriteFile(const std::string& path, const Bytes& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::vector<int64_t> BytesToValues(const Bytes& raw) {
+  std::vector<int64_t> values(raw.size() / 8);
+  std::memcpy(values.data(), raw.data(), values.size() * 8);
+  return values;
+}
+
+int CmdOps() {
+  std::printf("transforms:");
+  for (const auto& t : codecs::TransformNames()) std::printf(" %s", t.c_str());
+  std::printf("\noperators: ");
+  for (const auto& o : codecs::OperatorNames()) std::printf(" %s", o.c_str());
+  std::printf("\ndatasets:  ");
+  for (const auto& d : data::AllDatasets()) std::printf(" %s", d.abbr.c_str());
+  std::printf("\nspec form:  TRANSFORM+OPERATOR, e.g. TS2DIFF+BOS-B\n");
+  return 0;
+}
+
+int CmdGen(const std::string& abbr, const std::string& count,
+           const std::string& path) {
+  auto info = data::FindDataset(abbr);
+  if (!info.ok()) return Fail(info.status().ToString());
+  const size_t n = std::strtoull(count.c_str(), nullptr, 10);
+  const auto values = data::GenerateInteger(*info, n);
+  Bytes raw(values.size() * 8);
+  std::memcpy(raw.data(), values.data(), raw.size());
+  if (!WriteFile(path, raw)) return Fail("cannot write " + path);
+  std::printf("wrote %zu values (%zu bytes) of %s to %s\n", values.size(),
+              raw.size(), info->name.c_str(), path.c_str());
+  return 0;
+}
+
+int CmdCompress(const std::string& spec, const std::string& in,
+                const std::string& out_path) {
+  auto codec = codecs::MakeSeriesCodec(spec);
+  if (!codec.ok()) return Fail(codec.status().ToString());
+  Bytes raw;
+  if (!ReadFile(in, &raw)) return Fail("cannot read " + in);
+  if (raw.size() % 8 != 0) return Fail("input is not a whole number of int64s");
+  const auto values = BytesToValues(raw);
+
+  Bytes out;
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  bitpack::PutVarint(&out, spec.size());
+  for (char c : spec) out.push_back(static_cast<uint8_t>(c));
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = (*codec)->Compress(values, &out);
+  if (!st.ok()) return Fail(st.ToString());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (!WriteFile(out_path, out)) return Fail("cannot write " + out_path);
+  std::printf("%s: %zu -> %zu bytes (ratio %.2f) in %.1f ms [%s]\n",
+              in.c_str(), raw.size(), out.size(),
+              static_cast<double>(raw.size()) / static_cast<double>(out.size()),
+              seconds * 1e3, spec.c_str());
+  return 0;
+}
+
+int CmdDecompress(const std::string& in, const std::string& out_path) {
+  Bytes data;
+  if (!ReadFile(in, &data)) return Fail("cannot read " + in);
+  if (data.size() < 5 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Fail("not a boscli-compressed file");
+  }
+  size_t offset = 4;
+  uint64_t spec_len;
+  if (!bitpack::GetVarint(data, &offset, &spec_len).ok() ||
+      offset + spec_len > data.size()) {
+    return Fail("corrupt spec header");
+  }
+  const std::string spec(reinterpret_cast<const char*>(data.data() + offset),
+                         spec_len);
+  offset += spec_len;
+  auto codec = codecs::MakeSeriesCodec(spec);
+  if (!codec.ok()) return Fail(codec.status().ToString());
+
+  std::vector<int64_t> values;
+  const Status st =
+      (*codec)->Decompress(BytesView(data).subspan(offset), &values);
+  if (!st.ok()) return Fail(st.ToString());
+  Bytes raw(values.size() * 8);
+  std::memcpy(raw.data(), values.data(), raw.size());
+  if (!WriteFile(out_path, raw)) return Fail("cannot write " + out_path);
+  std::printf("%s: %zu values restored [%s]\n", out_path.c_str(), values.size(),
+              spec.c_str());
+  return 0;
+}
+
+int CmdAdvise(const std::string& in) {
+  Bytes raw;
+  if (!ReadFile(in, &raw)) return Fail("cannot read " + in);
+  if (raw.size() % 8 != 0) return Fail("input is not a whole number of int64s");
+  const auto values = BytesToValues(raw);
+  auto rec = codecs::AdviseCodec(values);
+  if (!rec.ok()) return Fail(rec.status().ToString());
+  std::printf("recommended: %s (estimated ratio %.2f)\n", rec->spec.c_str(),
+              rec->estimated_ratio);
+  for (const auto& score : rec->ranking) {
+    std::printf("  %-22s %6.2f\n", score.spec.c_str(), score.ratio);
+  }
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  storage::TsFileReader reader;
+  const Status st = reader.Open(path);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("%s: %llu bytes, %zu series\n", path.c_str(),
+              static_cast<unsigned long long>(reader.file_size()),
+              reader.series().size());
+  for (const auto& s : reader.series()) {
+    std::printf("  %-20s %-28s %s %8llu values, %zu pages\n", s.name.c_str(),
+                s.codec_spec.c_str(), s.timed ? "timed" : "plain",
+                static_cast<unsigned long long>(s.num_values), s.pages.size());
+    for (size_t p = 0; p < s.pages.size() && p < 4; ++p) {
+      const auto& page = s.pages[p];
+      std::printf("    page %zu: offset %llu, %llu bytes, %llu values\n", p,
+                  static_cast<unsigned long long>(page.offset),
+                  static_cast<unsigned long long>(page.size),
+                  static_cast<unsigned long long>(page.count));
+    }
+    if (s.pages.size() > 4) std::printf("    ... %zu more\n", s.pages.size() - 4);
+  }
+  return 0;
+}
+
+int CmdBench(const std::string& abbr, const std::vector<std::string>& specs) {
+  auto info = data::FindDataset(abbr);
+  if (!info.ok()) return Fail(info.status().ToString());
+  const auto values = data::GenerateInteger(*info, info->default_size);
+  std::vector<std::string> todo = specs;
+  if (todo.empty()) {
+    todo = {"TS2DIFF+BP", "TS2DIFF+FASTPFOR", "TS2DIFF+BOS-B", "TS2DIFF+BOS-M",
+            "RLE+BOS-B", "SPRINTZ+BOS-B"};
+  }
+  std::printf("%s (%zu values)\n%-22s %8s %14s\n", info->name.c_str(),
+              values.size(), "spec", "ratio", "compress(ms)");
+  for (const auto& spec : todo) {
+    auto codec = codecs::MakeSeriesCodec(spec);
+    if (!codec.ok()) return Fail(codec.status().ToString());
+    Bytes out;
+    const auto start = std::chrono::steady_clock::now();
+    if (!(*codec)->Compress(values, &out).ok()) return Fail("compress failed");
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("%-22s %8.2f %14.1f\n", spec.c_str(),
+                static_cast<double>(values.size() * 8) /
+                    static_cast<double>(out.size()),
+                seconds * 1e3);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: boscli <command> [args]\n"
+               "  ops\n"
+               "  gen <abbr> <n> <file>\n"
+               "  compress <spec> <in> <out>\n"
+               "  decompress <in> <out>\n"
+               "  advise <in>\n"
+               "  inspect <file.tsfile>\n"
+               "  bench <abbr> [spec ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  const std::string& cmd = args[0];
+  if (cmd == "ops") return CmdOps();
+  if (cmd == "gen" && args.size() == 4) return CmdGen(args[1], args[2], args[3]);
+  if (cmd == "compress" && args.size() == 4) {
+    return CmdCompress(args[1], args[2], args[3]);
+  }
+  if (cmd == "decompress" && args.size() == 3) {
+    return CmdDecompress(args[1], args[2]);
+  }
+  if (cmd == "advise" && args.size() == 2) return CmdAdvise(args[1]);
+  if (cmd == "inspect" && args.size() == 2) return CmdInspect(args[1]);
+  if (cmd == "bench" && args.size() >= 2) {
+    return CmdBench(args[1], {args.begin() + 2, args.end()});
+  }
+  return Usage();
+}
