@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_position_encoding.dir/ablation_position_encoding.cpp.o"
+  "CMakeFiles/ablation_position_encoding.dir/ablation_position_encoding.cpp.o.d"
+  "ablation_position_encoding"
+  "ablation_position_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_position_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_distributions.dir/fig08_distributions.cpp.o"
+  "CMakeFiles/fig08_distributions.dir/fig08_distributions.cpp.o.d"
+  "fig08_distributions"
+  "fig08_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_outlier_fraction.dir/fig09_outlier_fraction.cpp.o"
+  "CMakeFiles/fig09_outlier_fraction.dir/fig09_outlier_fraction.cpp.o.d"
+  "fig09_outlier_fraction"
+  "fig09_outlier_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_outlier_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_compression_ratio.dir/fig10a_compression_ratio.cpp.o"
+  "CMakeFiles/fig10a_compression_ratio.dir/fig10a_compression_ratio.cpp.o.d"
+  "fig10a_compression_ratio"
+  "fig10a_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10b_ratio_vs_time.
+# This may be replaced when dependencies are built.

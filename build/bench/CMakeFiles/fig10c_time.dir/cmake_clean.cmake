@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_time.dir/fig10c_time.cpp.o"
+  "CMakeFiles/fig10c_time.dir/fig10c_time.cpp.o.d"
+  "fig10c_time"
+  "fig10c_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_storage_query.dir/fig11_storage_query.cpp.o"
+  "CMakeFiles/fig11_storage_query.dir/fig11_storage_query.cpp.o.d"
+  "fig11_storage_query"
+  "fig11_storage_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_storage_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

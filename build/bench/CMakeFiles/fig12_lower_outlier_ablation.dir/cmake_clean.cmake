@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_lower_outlier_ablation.dir/fig12_lower_outlier_ablation.cpp.o"
+  "CMakeFiles/fig12_lower_outlier_ablation.dir/fig12_lower_outlier_ablation.cpp.o.d"
+  "fig12_lower_outlier_ablation"
+  "fig12_lower_outlier_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_lower_outlier_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_general_codecs.dir/fig13_general_codecs.cpp.o"
+  "CMakeFiles/fig13_general_codecs.dir/fig13_general_codecs.cpp.o.d"
+  "fig13_general_codecs"
+  "fig13_general_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_general_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

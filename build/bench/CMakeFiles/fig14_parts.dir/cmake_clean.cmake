@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_parts.dir/fig14_parts.cpp.o"
+  "CMakeFiles/fig14_parts.dir/fig14_parts.cpp.o.d"
+  "fig14_parts"
+  "fig14_parts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

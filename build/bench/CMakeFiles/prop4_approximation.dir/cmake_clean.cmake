@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop4_approximation.dir/prop4_approximation.cpp.o"
+  "CMakeFiles/prop4_approximation.dir/prop4_approximation.cpp.o.d"
+  "prop4_approximation"
+  "prop4_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop4_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

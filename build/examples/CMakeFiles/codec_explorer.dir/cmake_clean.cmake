@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_explorer.dir/codec_explorer.cpp.o"
+  "CMakeFiles/codec_explorer.dir/codec_explorer.cpp.o.d"
+  "codec_explorer"
+  "codec_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_tsdb.dir/mini_tsdb.cpp.o"
+  "CMakeFiles/mini_tsdb.dir/mini_tsdb.cpp.o.d"
+  "mini_tsdb"
+  "mini_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

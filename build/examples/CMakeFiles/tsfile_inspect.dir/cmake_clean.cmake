@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsfile_inspect.dir/tsfile_inspect.cpp.o"
+  "CMakeFiles/tsfile_inspect.dir/tsfile_inspect.cpp.o.d"
+  "tsfile_inspect"
+  "tsfile_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsfile_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

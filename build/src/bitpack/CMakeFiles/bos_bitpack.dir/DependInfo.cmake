@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitpack/bitpacking.cc" "src/bitpack/CMakeFiles/bos_bitpack.dir/bitpacking.cc.o" "gcc" "src/bitpack/CMakeFiles/bos_bitpack.dir/bitpacking.cc.o.d"
+  "/root/repo/src/bitpack/simple8b.cc" "src/bitpack/CMakeFiles/bos_bitpack.dir/simple8b.cc.o" "gcc" "src/bitpack/CMakeFiles/bos_bitpack.dir/simple8b.cc.o.d"
+  "/root/repo/src/bitpack/varint.cc" "src/bitpack/CMakeFiles/bos_bitpack.dir/varint.cc.o" "gcc" "src/bitpack/CMakeFiles/bos_bitpack.dir/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_bitpack.dir/bitpacking.cc.o"
+  "CMakeFiles/bos_bitpack.dir/bitpacking.cc.o.d"
+  "CMakeFiles/bos_bitpack.dir/simple8b.cc.o"
+  "CMakeFiles/bos_bitpack.dir/simple8b.cc.o.d"
+  "CMakeFiles/bos_bitpack.dir/varint.cc.o"
+  "CMakeFiles/bos_bitpack.dir/varint.cc.o.d"
+  "libbos_bitpack.a"
+  "libbos_bitpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codecs/advisor.cc" "src/codecs/CMakeFiles/bos_codecs.dir/advisor.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/advisor.cc.o.d"
+  "/root/repo/src/codecs/dictionary.cc" "src/codecs/CMakeFiles/bos_codecs.dir/dictionary.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/dictionary.cc.o.d"
+  "/root/repo/src/codecs/dod.cc" "src/codecs/CMakeFiles/bos_codecs.dir/dod.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/dod.cc.o.d"
+  "/root/repo/src/codecs/registry.cc" "src/codecs/CMakeFiles/bos_codecs.dir/registry.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/registry.cc.o.d"
+  "/root/repo/src/codecs/rle.cc" "src/codecs/CMakeFiles/bos_codecs.dir/rle.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/rle.cc.o.d"
+  "/root/repo/src/codecs/sprintz.cc" "src/codecs/CMakeFiles/bos_codecs.dir/sprintz.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/sprintz.cc.o.d"
+  "/root/repo/src/codecs/streaming.cc" "src/codecs/CMakeFiles/bos_codecs.dir/streaming.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/streaming.cc.o.d"
+  "/root/repo/src/codecs/timeseries.cc" "src/codecs/CMakeFiles/bos_codecs.dir/timeseries.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/timeseries.cc.o.d"
+  "/root/repo/src/codecs/ts2diff.cc" "src/codecs/CMakeFiles/bos_codecs.dir/ts2diff.cc.o" "gcc" "src/codecs/CMakeFiles/bos_codecs.dir/ts2diff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfor/CMakeFiles/bos_pfor.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/bos_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_codecs.dir/advisor.cc.o"
+  "CMakeFiles/bos_codecs.dir/advisor.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/dictionary.cc.o"
+  "CMakeFiles/bos_codecs.dir/dictionary.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/dod.cc.o"
+  "CMakeFiles/bos_codecs.dir/dod.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/registry.cc.o"
+  "CMakeFiles/bos_codecs.dir/registry.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/rle.cc.o"
+  "CMakeFiles/bos_codecs.dir/rle.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/sprintz.cc.o"
+  "CMakeFiles/bos_codecs.dir/sprintz.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/streaming.cc.o"
+  "CMakeFiles/bos_codecs.dir/streaming.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/timeseries.cc.o"
+  "CMakeFiles/bos_codecs.dir/timeseries.cc.o.d"
+  "CMakeFiles/bos_codecs.dir/ts2diff.cc.o"
+  "CMakeFiles/bos_codecs.dir/ts2diff.cc.o.d"
+  "libbos_codecs.a"
+  "libbos_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_io.cc" "src/core/CMakeFiles/bos_core.dir/block_io.cc.o" "gcc" "src/core/CMakeFiles/bos_core.dir/block_io.cc.o.d"
+  "/root/repo/src/core/bos_codec.cc" "src/core/CMakeFiles/bos_core.dir/bos_codec.cc.o" "gcc" "src/core/CMakeFiles/bos_core.dir/bos_codec.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/core/CMakeFiles/bos_core.dir/cost.cc.o" "gcc" "src/core/CMakeFiles/bos_core.dir/cost.cc.o.d"
+  "/root/repo/src/core/multi_part.cc" "src/core/CMakeFiles/bos_core.dir/multi_part.cc.o" "gcc" "src/core/CMakeFiles/bos_core.dir/multi_part.cc.o.d"
+  "/root/repo/src/core/separation.cc" "src/core/CMakeFiles/bos_core.dir/separation.cc.o" "gcc" "src/core/CMakeFiles/bos_core.dir/separation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitpack/CMakeFiles/bos_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

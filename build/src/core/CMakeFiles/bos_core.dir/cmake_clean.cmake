@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_core.dir/block_io.cc.o"
+  "CMakeFiles/bos_core.dir/block_io.cc.o.d"
+  "CMakeFiles/bos_core.dir/bos_codec.cc.o"
+  "CMakeFiles/bos_core.dir/bos_codec.cc.o.d"
+  "CMakeFiles/bos_core.dir/cost.cc.o"
+  "CMakeFiles/bos_core.dir/cost.cc.o.d"
+  "CMakeFiles/bos_core.dir/multi_part.cc.o"
+  "CMakeFiles/bos_core.dir/multi_part.cc.o.d"
+  "CMakeFiles/bos_core.dir/separation.cc.o"
+  "CMakeFiles/bos_core.dir/separation.cc.o.d"
+  "libbos_core.a"
+  "libbos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_data.dir/dataset.cc.o"
+  "CMakeFiles/bos_data.dir/dataset.cc.o.d"
+  "libbos_data.a"
+  "libbos_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floatcodec/buff.cc" "src/floatcodec/CMakeFiles/bos_float.dir/buff.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/buff.cc.o.d"
+  "/root/repo/src/floatcodec/chimp.cc" "src/floatcodec/CMakeFiles/bos_float.dir/chimp.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/chimp.cc.o.d"
+  "/root/repo/src/floatcodec/chimp128.cc" "src/floatcodec/CMakeFiles/bos_float.dir/chimp128.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/chimp128.cc.o.d"
+  "/root/repo/src/floatcodec/elf.cc" "src/floatcodec/CMakeFiles/bos_float.dir/elf.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/elf.cc.o.d"
+  "/root/repo/src/floatcodec/gorilla.cc" "src/floatcodec/CMakeFiles/bos_float.dir/gorilla.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/gorilla.cc.o.d"
+  "/root/repo/src/floatcodec/registry.cc" "src/floatcodec/CMakeFiles/bos_float.dir/registry.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/registry.cc.o.d"
+  "/root/repo/src/floatcodec/scaled.cc" "src/floatcodec/CMakeFiles/bos_float.dir/scaled.cc.o" "gcc" "src/floatcodec/CMakeFiles/bos_float.dir/scaled.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codecs/CMakeFiles/bos_codecs.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/bos_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfor/CMakeFiles/bos_pfor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bos_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_float.dir/buff.cc.o"
+  "CMakeFiles/bos_float.dir/buff.cc.o.d"
+  "CMakeFiles/bos_float.dir/chimp.cc.o"
+  "CMakeFiles/bos_float.dir/chimp.cc.o.d"
+  "CMakeFiles/bos_float.dir/chimp128.cc.o"
+  "CMakeFiles/bos_float.dir/chimp128.cc.o.d"
+  "CMakeFiles/bos_float.dir/elf.cc.o"
+  "CMakeFiles/bos_float.dir/elf.cc.o.d"
+  "CMakeFiles/bos_float.dir/gorilla.cc.o"
+  "CMakeFiles/bos_float.dir/gorilla.cc.o.d"
+  "CMakeFiles/bos_float.dir/registry.cc.o"
+  "CMakeFiles/bos_float.dir/registry.cc.o.d"
+  "CMakeFiles/bos_float.dir/scaled.cc.o"
+  "CMakeFiles/bos_float.dir/scaled.cc.o.d"
+  "libbos_float.a"
+  "libbos_float.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/general/fft.cc" "src/general/CMakeFiles/bos_general.dir/fft.cc.o" "gcc" "src/general/CMakeFiles/bos_general.dir/fft.cc.o.d"
+  "/root/repo/src/general/lz4lite.cc" "src/general/CMakeFiles/bos_general.dir/lz4lite.cc.o" "gcc" "src/general/CMakeFiles/bos_general.dir/lz4lite.cc.o.d"
+  "/root/repo/src/general/lzma_lite.cc" "src/general/CMakeFiles/bos_general.dir/lzma_lite.cc.o" "gcc" "src/general/CMakeFiles/bos_general.dir/lzma_lite.cc.o.d"
+  "/root/repo/src/general/transform_codec.cc" "src/general/CMakeFiles/bos_general.dir/transform_codec.cc.o" "gcc" "src/general/CMakeFiles/bos_general.dir/transform_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codecs/CMakeFiles/bos_codecs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitpack/CMakeFiles/bos_bitpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bos_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfor/CMakeFiles/bos_pfor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_general.dir/fft.cc.o"
+  "CMakeFiles/bos_general.dir/fft.cc.o.d"
+  "CMakeFiles/bos_general.dir/lz4lite.cc.o"
+  "CMakeFiles/bos_general.dir/lz4lite.cc.o.d"
+  "CMakeFiles/bos_general.dir/lzma_lite.cc.o"
+  "CMakeFiles/bos_general.dir/lzma_lite.cc.o.d"
+  "CMakeFiles/bos_general.dir/transform_codec.cc.o"
+  "CMakeFiles/bos_general.dir/transform_codec.cc.o.d"
+  "libbos_general.a"
+  "libbos_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

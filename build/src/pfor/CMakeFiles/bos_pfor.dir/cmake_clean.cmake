@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_pfor.dir/pfor.cc.o"
+  "CMakeFiles/bos_pfor.dir/pfor.cc.o.d"
+  "CMakeFiles/bos_pfor.dir/pfor_common.cc.o"
+  "CMakeFiles/bos_pfor.dir/pfor_common.cc.o.d"
+  "libbos_pfor.a"
+  "libbos_pfor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_pfor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

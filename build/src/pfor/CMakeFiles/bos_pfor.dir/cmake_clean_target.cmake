@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbos_pfor.a"
+)

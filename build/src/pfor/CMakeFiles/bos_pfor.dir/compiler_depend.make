@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bos_pfor.
+# This may be replaced when dependencies are built.

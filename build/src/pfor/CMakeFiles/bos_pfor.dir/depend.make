@@ -1,0 +1,2 @@
+# Empty dependencies file for bos_pfor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_storage.dir/store.cc.o"
+  "CMakeFiles/bos_storage.dir/store.cc.o.d"
+  "CMakeFiles/bos_storage.dir/tsfile.cc.o"
+  "CMakeFiles/bos_storage.dir/tsfile.cc.o.d"
+  "CMakeFiles/bos_storage.dir/wal.cc.o"
+  "CMakeFiles/bos_storage.dir/wal.cc.o.d"
+  "libbos_storage.a"
+  "libbos_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

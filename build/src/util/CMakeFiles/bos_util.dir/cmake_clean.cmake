@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_util.dir/crc32.cc.o"
+  "CMakeFiles/bos_util.dir/crc32.cc.o.d"
+  "CMakeFiles/bos_util.dir/random.cc.o"
+  "CMakeFiles/bos_util.dir/random.cc.o.d"
+  "CMakeFiles/bos_util.dir/status.cc.o"
+  "CMakeFiles/bos_util.dir/status.cc.o.d"
+  "libbos_util.a"
+  "libbos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bos_codec_test.dir/bos_codec_test.cc.o"
+  "CMakeFiles/bos_codec_test.dir/bos_codec_test.cc.o.d"
+  "bos_codec_test"
+  "bos_codec_test.pdb"
+  "bos_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bos_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_codecs_test.dir/extra_codecs_test.cc.o"
+  "CMakeFiles/extra_codecs_test.dir/extra_codecs_test.cc.o.d"
+  "extra_codecs_test"
+  "extra_codecs_test.pdb"
+  "extra_codecs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_codecs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

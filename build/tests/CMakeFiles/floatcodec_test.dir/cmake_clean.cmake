@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floatcodec_test.dir/floatcodec_test.cc.o"
+  "CMakeFiles/floatcodec_test.dir/floatcodec_test.cc.o.d"
+  "floatcodec_test"
+  "floatcodec_test.pdb"
+  "floatcodec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floatcodec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_part_test.dir/multi_part_test.cc.o"
+  "CMakeFiles/multi_part_test.dir/multi_part_test.cc.o.d"
+  "multi_part_test"
+  "multi_part_test.pdb"
+  "multi_part_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_part_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

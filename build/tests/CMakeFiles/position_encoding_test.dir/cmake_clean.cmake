@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/position_encoding_test.dir/position_encoding_test.cc.o"
+  "CMakeFiles/position_encoding_test.dir/position_encoding_test.cc.o.d"
+  "position_encoding_test"
+  "position_encoding_test.pdb"
+  "position_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/position_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/bitpack_test[1]_include.cmake")
+include("/root/repo/build/tests/separation_test[1]_include.cmake")
+include("/root/repo/build/tests/bos_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_part_test[1]_include.cmake")
+include("/root/repo/build/tests/pfor_test[1]_include.cmake")
+include("/root/repo/build/tests/codecs_test[1]_include.cmake")
+include("/root/repo/build/tests/floatcodec_test[1]_include.cmake")
+include("/root/repo/build/tests/general_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/position_encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/timeseries_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/format_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_codecs_test[1]_include.cmake")
+include("/root/repo/build/tests/store_model_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")

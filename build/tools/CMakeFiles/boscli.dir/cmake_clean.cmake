@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boscli.dir/boscli.cc.o"
+  "CMakeFiles/boscli.dir/boscli.cc.o.d"
+  "boscli"
+  "boscli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boscli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
