@@ -5,12 +5,21 @@
 // regenerates one table/figure of the paper's evaluation (Section VIII);
 // see DESIGN.md section 4 for the experiment index.
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
 
 #include "codecs/registry.h"
 #include "data/dataset.h"
@@ -23,6 +32,147 @@ inline double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
       .count();
 }
+
+/// Calls `fn` in growing batches until at least `min_seconds` have
+/// elapsed, then returns the average seconds per call. Coarse but
+/// steady-state enough for throughput numbers.
+template <typename Fn>
+inline double TimePerCall(Fn&& fn, double min_seconds = 0.1) {
+  long reps = 1;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (long i = 0; i < reps; ++i) fn();
+    const double s = Seconds(start);
+    if (s >= min_seconds) return s / static_cast<double>(reps);
+    reps = s <= 0 ? reps * 8
+                  : std::max(reps * 2,
+                             static_cast<long>(reps * min_seconds / s) + 1);
+  }
+}
+
+/// Best (minimum) TimePerCall over `trials` independent runs. The min is
+/// the standard noise filter on a shared machine: interference only ever
+/// makes a trial slower, so the fastest trial is the closest estimate of
+/// the true cost for both sides of a speedup ratio.
+template <typename Fn>
+inline double BestTimePerCall(Fn&& fn, int trials = 3,
+                              double min_seconds = 0.1) {
+  double best = TimePerCall(fn, min_seconds);
+  for (int t = 1; t < trials; ++t) {
+    best = std::min(best, TimePerCall(fn, min_seconds));
+  }
+  return best;
+}
+
+/// Monotonic cycle counter for micro-quantum timing: TSC on x86-64,
+/// steady_clock nanoseconds elsewhere.
+inline uint64_t CycleCount() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// CycleCount ticks per second, calibrated once against steady_clock.
+inline double TicksPerSecond() {
+  static const double hz = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = CycleCount();
+    while (Seconds(t0) < 0.05) {
+    }
+    const uint64_t c1 = CycleCount();
+    return static_cast<double>(c1 - c0) / Seconds(t0);
+  }();
+  return hz;
+}
+
+/// Minimum ticks for one call of `fn` over `reps` repetitions. The
+/// quantum being a single call (microseconds) makes this immune to CPU
+/// contention: a preempted rep is inflated by milliseconds and the min
+/// discards it, where an averaging timer would absorb it. Use for
+/// kernel-scale work; the ~20-tick counter overhead is part of the
+/// reading, so keep calls well above that.
+template <typename Fn>
+inline double MinTicksPerCall(Fn&& fn, int reps = 50) {
+  uint64_t best = ~0ULL;
+  for (int r = 0; r < reps; ++r) {
+    const uint64_t t0 = CycleCount();
+    fn();
+    const uint64_t t1 = CycleCount();
+    best = std::min(best, t1 - t0);
+  }
+  return static_cast<double>(best);
+}
+
+/// MinTicksPerCall converted to seconds.
+template <typename Fn>
+inline double MinSecondsPerCall(Fn&& fn, int reps = 50) {
+  return MinTicksPerCall(fn, reps) / TicksPerSecond();
+}
+
+/// One field value of a JSON-lines record: string, number, or bool.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind;
+  std::string str;
+  double num = 0;
+  bool flag = false;
+
+  JsonValue(const char* s) : kind(Kind::kString), str(s) {}           // NOLINT
+  JsonValue(const std::string& s) : kind(Kind::kString), str(s) {}    // NOLINT
+  JsonValue(std::string_view s) : kind(Kind::kString), str(s) {}      // NOLINT
+  JsonValue(double d) : kind(Kind::kNumber), num(d) {}                // NOLINT
+  JsonValue(int i) : kind(Kind::kNumber), num(i) {}                   // NOLINT
+  JsonValue(size_t u)                                                 // NOLINT
+      : kind(Kind::kNumber), num(static_cast<double>(u)) {}
+  JsonValue(bool b) : kind(Kind::kBool), flag(b) {}                   // NOLINT
+};
+
+/// Tiny JSON-lines result writer: one flat object per Write() call.
+/// Shared by micro_kernels and micro_operators so every micro bench
+/// leaves a machine-readable trail (BENCH_*.json) for later PRs to diff.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+  ~JsonlWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void Write(
+      std::initializer_list<std::pair<const char*, JsonValue>> fields) {
+    if (file_ == nullptr) return;
+    std::fputc('{', file_);
+    bool first = true;
+    for (const auto& [key, value] : fields) {
+      if (!first) std::fputc(',', file_);
+      first = false;
+      std::fprintf(file_, "\"%s\":", key);
+      switch (value.kind) {
+        case JsonValue::Kind::kString:
+          std::fprintf(file_, "\"%s\"", value.str.c_str());
+          break;
+        case JsonValue::Kind::kNumber:
+          std::fprintf(file_, "%.6g", value.num);
+          break;
+        case JsonValue::Kind::kBool:
+          std::fputs(value.flag ? "true" : "false", file_);
+          break;
+      }
+    }
+    std::fputs("}\n", file_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_;
+};
 
 /// Result of running one codec over one dataset.
 struct RunResult {

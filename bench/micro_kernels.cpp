@@ -1,0 +1,208 @@
+// Micro-benchmark of the batched per-width block kernels
+// (bitpack/unpack_kernels.h) against the scalar reference path, plus
+// BOS-M end-to-end block encode/decode over the synthetic suite with the
+// batched decode paths toggled off and on. Emits BENCH_kernels.json
+// (JSON lines) so later PRs can track the hot-path trajectory.
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "bitpack/unpack_kernels.h"
+#include "core/bos_codec.h"
+#include "data/dataset.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bos;
+
+constexpr size_t kUnpackValues = 65536;   // 64K-value inputs per width
+constexpr size_t kBosBlock = 1024;        // canonical BOS block size
+constexpr size_t kBosValues = 1 << 18;    // per-dataset end-to-end size
+
+struct WidthResult {
+  double pack_scalar_gbps = 0;
+  double pack_kernel_gbps = 0;
+  double unpack_scalar_gbps = 0;
+  double unpack_kernel_gbps = 0;
+};
+
+// Throughput is reported as GB/s of *decoded* uint64 data (n * 8 bytes),
+// the convention of the Lemire & Boytsov integer-decoding papers.
+WidthResult BenchWidth(int width, bench::JsonlWriter* out) {
+  Rng rng(0xBEEF + width);
+  std::vector<uint64_t> values(kUnpackValues);
+  const uint64_t mask =
+      width == 64 ? ~0ULL : (width == 0 ? 0 : ((1ULL << width) - 1));
+  for (auto& v : values) {
+    v = (static_cast<uint64_t>(rng.UniformInt(0, 1 << 30)) << 34 |
+         static_cast<uint64_t>(rng.UniformInt(0, 1 << 30))) &
+        mask;
+  }
+
+  const size_t bytes =
+      BitsToBytes(static_cast<uint64_t>(width) * kUnpackValues);
+  // +8 slack bytes, as when the payload sits inside a larger stream
+  // (the usual decode case): lets the wide kernels run to the end.
+  std::vector<uint8_t> packed(bytes + 8);
+  // Decode lands in one block-sized strip, as in the real decoders
+  // (blocks are <= 1024 values): both paths stay compute-bound instead
+  // of measuring the cache hierarchy's store bandwidth on a 512 KB
+  // buffer.
+  std::vector<uint64_t> decoded(kBosBlock);
+  const size_t strip_bytes = BitsToBytes(static_cast<uint64_t>(width) *
+                                         kBosBlock);
+  const double mb = static_cast<double>(kUnpackValues) * 8.0;
+
+  // Timing: minimum over repetitions of one full 64K-value pass (a few
+  // microseconds) — on a shared 1-CPU machine any rep that loses the CPU
+  // is inflated by milliseconds, and the min discards it.
+  WidthResult r;
+  r.pack_scalar_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        bitpack::PackScalar(values.data(), kUnpackValues, width, packed.data());
+      }) / 1e9;
+  r.pack_kernel_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        bitpack::PackBlocks(values.data(), kUnpackValues, width, packed.data());
+      }) / 1e9;
+  r.unpack_scalar_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        for (size_t s = 0; s < kUnpackValues / kBosBlock; ++s) {
+          bitpack::UnpackScalar(packed.data() + s * strip_bytes, width,
+                                kBosBlock, decoded.data());
+        }
+      }) / 1e9;
+  r.unpack_kernel_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        for (size_t s = 0; s < kUnpackValues / kBosBlock; ++s) {
+          bitpack::UnpackBlocks(packed.data() + s * strip_bytes,
+                                packed.size() - s * strip_bytes, width,
+                                kBosBlock, decoded.data());
+        }
+      }) / 1e9;
+
+  out->Write({{"bench", "kernels"},
+              {"width", width},
+              {"values", kUnpackValues},
+              {"pack_scalar_gbps", r.pack_scalar_gbps},
+              {"pack_kernel_gbps", r.pack_kernel_gbps},
+              {"unpack_scalar_gbps", r.unpack_scalar_gbps},
+              {"unpack_kernel_gbps", r.unpack_kernel_gbps},
+              {"unpack_speedup", r.unpack_kernel_gbps / r.unpack_scalar_gbps}});
+  return r;
+}
+
+// BOS-M end-to-end over 1024-value blocks of one synthetic dataset,
+// decoding once with the scalar paths and once with the batched paths.
+void BenchBosDataset(const data::DatasetInfo& info, bench::JsonlWriter* out,
+                     double* worst_speedup) {
+  const std::vector<int64_t> values =
+      data::GenerateInteger(info, kBosValues, /*seed=*/7);
+  core::BosOperator bos_m(core::SeparationStrategy::kMedian);
+
+  Bytes encoded;
+  const double encode_s = bench::BestTimePerCall([&] {
+    encoded.clear();
+    for (size_t start = 0; start < values.size(); start += kBosBlock) {
+      const size_t len = std::min(kBosBlock, values.size() - start);
+      (void)bos_m.Encode(std::span(values).subspan(start, len), &encoded);
+    }
+  });
+
+  // Decode timing: per-block quanta (a few microseconds each), minimum
+  // over repetitions, summed — each block's min is an uncontended
+  // reading, so the total is immune to neighbours stealing the CPU
+  // mid-run. The two paths alternate so neither is biased by drift.
+  const size_t blocks = (values.size() + kBosBlock - 1) / kBosBlock;
+  std::vector<int64_t> decoded;
+  decoded.reserve(values.size());
+  auto decode_pass = [&](std::vector<uint64_t>* best) {
+    decoded.clear();
+    size_t offset = 0;
+    for (size_t b = 0; b < blocks; ++b) {
+      const uint64_t t0 = bench::CycleCount();
+      (void)bos_m.Decode(encoded, &offset, &decoded);
+      const uint64_t t1 = bench::CycleCount();
+      (*best)[b] = std::min((*best)[b], t1 - t0);
+    }
+    if (decoded != values) {
+      std::fprintf(stderr, "BOS-M round-trip mismatch on %s\n",
+                   info.abbr.c_str());
+      std::exit(1);
+    }
+  };
+  std::vector<uint64_t> scalar_best(blocks, ~0ULL), batched_best(blocks, ~0ULL);
+  for (int rep = 0; rep < 40; ++rep) {
+    core::SetBosBatchedDecodeEnabled(false);
+    decode_pass(&scalar_best);
+    core::SetBosBatchedDecodeEnabled(true);
+    decode_pass(&batched_best);
+  }
+  uint64_t scalar_ticks = 0, batched_ticks = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    scalar_ticks += scalar_best[b];
+    batched_ticks += batched_best[b];
+  }
+  const double scalar_s = scalar_ticks / bench::TicksPerSecond();
+  const double batched_s = batched_ticks / bench::TicksPerSecond();
+
+  const double mb = static_cast<double>(values.size()) * 8.0 / 1e6;
+  const double speedup = scalar_s / batched_s;
+  *worst_speedup = std::min(*worst_speedup, speedup);
+  std::printf("%-4s encode %8.1f MB/s   decode scalar %8.1f MB/s"
+              "   batched %8.1f MB/s   speedup %.2fx\n",
+              info.abbr.c_str(), mb / encode_s, mb / scalar_s, mb / batched_s,
+              speedup);
+  out->Write({{"bench", "bos_m_end_to_end"},
+              {"dataset", info.abbr},
+              {"values", values.size()},
+              {"block", kBosBlock},
+              {"encode_mbps", mb / encode_s},
+              {"decode_scalar_mbps", mb / scalar_s},
+              {"decode_batched_mbps", mb / batched_s},
+              {"decode_speedup", speedup}});
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonlWriter out("BENCH_kernels.json");
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open BENCH_kernels.json\n");
+    return 1;
+  }
+
+  std::printf("Per-width pack/unpack on %zu values (GB/s of decoded data)\n",
+              kUnpackValues);
+  std::printf("%5s %12s %12s %14s %14s %9s\n", "width", "pack-scalar",
+              "pack-kernel", "unpack-scalar", "unpack-kernel", "speedup");
+  bench::PrintRule(72);
+  double min_speedup_le16 = 1e30;
+  for (int width = 1; width <= 64; ++width) {
+    const WidthResult r = BenchWidth(width, &out);
+    const double speedup = r.unpack_kernel_gbps / r.unpack_scalar_gbps;
+    if (width <= 16) min_speedup_le16 = std::min(min_speedup_le16, speedup);
+    std::printf("%5d %12.2f %12.2f %14.2f %14.2f %8.2fx\n", width,
+                r.pack_scalar_gbps, r.pack_kernel_gbps, r.unpack_scalar_gbps,
+                r.unpack_kernel_gbps, speedup);
+  }
+  std::printf("min unpack speedup for widths <= 16: %.2fx\n\n",
+              min_speedup_le16);
+
+  std::printf("BOS-M end-to-end, %zu values per dataset, %zu-value blocks\n",
+              kBosValues, kBosBlock);
+  bench::PrintRule(72);
+  double worst_bos_speedup = 1e30;
+  for (const auto& info : data::AllDatasets()) {
+    BenchBosDataset(info, &out, &worst_bos_speedup);
+  }
+  out.Write({{"bench", "summary"},
+             {"min_unpack_speedup_width_le16", min_speedup_le16},
+             {"min_bos_m_decode_speedup", worst_bos_speedup}});
+  std::printf("min BOS-M decode speedup: %.2fx\n", worst_bos_speedup);
+  return 0;
+}

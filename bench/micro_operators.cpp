@@ -1,12 +1,13 @@
 // Micro-benchmarks of the packing operators on a canonical 1024-value
-// outlier-bearing block (google-benchmark binary). Not a paper figure;
-// used for regression-tracking the operator kernels.
+// outlier-bearing block. Not a paper figure; used for regression-tracking
+// the operator kernels. Prints a table and appends one JSON line per
+// operator to BENCH_operators.json via the shared bench_common writer.
 
-#include <benchmark/benchmark.h>
-
-#include <memory>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "codecs/registry.h"
 #include "util/random.h"
 
@@ -24,42 +25,47 @@ std::vector<int64_t> CanonicalBlock() {
   return block;
 }
 
-void BM_Encode(benchmark::State& state, const std::string& name) {
-  const auto op = codecs::MakeOperator(name);
-  const auto block = CanonicalBlock();
-  for (auto _ : state) {
-    Bytes out;
-    benchmark::DoNotOptimize((*op)->Encode(block, &out));
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * block.size());
-}
-
-void BM_Decode(benchmark::State& state, const std::string& name) {
-  const auto op = codecs::MakeOperator(name);
-  const auto block = CanonicalBlock();
-  Bytes encoded;
-  if (!(*op)->Encode(block, &encoded).ok()) {
-    state.SkipWithError("encode failed");
-    return;
-  }
-  for (auto _ : state) {
-    size_t offset = 0;
-    std::vector<int64_t> out;
-    benchmark::DoNotOptimize((*op)->Decode(encoded, &offset, &out));
-  }
-  state.SetItemsProcessed(state.iterations() * block.size());
-}
-
 }  // namespace
 
-int main(int argc, char** argv) {
+int main() {
+  bench::JsonlWriter out("BENCH_operators.json");
+  const auto block = CanonicalBlock();
+  const double n = static_cast<double>(block.size());
+
+  std::printf("%-12s %14s %14s %10s\n", "operator", "encode ns/val",
+              "decode ns/val", "bytes");
+  bench::PrintRule(56);
   for (const auto& name : codecs::OperatorNames()) {
-    benchmark::RegisterBenchmark(("Encode/" + name).c_str(), BM_Encode, name);
-    benchmark::RegisterBenchmark(("Decode/" + name).c_str(), BM_Decode, name);
+    const auto op = codecs::MakeOperator(name);
+    if (!op.ok()) continue;
+
+    Bytes encoded;
+    const double encode_s = bench::TimePerCall([&] {
+      encoded.clear();
+      (void)(*op)->Encode(block, &encoded);
+    });
+
+    std::vector<int64_t> decoded;
+    const double decode_s = bench::TimePerCall([&] {
+      size_t offset = 0;
+      decoded.clear();
+      (void)(*op)->Decode(encoded, &offset, &decoded);
+    });
+    if (decoded != block) {
+      std::fprintf(stderr, "%s: round-trip mismatch\n", name.c_str());
+      return 1;
+    }
+
+    const double encode_ns = encode_s * 1e9 / n;
+    const double decode_ns = decode_s * 1e9 / n;
+    std::printf("%-12s %14.1f %14.1f %10zu\n", name.c_str(), encode_ns,
+                decode_ns, encoded.size());
+    out.Write({{"bench", "micro_operators"},
+               {"operator", name},
+               {"values", block.size()},
+               {"encode_ns_per_value", encode_ns},
+               {"decode_ns_per_value", decode_ns},
+               {"encoded_bytes", encoded.size()}});
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
   return 0;
 }

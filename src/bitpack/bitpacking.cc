@@ -1,8 +1,6 @@
 #include "bitpack/bitpacking.h"
 
-#include <array>
-#include <utility>
-
+#include "bitpack/unpack_kernels.h"
 #include "util/bits.h"
 
 namespace bos::bitpack {
@@ -25,99 +23,22 @@ Status UnpackFixed(BitReader* reader, int width, size_t n, uint64_t* out) {
   return Status::OK();
 }
 
-namespace {
-
-// Appends up to 32 bits to an MSB-first accumulator, flushing whole bytes.
-// Chunking to <= 32 bits keeps `acc_bits + chunk` <= 39 < 64, so the shift
-// never overflows.
-inline void AppendBits(uint64_t chunk, int chunk_bits, uint64_t* acc,
-                       int* acc_bits, uint8_t** dst) {
-  *acc = (*acc << chunk_bits) | chunk;
-  *acc_bits += chunk_bits;
-  while (*acc_bits >= 8) {
-    *acc_bits -= 8;
-    *(*dst)++ = static_cast<uint8_t>(*acc >> *acc_bits);
-  }
-}
-
-// Reads up to 32 bits from an MSB-first accumulator fed from `src`.
-inline uint64_t TakeBits(int chunk_bits, uint64_t* acc, int* acc_bits,
-                         const uint8_t** src) {
-  while (*acc_bits < chunk_bits) {
-    *acc = (*acc << 8) | *(*src)++;
-    *acc_bits += 8;
-  }
-  *acc_bits -= chunk_bits;
-  const uint64_t mask =
-      chunk_bits == 0 ? 0 : ((~0ULL) >> (64 - chunk_bits));
-  return (*acc >> *acc_bits) & mask;
-}
-
-}  // namespace
-
 void PackFixedAligned(std::span<const uint64_t> values, int width, Bytes* out) {
   if (width == 0 || values.empty()) return;
   const size_t start = out->size();
-  out->resize(start + BitsToBytes(static_cast<uint64_t>(width) * values.size()));
-  uint8_t* dst = out->data() + start;
-  uint64_t acc = 0;
-  int acc_bits = 0;
-  const uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
-  if (width <= 32) {
-    for (uint64_t v : values) {
-      AppendBits(v & mask, width, &acc, &acc_bits, &dst);
-    }
-  } else {
-    const int high_bits = width - 32;
-    for (uint64_t v : values) {
-      v &= mask;
-      AppendBits(v >> 32, high_bits, &acc, &acc_bits, &dst);
-      AppendBits(v & 0xFFFFFFFFULL, 32, &acc, &acc_bits, &dst);
-    }
-  }
-  if (acc_bits > 0) {
-    *dst++ = static_cast<uint8_t>(acc << (8 - acc_bits));
-  }
+  out->resize(start +
+              BitsToBytes(static_cast<uint64_t>(width) * values.size()));
+  // Full 32-value blocks through the per-width kernels, scalar tail;
+  // bit-identical to the historical single-pass stream (see
+  // unpack_kernels.h for the block contract).
+  PackBlocks(values.data(), values.size(), width, out->data() + start);
 }
-
-namespace {
-
-// Width-templated unpack body: with W a compile-time constant the
-// accumulator loop unrolls into straight-line shifts, which measurably
-// beats the runtime-width loop on wide scans (the FastPFOR trick).
-template <int W>
-void UnpackWidth(const uint8_t* src, size_t n, uint64_t* out) {
-  uint64_t acc = 0;
-  int acc_bits = 0;
-  if constexpr (W == 0) {
-    for (size_t i = 0; i < n; ++i) out[i] = 0;
-  } else if constexpr (W <= 32) {
-    for (size_t i = 0; i < n; ++i) {
-      out[i] = TakeBits(W, &acc, &acc_bits, &src);
-    }
-  } else {
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t high = TakeBits(W - 32, &acc, &acc_bits, &src);
-      out[i] = (high << 32) | TakeBits(32, &acc, &acc_bits, &src);
-    }
-  }
-}
-
-using UnpackFn = void (*)(const uint8_t*, size_t, uint64_t*);
-
-template <int... Ws>
-constexpr std::array<UnpackFn, sizeof...(Ws)> MakeUnpackTable(
-    std::integer_sequence<int, Ws...>) {
-  return {&UnpackWidth<Ws>...};
-}
-
-constexpr auto kUnpackTable =
-    MakeUnpackTable(std::make_integer_sequence<int, 65>{});
-
-}  // namespace
 
 Status UnpackFixedAligned(BytesView data, size_t* offset, int width, size_t n,
                           uint64_t* out) {
+  if (width < 0 || width > 64) {
+    return Status::InvalidArgument("bit width out of range [0, 64]");
+  }
   if (width == 0) {
     for (size_t i = 0; i < n; ++i) out[i] = 0;
     return Status::OK();
@@ -126,7 +47,7 @@ Status UnpackFixedAligned(BytesView data, size_t* offset, int width, size_t n,
   if (*offset + bytes > data.size()) {
     return Status::Corruption("bit-packed payload truncated");
   }
-  kUnpackTable[width](data.data() + *offset, n, out);
+  UnpackBlocks(data.data() + *offset, data.size() - *offset, width, n, out);
   *offset += bytes;
   return Status::OK();
 }

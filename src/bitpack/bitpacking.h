@@ -22,13 +22,15 @@ Status UnpackFixed(BitReader* reader, int width, size_t n, uint64_t* out);
 
 /// \brief Fast path for byte-aligned fixed-width packing: appends exactly
 /// the bytes a byte-aligned `BitWriter` stream of PackFixed would produce
-/// (MSB-first, zero-padded to a whole byte), but accumulates into a
-/// 64-bit register and stores whole bytes. Used by the plain-block and
-/// PFOR-slot encoders, whose payloads start on byte boundaries.
+/// (MSB-first, zero-padded to a whole byte), but runs full 32-value
+/// blocks through the per-width kernels of unpack_kernels.h. Used by the
+/// plain-block and PFOR-slot encoders, whose payloads start on byte
+/// boundaries.
 void PackFixedAligned(std::span<const uint64_t> values, int width, Bytes* out);
 
 /// \brief Inverse of PackFixedAligned. Reads ceil(n*width/8) bytes at
-/// `*offset`, advancing it; fails on a short buffer.
+/// `*offset`, advancing it. Fails with InvalidArgument when `width` is
+/// outside [0, 64] and with Corruption on a short buffer.
 Status UnpackFixedAligned(BytesView data, size_t* offset, int width, size_t n,
                           uint64_t* out);
 

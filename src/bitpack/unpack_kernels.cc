@@ -1,0 +1,535 @@
+#include "bitpack/unpack_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define BOS_KERNELS_X86 1
+#endif
+
+namespace bos::bitpack {
+namespace {
+
+inline uint32_t LoadBE32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return __builtin_bswap32(v);
+}
+
+inline void StoreBE32(uint8_t* p, uint32_t v) {
+  v = __builtin_bswap32(v);
+  std::memcpy(p, &v, 4);
+}
+
+inline uint64_t LoadBE64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return __builtin_bswap64(v);
+}
+
+// ---------------------------------------------------------------------
+// Portable straight-line block kernels.
+//
+// A 32-value block at width W is exactly W big-endian 32-bit words; value
+// I occupies bits [I*W, I*W + W) of that word stream, so with W and I both
+// compile-time constants every extract/deposit reduces to one or two
+// constant shifts against registers.
+// ---------------------------------------------------------------------
+
+template <int W, int I>
+inline uint64_t Extract(const uint32_t* w) {
+  constexpr int kBit = I * W;
+  constexpr int kWord = kBit >> 5;
+  constexpr int kOff = kBit & 31;
+  constexpr uint64_t kMask = (W >= 64) ? ~0ULL : ((1ULL << W) - 1);
+  if constexpr (kOff + W <= 32) {
+    return (static_cast<uint64_t>(w[kWord]) >> (32 - kOff - W)) & kMask;
+  } else if constexpr (kOff + W <= 64) {
+    const uint64_t pair =
+        (static_cast<uint64_t>(w[kWord]) << 32) | w[kWord + 1];
+    return (pair >> (64 - kOff - W)) & kMask;
+  } else {
+    // Widths > 33 can straddle three words; kOff > 0 here.
+    constexpr int kRem = kOff + W - 64;
+    const uint64_t pair =
+        (static_cast<uint64_t>(w[kWord]) << 32) | w[kWord + 1];
+    const uint64_t head = pair & ((~0ULL) >> kOff);
+    return ((head << kRem) | (w[kWord + 2] >> (32 - kRem))) & kMask;
+  }
+}
+
+template <int W, int I>
+inline void Deposit(const uint64_t* in, uint32_t* w) {
+  constexpr int kBit = I * W;
+  constexpr int kWord = kBit >> 5;
+  constexpr int kOff = kBit & 31;
+  constexpr uint64_t kMask = (W >= 64) ? ~0ULL : ((1ULL << W) - 1);
+  const uint64_t v = in[I] & kMask;
+  if constexpr (kOff + W <= 32) {
+    w[kWord] |= static_cast<uint32_t>(v << (32 - kOff - W));
+  } else if constexpr (kOff + W <= 64) {
+    w[kWord] |= static_cast<uint32_t>(v >> (kOff + W - 32));
+    w[kWord + 1] |= static_cast<uint32_t>(v << (64 - kOff - W));
+  } else {
+    constexpr int kRem = kOff + W - 64;
+    w[kWord] |= static_cast<uint32_t>(v >> (kRem + 32));
+    w[kWord + 1] |= static_cast<uint32_t>(v >> kRem);
+    w[kWord + 2] |= static_cast<uint32_t>(v << (32 - kRem));
+  }
+}
+
+template <int W, size_t... Is>
+inline void ExtractAll(const uint32_t* w, uint64_t* out,
+                       std::index_sequence<Is...>) {
+  ((out[Is] = Extract<W, Is>(w)), ...);
+}
+
+template <int W, size_t... Is>
+inline void DepositAll(const uint64_t* in, uint32_t* w,
+                       std::index_sequence<Is...>) {
+  (Deposit<W, Is>(in, w), ...);
+}
+
+template <int W>
+void UnpackBlock32T(const uint8_t* src, uint64_t* out) {
+  if constexpr (W == 0) {
+    for (size_t i = 0; i < kBlockValues; ++i) out[i] = 0;
+  } else {
+    uint32_t w[W];
+    for (int k = 0; k < W; ++k) w[k] = LoadBE32(src + 4 * k);
+    ExtractAll<W>(w, out, std::make_index_sequence<kBlockValues>{});
+  }
+}
+
+template <int W>
+void PackBlock32T(const uint64_t* in, uint8_t* dst) {
+  if constexpr (W == 0) {
+    (void)in;
+    (void)dst;
+  } else {
+    uint32_t w[W] = {};
+    DepositAll<W>(in, w, std::make_index_sequence<kBlockValues>{});
+    for (int k = 0; k < W; ++k) StoreBE32(dst + 4 * k, w[k]);
+  }
+}
+
+template <int... Ws>
+constexpr std::array<UnpackBlock32Fn, sizeof...(Ws)> MakeUnpackBlockTable(
+    std::integer_sequence<int, Ws...>) {
+  return {&UnpackBlock32T<Ws>...};
+}
+
+template <int... Ws>
+constexpr std::array<PackBlock32Fn, sizeof...(Ws)> MakePackBlockTable(
+    std::integer_sequence<int, Ws...>) {
+  return {&PackBlock32T<Ws>...};
+}
+
+// ---------------------------------------------------------------------
+// Wide (AVX2) kernels, dispatched at runtime behind HasWideKernels().
+//
+// For W <= 14 a group of four consecutive values spans at most
+// 4*14 + 7 = 63 bits, so one unaligned 64-bit big-endian load covers the
+// whole group regardless of its bit offset; a per-lane variable shift
+// (vpsrlvq) then fans the four values out in one step. W == 16 works too
+// on byte-aligned streams (a group is exactly 64 bits, offset always 0).
+// A group's load may touch up to 7 bytes past the group itself, so these
+// kernels only run where the caller proves slack bytes exist; the
+// portable kernels finish the edge.
+// ---------------------------------------------------------------------
+
+#ifdef BOS_KERNELS_X86
+
+// Per-block fast path: bits [0, 32*W) at src, byte-aligned. Valid for
+// W in [1, 14] and W == 16.
+template <int W>
+__attribute__((target("avx2"))) void UnpackBlock32Avx2(const uint8_t* src,
+                                                       uint64_t* out) {
+  const __m256i mask = _mm256_set1_epi64x((1LL << W) - 1);
+  // Groups of 4 values sharing one 64-bit load: when 4*W divides 64
+  // (power-of-two widths) several consecutive groups sit byte-aligned in
+  // the same word, so one load + broadcast feeds multiple shift/stores.
+  constexpr int kGplRaw = (64 % (4 * W) == 0) ? 64 / (4 * W) : 1;
+  constexpr int kGpl = kGplRaw > 8 ? 8 : kGplRaw;
+#pragma GCC unroll 8
+  for (int s = 0; s < 8 / kGpl; ++s) {
+    const int load_bit = s * kGpl * 4 * W;  // byte-aligned when kGpl > 1
+    const __m256i word = _mm256_set1_epi64x(
+        static_cast<long long>(LoadBE64(src + (load_bit >> 3))));
+#pragma GCC unroll 8
+    for (int g = 0; g < kGpl; ++g) {
+      // Constant after unrolling: one rodata vector per group position,
+      // hoisted across the outer loop.
+      const int off = (load_bit & 7) + g * 4 * W;
+      const __m256i counts = _mm256_set_epi64x(
+          64 - off - 4 * W, 64 - off - 3 * W, 64 - off - 2 * W, 64 - off - W);
+      const __m256i v =
+          _mm256_and_si256(_mm256_srlv_epi64(word, counts), mask);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + (s * kGpl + g) * 4), v);
+    }
+  }
+}
+
+// Run fast path: `groups` groups of 4 values starting at an arbitrary
+// `bit_pos`, each fused with `+ add`. Valid for W in [1, 14]; the caller
+// guarantees each group's 8-byte load stays inside the stream.
+template <int W>
+__attribute__((target("avx2"))) void UnpackRunAvx2(const uint8_t* stream,
+                                                   uint64_t bit_pos,
+                                                   size_t groups, uint64_t add,
+                                                   int64_t* out) {
+  const __m256i mask = _mm256_set1_epi64x((1LL << W) - 1);
+  const __m256i vadd = _mm256_set1_epi64x(static_cast<long long>(add));
+  const __m256i base_counts =
+      _mm256_set_epi64x(64 - 4 * W, 64 - 3 * W, 64 - 2 * W, 64 - W);
+  for (size_t g = 0; g < groups; ++g) {
+    const uint64_t bit = bit_pos + g * 4 * W;
+    const __m256i word = _mm256_set1_epi64x(
+        static_cast<long long>(LoadBE64(stream + (bit >> 3))));
+    const __m256i counts = _mm256_sub_epi64(
+        base_counts, _mm256_set1_epi64x(static_cast<long long>(bit & 7)));
+    const __m256i v = _mm256_add_epi64(
+        _mm256_and_si256(_mm256_srlv_epi64(word, counts), mask), vadd);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * g), v);
+  }
+}
+
+using RunAvx2Fn = void (*)(const uint8_t*, uint64_t, size_t, uint64_t,
+                           int64_t*);
+
+template <int... Ws>
+constexpr std::array<UnpackBlock32Fn, sizeof...(Ws)> MakeAvx2BlockTable(
+    std::integer_sequence<int, Ws...>) {
+  // Entry 0 and 15 are unreachable (dispatch skips them); point them at
+  // W=1/W=16 to keep the table total.
+  return {(Ws == 0   ? &UnpackBlock32Avx2<1>
+           : Ws == 15 ? &UnpackBlock32Avx2<16>
+                      : &UnpackBlock32Avx2<(Ws == 0 || Ws == 15) ? 1 : Ws>)...};
+}
+
+template <int... Ws>
+constexpr std::array<RunAvx2Fn, sizeof...(Ws)> MakeAvx2RunTable(
+    std::integer_sequence<int, Ws...>) {
+  return {(Ws == 0 ? &UnpackRunAvx2<1>
+                   : &UnpackRunAvx2<(Ws == 0) ? 1 : Ws>)...};
+}
+
+// Widths 0..16; entries 0 and 15 are never dispatched to (15 can
+// straddle 9 bytes per group, 0 is handled by the caller).
+const auto kAvx2BlockTable =
+    MakeAvx2BlockTable(std::make_integer_sequence<int, 17>{});
+// Widths 0..14; entry 0 never dispatched.
+const auto kAvx2RunTable =
+    MakeAvx2RunTable(std::make_integer_sequence<int, 15>{});
+
+inline bool BlockWidthHasAvx2(int width) {
+  return (width >= 1 && width <= 14) || width == 16;
+}
+
+#endif  // BOS_KERNELS_X86
+
+// ---------------------------------------------------------------------
+// Scalar reference: the pre-kernel single-pass accumulator code, kept
+// verbatim so its streams (and its speed, as a bench baseline) stay
+// exactly what the format was defined against.
+// ---------------------------------------------------------------------
+
+// Appends up to 32 bits to an MSB-first accumulator, flushing whole bytes.
+// Chunking to <= 32 bits keeps `acc_bits + chunk` <= 39 < 64, so the shift
+// never overflows.
+inline void AppendBits(uint64_t chunk, int chunk_bits, uint64_t* acc,
+                       int* acc_bits, uint8_t** dst) {
+  *acc = (*acc << chunk_bits) | chunk;
+  *acc_bits += chunk_bits;
+  while (*acc_bits >= 8) {
+    *acc_bits -= 8;
+    *(*dst)++ = static_cast<uint8_t>(*acc >> *acc_bits);
+  }
+}
+
+// Reads up to 32 bits from an MSB-first accumulator fed from `src`.
+inline uint64_t TakeBits(int chunk_bits, uint64_t* acc, int* acc_bits,
+                         const uint8_t** src) {
+  while (*acc_bits < chunk_bits) {
+    *acc = (*acc << 8) | *(*src)++;
+    *acc_bits += 8;
+  }
+  *acc_bits -= chunk_bits;
+  const uint64_t mask = chunk_bits == 0 ? 0 : ((~0ULL) >> (64 - chunk_bits));
+  return (*acc >> *acc_bits) & mask;
+}
+
+// Width-templated unpack body: with W a compile-time constant the
+// accumulator loop unrolls into straight-line shifts (the FastPFOR
+// trick); still one value at a time, byte-fed — the bench baseline.
+template <int W>
+void UnpackWidthScalar(const uint8_t* src, size_t n, uint64_t* out) {
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  if constexpr (W == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+  } else if constexpr (W <= 32) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = TakeBits(W, &acc, &acc_bits, &src);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t high = TakeBits(W - 32, &acc, &acc_bits, &src);
+      out[i] = (high << 32) | TakeBits(32, &acc, &acc_bits, &src);
+    }
+  }
+}
+
+using ScalarUnpackFn = void (*)(const uint8_t*, size_t, uint64_t*);
+
+template <int... Ws>
+constexpr std::array<ScalarUnpackFn, sizeof...(Ws)> MakeScalarUnpackTable(
+    std::integer_sequence<int, Ws...>) {
+  return {&UnpackWidthScalar<Ws>...};
+}
+
+constexpr auto kScalarUnpackTable =
+    MakeScalarUnpackTable(std::make_integer_sequence<int, 65>{});
+
+// ---------------------------------------------------------------------
+// Bit-granular run decode (UnpackRunAddBase substrate).
+// ---------------------------------------------------------------------
+
+// Per-width scalar run body: one unaligned 64-bit load per value while at
+// least 8 (9 for W > 56) readable bytes remain at the load site, then a
+// byte-fed cursor for the stream edge (bits past the end read as zero).
+template <int W>
+void UnpackRunScalarT(const uint8_t* stream, size_t stream_len,
+                      uint64_t bit_pos, size_t count, uint64_t add,
+                      int64_t* out) {
+  if constexpr (W == 0) {
+    for (size_t k = 0; k < count; ++k) out[k] = static_cast<int64_t>(add);
+    return;
+  } else {
+    constexpr uint64_t kMask = (W >= 64) ? ~0ULL : ((1ULL << W) - 1);
+    constexpr size_t kWindow = W <= 56 ? 8 : 9;
+    size_t k = 0;
+    if (stream_len >= kWindow) {
+      // Highest start bit whose window load stays inside the stream.
+      const uint64_t bit_limit = 8 * (stream_len - kWindow) + 7;
+      const size_t fast =
+          bit_pos > bit_limit
+              ? 0
+              : std::min<uint64_t>(count, (bit_limit - bit_pos) / W + 1);
+      if constexpr (W <= 56) {
+        for (; k < fast; ++k) {
+          const uint64_t bit = bit_pos + k * W;
+          const uint64_t word = LoadBE64(stream + (bit >> 3));
+          out[k] = static_cast<int64_t>(
+              add + ((word >> (64 - static_cast<int>(bit & 7) - W)) & kMask));
+        }
+      } else {
+        for (; k < fast; ++k) {
+          const uint64_t bit = bit_pos + k * W;
+          const uint8_t* p = stream + (bit >> 3);
+          const int off = static_cast<int>(bit & 7);
+          // 64 stream bits starting at `bit`, left-aligned.
+          const uint64_t a =
+              (LoadBE64(p) << off) | (static_cast<uint64_t>(p[8]) >> (8 - off));
+          out[k] = static_cast<int64_t>(add + (a >> (64 - W)));
+        }
+      }
+    }
+    if (k == count) return;
+    // Stream edge: byte-fed MSB-first cursor, zero bits past the end.
+    const uint64_t bit = bit_pos + k * W;
+    const uint8_t* src = stream + (bit >> 3);
+    const uint8_t* end = stream + stream_len;
+    uint64_t acc = 0;
+    int acc_bits = 0;
+    auto take = [&](int bits) -> uint64_t {
+      while (acc_bits < bits) {
+        acc = (acc << 8) | (src < end ? *src++ : 0);
+        acc_bits += 8;
+      }
+      acc_bits -= bits;
+      return (acc >> acc_bits) & (bits == 0 ? 0 : ((~0ULL) >> (64 - bits)));
+    };
+    take(static_cast<int>(bit & 7));  // discard to the start bit
+    for (; k < count; ++k) {
+      uint64_t v;
+      if constexpr (W <= 32) {
+        v = take(W);
+      } else {
+        v = take(W - 32) << 32;
+        v |= take(32);
+      }
+      out[k] = static_cast<int64_t>(add + v);
+    }
+  }
+}
+
+using RunScalarFn = void (*)(const uint8_t*, size_t, uint64_t, size_t,
+                             uint64_t, int64_t*);
+
+template <int... Ws>
+constexpr std::array<RunScalarFn, sizeof...(Ws)> MakeRunScalarTable(
+    std::integer_sequence<int, Ws...>) {
+  return {&UnpackRunScalarT<Ws>...};
+}
+
+constexpr auto kRunScalarTable =
+    MakeRunScalarTable(std::make_integer_sequence<int, 65>{});
+
+}  // namespace
+
+const std::array<UnpackBlock32Fn, 65> kUnpackBlock32Table =
+    MakeUnpackBlockTable(std::make_integer_sequence<int, 65>{});
+
+const std::array<PackBlock32Fn, 65> kPackBlock32Table =
+    MakePackBlockTable(std::make_integer_sequence<int, 65>{});
+
+bool HasWideKernels() {
+#ifdef BOS_KERNELS_X86
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+void UnpackScalar(const uint8_t* src, int width, size_t n, uint64_t* out) {
+  kScalarUnpackTable[width](src, n, out);
+}
+
+void PackScalar(const uint64_t* in, size_t n, int width, uint8_t* dst) {
+  if (width == 0 || n == 0) return;
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  const uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  if (width <= 32) {
+    for (size_t i = 0; i < n; ++i) {
+      AppendBits(in[i] & mask, width, &acc, &acc_bits, &dst);
+    }
+  } else {
+    const int high_bits = width - 32;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t v = in[i] & mask;
+      AppendBits(v >> 32, high_bits, &acc, &acc_bits, &dst);
+      AppendBits(v & 0xFFFFFFFFULL, 32, &acc, &acc_bits, &dst);
+    }
+  }
+  if (acc_bits > 0) {
+    *dst = static_cast<uint8_t>(acc << (8 - acc_bits));
+  }
+}
+
+void UnpackBlocks(const uint8_t* src, size_t src_len, int width, size_t n,
+                  uint64_t* out) {
+  if (width == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const size_t step = BlockBytes(width);
+  size_t blocks = n / kBlockValues;
+  size_t done = 0;
+
+#ifdef BOS_KERNELS_X86
+  if (blocks > 0 && HasWideKernels() && BlockWidthHasAvx2(width)) {
+    // Block b's widest load ends at b*step + (28*width)/8 + 8 bytes;
+    // only blocks where that stays inside src_len take the wide kernel.
+    const size_t reach = (28 * static_cast<size_t>(width)) / 8 + 8;
+    size_t wide = 0;
+    if (src_len >= reach) {
+      wide = std::min(blocks, (src_len - reach) / step + 1);
+    }
+    const UnpackBlock32Fn kernel = kAvx2BlockTable[width];
+    for (size_t b = 0; b < wide; ++b) {
+      kernel(src + b * step, out + b * kBlockValues);
+    }
+    done = wide;
+  }
+#endif
+
+  const UnpackBlock32Fn kernel = kUnpackBlock32Table[width];
+  for (size_t b = done; b < blocks; ++b) {
+    kernel(src + b * step, out + b * kBlockValues);
+  }
+  const size_t tail = n % kBlockValues;
+  if (tail > 0) {
+    UnpackScalar(src + blocks * step, width, tail, out + blocks * kBlockValues);
+  }
+  (void)src_len;
+}
+
+void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst) {
+  if (width == 0) return;
+  const PackBlock32Fn kernel = kPackBlock32Table[width];
+  const size_t step = BlockBytes(width);
+  size_t blocks = n / kBlockValues;
+  while (blocks-- > 0) {
+    kernel(in, dst);
+    in += kBlockValues;
+    dst += step;
+  }
+  const size_t tail = n % kBlockValues;
+  if (tail > 0) PackScalar(in, tail, width, dst);
+}
+
+void UnpackRunAddBase(const uint8_t* stream, size_t stream_len,
+                      uint64_t bit_pos, int width, size_t count, uint64_t add,
+                      int64_t* out) {
+  if (count == 0) return;
+  if (width == 0) {
+    for (size_t k = 0; k < count; ++k) out[k] = static_cast<int64_t>(add);
+    return;
+  }
+  // Short runs (outliers and the center gaps between them in the BOS
+  // value section, mostly) decode inline: a table dispatch plus a
+  // per-width indirect call costs more than the values themselves. 8 is
+  // where the wide path starts winning.
+  if (width <= 56 && count < 8 && stream_len >= 8) {
+    const uint64_t bit_limit = 8 * (stream_len - 8) + 7;
+    if (bit_pos + (count - 1) * static_cast<uint64_t>(width) <= bit_limit) {
+      const uint64_t mask = (1ULL << width) - 1;
+      for (size_t k = 0; k < count; ++k) {
+        const uint64_t bit = bit_pos + k * static_cast<uint64_t>(width);
+        const uint64_t word = LoadBE64(stream + (bit >> 3));
+        out[k] = static_cast<int64_t>(
+            add +
+            ((word >> (64 - static_cast<int>(bit & 7) - width)) & mask));
+      }
+      return;
+    }
+  }
+  size_t done = 0;
+#ifdef BOS_KERNELS_X86
+  if (width <= 14 && count >= 8 && HasWideKernels() && stream_len >= 8) {
+    // Each 4-value group issues one 8-byte load at its start bit; cap
+    // the wide groups to those whose load stays inside the stream.
+    const uint64_t bit_limit = 8 * (stream_len - 8) + 7;
+    const uint64_t group_bits = 4ULL * width;
+    size_t groups = count / 4;
+    if (bit_pos > bit_limit) {
+      groups = 0;
+    } else {
+      groups = std::min<uint64_t>(groups,
+                                  (bit_limit - bit_pos) / group_bits + 1);
+    }
+    if (groups > 0) {
+      kAvx2RunTable[width](stream, bit_pos, groups, add, out);
+      done = groups * 4;
+    }
+  }
+#endif
+  if (done < count) {
+    kRunScalarTable[width](stream, stream_len,
+                           bit_pos + done * static_cast<uint64_t>(width),
+                           count - done, add, out + done);
+  }
+}
+
+void UnpackBlocksAddBase(const uint8_t* src, size_t src_len, int width,
+                         size_t n, uint64_t base, int64_t* out) {
+  UnpackRunAddBase(src, src_len, /*bit_pos=*/0, width, n, base, out);
+}
+
+}  // namespace bos::bitpack

@@ -1,0 +1,98 @@
+#ifndef BOS_BITPACK_UNPACK_KERNELS_H_
+#define BOS_BITPACK_UNPACK_KERNELS_H_
+
+// Batched per-width pack/unpack kernels — the hot-path substrate under
+// PackFixedAligned/UnpackFixedAligned and the BOS/PFOR block decoders.
+//
+// Block-of-32 contract: a *block* is 32 consecutive values packed
+// MSB-first at a fixed width `w` (0..64). 32 values x `w` bits is always
+// exactly `4*w` bytes, so every full block starts AND ends on a byte
+// boundary; kernels therefore read/write exactly `4*w` bytes and never
+// touch memory past the block. A stream packed as full blocks plus an
+// MSB-first scalar tail is bit-identical to the historical single-pass
+// `PackFixedAligned` stream — the wire format is unchanged, only the
+// traversal is batched.
+//
+// Each width gets its own straight-line routine (constexpr-unrolled
+// template, no per-value branches); callers dispatch through a
+// table of function pointers indexed by width.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace bos::bitpack {
+
+/// Unpacks one block of 32 values of `width` bits from `src` (reads
+/// exactly `4*width` bytes).
+using UnpackBlock32Fn = void (*)(const uint8_t* src, uint64_t* out);
+
+/// Packs one block of 32 values at `width` bits into `dst` (writes
+/// exactly `4*width` bytes; values are masked to `width` bits).
+using PackBlock32Fn = void (*)(const uint64_t* in, uint8_t* dst);
+
+/// Dispatch tables indexed by width 0..64.
+extern const std::array<UnpackBlock32Fn, 65> kUnpackBlock32Table;
+extern const std::array<PackBlock32Fn, 65> kPackBlock32Table;
+
+/// Number of values per kernel block.
+inline constexpr size_t kBlockValues = 32;
+
+/// Bytes one full block occupies at `width` bits (exact, no padding).
+constexpr size_t BlockBytes(int width) {
+  return 4 * static_cast<size_t>(width);
+}
+
+/// Unpacks 32 values of `width` (0..64) bits starting at `src`.
+inline void UnpackBlock32(const uint8_t* src, int width, uint64_t* out) {
+  kUnpackBlock32Table[width](src, out);
+}
+
+/// Packs 32 values at `width` (0..64) bits into `dst`.
+inline void PackBlock32(const uint64_t* in, int width, uint8_t* dst) {
+  kPackBlock32Table[width](in, dst);
+}
+
+/// Unpacks `n` values of `width` bits: full blocks through the kernel
+/// table, MSB-first scalar tail. `src_len` is the number of readable
+/// bytes at `src` (>= ceil(n*width/8)); any slack beyond the packed
+/// payload lets the wide (SIMD) kernels run right up to the end instead
+/// of falling back to the portable path for the final blocks. Only the
+/// packed payload influences the output.
+void UnpackBlocks(const uint8_t* src, size_t src_len, int width, size_t n,
+                  uint64_t* out);
+
+/// Packs `n` values at `width` bits into `dst`, which must hold
+/// ceil(n*width/8) bytes; the final partial byte (if any) is zero-padded,
+/// matching the historical PackFixedAligned stream byte-for-byte.
+void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst);
+
+/// Fused unpack-and-rebase: out[i] = (int64_t)(base + delta[i]).
+/// Saves the temporary delta buffer on the frame-of-reference decode
+/// path. `src_len` as in UnpackBlocks.
+void UnpackBlocksAddBase(const uint8_t* src, size_t src_len, int width,
+                         size_t n, uint64_t base, int64_t* out);
+
+/// Bit-granular batch decode for payloads that do not start on a byte
+/// boundary (the BOS Figure-7 value section): reads `count` `width`-bit
+/// values MSB-first starting `bit_pos` bits into `stream` and writes
+/// out[k] = (int64_t)(add + value_k). Never reads past
+/// `stream + stream_len`; bits past the end read as zero, matching the
+/// scalar decode cursor. Dispatches per width like the block kernels.
+void UnpackRunAddBase(const uint8_t* stream, size_t stream_len,
+                      uint64_t bit_pos, int width, size_t count, uint64_t add,
+                      int64_t* out);
+
+/// True when the CPU offers the wide (AVX2) kernel variants; useful for
+/// benchmarks that want to label their results.
+bool HasWideKernels();
+
+/// Scalar reference implementations — the pre-kernel single-pass code.
+/// Kept callable so tests can assert byte-identical streams and benches
+/// can measure the kernel speedup against the same baseline forever.
+void UnpackScalar(const uint8_t* src, int width, size_t n, uint64_t* out);
+void PackScalar(const uint64_t* in, size_t n, int width, uint8_t* dst);
+
+}  // namespace bos::bitpack
+
+#endif  // BOS_BITPACK_UNPACK_KERNELS_H_

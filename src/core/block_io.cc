@@ -1,6 +1,7 @@
 #include "core/block_io.h"
 
 #include "bitpack/bitpacking.h"
+#include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "util/bits.h"
 #include "util/macros.h"
@@ -33,14 +34,18 @@ Status DecodePlainBlockBody(BytesView data, size_t* offset,
   if (*offset >= data.size()) return Status::Corruption("plain block truncated");
   const int width = data[(*offset)++];
   if (width > 64) return Status::Corruption("plain block width > 64");
-  std::vector<uint64_t> deltas(n);
-  BOS_RETURN_NOT_OK(
-      bitpack::UnpackFixedAligned(data, offset, width, n, deltas.data()));
-  out->reserve(out->size() + n);
-  for (uint64_t i = 0; i < n; ++i) {
-    out->push_back(
-        static_cast<int64_t>(static_cast<uint64_t>(min) + deltas[i]));
+  const uint64_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
+  if (*offset + bytes > data.size()) {
+    return Status::Corruption("plain block payload truncated");
   }
+  // Fused unpack-and-rebase through the block-of-32 kernels: no
+  // intermediate delta buffer on the frame-of-reference path.
+  const size_t old_size = out->size();
+  out->resize(old_size + n);
+  bitpack::UnpackBlocksAddBase(data.data() + *offset, data.size() - *offset,
+                               width, n, static_cast<uint64_t>(min),
+                               out->data() + old_size);
+  *offset += bytes;
   return Status::OK();
 }
 

@@ -1,25 +1,49 @@
 #include "core/bos_codec.h"
 
+#include <atomic>
+#include <bit>
 #include <cassert>
+#include <cstring>
 
 #include "bitpack/bit_reader.h"
 #include "bitpack/bit_writer.h"
+#include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "core/block_io.h"
 #include "util/bits.h"
 #include "util/macros.h"
 
 namespace bos::core {
+
+namespace {
+std::atomic<bool> g_batched_decode{true};
+}  // namespace
+
+void SetBosBatchedDecodeEnabled(bool enabled) {
+  g_batched_decode.store(enabled, std::memory_order_relaxed);
+}
+
+bool BosBatchedDecodeEnabled() {
+  return g_batched_decode.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 // Value classes, matching the bitmap codes of Figure 2.
 enum Class : uint8_t { kCenter = 0, kLower = 1, kUpper = 2 };
 
+inline uint64_t LoadBE64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return __builtin_bswap64(v);
+}
+
 // Decode-side MSB-first bit cursor over a payload whose total bit count
 // the caller has already validated against the buffer size; reads past
 // the end (only ever into padding) yield zero bits. Roughly 4x faster
 // than going through BitReader's per-call bounds check on the hot
-// per-value loop.
+// per-value loop. This is the scalar reference path; the batched decoder
+// below goes through bitpack::UnpackRunAddBase instead.
 class MsbBitCursor {
  public:
   MsbBitCursor(const uint8_t* data, size_t bytes)
@@ -51,6 +75,298 @@ class MsbBitCursor {
   uint64_t acc_ = 0;
   int acc_bits_ = 0;
 };
+
+// One outlier entry of a block, in value order.
+struct OutlierRef {
+  uint32_t pos;
+  uint32_t cls;  // kLower or kUpper; 32-bit so an entry is one 8-byte store
+};
+
+// Per-(carry state, byte) precomputed step of the '0'/'10'/'11' class
+// bitmap (Figure 2). State 0: no pending bits; state 1: a '1' was seen
+// at the end of the previous byte and the first bit of this byte picks
+// that outlier's class. A byte completes at most 4 outliers (each costs
+// two bits), so their in-byte entry indices and classes pack into four
+// 4-bit slots of `outinfo`: [upper:1 | entry_idx:3] per slot, in emit
+// order from the low nibble up.
+struct BitmapByte {
+  uint16_t outinfo;
+  uint8_t nsym;        // bitmap entries completed by this byte
+  uint8_t nout;        // outliers among them (<= 4)
+  uint8_t nup;         // upper-class outliers among them
+  uint8_t next_state;  // carry into the next byte
+};
+
+constexpr std::array<std::array<BitmapByte, 256>, 2> BuildBitmapByteTable() {
+  std::array<std::array<BitmapByte, 256>, 2> table{};
+  for (int state = 0; state < 2; ++state) {
+    for (int byte = 0; byte < 256; ++byte) {
+      int st = state, nsym = 0, nout = 0, nup = 0;
+      uint16_t info = 0;
+      for (int bitpos = 7; bitpos >= 0; --bitpos) {
+        const int bit = (byte >> bitpos) & 1;
+        if (st == 1) {  // class bit of a pending outlier
+          info = static_cast<uint16_t>(info |
+                                       ((nsym | (bit << 3)) << (4 * nout)));
+          ++nout;
+          nup += bit;
+          ++nsym;
+          st = 0;
+        } else if (bit == 0) {
+          ++nsym;  // center
+        } else {
+          st = 1;  // outlier marker; class bit follows
+        }
+      }
+      table[state][byte] = {info, static_cast<uint8_t>(nsym),
+                            static_cast<uint8_t>(nout),
+                            static_cast<uint8_t>(nup),
+                            static_cast<uint8_t>(st)};
+    }
+  }
+  return table;
+}
+
+constexpr auto kBitmapByteTable = BuildBitmapByteTable();
+
+// Fused batched decode of a bitmap-mode block body (Figure 7): walks
+// the class bitmap a byte at a time through kBitmapByteTable and decodes
+// the value section in the same pass — no per-value class array and no
+// outlier position list is ever materialized. Center entries only bump a
+// pending-run counter (a center-only byte costs a few cycles), and each
+// run is decoded in one shot when the next outlier — whose class and
+// in-byte index come straight from the table entry — forces a width
+// change, so long center runs still reach the wide run kernel. Returns
+// false when the bitmap's outlier counts disagree with the header's
+// nl/nu (the caller reports corruption; `out` then holds garbage for
+// this block, which the caller discards with the error).
+//
+// `stream_len` may extend past the block's payload into later blocks:
+// reads stay inside the stream, and on well-formed input (counts match)
+// every decoded bit lies inside the validated payload, matching the
+// scalar MsbBitCursor walk bit for bit.
+bool DecodeSeparatedBatched(const uint8_t* stream, size_t stream_len,
+                            uint64_t n, uint64_t nl, uint64_t nu,
+                            const int64_t bases[3], const int widths[3],
+                            std::vector<int64_t>* out) {
+  const size_t old_size = out->size();
+  out->resize(old_size + n);
+  int64_t* dst = out->data() + old_size;
+
+  // Value cursor: values start right after the bitmap's n + nl + nu bits.
+  uint64_t vbit = n + nl + nu;
+  // Inline decode does raw 8-byte loads; start bits up to this limit
+  // keep them inside the stream (zero when the stream is too short).
+  const uint64_t inline_bit_limit =
+      stream_len >= 8 ? 8 * (stream_len - 8) + 7 : 0;
+  const int wc = widths[kCenter];
+  const uint64_t base_c = static_cast<uint64_t>(bases[kCenter]);
+  const uint64_t mask_c = wc == 0 ? 0 : ((~0ULL) >> (64 - wc));
+  const bool center_inline = wc >= 1 && wc <= 56 && stream_len >= 8;
+
+  uint64_t done = 0;  // values decoded so far
+  uint64_t pend = 0;  // center entries seen but not yet decoded
+  uint64_t sl = 0, su = 0;
+
+  const auto flush_centers = [&](uint64_t run) {
+    if (run == 0) return;
+    if (center_inline && run < 8 && vbit <= inline_bit_limit) {
+      const int off = static_cast<int>(vbit & 7);
+      if (run * static_cast<uint64_t>(wc) + off <= 64) {
+        // The whole run fits in one load: left-align once, then peel
+        // each value off the top of the register.
+        uint64_t word = LoadBE64(stream + (vbit >> 3)) << off;
+        for (uint64_t v = 0; v < run; ++v) {
+          dst[done + v] = static_cast<int64_t>(base_c + (word >> (64 - wc)));
+          word <<= wc;
+        }
+        vbit += run * static_cast<uint64_t>(wc);
+        done += run;
+        return;
+      }
+      if (vbit + (run - 1) * static_cast<uint64_t>(wc) <= inline_bit_limit) {
+        uint64_t b = vbit;
+        for (uint64_t v = 0; v < run; ++v, b += static_cast<uint64_t>(wc)) {
+          const uint64_t word = LoadBE64(stream + (b >> 3));
+          dst[done + v] = static_cast<int64_t>(
+              base_c +
+              ((word >> (64 - static_cast<int>(b & 7) - wc)) & mask_c));
+        }
+        vbit += run * static_cast<uint64_t>(wc);
+        done += run;
+        return;
+      }
+    }
+    bitpack::UnpackRunAddBase(stream, stream_len, vbit, wc, run, base_c,
+                              dst + done);
+    vbit += run * static_cast<uint64_t>(wc);
+    done += run;
+  };
+  const auto decode_outlier = [&](uint32_t cls) {
+    const int w = widths[cls];
+    if (w >= 1 && w <= 56 && vbit <= inline_bit_limit) {
+      const uint64_t word = LoadBE64(stream + (vbit >> 3));
+      dst[done] = static_cast<int64_t>(
+          static_cast<uint64_t>(bases[cls]) +
+          ((word >> (64 - static_cast<int>(vbit & 7) - w)) &
+           ((~0ULL) >> (64 - w))));
+    } else {
+      bitpack::UnpackRunAddBase(stream, stream_len, vbit, w, 1,
+                                static_cast<uint64_t>(bases[cls]), dst + done);
+    }
+    vbit += static_cast<uint64_t>(w);
+    ++done;
+  };
+
+  size_t bpos = 0;
+  int state = 0;
+  // A byte completes at most 8 entries, so while >= 8 remain a whole
+  // byte can never run past the bitmap into the value bits.
+  while (n - (done + pend) >= 8 && bpos < stream_len) {
+    const BitmapByte e = kBitmapByteTable[state][stream[bpos++]];
+    if (e.nout == 0) {
+      pend += e.nsym;
+    } else {
+      uint32_t info = e.outinfo;
+      uint32_t prev = 0;  // in-byte entry index after the last outlier
+      for (int k = 0; k < e.nout; ++k) {
+        const uint32_t idx = info & 7;
+        const uint32_t cls = kLower + ((info >> 3) & 1);
+        info >>= 4;
+        flush_centers(pend + (idx - prev));
+        pend = 0;
+        decode_outlier(cls);
+        prev = idx + 1;
+      }
+      pend = e.nsym - prev;
+      su += e.nup;
+      sl += static_cast<uint64_t>(e.nout) - e.nup;
+    }
+    state = e.next_state;
+  }
+  // Tail (< 8 entries, or stream edge): bit by bit, with bitmap bits
+  // past the stream reading as zero — same as MsbBitCursor.
+  uint32_t acc = 0;
+  int acc_bits = 0;
+  int pending = state;
+  while (done + pend < n) {
+    if (acc_bits == 0) {
+      acc = bpos < stream_len ? stream[bpos++] : 0;
+      acc_bits = 8;
+    }
+    const uint32_t bit = (acc >> (acc_bits - 1)) & 1;
+    --acc_bits;
+    if (pending != 0) {
+      flush_centers(pend);
+      pend = 0;
+      decode_outlier(kLower + bit);
+      (bit != 0 ? su : sl) += 1;
+      pending = 0;
+    } else if (bit == 0) {
+      ++pend;
+    } else {
+      pending = 1;
+    }
+  }
+  flush_centers(pend);
+  return sl == nl && su == nu;
+}
+
+// Scalar per-value decode of the classed value section (Figure 7). The
+// per-class base and width tables keep the loop branch-free.
+void DecodeClassedValuesScalar(MsbBitCursor* cursor,
+                               const std::vector<uint8_t>& classes,
+                               const int64_t bases[3], const int widths[3],
+                               uint64_t n, std::vector<int64_t>* out) {
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint8_t cls = classes[i];
+    const uint64_t delta = cursor->TakeWide(widths[cls]);
+    out->push_back(
+        static_cast<int64_t>(static_cast<uint64_t>(bases[cls]) + delta));
+  }
+}
+
+// Batched decode of the value section directly from the outlier list:
+// the maximal center run before each outlier goes through the
+// bit-granular kernel in one call, then the outlier (extended to a run
+// when consecutive outliers share a class) at its own width. No per-value
+// class array is ever materialized. `stream_len` may extend past the
+// payload (slack lets the wide kernels run to the stream edge); only bits
+// below `start_bit + sum(widths)` are ever decoded.
+void DecodeClassedValuesBatched(const uint8_t* stream, size_t stream_len,
+                                uint64_t start_bit,
+                                const std::vector<OutlierRef>& outliers,
+                                const int64_t bases[3], const int widths[3],
+                                uint64_t n, std::vector<int64_t>* out) {
+  const size_t old_size = out->size();
+  out->resize(old_size + n);
+  int64_t* dst = out->data() + old_size;
+  uint64_t bit = start_bit;
+  uint64_t next = 0;  // first value index not yet decoded
+  size_t k = 0;
+
+  // Short runs decode right here — on outlier-dense blocks there are
+  // hundreds of 1-5 value runs per block and even the call into the
+  // dispatching kernel shows up. Inline decode needs its 8-byte loads to
+  // stay inside the stream: start bits up to `inline_bit_limit` qualify
+  // (zero when the stream is too short to ever qualify).
+  const uint64_t inline_bit_limit =
+      stream_len >= 8 ? 8 * (stream_len - 8) + 7 : 0;
+  const int wc = widths[kCenter];
+  const uint64_t base_c = static_cast<uint64_t>(bases[kCenter]);
+  const uint64_t mask_c = wc == 0 ? 0 : ((~0ULL) >> (64 - wc));
+  const bool center_inline = wc >= 1 && wc <= 56 && stream_len >= 8;
+
+  while (k < outliers.size()) {
+    const OutlierRef o = outliers[k];
+    if (o.pos > next) {
+      const uint64_t run = o.pos - next;
+      if (center_inline && run < 8 &&
+          bit + (run - 1) * static_cast<uint64_t>(wc) <= inline_bit_limit) {
+        for (uint64_t v = 0; v < run; ++v) {
+          const uint64_t b = bit + v * static_cast<uint64_t>(wc);
+          const uint64_t word = LoadBE64(stream + (b >> 3));
+          dst[next + v] = static_cast<int64_t>(
+              base_c +
+              ((word >> (64 - static_cast<int>(b & 7) - wc)) & mask_c));
+        }
+      } else {
+        bitpack::UnpackRunAddBase(stream, stream_len, bit, wc, run, base_c,
+                                  dst + next);
+      }
+      bit += run * static_cast<uint64_t>(wc);
+    }
+    const int w = widths[o.cls];
+    if (w >= 1 && w <= 56 && bit <= inline_bit_limit && stream_len >= 8) {
+      // The common shape: one isolated outlier.
+      const uint64_t word = LoadBE64(stream + (bit >> 3));
+      dst[o.pos] = static_cast<int64_t>(
+          static_cast<uint64_t>(bases[o.cls]) +
+          ((word >> (64 - static_cast<int>(bit & 7) - w)) &
+           ((~0ULL) >> (64 - w))));
+      bit += static_cast<uint64_t>(w);
+      next = o.pos + 1;
+      ++k;
+      continue;
+    }
+    size_t e = k + 1;
+    while (e < outliers.size() && outliers[e].cls == o.cls &&
+           outliers[e].pos == o.pos + (e - k)) {
+      ++e;
+    }
+    const uint64_t run = e - k;
+    bitpack::UnpackRunAddBase(stream, stream_len, bit, w, run,
+                              static_cast<uint64_t>(bases[o.cls]), dst + o.pos);
+    bit += run * static_cast<uint64_t>(w);
+    next = o.pos + run;
+    k = e;
+  }
+  if (next < n) {
+    bitpack::UnpackRunAddBase(stream, stream_len, bit, wc, n - next, base_c,
+                              dst + next);
+  }
+}
 
 Status EncodeSeparated(std::span<const int64_t> values, const Separation& sep,
                        Bytes* out) {
@@ -119,40 +435,39 @@ Status DecodeSeparatedBody(BytesView data, size_t* offset,
   BOS_RETURN_NOT_OK(read_width(&beta));
   if (nu > 0) BOS_RETURN_NOT_OK(read_width(&gamma));
 
+  const uint64_t bitmap_bits = n + nl + nu;
   const uint64_t payload_bits =
-      (n + nl + nu) +  // bitmap
+      bitmap_bits +  // bitmap
       nl * static_cast<uint64_t>(alpha) + nu * static_cast<uint64_t>(gamma) +
       (n - nl - nu) * static_cast<uint64_t>(beta);
   const uint64_t payload_bytes = BitsToBytes(payload_bits);
   if (*offset + payload_bytes > data.size()) {
     return Status::Corruption("BOS block payload truncated");
   }
-  MsbBitCursor cursor(data.data() + *offset, payload_bytes);
+  const uint8_t* payload = data.data() + *offset;
 
-  std::vector<uint8_t> classes(n);
-  uint64_t seen_l = 0, seen_u = 0;
-  for (uint64_t i = 0; i < n; ++i) {
-    if (!cursor.TakeBit()) {
-      classes[i] = kCenter;
-      continue;
-    }
-    const bool upper = cursor.TakeBit();
-    classes[i] = upper ? kUpper : kLower;
-    (upper ? seen_u : seen_l) += 1;
-  }
-  if (seen_l != nl || seen_u != nu) {
-    return Status::Corruption("BOS bitmap does not match outlier counts");
-  }
-
-  // Per-class base and width tables keep the hot loop branch-free.
   const int64_t bases[3] = {min_xc, xmin, min_xu};
   const int widths[3] = {beta, alpha, gamma};
-  out->reserve(out->size() + n);
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint8_t cls = classes[i];
-    const uint64_t delta = cursor.TakeWide(widths[cls]);
-    out->push_back(static_cast<int64_t>(
-        static_cast<uint64_t>(bases[cls]) + delta));
+  uint64_t seen_l = 0, seen_u = 0;
+
+  if (BosBatchedDecodeEnabled()) {
+    if (!DecodeSeparatedBatched(payload, data.size() - *offset, n, nl, nu,
+                                bases, widths, out)) {
+      return Status::Corruption("BOS bitmap does not match outlier counts");
+    }
+  } else {
+    std::vector<uint8_t> classes(n, kCenter);
+    MsbBitCursor cursor(payload, payload_bytes);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!cursor.TakeBit()) continue;
+      const bool upper = cursor.TakeBit();
+      classes[i] = upper ? kUpper : kLower;
+      (upper ? seen_u : seen_l) += 1;
+    }
+    if (seen_l != nl || seen_u != nu) {
+      return Status::Corruption("BOS bitmap does not match outlier counts");
+    }
+    DecodeClassedValuesScalar(&cursor, classes, bases, widths, n, out);
   }
   *offset += payload_bytes;
   return Status::OK();
@@ -233,22 +548,26 @@ Status DecodeSeparatedListBody(BytesView data, size_t* offset,
   BOS_RETURN_NOT_OK(read_width(&beta));
   if (nu > 0) BOS_RETURN_NOT_OK(read_width(&gamma));
 
-  std::vector<uint8_t> classes(n, kCenter);
-  auto read_positions = [&](uint64_t count, uint8_t cls) -> Status {
+  // Each gap list yields strictly ascending positions by construction;
+  // only cross-list duplicates need an explicit check (in the merge or
+  // the classes fill below).
+  std::vector<uint32_t> lower_pos, upper_pos;
+  lower_pos.reserve(nl);
+  upper_pos.reserve(nu);
+  auto read_positions = [&](uint64_t count,
+                            std::vector<uint32_t>* pos_list) -> Status {
     uint64_t pos = 0;
     for (uint64_t i = 0; i < count; ++i) {
       uint64_t gap;
       BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &gap));
       pos = (i == 0) ? gap : pos + 1 + gap;
-      if (pos >= n || classes[pos] != kCenter) {
-        return Status::Corruption("BOS-LIST: bad position");
-      }
-      classes[pos] = cls;
+      if (pos >= n) return Status::Corruption("BOS-LIST: bad position");
+      pos_list->push_back(static_cast<uint32_t>(pos));
     }
     return Status::OK();
   };
-  BOS_RETURN_NOT_OK(read_positions(nl, kLower));
-  BOS_RETURN_NOT_OK(read_positions(nu, kUpper));
+  BOS_RETURN_NOT_OK(read_positions(nl, &lower_pos));
+  BOS_RETURN_NOT_OK(read_positions(nu, &upper_pos));
 
   const uint64_t payload_bits = nl * static_cast<uint64_t>(alpha) +
                                 nu * static_cast<uint64_t>(gamma) +
@@ -257,15 +576,36 @@ Status DecodeSeparatedListBody(BytesView data, size_t* offset,
   if (*offset + payload_bytes > data.size()) {
     return Status::Corruption("BOS-LIST: payload truncated");
   }
-  MsbBitCursor cursor(data.data() + *offset, payload_bytes);
   const int64_t bases[3] = {min_xc, xmin, min_xu};
   const int widths[3] = {beta, alpha, gamma};
-  out->reserve(out->size() + n);
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint8_t cls = classes[i];
-    const uint64_t delta = cursor.TakeWide(widths[cls]);
-    out->push_back(static_cast<int64_t>(
-        static_cast<uint64_t>(bases[cls]) + delta));
+  if (BosBatchedDecodeEnabled()) {
+    std::vector<OutlierRef> outliers;
+    outliers.reserve(nl + nu);
+    size_t i = 0, j = 0;
+    while (i < lower_pos.size() || j < upper_pos.size()) {
+      if (j >= upper_pos.size() ||
+          (i < lower_pos.size() && lower_pos[i] < upper_pos[j])) {
+        outliers.push_back({lower_pos[i++], kLower});
+      } else if (i >= lower_pos.size() || upper_pos[j] < lower_pos[i]) {
+        outliers.push_back({upper_pos[j++], kUpper});
+      } else {
+        return Status::Corruption("BOS-LIST: bad position");
+      }
+    }
+    DecodeClassedValuesBatched(data.data() + *offset, data.size() - *offset,
+                               /*start_bit=*/0, outliers, bases, widths, n,
+                               out);
+  } else {
+    std::vector<uint8_t> classes(n, kCenter);
+    for (uint32_t pos : lower_pos) classes[pos] = kLower;
+    for (uint32_t pos : upper_pos) {
+      if (classes[pos] != kCenter) {
+        return Status::Corruption("BOS-LIST: bad position");
+      }
+      classes[pos] = kUpper;
+    }
+    MsbBitCursor cursor(data.data() + *offset, payload_bytes);
+    DecodeClassedValuesScalar(&cursor, classes, bases, widths, n, out);
   }
   *offset += payload_bytes;
   return Status::OK();

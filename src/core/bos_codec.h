@@ -8,6 +8,14 @@
 
 namespace bos::core {
 
+/// \brief Toggles the batched BOS decode paths (word-at-a-time bitmap
+/// classification and run-batched value unpacking). Enabled by default;
+/// the scalar per-value paths are kept so benchmarks can measure the
+/// batched speedup and tests can cross-check the two implementations.
+/// Both paths accept exactly the same byte streams.
+void SetBosBatchedDecodeEnabled(bool enabled);
+bool BosBatchedDecodeEnabled();
+
 /// \brief Plain bit-packing (BP): the operator BOS replaces. Encodes each
 /// block as frame-of-reference fixed-width values (Definition 1).
 class BitPackingOperator final : public PackingOperator {

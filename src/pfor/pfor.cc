@@ -124,17 +124,20 @@ Status DecodePforChunk(BytesView data, size_t* offset, size_t chunk_n,
     *offset += 8;
   }
 
-  // Patch along the chain, reading strides before overwriting.
-  std::vector<uint64_t> deltas = slots;
+  // Patch along the chain in place: each stride is read before its slot
+  // is overwritten, and the chain only ever moves forward.
   uint64_t pos = first_idx;
   for (uint64_t i = 0; i < num_exc; ++i) {
     if (pos >= chunk_n) return Status::Corruption("PFOR chain out of range");
     const uint64_t stride = slots[pos];
-    deltas[pos] = exc[i];
+    slots[pos] = exc[i];
     pos = pos + 1 + stride;
   }
+  const size_t old_size = out->size();
+  out->resize(old_size + chunk_n);
+  int64_t* dst = out->data() + old_size;
   for (uint64_t i = 0; i < chunk_n; ++i) {
-    out->push_back(static_cast<int64_t>(static_cast<uint64_t>(min) + deltas[i]));
+    dst[i] = static_cast<int64_t>(static_cast<uint64_t>(min) + slots[i]);
   }
   return Status::OK();
 }
@@ -208,8 +211,11 @@ Status DecodeNewPforChunk(BytesView data, size_t* offset, size_t chunk_n,
       deltas[pos] |= highs[i] << b;
     }
   }
-  for (uint64_t d : deltas) {
-    out->push_back(static_cast<int64_t>(static_cast<uint64_t>(min) + d));
+  const size_t old_size = out->size();
+  out->resize(old_size + chunk_n);
+  int64_t* dst = out->data() + old_size;
+  for (uint64_t i = 0; i < chunk_n; ++i) {
+    dst[i] = static_cast<int64_t>(static_cast<uint64_t>(min) + deltas[i]);
   }
   return Status::OK();
 }
@@ -448,18 +454,21 @@ Status FastPforOperator::Decode(BytesView data, size_t* offset,
   }
 
   std::array<size_t, 65> cursors{};
-  out->reserve(out->size() + n);
-  for (const PendingChunk& pc : chunks) {
-    std::vector<uint64_t> deltas = pc.deltas;
+  size_t write_pos = out->size();
+  out->resize(write_pos + n);
+  for (PendingChunk& pc : chunks) {
+    // Each chunk is consumed exactly once, so patch its deltas in place.
     for (uint8_t p : pc.positions) {
       if (cursors[pc.w] >= buckets[pc.w].size()) {
         return Status::Corruption("FastPFOR bucket underflow");
       }
-      deltas[p] |= buckets[pc.w][cursors[pc.w]++] << pc.b;
+      pc.deltas[p] |= buckets[pc.w][cursors[pc.w]++] << pc.b;
     }
-    for (uint64_t d : deltas) {
-      out->push_back(static_cast<int64_t>(static_cast<uint64_t>(pc.min) + d));
+    int64_t* dst = out->data() + write_pos;
+    for (size_t i = 0; i < pc.deltas.size(); ++i) {
+      dst[i] = static_cast<int64_t>(static_cast<uint64_t>(pc.min) + pc.deltas[i]);
     }
+    write_pos += pc.deltas.size();
   }
   return Status::OK();
 }
