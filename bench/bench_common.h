@@ -151,26 +151,44 @@ class JsonlWriter {
     std::fputc('{', file_);
     bool first = true;
     for (const auto& [key, value] : fields) {
-      if (!first) std::fputc(',', file_);
+      WriteField(key, value, first);
       first = false;
-      std::fprintf(file_, "\"%s\":", key);
-      switch (value.kind) {
-        case JsonValue::Kind::kString:
-          std::fprintf(file_, "\"%s\"", value.str.c_str());
-          break;
-        case JsonValue::Kind::kNumber:
-          std::fprintf(file_, "%.6g", value.num);
-          break;
-        case JsonValue::Kind::kBool:
-          std::fputs(value.flag ? "true" : "false", file_);
-          break;
-      }
     }
     std::fputs("}\n", file_);
     std::fflush(file_);
   }
 
+  /// The shared record schema: every line starts with a "bench"
+  /// discriminator so BENCH_*.json files can be concatenated and split
+  /// back apart by record kind. All bench binaries emit through this.
+  void WriteRecord(
+      const char* bench,
+      std::initializer_list<std::pair<const char*, JsonValue>> fields) {
+    if (file_ == nullptr) return;
+    std::fputc('{', file_);
+    WriteField("bench", JsonValue(bench), /*first=*/true);
+    for (const auto& [key, value] : fields) WriteField(key, value, false);
+    std::fputs("}\n", file_);
+    std::fflush(file_);
+  }
+
  private:
+  void WriteField(const char* key, const JsonValue& value, bool first) {
+    if (!first) std::fputc(',', file_);
+    std::fprintf(file_, "\"%s\":", key);
+    switch (value.kind) {
+      case JsonValue::Kind::kString:
+        std::fprintf(file_, "\"%s\"", value.str.c_str());
+        break;
+      case JsonValue::Kind::kNumber:
+        std::fprintf(file_, "%.6g", value.num);
+        break;
+      case JsonValue::Kind::kBool:
+        std::fputs(value.flag ? "true" : "false", file_);
+        break;
+    }
+  }
+
   std::FILE* file_;
 };
 

@@ -85,8 +85,8 @@ WidthResult BenchWidth(int width, bench::JsonlWriter* out) {
         }
       }) / 1e9;
 
-  out->Write({{"bench", "kernels"},
-              {"width", width},
+  out->WriteRecord("kernels",
+             {{"width", width},
               {"values", kUnpackValues},
               {"pack_scalar_gbps", r.pack_scalar_gbps},
               {"pack_kernel_gbps", r.pack_kernel_gbps},
@@ -157,8 +157,8 @@ void BenchBosDataset(const data::DatasetInfo& info, bench::JsonlWriter* out,
               "   batched %8.1f MB/s   speedup %.2fx\n",
               info.abbr.c_str(), mb / encode_s, mb / scalar_s, mb / batched_s,
               speedup);
-  out->Write({{"bench", "bos_m_end_to_end"},
-              {"dataset", info.abbr},
+  out->WriteRecord("bos_m_end_to_end",
+             {{"dataset", info.abbr},
               {"values", values.size()},
               {"block", kBosBlock},
               {"encode_mbps", mb / encode_s},
@@ -200,8 +200,8 @@ int main() {
   for (const auto& info : data::AllDatasets()) {
     BenchBosDataset(info, &out, &worst_bos_speedup);
   }
-  out.Write({{"bench", "summary"},
-             {"min_unpack_speedup_width_le16", min_speedup_le16},
+  out.WriteRecord("summary",
+            {{"min_unpack_speedup_width_le16", min_speedup_le16},
              {"min_bos_m_decode_speedup", worst_bos_speedup}});
   std::printf("min BOS-M decode speedup: %.2fx\n", worst_bos_speedup);
   return 0;

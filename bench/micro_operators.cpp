@@ -29,6 +29,10 @@ std::vector<int64_t> CanonicalBlock() {
 
 int main() {
   bench::JsonlWriter out("BENCH_operators.json");
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open BENCH_operators.json\n");
+    return 1;
+  }
   const auto block = CanonicalBlock();
   const double n = static_cast<double>(block.size());
 
@@ -60,8 +64,8 @@ int main() {
     const double decode_ns = decode_s * 1e9 / n;
     std::printf("%-12s %14.1f %14.1f %10zu\n", name.c_str(), encode_ns,
                 decode_ns, encoded.size());
-    out.Write({{"bench", "micro_operators"},
-               {"operator", name},
+    out.WriteRecord("micro_operators",
+              {{"operator", name},
                {"values", block.size()},
                {"encode_ns_per_value", encode_ns},
                {"decode_ns_per_value", decode_ns},

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codecs/registry.h"
+#include "telemetry/telemetry.h"
 #include "util/macros.h"
 
 namespace bos::codecs {
@@ -41,6 +42,8 @@ Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
   if (values.empty()) {
     return Status::InvalidArgument("cannot advise on an empty series");
   }
+  BOS_TELEMETRY_COUNTER_ADD("bos.codecs.advisor.runs", 1);
+  BOS_TELEMETRY_SPAN("bos.codecs.advisor.advise_ns");
   const std::vector<std::string> candidates =
       options.candidates.empty() ? DefaultCandidates() : options.candidates;
   const std::vector<int64_t> sample = Sample(values, options.sample_values);
@@ -62,6 +65,10 @@ Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
             });
   rec.spec = rec.ranking.front().spec;
   rec.estimated_ratio = rec.ranking.front().ratio;
+  // One counter per recommended spec: the advisor's decision distribution.
+  BOS_TELEMETRY_ONLY(telemetry::Registry::Global()
+                         .GetCounter("bos.codecs.advisor.pick." + rec.spec)
+                         .Add(1));
   return rec;
 }
 

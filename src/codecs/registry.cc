@@ -7,6 +7,7 @@
 #include "codecs/ts2diff.h"
 #include "core/bos_codec.h"
 #include "pfor/pfor.h"
+#include "telemetry/telemetry.h"
 #include "util/macros.h"
 
 namespace bos::codecs {
@@ -21,6 +22,12 @@ std::vector<std::string> TransformNames() { return {"RLE", "SPRINTZ", "TS2DIFF"}
 Result<std::shared_ptr<const core::PackingOperator>> MakeOperator(
     std::string_view name) {
   using core::SeparationStrategy;
+  // Which operators the deployment actually instantiates (cold path, so
+  // the dynamically named per-operator counter is fine here).
+  BOS_TELEMETRY_ONLY(telemetry::Registry::Global()
+                         .GetCounter("bos.codecs.registry.operator." +
+                                     std::string(name))
+                         .Add(1));
   if (name == "BP") return {std::make_shared<core::BitPackingOperator>()};
   if (name == "PFOR") return {std::make_shared<pfor::PforOperator>()};
   if (name == "NEWPFOR") return {std::make_shared<pfor::NewPforOperator>()};
@@ -43,6 +50,7 @@ Result<std::shared_ptr<const core::PackingOperator>> MakeOperator(
 
 Result<std::shared_ptr<const SeriesCodec>> MakeSeriesCodec(
     std::string_view spec, size_t block_size) {
+  BOS_TELEMETRY_COUNTER_ADD("bos.codecs.registry.series_codec_requests", 1);
   // Self-contained codecs without an operator slot.
   if (spec == "DOD") return {std::make_shared<DodCodec>(block_size)};
   const size_t plus = spec.find('+');

@@ -10,6 +10,7 @@
 #include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "core/block_io.h"
+#include "telemetry/telemetry.h"
 #include "util/bits.h"
 #include "util/macros.h"
 
@@ -368,6 +369,41 @@ void DecodeClassedValuesBatched(const uint8_t* stream, size_t stream_len,
   }
 }
 
+// Per-block decision stats of the separated (bitmap) layout: the chosen
+// class widths and outlier counts are exactly the Definition-5 cost
+// inputs, so a live store can be audited against the paper's model.
+void RecordSeparatedBlockStats(const char* mode_counter, const Partition& p,
+                               const PartWidths& w) {
+#if BOS_TELEMETRY_ENABLED
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::Registry::Global();
+  registry.GetCounter(mode_counter).Add(1);
+  static telemetry::Counter& lower =
+      registry.GetCounter("bos.core.encode.outliers_lower");
+  static telemetry::Counter& upper =
+      registry.GetCounter("bos.core.encode.outliers_upper");
+  lower.Add(p.nl);
+  upper.Add(p.nu);
+  static telemetry::Histogram& outliers = registry.GetHistogram(
+      "bos.core.encode.outliers_per_block",
+      telemetry::ExponentialBounds(1, 2, 11));
+  outliers.Record(p.nl + p.nu);
+  static telemetry::Histogram& alpha = registry.GetHistogram(
+      "bos.core.encode.width_alpha", telemetry::WidthBounds());
+  static telemetry::Histogram& beta = registry.GetHistogram(
+      "bos.core.encode.width_beta", telemetry::WidthBounds());
+  static telemetry::Histogram& gamma = registry.GetHistogram(
+      "bos.core.encode.width_gamma", telemetry::WidthBounds());
+  if (p.nl > 0) alpha.Record(static_cast<uint64_t>(w.alpha));
+  beta.Record(static_cast<uint64_t>(w.beta));
+  if (p.nu > 0) gamma.Record(static_cast<uint64_t>(w.gamma));
+#else
+  (void)mode_counter;
+  (void)p;
+  (void)w;
+#endif
+}
+
 Status EncodeSeparated(std::span<const int64_t> values, const Separation& sep,
                        Bytes* out) {
   const Partition& p = sep.partition;
@@ -614,9 +650,12 @@ Status DecodeSeparatedListBody(BytesView data, size_t* offset,
 Status EncodeWithSeparation(std::span<const int64_t> values,
                             const Separation& sep, Bytes* out) {
   if (!sep.separated) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  RecordSeparatedBlockStats("bos.core.encode.mode_bitmap", sep.partition,
+                            ComputeWidths(sep.partition));
   return EncodeSeparated(values, sep, out);
 }
 
@@ -626,14 +665,45 @@ Status DecodeBosBlock(BytesView data, size_t* offset,
   const uint8_t mode = data[(*offset)++];
   switch (mode) {
     case kPlainBlockMode:
+      BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.mode_plain", 1);
       return DecodePlainBlockBody(data, offset, out);
     case kSeparatedBlockMode:
+      BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.mode_bitmap", 1);
       return DecodeSeparatedBody(data, offset, out);
     case kSeparatedListBlockMode:
+      BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.mode_list", 1);
       return DecodeSeparatedListBody(data, offset, out);
     default:
+      BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.bad_mode", 1);
       return Status::Corruption("BOS block: unknown mode byte");
   }
+}
+
+#if BOS_TELEMETRY_ENABLED
+// Separation-search latency histogram for one strategy: the live
+// counterpart of the paper's Table-IV search-time comparison
+// (BOS-V >> BOS-B > BOS-M).
+telemetry::Histogram* SearchSpanHistogram(SeparationStrategy strategy) {
+  static telemetry::Histogram* hists[3] = {
+      &telemetry::Registry::Global().GetHistogram(
+          "bos.core.search.bos_v_ns", telemetry::LatencyBoundsNs()),
+      &telemetry::Registry::Global().GetHistogram(
+          "bos.core.search.bos_b_ns", telemetry::LatencyBoundsNs()),
+      &telemetry::Registry::Global().GetHistogram(
+          "bos.core.search.bos_m_ns", telemetry::LatencyBoundsNs()),
+  };
+  return hists[static_cast<int>(strategy)];
+}
+#endif
+
+// Runs the separation search under a per-strategy telemetry span.
+Separation SeparateTimed(SeparationStrategy strategy,
+                         std::span<const int64_t> values) {
+#if BOS_TELEMETRY_ENABLED
+  telemetry::ScopedSpan span(
+      telemetry::Enabled() ? SearchSpanHistogram(strategy) : nullptr);
+#endif
+  return Separate(strategy, values);
 }
 
 }  // namespace
@@ -659,7 +729,7 @@ Status BosOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
     EncodePlainBlock(values, out);
     return Status::OK();
   }
-  const Separation sep = Separate(strategy_, values);
+  const Separation sep = SeparateTimed(strategy_, values);
   return EncodeWithSeparation(values, sep, out);
 }
 
@@ -691,9 +761,12 @@ Status BosListOperator::Encode(std::span<const int64_t> values,
   }
   const Separation sep = SeparateBitWidth(values);
   if (!sep.separated) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  RecordSeparatedBlockStats("bos.core.encode.mode_list", sep.partition,
+                            ComputeWidths(sep.partition));
   return EncodeSeparatedList(values, sep, out);
 }
 
@@ -710,14 +783,18 @@ Status BosAdaptiveOperator::Encode(std::span<const int64_t> values,
   }
   const Separation sep = SeparateBitWidth(values);
   if (!sep.separated) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
     EncodePlainBlock(values, out);
     return Status::OK();
   }
   Bytes bitmap_form, list_form;
   BOS_RETURN_NOT_OK(EncodeSeparated(values, sep, &bitmap_form));
   BOS_RETURN_NOT_OK(EncodeSeparatedList(values, sep, &list_form));
-  const Bytes& smaller =
-      list_form.size() < bitmap_form.size() ? list_form : bitmap_form;
+  const bool pick_list = list_form.size() < bitmap_form.size();
+  RecordSeparatedBlockStats(pick_list ? "bos.core.encode.mode_list"
+                                      : "bos.core.encode.mode_bitmap",
+                            sep.partition, ComputeWidths(sep.partition));
+  const Bytes& smaller = pick_list ? list_form : bitmap_form;
   out->insert(out->end(), smaller.begin(), smaller.end());
   return Status::OK();
 }

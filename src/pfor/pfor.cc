@@ -11,6 +11,7 @@
 #include "bitpack/varint.h"
 #include "core/block_io.h"
 #include "pfor/pfor_common.h"
+#include "telemetry/telemetry.h"
 #include "util/bits.h"
 #include "util/macros.h"
 
@@ -18,6 +19,38 @@ namespace bos::pfor {
 namespace {
 
 using bos::core::kMaxBlockValues;
+
+// The PFOR-family counterpart of the BOS per-block decision stats: every
+// *emitted* chunk records its chosen slot width and exception count (for
+// OptPFOR only the winning candidate counts, not the search attempts).
+enum class ChunkFamily { kPfor = 0, kNewPfor = 1, kFastPfor = 2 };
+
+void RecordChunkStats(ChunkFamily family, int b, size_t exceptions) {
+#if BOS_TELEMETRY_ENABLED
+  if (!telemetry::Enabled()) return;
+  auto& registry = telemetry::Registry::Global();
+  static telemetry::Counter* chunk_counters[3] = {
+      &registry.GetCounter("bos.pfor.encode.chunks.pfor"),
+      &registry.GetCounter("bos.pfor.encode.chunks.newpfor"),
+      &registry.GetCounter("bos.pfor.encode.chunks.fastpfor"),
+  };
+  chunk_counters[static_cast<int>(family)]->Add(1);
+  static telemetry::Counter& total_exceptions =
+      registry.GetCounter("bos.pfor.encode.exceptions");
+  total_exceptions.Add(exceptions);
+  static telemetry::Histogram& slot_width = registry.GetHistogram(
+      "bos.pfor.encode.slot_width", telemetry::WidthBounds());
+  slot_width.Record(static_cast<uint64_t>(b));
+  static telemetry::Histogram& per_chunk = registry.GetHistogram(
+      "bos.pfor.encode.exceptions_per_chunk",
+      telemetry::ExponentialBounds(1, 2, 8));
+  per_chunk.Record(exceptions);
+#else
+  (void)family;
+  (void)b;
+  (void)exceptions;
+#endif
+}
 
 // ---------------------------------------------------------------------
 // PFOR (Zukowski et al.): in-slot linked-list positions, compulsory
@@ -70,6 +103,7 @@ void EncodePforChunk(std::span<const int64_t> chunk, Bytes* out) {
   const std::vector<uint64_t> deltas = ChunkDeltas(chunk, stats.min);
   const int b = ChoosePforWidth(deltas, stats.maxbits);
   const std::vector<int> exceptions = PforExceptionPositions(deltas, b);
+  RecordChunkStats(ChunkFamily::kPfor, b, exceptions.size());
 
   bitpack::PutSignedVarint(out, stats.min);
   out->push_back(static_cast<uint8_t>(b));
@@ -151,7 +185,10 @@ Status DecodePforChunk(BytesView data, size_t* offset, size_t chunk_n,
 // most 60 high bits.
 int MinWidthForSimple8b(int maxbits) { return std::max(0, maxbits - 60); }
 
-Status EncodeNewPforChunk(std::span<const int64_t> chunk, int b, Bytes* out) {
+// `record_stats` is false for OptPFOR's search attempts, so only chunks
+// that actually land in the output stream reach the telemetry counters.
+Status EncodeNewPforChunk(std::span<const int64_t> chunk, int b, Bytes* out,
+                          bool record_stats = true) {
   const ChunkStats stats = AnalyzeChunk(chunk);
   const std::vector<uint64_t> deltas = ChunkDeltas(chunk, stats.min);
 
@@ -161,6 +198,9 @@ Status EncodeNewPforChunk(std::span<const int64_t> chunk, int b, Bytes* out) {
       positions.push_back(i);
       highs.push_back(deltas[i] >> b);
     }
+  }
+  if (record_stats) {
+    RecordChunkStats(ChunkFamily::kNewPfor, b, positions.size());
   }
 
   bitpack::PutSignedVarint(out, stats.min);
@@ -239,11 +279,27 @@ int ChooseNewPforWidth(std::span<const int64_t> chunk) {
 Status EncodeOptPforChunk(std::span<const int64_t> chunk, Bytes* out) {
   const ChunkStats stats = AnalyzeChunk(chunk);
   Bytes best;
+  int best_b = 0;
   for (int b = MinWidthForSimple8b(stats.maxbits); b <= stats.maxbits; ++b) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.pfor.encode.optpfor_candidates", 1);
     Bytes attempt;
-    BOS_RETURN_NOT_OK(EncodeNewPforChunk(chunk, b, &attempt));
-    if (best.empty() || attempt.size() < best.size()) best = std::move(attempt);
+    BOS_RETURN_NOT_OK(
+        EncodeNewPforChunk(chunk, b, &attempt, /*record_stats=*/false));
+    if (best.empty() || attempt.size() < best.size()) {
+      best = std::move(attempt);
+      best_b = b;
+    }
   }
+#if BOS_TELEMETRY_ENABLED
+  if (telemetry::Enabled()) {
+    const std::vector<uint64_t> deltas = ChunkDeltas(chunk, stats.min);
+    size_t exceptions = 0;
+    for (uint64_t d : deltas) exceptions += BitWidth(d) > best_b ? 1 : 0;
+    RecordChunkStats(ChunkFamily::kNewPfor, best_b, exceptions);
+  }
+#else
+  (void)best_b;
+#endif
   out->insert(out->end(), best.begin(), best.end());
   return Status::OK();
 }
@@ -371,6 +427,7 @@ Status FastPforOperator::Encode(std::span<const int64_t> values,
         buckets[w].push_back(deltas[i] >> b);
       }
     }
+    RecordChunkStats(ChunkFamily::kFastPfor, b, positions.size());
 
     bitpack::PutSignedVarint(out, stats.min);
     out->push_back(static_cast<uint8_t>(b));

@@ -7,6 +7,7 @@
 
 #include "bitpack/varint.h"
 #include "codecs/registry.h"
+#include "telemetry/telemetry.h"
 #include "util/crc32.h"
 #include "util/macros.h"
 
@@ -122,6 +123,8 @@ Status TsFileWriter::WritePage(const Bytes& payload, uint64_t count,
   pi.max_time = max_time;
   FillValueStats(values, &pi);
   info->pages.push_back(pi);
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.writes", 1);
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.write_bytes", page.size());
   return impl_->Write(page.data(), page.size());
 }
 
@@ -261,6 +264,8 @@ struct TsFileReader::Impl {
                           Bytes* raw, BytesView* payload, ScanStats* stats) {
     const auto io_start = std::chrono::steady_clock::now();
     BOS_RETURN_NOT_OK(ReadAt(page.offset, page.size, raw));
+    BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.reads", 1);
+    BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.read_bytes", page.size);
     if (stats != nullptr) {
       stats->io_seconds += SecondsSince(io_start);
       stats->bytes_read += page.size;
@@ -277,6 +282,7 @@ struct TsFileReader::Impl {
     uint32_t crc = 0;
     GetFixed<uint32_t>(*raw, pos + payload_size, &crc);
     if (crc != Crc32(raw->data() + pos, payload_size)) {
+      BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.crc_failures", 1);
       return Status::Corruption("page CRC mismatch in series " + info.name);
     }
     *payload = BytesView(*raw).subspan(pos, payload_size);
@@ -361,6 +367,7 @@ Status TsFileReader::Open(const std::string& path) {
   uint32_t crc = 0;
   GetFixed<uint32_t>(footer, footer.size() - 4, &crc);
   if (crc != Crc32(footer.data(), footer.size() - 4)) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.storage.footer.crc_failures", 1);
     return Status::Corruption("footer CRC mismatch");
   }
 

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "bitpack/varint.h"
+#include "telemetry/telemetry.h"
 #include "util/buffer.h"
 #include "util/crc32.h"
 #include "util/macros.h"
@@ -23,6 +24,8 @@ Status WalWriter::Open() {
 Status WalWriter::Append(const std::string& series,
                          const codecs::DataPoint& point) {
   if (file_ == nullptr) return Status::InvalidArgument("WAL not open");
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.appends", 1);
+  BOS_TELEMETRY_SPAN("bos.storage.wal.append_ns");
   Bytes payload;
   bitpack::PutVarint(&payload, series.size());
   payload.insert(payload.end(), series.begin(), series.end());
@@ -36,7 +39,10 @@ Status WalWriter::Append(const std::string& series,
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IoError("WAL append failed");
   }
-  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  {
+    BOS_TELEMETRY_SPAN("bos.storage.wal.flush_ns");
+    if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  }
   return Status::OK();
 }
 
@@ -58,6 +64,7 @@ Result<uint64_t> ReplayWal(
     const std::string& path,
     const std::function<void(const std::string& series,
                              const codecs::DataPoint& point)>& sink) {
+  BOS_TELEMETRY_SPAN("bos.storage.wal.replay_ns");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return uint64_t{0};  // no log, nothing to replay
   std::fseek(f, 0, SEEK_END);
@@ -99,6 +106,7 @@ Result<uint64_t> ReplayWal(
     ++replayed;
     offset = payload_end;
   }
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.records_replayed", replayed);
   return replayed;
 }
 

@@ -1,0 +1,321 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace bos::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Appends printf-formatted text to `out` (metric dumps are all short
+// fixed-shape lines, so a stack buffer suffices).
+template <typename... Args>
+void Appendf(std::string* out, const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  out->append(buf, static_cast<size_t>(std::min<int>(n, sizeof(buf) - 1)));
+}
+
+// JSON string escaping for metric names (conservative: names should be
+// plain `bos.x.y` but dynamic suffixes may carry user spec strings).
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    // Tolerate unsorted input rather than corrupting Record's scan.
+    if (bounds_[i + 1] <= bounds_[i]) {
+      std::sort(bounds_.begin(), bounds_.end());
+      bounds_.erase(std::unique(bounds_.begin(), bounds_.end()),
+                    bounds_.end());
+      break;
+    }
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Record(uint64_t sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> LinearBounds(uint64_t lo, uint64_t hi, uint64_t step) {
+  std::vector<uint64_t> bounds;
+  if (step == 0) step = 1;
+  for (uint64_t b = lo; b <= hi; b += step) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<uint64_t> ExponentialBounds(uint64_t start, uint64_t factor,
+                                        int count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  uint64_t b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    if (b > ~0ULL / factor) break;  // saturated; stop before overflow
+    b *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<uint64_t>& WidthBounds() {
+  static const std::vector<uint64_t> bounds = {0,  1,  2,  3,  4,  6,  8, 10,
+                                               12, 16, 20, 24, 32, 40, 48, 56,
+                                               64};
+  return bounds;
+}
+
+const std::vector<uint64_t>& LatencyBoundsNs() {
+  // 64 ns .. ~1.1 s in powers of four: spans cover everything from one
+  // block search to a WAL replay.
+  static const std::vector<uint64_t> bounds = ExponentialBounds(64, 4, 13);
+  return bounds;
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::span<const uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<uint64_t>(
+                          bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string Registry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  if (!CompiledIn()) {
+    out.append("telemetry: compiled out (rebuild with "
+               "-DBOS_ENABLE_TELEMETRY=ON)\n");
+    return out;
+  }
+  out.append("== telemetry snapshot ==\n");
+  if (!counters_.empty()) out.append("counters:\n");
+  for (const auto& [name, c] : counters_) {
+    Appendf(&out, "  %-44s %12" PRIu64 "\n", name.c_str(), c->value());
+  }
+  if (!gauges_.empty()) out.append("gauges:\n");
+  for (const auto& [name, g] : gauges_) {
+    Appendf(&out, "  %-44s %12" PRId64 "\n", name.c_str(), g->value());
+  }
+  if (!histograms_.empty()) out.append("histograms:\n");
+  for (const auto& [name, h] : histograms_) {
+    const uint64_t count = h->count();
+    const uint64_t sum = h->sum();
+    Appendf(&out, "  %-44s count=%-10" PRIu64 " sum=%-14" PRIu64 " avg=%.1f\n",
+            name.c_str(), count, sum,
+            count == 0 ? 0.0
+                       : static_cast<double>(sum) / static_cast<double>(count));
+    const auto& bounds = h->bounds();
+    const auto buckets = h->BucketCounts();
+    out.append("   ");
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      if (i < bounds.size()) {
+        Appendf(&out, " le%" PRIu64 ":%" PRIu64, bounds[i], buckets[i]);
+      } else {
+        Appendf(&out, " inf:%" PRIu64, buckets[i]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.append("{\"enabled\":");
+  out.append(CompiledIn() && Enabled() ? "true" : "false");
+  out.append(",\"counters\":{");
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    Appendf(&out, ":%" PRIu64, c->value());
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    Appendf(&out, ":%" PRId64, g->value());
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    Appendf(&out, ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"buckets\":[",
+            h->count(), h->sum());
+    const auto& bounds = h->bounds();
+    const auto buckets = h->BucketCounts();
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      if (i < bounds.size()) {
+        Appendf(&out, "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}", bounds[i],
+                buckets[i]);
+      } else {
+        Appendf(&out, "{\"le\":\"+Inf\",\"count\":%" PRIu64 "}", buckets[i]);
+      }
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Span clock
+// ---------------------------------------------------------------------
+
+uint64_t SpanClockTicks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now()
+                                       .time_since_epoch())
+                                   .count());
+#endif
+}
+
+namespace {
+
+// Nanoseconds per span-clock tick. On x86-64 the TSC rate is calibrated
+// once against steady_clock over ~2 ms (first span pays it); elsewhere
+// the clock already counts nanoseconds.
+double NanosPerTick() {
+#if defined(__x86_64__)
+  static const double npt = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = __rdtsc();
+    for (;;) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          t1 - t0)
+                          .count();
+      if (ns >= 2'000'000) {
+        const uint64_t c1 = __rdtsc();
+        return c1 > c0 ? static_cast<double>(ns) / static_cast<double>(c1 - c0)
+                       : 1.0;
+      }
+    }
+  }();
+  return npt;
+#else
+  return 1.0;
+#endif
+}
+
+}  // namespace
+
+uint64_t SpanTicksToNanos(uint64_t ticks) {
+  return static_cast<uint64_t>(static_cast<double>(ticks) * NanosPerTick());
+}
+
+}  // namespace bos::telemetry

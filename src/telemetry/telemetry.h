@@ -1,0 +1,272 @@
+#ifndef BOS_TELEMETRY_TELEMETRY_H_
+#define BOS_TELEMETRY_TELEMETRY_H_
+
+/// \file
+/// In-process telemetry: named counters, gauges and fixed-bucket
+/// histograms in a global registry, plus RAII spans that time a scope on
+/// the TSC clock and record the duration (nanoseconds) into a histogram.
+///
+/// Two gates control cost:
+///
+///  * **Compile time** — `BOS_TELEMETRY_ENABLED` (set by the CMake option
+///    `BOS_ENABLE_TELEMETRY`, default ON). When 0, every `BOS_TELEMETRY_*`
+///    instrumentation macro expands to nothing, so the instrumented hot
+///    paths are bit-for-bit the uninstrumented code. The registry types
+///    below still exist (stubs report themselves as compiled out) so
+///    tools and tests build in both configurations.
+///  * **Run time** — `SetEnabled(false)` (a relaxed atomic flag) makes
+///    every macro site skip recording. Telemetry only ever *observes*:
+///    toggling it must never change any encoded byte stream
+///    (tests/telemetry_diff_test.cc enforces this).
+///
+/// Thread safety: metric registration takes a mutex; the returned
+/// references stay valid for the process lifetime. Counter/gauge updates
+/// are relaxed atomics; histogram bins are per-bucket relaxed atomics, so
+/// concurrent Record() calls never lose increments (a snapshot taken
+/// mid-update may be transiently skewed between `count` and a bin by one
+/// in-flight sample, which is acceptable for statistics).
+///
+/// Naming convention: `bos.<subsystem>.<metric>` with dots, all lower
+/// case, e.g. `bos.core.encode.mode_bitmap` (DESIGN.md section 6).
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if !defined(BOS_TELEMETRY_ENABLED)
+#define BOS_TELEMETRY_ENABLED 1
+#endif
+
+namespace bos::telemetry {
+
+/// True when the library was compiled with telemetry support.
+constexpr bool CompiledIn() { return BOS_TELEMETRY_ENABLED != 0; }
+
+/// Runtime master switch for the instrumentation macros. Defaults to
+/// enabled; a no-op in builds with telemetry compiled out.
+void SetEnabled(bool enabled);
+bool Enabled();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written signed level (queue depths, sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over unsigned samples. Bucket `i` counts
+/// samples `<= bounds[i]` (bounds ascending); one extra overflow bucket
+/// catches everything larger. Bounds are fixed at registration, so
+/// recording is a branchless-ish linear scan over a handful of bounds
+/// plus three relaxed atomic adds — no allocation, no lock.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Record(uint64_t sample);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Common bucket layouts.
+std::vector<uint64_t> LinearBounds(uint64_t lo, uint64_t hi, uint64_t step);
+std::vector<uint64_t> ExponentialBounds(uint64_t start, uint64_t factor,
+                                        int count);
+/// Bit-width buckets for the 0..64 packing widths.
+const std::vector<uint64_t>& WidthBounds();
+/// Nanosecond latency buckets, 64 ns .. ~1 s in powers of four.
+const std::vector<uint64_t>& LatencyBoundsNs();
+
+/// \brief Named-metric registry. `Global()` is the process-wide instance
+/// every instrumentation macro records into; independent instances can be
+/// constructed for tests. Get* registers on first use and returns the
+/// same object for the same name afterwards (for histograms, the bounds
+/// of the first registration win).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const uint64_t> bounds);
+
+  /// Zeroes every metric; registrations (and histogram bounds) persist.
+  void ResetAll();
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string SnapshotText() const;
+
+  /// Stable JSON object:
+  /// {"enabled":bool,"counters":{name:n,...},"gauges":{name:n,...},
+  ///  "histograms":{name:{"count":n,"sum":n,
+  ///                      "buckets":[{"le":bound,"count":n},...,
+  ///                                 {"le":"+Inf","count":n}]},...}}
+  /// Metrics are sorted by name and all numbers are integers, so two
+  /// snapshots of identical metric values are byte-identical strings.
+  std::string SnapshotJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: references handed out stay valid across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Ticks of the span clock: TSC on x86-64 (a few ns per read),
+/// steady_clock nanoseconds elsewhere.
+uint64_t SpanClockTicks();
+/// Converts span-clock ticks to nanoseconds (TSC rate is calibrated
+/// against steady_clock once, lazily, in ~2 ms).
+uint64_t SpanTicksToNanos(uint64_t ticks);
+
+/// \brief RAII span: on destruction records the elapsed scope time in
+/// nanoseconds into `hist`. A null histogram makes the span inert (the
+/// runtime-disabled case) — it then never reads the clock.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? SpanClockTicks() : 0) {}
+  ~ScopedSpan() {
+    if (hist_ != nullptr) {
+      hist_->Record(SpanTicksToNanos(SpanClockTicks() - start_));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+}  // namespace bos::telemetry
+
+// ---------------------------------------------------------------------
+// Instrumentation macros — the only way library code should record.
+// Each site caches its metric reference in a function-local static, so
+// the registry lookup happens once per site, and every update is gated
+// on the runtime switch. With telemetry compiled out they vanish.
+// ---------------------------------------------------------------------
+
+#define BOS_TELEMETRY_CONCAT_(a, b) a##b
+#define BOS_TELEMETRY_CONCAT(a, b) BOS_TELEMETRY_CONCAT_(a, b)
+#define BOS_TELEMETRY_UNIQ(base) BOS_TELEMETRY_CONCAT(base, __LINE__)
+
+#if BOS_TELEMETRY_ENABLED
+
+/// Adds `delta` to counter `name` (a string literal).
+#define BOS_TELEMETRY_COUNTER_ADD(name, delta)                        \
+  do {                                                                \
+    if (::bos::telemetry::Enabled()) {                                \
+      static ::bos::telemetry::Counter& bos_telemetry_counter_ =      \
+          ::bos::telemetry::Registry::Global().GetCounter(name);      \
+      bos_telemetry_counter_.Add(delta);                              \
+    }                                                                 \
+  } while (0)
+
+/// Sets gauge `name` to `value`.
+#define BOS_TELEMETRY_GAUGE_SET(name, value)                          \
+  do {                                                                \
+    if (::bos::telemetry::Enabled()) {                                \
+      static ::bos::telemetry::Gauge& bos_telemetry_gauge_ =          \
+          ::bos::telemetry::Registry::Global().GetGauge(name);        \
+      bos_telemetry_gauge_.Set(value);                                \
+    }                                                                 \
+  } while (0)
+
+/// Records `sample` into histogram `name` with the given bucket bounds
+/// (a `std::span<const uint64_t>`-convertible; first registration wins).
+#define BOS_TELEMETRY_HISTOGRAM_RECORD(name, bounds, sample)          \
+  do {                                                                \
+    if (::bos::telemetry::Enabled()) {                                \
+      static ::bos::telemetry::Histogram& bos_telemetry_hist_ =       \
+          ::bos::telemetry::Registry::Global().GetHistogram(name,     \
+                                                            bounds);  \
+      bos_telemetry_hist_.Record(sample);                             \
+    }                                                                 \
+  } while (0)
+
+/// Times the rest of the enclosing scope into latency histogram `name`
+/// (nanoseconds, LatencyBoundsNs buckets).
+#define BOS_TELEMETRY_SPAN(name)                                      \
+  static ::bos::telemetry::Histogram& BOS_TELEMETRY_UNIQ(             \
+      bos_telemetry_span_hist_) =                                     \
+      ::bos::telemetry::Registry::Global().GetHistogram(              \
+          name, ::bos::telemetry::LatencyBoundsNs());                 \
+  ::bos::telemetry::ScopedSpan BOS_TELEMETRY_UNIQ(bos_telemetry_span_)( \
+      ::bos::telemetry::Enabled()                                     \
+          ? &BOS_TELEMETRY_UNIQ(bos_telemetry_span_hist_)             \
+          : nullptr)
+
+/// Runs `stmt` only in telemetry builds (for instrumentation that needs
+/// more than one macro can express, e.g. dynamically named metrics).
+#define BOS_TELEMETRY_ONLY(stmt)                                      \
+  do {                                                                \
+    if (::bos::telemetry::Enabled()) {                                \
+      stmt;                                                           \
+    }                                                                 \
+  } while (0)
+
+#else  // !BOS_TELEMETRY_ENABLED
+
+#define BOS_TELEMETRY_COUNTER_ADD(name, delta) \
+  do {                                         \
+  } while (0)
+#define BOS_TELEMETRY_GAUGE_SET(name, value) \
+  do {                                       \
+  } while (0)
+#define BOS_TELEMETRY_HISTOGRAM_RECORD(name, bounds, sample) \
+  do {                                                       \
+  } while (0)
+#define BOS_TELEMETRY_SPAN(name) \
+  do {                           \
+  } while (0)
+#define BOS_TELEMETRY_ONLY(stmt) \
+  do {                           \
+  } while (0)
+
+#endif  // BOS_TELEMETRY_ENABLED
+
+#endif  // BOS_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,102 @@
+// Differential test: telemetry must only observe. Encoding with the
+// runtime switch on and off has to produce byte-identical streams, and
+// decoding those streams identical values — for the raw BOS-M operator
+// and for a full TS2DIFF+BOS-M series codec.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codecs/registry.h"
+#include "core/bos_codec.h"
+#include "telemetry/telemetry.h"
+#include "util/random.h"
+
+namespace bos {
+namespace {
+
+// An outlier-bearing workload: dense center plus sparse large outliers,
+// the regime where BOS-M exercises every encode mode and width decision.
+std::vector<int64_t> OutlierSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> values(n);
+  for (auto& v : values) {
+    v = static_cast<int64_t>(rng.Normal(0, 100));
+    if (rng.Bernoulli(0.03)) v += rng.UniformInt(-1000000, 1000000);
+  }
+  return values;
+}
+
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on) : saved_(telemetry::Enabled()) {
+    telemetry::SetEnabled(on);
+  }
+  ~ScopedEnabled() { telemetry::SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(TelemetryDiffTest, BosMOperatorStreamIsIdenticalOnAndOff) {
+  const std::vector<int64_t> values = OutlierSeries(1 << 14, 0xD1FF);
+  core::BosOperator bos_m(core::SeparationStrategy::kMedian);
+  constexpr size_t kBlock = 1024;
+
+  auto encode_all = [&](bool telemetry_on) {
+    ScopedEnabled toggle(telemetry_on);
+    Bytes encoded;
+    for (size_t start = 0; start < values.size(); start += kBlock) {
+      const size_t len = std::min(kBlock, values.size() - start);
+      EXPECT_TRUE(
+          bos_m.Encode(std::span(values).subspan(start, len), &encoded).ok());
+    }
+    return encoded;
+  };
+
+  const Bytes with_telemetry = encode_all(true);
+  const Bytes without_telemetry = encode_all(false);
+  ASSERT_EQ(with_telemetry, without_telemetry);
+
+  auto decode_all = [&](bool telemetry_on) {
+    ScopedEnabled toggle(telemetry_on);
+    std::vector<int64_t> decoded;
+    size_t offset = 0;
+    while (offset < with_telemetry.size()) {
+      EXPECT_TRUE(bos_m.Decode(with_telemetry, &offset, &decoded).ok());
+    }
+    return decoded;
+  };
+
+  const std::vector<int64_t> decoded_on = decode_all(true);
+  const std::vector<int64_t> decoded_off = decode_all(false);
+  EXPECT_EQ(decoded_on, values);
+  EXPECT_EQ(decoded_off, values);
+}
+
+TEST(TelemetryDiffTest, SeriesCodecStreamIsIdenticalOnAndOff) {
+  const std::vector<int64_t> values = OutlierSeries(1 << 13, 0xC0DEC);
+  auto codec = codecs::MakeSeriesCodec("TS2DIFF+BOS-M");
+  ASSERT_TRUE(codec.ok());
+
+  auto compress = [&](bool telemetry_on) {
+    ScopedEnabled toggle(telemetry_on);
+    Bytes out;
+    EXPECT_TRUE((*codec)->Compress(values, &out).ok());
+    return out;
+  };
+
+  const Bytes on_stream = compress(true);
+  const Bytes off_stream = compress(false);
+  ASSERT_EQ(on_stream, off_stream);
+
+  ScopedEnabled toggle(true);
+  std::vector<int64_t> back;
+  ASSERT_TRUE((*codec)->Decompress(on_stream, &back).ok());
+  EXPECT_EQ(back, values);
+}
+
+}  // namespace
+}  // namespace bos

@@ -1,0 +1,493 @@
+// Tests for the telemetry layer: metric registration and identity,
+// concurrent updates, histogram bucketing, snapshot determinism and JSON
+// schema, spans, and both the runtime and compile-time off switches.
+
+#include "telemetry/telemetry.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bos::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader, just enough to schema-check SnapshotJson output.
+// ---------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool flag = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> items;                            // kArray
+  std::vector<std::pair<std::string, Json>> members;  // kObject
+
+  const Json* Find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        c = text_[pos_++];
+        if (c == 'u') {
+          if (pos_ + 4 > text_.size()) return false;
+          pos_ += 4;  // escaped control char; value irrelevant to the schema
+          c = '?';
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseValue(Json* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = Json::Type::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        SkipWs();
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->members.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = Json::Type::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->items.push_back(std::move(value));
+        SkipWs();
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.substr(pos_, 4) == "true") {
+      out->type = Json::Type::kBool;
+      out->flag = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->type = Json::Type::kBool;
+      out->flag = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = Json::Type::kNumber;
+    out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Restores the runtime switch on scope exit so tests cannot leak a
+// disabled state into each other.
+class ScopedEnabled {
+ public:
+  explicit ScopedEnabled(bool on) : saved_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnabled() { SetEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// ---------------------------------------------------------------------
+// Metric objects
+// ---------------------------------------------------------------------
+
+TEST(TelemetryTest, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TelemetryTest, GaugeBasics) {
+  Gauge g;
+  g.Set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.Add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(TelemetryTest, HistogramBucketing) {
+  Histogram h({10, 20, 40});
+  for (uint64_t sample : {0u, 10u, 11u, 20u, 21u, 40u, 41u, 1000u}) {
+    h.Record(sample);
+  }
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 20 + 21 + 40 + 41 + 1000);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{2, 2, 2, 2}));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{0, 0, 0, 0}));
+}
+
+TEST(TelemetryTest, HistogramSanitizesUnsortedBounds) {
+  Histogram h({40, 10, 20, 20});
+  EXPECT_EQ(h.bounds(), (std::vector<uint64_t>{10, 20, 40}));
+  h.Record(15);
+  EXPECT_EQ(h.BucketCounts(), (std::vector<uint64_t>{0, 1, 0, 0}));
+}
+
+TEST(TelemetryTest, BoundsHelpers) {
+  EXPECT_EQ(LinearBounds(0, 8, 2), (std::vector<uint64_t>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(ExponentialBounds(1, 2, 4), (std::vector<uint64_t>{1, 2, 4, 8}));
+  // Saturation: stops before overflowing instead of wrapping.
+  const auto big = ExponentialBounds(1ULL << 62, 4, 10);
+  EXPECT_LT(big.size(), 10u);
+  for (size_t i = 1; i < big.size(); ++i) EXPECT_GT(big[i], big[i - 1]);
+  EXPECT_EQ(WidthBounds().front(), 0u);
+  EXPECT_EQ(WidthBounds().back(), 64u);
+  const auto& lat = LatencyBoundsNs();
+  for (size_t i = 1; i < lat.size(); ++i) EXPECT_GT(lat[i], lat[i - 1]);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(TelemetryTest, RegistrationReturnsSameObject) {
+  Registry reg;
+  Counter& a = reg.GetCounter("test.counter");
+  Counter& b = reg.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.GetCounter("test.other"));
+
+  const std::vector<uint64_t> bounds = {1, 2, 3};
+  Histogram& h1 = reg.GetHistogram("test.hist", bounds);
+  // Re-registration with different bounds returns the first histogram.
+  const std::vector<uint64_t> other = {100};
+  Histogram& h2 = reg.GetHistogram("test.hist", other);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), bounds);
+
+  // Counter, gauge and histogram namespaces are independent.
+  Gauge& g = reg.GetGauge("test.counter");
+  g.Set(5);
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST(TelemetryTest, ReferencesStayValidAcrossInserts) {
+  Registry reg;
+  Counter& first = reg.GetCounter("stable.0");
+  first.Add(7);
+  for (int i = 1; i < 200; ++i) {
+    reg.GetCounter("stable." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("stable.0").value(), 7u);
+  EXPECT_EQ(&reg.GetCounter("stable.0"), &first);
+}
+
+TEST(TelemetryTest, ConcurrentUpdatesLoseNothing) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Each thread registers on its own: exercises racy registration.
+      Counter& c = reg.GetCounter("concurrent.counter");
+      Histogram& h = reg.GetHistogram("concurrent.hist", LinearBounds(0, 8, 1));
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        c.Add(1);
+        h.Record(static_cast<uint64_t>(i % 10));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("concurrent.counter").value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+  Histogram& h = reg.GetHistogram("concurrent.hist", LinearBounds(0, 8, 1));
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kAddsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.BucketCounts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(TelemetryTest, ResetAllZeroesButKeepsRegistrations) {
+  Registry reg;
+  reg.GetCounter("r.c").Add(3);
+  reg.GetGauge("r.g").Set(-2);
+  reg.GetHistogram("r.h", LinearBounds(0, 4, 1)).Record(2);
+  reg.ResetAll();
+  EXPECT_EQ(reg.GetCounter("r.c").value(), 0u);
+  EXPECT_EQ(reg.GetGauge("r.g").value(), 0);
+  Histogram& h = reg.GetHistogram("r.h", LinearBounds(0, 4, 1));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bounds().size(), 5u);  // registration survived the reset
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+Registry& PopulatedRegistry(Registry* reg) {
+  reg->GetCounter("snap.blocks").Add(12);
+  reg->GetCounter("snap.bytes").Add(4096);
+  reg->GetGauge("snap.depth").Set(-3);
+  Histogram& h = reg->GetHistogram("snap.widths", WidthBounds());
+  h.Record(3);
+  h.Record(12);
+  h.Record(100);  // overflow bucket
+  return *reg;
+}
+
+TEST(TelemetryTest, SnapshotJsonIsDeterministic) {
+  Registry a, b;
+  PopulatedRegistry(&a);
+  PopulatedRegistry(&b);
+  const std::string snap = a.SnapshotJson();
+  // Same call twice and an identically populated independent registry
+  // both produce byte-identical strings.
+  EXPECT_EQ(snap, a.SnapshotJson());
+  EXPECT_EQ(snap, b.SnapshotJson());
+}
+
+TEST(TelemetryTest, SnapshotJsonMatchesSchema) {
+  Registry reg;
+  PopulatedRegistry(&reg);
+  const std::string snap = reg.SnapshotJson();
+
+  Json root;
+  ASSERT_TRUE(JsonParser(snap).Parse(&root)) << snap;
+  ASSERT_EQ(root.type, Json::Type::kObject);
+  const Json* enabled = root.Find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_EQ(enabled->type, Json::Type::kBool);
+
+  const Json* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->type, Json::Type::kObject);
+  const Json* blocks = counters->Find("snap.blocks");
+  ASSERT_NE(blocks, nullptr);
+  EXPECT_EQ(blocks->number, 12);
+
+  const Json* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const Json* depth = gauges->Find("snap.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->number, -3);
+
+  const Json* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const Json* widths = histograms->Find("snap.widths");
+  ASSERT_NE(widths, nullptr);
+  ASSERT_EQ(widths->type, Json::Type::kObject);
+  const Json* count = widths->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 3);
+  ASSERT_NE(widths->Find("sum"), nullptr);
+  EXPECT_EQ(widths->Find("sum")->number, 3 + 12 + 100);
+  const Json* buckets = widths->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->type, Json::Type::kArray);
+  ASSERT_EQ(buckets->items.size(), WidthBounds().size() + 1);
+  double bucket_total = 0;
+  for (const Json& bucket : buckets->items) {
+    ASSERT_EQ(bucket.type, Json::Type::kObject);
+    ASSERT_NE(bucket.Find("le"), nullptr);
+    ASSERT_NE(bucket.Find("count"), nullptr);
+    bucket_total += bucket.Find("count")->number;
+  }
+  EXPECT_EQ(bucket_total, 3);
+  // The overflow bucket is the string "+Inf", every other `le` a number.
+  EXPECT_EQ(buckets->items.back().Find("le")->type, Json::Type::kString);
+  EXPECT_EQ(buckets->items.back().Find("le")->str, "+Inf");
+  EXPECT_EQ(buckets->items.front().Find("le")->type, Json::Type::kNumber);
+}
+
+TEST(TelemetryTest, SnapshotJsonEscapesNames) {
+  Registry reg;
+  reg.GetCounter("odd.\"name\"\\with\x01stuff").Add(1);
+  Json root;
+  ASSERT_TRUE(JsonParser(reg.SnapshotJson()).Parse(&root));
+}
+
+TEST(TelemetryTest, SnapshotText) {
+  Registry reg;
+  PopulatedRegistry(&reg);
+  const std::string text = reg.SnapshotText();
+  if (CompiledIn()) {
+    EXPECT_NE(text.find("snap.blocks"), std::string::npos);
+    EXPECT_NE(text.find("snap.widths"), std::string::npos);
+  } else {
+    EXPECT_NE(text.find("compiled out"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+TEST(TelemetryTest, ScopedSpanRecordsOneSample) {
+  Histogram h(LatencyBoundsNs());
+  {
+    ScopedSpan span(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedSpan inert(nullptr);  // must be safe and record nothing
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// On/off switches
+// ---------------------------------------------------------------------
+
+#if BOS_TELEMETRY_ENABLED
+
+TEST(TelemetryTest, MacrosRecordIntoGlobalRegistry) {
+  ScopedEnabled on(true);
+  Registry::Global().GetCounter("macro.counter").Reset();
+  BOS_TELEMETRY_COUNTER_ADD("macro.counter", 2);
+  BOS_TELEMETRY_COUNTER_ADD("macro.counter", 3);
+  EXPECT_EQ(Registry::Global().GetCounter("macro.counter").value(), 5u);
+
+  BOS_TELEMETRY_GAUGE_SET("macro.gauge", -9);
+  EXPECT_EQ(Registry::Global().GetGauge("macro.gauge").value(), -9);
+
+  Registry::Global().GetHistogram("macro.hist", WidthBounds()).Reset();
+  BOS_TELEMETRY_HISTOGRAM_RECORD("macro.hist", WidthBounds(), 12);
+  EXPECT_EQ(Registry::Global().GetHistogram("macro.hist", WidthBounds()).count(),
+            1u);
+
+  Histogram& span_hist =
+      Registry::Global().GetHistogram("macro.span", LatencyBoundsNs());
+  span_hist.Reset();
+  {
+    BOS_TELEMETRY_SPAN("macro.span");
+  }
+  EXPECT_EQ(span_hist.count(), 1u);
+}
+
+TEST(TelemetryTest, RuntimeDisableIsANoop) {
+  Registry::Global().GetCounter("toggle.counter").Reset();
+  {
+    ScopedEnabled off(false);
+    BOS_TELEMETRY_COUNTER_ADD("toggle.counter", 1);
+    BOS_TELEMETRY_HISTOGRAM_RECORD("toggle.hist.off", WidthBounds(), 1);
+    {
+      BOS_TELEMETRY_SPAN("toggle.span");
+    }
+  }
+  {
+    ScopedEnabled on(true);
+    BOS_TELEMETRY_COUNTER_ADD("toggle.counter", 1);
+  }
+  EXPECT_EQ(Registry::Global().GetCounter("toggle.counter").value(), 1u);
+  EXPECT_EQ(Registry::Global()
+                .GetHistogram("toggle.span", LatencyBoundsNs())
+                .count(),
+            0u);
+}
+
+#else  // !BOS_TELEMETRY_ENABLED
+
+TEST(TelemetryTest, CompiledOutMacrosAreNoops) {
+  EXPECT_FALSE(CompiledIn());
+  // The macros must compile to nothing: no registration happens.
+  BOS_TELEMETRY_COUNTER_ADD("off.counter", 1);
+  BOS_TELEMETRY_GAUGE_SET("off.gauge", 1);
+  BOS_TELEMETRY_HISTOGRAM_RECORD("off.hist", WidthBounds(), 1);
+  BOS_TELEMETRY_SPAN("off.span");
+  BOS_TELEMETRY_ONLY(Registry::Global().GetCounter("off.only").Add(1));
+  const std::string snap = Registry::Global().SnapshotJson();
+  EXPECT_EQ(snap.find("off.counter"), std::string::npos);
+  EXPECT_EQ(snap.find("off.only"), std::string::npos);
+  EXPECT_NE(Registry::Global().SnapshotText().find("compiled out"),
+            std::string::npos);
+}
+
+#endif  // BOS_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace bos::telemetry

@@ -7,6 +7,9 @@
 //   boscli inspect <file.tsfile>             dump a TsFile-lite footer
 //   boscli bench <abbr> [spec ...]           quick ratio table for a profile
 //
+// Global flags (any command): --stats prints the telemetry snapshot after
+// the command runs; --stats-json prints it as JSON instead.
+//
 // Compressed files are framed as: "BOSC" magic | varint spec length | spec
 // string | codec stream — so `decompress` needs no extra arguments.
 
@@ -21,6 +24,7 @@
 #include "codecs/registry.h"
 #include "data/dataset.h"
 #include "storage/tsfile.h"
+#include "telemetry/telemetry.h"
 #include "util/buffer.h"
 
 namespace {
@@ -32,6 +36,12 @@ constexpr char kMagic[4] = {'B', 'O', 'S', 'C'};
 int Fail(const std::string& message) {
   std::fprintf(stderr, "boscli: %s\n", message.c_str());
   return 1;
+}
+
+// Failure path for library errors: prints what was being attempted plus the
+// complete Status ("Code: message"), never just a summary of it.
+int Fail(const std::string& context, const Status& status) {
+  return Fail(context + ": " + status.ToString());
 }
 
 bool ReadFile(const std::string& path, Bytes* out) {
@@ -73,7 +83,7 @@ int CmdOps() {
 int CmdGen(const std::string& abbr, const std::string& count,
            const std::string& path) {
   auto info = data::FindDataset(abbr);
-  if (!info.ok()) return Fail(info.status().ToString());
+  if (!info.ok()) return Fail("gen " + abbr, info.status());
   const size_t n = std::strtoull(count.c_str(), nullptr, 10);
   const auto values = data::GenerateInteger(*info, n);
   Bytes raw(values.size() * 8);
@@ -87,7 +97,7 @@ int CmdGen(const std::string& abbr, const std::string& count,
 int CmdCompress(const std::string& spec, const std::string& in,
                 const std::string& out_path) {
   auto codec = codecs::MakeSeriesCodec(spec);
-  if (!codec.ok()) return Fail(codec.status().ToString());
+  if (!codec.ok()) return Fail("compress with " + spec, codec.status());
   Bytes raw;
   if (!ReadFile(in, &raw)) return Fail("cannot read " + in);
   if (raw.size() % 8 != 0) return Fail("input is not a whole number of int64s");
@@ -99,7 +109,7 @@ int CmdCompress(const std::string& spec, const std::string& in,
   for (char c : spec) out.push_back(static_cast<uint8_t>(c));
   const auto start = std::chrono::steady_clock::now();
   const Status st = (*codec)->Compress(values, &out);
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail("compress " + in + " with " + spec, st);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -127,12 +137,13 @@ int CmdDecompress(const std::string& in, const std::string& out_path) {
                          spec_len);
   offset += spec_len;
   auto codec = codecs::MakeSeriesCodec(spec);
-  if (!codec.ok()) return Fail(codec.status().ToString());
+  if (!codec.ok()) return Fail("decompress " + in + " with " + spec,
+                               codec.status());
 
   std::vector<int64_t> values;
   const Status st =
       (*codec)->Decompress(BytesView(data).subspan(offset), &values);
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail("decompress " + in + " with " + spec, st);
   Bytes raw(values.size() * 8);
   std::memcpy(raw.data(), values.data(), raw.size());
   if (!WriteFile(out_path, raw)) return Fail("cannot write " + out_path);
@@ -147,7 +158,7 @@ int CmdAdvise(const std::string& in) {
   if (raw.size() % 8 != 0) return Fail("input is not a whole number of int64s");
   const auto values = BytesToValues(raw);
   auto rec = codecs::AdviseCodec(values);
-  if (!rec.ok()) return Fail(rec.status().ToString());
+  if (!rec.ok()) return Fail("advise " + in, rec.status());
   std::printf("recommended: %s (estimated ratio %.2f)\n", rec->spec.c_str(),
               rec->estimated_ratio);
   for (const auto& score : rec->ranking) {
@@ -159,7 +170,7 @@ int CmdAdvise(const std::string& in) {
 int CmdInspect(const std::string& path) {
   storage::TsFileReader reader;
   const Status st = reader.Open(path);
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return Fail("inspect " + path, st);
   std::printf("%s: %llu bytes, %zu series\n", path.c_str(),
               static_cast<unsigned long long>(reader.file_size()),
               reader.series().size());
@@ -181,7 +192,7 @@ int CmdInspect(const std::string& path) {
 
 int CmdBench(const std::string& abbr, const std::vector<std::string>& specs) {
   auto info = data::FindDataset(abbr);
-  if (!info.ok()) return Fail(info.status().ToString());
+  if (!info.ok()) return Fail("bench " + abbr, info.status());
   const auto values = data::GenerateInteger(*info, info->default_size);
   std::vector<std::string> todo = specs;
   if (todo.empty()) {
@@ -192,10 +203,11 @@ int CmdBench(const std::string& abbr, const std::vector<std::string>& specs) {
               values.size(), "spec", "ratio", "compress(ms)");
   for (const auto& spec : todo) {
     auto codec = codecs::MakeSeriesCodec(spec);
-    if (!codec.ok()) return Fail(codec.status().ToString());
+    if (!codec.ok()) return Fail("bench spec " + spec, codec.status());
     Bytes out;
     const auto start = std::chrono::steady_clock::now();
-    if (!(*codec)->Compress(values, &out).ok()) return Fail("compress failed");
+    const Status st = (*codec)->Compress(values, &out);
+    if (!st.ok()) return Fail("bench " + abbr + " with " + spec, st);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -209,21 +221,21 @@ int CmdBench(const std::string& abbr, const std::vector<std::string>& specs) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: boscli <command> [args]\n"
+               "usage: boscli [--stats|--stats-json] <command> [args]\n"
                "  ops\n"
                "  gen <abbr> <n> <file>\n"
                "  compress <spec> <in> <out>\n"
                "  decompress <in> <out>\n"
                "  advise <in>\n"
                "  inspect <file.tsfile>\n"
-               "  bench <abbr> [spec ...]\n");
+               "  bench <abbr> [spec ...]\n"
+               "flags:\n"
+               "  --stats       print the telemetry snapshot after the command\n"
+               "  --stats-json  same, as a JSON object\n");
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+int RunCommand(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const std::string& cmd = args[0];
   if (cmd == "ops") return CmdOps();
@@ -240,4 +252,32 @@ int main(int argc, char** argv) {
     return CmdBench(args[1], {args.begin() + 2, args.end()});
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool stats_text = false;
+  bool stats_json = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--stats") {
+      stats_text = true;
+      it = args.erase(it);
+    } else if (*it == "--stats-json") {
+      stats_json = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const int rc = RunCommand(args);
+  // The snapshot is printed even when the command failed: the counters up to
+  // the failure point are exactly what you want when debugging it.
+  if (stats_json) {
+    std::printf("%s\n", telemetry::Registry::Global().SnapshotJson().c_str());
+  } else if (stats_text) {
+    std::fputs(telemetry::Registry::Global().SnapshotText().c_str(), stdout);
+  }
+  return rc;
 }
