@@ -1,0 +1,70 @@
+// Fuzz target: the primitive bitpack decoders — LEB128 varints (signed
+// and unsigned) and Simple-8b — which every higher layer builds on.
+
+#include <cstdint>
+
+#include "bitpack/simple8b.h"
+#include "bitpack/varint.h"
+#include "fuzz_common.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+
+  if ((selector & 1) == 0) {
+    const bos::BytesView stream = in.Rest();
+    // Walk the buffer as a varint sequence, then as a signed sequence,
+    // then as Simple-8b words; every reader must stay in bounds.
+    size_t offset = 0;
+    uint64_t u;
+    while (bos::bitpack::GetVarint(stream, &offset, &u).ok()) {
+      BOS_FUZZ_ASSERT(offset <= stream.size(), "varint ran past the buffer");
+    }
+    offset = 0;
+    int64_t s;
+    while (bos::bitpack::GetSignedVarint(stream, &offset, &s).ok()) {
+      BOS_FUZZ_ASSERT(offset <= stream.size(), "svarint ran past the buffer");
+    }
+    offset = 0;
+    std::vector<uint64_t> words;
+    const size_t claimed = selector >> 1;  // 0..127 values
+    if (bos::bitpack::Simple8bDecode(stream, &offset, claimed, &words).ok()) {
+      BOS_FUZZ_ASSERT(offset <= stream.size(), "simple8b ran past the buffer");
+      BOS_FUZZ_ASSERT(words.size() == claimed, "simple8b count mismatch");
+    }
+    return 0;
+  }
+
+  // Round-trip. Varints are flip-sensitive byte-by-byte, so only the
+  // unflipped case asserts equality.
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  const size_t n = rng.Uniform(256);
+  std::vector<uint64_t> values(n);
+  for (auto& v : values) v = rng.Next() >> rng.Uniform(64);
+  bos::Bytes encoded;
+  for (uint64_t v : values) bos::bitpack::PutVarint(&encoded, v);
+  std::vector<uint64_t> u60(n);
+  for (size_t i = 0; i < n; ++i) u60[i] = values[i] & ((1ULL << 60) - 1);
+  const size_t varint_end = encoded.size();
+  BOS_FUZZ_ASSERT(bos::bitpack::Simple8bEncode(u60, &encoded).ok(),
+                  "simple8b encode failed");
+  const size_t flips = bos::fuzz::FlipBits(&encoded, &in);
+
+  size_t offset = 0;
+  std::vector<uint64_t> decoded;
+  bool ok = true;
+  for (size_t i = 0; i < n && ok; ++i) {
+    uint64_t v;
+    ok = bos::bitpack::GetVarint(encoded, &offset, &v).ok();
+    if (ok) decoded.push_back(v);
+  }
+  if (flips == 0) {
+    BOS_FUZZ_ASSERT(ok && decoded == values, "clean varint round-trip");
+    BOS_FUZZ_ASSERT(offset == varint_end, "varint stream length drifted");
+    std::vector<uint64_t> w;
+    BOS_FUZZ_ASSERT(
+        bos::bitpack::Simple8bDecode(encoded, &offset, n, &w).ok() && w == u60,
+        "clean simple8b round-trip");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzz target: the general-purpose byte codecs (LZ4-lite, LZMA-lite),
+// whose match offsets and lengths are classic overread territory.
+
+#include <cstdint>
+
+#include "fuzz_common.h"
+#include "general/lz4lite.h"
+#include "general/lzma_lite.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+  const bos::general::Lz4LiteCodec lz4;
+  const bos::general::LzmaLiteCodec lzma;
+  const bos::general::ByteCodec& codec =
+      (selector >> 1) & 1 ? static_cast<const bos::general::ByteCodec&>(lzma)
+                          : lz4;
+
+  if ((selector & 1) == 0) {
+    bos::Bytes out;
+    (void)codec.Decompress(in.Rest(), &out);  // any status, no crash
+    return 0;
+  }
+
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  // Compressible input: low-entropy bytes with repeated stretches.
+  bos::Bytes input(rng.Uniform(2048));
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Uniform(8));
+  bos::Bytes encoded;
+  BOS_FUZZ_ASSERT(codec.Compress(input, &encoded).ok(), "compress failed");
+  const size_t flips = bos::fuzz::FlipBits(&encoded, &in);
+
+  bos::Bytes decoded;
+  const bos::Status st = codec.Decompress(encoded, &decoded);
+  if (flips == 0) {
+    BOS_FUZZ_ASSERT(st.ok(), "clean round-trip must decode");
+    BOS_FUZZ_ASSERT(decoded == input, "clean round-trip must be exact");
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#ifndef BOS_FUZZ_FUZZ_COMMON_H_
+#define BOS_FUZZ_FUZZ_COMMON_H_
+
+/// \file
+/// Shared plumbing for the fuzz targets (see fuzz/README note in the
+/// top-level README). Every target implements the libFuzzer entry point
+///
+///   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+///
+/// and exercises one decoder family in two modes, selected by the first
+/// input byte:
+///
+///  * **arbitrary-bytes decode** — the remaining bytes go straight into
+///    the decoder. Any `Status` is acceptable; crashing, looping or
+///    reading out of bounds is not.
+///  * **round-trip bit-flip** — a PRNG seeded from the input generates a
+///    structured series, the encoder runs, and further input bytes flip
+///    bits in the encoded stream before decoding. With zero flips the
+///    round trip must be exact; with flips the decoder may return any
+///    status (the formats carry no per-block CRC) but must stay memory
+///    safe and terminate.
+///
+/// Under Clang the targets link libFuzzer (-fsanitize=fuzzer); under GCC
+/// (this repo's CI default) `standalone_main.cc` provides a driver that
+/// replays corpus files and then runs deterministic xoshiro-generated
+/// inputs, so `ctest -R fuzz_smoke` works with any toolchain.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/random.h"
+
+/// Aborts (fuzzer-visible crash) when a decode-safety invariant breaks.
+#define BOS_FUZZ_ASSERT(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "fuzz invariant violated: %s at %s:%d\n", msg,  \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+namespace bos::fuzz {
+
+/// Consume-from-front reader over the raw fuzz bytes. Reads past the end
+/// return zeros, so targets never have to special-case short inputs.
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool Empty() const { return pos_ >= size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t TakeByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  uint64_t TakeU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(TakeByte()) << (8 * i);
+    return v;
+  }
+
+  /// Everything not yet consumed, as a view.
+  BytesView Rest() const { return {data_ + pos_, size_ - pos_}; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a over the unconsumed bytes: a cheap, stable PRNG seed so the
+/// round-trip mode is fully determined by the fuzz input.
+inline uint64_t SeedFrom(BytesView bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Generates a series in one of several shapes the codecs care about:
+/// dense small values, smooth ramps, outlier-spiked, and uniform-random
+/// 64-bit (the worst case for every width estimator).
+inline std::vector<int64_t> StructuredValues(Rng* rng, size_t max_n) {
+  const size_t n = rng->Uniform(max_n + 1);
+  std::vector<int64_t> v(n);
+  const uint64_t shape = rng->Uniform(4);
+  int64_t cur = rng->UniformInt(-1'000'000, 1'000'000);
+  for (size_t i = 0; i < n; ++i) {
+    switch (shape) {
+      case 0:
+        v[i] = rng->UniformInt(-100, 100);
+        break;
+      case 1:
+        cur += rng->UniformInt(-5, 5);
+        v[i] = cur;
+        break;
+      case 2:
+        v[i] = rng->Bernoulli(0.05)
+                   ? rng->UniformInt(INT64_MIN / 2, INT64_MAX / 2)
+                   : rng->UniformInt(0, 50);
+        break;
+      default:
+        v[i] = static_cast<int64_t>(rng->Next());
+        break;
+    }
+  }
+  return v;
+}
+
+/// Doubles at a fixed decimal precision (so BUFF/scaled hit their fast
+/// path) with occasional arbitrary-bit-pattern exceptions.
+inline std::vector<double> StructuredDoubles(Rng* rng, size_t max_n) {
+  const size_t n = rng->Uniform(max_n + 1);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(0.05)) {
+      // Arbitrary bit pattern — may be an inf/NaN/denormal exception.
+      uint64_t bits = rng->Next();
+      double d;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      v[i] = d;
+    } else {
+      v[i] = static_cast<double>(rng->UniformInt(-1'000'000, 1'000'000)) / 1000.0;
+    }
+  }
+  return v;
+}
+
+/// Flips one bit per three remaining input bytes (position lo, position
+/// hi, bit index), up to `max_flips`. Returns the number of flips.
+inline size_t FlipBits(Bytes* buf, FuzzInput* in, size_t max_flips = 32) {
+  if (buf->empty()) return 0;
+  size_t flips = 0;
+  while (flips < max_flips && in->remaining() >= 3) {
+    const size_t lo = in->TakeByte();
+    const size_t hi = in->TakeByte();
+    const size_t pos = (lo | hi << 8) % buf->size();
+    (*buf)[pos] ^= static_cast<uint8_t>(1u << (in->TakeByte() % 8));
+    ++flips;
+  }
+  return flips;
+}
+
+}  // namespace bos::fuzz
+
+#endif  // BOS_FUZZ_FUZZ_COMMON_H_

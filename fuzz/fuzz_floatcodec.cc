@@ -1,0 +1,51 @@
+// Fuzz target: the float codecs (GORILLA / CHIMP / Elf / BUFF and the
+// decimal-scaling adapter over an integer codec).
+
+#include <cstdint>
+#include <cstring>
+
+#include "floatcodec/registry.h"
+#include "fuzz_common.h"
+
+namespace {
+
+const char* kCodecs[] = {"GORILLA", "CHIMP", "Elf", "BUFF", "TS2DIFF+BOS-B"};
+constexpr size_t kNumCodecs = sizeof(kCodecs) / sizeof(kCodecs[0]);
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+  auto codec_result =
+      bos::floatcodec::MakeFloatCodec(kCodecs[(selector >> 1) % kNumCodecs]);
+  BOS_FUZZ_ASSERT(codec_result.ok(), "registry must know its own codecs");
+  const auto& codec = *codec_result;
+
+  if ((selector & 1) == 0) {
+    std::vector<double> out;
+    (void)codec->Decompress(in.Rest(), &out);  // any status, no crash
+    return 0;
+  }
+
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  const std::vector<double> values = bos::fuzz::StructuredDoubles(&rng, 512);
+  bos::Bytes encoded;
+  BOS_FUZZ_ASSERT(codec->Compress(values, &encoded).ok(), "compress failed");
+  const size_t flips = bos::fuzz::FlipBits(&encoded, &in);
+
+  std::vector<double> decoded;
+  const bos::Status st = codec->Decompress(encoded, &decoded);
+  if (flips == 0) {
+    BOS_FUZZ_ASSERT(st.ok(), "clean round-trip must decode");
+    BOS_FUZZ_ASSERT(BitIdentical(decoded, values),
+                    "clean round-trip must be bit-exact");
+  }
+  return 0;
+}

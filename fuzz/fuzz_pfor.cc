@@ -1,0 +1,52 @@
+// Fuzz target: the PFOR operator family (PFOR, NewPFOR, OptPFOR,
+// FastPFOR). Same input layout and invariants as fuzz_packing.cc.
+
+#include <cstdint>
+
+#include "codecs/registry.h"
+#include "fuzz_common.h"
+
+namespace {
+
+const char* kOperators[] = {"PFOR", "NEWPFOR", "OPTPFOR", "FASTPFOR"};
+constexpr size_t kNumOperators = sizeof(kOperators) / sizeof(kOperators[0]);
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+  auto op_result =
+      bos::codecs::MakeOperator(kOperators[(selector >> 1) % kNumOperators]);
+  BOS_FUZZ_ASSERT(op_result.ok(), "registry must know its own operators");
+  const auto& op = *op_result;
+
+  if ((selector & 1) == 0) {
+    const bos::BytesView stream = in.Rest();
+    size_t offset = 0;
+    std::vector<int64_t> out;
+    if (op->Decode(stream, &offset, &out).ok()) {
+      BOS_FUZZ_ASSERT(offset <= stream.size(), "decode ran past the buffer");
+    }
+    return 0;
+  }
+
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  const std::vector<int64_t> values = bos::fuzz::StructuredValues(&rng, 512);
+  bos::Bytes encoded;
+  BOS_FUZZ_ASSERT(op->Encode(values, &encoded).ok(), "encode failed");
+  const size_t flips = bos::fuzz::FlipBits(&encoded, &in);
+
+  size_t offset = 0;
+  std::vector<int64_t> decoded;
+  const bos::Status st = op->Decode(encoded, &offset, &decoded);
+  if (st.ok()) {
+    BOS_FUZZ_ASSERT(offset <= encoded.size(), "decode ran past the buffer");
+  }
+  if (flips == 0) {
+    BOS_FUZZ_ASSERT(st.ok(), "clean round-trip must decode");
+    BOS_FUZZ_ASSERT(decoded == values, "clean round-trip must be exact");
+    BOS_FUZZ_ASSERT(offset == encoded.size(), "block must be self-delimiting");
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fuzz target: the whole-series transform codecs (RLE / SPRINTZ /
+// TS2DIFF / DICT composed with representative operators, plus DOD).
+
+#include <cstdint>
+
+#include "codecs/registry.h"
+#include "fuzz_common.h"
+
+namespace {
+
+const char* kSpecs[] = {
+    "RLE+BP",     "RLE+BOS-B",     "SPRINTZ+BP",   "SPRINTZ+BOS-M",
+    "TS2DIFF+BP", "TS2DIFF+BOS-B", "TS2DIFF+FASTPFOR",
+    "DICT+BP",    "DICT+BOS-B",    "DOD",
+};
+constexpr size_t kNumSpecs = sizeof(kSpecs) / sizeof(kSpecs[0]);
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+  // Small block size so multi-block paths are reached from short inputs.
+  auto codec_result =
+      bos::codecs::MakeSeriesCodec(kSpecs[(selector >> 1) % kNumSpecs], 64);
+  BOS_FUZZ_ASSERT(codec_result.ok(), "registry must know its own specs");
+  const auto& codec = *codec_result;
+
+  if ((selector & 1) == 0) {
+    std::vector<int64_t> out;
+    (void)codec->Decompress(in.Rest(), &out);  // any status, no crash
+    return 0;
+  }
+
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  const std::vector<int64_t> values = bos::fuzz::StructuredValues(&rng, 512);
+  bos::Bytes encoded;
+  BOS_FUZZ_ASSERT(codec->Compress(values, &encoded).ok(), "compress failed");
+  const size_t flips = bos::fuzz::FlipBits(&encoded, &in);
+
+  std::vector<int64_t> decoded;
+  const bos::Status st = codec->Decompress(encoded, &decoded);
+  if (flips == 0) {
+    BOS_FUZZ_ASSERT(st.ok(), "clean round-trip must decode");
+    BOS_FUZZ_ASSERT(decoded == values, "clean round-trip must be exact");
+  }
+  return 0;
+}

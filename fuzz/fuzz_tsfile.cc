@@ -1,0 +1,79 @@
+// Fuzz target: the TsFile-lite container. Arbitrary bytes must be
+// rejected as a file; a bit-flipped real file must fail cleanly (footer
+// CRC, page CRC, or a Corruption status) — never crash or overread.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fuzz_common.h"
+#include "storage/tsfile.h"
+
+namespace {
+
+std::string TempFilePath() {
+  static int counter = 0;
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / ("bos_fuzz_tsfile_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++) + ".bos"))
+      .string();
+}
+
+void WriteFile(const std::string& path, const bos::Bytes& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+}
+
+void OpenAndScan(const std::string& path) {
+  bos::storage::TsFileReader reader;
+  if (!reader.Open(path).ok()) return;
+  for (const auto& info : reader.series()) {
+    std::vector<int64_t> values;
+    (void)reader.ReadSeries(info.name, &values, nullptr);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+  const std::string path = TempFilePath();
+
+  if ((selector & 1) == 0) {
+    const bos::BytesView rest = in.Rest();
+    WriteFile(path, bos::Bytes(rest.begin(), rest.end()));
+    OpenAndScan(path);  // any status, no crash
+    std::filesystem::remove(path);
+    return 0;
+  }
+
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  {
+    bos::storage::TsFileWriter writer(path, /*page_size=*/64);
+    BOS_FUZZ_ASSERT(writer.Open().ok(), "tsfile open failed");
+    const std::vector<int64_t> a = bos::fuzz::StructuredValues(&rng, 256);
+    const std::vector<int64_t> b = bos::fuzz::StructuredValues(&rng, 256);
+    BOS_FUZZ_ASSERT(writer.AppendSeries("a", "TS2DIFF+BOS-B", a).ok(),
+                    "append failed");
+    BOS_FUZZ_ASSERT(writer.AppendSeries("b", "RLE+BP", b).ok(),
+                    "append failed");
+    BOS_FUZZ_ASSERT(writer.Finish().ok(), "finish failed");
+  }
+  bos::Bytes file;
+  {
+    std::ifstream f(path, std::ios::binary);
+    file.assign(std::istreambuf_iterator<char>(f),
+                std::istreambuf_iterator<char>());
+  }
+  (void)bos::fuzz::FlipBits(&file, &in);
+  WriteFile(path, file);
+  OpenAndScan(path);  // CRCs catch most flips; the rest must fail cleanly
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Seeds the fuzz corpora from the real encoders: every target gets
+// well-formed streams (arbitrary-decode mode, so the fuzzer starts from
+// deep-format inputs rather than having to discover the framing) plus a
+// few round-trip-mode seeds. Usage: bos_fuzz_gen_corpus <outdir>
+//
+// The corpus layout matches the target input convention from
+// fuzz_common.h: byte0 = (variant << 1) | mode, payload after.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "codecs/streaming.h"
+#include "floatcodec/registry.h"
+#include "fuzz_common.h"
+#include "general/lz4lite.h"
+#include "general/lzma_lite.h"
+#include "bitpack/varint.h"
+#include "storage/tsfile.h"
+#include "storage/wal.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void WriteSeed(const fs::path& dir, int index, uint8_t selector,
+               bos::BytesView payload) {
+  fs::create_directories(dir);
+  char name[32];
+  std::snprintf(name, sizeof(name), "seed_%03d.bin", index);
+  std::ofstream f(dir / name, std::ios::binary | std::ios::trunc);
+  f.put(static_cast<char>(selector));
+  f.write(reinterpret_cast<const char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+}
+
+// A few round-trip-mode seeds (mode bit set, payload seeds the PRNG and
+// the bit-flip script).
+void WriteRoundTripSeeds(const fs::path& dir, int first_index,
+                         uint8_t num_variants, bos::Rng* rng) {
+  for (int i = 0; i < 4; ++i) {
+    bos::Bytes payload(12);
+    for (auto& b : payload) b = static_cast<uint8_t>(rng->Next());
+    const uint8_t variant = static_cast<uint8_t>(rng->Uniform(num_variants));
+    WriteSeed(dir, first_index + i, static_cast<uint8_t>(variant << 1 | 1),
+              payload);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 1;
+  }
+  const fs::path root(argv[1]);
+  bos::Rng rng(0xC0FFEE);
+
+  // fuzz_packing / fuzz_pfor: one seed per operator, three data shapes.
+  const std::vector<std::string> packing = {
+      "BP", "BOS-V", "BOS-B", "BOS-M", "BOS-UPPER", "BOS-LIST", "BOS-ADAPTIVE"};
+  const std::vector<std::string> pfor = {"PFOR", "NEWPFOR", "OPTPFOR",
+                                         "FASTPFOR"};
+  for (const auto& [target, ops] :
+       {std::pair{std::string("fuzz_packing"), packing},
+        std::pair{std::string("fuzz_pfor"), pfor}}) {
+    int index = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      auto op = *bos::codecs::MakeOperator(ops[i]);
+      for (int shape = 0; shape < 3; ++shape) {
+        const auto values = bos::fuzz::StructuredValues(&rng, 256);
+        bos::Bytes encoded;
+        if (!op->Encode(values, &encoded).ok()) return 1;
+        WriteSeed(root / target, index++, static_cast<uint8_t>(i << 1),
+                  encoded);
+      }
+    }
+    WriteRoundTripSeeds(root / target, index, static_cast<uint8_t>(ops.size()),
+                        &rng);
+  }
+
+  // fuzz_series_codec: mirror the spec table in the target.
+  const std::vector<std::string> specs = {
+      "RLE+BP",     "RLE+BOS-B",     "SPRINTZ+BP",   "SPRINTZ+BOS-M",
+      "TS2DIFF+BP", "TS2DIFF+BOS-B", "TS2DIFF+FASTPFOR",
+      "DICT+BP",    "DICT+BOS-B",    "DOD",
+  };
+  {
+    int index = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      auto codec = *bos::codecs::MakeSeriesCodec(specs[i], 64);
+      const auto values = bos::fuzz::StructuredValues(&rng, 256);
+      bos::Bytes encoded;
+      if (!codec->Compress(values, &encoded).ok()) return 1;
+      WriteSeed(root / "fuzz_series_codec", index++,
+                static_cast<uint8_t>(i << 1), encoded);
+    }
+    WriteRoundTripSeeds(root / "fuzz_series_codec", index,
+                        static_cast<uint8_t>(specs.size()), &rng);
+  }
+
+  // fuzz_streaming: a complete chunked stream.
+  {
+    auto codec = *bos::codecs::MakeSeriesCodec("TS2DIFF+BOS-B", 64);
+    bos::codecs::SeriesStreamEncoder encoder(codec, 64);
+    encoder.AppendSpan(bos::fuzz::StructuredValues(&rng, 300));
+    if (!encoder.Finish().ok()) return 1;
+    WriteSeed(root / "fuzz_streaming", 0, 0, *encoder.sink());
+    WriteRoundTripSeeds(root / "fuzz_streaming", 1, 1, &rng);
+  }
+
+  // fuzz_floatcodec: mirror the codec table in the target.
+  const std::vector<std::string> floats = {"GORILLA", "CHIMP", "Elf", "BUFF",
+                                           "TS2DIFF+BOS-B"};
+  {
+    int index = 0;
+    for (size_t i = 0; i < floats.size(); ++i) {
+      auto codec = *bos::floatcodec::MakeFloatCodec(floats[i]);
+      const auto values = bos::fuzz::StructuredDoubles(&rng, 256);
+      bos::Bytes encoded;
+      if (!codec->Compress(values, &encoded).ok()) return 1;
+      WriteSeed(root / "fuzz_floatcodec", index++,
+                static_cast<uint8_t>(i << 1), encoded);
+    }
+    WriteRoundTripSeeds(root / "fuzz_floatcodec", index,
+                        static_cast<uint8_t>(floats.size()), &rng);
+  }
+
+  // fuzz_bytecodec: LZ4-lite and LZMA-lite streams over low-entropy input.
+  {
+    bos::Bytes input(1024);
+    for (auto& b : input) b = static_cast<uint8_t>(rng.Uniform(8));
+    bos::Bytes lz4_out, lzma_out;
+    if (!bos::general::Lz4LiteCodec().Compress(input, &lz4_out).ok()) return 1;
+    if (!bos::general::LzmaLiteCodec().Compress(input, &lzma_out).ok()) {
+      return 1;
+    }
+    WriteSeed(root / "fuzz_bytecodec", 0, 0, lz4_out);
+    WriteSeed(root / "fuzz_bytecodec", 1, 1 << 1, lzma_out);
+    WriteRoundTripSeeds(root / "fuzz_bytecodec", 2, 2, &rng);
+  }
+
+  // fuzz_bitpack: a varint stream (the target walks the same bytes with
+  // every primitive reader).
+  {
+    bos::Bytes stream;
+    for (int i = 0; i < 64; ++i) {
+      bos::bitpack::PutVarint(&stream, rng.Next() >> rng.Uniform(64));
+    }
+    WriteSeed(root / "fuzz_bitpack", 0, 0, stream);
+    WriteRoundTripSeeds(root / "fuzz_bitpack", 1, 1, &rng);
+  }
+
+  // fuzz_wal / fuzz_tsfile: bytes of real files written by the writers.
+  const fs::path tmp =
+      fs::temp_directory_path() /
+      ("bos_gen_corpus_" + std::to_string(::getpid()) + ".tmp");
+  {
+    bos::storage::WalWriter writer(tmp.string());
+    if (!writer.Open().ok()) return 1;
+    for (int i = 0; i < 16; ++i) {
+      if (!writer
+               .Append("series_" + std::to_string(i % 3),
+                       {rng.UniformInt(0, 1000),
+                        static_cast<int64_t>(rng.Next())})
+               .ok()) {
+        return 1;
+      }
+    }
+    writer.Close();
+    std::ifstream f(tmp, std::ios::binary);
+    const bos::Bytes bytes((std::istreambuf_iterator<char>(f)),
+                           std::istreambuf_iterator<char>());
+    WriteSeed(root / "fuzz_wal", 0, 0, bytes);
+    WriteRoundTripSeeds(root / "fuzz_wal", 1, 1, &rng);
+    fs::remove(tmp);
+  }
+  {
+    bos::storage::TsFileWriter writer(tmp.string(), 64);
+    if (!writer.Open().ok()) return 1;
+    if (!writer
+             .AppendSeries("a", "TS2DIFF+BOS-B",
+                           bos::fuzz::StructuredValues(&rng, 200))
+             .ok()) {
+      return 1;
+    }
+    if (!writer.AppendSeries("b", "RLE+BP", bos::fuzz::StructuredValues(&rng, 200))
+             .ok()) {
+      return 1;
+    }
+    if (!writer.Finish().ok()) return 1;
+    std::ifstream f(tmp, std::ios::binary);
+    const bos::Bytes bytes((std::istreambuf_iterator<char>(f)),
+                           std::istreambuf_iterator<char>());
+    WriteSeed(root / "fuzz_tsfile", 0, 0, bytes);
+    WriteRoundTripSeeds(root / "fuzz_tsfile", 1, 1, &rng);
+    fs::remove(tmp);
+  }
+
+  std::printf("corpus written to %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fallback fuzz driver for toolchains without libFuzzer (the CI default
+// here is GCC). Replays every corpus file passed on the command line
+// (files or directories), then runs a deterministic stream of
+// PRNG-generated inputs, occasionally mutating the previous buffer the
+// way a coverage fuzzer would.
+//
+// Environment knobs:
+//   BOS_FUZZ_SEED     PRNG seed            (default 0xB05)
+//   BOS_FUZZ_RUNS     random iterations    (default 512)
+//   BOS_FUZZ_MAX_LEN  max input bytes      (default 1024)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "util/random.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::strtoull(s, nullptr, 0) : fallback;
+}
+
+size_t RunFile(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "fuzz: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                   std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t corpus_runs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      // Sorted for a deterministic replay order.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) corpus_runs += RunFile(file);
+    } else {
+      corpus_runs += RunFile(arg);
+    }
+  }
+
+  const uint64_t seed = EnvU64("BOS_FUZZ_SEED", 0xB05);
+  const uint64_t runs = EnvU64("BOS_FUZZ_RUNS", 512);
+  const uint64_t max_len = EnvU64("BOS_FUZZ_MAX_LEN", 1024);
+  bos::Rng rng(seed);
+  std::vector<uint8_t> buf;
+  for (uint64_t i = 0; i < runs; ++i) {
+    if (!buf.empty() && rng.Bernoulli(0.25)) {
+      // Mutate the previous input: a few byte edits, like a real fuzzer.
+      const uint64_t edits = 1 + rng.Uniform(8);
+      for (uint64_t e = 0; e < edits; ++e) {
+        buf[rng.Uniform(buf.size())] = static_cast<uint8_t>(rng.Next());
+      }
+    } else {
+      buf.resize(rng.Uniform(max_len + 1));
+      for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+    }
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+
+  std::printf("fuzz: %zu corpus inputs + %llu random inputs, no crashes\n",
+              corpus_runs, static_cast<unsigned long long>(runs));
+  // Surface the hardening counters: how often decoders rejected corrupt
+  // input during this run (grep-able in CI logs).
+  const std::string snapshot =
+      bos::telemetry::Registry::Global().SnapshotText();
+  size_t start = 0;
+  while (start < snapshot.size()) {
+    size_t end = snapshot.find('\n', start);
+    if (end == std::string::npos) end = snapshot.size();
+    const std::string line = snapshot.substr(start, end - start);
+    if (line.find("corrupt_rejected") != std::string::npos ||
+        line.find("torn_tail") != std::string::npos ||
+        line.find("crc_failures") != std::string::npos ||
+        line.find("header_mismatches") != std::string::npos) {
+      std::printf("fuzz: %s\n", line.c_str());
+    }
+    start = end + 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "bitpack/unpack_kernels.h"
 #include "util/bits.h"
+#include "util/safe_math.h"
 
 namespace bos::bitpack {
 
@@ -43,8 +44,12 @@ Status UnpackFixedAligned(BytesView data, size_t* offset, int width, size_t n,
     for (size_t i = 0; i < n; ++i) out[i] = 0;
     return Status::OK();
   }
-  const uint64_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
-  if (*offset + bytes > data.size()) {
+  uint64_t bits;
+  if (!CheckedMul(static_cast<uint64_t>(width), n, &bits)) {
+    return Status::Corruption("bit-packed payload too large");
+  }
+  const uint64_t bytes = BitsToBytes(bits);
+  if (!SliceFits(data.size(), *offset, bytes)) {
     return Status::Corruption("bit-packed payload truncated");
   }
   UnpackBlocks(data.data() + *offset, data.size() - *offset, width, n, out);

@@ -21,8 +21,14 @@ Status GetVarint(BytesView data, size_t* offset, uint64_t* v) {
   size_t pos = *offset;
   while (true) {
     if (pos >= data.size()) return Status::Corruption("varint truncated");
-    if (shift >= 70) return Status::Corruption("varint too long");
+    if (shift > 63) return Status::Corruption("varint too long");
     const uint8_t byte = data[pos++];
+    // The 10th byte lands at shift 63: only its lowest bit fits in the
+    // result, so anything else is an overflowing encoding that would
+    // silently truncate to a wrong value.
+    if (shift == 63 && byte > 1) {
+      return Status::Corruption("varint overflows 64 bits");
+    }
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;

@@ -53,6 +53,11 @@ Status DictionaryCodec::Compress(std::span<const int64_t> values,
 
 Status DictionaryCodec::Decompress(BytesView data,
                                    std::vector<int64_t>* out) const {
+  return CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status DictionaryCodec::DecompressImpl(BytesView data,
+                                       std::vector<int64_t>* out) const {
   size_t offset = 0;
   uint64_t n;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));

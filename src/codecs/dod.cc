@@ -71,6 +71,11 @@ Status DodCodec::Compress(std::span<const int64_t> values, Bytes* out) const {
 }
 
 Status DodCodec::Decompress(BytesView data, std::vector<int64_t>* out) const {
+  return CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status DodCodec::DecompressImpl(BytesView data,
+                                std::vector<int64_t>* out) const {
   size_t offset = 0;
   uint64_t n;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));

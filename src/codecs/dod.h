@@ -22,6 +22,8 @@ class DodCodec final : public SeriesCodec {
   Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
 
  private:
+  Status DecompressImpl(BytesView data, std::vector<int64_t>* out) const;
+
   size_t block_size_;
 };
 

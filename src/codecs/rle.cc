@@ -4,6 +4,7 @@
 
 #include "bitpack/varint.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::codecs {
 
@@ -40,6 +41,11 @@ Status RleCodec::Compress(std::span<const int64_t> values, Bytes* out) const {
 }
 
 Status RleCodec::Decompress(BytesView data, std::vector<int64_t>* out) const {
+  return CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status RleCodec::DecompressImpl(BytesView data,
+                                std::vector<int64_t>* out) const {
   size_t offset = 0;
   uint64_t n;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
@@ -55,8 +61,11 @@ Status RleCodec::Decompress(BytesView data, std::vector<int64_t>* out) const {
     uint64_t total = 0;
     for (auto& rl : run_lengths) {
       BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &rl));
-      total += rl;
-      if (rl == 0 || total > len) return Status::Corruption("RLE: bad run length");
+      // CheckedAdd: a near-2^64 run length would wrap `total` back under
+      // `len` and survive to the replication loop below.
+      if (rl == 0 || !CheckedAdd(total, rl, &total) || total > len) {
+        return Status::Corruption("RLE: bad run length");
+      }
     }
     if (total != len) return Status::Corruption("RLE: run lengths mismatch");
     run_values.clear();

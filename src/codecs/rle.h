@@ -24,6 +24,8 @@ class RleCodec final : public SeriesCodec {
   Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
 
  private:
+  Status DecompressImpl(BytesView data, std::vector<int64_t>* out) const;
+
   std::shared_ptr<const core::PackingOperator> op_;
   size_t block_size_;
 };

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/telemetry.h"
 #include "util/buffer.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace bos::codecs {
@@ -47,6 +49,25 @@ template <typename T>
 inline void ReserveBounded(std::vector<T>* out, uint64_t extra) {
   out->reserve(out->size() + static_cast<size_t>(
                                  std::min<uint64_t>(extra, 1ULL << 20)));
+}
+
+/// Decode entry points pass their final status through here so the rate
+/// of rejected corrupt/truncated streams is observable in production
+/// (`bos.codecs.decode.corrupt_rejected` in the telemetry snapshot).
+/// Returns `st` unchanged.
+inline Status CountDecodeRejection(Status st) {
+  if (st.IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.codecs.decode.corrupt_rejected", 1);
+  }
+  return st;
+}
+
+template <typename T>
+inline Result<T> CountDecodeRejection(Result<T> result) {
+  if (!result.ok() && result.status().IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.codecs.decode.corrupt_rejected", 1);
+  }
+  return result;
 }
 
 }  // namespace bos::codecs

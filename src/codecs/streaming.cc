@@ -2,6 +2,7 @@
 
 #include "bitpack/varint.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::codecs {
 
@@ -12,6 +13,15 @@ SeriesStreamEncoder::SeriesStreamEncoder(
 }
 
 void SeriesStreamEncoder::Append(int64_t value) {
+  if (finished_) {
+    // Appending past the end-of-stream marker would corrupt the sink;
+    // latch the error and surface it at the next Finish.
+    if (deferred_error_.ok()) {
+      deferred_error_ =
+          Status::InvalidArgument("Append after Finish; call Reset first");
+    }
+    return;
+  }
   pending_.push_back(value);
   ++appended_;
   if (pending_.size() >= block_size_ && deferred_error_.ok()) {
@@ -34,10 +44,21 @@ Status SeriesStreamEncoder::EmitBlock() {
 
 Status SeriesStreamEncoder::Finish() {
   BOS_RETURN_NOT_OK(deferred_error_);
+  if (finished_) {
+    return Status::InvalidArgument("Finish called twice; call Reset first");
+  }
   if (!pending_.empty()) BOS_RETURN_NOT_OK(EmitBlock());
   bitpack::PutVarint(&sink_, 0);  // end-of-stream marker
-  appended_ = 0;
+  finished_ = true;
   return Status::OK();
+}
+
+void SeriesStreamEncoder::Reset() {
+  pending_.clear();
+  sink_.clear();
+  appended_ = 0;
+  deferred_error_ = Status::OK();
+  finished_ = false;
 }
 
 SeriesStreamDecoder::SeriesStreamDecoder(
@@ -45,20 +66,24 @@ SeriesStreamDecoder::SeriesStreamDecoder(
     : codec_(std::move(codec)), data_(data) {}
 
 Status SeriesStreamDecoder::NextBlock(std::vector<int64_t>* out, bool* done) {
-  *done = false;
-  uint64_t frame_len;
-  BOS_RETURN_NOT_OK(bitpack::GetVarint(data_, &offset_, &frame_len));
-  if (frame_len == 0) {
-    *done = true;
+  Status st = [&]() -> Status {
+    *done = false;
+    uint64_t frame_len;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data_, &offset_, &frame_len));
+    if (frame_len == 0) {
+      *done = true;
+      return Status::OK();
+    }
+    // The varint-decoded frame length is untrusted 64-bit input: a naive
+    // `offset_ + frame_len > size` guard wraps and reads out of bounds.
+    BOS_ASSIGN_OR_RETURN(const BytesView frame,
+                         CheckedSlice(data_, offset_, frame_len,
+                                      "stream frame"));
+    BOS_RETURN_NOT_OK(codec_->Decompress(frame, out));
+    offset_ += frame_len;
     return Status::OK();
-  }
-  if (offset_ + frame_len > data_.size()) {
-    return Status::Corruption("stream frame truncated");
-  }
-  BOS_RETURN_NOT_OK(
-      codec_->Decompress(data_.subspan(offset_, frame_len), out));
-  offset_ += frame_len;
-  return Status::OK();
+  }();
+  return CountDecodeRejection(st);
 }
 
 Status SeriesStreamDecoder::ReadAll(std::vector<int64_t>* out) {

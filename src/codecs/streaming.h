@@ -23,23 +23,34 @@ class SeriesStreamEncoder {
   SeriesStreamEncoder(std::shared_ptr<const SeriesCodec> codec,
                       size_t block_size = kDefaultBlockSize);
 
-  /// Appends one value; may emit a frame into the sink buffer.
+  /// Appends one value; may emit a frame into the sink buffer. Appending
+  /// after `Finish` is an error (it would land frames after the
+  /// end-of-stream marker): the call is ignored and the next `Finish`
+  /// reports InvalidArgument. Call `Reset` to start a new stream.
   void Append(int64_t value);
 
   /// Appends many values.
   void AppendSpan(std::span<const int64_t> values);
 
   /// Compresses any buffered tail and writes the end-of-stream marker
-  /// (an empty frame). The encoder can be reused afterwards.
+  /// (an empty frame). The stream in the sink is complete afterwards;
+  /// further Append/Finish calls fail until `Reset`.
   Status Finish();
+
+  /// Clears the sink and all encoder state, ready for a fresh stream.
+  /// Drain or copy the sink first — its bytes are discarded.
+  void Reset();
 
   /// The sink holding emitted frames; the caller may drain it between
   /// appends (e.g. write to a socket) as long as bytes are consumed
   /// front-to-back.
   Bytes* sink() { return &sink_; }
 
-  /// Values appended since construction / the last Finish.
+  /// Values appended since construction / the last Reset.
   uint64_t values_appended() const { return appended_; }
+
+  /// True once Finish has written the end-of-stream marker.
+  bool finished() const { return finished_; }
 
  private:
   Status EmitBlock();
@@ -50,6 +61,7 @@ class SeriesStreamEncoder {
   Bytes sink_;
   uint64_t appended_ = 0;
   Status deferred_error_;
+  bool finished_ = false;
 };
 
 /// \brief Decoder for SeriesStreamEncoder output. Pull-based: call

@@ -3,6 +3,7 @@
 #include "bitpack/varint.h"
 #include "codecs/registry.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::codecs {
 
@@ -35,13 +36,16 @@ Status TimeSeriesCodec::Decompress(BytesView data,
                                    std::vector<DataPoint>* out) const {
   size_t offset = 0;
   uint64_t time_len;
-  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &time_len));
-  if (offset + time_len > data.size()) {
-    return Status::Corruption("timeseries: time column truncated");
-  }
-  std::vector<int64_t> timestamps;
   BOS_RETURN_NOT_OK(
-      time_codec_->Decompress(data.subspan(offset, time_len), &timestamps));
+      CountDecodeRejection(bitpack::GetVarint(data, &offset, &time_len)));
+  // `time_len` is attacker-controlled: `offset + time_len` may wrap, so the
+  // slice must be taken through the checked helper.
+  BOS_ASSIGN_OR_RETURN(
+      const BytesView time_stream,
+      CountDecodeRejection(
+          CheckedSlice(data, offset, time_len, "timeseries time column")));
+  std::vector<int64_t> timestamps;
+  BOS_RETURN_NOT_OK(time_codec_->Decompress(time_stream, &timestamps));
   std::vector<int64_t> values;
   BOS_RETURN_NOT_OK(
       value_codec_->Decompress(data.subspan(offset + time_len), &values));

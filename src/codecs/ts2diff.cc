@@ -54,6 +54,11 @@ Status Ts2DiffCodec::Compress(std::span<const int64_t> values,
 
 Status Ts2DiffCodec::Decompress(BytesView data,
                                 std::vector<int64_t>* out) const {
+  return CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status Ts2DiffCodec::DecompressImpl(BytesView data,
+                                    std::vector<int64_t>* out) const {
   size_t offset = 0;
   uint64_t n;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));

@@ -5,6 +5,7 @@
 #include "bitpack/varint.h"
 #include "util/bits.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::core {
 
@@ -35,7 +36,7 @@ Status DecodePlainBlockBody(BytesView data, size_t* offset,
   const int width = data[(*offset)++];
   if (width > 64) return Status::Corruption("plain block width > 64");
   const uint64_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
-  if (*offset + bytes > data.size()) {
+  if (!SliceFits(data.size(), *offset, bytes)) {
     return Status::Corruption("plain block payload truncated");
   }
   // Fused unpack-and-rebase through the block-of-32 kernels: no

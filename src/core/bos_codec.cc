@@ -13,6 +13,7 @@
 #include "telemetry/telemetry.h"
 #include "util/bits.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::core {
 
@@ -477,7 +478,7 @@ Status DecodeSeparatedBody(BytesView data, size_t* offset,
       nl * static_cast<uint64_t>(alpha) + nu * static_cast<uint64_t>(gamma) +
       (n - nl - nu) * static_cast<uint64_t>(beta);
   const uint64_t payload_bytes = BitsToBytes(payload_bits);
-  if (*offset + payload_bytes > data.size()) {
+  if (!SliceFits(data.size(), *offset, payload_bytes)) {
     return Status::Corruption("BOS block payload truncated");
   }
   const uint8_t* payload = data.data() + *offset;
@@ -609,7 +610,7 @@ Status DecodeSeparatedListBody(BytesView data, size_t* offset,
                                 nu * static_cast<uint64_t>(gamma) +
                                 (n - nl - nu) * static_cast<uint64_t>(beta);
   const uint64_t payload_bytes = BitsToBytes(payload_bits);
-  if (*offset + payload_bytes > data.size()) {
+  if (!SliceFits(data.size(), *offset, payload_bytes)) {
     return Status::Corruption("BOS-LIST: payload truncated");
   }
   const int64_t bases[3] = {min_xc, xmin, min_xu};
@@ -659,8 +660,8 @@ Status EncodeWithSeparation(std::span<const int64_t> values,
   return EncodeSeparated(values, sep, out);
 }
 
-Status DecodeBosBlock(BytesView data, size_t* offset,
-                      std::vector<int64_t>* out) {
+Status DecodeBosBlockImpl(BytesView data, size_t* offset,
+                          std::vector<int64_t>* out) {
   if (*offset >= data.size()) return Status::Corruption("BOS block: no mode byte");
   const uint8_t mode = data[(*offset)++];
   switch (mode) {
@@ -677,6 +678,17 @@ Status DecodeBosBlock(BytesView data, size_t* offset,
       BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.bad_mode", 1);
       return Status::Corruption("BOS block: unknown mode byte");
   }
+}
+
+// All BOS/BP block decoding funnels through here, so one counter gives
+// the production rate of rejected-corrupt blocks across every operator.
+Status DecodeBosBlock(BytesView data, size_t* offset,
+                      std::vector<int64_t>* out) {
+  Status st = DecodeBosBlockImpl(data, offset, out);
+  if (st.IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.corrupt_rejected", 1);
+  }
+  return st;
 }
 
 #if BOS_TELEMETRY_ENABLED
@@ -716,12 +728,20 @@ Status BitPackingOperator::Encode(std::span<const int64_t> values,
 
 Status BitPackingOperator::Decode(BytesView data, size_t* offset,
                                   std::vector<int64_t>* out) const {
-  if (*offset >= data.size()) return Status::Corruption("BP block: no mode byte");
-  const uint8_t mode = data[(*offset)++];
-  if (mode != kPlainBlockMode) {
-    return Status::Corruption("BP block: unexpected mode byte");
+  Status st = [&]() -> Status {
+    if (*offset >= data.size()) {
+      return Status::Corruption("BP block: no mode byte");
+    }
+    const uint8_t mode = data[(*offset)++];
+    if (mode != kPlainBlockMode) {
+      return Status::Corruption("BP block: unexpected mode byte");
+    }
+    return DecodePlainBlockBody(data, offset, out);
+  }();
+  if (st.IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.corrupt_rejected", 1);
   }
-  return DecodePlainBlockBody(data, offset, out);
+  return st;
 }
 
 Status BosOperator::Encode(std::span<const int64_t> values, Bytes* out) const {

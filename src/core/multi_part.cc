@@ -10,6 +10,7 @@
 #include "core/block_io.h"
 #include "util/bits.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::core {
 namespace {
@@ -219,7 +220,9 @@ Status MultiPartOperator::Decode(BytesView data, size_t* offset,
   if (n > kMaxBlockValues) return Status::Corruption("multipart: n too large");
   if (n == 0) return Status::OK();
 
-  if (*offset + 2 > data.size()) return Status::Corruption("multipart: truncated");
+  if (!SliceFits(data.size(), *offset, 2)) {
+    return Status::Corruption("multipart: truncated");
+  }
   const int m = data[(*offset)++];
   const int short_class = data[(*offset)++];
   if (m < 1 || m > k || short_class >= m) {
@@ -233,7 +236,11 @@ Status MultiPartOperator::Decode(BytesView data, size_t* offset,
     if (*offset >= data.size()) return Status::Corruption("multipart: truncated");
     c.width = data[(*offset)++];
     if (c.width > 64) return Status::Corruption("multipart: width > 64");
-    total += c.count;
+    // Per-class cap before summing: untrusted counts may otherwise wrap
+    // `total` around to match n.
+    if (c.count > n || !CheckedAdd(total, c.count, &total) || total > n) {
+      return Status::Corruption("multipart: class counts mismatch");
+    }
   }
   if (total != n) return Status::Corruption("multipart: class counts mismatch");
 
@@ -247,7 +254,7 @@ Status MultiPartOperator::Decode(BytesView data, size_t* offset,
     payload_bits += (n - classes[short_class].count) * static_cast<uint64_t>(extra);
   }
   const uint64_t payload_bytes = BitsToBytes(payload_bits);
-  if (*offset + payload_bytes > data.size()) {
+  if (!SliceFits(data.size(), *offset, payload_bytes)) {
     return Status::Corruption("multipart: payload truncated");
   }
   bitpack::BitReader reader(data.subspan(*offset, payload_bytes));

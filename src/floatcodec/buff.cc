@@ -9,6 +9,7 @@
 #include "floatcodec/quantize.h"
 #include "util/bits.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::floatcodec {
 namespace {
@@ -95,6 +96,11 @@ Status BuffCodec::Compress(std::span<const double> values, Bytes* out) const {
 }
 
 Status BuffCodec::Decompress(BytesView data, std::vector<double>* out) const {
+  return codecs::CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status BuffCodec::DecompressImpl(BytesView data,
+                                 std::vector<double>* out) const {
   size_t offset = 0;
   uint64_t n;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
@@ -152,7 +158,7 @@ Status BuffCodec::Decompress(BytesView data, std::vector<double>* out) const {
         delta[pos] |= static_cast<uint64_t>(data[offset++]) << (8 * s);
       }
     } else if (sparse == 0) {
-      if (offset + n > data.size()) {
+      if (!SliceFits(data.size(), offset, n)) {
         return Status::Corruption("BUFF: dense slice truncated");
       }
       for (uint64_t i = 0; i < n; ++i) {

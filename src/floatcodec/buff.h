@@ -24,6 +24,8 @@ class BuffCodec final : public FloatCodec {
   Status Decompress(BytesView data, std::vector<double>* out) const override;
 
  private:
+  Status DecompressImpl(BytesView data, std::vector<double>* out) const;
+
   int precision_;
   double scale_;
 };

@@ -43,6 +43,11 @@ Status ScaledSeriesFloatCodec::Compress(std::span<const double> values,
 
 Status ScaledSeriesFloatCodec::Decompress(BytesView data,
                                           std::vector<double>* out) const {
+  return codecs::CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status ScaledSeriesFloatCodec::DecompressImpl(BytesView data,
+                                              std::vector<double>* out) const {
   size_t offset = 0;
   if (offset >= data.size()) return Status::Corruption("scaled: missing precision");
   const int precision = data[offset++];

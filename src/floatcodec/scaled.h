@@ -26,6 +26,8 @@ class ScaledSeriesFloatCodec final : public FloatCodec {
   Status Decompress(BytesView data, std::vector<double>* out) const override;
 
  private:
+  Status DecompressImpl(BytesView data, std::vector<double>* out) const;
+
   std::shared_ptr<const codecs::SeriesCodec> inner_;
   int precision_;
   double scale_;

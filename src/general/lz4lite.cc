@@ -5,6 +5,7 @@
 
 #include "bitpack/varint.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::general {
 namespace {
@@ -105,7 +106,7 @@ Status Lz4LiteCodec::Decompress(BytesView data, Bytes* out) const {
     const uint8_t token = data[pos++];
     size_t lit_len = token >> 4;
     if (lit_len == 15) BOS_RETURN_NOT_OK(GetExtendedLength(data, &pos, &lit_len));
-    if (pos + lit_len > data.size()) {
+    if (!SliceFits(data.size(), pos, lit_len)) {
       return Status::Corruption("LZ4: literals truncated");
     }
     out->insert(out->end(), data.begin() + pos, data.begin() + pos + lit_len);

@@ -14,6 +14,7 @@
 #include "telemetry/telemetry.h"
 #include "util/bits.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::pfor {
 namespace {
@@ -50,6 +51,16 @@ void RecordChunkStats(ChunkFamily family, int b, size_t exceptions) {
   (void)b;
   (void)exceptions;
 #endif
+}
+
+// Rejection funnel for the decode entry points: corrupt input is counted
+// once per Decode call so fuzzing and CI can observe how often adversarial
+// bytes are turned away (mirrors bos.codecs.decode.corrupt_rejected).
+Status CountPforRejection(Status st) {
+  if (st.IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.pfor.decode.corrupt_rejected", 1);
+  }
+  return st;
 }
 
 // ---------------------------------------------------------------------
@@ -145,7 +156,7 @@ Status DecodePforChunk(BytesView data, size_t* offset, size_t chunk_n,
   }
 
   const uint64_t slot_bytes = BitsToBytes(chunk_n * static_cast<uint64_t>(b));
-  if (*offset + slot_bytes + num_exc * 8 > data.size()) {
+  if (!SliceFits(data.size(), *offset, slot_bytes + num_exc * 8)) {
     return Status::Corruption("PFOR payload truncated");
   }
   std::vector<uint64_t> slots(chunk_n);
@@ -352,15 +363,17 @@ Status PforOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
 
 Status PforOperator::Decode(BytesView data, size_t* offset,
                             std::vector<int64_t>* out) const {
-  uint64_t n;
-  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
-  if (n > kMaxBlockValues) return Status::Corruption("PFOR: n too large");
-  out->reserve(out->size() + n);
-  for (uint64_t done = 0; done < n; done += kChunkSize) {
-    const size_t len = std::min<uint64_t>(kChunkSize, n - done);
-    BOS_RETURN_NOT_OK(DecodePforChunk(data, offset, len, out));
-  }
-  return Status::OK();
+  return CountPforRejection([&]() -> Status {
+    uint64_t n;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+    if (n > kMaxBlockValues) return Status::Corruption("PFOR: n too large");
+    out->reserve(out->size() + n);
+    for (uint64_t done = 0; done < n; done += kChunkSize) {
+      const size_t len = std::min<uint64_t>(kChunkSize, n - done);
+      BOS_RETURN_NOT_OK(DecodePforChunk(data, offset, len, out));
+    }
+    return Status::OK();
+  }());
 }
 
 Status NewPforOperator::Encode(std::span<const int64_t> values,
@@ -376,15 +389,17 @@ Status NewPforOperator::Encode(std::span<const int64_t> values,
 
 Status NewPforOperator::Decode(BytesView data, size_t* offset,
                                std::vector<int64_t>* out) const {
-  uint64_t n;
-  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
-  if (n > kMaxBlockValues) return Status::Corruption("NewPFOR: n too large");
-  out->reserve(out->size() + n);
-  for (uint64_t done = 0; done < n; done += kChunkSize) {
-    const size_t len = std::min<uint64_t>(kChunkSize, n - done);
-    BOS_RETURN_NOT_OK(DecodeNewPforChunk(data, offset, len, out));
-  }
-  return Status::OK();
+  return CountPforRejection([&]() -> Status {
+    uint64_t n;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+    if (n > kMaxBlockValues) return Status::Corruption("NewPFOR: n too large");
+    out->reserve(out->size() + n);
+    for (uint64_t done = 0; done < n; done += kChunkSize) {
+      const size_t len = std::min<uint64_t>(kChunkSize, n - done);
+      BOS_RETURN_NOT_OK(DecodeNewPforChunk(data, offset, len, out));
+    }
+    return Status::OK();
+  }());
 }
 
 Status OptPforOperator::Encode(std::span<const int64_t> values,
@@ -454,6 +469,11 @@ Status FastPforOperator::Encode(std::span<const int64_t> values,
 
 Status FastPforOperator::Decode(BytesView data, size_t* offset,
                                 std::vector<int64_t>* out) const {
+  return CountPforRejection(DecodeImpl(data, offset, out));
+}
+
+Status FastPforOperator::DecodeImpl(BytesView data, size_t* offset,
+                                    std::vector<int64_t>* out) const {
   uint64_t n;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
   if (n > kMaxBlockValues) return Status::Corruption("FastPFOR: n too large");
@@ -471,7 +491,9 @@ Status FastPforOperator::Decode(BytesView data, size_t* offset,
     const size_t len = std::min<uint64_t>(kChunkSize, n - done);
     PendingChunk pc;
     BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &pc.min));
-    if (*offset + 3 > data.size()) return Status::Corruption("FastPFOR truncated");
+    if (!SliceFits(data.size(), *offset, 3)) {
+      return Status::Corruption("FastPFOR truncated");
+    }
     pc.b = data[(*offset)++];
     const int maxbits = data[(*offset)++];
     const int num_exc = data[(*offset)++];
@@ -480,7 +502,7 @@ Status FastPforOperator::Decode(BytesView data, size_t* offset,
       return Status::Corruption("FastPFOR chunk header");
     }
     pc.w = maxbits - pc.b;
-    if (*offset + num_exc > data.size()) {
+    if (!SliceFits(data.size(), *offset, num_exc)) {
       return Status::Corruption("FastPFOR positions truncated");
     }
     pc.positions.assign(data.begin() + *offset, data.begin() + *offset + num_exc);

@@ -53,6 +53,10 @@ class FastPforOperator final : public core::PackingOperator {
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+
+ private:
+  Status DecodeImpl(BytesView data, size_t* offset,
+                    std::vector<int64_t>* out) const;
 };
 
 }  // namespace bos::pfor

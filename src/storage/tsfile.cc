@@ -10,6 +10,7 @@
 #include "telemetry/telemetry.h"
 #include "util/crc32.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::storage {
 namespace {
@@ -29,7 +30,9 @@ void PutString(Bytes* out, const std::string& s) {
 Status GetString(BytesView data, size_t* offset, std::string* s) {
   uint64_t len;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &len));
-  if (*offset + len > data.size()) return Status::Corruption("string truncated");
+  if (!SliceFits(data.size(), *offset, len)) {
+    return Status::Corruption("string truncated");
+  }
   s->assign(reinterpret_cast<const char*>(data.data() + *offset), len);
   *offset += len;
   return Status::OK();
@@ -276,7 +279,11 @@ struct TsFileReader::Impl {
     uint64_t count, payload_size;
     BOS_RETURN_NOT_OK(bitpack::GetVarint(*raw, &pos, &count));
     BOS_RETURN_NOT_OK(bitpack::GetVarint(*raw, &pos, &payload_size));
-    if (pos + payload_size + 4 != raw->size() || count != page.count) {
+    // SliceFits first: a near-2^64 payload_size would wrap `pos +
+    // payload_size + 4` back into range and pass the equality check.
+    if (!SliceFits(raw->size(), pos, payload_size) ||
+        pos + payload_size + 4 != raw->size() || count != page.count) {
+      BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.header_mismatches", 1);
       return Status::Corruption("page header mismatch");
     }
     uint32_t crc = 0;
@@ -339,7 +346,9 @@ Status TsFileReader::Open(const std::string& path) {
   if (std::fseek(impl_->file, 0, SEEK_END) != 0) {
     return Status::IoError("seek failed");
   }
-  impl_->file_size = static_cast<uint64_t>(std::ftell(impl_->file));
+  const long file_size = std::ftell(impl_->file);
+  if (file_size < 0) return Status::IoError("cannot determine size of " + path);
+  impl_->file_size = static_cast<uint64_t>(file_size);
   if (impl_->file_size < sizeof(kMagic) * 2 + 8 + 4) {
     return Status::Corruption("file too small");
   }
@@ -397,7 +406,7 @@ Status TsFileReader::Open(const std::string& path) {
       BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.min_value));
       BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.max_value));
       BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.sum_value));
-      if (page.offset + page.size > footer_offset) {
+      if (!SliceFits(footer_offset, page.offset, page.size)) {
         return Status::Corruption("page out of bounds");
       }
       info.pages.push_back(page);

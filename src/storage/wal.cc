@@ -8,6 +8,7 @@
 #include "util/buffer.h"
 #include "util/crc32.h"
 #include "util/macros.h"
+#include "util/safe_math.h"
 
 namespace bos::storage {
 
@@ -67,9 +68,14 @@ Result<uint64_t> ReplayWal(
   BOS_TELEMETRY_SPAN("bos.storage.wal.replay_ns");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return uint64_t{0};  // no log, nothing to replay
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
+  // ftell returns -1 on unseekable streams (pipes, some special files);
+  // casting that straight to size_t would request a ~2^64-byte buffer.
+  long size = -1;
+  if (std::fseek(f, 0, SEEK_END) == 0) size = std::ftell(f);
+  if (size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot determine WAL size " + path);
+  }
   Bytes data(static_cast<size_t>(size));
   const bool read_ok = std::fread(data.data(), 1, data.size(), f) == data.size();
   std::fclose(f);
@@ -84,13 +90,15 @@ Result<uint64_t> ReplayWal(
     size_t pos = offset + 4;
     uint64_t payload_len;
     if (!bitpack::GetVarint(data, &pos, &payload_len).ok()) break;
-    if (pos + payload_len > data.size()) break;
+    // Overflow-safe: a corrupt 2^64-ish payload_len must not wrap past the
+    // buffer end and send Crc32 out of bounds.
+    if (!SliceFits(data.size(), pos, payload_len)) break;
     if (Crc32(data.data() + pos, payload_len) != crc) break;
 
     const size_t payload_end = pos + payload_len;
     uint64_t name_len;
     if (!bitpack::GetVarint(data, &pos, &name_len).ok() ||
-        pos + name_len > payload_end) {
+        !SliceFits(payload_end, pos, name_len)) {
       break;
     }
     const std::string series(reinterpret_cast<const char*>(data.data() + pos),
@@ -105,6 +113,11 @@ Result<uint64_t> ReplayWal(
     sink(series, point);
     ++replayed;
     offset = payload_end;
+  }
+  if (offset < data.size()) {
+    // The tail failed CRC or framing: expected after a crash, but worth
+    // watching in production — a rising rate means real corruption.
+    BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.torn_tail", 1);
   }
   BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.records_replayed", replayed);
   return replayed;

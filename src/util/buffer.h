@@ -25,10 +25,11 @@ inline void PutFixed(Bytes* out, T v) {
 }
 
 /// Reads a little-endian fixed-width integer at `offset`; returns false on
-/// short buffer.
+/// short buffer. The subtraction form keeps an attacker-controlled offset
+/// from wrapping the bounds check.
 template <typename T>
 inline bool GetFixed(BytesView data, size_t offset, T* v) {
-  if (offset + sizeof(T) > data.size()) return false;
+  if (data.size() < sizeof(T) || offset > data.size() - sizeof(T)) return false;
   std::memcpy(v, data.data() + offset, sizeof(T));
   return true;
 }

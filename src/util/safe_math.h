@@ -1,0 +1,66 @@
+#ifndef BOS_UTIL_SAFE_MATH_H_
+#define BOS_UTIL_SAFE_MATH_H_
+
+/// \file
+/// Checked arithmetic for untrusted decode paths.
+///
+/// Every length or offset read from an encoded stream is
+/// attacker-controlled: a guard written as `offset + len > size` wraps
+/// around when `len` is near `UINT64_MAX`, passes, and the subsequent
+/// read runs out of bounds. The helpers here make the overflow-free
+/// forms the path of least resistance:
+///
+///  * `CheckedAdd` / `CheckedMul` — overflow-detecting arithmetic for
+///    computing payload sizes from untrusted counts and widths.
+///  * `SliceFits` — the canonical `[offset, offset+len) ⊆ [0, size)`
+///    test, written so no intermediate sum can wrap.
+///  * `CheckedSlice` — `SliceFits` plus the subspan, as a
+///    `Result<BytesView>`, for decoders that hand a validated window to
+///    an unchecked reader (DESIGN.md, decode-safety invariants).
+///
+/// Decoders must validate with these helpers *before* handing bytes to
+/// deliberately unchecked readers such as `MsbBitCursor` or the batched
+/// unpack kernels.
+
+#include <cstdint>
+#include <string>
+
+#include "util/buffer.h"
+#include "util/result.h"
+
+namespace bos {
+
+/// Computes `a + b` into `*out`; returns false when the sum does not fit
+/// in 64 bits (`*out` is unspecified then).
+inline bool CheckedAdd(uint64_t a, uint64_t b, uint64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+
+/// Computes `a * b` into `*out`; returns false on 64-bit overflow.
+inline bool CheckedMul(uint64_t a, uint64_t b, uint64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+/// True iff the half-open window `[offset, offset + len)` lies inside a
+/// buffer of `size` bytes. Both operands may be attacker-controlled; the
+/// subtraction form cannot wrap.
+inline bool SliceFits(uint64_t size, uint64_t offset, uint64_t len) {
+  return offset <= size && len <= size - offset;
+}
+
+/// Validated subspan over untrusted bytes: returns `data[offset, offset+len)`
+/// or `Status::Corruption` mentioning `what` when the window runs past the
+/// end. `offset`/`len` are deliberately uint64_t so callers can pass
+/// varint-decoded values without a narrowing cast.
+inline Result<BytesView> CheckedSlice(BytesView data, uint64_t offset,
+                                      uint64_t len,
+                                      const char* what = "payload") {
+  if (!SliceFits(data.size(), offset, len)) {
+    return Status::Corruption(std::string(what) + " truncated");
+  }
+  return data.subspan(static_cast<size_t>(offset), static_cast<size_t>(len));
+}
+
+}  // namespace bos
+
+#endif  // BOS_UTIL_SAFE_MATH_H_

@@ -1,0 +1,365 @@
+// Regression matrix for the decode-hardening pass: each test crafts the
+// exact adversarial byte pattern that used to slip past a bounds check —
+// wrapping `offset + len` sums, overlong varints, unseekable WAL files,
+// reuse of a finished stream encoder — and pins the rejecting Status.
+// The complementary random/bit-flip coverage lives in
+// fuzz_robustness_test.cc and the fuzz/ targets.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bitpack/varint.h"
+#include "codecs/registry.h"
+#include "codecs/streaming.h"
+#include "storage/tsfile.h"
+#include "storage/wal.h"
+#include "telemetry/telemetry.h"
+#include "util/crc32.h"
+#include "util/safe_math.h"
+
+namespace bos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          ("bos_hardening_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+// ---------------------------------------------------------------------
+// SliceFits / CheckedAdd: the primitives everything else leans on.
+// ---------------------------------------------------------------------
+
+TEST(SafeMathTest, SliceFitsRejectsWrappingSum) {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE(SliceFits(100, 40, 60));
+  EXPECT_FALSE(SliceFits(100, 40, 61));
+  EXPECT_FALSE(SliceFits(100, 101, 0));
+  // offset + len wraps to a small number; the naive `off + len > size`
+  // guard accepted exactly this shape.
+  EXPECT_FALSE(SliceFits(100, 8, kMax - 4));
+  EXPECT_FALSE(SliceFits(kMax, 2, kMax - 1));
+  EXPECT_TRUE(SliceFits(kMax, 0, kMax));
+}
+
+TEST(SafeMathTest, CheckedAddReportsOverflow) {
+  constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  uint64_t sum = 0;
+  EXPECT_TRUE(CheckedAdd(kMax - 1, 1, &sum));
+  EXPECT_EQ(sum, kMax);
+  EXPECT_FALSE(CheckedAdd(kMax, 1, &sum));
+  EXPECT_FALSE(CheckedAdd(5, kMax - 3, &sum));
+}
+
+// ---------------------------------------------------------------------
+// Varint: overlong and truncated encodings.
+// ---------------------------------------------------------------------
+
+TEST(VarintHardeningTest, TenByteMaxValueDecodes) {
+  Bytes buf;
+  bitpack::PutVarint(&buf, std::numeric_limits<uint64_t>::max());
+  ASSERT_EQ(buf.size(), 10u);
+  size_t offset = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(bitpack::GetVarint(buf, &offset, &v).ok());
+  EXPECT_EQ(v, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(VarintHardeningTest, OverflowingTenthByteRejected) {
+  // Nine full groups put the 10th byte at shift 63, where only the low
+  // bit fits: 0x02 there would silently truncate to a wrong value.
+  Bytes buf(9, 0xFF);
+  buf.push_back(0x02);
+  size_t offset = 0;
+  uint64_t v = 0;
+  const Status st = bitpack::GetVarint(buf, &offset, &v);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(offset, 0u);  // a failed read must not advance the cursor
+}
+
+TEST(VarintHardeningTest, ElevenByteEncodingRejected) {
+  Bytes buf(10, 0x80);
+  buf.push_back(0x01);
+  size_t offset = 0;
+  uint64_t v = 0;
+  EXPECT_TRUE(bitpack::GetVarint(buf, &offset, &v).IsCorruption());
+}
+
+TEST(VarintHardeningTest, AllContinuationBytesRejected) {
+  const Bytes buf(16, 0x80);  // never terminates
+  size_t offset = 0;
+  uint64_t v = 0;
+  EXPECT_TRUE(bitpack::GetVarint(buf, &offset, &v).IsCorruption());
+}
+
+// ---------------------------------------------------------------------
+// Chunked stream frames: a 2^64-ish frame length must not wrap past the
+// buffer end (streaming.cc used `offset + frame_len > size`).
+// ---------------------------------------------------------------------
+
+TEST(StreamingHardeningTest, WrappingFrameLengthRejected) {
+  auto codec = *codecs::MakeSeriesCodec("TS2DIFF+BOS-B", 64);
+  Bytes stream;
+  bitpack::PutVarint(&stream, std::numeric_limits<uint64_t>::max() - 7);
+  stream.insert(stream.end(), 16, 0xAB);  // a little real data to wrap past
+  codecs::SeriesStreamDecoder decoder(codec, stream);
+  std::vector<int64_t> out;
+  const Status st = decoder.ReadAll(&out);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(StreamingHardeningTest, FrameLengthPastEndRejected) {
+  auto codec = *codecs::MakeSeriesCodec("TS2DIFF+BOS-B", 64);
+  Bytes stream;
+  bitpack::PutVarint(&stream, 1000);  // frame claims more than exists
+  stream.insert(stream.end(), 8, 0x00);
+  codecs::SeriesStreamDecoder decoder(codec, stream);
+  std::vector<int64_t> out;
+  EXPECT_TRUE(decoder.ReadAll(&out).IsCorruption());
+}
+
+TEST(StreamingHardeningTest, AppendAfterFinishIsLatchedError) {
+  auto codec = *codecs::MakeSeriesCodec("TS2DIFF+BOS-B", 64);
+  codecs::SeriesStreamEncoder encoder(codec, 4);
+  encoder.AppendSpan(std::vector<int64_t>{1, 2, 3, 4, 5});
+  ASSERT_TRUE(encoder.Finish().ok());
+  const size_t finished_size = encoder.sink()->size();
+
+  // The reuse bug: appends after Finish used to land frames after the
+  // end-of-stream marker, silently truncating the stream on decode.
+  encoder.Append(99);
+  EXPECT_EQ(encoder.sink()->size(), finished_size);  // sink untouched
+  EXPECT_TRUE(encoder.Finish().IsInvalidArgument());
+
+  // Reset starts a clean stream.
+  encoder.Reset();
+  EXPECT_FALSE(encoder.finished());
+  encoder.AppendSpan(std::vector<int64_t>{7, 8, 9});
+  ASSERT_TRUE(encoder.Finish().ok());
+  codecs::SeriesStreamDecoder decoder(codec, *encoder.sink());
+  std::vector<int64_t> out;
+  ASSERT_TRUE(decoder.ReadAll(&out).ok());
+  EXPECT_EQ(out, (std::vector<int64_t>{7, 8, 9}));
+}
+
+TEST(StreamingHardeningTest, FinishTwiceRejected) {
+  auto codec = *codecs::MakeSeriesCodec("TS2DIFF+BOS-B", 64);
+  codecs::SeriesStreamEncoder encoder(codec, 4);
+  encoder.Append(1);
+  ASSERT_TRUE(encoder.Finish().ok());
+  EXPECT_TRUE(encoder.Finish().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// RLE: a near-2^64 run length used to wrap the running total back under
+// the block length and reach the replication loop.
+// ---------------------------------------------------------------------
+
+TEST(RleHardeningTest, WrappingRunLengthRejected) {
+  auto codec = *codecs::MakeSeriesCodec("RLE+BP", 64);
+  Bytes stream;
+  bitpack::PutVarint(&stream, 8);  // n = 8 values in one block
+  bitpack::PutVarint(&stream, 2);  // two runs
+  bitpack::PutVarint(&stream, 5);  // total = 5
+  // total would wrap to 1 (<= 8) and request a ~2^64-value insert.
+  bitpack::PutVarint(&stream, std::numeric_limits<uint64_t>::max() - 3);
+  std::vector<int64_t> out;
+  const Status st = codec->Decompress(stream, &out);
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------
+// WAL replay: wrapping lengths inside records, and unseekable files.
+// ---------------------------------------------------------------------
+
+TEST(WalHardeningTest, HugePayloadLengthStopsReplay) {
+  const std::string path = TempPath("wal_payload");
+  Bytes log;
+  PutFixed<uint32_t>(&log, 0xDEADBEEF);  // any CRC; the length guard is first
+  bitpack::PutVarint(&log, std::numeric_limits<uint64_t>::max() - 2);
+  log.insert(log.end(), 32, 0x55);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(log.data()),
+            static_cast<std::streamsize>(log.size()));
+  }
+  uint64_t seen = 0;
+  auto replayed = storage::ReplayWal(
+      path, [&seen](const std::string&, const codecs::DataPoint&) { ++seen; });
+  ASSERT_TRUE(replayed.ok());  // torn tail is not an error
+  EXPECT_EQ(*replayed, 0u);
+  EXPECT_EQ(seen, 0u);
+  fs::remove(path);
+}
+
+TEST(WalHardeningTest, HugeNameLengthStopsReplay) {
+  // The payload passes CRC, so replay reaches the name-length guard:
+  // payload_end + name_len must not wrap.
+  const std::string path = TempPath("wal_name");
+  Bytes payload;
+  bitpack::PutVarint(&payload, std::numeric_limits<uint64_t>::max() - 9);
+  Bytes log;
+  PutFixed<uint32_t>(&log, Crc32(payload.data(), payload.size()));
+  bitpack::PutVarint(&log, payload.size());
+  log.insert(log.end(), payload.begin(), payload.end());
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(log.data()),
+            static_cast<std::streamsize>(log.size()));
+  }
+  uint64_t seen = 0;
+  auto replayed = storage::ReplayWal(
+      path, [&seen](const std::string&, const codecs::DataPoint&) { ++seen; });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 0u);
+  EXPECT_EQ(seen, 0u);
+  fs::remove(path);
+}
+
+TEST(WalHardeningTest, UnseekableFileIsIoErrorNotGiantAlloc) {
+  // ftell on a FIFO returns -1; casting that to size_t used to request a
+  // ~2^64-byte buffer. Open the FIFO O_RDWR first so replay's fopen does
+  // not block waiting for a writer.
+  const std::string path = TempPath("wal_fifo");
+  ASSERT_EQ(::mkfifo(path.c_str(), 0600), 0) << "mkfifo failed";
+  const int fd = ::open(path.c_str(), O_RDWR | O_NONBLOCK);
+  ASSERT_GE(fd, 0);
+  auto replayed = storage::ReplayWal(
+      path, [](const std::string&, const codecs::DataPoint&) {});
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_TRUE(replayed.status().IsIoError()) << replayed.status().ToString();
+  ::close(fd);
+  fs::remove(path);
+}
+
+TEST(WalHardeningTest, IntactPrefixSurvivesCorruptTail) {
+  const std::string path = TempPath("wal_prefix");
+  {
+    storage::WalWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(writer.Append("series", {i, i * 10}).ok());
+    }
+  }
+  // Append a torn record: valid-looking header, missing payload bytes.
+  {
+    Bytes tail;
+    PutFixed<uint32_t>(&tail, 0x12345678);
+    bitpack::PutVarint(&tail, 50);
+    tail.insert(tail.end(), 3, 0x00);  // 3 of the claimed 50 bytes
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write(reinterpret_cast<const char*>(tail.data()),
+            static_cast<std::streamsize>(tail.size()));
+  }
+  uint64_t seen = 0;
+  auto replayed = storage::ReplayWal(
+      path, [&seen](const std::string&, const codecs::DataPoint&) { ++seen; });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 5u);
+  EXPECT_EQ(seen, 5u);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// TsFile: truncation and in-place corruption must fail cleanly.
+// ---------------------------------------------------------------------
+
+Bytes WriteSampleTsFile(const std::string& path) {
+  storage::TsFileWriter writer(path, 64);
+  EXPECT_TRUE(writer.Open().ok());
+  std::vector<int64_t> values(200);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i * 3 % 97);
+  }
+  EXPECT_TRUE(writer.AppendSeries("a", "TS2DIFF+BOS-B", values).ok());
+  EXPECT_TRUE(writer.Finish().ok());
+  std::ifstream f(path, std::ios::binary);
+  return Bytes((std::istreambuf_iterator<char>(f)),
+               std::istreambuf_iterator<char>());
+}
+
+TEST(TsFileHardeningTest, TruncationsNeverCrash) {
+  const std::string path = TempPath("tsfile_trunc");
+  const Bytes full = WriteSampleTsFile(path);
+  ASSERT_GT(full.size(), 16u);
+  // Every truncation point: either Open fails, or the file opens and
+  // reads fail/succeed — any clean Status is fine, crashes are not.
+  for (size_t keep = 0; keep < full.size(); keep += 7) {
+    {
+      std::ofstream f(path, std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(full.data()),
+              static_cast<std::streamsize>(keep));
+    }
+    storage::TsFileReader reader;
+    const Status st = reader.Open(path);
+    if (st.ok()) {
+      std::vector<int64_t> out;
+      (void)reader.ReadSeries("a", &out);
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(TsFileHardeningTest, PageCorruptionIsDetected) {
+  const std::string path = TempPath("tsfile_flip");
+  Bytes full = WriteSampleTsFile(path);
+  ASSERT_GT(full.size(), 40u);
+  full[full.size() / 3] ^= 0x40;  // flip one bit inside the page region
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(full.data()),
+            static_cast<std::streamsize>(full.size()));
+  }
+  storage::TsFileReader reader;
+  const Status open_st = reader.Open(path);
+  if (open_st.ok()) {
+    std::vector<int64_t> out;
+    const Status read_st = reader.ReadSeries("a", &out);
+    EXPECT_FALSE(read_st.ok()) << "page CRC/header check missed a flip";
+  }
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: corrupt input is counted at the rejection funnels.
+// ---------------------------------------------------------------------
+
+TEST(RejectionTelemetryTest, CodecAndPforFunnelsCount) {
+  if (!telemetry::CompiledIn()) GTEST_SKIP() << "telemetry compiled out";
+  auto& registry = telemetry::Registry::Global();
+  auto& codec_rejects =
+      registry.GetCounter("bos.codecs.decode.corrupt_rejected");
+  auto& pfor_rejects = registry.GetCounter("bos.pfor.decode.corrupt_rejected");
+  const uint64_t codec_before = codec_rejects.value();
+  const uint64_t pfor_before = pfor_rejects.value();
+
+  Bytes bad;
+  bitpack::PutVarint(&bad, std::numeric_limits<uint64_t>::max() - 1);
+  auto codec = *codecs::MakeSeriesCodec("RLE+BP", 64);
+  std::vector<int64_t> out;
+  EXPECT_TRUE(codec->Decompress(bad, &out).IsCorruption());
+  EXPECT_GT(codec_rejects.value(), codec_before);
+
+  auto op = *codecs::MakeOperator("FASTPFOR");
+  size_t offset = 0;
+  out.clear();
+  EXPECT_FALSE(op->Decode(bad, &offset, &out).ok());
+  EXPECT_GT(pfor_rejects.value(), pfor_before);
+}
+
+}  // namespace
+}  // namespace bos

@@ -119,24 +119,41 @@ TEST(StreamingTest, TruncatedStreamFails) {
   }
 }
 
-TEST(StreamingTest, ReusableAfterFinish) {
+TEST(StreamingTest, ReuseRequiresReset) {
   SeriesStreamEncoder encoder(Codec("TS2DIFF+BP"), 64);
   encoder.Append(1);
   ASSERT_TRUE(encoder.Finish().ok());
-  const size_t first_stream_end = encoder.sink()->size();
+  EXPECT_TRUE(encoder.finished());
+  const Bytes first_stream = *encoder.sink();
+
+  // Append after Finish would land frames after the end-of-stream marker
+  // of the same buffer: the value is dropped and the error surfaces at
+  // the next Finish. The sink keeps the completed first stream intact.
+  encoder.Append(2);
+  EXPECT_TRUE(encoder.Finish().IsInvalidArgument());
+  EXPECT_EQ(*encoder.sink(), first_stream);
+
+  // Reset starts a fresh stream in an empty sink.
+  encoder.Reset();
+  EXPECT_EQ(encoder.values_appended(), 0u);
   encoder.Append(2);
   ASSERT_TRUE(encoder.Finish().ok());
 
-  // Two back-to-back streams in the sink.
-  BytesView all(*encoder.sink());
-  SeriesStreamDecoder first(Codec("TS2DIFF+BP"), all.subspan(0, first_stream_end));
   std::vector<int64_t> got;
+  SeriesStreamDecoder first(Codec("TS2DIFF+BP"), first_stream);
   ASSERT_TRUE(first.ReadAll(&got).ok());
   EXPECT_EQ(got, (std::vector<int64_t>{1}));
-  SeriesStreamDecoder second(Codec("TS2DIFF+BP"), all.subspan(first_stream_end));
   got.clear();
+  SeriesStreamDecoder second(Codec("TS2DIFF+BP"), *encoder.sink());
   ASSERT_TRUE(second.ReadAll(&got).ok());
   EXPECT_EQ(got, (std::vector<int64_t>{2}));
+}
+
+TEST(StreamingTest, FinishTwiceRejected) {
+  SeriesStreamEncoder encoder(Codec("TS2DIFF+BP"), 64);
+  encoder.Append(7);
+  ASSERT_TRUE(encoder.Finish().ok());
+  EXPECT_TRUE(encoder.Finish().IsInvalidArgument());
 }
 
 }  // namespace
