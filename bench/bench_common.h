@@ -112,6 +112,29 @@ inline double MinSecondsPerCall(Fn&& fn, int reps = 50) {
   return MinTicksPerCall(fn, reps) / TicksPerSecond();
 }
 
+/// Minimum *wall-clock* seconds for one call of `fn` over `reps`
+/// repetitions, one steady_clock reading per call.
+///
+/// Use this — not MinTicksPerCall — to time multi-threaded work such as
+/// exec::ParallelFor: the TSC read by CycleCount is a per-core counter
+/// on the *calling* thread, which parks while pool workers do the actual
+/// work, possibly migrating cores in between; a TSC delta around a
+/// parallel region is therefore neither one clock domain nor a measure
+/// of parallel progress. Wall time is the only axis on which a
+/// speedup-vs-threads curve means anything. The min-over-reps filter is
+/// the same noise rejection as MinTicksPerCall; steady_clock's coarser
+/// quantum is irrelevant at the millisecond scale of whole-series calls.
+template <typename Fn>
+inline double MinWallSecondsPerCall(Fn&& fn, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, Seconds(start));
+  }
+  return best;
+}
+
 /// One field value of a JSON-lines record: string, number, or bool.
 struct JsonValue {
   enum class Kind { kString, kNumber, kBool };

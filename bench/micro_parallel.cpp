@@ -1,0 +1,174 @@
+// Scaling curve for the exec subsystem (DESIGN.md section 9): encode and
+// decode MB/s of the chunk-parallel driver versus thread count, for the
+// raw BOS-B / BOS-M operators and the composed TS2DIFF+BOS-M /
+// TS2DIFF+BOS-B codecs, over Figure-8-shaped integer distributions.
+//
+// Emits BENCH_parallel.json (JSON lines, "bench":"parallel"); the
+// interesting ratio is mbps at 8 threads over mbps at 1 thread for a
+// given (spec, dataset, op) triple. Numbers depend on the machine's
+// actual core count — on a 1-core container every curve is flat.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "codecs/registry.h"
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+#include "data/dataset.h"
+#include "exec/parallel_codec.h"
+#include "exec/thread_pool.h"
+#include "util/buffer.h"
+#include "util/macros.h"
+
+namespace bos::bench {
+namespace {
+
+/// Adapts a bare PackingOperator to the SeriesCodec interface: a plain
+/// concatenation of self-delimiting blocks, no transform. This is the
+/// "raw operator" row of the scaling table; the chunk-parallel driver
+/// then block-parallelises it like any other codec.
+class RawOperatorCodec final : public codecs::SeriesCodec {
+ public:
+  explicit RawOperatorCodec(std::shared_ptr<const core::PackingOperator> op)
+      : op_(std::move(op)) {}
+
+  std::string name() const override { return std::string(op_->name()); }
+
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override {
+    for (size_t start = 0; start == 0 || start < values.size();
+         start += codecs::kDefaultBlockSize) {
+      const size_t len =
+          std::min(codecs::kDefaultBlockSize, values.size() - start);
+      BOS_RETURN_NOT_OK(op_->Encode(values.subspan(start, len), out));
+      if (values.empty()) break;
+    }
+    return Status::OK();
+  }
+
+  Status Decompress(BytesView data,
+                    std::vector<int64_t>* out) const override {
+    size_t offset = 0;
+    while (offset < data.size()) {
+      BOS_RETURN_NOT_OK(op_->Decode(data, &offset, out));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<const core::PackingOperator> op_;
+};
+
+std::shared_ptr<const codecs::SeriesCodec> MakeBenchCodec(
+    const std::string& spec) {
+  if (spec.find('+') != std::string::npos) {
+    auto codec = codecs::MakeSeriesCodec(spec);
+    return codec.ok() ? *codec : nullptr;
+  }
+  auto op = codecs::MakeOperator(spec);
+  if (!op.ok()) return nullptr;
+  return std::make_shared<RawOperatorCodec>(*op);
+}
+
+struct Cell {
+  double encode_mbps = 0;
+  double decode_mbps = 0;
+};
+
+Cell RunOne(const codecs::SeriesCodec& codec,
+            const std::vector<int64_t>& values, exec::ThreadPool* pool) {
+  exec::ParallelCodecOptions opts;
+  opts.pool = pool;
+
+  Bytes frame;
+  std::vector<int64_t> decoded;
+  bool failed = false;
+
+  // Per the MinWallSecondsPerCall contract: wall clock, min over reps —
+  // the caller parks while workers run, so TSC timing would be wrong.
+  const double encode_s = MinWallSecondsPerCall([&] {
+    frame.clear();
+    if (!exec::ParallelEncodeSeries(codec, values, &frame, opts).ok()) {
+      failed = true;
+    }
+  });
+  const double decode_s = MinWallSecondsPerCall([&] {
+    decoded.clear();
+    if (!exec::ParallelDecodeSeries(codec, frame, &decoded, opts).ok()) {
+      failed = true;
+    }
+  });
+  if (failed || decoded != values) {
+    std::fprintf(stderr, "FAILED: %s round-trip\n", codec.name().c_str());
+    return {};
+  }
+  const double mb = static_cast<double>(values.size() * sizeof(int64_t)) / 1e6;
+  return {mb / encode_s, mb / decode_s};
+}
+
+int Main() {
+  const std::vector<std::string> specs = {"BOS-B", "BOS-M", "TS2DIFF+BOS-B",
+                                          "TS2DIFF+BOS-M"};
+  const std::vector<std::string> dataset_abbrs = {"MT", "EE", "CS"};
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8, 16};
+  constexpr size_t kN = size_t{1} << 21;  // 2M values = 16 MB per series
+
+  JsonlWriter out("BENCH_parallel.json");
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open BENCH_parallel.json\n");
+    return 1;
+  }
+
+  std::printf("parallel codec scaling, n=%zu values, hardware threads=%u\n\n",
+              kN, std::thread::hardware_concurrency());
+  std::printf("%-14s %-4s %8s %12s %12s\n", "spec", "data", "threads",
+              "enc MB/s", "dec MB/s");
+  PrintRule(56);
+
+  for (const std::string& abbr : dataset_abbrs) {
+    auto info = data::FindDataset(abbr);
+    if (!info.ok()) {
+      std::fprintf(stderr, "unknown dataset %s\n", abbr.c_str());
+      return 1;
+    }
+    const std::vector<int64_t> values = data::GenerateInteger(*info, kN);
+
+    for (const std::string& spec : specs) {
+      auto codec = MakeBenchCodec(spec);
+      if (codec == nullptr) {
+        std::fprintf(stderr, "unknown spec %s\n", spec.c_str());
+        return 1;
+      }
+      double base_decode = 0;
+      for (size_t threads : thread_counts) {
+        exec::ThreadPool pool(threads);
+        const Cell cell = RunOne(*codec, values, &pool);
+        if (threads == 1) base_decode = cell.decode_mbps;
+        std::printf("%-14s %-4s %8zu %12.1f %12.1f\n", spec.c_str(),
+                    abbr.c_str(), threads, cell.encode_mbps, cell.decode_mbps);
+        out.WriteRecord(
+            "parallel",
+            {{"spec", spec},
+             {"dataset", abbr},
+             {"threads", threads},
+             {"n", kN},
+             {"encode_mbps", cell.encode_mbps},
+             {"decode_mbps", cell.decode_mbps},
+             {"decode_speedup_vs_1t",
+              base_decode > 0 ? cell.decode_mbps / base_decode : 0.0}});
+      }
+      PrintRule(56);
+    }
+  }
+  std::printf("\nwrote BENCH_parallel.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bos::bench
+
+int main() { return bos::bench::Main(); }

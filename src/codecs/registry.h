@@ -12,6 +12,23 @@
 
 namespace bos::codecs {
 
+/// Thread-safety contract (relied on by `src/exec/` and TsStore's
+/// parallel flush/compact):
+///
+///  * The registry is **frozen at compile time** — the operator and
+///    transform tables below are code, not mutable state, so there is no
+///    registration phase to guard. Every factory here is a pure function
+///    and may be called concurrently from any number of threads. (The
+///    only shared state the factories touch is the telemetry registry,
+///    whose registration path takes a mutex and whose updates are
+///    atomic.)
+///  * The returned `PackingOperator` / `SeriesCodec` instances are
+///    immutable after construction: `Encode`/`Decode` and
+///    `Compress`/`Decompress` are const and keep all working state on
+///    the stack. One shared instance may therefore encode/decode many
+///    blocks concurrently — implementations added to the registry must
+///    preserve this property.
+///
 /// Names of all registered packing operators, in the order Figure 10
 /// lists them: "BP", "PFOR", "NEWPFOR", "OPTPFOR", "FASTPFOR", "BOS-V",
 /// "BOS-B", "BOS-M" (plus "BOS-UPPER", the Figure-12 ablation).

@@ -21,6 +21,12 @@ namespace bos::core {
 ///
 /// Implementations: plain bit-packing (`BitPackingOperator`), the PFOR
 /// family (`src/pfor/`), and BOS-V / BOS-B / BOS-M (`BosOperator`).
+///
+/// Thread safety: operators are immutable after construction —
+/// `Encode`/`Decode` are const and keep all working state on the stack,
+/// so one shared instance may process independent blocks concurrently
+/// (the exec layer's chunk-parallel driver depends on this; see the
+/// contract in codecs/registry.h).
 class PackingOperator {
  public:
   virtual ~PackingOperator() = default;

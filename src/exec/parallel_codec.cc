@@ -1,0 +1,191 @@
+#include "exec/parallel_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "bitpack/varint.h"
+#include "telemetry/telemetry.h"
+#include "util/macros.h"
+#include "util/safe_math.h"
+
+namespace bos::exec {
+namespace {
+
+// Encodes chunk `i` of `values` exactly as the serial path would: one
+// independent Compress call into the chunk's own buffer.
+Status EncodeOneChunk(const codecs::SeriesCodec& codec,
+                      std::span<const int64_t> values, size_t chunk_values,
+                      size_t i, Bytes* payload) {
+  const size_t begin = i * chunk_values;
+  const size_t len = std::min(chunk_values, values.size() - begin);
+  return codec.Compress(values.subspan(begin, len), payload);
+}
+
+// Stitches the chunk directory and payloads; shared by the serial and
+// parallel encoders so the frame bytes come from one place.
+void StitchFrame(std::span<const int64_t> values, size_t chunk_values,
+                 const std::vector<Bytes>& payloads, Bytes* out) {
+  bitpack::PutVarint(out, values.size());
+  bitpack::PutVarint(out, chunk_values);
+  bitpack::PutVarint(out, payloads.size());
+  for (const Bytes& p : payloads) bitpack::PutVarint(out, p.size());
+  for (const Bytes& p : payloads) out->insert(out->end(), p.begin(), p.end());
+}
+
+struct FrameHeader {
+  uint64_t total = 0;
+  uint64_t chunk_values = 0;
+  uint64_t num_chunks = 0;
+  // Validated [offset, size) window of each chunk payload within `data`.
+  std::vector<std::pair<size_t, size_t>> payloads;
+};
+
+// Parses and fully validates the chunk directory. All lengths are
+// untrusted; every sum goes through checked arithmetic and the payloads
+// must tile the rest of the buffer exactly.
+Status ParseFrame(BytesView data, FrameHeader* hdr) {
+  size_t offset = 0;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &hdr->total));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &hdr->chunk_values));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &hdr->num_chunks));
+  if (hdr->total > codecs::kMaxStreamValues) {
+    return Status::Corruption("chunked frame: total too large");
+  }
+  if (hdr->chunk_values == 0) {
+    return Status::Corruption("chunked frame: zero chunk size");
+  }
+  const uint64_t expect_chunks =
+      hdr->total == 0 ? 0
+                      : (hdr->total + hdr->chunk_values - 1) / hdr->chunk_values;
+  if (hdr->num_chunks != expect_chunks) {
+    return Status::Corruption("chunked frame: chunk count mismatch");
+  }
+  // Every directory entry costs at least one byte, so a hostile header
+  // claiming more chunks than remaining bytes is rejected before the
+  // directory vector is allocated.
+  if (hdr->num_chunks > data.size() - offset) {
+    return Status::Corruption("chunked frame: directory truncated");
+  }
+  std::vector<uint64_t> sizes(hdr->num_chunks);
+  for (uint64_t i = 0; i < hdr->num_chunks; ++i) {
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &sizes[i]));
+  }
+  uint64_t pos = offset;
+  hdr->payloads.reserve(hdr->num_chunks);
+  for (uint64_t i = 0; i < hdr->num_chunks; ++i) {
+    if (!SliceFits(data.size(), pos, sizes[i])) {
+      return Status::Corruption("chunked frame: payload truncated");
+    }
+    hdr->payloads.emplace_back(static_cast<size_t>(pos),
+                               static_cast<size_t>(sizes[i]));
+    pos += sizes[i];  // cannot wrap: SliceFits bounds it by data.size()
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("chunked frame: trailing bytes");
+  }
+  return Status::OK();
+}
+
+// Decodes chunk `i` into its slot of `out` (pre-sized by the caller) and
+// checks the count matches the directory's tiling.
+Status DecodeOneChunk(const codecs::SeriesCodec& codec, BytesView data,
+                      const FrameHeader& hdr, size_t i, int64_t* slot_begin) {
+  const auto [pay_off, pay_len] = hdr.payloads[i];
+  const uint64_t begin = i * hdr.chunk_values;
+  const uint64_t expect =
+      std::min<uint64_t>(hdr.chunk_values, hdr.total - begin);
+  std::vector<int64_t> local;
+  BOS_RETURN_NOT_OK(codec.Decompress(data.subspan(pay_off, pay_len), &local));
+  if (local.size() != expect) {
+    return Status::Corruption("chunked frame: chunk value count mismatch");
+  }
+  std::memcpy(slot_begin, local.data(), local.size() * sizeof(int64_t));
+  return Status::OK();
+}
+
+ThreadPool& PoolOf(const ParallelCodecOptions& options) {
+  return options.pool != nullptr ? *options.pool : ThreadPool::Default();
+}
+
+size_t ChunkValuesOf(const ParallelCodecOptions& options) {
+  return std::max<size_t>(1, options.chunk_values);
+}
+
+}  // namespace
+
+Status ParallelEncodeSeries(const codecs::SeriesCodec& codec,
+                            std::span<const int64_t> values, Bytes* out,
+                            const ParallelCodecOptions& options) {
+  BOS_TELEMETRY_SPAN("bos.exec.codec.encode_ns");
+  const size_t chunk_values = ChunkValuesOf(options);
+  const size_t num_chunks =
+      values.empty() ? 0 : (values.size() + chunk_values - 1) / chunk_values;
+  BOS_TELEMETRY_COUNTER_ADD("bos.exec.codec.encode_chunks", num_chunks);
+  std::vector<Bytes> payloads(num_chunks);
+  BOS_RETURN_NOT_OK(PoolOf(options).ParallelFor(
+      num_chunks, 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          BOS_RETURN_NOT_OK(
+              EncodeOneChunk(codec, values, chunk_values, i, &payloads[i]));
+        }
+        return Status::OK();
+      }));
+  StitchFrame(values, chunk_values, payloads, out);
+  return Status::OK();
+}
+
+Status ParallelDecodeSeries(const codecs::SeriesCodec& codec, BytesView data,
+                            std::vector<int64_t>* out,
+                            const ParallelCodecOptions& options) {
+  BOS_TELEMETRY_SPAN("bos.exec.codec.decode_ns");
+  FrameHeader hdr;
+  BOS_RETURN_NOT_OK(codecs::CountDecodeRejection(ParseFrame(data, &hdr)));
+  const size_t base = out->size();
+  out->resize(base + static_cast<size_t>(hdr.total));
+  const Status st = PoolOf(options).ParallelFor(
+      hdr.num_chunks, 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          BOS_RETURN_NOT_OK(DecodeOneChunk(
+              codec, data, hdr, i,
+              out->data() + base + i * static_cast<size_t>(hdr.chunk_values)));
+        }
+        return Status::OK();
+      });
+  if (!st.ok()) out->resize(base);  // leave no partially decoded tail
+  return codecs::CountDecodeRejection(st);
+}
+
+Status SerialEncodeChunked(const codecs::SeriesCodec& codec,
+                           std::span<const int64_t> values, Bytes* out,
+                           size_t chunk_values) {
+  chunk_values = std::max<size_t>(1, chunk_values);
+  const size_t num_chunks =
+      values.empty() ? 0 : (values.size() + chunk_values - 1) / chunk_values;
+  std::vector<Bytes> payloads(num_chunks);
+  for (size_t i = 0; i < num_chunks; ++i) {
+    BOS_RETURN_NOT_OK(
+        EncodeOneChunk(codec, values, chunk_values, i, &payloads[i]));
+  }
+  StitchFrame(values, chunk_values, payloads, out);
+  return Status::OK();
+}
+
+Status SerialDecodeChunked(const codecs::SeriesCodec& codec, BytesView data,
+                           std::vector<int64_t>* out) {
+  FrameHeader hdr;
+  BOS_RETURN_NOT_OK(codecs::CountDecodeRejection(ParseFrame(data, &hdr)));
+  const size_t base = out->size();
+  out->resize(base + static_cast<size_t>(hdr.total));
+  for (size_t i = 0; i < hdr.num_chunks; ++i) {
+    const Status st = DecodeOneChunk(
+        codec, data, hdr, i,
+        out->data() + base + i * static_cast<size_t>(hdr.chunk_values));
+    if (!st.ok()) {
+      out->resize(base);
+      return codecs::CountDecodeRejection(st);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::exec

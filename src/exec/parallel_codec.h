@@ -1,0 +1,78 @@
+#ifndef BOS_EXEC_PARALLEL_CODEC_H_
+#define BOS_EXEC_PARALLEL_CODEC_H_
+
+/// \file
+/// Chunk-parallel series encode/decode (DESIGN.md §9).
+///
+/// A series is split into block-aligned chunks; each chunk is compressed
+/// independently through the ordinary `SeriesCodec` interface (so every
+/// TRANSFORM+OPERATOR spec in the registry parallelises for free), and
+/// the chunk payloads are stitched behind a framed chunk directory:
+///
+///   varint total_values | varint chunk_values | varint num_chunks |
+///   num_chunks x varint payload_size | payloads, in chunk order
+///
+/// **Determinism invariant:** each chunk is encoded into its own buffer
+/// and buffers are concatenated in chunk order, so the frame is
+/// byte-identical regardless of thread count or scheduling order — and
+/// identical to `SerialEncodeChunked`, the no-pool reference path
+/// (tests/parallel_codec_test.cc pins this for every registered spec at
+/// 1/2/7/16 threads). Each payload is exactly what `codec.Compress`
+/// produces for that chunk, i.e. the serial bytes of the underlying
+/// codec.
+///
+/// The directory is what makes *decode* parallel: block streams are
+/// self-delimiting but not indexable, so without the per-chunk sizes a
+/// reader must decode sequentially to find block boundaries.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codecs/series_codec.h"
+#include "exec/thread_pool.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::exec {
+
+/// Default chunk length: 16 BOS blocks. Big enough that per-chunk codec
+/// setup amortises, small enough that short series still fan out.
+inline constexpr size_t kDefaultChunkValues = 16 * codecs::kDefaultBlockSize;
+
+struct ParallelCodecOptions {
+  /// Values per chunk. Must stay a multiple of the codec block size for
+  /// the per-chunk streams to be block-aligned (the default block size
+  /// divides kDefaultChunkValues). Clamped to >= 1.
+  size_t chunk_values = kDefaultChunkValues;
+
+  /// Pool to run on; nullptr uses ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+};
+
+/// Compresses `values` into a chunk-directory frame appended to `out`,
+/// encoding chunks on the pool. Byte-identical to SerialEncodeChunked for
+/// any thread count.
+Status ParallelEncodeSeries(const codecs::SeriesCodec& codec,
+                            std::span<const int64_t> values, Bytes* out,
+                            const ParallelCodecOptions& options = {});
+
+/// Decompresses a chunk-directory frame (the whole of `data`), decoding
+/// chunks on the pool. Appends to `out`; the result is identical to
+/// SerialDecodeChunked.
+Status ParallelDecodeSeries(const codecs::SeriesCodec& codec, BytesView data,
+                            std::vector<int64_t>* out,
+                            const ParallelCodecOptions& options = {});
+
+/// Single-threaded reference implementations of the same frame. These
+/// never touch a pool; the determinism tests diff the parallel paths
+/// against them.
+Status SerialEncodeChunked(const codecs::SeriesCodec& codec,
+                           std::span<const int64_t> values, Bytes* out,
+                           size_t chunk_values = kDefaultChunkValues);
+Status SerialDecodeChunked(const codecs::SeriesCodec& codec, BytesView data,
+                           std::vector<int64_t>* out);
+
+}  // namespace bos::exec
+
+#endif  // BOS_EXEC_PARALLEL_CODEC_H_

@@ -1,0 +1,214 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.h"
+
+namespace bos::exec {
+namespace {
+
+// Identity of the current thread inside a pool, for Submit's push-to-own-
+// deque fast path and for ParallelFor nesting diagnostics.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  BOS_TELEMETRY_GAUGE_SET("bos.exec.pool.threads",
+                          static_cast<int64_t>(num_threads));
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+  // Workers only exit once every queue is empty, so nothing is dropped.
+}
+
+ThreadPool& ThreadPool::Default() {
+  // Leaked: the default pool's parked workers outlive every user,
+  // including exit-time destructors that might still encode.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  BOS_TELEMETRY_COUNTER_ADD("bos.exec.pool.tasks", 1);
+  if (tls_worker.pool == this) {
+    Worker& w = *workers_[tls_worker.index];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.deque.push_front(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    injector_.push_back(std::move(task));
+  }
+  const size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  BOS_TELEMETRY_GAUGE_SET("bos.exec.pool.queue_depth",
+                          static_cast<int64_t>(depth));
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    cv_.notify_one();
+  }
+}
+
+bool ThreadPool::PopTask(size_t self_index, std::function<void()>* task) {
+  // 1. Own deque, front (LIFO, hottest task).
+  {
+    Worker& w = *workers_[self_index];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (!w.deque.empty()) {
+      *task = std::move(w.deque.front());
+      w.deque.pop_front();
+      return true;
+    }
+  }
+  // 2. Global injector, front (FIFO, external submission order).
+  {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    if (!injector_.empty()) {
+      *task = std::move(injector_.front());
+      injector_.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal from a sibling's back (coldest task). Start at the next
+  // worker over so victims differ per thief.
+  for (size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(self_index + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.deque.empty()) {
+      *task = std::move(victim.deque.back());
+      victim.deque.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      BOS_TELEMETRY_COUNTER_ADD("bos.exec.pool.steals", 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::RunOneTask(size_t self_index) {
+  std::function<void()> task;
+  if (!PopTask(self_index, &task)) return false;
+  pending_.fetch_sub(1, std::memory_order_release);
+  {
+    BOS_TELEMETRY_SPAN("bos.exec.task.run_ns");
+    task();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_worker.pool = this;
+  tls_worker.index = index;
+  for (;;) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    // Re-check under the parking-lot lock: a Submit between our failed
+    // scan and this wait would otherwise be a lost wakeup.
+    cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+// Shared state of one ParallelFor call. Runner tasks hold a shared_ptr,
+// so a runner scheduled after the call already returned finds the claim
+// counter exhausted and exits without touching the (caller-owned) body.
+struct ThreadPool::ForState {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  // Owned by the ParallelFor stack frame; only dereferenced while a
+  // chunk is executing, which always happens before the caller returns.
+  const std::function<Status(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  Status first_error;
+
+  void RunChunks() {
+    for (;;) {
+      const size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      if (!failed.load(std::memory_order_acquire)) {
+        const size_t begin = chunk * grain;
+        const size_t end = std::min(n, begin + grain);
+        Status st = (*body)(begin, end);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) first_error = std::move(st);
+          failed.store(true, std::memory_order_release);
+        }
+      }
+      // Drained-on-error chunks still count as completed so the caller's
+      // wait condition stays a single counter.
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+Status ThreadPool::ParallelFor(
+    size_t n, size_t grain,
+    const std::function<Status(size_t begin, size_t end)>& body) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks == 1) return body(0, n);
+  BOS_TELEMETRY_COUNTER_ADD("bos.exec.parallel_for.calls", 1);
+  BOS_TELEMETRY_SPAN("bos.exec.parallel_for.span_ns");
+
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  // One runner per worker is enough: each runner loops over the claim
+  // counter. The caller is runner number zero, so at most
+  // num_chunks - 1 helpers are useful.
+  const size_t helpers = std::min(num_threads_, num_chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state] { state->RunChunks(); });
+  }
+  state->RunChunks();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == num_chunks;
+  });
+  return state->first_error;
+}
+
+}  // namespace bos::exec

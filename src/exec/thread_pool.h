@@ -1,0 +1,111 @@
+#ifndef BOS_EXEC_THREAD_POOL_H_
+#define BOS_EXEC_THREAD_POOL_H_
+
+/// \file
+/// Fixed-size work-stealing thread pool (DESIGN.md §9).
+///
+/// Each worker owns a deque it pushes and pops from the front (LIFO: the
+/// task most recently submitted by a worker is the one whose data is
+/// hottest); idle workers first drain the global injector queue (FIFO:
+/// external submissions keep their order), then steal from the *back* of
+/// a sibling's deque (the coldest task, minimising contention with the
+/// owner). All queues are mutex-guarded — the pool favours being easy to
+/// prove data-race-free (it is part of the TSan CI job) over lock-free
+/// peak throughput; the codec chunks it schedules run for microseconds,
+/// so queue cost is noise.
+///
+/// `ParallelFor` is the only construct library code should need. It is
+/// **cooperative**: the calling thread claims and executes chunks
+/// alongside the workers, so calling it from inside a pool task (nested
+/// parallelism) can never deadlock — in the worst case the caller simply
+/// executes every chunk itself. Chunk claiming is a single atomic
+/// counter; results are whatever the body writes into caller-owned
+/// slots, so output is deterministic regardless of which thread runs
+/// which chunk.
+///
+/// Error handling: the body returns `Status`. The first non-OK status
+/// (in completion order) wins and is returned from `ParallelFor`;
+/// chunks not yet started when the error lands are drained without
+/// running the body. Nothing throws; shutdown joins every worker.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bos::exec {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 picks the hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains every queued task, then joins all workers. Safe to call with
+  /// tasks still queued; ParallelFor callers never outlive their chunks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide shared pool, created on first use and never destroyed
+  /// (its workers park when idle). Sized to the hardware concurrency.
+  static ThreadPool& Default();
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Enqueues a fire-and-forget task. Called from a worker of this pool
+  /// the task goes to that worker's own deque (LIFO); called from any
+  /// other thread it goes to the global injector (FIFO).
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(begin, end)` over disjoint chunks of [0, n), each at
+  /// most `grain` long, on the pool plus the calling thread. Returns the
+  /// first error (remaining chunks are skipped) or OK. `grain` == 0 is
+  /// treated as 1. A single-chunk range runs inline with no scheduling.
+  Status ParallelFor(size_t n, size_t grain,
+                     const std::function<Status(size_t begin, size_t end)>& body);
+
+  /// Lifetime total of tasks stolen from a sibling worker's deque
+  /// (mirrored in the `bos.exec.pool.steals` telemetry counter).
+  uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+  };
+  struct ForState;
+
+  void WorkerLoop(size_t index);
+  /// Pops one task (own deque, injector, then steal) and runs it.
+  bool RunOneTask(size_t self_index);
+  bool PopTask(size_t self_index, std::function<void()>* task);
+
+  size_t num_threads_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex injector_mu_;
+  std::deque<std::function<void()>> injector_;
+
+  // Parking lot: pending_ counts queued-but-unclaimed tasks; workers
+  // sleep on cv_ only after a full scan finds nothing.
+  std::mutex sleep_mu_;
+  std::condition_variable cv_;
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> steals_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bos::exec
+
+#endif  // BOS_EXEC_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "codecs/advisor.h"
+#include "telemetry/telemetry.h"
 #include "util/macros.h"
 
 namespace bos::storage {
@@ -67,6 +68,22 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(const StoreOptions& options) {
   return store;
 }
 
+exec::ThreadPool& TsStore::Pool() {
+  if (options_.threads == 0) return exec::ThreadPool::Default();
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<exec::ThreadPool>(options_.threads);
+  }
+  return *owned_pool_;
+}
+
+Status TsStore::MaybeSyncWal(size_t appended) {
+  if (wal_ == nullptr || options_.wal_sync_every_n == 0) return Status::OK();
+  wal_unsynced_appends_ += appended;
+  if (wal_unsynced_appends_ < options_.wal_sync_every_n) return Status::OK();
+  wal_unsynced_appends_ = 0;
+  return wal_->Sync();
+}
+
 Result<TsFileReader*> TsStore::ReaderFor(const std::string& path) {
   auto it = readers_.find(path);
   if (it == readers_.end()) {
@@ -85,7 +102,10 @@ std::string TsStore::NextFileName() {
 }
 
 Status TsStore::Write(const std::string& series, codecs::DataPoint point) {
-  if (wal_ != nullptr) BOS_RETURN_NOT_OK(wal_->Append(series, point));
+  if (wal_ != nullptr) {
+    BOS_RETURN_NOT_OK(wal_->Append(series, point));
+    BOS_RETURN_NOT_OK(MaybeSyncWal(1));
+  }
   memtable_[series].push_back(point);
   ++memtable_size_;
   if (memtable_size_ >= options_.memtable_points) return Flush();
@@ -98,6 +118,7 @@ Status TsStore::WriteBatch(const std::string& series,
     for (const codecs::DataPoint& p : points) {
       BOS_RETURN_NOT_OK(wal_->Append(series, p));
     }
+    BOS_RETURN_NOT_OK(MaybeSyncWal(points.size()));
   }
   auto& buffer = memtable_[series];
   buffer.insert(buffer.end(), points.begin(), points.end());
@@ -113,24 +134,61 @@ std::string TsStore::SpecFor(const std::string& series) const {
 
 Status TsStore::Flush() {
   if (memtable_size_ == 0) return Status::OK();
+  BOS_TELEMETRY_SPAN("bos.storage.flush.span_ns");
+
+  // Phase 1 (parallel): sort, advise, and compress every series into
+  // memory. Each job owns its slot, the memtable and advised_specs_ are
+  // only read, and page bytes do not depend on scheduling — so the file
+  // written below is byte-identical to a serial flush.
+  struct FlushJob {
+    const std::string* name = nullptr;
+    std::vector<codecs::DataPoint>* points = nullptr;
+    std::string advised;  // empty = no new advice for this series
+    EncodedSeries encoded;
+  };
+  std::vector<FlushJob> jobs;
+  jobs.reserve(memtable_.size());
+  for (auto& [series, points] : memtable_) {
+    jobs.push_back({&series, &points, {}, {}});
+  }
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.flush.series", jobs.size());
+  BOS_RETURN_NOT_OK(Pool().ParallelFor(
+      jobs.size(), 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t j = begin; j < end; ++j) {
+          FlushJob& job = jobs[j];
+          std::stable_sort(job.points->begin(), job.points->end(), TimeLess);
+          std::string spec = SpecFor(*job.name);
+          if (options_.auto_advise &&
+              advised_specs_.find(*job.name) == advised_specs_.end()) {
+            std::vector<int64_t> values(job.points->size());
+            for (size_t i = 0; i < values.size(); ++i) {
+              values[i] = (*job.points)[i].value;
+            }
+            auto rec = codecs::AdviseCodec(values);
+            if (rec.ok()) {
+              const size_t bar = options_.spec.find('|');
+              const std::string time_half =
+                  bar == std::string::npos ? "TS2DIFF+BOS-B"
+                                           : options_.spec.substr(0, bar);
+              job.advised = time_half + "|" + rec->spec;
+              spec = job.advised;
+            }
+          }
+          BOS_ASSIGN_OR_RETURN(
+              job.encoded, EncodeTimeSeriesPages(*job.name, spec, *job.points,
+                                                 options_.page_size));
+        }
+        return Status::OK();
+      }));
+
+  // Phase 2 (serial): commit advice and write the file in memtable
+  // (map, i.e. name) order.
   const std::string path = NextFileName();
   TsFileWriter writer(path, options_.page_size);
   BOS_RETURN_NOT_OK(writer.Open());
-  for (auto& [series, points] : memtable_) {
-    std::stable_sort(points.begin(), points.end(), TimeLess);
-    if (options_.auto_advise && advised_specs_.find(series) == advised_specs_.end()) {
-      std::vector<int64_t> values(points.size());
-      for (size_t i = 0; i < points.size(); ++i) values[i] = points[i].value;
-      auto rec = codecs::AdviseCodec(values);
-      if (rec.ok()) {
-        const size_t bar = options_.spec.find('|');
-        const std::string time_half =
-            bar == std::string::npos ? "TS2DIFF+BOS-B"
-                                     : options_.spec.substr(0, bar);
-        advised_specs_[series] = time_half + "|" + rec->spec;
-      }
-    }
-    BOS_RETURN_NOT_OK(writer.AppendTimeSeries(series, SpecFor(series), points));
+  for (FlushJob& job : jobs) {
+    if (!job.advised.empty()) advised_specs_[*job.name] = job.advised;
+    BOS_RETURN_NOT_OK(writer.AppendEncoded(std::move(job.encoded)));
   }
   BOS_RETURN_NOT_OK(writer.Finish());
   files_.push_back(path);
@@ -143,11 +201,30 @@ Status TsStore::Flush() {
 
 Status TsStore::Query(const std::string& series, int64_t t_min, int64_t t_max,
                       std::vector<codecs::DataPoint>* out) {
-  std::vector<codecs::DataPoint> merged;
+  // Readers are opened serially (the cache map mutates), then every
+  // file's pages are read and decoded in parallel into per-file slots —
+  // concatenating the slots in file order keeps the merge input, and so
+  // the result, identical to the serial scan.
+  std::vector<TsFileReader*> readers;
+  readers.reserve(files_.size());
   for (const std::string& path : files_) {
     BOS_ASSIGN_OR_RETURN(TsFileReader* reader, ReaderFor(path));
-    if (!reader->FindSeries(series).ok()) continue;  // not in this file
-    BOS_RETURN_NOT_OK(reader->ReadTimeRange(series, t_min, t_max, &merged));
+    readers.push_back(reader);
+  }
+  std::vector<std::vector<codecs::DataPoint>> parts(readers.size());
+  BOS_RETURN_NOT_OK(Pool().ParallelFor(
+      readers.size(), 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          if (!readers[i]->FindSeries(series).ok()) continue;  // not here
+          BOS_RETURN_NOT_OK(
+              readers[i]->ReadTimeRange(series, t_min, t_max, &parts[i]));
+        }
+        return Status::OK();
+      }));
+
+  std::vector<codecs::DataPoint> merged;
+  for (const auto& part : parts) {
+    merged.insert(merged.end(), part.begin(), part.end());
   }
   const auto it = memtable_.find(series);
   if (it != memtable_.end()) {
@@ -206,21 +283,40 @@ Result<AggregateResult> TsStore::Aggregate(const std::string& series) {
 Status TsStore::Compact() {
   BOS_RETURN_NOT_OK(Flush());
   if (files_.size() <= 1) return Status::OK();
+  BOS_TELEMETRY_SPAN("bos.storage.compact.span_ns");
 
-  // Collect every series across all files, fully merged.
-  std::set<std::string> names;
+  // Collect every series across all files (and warm the reader cache so
+  // the parallel phase below never mutates it).
+  std::set<std::string> names_set;
   for (const std::string& path : files_) {
     BOS_ASSIGN_OR_RETURN(TsFileReader* reader, ReaderFor(path));
-    for (const SeriesInfo& s : reader->series()) names.insert(s.name);
+    for (const SeriesInfo& s : reader->series()) names_set.insert(s.name);
   }
+  const std::vector<std::string> names(names_set.begin(), names_set.end());
 
+  // Parallel: merge and recompress each series into memory. The inner
+  // Query also fans out per file — the pool's ParallelFor nests safely.
+  // The memtable is empty after the Flush above, so Query only touches
+  // the immutable files.
+  std::vector<EncodedSeries> rebuilt(names.size());
+  BOS_RETURN_NOT_OK(Pool().ParallelFor(
+      names.size(), 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          std::vector<codecs::DataPoint> all;
+          BOS_RETURN_NOT_OK(Query(names[i], INT64_MIN, INT64_MAX, &all));
+          BOS_ASSIGN_OR_RETURN(
+              rebuilt[i], EncodeTimeSeriesPages(names[i], options_.spec, all,
+                                                options_.page_size));
+        }
+        return Status::OK();
+      }));
+
+  // Serial: write the merged file in name order, then swap it in.
   const std::string path = NextFileName();
   TsFileWriter writer(path, options_.page_size);
   BOS_RETURN_NOT_OK(writer.Open());
-  for (const std::string& name : names) {
-    std::vector<codecs::DataPoint> all;
-    BOS_RETURN_NOT_OK(Query(name, INT64_MIN, INT64_MAX, &all));
-    BOS_RETURN_NOT_OK(writer.AppendTimeSeries(name, options_.spec, all));
+  for (EncodedSeries& series : rebuilt) {
+    BOS_RETURN_NOT_OK(writer.AppendEncoded(std::move(series)));
   }
   BOS_RETURN_NOT_OK(writer.Finish());
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "codecs/timeseries.h"
+#include "exec/thread_pool.h"
 #include "storage/tsfile.h"
 #include "storage/wal.h"
 #include "util/result.h"
@@ -34,6 +35,17 @@ struct StoreOptions {
   /// on its values and pins the recommended value codec for that series
   /// (timestamps keep the spec's time half).
   bool auto_advise = false;
+
+  /// Workers for the internal flush/compact/query fan-out. 0 shares the
+  /// process-wide `exec::ThreadPool::Default()`; any other value gives
+  /// this store a private pool of that many threads.
+  size_t threads = 0;
+
+  /// fsync the WAL after every N appends (0 = never fsync explicitly;
+  /// appends still flush to the OS page cache, so they survive a process
+  /// crash but not a power failure). Syncs are counted in telemetry as
+  /// `bos.storage.wal.syncs`.
+  size_t wal_sync_every_n = 0;
 };
 
 /// \brief A miniature IoTDB-style time-series store: an in-memory
@@ -43,8 +55,15 @@ struct StoreOptions {
 /// folds all files into one.
 ///
 /// This is the write/read path BOS sits on in its Apache IoTDB
-/// deployment (paper §VII), at laptop scale. Single-threaded by design;
-/// callers serialize access.
+/// deployment (paper §VII), at laptop scale.
+///
+/// Threading model: the public API is externally synchronized — callers
+/// serialize access, as before — but the heavy operations fan out
+/// internally on an `exec::ThreadPool` (see `StoreOptions::threads`):
+/// `Flush()` compresses series concurrently, `Query()` decodes files
+/// concurrently, and `Compact()` rebuilds series concurrently. The
+/// fan-out is deterministic: flushed files and query results are
+/// byte-identical to the serial versions regardless of thread count.
 class TsStore {
  public:
   /// Opens (or creates) a store in `options.dir`, adopting any TsFile-lite
@@ -93,11 +112,20 @@ class TsStore {
 
   std::string NextFileName();
 
+  /// The pool the internal fan-out runs on (shared default or private,
+  /// per StoreOptions::threads; the private pool is created lazily).
+  exec::ThreadPool& Pool();
+
+  /// Applies the wal_sync_every_n policy after `appended` new records.
+  Status MaybeSyncWal(size_t appended);
+
   /// Cached reader for an immutable file (files never change once
   /// written, so readers stay valid until the file is removed).
   Result<TsFileReader*> ReaderFor(const std::string& path);
 
   StoreOptions options_;
+  std::unique_ptr<exec::ThreadPool> owned_pool_;
+  size_t wal_unsynced_appends_ = 0;
   std::unique_ptr<WalWriter> wal_;
   std::map<std::string, std::unique_ptr<TsFileReader>> readers_;
   std::map<std::string, std::vector<codecs::DataPoint>> memtable_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 
 #include "bitpack/varint.h"
 #include "codecs/registry.h"
@@ -92,102 +93,137 @@ Status TsFileWriter::CheckAppendable(const std::string& name) const {
 namespace {
 
 // Value statistics of one page, for aggregate pushdown.
-void FillValueStats(std::span<const int64_t> values, PageInfo* pi) {
+void FillValueStats(std::span<const int64_t> values, EncodedPage* page) {
   if (values.empty()) return;
-  pi->min_value = pi->max_value = values[0];
+  page->min_value = page->max_value = values[0];
   uint64_t sum = 0;
   for (int64_t v : values) {
-    pi->min_value = std::min(pi->min_value, v);
-    pi->max_value = std::max(pi->max_value, v);
+    page->min_value = std::min(page->min_value, v);
+    page->max_value = std::max(page->max_value, v);
     sum += static_cast<uint64_t>(v);
   }
-  pi->sum_value = static_cast<int64_t>(sum);
+  page->sum_value = static_cast<int64_t>(sum);
 }
 
 }  // namespace
 
-Status TsFileWriter::WritePage(const Bytes& payload, uint64_t count,
-                               uint64_t first_index, int64_t min_time,
-                               int64_t max_time,
-                               std::span<const int64_t> values,
-                               SeriesInfo* info) {
-  Bytes page;
-  bitpack::PutVarint(&page, count);
-  bitpack::PutVarint(&page, payload.size());
-  page.insert(page.end(), payload.begin(), payload.end());
-  PutFixed<uint32_t>(&page, Crc32(payload.data(), payload.size()));
+Result<EncodedSeries> EncodeSeriesPages(const std::string& name,
+                                        std::string_view spec,
+                                        std::span<const int64_t> values,
+                                        size_t page_size) {
+  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(spec, page_size));
 
-  PageInfo pi;
-  pi.offset = impl_->offset;
-  pi.size = page.size();
-  pi.count = count;
-  pi.first_index = first_index;
-  pi.min_time = min_time;
-  pi.max_time = max_time;
-  FillValueStats(values, &pi);
-  info->pages.push_back(pi);
-  BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.writes", 1);
-  BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.write_bytes", page.size());
-  return impl_->Write(page.data(), page.size());
-}
-
-Status TsFileWriter::AppendSeries(const std::string& name,
-                                  std::string_view spec,
-                                  std::span<const int64_t> values) {
-  BOS_RETURN_NOT_OK(CheckAppendable(name));
-  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(spec, page_size_));
-
-  SeriesInfo info;
-  info.name = name;
-  info.codec_spec = std::string(spec);
-  info.num_values = values.size();
+  EncodedSeries series;
+  series.name = name;
+  series.codec_spec = std::string(spec);
+  series.num_values = values.size();
 
   for (size_t start = 0; start == 0 || start < values.size();
-       start += page_size_) {
-    const size_t len = std::min(page_size_, values.size() - start);
+       start += page_size) {
+    const size_t len = std::min(page_size, values.size() - start);
     const auto page_values = values.subspan(start, len);
-    Bytes payload;
-    BOS_RETURN_NOT_OK(codec->Compress(page_values, &payload));
-    BOS_RETURN_NOT_OK(WritePage(payload, len, start, 0, 0, page_values, &info));
+    EncodedPage page;
+    BOS_RETURN_NOT_OK(codec->Compress(page_values, &page.payload));
+    page.count = len;
+    page.first_index = start;
+    FillValueStats(page_values, &page);
+    series.pages.push_back(std::move(page));
     if (values.empty()) break;  // single empty page
   }
-  impl_->series.push_back(std::move(info));
-  return Status::OK();
+  return series;
 }
 
-Status TsFileWriter::AppendTimeSeries(
+Result<EncodedSeries> EncodeTimeSeriesPages(
     const std::string& name, std::string_view spec,
-    std::span<const codecs::DataPoint> points) {
-  BOS_RETURN_NOT_OK(CheckAppendable(name));
+    std::span<const codecs::DataPoint> points, size_t page_size) {
   BOS_ASSIGN_OR_RETURN(auto codec,
-                       codecs::MakeTimeSeriesCodec(spec, page_size_));
+                       codecs::MakeTimeSeriesCodec(spec, page_size));
   for (size_t i = 1; i < points.size(); ++i) {
     if (points[i].timestamp < points[i - 1].timestamp) {
       return Status::InvalidArgument("time series must be sorted by time");
     }
   }
 
-  SeriesInfo info;
-  info.name = name;
-  info.codec_spec = std::string(spec);
-  info.timed = true;
-  info.num_values = points.size();
+  EncodedSeries series;
+  series.name = name;
+  series.codec_spec = std::string(spec);
+  series.timed = true;
+  series.num_values = points.size();
 
+  std::vector<int64_t> page_values;
   for (size_t start = 0; start == 0 || start < points.size();
-       start += page_size_) {
-    const size_t len = std::min(page_size_, points.size() - start);
-    Bytes payload;
-    BOS_RETURN_NOT_OK(codec->Compress(points.subspan(start, len), &payload));
-    const int64_t min_time = len > 0 ? points[start].timestamp : 0;
-    const int64_t max_time = len > 0 ? points[start + len - 1].timestamp : 0;
-    std::vector<int64_t> page_values(len);
-    for (size_t i = 0; i < len; ++i) page_values[i] = points[start + i].value;
+       start += page_size) {
+    const size_t len = std::min(page_size, points.size() - start);
+    EncodedPage page;
     BOS_RETURN_NOT_OK(
-        WritePage(payload, len, start, min_time, max_time, page_values, &info));
+        codec->Compress(points.subspan(start, len), &page.payload));
+    page.count = len;
+    page.first_index = start;
+    page.min_time = len > 0 ? points[start].timestamp : 0;
+    page.max_time = len > 0 ? points[start + len - 1].timestamp : 0;
+    page_values.resize(len);
+    for (size_t i = 0; i < len; ++i) page_values[i] = points[start + i].value;
+    FillValueStats(page_values, &page);
+    series.pages.push_back(std::move(page));
     if (points.empty()) break;  // single empty page
+  }
+  return series;
+}
+
+Status TsFileWriter::WritePage(const EncodedPage& encoded, SeriesInfo* info) {
+  Bytes page;
+  bitpack::PutVarint(&page, encoded.count);
+  bitpack::PutVarint(&page, encoded.payload.size());
+  page.insert(page.end(), encoded.payload.begin(), encoded.payload.end());
+  PutFixed<uint32_t>(&page,
+                     Crc32(encoded.payload.data(), encoded.payload.size()));
+
+  PageInfo pi;
+  pi.offset = impl_->offset;
+  pi.size = page.size();
+  pi.count = encoded.count;
+  pi.first_index = encoded.first_index;
+  pi.min_time = encoded.min_time;
+  pi.max_time = encoded.max_time;
+  pi.min_value = encoded.min_value;
+  pi.max_value = encoded.max_value;
+  pi.sum_value = encoded.sum_value;
+  info->pages.push_back(pi);
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.writes", 1);
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.write_bytes", page.size());
+  return impl_->Write(page.data(), page.size());
+}
+
+Status TsFileWriter::AppendEncoded(EncodedSeries&& series) {
+  BOS_RETURN_NOT_OK(CheckAppendable(series.name));
+  SeriesInfo info;
+  info.name = series.name;
+  info.codec_spec = series.codec_spec;
+  info.timed = series.timed;
+  info.num_values = series.num_values;
+  for (const EncodedPage& page : series.pages) {
+    BOS_RETURN_NOT_OK(WritePage(page, &info));
   }
   impl_->series.push_back(std::move(info));
   return Status::OK();
+}
+
+Status TsFileWriter::AppendSeries(const std::string& name,
+                                  std::string_view spec,
+                                  std::span<const int64_t> values) {
+  BOS_RETURN_NOT_OK(CheckAppendable(name));
+  BOS_ASSIGN_OR_RETURN(auto series,
+                       EncodeSeriesPages(name, spec, values, page_size_));
+  return AppendEncoded(std::move(series));
+}
+
+Status TsFileWriter::AppendTimeSeries(
+    const std::string& name, std::string_view spec,
+    std::span<const codecs::DataPoint> points) {
+  BOS_RETURN_NOT_OK(CheckAppendable(name));
+  BOS_ASSIGN_OR_RETURN(auto series,
+                       EncodeTimeSeriesPages(name, spec, points, page_size_));
+  return AppendEncoded(std::move(series));
 }
 
 Status TsFileWriter::Finish() {
@@ -238,6 +274,10 @@ struct TsFileReader::Impl {
   std::FILE* file = nullptr;
   uint64_t file_size = 0;
   std::vector<SeriesInfo> series;
+  // Serializes seek+read pairs on the shared handle so concurrent page
+  // reads (TsStore's parallel query/compact) never interleave; decode
+  // happens outside this lock.
+  std::mutex io_mu;
 
   ~Impl() {
     if (file != nullptr) std::fclose(file);
@@ -245,6 +285,7 @@ struct TsFileReader::Impl {
 
   Status ReadAt(uint64_t offset, uint64_t size, Bytes* out) {
     out->resize(size);
+    std::lock_guard<std::mutex> lock(io_mu);
     if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
       return Status::IoError("seek failed");
     }

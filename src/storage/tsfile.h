@@ -50,8 +50,53 @@ struct SeriesInfo {
   std::vector<PageInfo> pages;
 };
 
+/// \brief One compressed page, produced off the writer by
+/// `EncodeSeriesPages` / `EncodeTimeSeriesPages`. Holds everything
+/// `TsFileWriter` needs to emit the page without re-reading the values:
+/// the codec payload plus the statistics that go into the footer.
+struct EncodedPage {
+  Bytes payload;
+  uint64_t count = 0;
+  uint64_t first_index = 0;
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t sum_value = 0;  ///< wrapping sum of the page's values
+};
+
+/// \brief A fully compressed series, ready for `TsFileWriter::AppendEncoded`.
+struct EncodedSeries {
+  std::string name;
+  std::string codec_spec;
+  bool timed = false;
+  uint64_t num_values = 0;
+  std::vector<EncodedPage> pages;
+};
+
+/// Compresses a plain series into pages exactly as
+/// `TsFileWriter::AppendSeries` would, without touching any file. Pure
+/// and state-free, so independent series can be encoded concurrently
+/// (TsStore's flush fans out over this) — appending the results in the
+/// same order yields a byte-identical file.
+Result<EncodedSeries> EncodeSeriesPages(const std::string& name,
+                                        std::string_view spec,
+                                        std::span<const int64_t> values,
+                                        size_t page_size);
+
+/// Timed-series counterpart of `EncodeSeriesPages` (the
+/// `AppendTimeSeries` encoding). `points` must be sorted by timestamp.
+Result<EncodedSeries> EncodeTimeSeriesPages(
+    const std::string& name, std::string_view spec,
+    std::span<const codecs::DataPoint> points, size_t page_size);
+
 /// \brief Single-pass writer. Series are appended one at a time, then
 /// `Finish()` writes the footer. The writer owns the output file.
+///
+/// The writer itself is single-threaded (the file is sequential), but
+/// the CPU-heavy page encoding can be done concurrently via
+/// `EncodeSeriesPages` / `EncodeTimeSeriesPages` and handed over with
+/// `AppendEncoded`.
 class TsFileWriter {
  public:
   /// `page_size` = values per page.
@@ -77,14 +122,18 @@ class TsFileWriter {
   Status AppendTimeSeries(const std::string& name, std::string_view spec,
                           std::span<const codecs::DataPoint> points);
 
+  /// Appends a series pre-compressed by `EncodeSeriesPages` /
+  /// `EncodeTimeSeriesPages`. Page bytes are written verbatim, so a file
+  /// built this way is byte-identical to one built with the Append*
+  /// methods in the same order.
+  Status AppendEncoded(EncodedSeries&& series);
+
   /// Writes footer and closes. The file is invalid until Finish succeeds.
   Status Finish();
 
  private:
   Status CheckAppendable(const std::string& name) const;
-  Status WritePage(const Bytes& payload, uint64_t count, uint64_t first_index,
-                   int64_t min_time, int64_t max_time,
-                   std::span<const int64_t> values, SeriesInfo* info);
+  Status WritePage(const EncodedPage& page, SeriesInfo* info);
 
   std::string path_;
   size_t page_size_;
@@ -111,6 +160,13 @@ struct AggregateResult {
 };
 
 /// \brief Reader with page-level pruning.
+///
+/// Thread safety: after `Open()` succeeds the footer is immutable, and
+/// the `Read*` / `Aggregate*` methods may be called concurrently from
+/// any number of threads — page IO on the shared file handle is
+/// serialized internally; decoding runs outside the lock. (TsStore's
+/// parallel query/compact paths rely on this.) Concurrent calls must
+/// not share one `ScanStats` object — pass per-thread stats or nullptr.
 class TsFileReader {
  public:
   TsFileReader();

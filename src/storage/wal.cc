@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <filesystem>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "bitpack/varint.h"
 #include "telemetry/telemetry.h"
 #include "util/buffer.h"
@@ -44,6 +48,21 @@ Status WalWriter::Append(const std::string& series,
     BOS_TELEMETRY_SPAN("bos.storage.wal.flush_ns");
     if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
   }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::InvalidArgument("WAL not open");
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.syncs", 1);
+  BOS_TELEMETRY_SPAN("bos.storage.wal.sync_ns");
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+#if defined(_WIN32)
+  // No fsync on the MSVC runtime; the fflush above is the best available.
+#else
+  if (fsync(fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed " + path_);
+  }
+#endif
   return Status::OK();
 }
 

@@ -31,6 +31,14 @@ class WalWriter {
   /// Appends one record and flushes it to the OS.
   Status Append(const std::string& series, const codecs::DataPoint& point);
 
+  /// Forces everything appended so far onto stable storage (fsync).
+  /// `Append` only flushes to the OS page cache, which survives a process
+  /// crash but not a power failure; callers that need power-fail
+  /// durability call this — TsStore does every
+  /// `StoreOptions::wal_sync_every_n` appends. Counted in telemetry as
+  /// `bos.storage.wal.syncs`.
+  Status Sync();
+
   /// Truncates the log to empty — called after the memtable was safely
   /// flushed into an immutable file.
   Status Reset();

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bitpack/varint.h"
+#include "codecs/registry.h"
+#include "codecs/series_codec.h"
+#include "data/dataset.h"
+#include "exec/parallel_codec.h"
+#include "exec/thread_pool.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace bos::exec {
+namespace {
+
+using codecs::MakeOperator;
+using codecs::MakeSeriesCodec;
+using codecs::OperatorNames;
+using codecs::SeriesCodec;
+using codecs::TransformNames;
+
+std::vector<std::string> AllSpecs() {
+  std::vector<std::string> specs;
+  for (const std::string& t : TransformNames()) {
+    for (const std::string& op : OperatorNames()) {
+      specs.push_back(t + "+" + op);
+    }
+  }
+  return specs;
+}
+
+std::vector<int64_t> TestValues(size_t n) {
+  auto info = data::FindDataset("MT");
+  EXPECT_TRUE(info.ok());
+  return data::GenerateInteger(*info, n, /*seed=*/42);
+}
+
+// The tentpole invariant: for every registered spec, the parallel frame
+// is byte-identical to the serial reference at every thread count, and
+// parallel decode reproduces the values exactly.
+TEST(ParallelCodecTest, BitIdenticalToSerialForEverySpecAndThreadCount) {
+  // 2-block chunks (block size 1024) over ~3.3 chunks, so the range
+  // exercises full chunks plus a ragged tail.
+  constexpr size_t kChunk = 2 * codecs::kDefaultBlockSize;
+  const std::vector<int64_t> values = TestValues(3 * kChunk + 700);
+
+  // One pool per thread count, shared across specs.
+  const size_t kThreadCounts[] = {1, 2, 7, 16};
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  for (size_t t : kThreadCounts) pools.push_back(std::make_unique<ThreadPool>(t));
+
+  for (const std::string& spec : AllSpecs()) {
+    SCOPED_TRACE(spec);
+    auto codec = MakeSeriesCodec(spec);
+    ASSERT_TRUE(codec.ok()) << codec.status().ToString();
+
+    Bytes ref;
+    ASSERT_TRUE(SerialEncodeChunked(**codec, values, &ref, kChunk).ok());
+    std::vector<int64_t> ref_decoded;
+    ASSERT_TRUE(SerialDecodeChunked(**codec, ref, &ref_decoded).ok());
+    ASSERT_EQ(ref_decoded, values);
+
+    for (size_t pi = 0; pi < pools.size(); ++pi) {
+      SCOPED_TRACE("threads=" + std::to_string(kThreadCounts[pi]));
+      ParallelCodecOptions opts;
+      opts.chunk_values = kChunk;
+      opts.pool = pools[pi].get();
+
+      Bytes par;
+      ASSERT_TRUE(ParallelEncodeSeries(**codec, values, &par, opts).ok());
+      ASSERT_EQ(par, ref);
+
+      std::vector<int64_t> decoded;
+      ASSERT_TRUE(ParallelDecodeSeries(**codec, par, &decoded, opts).ok());
+      ASSERT_EQ(decoded, values);
+    }
+  }
+}
+
+TEST(ParallelCodecTest, EmptyAndSubChunkSeries) {
+  auto codec = MakeSeriesCodec("TS2DIFF+BOS-M");
+  ASSERT_TRUE(codec.ok());
+  ThreadPool pool(4);
+  ParallelCodecOptions opts;
+  opts.pool = &pool;
+
+  for (size_t n : {size_t{0}, size_t{1}, size_t{100},
+                   codecs::kDefaultBlockSize + 1}) {
+    SCOPED_TRACE(n);
+    const std::vector<int64_t> values = TestValues(n);
+    Bytes ref, par;
+    ASSERT_TRUE(SerialEncodeChunked(**codec, values, &ref).ok());
+    ASSERT_TRUE(ParallelEncodeSeries(**codec, values, &par, opts).ok());
+    EXPECT_EQ(par, ref);
+    std::vector<int64_t> decoded;
+    ASSERT_TRUE(ParallelDecodeSeries(**codec, par, &decoded, opts).ok());
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+TEST(ParallelCodecTest, AppendsAfterExistingOutput) {
+  auto codec = MakeSeriesCodec("RLE+BP");
+  ASSERT_TRUE(codec.ok());
+  const std::vector<int64_t> values = TestValues(5000);
+
+  Bytes out = {0xAB, 0xCD};
+  ASSERT_TRUE(ParallelEncodeSeries(**codec, values, &out).ok());
+  ASSERT_GT(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xAB);
+  EXPECT_EQ(out[1], 0xCD);
+
+  BytesView frame(out.data() + 2, out.size() - 2);
+  std::vector<int64_t> decoded = {-7, -8};
+  ASSERT_TRUE(ParallelDecodeSeries(**codec, frame, &decoded).ok());
+  ASSERT_EQ(decoded.size(), values.size() + 2);
+  EXPECT_EQ(decoded[0], -7);
+  EXPECT_EQ(decoded[1], -8);
+  EXPECT_TRUE(std::equal(values.begin(), values.end(), decoded.begin() + 2));
+}
+
+class CorruptFrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto codec = MakeSeriesCodec("TS2DIFF+BOS-B");
+    ASSERT_TRUE(codec.ok());
+    codec_ = *codec;
+    values_ = TestValues(3 * 2048 + 100);
+    ASSERT_TRUE(SerialEncodeChunked(*codec_, values_, &frame_, 2048).ok());
+  }
+
+  // Every decode path must reject `data` and leave prior output intact.
+  void ExpectRejected(const Bytes& data) {
+    for (bool parallel : {false, true}) {
+      SCOPED_TRACE(parallel ? "parallel" : "serial");
+      std::vector<int64_t> out = {11, 22, 33};
+      Status st = parallel ? ParallelDecodeSeries(*codec_, data, &out)
+                           : SerialDecodeChunked(*codec_, data, &out);
+      EXPECT_FALSE(st.ok());
+      EXPECT_EQ(out, (std::vector<int64_t>{11, 22, 33}));
+    }
+  }
+
+  std::shared_ptr<const SeriesCodec> codec_;
+  std::vector<int64_t> values_;
+  Bytes frame_;
+};
+
+TEST_F(CorruptFrameTest, TruncatedDirectory) {
+  Bytes bad(frame_.begin(), frame_.begin() + 4);
+  ExpectRejected(bad);
+}
+
+TEST_F(CorruptFrameTest, TruncatedPayload) {
+  Bytes bad(frame_.begin(), frame_.end() - 17);
+  ExpectRejected(bad);
+}
+
+TEST_F(CorruptFrameTest, TrailingGarbage) {
+  Bytes bad = frame_;
+  bad.push_back(0x5A);
+  ExpectRejected(bad);
+}
+
+TEST_F(CorruptFrameTest, EmptyInput) { ExpectRejected(Bytes{}); }
+
+TEST_F(CorruptFrameTest, HostileHeaderHugeChunkCount) {
+  // total = 2^20 values of chunk_values = 1 claims 2^20 directory
+  // entries in a frame a few bytes long; the guard must reject it before
+  // allocating the directory.
+  Bytes bad;
+  bitpack::PutVarint(&bad, uint64_t{1} << 20);  // total
+  bitpack::PutVarint(&bad, 1);                  // chunk_values
+  bitpack::PutVarint(&bad, uint64_t{1} << 20);  // num_chunks
+  bad.push_back(1);
+  ExpectRejected(bad);
+}
+
+TEST_F(CorruptFrameTest, ChunkCountDisagreesWithTotal) {
+  Bytes bad;
+  bitpack::PutVarint(&bad, 4096);  // total
+  bitpack::PutVarint(&bad, 2048);  // chunk_values -> expects 2 chunks
+  bitpack::PutVarint(&bad, 3);     // num_chunks: lies
+  for (int i = 0; i < 3; ++i) bitpack::PutVarint(&bad, 1);
+  bad.resize(bad.size() + 3, 0);
+  ExpectRejected(bad);
+}
+
+TEST_F(CorruptFrameTest, TotalAboveStreamCap) {
+  Bytes bad;
+  bitpack::PutVarint(&bad, codecs::kMaxStreamValues + 1);
+  bitpack::PutVarint(&bad, 2048);
+  bitpack::PutVarint(&bad, 1);
+  bitpack::PutVarint(&bad, 1);
+  bad.push_back(0);
+  ExpectRejected(bad);
+}
+
+TEST_F(CorruptFrameTest, ZeroChunkValues) {
+  Bytes bad;
+  bitpack::PutVarint(&bad, 100);
+  bitpack::PutVarint(&bad, 0);
+  bitpack::PutVarint(&bad, 1);
+  bitpack::PutVarint(&bad, 1);
+  bad.push_back(0);
+  ExpectRejected(bad);
+}
+
+// The registry factories and the instances they return are documented
+// (codecs/registry.h) as safe for concurrent use; exercise both under
+// TSan.
+TEST(ParallelCodecTest, RegistryFactoriesAndSharedInstancesAreConcurrent) {
+  const std::vector<int64_t> values = TestValues(2048);
+  auto shared = MakeSeriesCodec("TS2DIFF+BOS-M");
+  ASSERT_TRUE(shared.ok());
+  Bytes expect;
+  ASSERT_TRUE((*shared)->Compress(values, &expect).ok());
+
+  std::vector<std::thread> threads;
+  std::vector<int> failures(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        auto codec = MakeSeriesCodec("TS2DIFF+BOS-M");
+        auto op = MakeOperator("BOS-B");
+        if (!codec.ok() || !op.ok()) {
+          ++failures[t];
+          continue;
+        }
+        // Fresh instance and the shared instance must agree bytewise.
+        Bytes a, b;
+        std::vector<int64_t> round;
+        if (!(*codec)->Compress(values, &a).ok() ||
+            !(*shared)->Compress(values, &b).ok() || a != expect ||
+            b != expect ||
+            !(*shared)->Decompress(a, &round).ok() || round != values) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+TEST(ParallelCodecTest, DefaultChunkIsBlockAligned) {
+  static_assert(kDefaultChunkValues % codecs::kDefaultBlockSize == 0,
+                "chunks must stay block-aligned");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bos::exec

@@ -8,6 +8,7 @@
 
 #include "storage/store.h"
 #include "storage/wal.h"
+#include "telemetry/telemetry.h"
 #include "util/random.h"
 
 namespace bos::storage {
@@ -159,6 +160,60 @@ TEST_F(WalTest, RecoveryAfterFlushOnlyReplaysNewWrites) {
   ASSERT_EQ(got.size(), 2u);  // one from the file + one recovered
   EXPECT_EQ(got[0], (DataPoint{1, 11}));
   EXPECT_EQ(got[1], (DataPoint{2, 22}));
+}
+
+TEST_F(WalTest, SyncFlushesToStableStorage) {
+  const std::string path = Path("wal");
+  WalWriter wal(path);
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.Append("a", {1, 10}).ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_TRUE(wal.Append("a", {2, 20}).ok());
+  ASSERT_TRUE(wal.Sync().ok());  // repeatable
+  wal.Close();
+
+  std::map<std::string, std::vector<DataPoint>> got;
+  auto n = ReplayWal(path, [&](const std::string& s, const DataPoint& p) {
+    got[s].push_back(p);
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  ASSERT_EQ(got["a"].size(), 2u);
+}
+
+TEST_F(WalTest, StoreSyncEveryNPolicyCountsSyncs) {
+  StoreOptions options;
+  options.dir = dir_;
+  options.wal_sync_every_n = 4;
+
+  uint64_t before = 0;
+  telemetry::Counter* syncs = nullptr;
+  if (telemetry::CompiledIn()) {
+    syncs = &telemetry::Registry::Global().GetCounter("bos.storage.wal.syncs");
+    before = syncs->value();
+  }
+
+  auto store = TsStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  // 10 appends at every_n = 4 -> sync after the 4th and 8th.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*store)->Write("s", {i, i * 10}).ok());
+  }
+  if (syncs != nullptr) {
+    EXPECT_EQ(syncs->value(), before + 2);
+  }
+
+  // A batch write crossing the threshold syncs too.
+  std::vector<DataPoint> batch;
+  for (int i = 10; i < 20; ++i) batch.push_back({i, i});
+  ASSERT_TRUE((*store)->WriteBatch("s", batch).ok());
+  if (syncs != nullptr) {
+    EXPECT_GT(syncs->value(), before + 2);
+  }
+
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("s", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got.size(), 20u);
 }
 
 TEST_F(WalTest, DisabledWalSkipsRecovery) {

@@ -8,14 +8,22 @@
 //   boscli bench <abbr> [spec ...]           quick ratio table for a profile
 //
 // Global flags (any command): --stats prints the telemetry snapshot after
-// the command runs; --stats-json prints it as JSON instead.
+// the command runs; --stats-json prints it as JSON instead; --threads N
+// runs compress/decompress chunk-parallel on an N-worker pool (N = 0
+// sizes the pool to the hardware).
 //
 // Compressed files are framed as: "BOSC" magic | varint spec length | spec
-// string | codec stream — so `decompress` needs no extra arguments.
+// string | codec stream — so `decompress` needs no extra arguments. With
+// --threads the magic is "BOSP" and the codec stream is the chunk-
+// directory frame of exec::ParallelEncodeSeries, whose bytes are
+// identical for every thread count; either kind decompresses regardless
+// of the current --threads flag.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +31,8 @@
 #include "codecs/advisor.h"
 #include "codecs/registry.h"
 #include "data/dataset.h"
+#include "exec/parallel_codec.h"
+#include "exec/thread_pool.h"
 #include "storage/tsfile.h"
 #include "telemetry/telemetry.h"
 #include "util/buffer.h"
@@ -32,6 +42,21 @@ namespace {
 using namespace bos;
 
 constexpr char kMagic[4] = {'B', 'O', 'S', 'C'};
+// Chunk-parallel variant of the frame (exec::ParallelEncodeSeries).
+constexpr char kMagicParallel[4] = {'B', 'O', 'S', 'P'};
+
+// --threads: <0 = flag absent (serial legacy frame), 0 = hardware
+// concurrency, >=1 = that many workers.
+int g_threads = -1;
+
+exec::ThreadPool& CliPool() {
+  static std::unique_ptr<exec::ThreadPool> pool;
+  if (pool == nullptr) {
+    pool = std::make_unique<exec::ThreadPool>(
+        g_threads <= 0 ? 0 : static_cast<size_t>(g_threads));
+  }
+  return *pool;
+}
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "boscli: %s\n", message.c_str());
@@ -103,12 +128,22 @@ int CmdCompress(const std::string& spec, const std::string& in,
   if (raw.size() % 8 != 0) return Fail("input is not a whole number of int64s");
   const auto values = BytesToValues(raw);
 
+  const bool parallel = g_threads >= 0;
   Bytes out;
-  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  for (char c : parallel ? kMagicParallel : kMagic) {
+    out.push_back(static_cast<uint8_t>(c));
+  }
   bitpack::PutVarint(&out, spec.size());
   for (char c : spec) out.push_back(static_cast<uint8_t>(c));
   const auto start = std::chrono::steady_clock::now();
-  const Status st = (*codec)->Compress(values, &out);
+  Status st;
+  if (parallel) {
+    exec::ParallelCodecOptions popts;
+    popts.pool = &CliPool();
+    st = exec::ParallelEncodeSeries(**codec, values, &out, popts);
+  } else {
+    st = (*codec)->Compress(values, &out);
+  }
   if (!st.ok()) return Fail("compress " + in + " with " + spec, st);
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -124,7 +159,10 @@ int CmdCompress(const std::string& spec, const std::string& in,
 int CmdDecompress(const std::string& in, const std::string& out_path) {
   Bytes data;
   if (!ReadFile(in, &data)) return Fail("cannot read " + in);
-  if (data.size() < 5 || std::memcmp(data.data(), kMagic, 4) != 0) {
+  const bool parallel =
+      data.size() >= 4 && std::memcmp(data.data(), kMagicParallel, 4) == 0;
+  if (data.size() < 5 ||
+      (!parallel && std::memcmp(data.data(), kMagic, 4) != 0)) {
     return Fail("not a boscli-compressed file");
   }
   size_t offset = 4;
@@ -141,8 +179,15 @@ int CmdDecompress(const std::string& in, const std::string& out_path) {
                                codec.status());
 
   std::vector<int64_t> values;
-  const Status st =
-      (*codec)->Decompress(BytesView(data).subspan(offset), &values);
+  Status st;
+  if (parallel) {
+    exec::ParallelCodecOptions popts;
+    popts.pool = &CliPool();
+    st = exec::ParallelDecodeSeries(**codec, BytesView(data).subspan(offset),
+                                    &values, popts);
+  } else {
+    st = (*codec)->Decompress(BytesView(data).subspan(offset), &values);
+  }
   if (!st.ok()) return Fail("decompress " + in + " with " + spec, st);
   Bytes raw(values.size() * 8);
   std::memcpy(raw.data(), values.data(), raw.size());
@@ -231,7 +276,10 @@ int Usage() {
                "  bench <abbr> [spec ...]\n"
                "flags:\n"
                "  --stats       print the telemetry snapshot after the command\n"
-               "  --stats-json  same, as a JSON object\n");
+               "  --stats-json  same, as a JSON object\n"
+               "  --threads N   chunk-parallel compress/decompress on N\n"
+               "                workers (0 = all cores); output bytes do not\n"
+               "                depend on N\n");
   return 2;
 }
 
@@ -267,6 +315,11 @@ int main(int argc, char** argv) {
     } else if (*it == "--stats-json") {
       stats_json = true;
       it = args.erase(it);
+    } else if (*it == "--threads") {
+      if (it + 1 == args.end()) return Usage();
+      g_threads = std::atoi((it + 1)->c_str());
+      if (g_threads < 0) return Usage();
+      it = args.erase(it, it + 2);
     } else {
       ++it;
     }
