@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include <x86intrin.h>
 #endif
 
+#include "bitpack/unpack_kernels.h"
+#include "bitpack/varint.h"
 #include "codecs/registry.h"
 #include "data/dataset.h"
 #include "floatcodec/float_codec.h"
@@ -135,6 +138,25 @@ inline double MinWallSecondsPerCall(Fn&& fn, int reps = 5) {
   return best;
 }
 
+/// The machine a bench record was measured on: thread count and the
+/// SIMD dispatch decisions the library made at runtime. Stamped on
+/// every JSONL record so BENCH_*.json files from different machines
+/// (or the same machine with kernels toggled off) stay comparable.
+struct CpuInfo {
+  int hardware_threads;
+  bool avx2;  ///< wide pack/unpack kernels selected
+  bool bmi2;  ///< pext varint decoder selected
+};
+
+inline const CpuInfo& HostCpu() {
+  static const CpuInfo info = {
+      static_cast<int>(std::thread::hardware_concurrency()),
+      bitpack::HasWideKernels(),
+      bitpack::HasBmi2Varint(),
+  };
+  return info;
+}
+
 /// One field value of a JSON-lines record: string, number, or bool.
 struct JsonValue {
   enum class Kind { kString, kNumber, kBool };
@@ -183,7 +205,10 @@ class JsonlWriter {
 
   /// The shared record schema: every line starts with a "bench"
   /// discriminator so BENCH_*.json files can be concatenated and split
-  /// back apart by record kind. All bench binaries emit through this.
+  /// back apart by record kind, and ends with the host CPU stamp
+  /// (thread count plus the runtime SIMD dispatch decisions) so records
+  /// from different machines stay comparable. All bench binaries emit
+  /// through this.
   void WriteRecord(
       const char* bench,
       std::initializer_list<std::pair<const char*, JsonValue>> fields) {
@@ -191,6 +216,10 @@ class JsonlWriter {
     std::fputc('{', file_);
     WriteField("bench", JsonValue(bench), /*first=*/true);
     for (const auto& [key, value] : fields) WriteField(key, value, false);
+    const CpuInfo& cpu = HostCpu();
+    WriteField("hardware_threads", JsonValue(cpu.hardware_threads), false);
+    WriteField("avx2", JsonValue(cpu.avx2), false);
+    WriteField("bmi2", JsonValue(cpu.bmi2), false);
     std::fputs("}\n", file_);
     std::fflush(file_);
   }

@@ -1,0 +1,250 @@
+// Micro-benchmark of the encode path: per-width pack kernels against
+// the unpack kernels they mirror, BOS end-to-end encode with the
+// histogram search front-end toggled off and on, and the hybrid
+// BOS-M-with-escalation operator against the pure strategies. Emits
+// BENCH_encode.json (JSON lines) so later PRs can track the encode
+// trajectory the way BENCH_kernels.json tracks decode.
+//
+// Usage: micro_encode [values_per_dataset]
+// The optional argument shrinks the end-to-end datasets (CI smoke runs
+// use a few thousand values; the default is large enough for stable
+// MB/s readings).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "bitpack/unpack_kernels.h"
+#include "core/bos_codec.h"
+#include "core/separation.h"
+#include "data/dataset.h"
+#include "telemetry/telemetry.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bos;
+
+constexpr size_t kPackValues = 65536;  // 64K-value inputs per width
+constexpr size_t kBosBlock = 1024;     // canonical BOS block size
+
+// Pack throughput per width against the unpack kernel it mirrors, as
+// GB/s of unencoded uint64 data. The encode claim under test: packing
+// is no longer the transpose-shaped laggard of the pair.
+double BenchPackWidth(int width, bench::JsonlWriter* out) {
+  Rng rng(0xF00D + width);
+  // One block-sized strip of values, as in the real encoders: block_io
+  // and the transforms hand the pack kernels at most 1024 hot values at
+  // a time. The mirrored unpack side decodes into a strip of the same
+  // size, so both directions are compute-bound on L1-resident data and
+  // stream only the packed bytes.
+  std::vector<uint64_t> values(kBosBlock);
+  const uint64_t mask =
+      width == 64 ? ~0ULL : (width == 0 ? 0 : ((1ULL << width) - 1));
+  for (auto& v : values) {
+    v = (static_cast<uint64_t>(rng.UniformInt(0, 1 << 30)) << 34 |
+         static_cast<uint64_t>(rng.UniformInt(0, 1 << 30))) &
+        mask;
+  }
+
+  const size_t bytes = BitsToBytes(static_cast<uint64_t>(width) * kPackValues);
+  std::vector<uint8_t> packed(bytes + 8);  // +8: wide-kernel slack
+  std::vector<uint64_t> decoded(kBosBlock);
+  const size_t strip_bytes =
+      BitsToBytes(static_cast<uint64_t>(width) * kBosBlock);
+  const size_t strips = kPackValues / kBosBlock;
+  const double mb = static_cast<double>(kPackValues) * 8.0;
+
+  const double pack_scalar_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        for (size_t s = 0; s < strips; ++s) {
+          bitpack::PackScalar(values.data(), kBosBlock, width,
+                              packed.data() + s * strip_bytes);
+        }
+      }) / 1e9;
+  const double pack_kernel_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        for (size_t s = 0; s < strips; ++s) {
+          bitpack::PackBlocks(values.data(), kBosBlock, width,
+                              packed.data() + s * strip_bytes,
+                              packed.size() - s * strip_bytes);
+        }
+      }) / 1e9;
+  const double unpack_kernel_gbps =
+      mb / bench::MinSecondsPerCall([&] {
+        for (size_t s = 0; s < strips; ++s) {
+          bitpack::UnpackBlocks(packed.data() + s * strip_bytes,
+                                packed.size() - s * strip_bytes, width,
+                                kBosBlock, decoded.data());
+        }
+      }) / 1e9;
+
+  // unpack time / pack time: 1.0 means parity, above 1 means packing is
+  // still slower than unpacking at this width.
+  const double gap = unpack_kernel_gbps / pack_kernel_gbps;
+  std::printf("%5d %12.2f %12.2f %14.2f %10.2fx\n", width, pack_scalar_gbps,
+              pack_kernel_gbps, unpack_kernel_gbps, gap);
+  out->WriteRecord("encode_kernels",
+                   {{"width", width},
+                    {"values", kPackValues},
+                    {"pack_scalar_gbps", pack_scalar_gbps},
+                    {"pack_kernel_gbps", pack_kernel_gbps},
+                    {"unpack_kernel_gbps", unpack_kernel_gbps},
+                    {"pack_speedup", pack_kernel_gbps / pack_scalar_gbps},
+                    {"unpack_over_pack", gap}});
+  return gap;
+}
+
+// Encodes `values` in kBosBlock-sized blocks; returns seconds per pass.
+double TimeEncode(const core::PackingOperator& op,
+                  const std::vector<int64_t>& values, Bytes* encoded) {
+  return bench::BestTimePerCall([&] {
+    encoded->clear();
+    for (size_t start = 0; start < values.size(); start += kBosBlock) {
+      const size_t len = std::min(kBosBlock, values.size() - start);
+      (void)op.Encode(std::span(values).subspan(start, len), encoded);
+    }
+  });
+}
+
+void RoundTripOrDie(const core::PackingOperator& op, const Bytes& encoded,
+                    const std::vector<int64_t>& values, const char* label) {
+  std::vector<int64_t> decoded;
+  decoded.reserve(values.size());
+  size_t offset = 0;
+  while (offset < encoded.size()) {
+    if (!op.Decode(encoded, &offset, &decoded).ok()) {
+      std::fprintf(stderr, "%s: decode error\n", label);
+      std::exit(1);
+    }
+  }
+  if (decoded != values) {
+    std::fprintf(stderr, "%s: round-trip mismatch\n", label);
+    std::exit(1);
+  }
+}
+
+// One dataset: BOS-B and BOS-M encode with the sort front-end vs the
+// histogram front-end (identical bytes required), plus the hybrid
+// operator against both pure strategies.
+void BenchDataset(const data::DatasetInfo& info, size_t n,
+                  bench::JsonlWriter* out, double* bos_b_mt_mbps) {
+  const std::vector<int64_t> values = data::GenerateInteger(info, n, /*seed=*/7);
+  const double mb = static_cast<double>(values.size()) * 8.0 / 1e6;
+
+  for (const auto strategy : {core::SeparationStrategy::kBitWidth,
+                              core::SeparationStrategy::kMedian}) {
+    core::BosOperator op(strategy);
+    Bytes sort_bytes, hist_bytes;
+    core::SetHistogramSearchEnabled(false);
+    const double sort_s = TimeEncode(op, values, &sort_bytes);
+    core::SetHistogramSearchEnabled(true);
+    const double hist_s = TimeEncode(op, values, &hist_bytes);
+    if (sort_bytes != hist_bytes) {
+      std::fprintf(stderr, "%s %s: search front-ends disagree on bytes\n",
+                   info.abbr.c_str(), std::string(op.name()).c_str());
+      std::exit(1);
+    }
+    RoundTripOrDie(op, hist_bytes, values, info.abbr.c_str());
+    const double speedup = sort_s / hist_s;
+    std::printf("%-4s %-6s sort %8.1f MB/s   hist %8.1f MB/s   %5.2fx"
+                "   %8zu bytes\n",
+                info.abbr.c_str(), std::string(op.name()).c_str(), mb / sort_s,
+                mb / hist_s, speedup, hist_bytes.size());
+    out->WriteRecord("encode_search",
+                     {{"dataset", info.abbr},
+                      {"operator", op.name()},
+                      {"values", values.size()},
+                      {"block", kBosBlock},
+                      {"encode_sort_mbps", mb / sort_s},
+                      {"encode_hist_mbps", mb / hist_s},
+                      {"search_speedup", speedup},
+                      {"encoded_bytes", hist_bytes.size()}});
+    if (info.abbr == "MT" && strategy == core::SeparationStrategy::kBitWidth) {
+      *bos_b_mt_mbps = mb / hist_s;
+    }
+  }
+
+  // Hybrid: BOS-M-speed encode that escalates to the exact search only
+  // on blocks where the approximate split looks weak. Report where it
+  // lands between the two pure strategies on both axes.
+  core::BosOperator bos_b(core::SeparationStrategy::kBitWidth);
+  core::BosOperator bos_m(core::SeparationStrategy::kMedian);
+  core::BosHybridOperator bos_h;
+  Bytes b_bytes, m_bytes, h_bytes;
+  const double b_s = TimeEncode(bos_b, values, &b_bytes);
+  const double m_s = TimeEncode(bos_m, values, &m_bytes);
+  auto& escalated = telemetry::Registry::Global().GetCounter(
+      "bos.core.encode.hybrid_escalated");
+  auto& kept = telemetry::Registry::Global().GetCounter(
+      "bos.core.encode.hybrid_kept_median");
+  escalated.Reset();
+  kept.Reset();
+  const double h_s = TimeEncode(bos_h, values, &h_bytes);
+  const uint64_t decisions = escalated.value() + kept.value();
+  const double escalated_frac =
+      decisions == 0 ? 0.0
+                     : static_cast<double>(escalated.value()) /
+                           static_cast<double>(decisions);
+  RoundTripOrDie(bos_h, h_bytes, values, "BOS-H");
+  std::printf("%-4s hybrid B %8.1f MB/s   M %8.1f MB/s   H %8.1f MB/s"
+              "   escalated %4.1f%%   bytes B/H %.4f\n",
+              info.abbr.c_str(), mb / b_s, mb / m_s, mb / h_s,
+              100.0 * escalated_frac,
+              static_cast<double>(b_bytes.size()) /
+                  static_cast<double>(h_bytes.size()));
+  out->WriteRecord("encode_hybrid",
+                   {{"dataset", info.abbr},
+                    {"values", values.size()},
+                    {"bos_b_mbps", mb / b_s},
+                    {"bos_m_mbps", mb / m_s},
+                    {"bos_h_mbps", mb / h_s},
+                    {"bos_b_bytes", b_bytes.size()},
+                    {"bos_m_bytes", m_bytes.size()},
+                    {"bos_h_bytes", h_bytes.size()},
+                    {"escalated_fraction", escalated_frac}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t bos_values = size_t{1} << 18;
+  if (argc > 1) bos_values = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+  bos_values = std::max(bos_values, kBosBlock);
+
+  bench::JsonlWriter out("BENCH_encode.json");
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open BENCH_encode.json\n");
+    return 1;
+  }
+
+  std::printf("Per-width pack vs unpack on %zu values (GB/s of unencoded "
+              "data)\n",
+              kPackValues);
+  std::printf("%5s %12s %12s %14s %11s\n", "width", "pack-scalar",
+              "pack-kernel", "unpack-kernel", "unpack/pack");
+  bench::PrintRule(60);
+  double worst_gap_le16 = 0;
+  for (int width = 1; width <= 32; ++width) {
+    const double gap = BenchPackWidth(width, &out);
+    if (width <= 16) worst_gap_le16 = std::max(worst_gap_le16, gap);
+  }
+  std::printf("max unpack/pack gap for widths <= 16: %.2fx (target <= 1.5)\n\n",
+              worst_gap_le16);
+
+  std::printf("BOS encode, %zu values per dataset, %zu-value blocks\n",
+              bos_values, kBosBlock);
+  bench::PrintRule(78);
+  double bos_b_mt_mbps = 0;
+  for (const auto& info : data::AllDatasets()) {
+    BenchDataset(info, bos_values, &out, &bos_b_mt_mbps);
+  }
+  out.WriteRecord("summary", {{"max_unpack_over_pack_width_le16",
+                               worst_gap_le16},
+                              {"bos_b_mt_encode_mbps", bos_b_mt_mbps}});
+  std::printf("\nBOS-B encode on MT: %.1f MB/s\n", bos_b_mt_mbps);
+  return 0;
+}

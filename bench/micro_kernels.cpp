@@ -67,7 +67,8 @@ WidthResult BenchWidth(int width, bench::JsonlWriter* out) {
       }) / 1e9;
   r.pack_kernel_gbps =
       mb / bench::MinSecondsPerCall([&] {
-        bitpack::PackBlocks(values.data(), kUnpackValues, width, packed.data());
+        bitpack::PackBlocks(values.data(), kUnpackValues, width, packed.data(),
+                            packed.size());
       }) / 1e9;
   r.unpack_scalar_gbps =
       mb / bench::MinSecondsPerCall([&] {

@@ -1,11 +1,17 @@
 // Fuzz target: the primitive bitpack decoders — LEB128 varints (signed
-// and unsigned) and Simple-8b — which every higher layer builds on.
+// and unsigned) and Simple-8b — which every higher layer builds on,
+// plus the differential oracles for the runtime-dispatched fast paths:
+// the BMI2 varint decoder and the wide pack kernels must agree with
+// their scalar references on every input.
 
 #include <cstdint>
+#include <cstring>
 
 #include "bitpack/simple8b.h"
+#include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "fuzz_common.h"
+#include "util/bits.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   bos::fuzz::FuzzInput in(data, size);
@@ -13,12 +19,40 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
 
   if ((selector & 1) == 0) {
     const bos::BytesView stream = in.Rest();
-    // Walk the buffer as a varint sequence, then as a signed sequence,
-    // then as Simple-8b words; every reader must stay in bounds.
-    size_t offset = 0;
-    uint64_t u;
-    while (bos::bitpack::GetVarint(stream, &offset, &u).ok()) {
+    // Walk the buffer as a varint sequence with the dispatched decoder
+    // and the scalar reference in lockstep: identical values, offsets,
+    // and stopping points, in bounds throughout.
+    size_t offset = 0, scalar_offset = 0;
+    size_t decoded_count = 0;
+    for (;;) {
+      uint64_t u = 0, u_scalar = 1;
+      const bool ok = bos::bitpack::GetVarint(stream, &offset, &u).ok();
+      const bool scalar_ok =
+          bos::bitpack::GetVarintScalar(stream, &scalar_offset, &u_scalar).ok();
+      BOS_FUZZ_ASSERT(ok == scalar_ok, "varint fast/scalar status mismatch");
+      if (!ok) break;
+      BOS_FUZZ_ASSERT(u == u_scalar, "varint fast/scalar value mismatch");
+      BOS_FUZZ_ASSERT(offset == scalar_offset,
+                      "varint fast/scalar offset mismatch");
       BOS_FUZZ_ASSERT(offset <= stream.size(), "varint ran past the buffer");
+      ++decoded_count;
+    }
+    // The batched run decoder over the same prefix must land on the
+    // same offset with the same values.
+    if (decoded_count > 0) {
+      std::vector<uint64_t> run(decoded_count);
+      size_t run_offset = 0;
+      BOS_FUZZ_ASSERT(bos::bitpack::GetVarintRun(stream, &run_offset,
+                                                 decoded_count, run.data())
+                          .ok(),
+                      "varint run rejected a decodable prefix");
+      BOS_FUZZ_ASSERT(run_offset == offset, "varint run offset drifted");
+      size_t check_offset = 0;
+      for (size_t i = 0; i < decoded_count; ++i) {
+        uint64_t u = 0;
+        (void)bos::bitpack::GetVarintScalar(stream, &check_offset, &u);
+        BOS_FUZZ_ASSERT(run[i] == u, "varint run value mismatch");
+      }
     }
     offset = 0;
     int64_t s;
@@ -41,6 +75,28 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   const size_t n = rng.Uniform(256);
   std::vector<uint64_t> values(n);
   for (auto& v : values) v = rng.Next() >> rng.Uniform(64);
+
+  // Pack-kernel oracle: the dispatched wide kernels must emit exactly
+  // the scalar reference's bytes at a random width, count, and slack,
+  // and never touch bytes at or past dst_len.
+  {
+    const int width = static_cast<int>(rng.Uniform(65));
+    const size_t bytes =
+        bos::BitsToBytes(static_cast<uint64_t>(width) * n);
+    const size_t slack = rng.Uniform(9);
+    std::vector<uint8_t> expect(bytes);
+    bos::bitpack::PackScalar(values.data(), n, width, expect.data());
+    std::vector<uint8_t> got(bytes + slack + 8, 0x55);
+    bos::bitpack::PackBlocks(values.data(), n, width, got.data(),
+                             bytes + slack);
+    BOS_FUZZ_ASSERT(
+        bytes == 0 || std::memcmp(expect.data(), got.data(), bytes) == 0,
+        "pack kernel bytes diverge from scalar");
+    for (size_t i = bytes + slack; i < got.size(); ++i) {
+      BOS_FUZZ_ASSERT(got[i] == 0x55, "pack kernel wrote past dst_len");
+    }
+  }
+
   bos::Bytes encoded;
   for (uint64_t v : values) bos::bitpack::PutVarint(&encoded, v);
   std::vector<uint64_t> u60(n);
@@ -61,6 +117,13 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (flips == 0) {
     BOS_FUZZ_ASSERT(ok && decoded == values, "clean varint round-trip");
     BOS_FUZZ_ASSERT(offset == varint_end, "varint stream length drifted");
+    std::vector<uint64_t> run(n);
+    size_t run_offset = 0;
+    BOS_FUZZ_ASSERT(bos::bitpack::GetVarintRun(encoded, &run_offset, n,
+                                               run.data())
+                            .ok() &&
+                        run == values && run_offset == varint_end,
+                    "clean varint run round-trip");
     std::vector<uint64_t> w;
     BOS_FUZZ_ASSERT(
         bos::bitpack::Simple8bDecode(encoded, &offset, n, &w).ok() && w == u60,

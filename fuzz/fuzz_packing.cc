@@ -10,7 +10,7 @@
 namespace {
 
 const char* kOperators[] = {"BP",        "BOS-V",    "BOS-B",       "BOS-M",
-                            "BOS-UPPER", "BOS-LIST", "BOS-ADAPTIVE"};
+                            "BOS-UPPER", "BOS-LIST", "BOS-ADAPTIVE", "BOS-H"};
 constexpr size_t kNumOperators = sizeof(kOperators) / sizeof(kOperators[0]);
 
 }  // namespace

@@ -54,6 +54,71 @@ class BitWriter {
   int bit_pos_ = 0;  // Next free bit within the last byte; 0 = byte-aligned.
 };
 
+/// \brief Accumulator-based MSB-first bit appender for hot encode loops.
+///
+/// Produces the exact byte stream `BitWriter` would (same MSB-first bit
+/// order), but batches bits in a 64-bit register and flushes whole words,
+/// so per-value cost is a few shifts instead of per-byte appends. Unlike
+/// `BitWriter`, pending bits live in the accumulator until `Finish()` —
+/// callers MUST call `Finish()` before reading `out`, and must not
+/// interleave other appends to `out` while writing.
+class FastBitWriter {
+ public:
+  explicit FastBitWriter(Bytes* out) : out_(out) {}
+
+  FastBitWriter(const FastBitWriter&) = delete;
+  FastBitWriter& operator=(const FastBitWriter&) = delete;
+
+  /// Appends the low `width` bits of `value`, MSB first. width in [0, 64].
+  void WriteBits(uint64_t value, int width) {
+    assert(width >= 0 && width <= 64);
+    if (width < 64) value &= (width == 0) ? 0 : ((~0ULL) >> (64 - width));
+    const int free_bits = 64 - bits_;  // >= 1: bits_ stays in [0, 63]
+    if (width < free_bits) {
+      acc_ |= value << (free_bits - width);
+      bits_ += width;
+    } else {
+      const int lo = width - free_bits;  // in [0, 63]
+      acc_ |= value >> lo;
+      FlushWord();
+      acc_ = lo == 0 ? 0 : value << (64 - lo);
+      bits_ = lo;
+    }
+  }
+
+  /// Appends a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Flushes pending bits (zero-padded to a byte boundary). Must be called
+  /// exactly once, after the last WriteBits.
+  void Finish() {
+    const int nbytes = (bits_ + 7) / 8;
+    const size_t sz = out_->size();
+    out_->resize(sz + nbytes);
+    for (int i = 0; i < nbytes; ++i) {
+      (*out_)[sz + i] = static_cast<uint8_t>(acc_ >> (56 - 8 * i));
+    }
+    acc_ = 0;
+    bits_ = 0;
+  }
+
+ private:
+  void FlushWord() {
+    const size_t sz = out_->size();
+    out_->resize(sz + 8);
+    uint8_t* p = out_->data() + sz;
+    for (int i = 0; i < 8; ++i) {
+      p[i] = static_cast<uint8_t>(acc_ >> (56 - 8 * i));
+    }
+    acc_ = 0;
+    bits_ = 0;
+  }
+
+  Bytes* out_;
+  uint64_t acc_ = 0;
+  int bits_ = 0;  // pending bits held in the top of acc_
+};
+
 }  // namespace bos::bitpack
 
 #endif  // BOS_BITPACK_BIT_WRITER_H_

@@ -27,12 +27,16 @@ Status UnpackFixed(BitReader* reader, int width, size_t n, uint64_t* out) {
 void PackFixedAligned(std::span<const uint64_t> values, int width, Bytes* out) {
   if (width == 0 || values.empty()) return;
   const size_t start = out->size();
-  out->resize(start +
-              BitsToBytes(static_cast<uint64_t>(width) * values.size()));
+  const size_t payload =
+      BitsToBytes(static_cast<uint64_t>(width) * values.size());
   // Full 32-value blocks through the per-width kernels, scalar tail;
   // bit-identical to the historical single-pass stream (see
-  // unpack_kernels.h for the block contract).
-  PackBlocks(values.data(), values.size(), width, out->data() + start);
+  // unpack_kernels.h for the block contract). The 8 transient slack
+  // bytes let the wide kernels' overlapping stores run to the end.
+  out->resize(start + payload + 8);
+  PackBlocks(values.data(), values.size(), width, out->data() + start,
+             payload + 8);
+  out->resize(start + payload);
 }
 
 Status UnpackFixedAligned(BytesView data, size_t* offset, int width, size_t n,

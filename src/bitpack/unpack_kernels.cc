@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "bitpack/zigzag.h"
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
 #define BOS_KERNELS_X86 1
@@ -229,7 +231,188 @@ inline bool BlockWidthHasAvx2(int width) {
   return (width >= 1 && width <= 14) || width == 16;
 }
 
+// ---------------------------------------------------------------------
+// Wide (AVX2) pack kernels, W in [1, 16].
+//
+// MSB-first packing has a byte-aligned seam every 8 values (8*W bits is
+// exactly W bytes), so a block splits into four independent 8-value
+// pairs. Each pair's bits are assembled in 64-bit lanes with per-lane
+// variable shifts and OR-reduced via a 4x4 transpose; the result is
+// byte-swapped and stored big-endian, top-aligned, with the store's zero
+// tail overwritten by the next (overlapping) store. The last store of a
+// block reaches up to 7 bytes past the block's 4*W bytes, so these
+// kernels only run where the caller proves slack exists; the portable
+// kernels finish the edge.
+// ---------------------------------------------------------------------
+
+// Byte-swaps each 64-bit lane (for big-endian stores).
+__attribute__((target("avx2"))) inline __m256i BSwap64x4(__m256i v) {
+  const __m256i m =
+      _mm256_setr_epi8(7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,
+                       7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8);
+  return _mm256_shuffle_epi8(v, m);
+}
+
+// OR-reduces the four lanes of each of t0..t3 into one lane each:
+// result lane j = t_j[0] | t_j[1] | t_j[2] | t_j[3].
+__attribute__((target("avx2"))) inline __m256i OrTranspose4x4(
+    __m256i t0, __m256i t1, __m256i t2, __m256i t3) {
+  const __m256i ab = _mm256_or_si256(_mm256_unpacklo_epi64(t0, t1),
+                                     _mm256_unpackhi_epi64(t0, t1));
+  const __m256i cd = _mm256_or_si256(_mm256_unpacklo_epi64(t2, t3),
+                                     _mm256_unpackhi_epi64(t2, t3));
+  // ab = {t0[0]|t0[1], t1[0]|t1[1], t0[2]|t0[3], t1[2]|t1[3]}, cd alike;
+  // pairing the 128-bit halves finishes the reduction in lane order.
+  return _mm256_or_si256(_mm256_permute2x128_si256(ab, cd, 0x20),
+                         _mm256_permute2x128_si256(ab, cd, 0x31));
+}
+
+// Loads 4 values, optionally rebased, masked to the pack width.
+// (A plain function, not a lambda: lambdas do not inherit the enclosing
+// function's target("avx2") attribute.)
+template <bool kSub>
+__attribute__((target("avx2"))) inline __m256i LoadMasked4(const uint64_t* p,
+                                                           __m256i vbase,
+                                                           __m256i mask) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  if constexpr (kSub) v = _mm256_sub_epi64(v, vbase);
+  return _mm256_and_si256(v, mask);
+}
+
+// Packs one 32-value block at width W, subtracting `base` from every
+// value first (base = 0 gives the plain kernel; kSub gates the subtract
+// at compile time so the plain table pays nothing for the fusion).
+// Writes the block's 4*W bytes plus up to 7 slack bytes of zeros.
+template <int W, bool kSub>
+__attribute__((target("avx2"))) void PackBlock32Avx2(const uint64_t* in,
+                                                     uint64_t base,
+                                                     uint8_t* dst) {
+  static_assert(W >= 1 && W <= 16);
+  const __m256i mask = _mm256_set1_epi64x((1LL << W) - 1);
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<long long>(base));
+  if constexpr (W <= 8) {
+    // One 8-value pair per 64-bit lane: p = v0<<7W | v1<<6W | ... | v7.
+    const __m256i c_hi = _mm256_set_epi64x(4 * W, 5 * W, 6 * W, 7 * W);
+    const __m256i c_lo = _mm256_set_epi64x(0, W, 2 * W, 3 * W);
+    __m256i t[4];
+    for (int j = 0; j < 4; ++j) {
+      t[j] = _mm256_or_si256(
+          _mm256_sllv_epi64(LoadMasked4<kSub>(in + 8 * j, vbase, mask), c_hi),
+          _mm256_sllv_epi64(LoadMasked4<kSub>(in + 8 * j + 4, vbase, mask),
+                            c_lo));
+    }
+    const __m256i pairs = OrTranspose4x4(t[0], t[1], t[2], t[3]);
+    // Top-align each pair's 8W bits and store big-endian, W bytes apart;
+    // ascending stores overwrite the previous pair's zero tail.
+    const __m256i be = BSwap64x4(_mm256_slli_epi64(pairs, 64 - 8 * W));
+    const __m128i lo = _mm256_castsi256_si128(be);
+    const __m128i hi = _mm256_extracti128_si256(be, 1);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst), lo);
+    _mm_storeh_pd(reinterpret_cast<double*>(dst + W), _mm_castsi128_pd(lo));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + 2 * W), hi);
+    _mm_storeh_pd(reinterpret_cast<double*>(dst + 3 * W),
+                  _mm_castsi128_pd(hi));
+  } else {
+    // A pair's 8W bits exceed 64: build 4-value groups g = v0<<3W | ...
+    // | v3 (4W <= 64 bits), splice group pairs into a 128-bit quantity
+    // P = g_even:g_odd and store its top-aligned halves as two 64-bit
+    // big-endian stores per pair.
+    const __m256i cg = _mm256_set_epi64x(0, W, 2 * W, 3 * W);
+    __m256i r[2];
+    for (int h = 0; h < 2; ++h) {
+      __m256i t[4];
+      for (int j = 0; j < 4; ++j) {
+        t[j] = _mm256_sllv_epi64(
+            LoadMasked4<kSub>(in + 16 * h + 4 * j, vbase, mask), cg);
+      }
+      r[h] = OrTranspose4x4(t[0], t[1], t[2], t[3]);  // {g0..g3} / {g4..g7}
+    }
+    // evens = {g0, g4, g2, g6}, odds = {g1, g5, g3, g7}: lane k holds the
+    // pair (g_even, g_odd) of memory pair {0, 2, 1, 3}[k].
+    const __m256i evens = _mm256_unpacklo_epi64(r[0], r[1]);
+    const __m256i odds = _mm256_unpackhi_epi64(r[0], r[1]);
+    // P = g_even * 2^(4W) + g_odd, 8W in (64, 128] bits, top-aligned:
+    // hi64 = g_even << (64-4W) | g_odd >> (8W-64), lo64 = g_odd << (128-8W).
+    // (srli with count 64 — the W = 16 case — correctly yields zero.)
+    const __m256i hi64 = _mm256_or_si256(_mm256_slli_epi64(evens, 64 - 4 * W),
+                                         _mm256_srli_epi64(odds, 8 * W - 64));
+    const __m256i lo64 = _mm256_slli_epi64(odds, 128 - 8 * W);
+    const __m256i hi_be = BSwap64x4(hi64);
+    const __m256i lo_be = BSwap64x4(lo64);
+    const __m128i h01 = _mm256_castsi256_si128(hi_be);
+    const __m128i h23 = _mm256_extracti128_si256(hi_be, 1);
+    const __m128i l01 = _mm256_castsi256_si128(lo_be);
+    const __m128i l23 = _mm256_extracti128_si256(lo_be, 1);
+    // Ascending stores; pair j's lo-store zero tail (W >= 9 > 8 bytes
+    // apart) is overwritten by pair j+1's hi store.
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst), h01);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + 8), l01);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + W), h23);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + W + 8), l23);
+    _mm_storeh_pd(reinterpret_cast<double*>(dst + 2 * W),
+                  _mm_castsi128_pd(h01));
+    _mm_storeh_pd(reinterpret_cast<double*>(dst + 2 * W + 8),
+                  _mm_castsi128_pd(l01));
+    _mm_storeh_pd(reinterpret_cast<double*>(dst + 3 * W),
+                  _mm_castsi128_pd(h23));
+    _mm_storeh_pd(reinterpret_cast<double*>(dst + 3 * W + 8),
+                  _mm_castsi128_pd(l23));
+  }
+}
+
+using PackAvx2Fn = void (*)(const uint64_t*, uint64_t, uint8_t*);
+
+template <bool kSub, int... Ws>
+constexpr std::array<PackAvx2Fn, sizeof...(Ws)> MakeAvx2PackTable(
+    std::integer_sequence<int, Ws...>) {
+  // Entry 0 is unreachable (dispatch handles width 0 first).
+  return {&PackBlock32Avx2<(Ws == 0) ? 1 : Ws, kSub>...};
+}
+
+// Widths 0..16.
+const auto kAvx2PackTable =
+    MakeAvx2PackTable<false>(std::make_integer_sequence<int, 17>{});
+const auto kAvx2PackSubTable =
+    MakeAvx2PackTable<true>(std::make_integer_sequence<int, 17>{});
+
+// Bytes of `dst` a wide pack kernel touches from a block's start: the
+// last store begins at 3*W and covers 8 bytes (W <= 8, single store per
+// pair) or 16 bytes (W > 8, split store).
+constexpr size_t PackReach(int width) {
+  return 3 * static_cast<size_t>(width) + (width <= 8 ? 8 : 16);
+}
+
+// Four wrapping deltas out[0..3] = in[0..3] - in[-1..2] in one step.
+__attribute__((target("avx2"))) inline void DeltaLanes(const int64_t* in,
+                                                       int64_t* out) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in));
+  const __m256i p =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in - 1));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_sub_epi64(v, p));
+}
+
+// Same, fused with zigzag: (d << 1) ^ (d >> 63). AVX2 has no 64-bit
+// arithmetic shift; cmpgt against zero produces the same all-ones /
+// all-zeros sign mask.
+__attribute__((target("avx2"))) inline void DeltaZigZagLanes(
+    const int64_t* in, int64_t* out) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in));
+  const __m256i p =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in - 1));
+  const __m256i d = _mm256_sub_epi64(v, p);
+  const __m256i sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), d);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm256_xor_si256(_mm256_slli_epi64(d, 1), sign));
+}
+
 #endif  // BOS_KERNELS_X86
+
+inline uint64_t ZigZag(uint64_t delta) {
+  return ZigZagEncode(static_cast<int64_t>(delta));
+}
 
 // ---------------------------------------------------------------------
 // Scalar reference: the pre-kernel single-pass accumulator code, kept
@@ -460,18 +643,119 @@ void UnpackBlocks(const uint8_t* src, size_t src_len, int width, size_t n,
   (void)src_len;
 }
 
-void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst) {
+void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst,
+                size_t dst_len) {
   if (width == 0) return;
-  const PackBlock32Fn kernel = kPackBlock32Table[width];
   const size_t step = BlockBytes(width);
-  size_t blocks = n / kBlockValues;
-  while (blocks-- > 0) {
-    kernel(in, dst);
-    in += kBlockValues;
-    dst += step;
+  const size_t blocks = n / kBlockValues;
+  size_t done = 0;
+
+#ifdef BOS_KERNELS_X86
+  if (blocks > 0 && HasWideKernels() && width >= 1 && width <= 16) {
+    // Block b's stores end at b*step + PackReach(width) bytes; only
+    // blocks where that stays inside dst_len take the wide kernel.
+    const size_t reach = PackReach(width);
+    size_t wide = 0;
+    if (dst_len >= reach) {
+      wide = std::min(blocks, (dst_len - reach) / step + 1);
+    }
+    const PackAvx2Fn kernel = kAvx2PackTable[width];
+    for (size_t b = 0; b < wide; ++b) {
+      kernel(in + b * kBlockValues, 0, dst + b * step);
+    }
+    done = wide;
+  }
+#endif
+
+  const PackBlock32Fn kernel = kPackBlock32Table[width];
+  for (size_t b = done; b < blocks; ++b) {
+    kernel(in + b * kBlockValues, dst + b * step);
   }
   const size_t tail = n % kBlockValues;
-  if (tail > 0) PackScalar(in, tail, width, dst);
+  if (tail > 0) {
+    PackScalar(in + blocks * kBlockValues, tail, width, dst + blocks * step);
+  }
+  (void)dst_len;
+}
+
+void PackBlocksSubBase(const int64_t* in, size_t n, int width, uint64_t base,
+                       uint8_t* dst, size_t dst_len) {
+  if (width == 0) return;
+  const size_t step = BlockBytes(width);
+  const size_t blocks = n / kBlockValues;
+  size_t done = 0;
+
+#ifdef BOS_KERNELS_X86
+  if (blocks > 0 && HasWideKernels() && width >= 1 && width <= 16) {
+    const size_t reach = PackReach(width);
+    size_t wide = 0;
+    if (dst_len >= reach) {
+      wide = std::min(blocks, (dst_len - reach) / step + 1);
+    }
+    const PackAvx2Fn kernel = kAvx2PackSubTable[width];
+    for (size_t b = 0; b < wide; ++b) {
+      kernel(reinterpret_cast<const uint64_t*>(in) + b * kBlockValues, base,
+             dst + b * step);
+    }
+    done = wide;
+  }
+#endif
+
+  // Portable edge: rebase one block at a time into a stack strip, then
+  // reuse the per-width block kernels — no heap scratch.
+  uint64_t strip[kBlockValues];
+  const PackBlock32Fn kernel = kPackBlock32Table[width];
+  for (size_t b = done; b < blocks; ++b) {
+    for (size_t i = 0; i < kBlockValues; ++i) {
+      strip[i] = static_cast<uint64_t>(in[b * kBlockValues + i]) - base;
+    }
+    kernel(strip, dst + b * step);
+  }
+  const size_t tail = n % kBlockValues;
+  if (tail > 0) {
+    for (size_t i = 0; i < tail; ++i) {
+      strip[i] = static_cast<uint64_t>(in[blocks * kBlockValues + i]) - base;
+    }
+    PackScalar(strip, tail, width, dst + blocks * step);
+  }
+  (void)dst_len;
+}
+
+void DeltaEncode(const int64_t* in, size_t n, int64_t prev, int64_t* out) {
+  if (n == 0) return;
+  out[0] = static_cast<int64_t>(static_cast<uint64_t>(in[0]) -
+                                static_cast<uint64_t>(prev));
+  size_t i = 1;
+#ifdef BOS_KERNELS_X86
+  if (HasWideKernels()) {
+    for (; i + 4 <= n; i += 4) {
+      DeltaLanes(in + i, out + i);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = static_cast<int64_t>(static_cast<uint64_t>(in[i]) -
+                                  static_cast<uint64_t>(in[i - 1]));
+  }
+}
+
+void DeltaZigZagEncode(const int64_t* in, size_t n, int64_t prev,
+                       int64_t* out) {
+  if (n == 0) return;
+  out[0] = static_cast<int64_t>(
+      ZigZag(static_cast<uint64_t>(in[0]) - static_cast<uint64_t>(prev)));
+  size_t i = 1;
+#ifdef BOS_KERNELS_X86
+  if (HasWideKernels()) {
+    for (; i + 4 <= n; i += 4) {
+      DeltaZigZagLanes(in + i, out + i);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = static_cast<int64_t>(
+        ZigZag(static_cast<uint64_t>(in[i]) - static_cast<uint64_t>(in[i - 1])));
+  }
 }
 
 void UnpackRunAddBase(const uint8_t* stream, size_t stream_len,

@@ -62,10 +62,43 @@ inline void PackBlock32(const uint64_t* in, int width, uint8_t* dst) {
 void UnpackBlocks(const uint8_t* src, size_t src_len, int width, size_t n,
                   uint64_t* out);
 
-/// Packs `n` values at `width` bits into `dst`, which must hold
-/// ceil(n*width/8) bytes; the final partial byte (if any) is zero-padded,
-/// matching the historical PackFixedAligned stream byte-for-byte.
-void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst);
+/// Packs `n` values at `width` bits into `dst`; the final partial byte
+/// (if any) is zero-padded, matching the historical PackFixedAligned
+/// stream byte-for-byte. `dst_len` is the number of writable bytes at
+/// `dst` (>= ceil(n*width/8)); slack beyond the packed payload lets the
+/// wide (SIMD) kernels store right up to the end with their overlapping
+/// 8-byte stores instead of falling back to the portable path for the
+/// final blocks. Bytes past the payload but inside `dst_len` may be
+/// clobbered (with zeros); bytes at `dst_len` and beyond are never
+/// touched.
+void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst,
+                size_t dst_len);
+
+/// Back-compat exact-fit form: `dst` holds exactly ceil(n*width/8)
+/// bytes. With no slack the wide kernels cover all but the last blocks;
+/// prefer the `dst_len` form on hot paths.
+inline void PackBlocks(const uint64_t* in, size_t n, int width, uint8_t* dst) {
+  PackBlocks(in, n, width, dst,
+             (static_cast<size_t>(width) * n + 7) / 8);
+}
+
+/// Fused rebase-and-pack: packs (uint64_t)in[i] - base at `width` bits —
+/// the encode-side mirror of UnpackBlocksAddBase. Saves the temporary
+/// delta buffer on the frame-of-reference encode path; the subtraction
+/// happens in vector registers on the wide path. `dst_len` as in
+/// PackBlocks.
+void PackBlocksSubBase(const int64_t* in, size_t n, int width, uint64_t base,
+                       uint8_t* dst, size_t dst_len);
+
+/// Delta transform: out[i] = in[i] - in[i-1] (wrapping), with `prev`
+/// standing in for in[-1]. `out` may not alias `in`. Vectorized where
+/// the CPU allows; feeds the TS2DIFF encode path.
+void DeltaEncode(const int64_t* in, size_t n, int64_t prev, int64_t* out);
+
+/// Fused delta+zigzag transform: out[i] = ZigZagEncode(in[i] - in[i-1])
+/// carried bit-exactly through int64. Feeds the SPRINTZ encode path.
+void DeltaZigZagEncode(const int64_t* in, size_t n, int64_t prev,
+                       int64_t* out);
 
 /// Fused unpack-and-rebase: out[i] = (int64_t)(base + delta[i]).
 /// Saves the temporary delta buffer on the frame-of-reference decode

@@ -1,9 +1,47 @@
 #include "bitpack/varint.h"
 
+#include <cstring>
+
 #include "bitpack/zigzag.h"
 #include "util/macros.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define BOS_VARINT_X86 1
+#endif
+
 namespace bos::bitpack {
+namespace {
+
+#ifdef BOS_VARINT_X86
+
+bool HasBmi2() {
+  static const bool has = __builtin_cpu_supports("bmi2") != 0;
+  return has;
+}
+
+// Decodes one varint of at most 8 bytes from `p` (8 readable bytes
+// required): writes the value and returns its length 1..8, or 0 when no
+// terminator byte lies in the window (a 9/10-byte or overlong encoding —
+// the caller falls back to the scalar decoder, which keeps the exact
+// rejection semantics). Encodings up to 8 bytes carry at most 56 bits,
+// so no overflow check is needed here.
+__attribute__((target("bmi2"))) inline int GetVarint8Bmi2(const uint8_t* p,
+                                                          uint64_t* v) {
+  uint64_t chunk;
+  std::memcpy(&chunk, p, 8);
+  const uint64_t stops = ~chunk & 0x8080808080808080ULL;
+  if (stops == 0) return 0;
+  // Zero every byte past the first terminator, then gather the 7-bit
+  // groups low-to-high in one pext.
+  const uint64_t keep = stops ^ (stops - 1);
+  *v = _pext_u64(chunk & keep, 0x7f7f7f7f7f7f7f7fULL);
+  return static_cast<int>((__builtin_ctzll(stops) >> 3) + 1);
+}
+
+#endif  // BOS_VARINT_X86
+
+}  // namespace
 
 void PutVarint(Bytes* out, uint64_t v) {
   while (v >= 0x80) {
@@ -15,7 +53,7 @@ void PutVarint(Bytes* out, uint64_t v) {
 
 void PutSignedVarint(Bytes* out, int64_t v) { PutVarint(out, ZigZagEncode(v)); }
 
-Status GetVarint(BytesView data, size_t* offset, uint64_t* v) {
+Status GetVarintScalar(BytesView data, size_t* offset, uint64_t* v) {
   uint64_t result = 0;
   int shift = 0;
   size_t pos = *offset;
@@ -36,6 +74,49 @@ Status GetVarint(BytesView data, size_t* offset, uint64_t* v) {
   *offset = pos;
   *v = result;
   return Status::OK();
+}
+
+Status GetVarint(BytesView data, size_t* offset, uint64_t* v) {
+#ifdef BOS_VARINT_X86
+  if (HasBmi2() && *offset + 8 <= data.size()) {
+    const int len = GetVarint8Bmi2(data.data() + *offset, v);
+    if (len > 0) {
+      *offset += len;
+      return Status::OK();
+    }
+  }
+#endif
+  return GetVarintScalar(data, offset, v);
+}
+
+Status GetVarintRun(BytesView data, size_t* offset, size_t count,
+                    uint64_t* out) {
+  size_t pos = *offset;
+  size_t i = 0;
+  while (i < count) {
+#ifdef BOS_VARINT_X86
+    if (HasBmi2() && pos + 8 <= data.size()) {
+      const int len = GetVarint8Bmi2(data.data() + pos, &out[i]);
+      if (len > 0) {
+        pos += len;
+        ++i;
+        continue;
+      }
+    }
+#endif
+    BOS_RETURN_NOT_OK(GetVarintScalar(data, &pos, &out[i]));
+    ++i;
+  }
+  *offset = pos;
+  return Status::OK();
+}
+
+bool HasBmi2Varint() {
+#ifdef BOS_VARINT_X86
+  return HasBmi2();
+#else
+  return false;
+#endif
 }
 
 Status GetSignedVarint(BytesView data, size_t* offset, int64_t* v) {

@@ -15,8 +15,27 @@ void PutVarint(Bytes* out, uint64_t v);
 void PutSignedVarint(Bytes* out, int64_t v);
 
 /// Reads a varint at `*offset`, advancing it. Fails on truncation or a
-/// value longer than 10 bytes.
+/// value longer than 10 bytes. Dispatches to a BMI2 `pext` word decoder
+/// at runtime where the CPU allows (one 8-byte load instead of a byte
+/// loop for varints up to 8 bytes); rejection semantics are identical
+/// to the scalar decoder.
 Status GetVarint(BytesView data, size_t* offset, uint64_t* v);
+
+/// Scalar reference decoder — the pre-BMI2 byte loop. Kept callable so
+/// tests and fuzzers can assert agreement with the dispatched path.
+Status GetVarintScalar(BytesView data, size_t* offset, uint64_t* v);
+
+/// Batched decode: reads `count` consecutive varints into `out`,
+/// advancing `*offset` past all of them. On a corrupt varint, returns
+/// the Status GetVarint would return for it, `*offset` is unchanged,
+/// and the decoded prefix in `out` is unspecified. Amortizes the BMI2
+/// dispatch over the run; the 9/10-byte and stream-tail edges fall back
+/// to the scalar decoder, preserving the overlong-encoding rejections.
+Status GetVarintRun(BytesView data, size_t* offset, size_t count,
+                    uint64_t* out);
+
+/// True when the CPU offers the BMI2 varint fast path (bench labels).
+bool HasBmi2Varint();
 
 /// Reads a zigzag-coded signed varint.
 Status GetSignedVarint(BytesView data, size_t* offset, int64_t* v);

@@ -9,7 +9,16 @@
 namespace bos::codecs {
 namespace {
 
-std::vector<std::string> DefaultCandidates() {
+std::vector<std::string> DefaultCandidates(bool hybrid) {
+  if (hybrid) {
+    // The hybrid operator prices the same layouts as BOS-B (it escalates
+    // to the exact search when the approximate one looks weak), at a
+    // fraction of the search cost for both the sampling below and the
+    // recommended ingestion path.
+    return {"TS2DIFF+BP",    "TS2DIFF+FASTPFOR", "TS2DIFF+BOS-H",
+            "TS2DIFF+BOS-M", "SPRINTZ+BOS-H",    "SPRINTZ+FASTPFOR",
+            "RLE+BP",        "RLE+BOS-H"};
+  }
   return {"TS2DIFF+BP",    "TS2DIFF+FASTPFOR", "TS2DIFF+BOS-B",
           "TS2DIFF+BOS-M", "SPRINTZ+BOS-B",    "SPRINTZ+FASTPFOR",
           "RLE+BP",        "RLE+BOS-B"};
@@ -45,7 +54,8 @@ Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
   BOS_TELEMETRY_COUNTER_ADD("bos.codecs.advisor.runs", 1);
   BOS_TELEMETRY_SPAN("bos.codecs.advisor.advise_ns");
   const std::vector<std::string> candidates =
-      options.candidates.empty() ? DefaultCandidates() : options.candidates;
+      options.candidates.empty() ? DefaultCandidates(options.hybrid)
+                                 : options.candidates;
   const std::vector<int64_t> sample = Sample(values, options.sample_values);
 
   Recommendation rec;

@@ -19,6 +19,14 @@ struct AdvisorOptions {
   /// Candidate codec specs; empty selects a curated default covering the
   /// transform/operator grid's useful corners.
   std::vector<std::string> candidates;
+
+  /// Swap the exact BOS-B operator for the hybrid "BOS-H"
+  /// (BOS-M-first, escalate-on-weak-gain) in the default candidate list
+  /// and in the recommendation: the advisor's sampling passes — and the
+  /// ingestion path it recommends — then pay the exact search only on
+  /// blocks where the approximate one looks weak. Ignored when
+  /// `candidates` is set explicitly.
+  bool hybrid = false;
 };
 
 /// One candidate's measured performance on the sample.

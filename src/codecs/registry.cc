@@ -39,6 +39,10 @@ Result<std::shared_ptr<const core::PackingOperator>> MakeOperator(
     return {std::make_shared<core::BosOperator>(SeparationStrategy::kBitWidth)};
   if (name == "BOS-M")
     return {std::make_shared<core::BosOperator>(SeparationStrategy::kMedian)};
+  // Opt-in (not in OperatorNames): encoded bytes depend on the
+  // escalation threshold, so the hybrid stays out of the default grid
+  // and the format-golden coverage.
+  if (name == "BOS-H") return {std::make_shared<core::BosHybridOperator>()};
   if (name == "BOS-UPPER")
     return {std::make_shared<core::BosUpperOnlyOperator>()};
   if (name == "BOS-LIST") return {std::make_shared<core::BosListOperator>()};

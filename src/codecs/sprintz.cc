@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "bitpack/zigzag.h"
 #include "util/macros.h"
@@ -9,9 +10,6 @@
 namespace bos::codecs {
 namespace {
 
-int64_t WrappingSub(int64_t a, int64_t b) {
-  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
-}
 int64_t WrappingAdd(int64_t a, int64_t b) {
   return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
 }
@@ -29,16 +27,17 @@ std::string SprintzCodec::name() const {
 Status SprintzCodec::Compress(std::span<const int64_t> values,
                               Bytes* out) const {
   bitpack::PutVarint(out, values.size());
-  std::vector<int64_t> coded;
+  // One scratch buffer for the whole stream, sized to the largest block;
+  // the delta+zigzag transform is fused and vectorized (the zigzag code
+  // is carried bit-exactly through int64).
+  std::vector<int64_t> coded(
+      values.empty() ? 0 : std::min(block_size_, values.size()) - 1);
   for (size_t start = 0; start < values.size(); start += block_size_) {
     const size_t len = std::min(block_size_, values.size() - start);
     bitpack::PutSignedVarint(out, values[start]);
-    coded.clear();
-    for (size_t i = 1; i < len; ++i) {
-      const int64_t delta = WrappingSub(values[start + i], values[start + i - 1]);
-      // The zigzag code is carried bit-exactly through int64.
-      coded.push_back(static_cast<int64_t>(bitpack::ZigZagEncode(delta)));
-    }
+    coded.resize(len - 1);
+    bitpack::DeltaZigZagEncode(values.data() + start + 1, len - 1,
+                               values[start], coded.data());
     BOS_RETURN_NOT_OK(op_->Encode(coded, out));
   }
   return Status::OK();
@@ -57,6 +56,7 @@ Status SprintzCodec::DecompressImpl(BytesView data,
   if (n > kMaxStreamValues) return Status::Corruption("SPRINTZ: n too large");
   ReserveBounded(out, n);
   std::vector<int64_t> coded;
+  coded.reserve(std::min<uint64_t>(block_size_, n));
   for (uint64_t done = 0; done < n; done += block_size_) {
     const uint64_t len = std::min<uint64_t>(block_size_, n - done);
     int64_t first;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "util/macros.h"
 
@@ -39,14 +40,15 @@ std::string Ts2DiffCodec::name() const {
 Status Ts2DiffCodec::Compress(std::span<const int64_t> values,
                               Bytes* out) const {
   bitpack::PutVarint(out, values.size());
-  std::vector<int64_t> deltas;
+  // One scratch buffer for the whole stream, sized to the largest block.
+  std::vector<int64_t> deltas(
+      std::min(block_size_, values.size()) - (values.empty() ? 0 : 1));
   for (size_t start = 0; start < values.size(); start += block_size_) {
     const size_t len = std::min(block_size_, values.size() - start);
     bitpack::PutSignedVarint(out, values[start]);
-    deltas.clear();
-    for (size_t i = 1; i < len; ++i) {
-      deltas.push_back(WrappingSub(values[start + i], values[start + i - 1]));
-    }
+    deltas.resize(len - 1);
+    bitpack::DeltaEncode(values.data() + start + 1, len - 1, values[start],
+                         deltas.data());
     BOS_RETURN_NOT_OK(op_->Encode(deltas, out));
   }
   return Status::OK();
@@ -65,6 +67,7 @@ Status Ts2DiffCodec::DecompressImpl(BytesView data,
   if (n > kMaxStreamValues) return Status::Corruption("TS2DIFF: n too large");
   ReserveBounded(out, n);
   std::vector<int64_t> deltas;
+  deltas.reserve(std::min<uint64_t>(block_size_, n));
   for (uint64_t done = 0; done < n; done += block_size_) {
     const uint64_t len = std::min<uint64_t>(block_size_, n - done);
     int64_t first;

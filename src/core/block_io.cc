@@ -17,11 +17,18 @@ void EncodePlainBlock(std::span<const int64_t> values, Bytes* out) {
   const int width = BitWidth(UnsignedRange(mm.min, mm.max));
   bitpack::PutSignedVarint(out, mm.min);
   out->push_back(static_cast<uint8_t>(width));
-  std::vector<uint64_t> deltas(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    deltas[i] = UnsignedRange(mm.min, values[i]);
-  }
-  bitpack::PackFixedAligned(deltas, width, out);
+  // Fused rebase-and-pack through the block-of-32 kernels: no
+  // intermediate delta buffer on the frame-of-reference path (mirror of
+  // the decode side's UnpackBlocksAddBase). 8 transient slack bytes let
+  // the wide kernels' overlapping stores run to the end.
+  const size_t start = out->size();
+  const size_t payload =
+      BitsToBytes(static_cast<uint64_t>(width) * values.size());
+  out->resize(start + payload + 8);
+  bitpack::PackBlocksSubBase(values.data(), values.size(), width,
+                             static_cast<uint64_t>(mm.min),
+                             out->data() + start, payload + 8);
+  out->resize(start + payload);
 }
 
 Status DecodePlainBlockBody(BytesView data, size_t* offset,

@@ -421,7 +421,13 @@ Status EncodeSeparated(std::span<const int64_t> values, const Separation& sep,
   out->push_back(static_cast<uint8_t>(w.beta));
   if (p.nu > 0) out->push_back(static_cast<uint8_t>(w.gamma));
 
-  bitpack::BitWriter writer(out);
+  const uint64_t payload_bits =
+      (p.n + p.nl + p.nu) + p.nl * static_cast<uint64_t>(w.alpha) +
+      p.nu * static_cast<uint64_t>(w.gamma) +
+      p.nc() * static_cast<uint64_t>(w.beta);
+  out->reserve(out->size() + BitsToBytes(payload_bits) + 8);
+
+  bitpack::FastBitWriter writer(out);
   // Bitmap: '0' center, '10' lower, '11' upper (Figure 2).
   for (int64_t v : values) {
     if (sep.has_lower && v <= sep.xl) {
@@ -442,6 +448,7 @@ Status EncodeSeparated(std::span<const int64_t> values, const Separation& sep,
       writer.WriteBits(UnsignedRange(p.min_xc, v), w.beta);
     }
   }
+  writer.Finish();
   return Status::OK();
 }
 
@@ -545,7 +552,7 @@ Status EncodeSeparatedList(std::span<const int64_t> values,
   put_positions(/*lower=*/true);
   put_positions(/*lower=*/false);
 
-  bitpack::BitWriter writer(out);
+  bitpack::FastBitWriter writer(out);
   for (int64_t v : values) {
     if (sep.has_lower && v <= sep.xl) {
       writer.WriteBits(UnsignedRange(p.xmin, v), w.alpha);
@@ -555,6 +562,7 @@ Status EncodeSeparatedList(std::span<const int64_t> values,
       writer.WriteBits(UnsignedRange(p.min_xc, v), w.beta);
     }
   }
+  writer.Finish();
   return Status::OK();
 }
 
@@ -591,13 +599,17 @@ Status DecodeSeparatedListBody(BytesView data, size_t* offset,
   std::vector<uint32_t> lower_pos, upper_pos;
   lower_pos.reserve(nl);
   upper_pos.reserve(nu);
+  // Gap lists decode through the batched (BMI2-dispatched) varint run;
+  // wrapping position arithmetic matches the historical per-varint loop
+  // (a wrapped position lands < n at worst and the duplicate-position
+  // checks below still reject the block).
+  std::vector<uint64_t> gaps(std::max(nl, nu));
   auto read_positions = [&](uint64_t count,
                             std::vector<uint32_t>* pos_list) -> Status {
+    BOS_RETURN_NOT_OK(bitpack::GetVarintRun(data, offset, count, gaps.data()));
     uint64_t pos = 0;
     for (uint64_t i = 0; i < count; ++i) {
-      uint64_t gap;
-      BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &gap));
-      pos = (i == 0) ? gap : pos + 1 + gap;
+      pos = (i == 0) ? gaps[i] : pos + 1 + gaps[i];
       if (pos >= n) return Status::Corruption("BOS-LIST: bad position");
       pos_list->push_back(static_cast<uint32_t>(pos));
     }
@@ -792,6 +804,37 @@ Status BosListOperator::Encode(std::span<const int64_t> values,
 
 Status BosListOperator::Decode(BytesView data, size_t* offset,
                                std::vector<int64_t>* out) const {
+  return DecodeBosBlock(data, offset, out);
+}
+
+Status BosHybridOperator::Encode(std::span<const int64_t> values,
+                                 Bytes* out) const {
+  if (values.empty()) {
+    EncodePlainBlock(values, out);
+    return Status::OK();
+  }
+  Separation sep = SeparateTimed(SeparationStrategy::kMedian, values);
+  // When BOS-M found no split its cost_bits already IS the Definition-1
+  // plain cost (and its partition fields are meaningless), so the gap
+  // test below degenerates to "escalate iff t < 1" without special-casing.
+  const uint64_t plain_bits =
+      sep.separated ? PlainCostBits(values.size(), sep.partition.xmin,
+                                    sep.partition.xmax)
+                    : sep.cost_bits;
+  const bool escalate =
+      static_cast<double>(sep.cost_bits) >
+      escalate_threshold_ * static_cast<double>(plain_bits);
+  if (escalate) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.hybrid_escalated", 1);
+    sep = SeparateTimed(SeparationStrategy::kBitWidth, values);
+  } else {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.hybrid_kept_median", 1);
+  }
+  return EncodeWithSeparation(values, sep, out);
+}
+
+Status BosHybridOperator::Decode(BytesView data, size_t* offset,
+                                 std::vector<int64_t>* out) const {
   return DecodeBosBlock(data, offset, out);
 }
 

@@ -92,6 +92,36 @@ class BosAdaptiveOperator final : public PackingOperator {
                 std::vector<int64_t>* out) const override;
 };
 
+/// \brief "BOS-H": hybrid search for write-heavy tenants. Each block is
+/// searched with the O(n) approximate BOS-M strategy first; the exact
+/// BOS-B search runs only when BOS-M's modeled saving over plain packing
+/// (Definition 5 vs Definition 1 cost) is below `escalate_threshold` —
+/// the blocks where the approximate search risks leaving compression
+/// behind. The emitted streams are ordinary BOS blocks either way, so
+/// decoding is unchanged. Opt-in: registered as "BOS-H" in the codec
+/// registry but not part of the default operator list; encoded bytes
+/// depend on the threshold, so it is excluded from format-golden
+/// coverage by design.
+class BosHybridOperator final : public PackingOperator {
+ public:
+  /// `escalate_threshold` t in [0, 1]: escalate when
+  /// modeled_separated_cost > t * modeled_plain_cost, i.e. when BOS-M's
+  /// modeled saving is below the fraction (1 - t). t = 0 always
+  /// escalates (exact search everywhere); t = 1 never does (pure BOS-M).
+  explicit BosHybridOperator(double escalate_threshold = 0.95)
+      : escalate_threshold_(escalate_threshold) {}
+
+  std::string_view name() const override { return "BOS-H"; }
+  double escalate_threshold() const { return escalate_threshold_; }
+
+  Status Encode(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decode(BytesView data, size_t* offset,
+                std::vector<int64_t>* out) const override;
+
+ private:
+  double escalate_threshold_;
+};
+
 }  // namespace bos::core
 
 #endif  // BOS_CORE_BOS_CODEC_H_

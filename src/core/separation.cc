@@ -1,13 +1,22 @@
 #include "core/separation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstring>
 #include <vector>
 
 #include "util/bits.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define BOS_SEPARATION_X86 1
+#include <immintrin.h>
+#endif
+
 namespace bos::core {
 namespace {
+
+std::atomic<bool> g_histogram_search{true};
 
 // Sorted unique values with cumulative counts (Definition 6): cum[i] is the
 // number of block values <= uniq[i].
@@ -16,7 +25,72 @@ struct UniqueCounts {
   std::vector<uint64_t> cum;
 };
 
-UniqueCounts BuildUniqueCounts(std::span<const int64_t> values) {
+struct MinMax {
+  int64_t min;
+  int64_t max;
+};
+
+#ifdef BOS_SEPARATION_X86
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+// AVX2 has no 64-bit min/max, so both reductions are a compare + blend.
+__attribute__((target("avx2"))) MinMax MinMaxAvx2(const int64_t* v, size_t n) {
+  __m256i mn = _mm256_set1_epi64x(v[0]);
+  __m256i mx = mn;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    mn = _mm256_blendv_epi8(mn, x, _mm256_cmpgt_epi64(mn, x));
+    mx = _mm256_blendv_epi8(mx, x, _mm256_cmpgt_epi64(x, mx));
+  }
+  alignas(32) int64_t lo[4];
+  alignas(32) int64_t hi[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lo), mn);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(hi), mx);
+  MinMax mm{lo[0], hi[0]};
+  for (int k = 1; k < 4; ++k) {
+    mm.min = std::min(mm.min, lo[k]);
+    mm.max = std::max(mm.max, hi[k]);
+  }
+  for (; i < n; ++i) {
+    mm.min = std::min(mm.min, v[i]);
+    mm.max = std::max(mm.max, v[i]);
+  }
+  return mm;
+}
+#endif  // BOS_SEPARATION_X86
+
+MinMax ComputeMinMax(std::span<const int64_t> values) {
+#ifdef BOS_SEPARATION_X86
+  if (HasAvx2() && values.size() >= 8) {
+    return MinMaxAvx2(values.data(), values.size());
+  }
+#endif
+  MinMax mm{values.front(), values.front()};
+  for (int64_t v : values) {
+    mm.min = std::min(mm.min, v);
+    mm.max = std::max(mm.max, v);
+  }
+  return mm;
+}
+
+// The histogram front-end and the successor-index search below spend
+// O(range) per block, so they only pay off when the value range is narrow
+// relative to the block (the common IoT shape). The n cap also keeps every
+// candidate cost below 2^27 bits, which the vectorized scan relies on for
+// packing (cost, li) into one 64-bit lane.
+constexpr uint64_t kNarrowRangeMax = (1ULL << 16) - 1;  // offsets fit uint16
+constexpr uint64_t kNarrowMaxValues = 1ULL << 19;
+
+bool NarrowRangeEligible(uint64_t n, uint64_t range) {
+  return range <= kNarrowRangeMax && range < 64 * n && n <= kNarrowMaxValues;
+}
+
+UniqueCounts BuildUniqueCountsSort(std::span<const int64_t> values) {
   UniqueCounts uc;
   std::vector<int64_t> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());
@@ -31,6 +105,55 @@ UniqueCounts BuildUniqueCounts(std::span<const int64_t> values) {
     }
   }
   return uc;
+}
+
+// Counting-sort front-end for narrow ranges: one pass to count, one sweep
+// over the (small) value domain to emit uniq/cum in sorted order. The
+// thread-local histogram is re-zeroed during the sweep, which touches
+// exactly the slots the counting pass did, so it stays all-zero between
+// calls and is never cleared wholesale.
+UniqueCounts BuildUniqueCountsHistogram(std::span<const int64_t> values,
+                                        int64_t xmin, uint64_t range) {
+  thread_local std::vector<uint32_t> hist;
+  const size_t slots = static_cast<size_t>(range) + 1;
+  if (hist.size() < slots) hist.resize(slots, 0);
+  uint32_t* h = hist.data();
+  for (int64_t v : values) ++h[UnsignedRange(xmin, v)];
+
+  UniqueCounts uc;
+  const size_t cap = std::min(values.size(), slots);
+  uc.uniq.resize(cap);
+  uc.cum.resize(cap);
+  int64_t* uniq = uc.uniq.data();
+  uint64_t* cum = uc.cum.data();
+  uint64_t running = 0;
+  size_t k = 0;
+  // Branchless compressed write: every slot stores to position k, but k
+  // only advances past occupied slots, so empty slots are overwritten by
+  // the next occupied one. Occupancy is ~random, which makes a branchy
+  // sweep mispredict constantly.
+  for (size_t o = 0; o < slots; ++o) {
+    const uint32_t c = h[o];
+    h[o] = 0;
+    running += c;
+    uniq[k] = xmin + static_cast<int64_t>(o);
+    cum[k] = running;
+    k += c != 0;
+  }
+  uc.uniq.resize(k);
+  uc.cum.resize(k);
+  return uc;
+}
+
+UniqueCounts BuildUniqueCounts(std::span<const int64_t> values) {
+  if (g_histogram_search.load(std::memory_order_relaxed)) {
+    const MinMax mm = ComputeMinMax(values);
+    const uint64_t range = UnsignedRange(mm.min, mm.max);
+    if (NarrowRangeEligible(values.size(), range)) {
+      return BuildUniqueCountsHistogram(values, mm.min, range);
+    }
+  }
+  return BuildUniqueCountsSort(values);
 }
 
 // Builds the Partition for the candidate where lower outliers are
@@ -165,6 +288,309 @@ int LowerBoundIndex(const std::vector<int64_t>& uniq, int64_t threshold) {
       std::lower_bound(uniq.begin(), uniq.end(), threshold) - uniq.begin());
 }
 
+#ifdef BOS_SEPARATION_X86
+// Scans candidates (li, ui) for a fixed ui over li in [li_lo, li_hi], four
+// lanes at a time. To reproduce the scalar tie-break (strict <, first
+// candidate wins), each lane packs (cost << 20) | (li + 1); the running
+// unsigned minimum of that packing picks the smallest li among equal
+// costs, which is exactly the first one the scalar loop would have kept.
+// Requires the narrow-mode bounds: cost < 2^27 and li + 1 < 2^20, so the
+// packed value stays below 2^47 and signed 64-bit compares are safe.
+__attribute__((target("avx2"))) uint64_t ScanFixedUpperAvx2(
+    const SearchContext& ctx, int li_lo, int li_hi, int ui,
+    uint64_t best_packed) {
+  const std::vector<int64_t>& uniq = ctx.uc.uniq;
+  const uint64_t base_cost = ctx.n + ctx.upper_term[ui];
+  const uint64_t n_minus_nu = ctx.n - ctx.upper_count[ui];
+  const __m256i vbase = _mm256_set1_epi64x(static_cast<int64_t>(base_cost));
+  const __m256i vnnu = _mm256_set1_epi64x(static_cast<int64_t>(n_minus_nu));
+  const __m256i vmax_xc = _mm256_set1_epi64x(uniq[ui - 1]);
+  const __m128i vexp_bias = _mm_set1_epi32(126);
+  const __m128i vone = _mm_set1_epi32(1);
+  __m256i vbest = _mm256_set1_epi64x(static_cast<int64_t>(best_packed));
+  __m256i vid = _mm256_setr_epi64x(li_lo + 1, li_lo + 2, li_lo + 3, li_lo + 4);
+  const __m256i vid_step = _mm256_set1_epi64x(4);
+  int li = li_lo;
+  for (; li + 4 <= li_hi + 1; li += 4) {
+    const __m256i lt = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ctx.lower_term.data() + li));
+    const __m256i lc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ctx.lower_count.data() + li));
+    const __m256i min_xc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(uniq.data() + li + 1));
+    // Center range fits 17 bits in narrow mode, so the float conversion is
+    // exact and RangeBitWidth(r) is max(1, float_exponent(r) - 126).
+    const __m256i crange = _mm256_sub_epi64(vmax_xc, min_xc);
+    const __m128i crange32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        crange, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+    const __m128i fbits = _mm_castps_si128(_mm_cvtepi32_ps(crange32));
+    const __m128i width32 = _mm_max_epi32(
+        vone, _mm_sub_epi32(_mm_srli_epi32(fbits, 23), vexp_bias));
+    const __m256i width = _mm256_cvtepu32_epi64(width32);
+    const __m256i nc = _mm256_sub_epi64(vnnu, lc);
+    const __m256i center_term = _mm256_mul_epu32(nc, width);
+    const __m256i cost =
+        _mm256_add_epi64(_mm256_add_epi64(vbase, lt), center_term);
+    const __m256i packed = _mm256_or_si256(_mm256_slli_epi64(cost, 20), vid);
+    vbest = _mm256_blendv_epi8(vbest, packed, _mm256_cmpgt_epi64(vbest, packed));
+    vid = _mm256_add_epi64(vid, vid_step);
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vbest);
+  for (uint64_t lane : lanes) best_packed = std::min(best_packed, lane);
+  for (; li <= li_hi; ++li) {
+    const uint64_t packed =
+        (ctx.Cost(li, ui) << 20) | static_cast<uint64_t>(li + 1);
+    best_packed = std::min(best_packed, packed);
+  }
+  return best_packed;
+}
+// Cost pass of the Proposition 2 inner loop over candidates li = j - 1,
+// j in [j_begin, j_end), after the successor pass resolved each ui into
+// ui_buf. Same packed (cost << 20) | (li + 1) minimum trick as the
+// fixed-upper scan; the only non-sequential access is one gather into the
+// packed upper-boundary table.
+__attribute__((target("avx2"))) uint64_t Prop2ScanAvx2(
+    const uint64_t* upk, const uint64_t* lpk, const uint16_t* ui_buf,
+    const uint16_t* op, uint64_t n, int j_begin, int j_end,
+    uint64_t best_packed) {
+  const __m256i vn = _mm256_set1_epi64x(static_cast<int64_t>(n));
+  const __m256i mask20 = _mm256_set1_epi64x(0xFFFFF);
+  const __m256i mask26 = _mm256_set1_epi64x((1 << 26) - 1);
+  const __m128i vexp_bias = _mm_set1_epi32(126);
+  const __m128i vone32 = _mm_set1_epi32(1);
+  __m256i vbest = _mm256_set1_epi64x(static_cast<int64_t>(best_packed));
+  __m256i vid =
+      _mm256_setr_epi64x(j_begin, j_begin + 1, j_begin + 2, j_begin + 3);
+  const __m256i vid_step = _mm256_set1_epi64x(4);
+  int j = j_begin;
+  for (; j + 4 <= j_end; j += 4) {
+    const __m256i ui = _mm256_cvtepu16_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ui_buf + j)));
+    const __m256i head = _mm256_cvtepu16_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(op + j)));
+    const __m256i pk = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(upk), ui, 8);
+    const __m256i lp = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lpk + j - 1));
+    const __m256i nl = _mm256_and_si256(lp, mask20);
+    const __m256i lt = _mm256_srli_epi64(lp, 20);
+    const __m256i nu = _mm256_and_si256(_mm256_srli_epi64(pk, 26), mask20);
+    const __m256i ut = _mm256_and_si256(pk, mask26);
+    const __m256i crange =
+        _mm256_sub_epi64(_mm256_srli_epi64(pk, 46), head);
+    const __m128i crange32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        crange, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+    const __m128i fbits = _mm_castps_si128(_mm_cvtepi32_ps(crange32));
+    const __m128i width32 = _mm_max_epi32(
+        vone32, _mm_sub_epi32(_mm_srli_epi32(fbits, 23), vexp_bias));
+    const __m256i width = _mm256_cvtepu32_epi64(width32);
+    const __m256i nc = _mm256_sub_epi64(_mm256_sub_epi64(vn, nl), nu);
+    const __m256i center = _mm256_mul_epu32(nc, width);
+    const __m256i cost = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_add_epi64(vn, lt), ut), center);
+    const __m256i packed = _mm256_or_si256(_mm256_slli_epi64(cost, 20), vid);
+    vbest =
+        _mm256_blendv_epi8(vbest, packed, _mm256_cmpgt_epi64(vbest, packed));
+    vid = _mm256_add_epi64(vid, vid_step);
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vbest);
+  for (uint64_t lane : lanes) best_packed = std::min(best_packed, lane);
+  for (; j < j_end; ++j) {
+    const uint64_t pk = upk[ui_buf[j]];
+    const uint64_t lp = lpk[j - 1];
+    const uint64_t nc = n - (lp & 0xFFFFF) - ((pk >> 26) & 0xFFFFF);
+    const uint64_t cost = n + (lp >> 20) + (pk & ((1ULL << 26) - 1)) +
+                          nc * RangeBitWidth((pk >> 46) - op[j]);
+    const uint64_t packed = (cost << 20) | static_cast<uint64_t>(j);
+    best_packed = std::min(best_packed, packed);
+  }
+  return best_packed;
+}
+#endif  // BOS_SEPARATION_X86
+
+// Considers (li, ui) for every li in [li_lo, li_hi] with ui fixed,
+// preserving the scalar loop's candidate order and tie-breaking.
+void ScanFixedUpper(const SearchContext& ctx, int li_lo, int li_hi, int ui,
+                    Best* best) {
+  if (li_hi < li_lo) return;
+  if (li_lo == -1) {
+    Consider(ctx, -1, ui, best);
+    li_lo = 0;
+    if (li_hi < li_lo) return;
+  }
+#ifdef BOS_SEPARATION_X86
+  if (HasAvx2() && li_hi - li_lo + 1 >= 8) {
+    // Seed with the incumbent so equal-cost candidates lose to it, exactly
+    // like the strict < in Consider.
+    const uint64_t incumbent = best->cost << 20;
+    const uint64_t packed =
+        ScanFixedUpperAvx2(ctx, li_lo, li_hi, ui, incumbent);
+    if (packed < incumbent) {
+      best->cost = packed >> 20;
+      best->li = static_cast<int>(packed & ((1u << 20) - 1)) - 1;
+      best->ui = ui;
+      best->separated = true;
+    }
+    return;
+  }
+#endif
+  for (int li = li_lo; li <= li_hi; ++li) Consider(ctx, li, ui, best);
+}
+
+// Narrow-range BOS-B candidate enumeration: identical candidate set and
+// order to the cursor-based loops below, but the Proposition 2 inner loop
+// resolves ui with an O(1) successor lookup over the value domain instead
+// of a data-dependent cursor walk, and the fixed-ui scans are vectorized.
+void NarrowBitWidthCandidates(const SearchContext& ctx, int li_max,
+                              Best* best) {
+  const std::vector<int64_t>& uniq = ctx.uc.uniq;
+  const int u = static_cast<int>(uniq.size());
+  const int64_t xmin = uniq.front();
+  const int64_t xmax = uniq.back();
+  const uint64_t range = UnsignedRange(xmin, xmax);
+
+  // succ[o] = first index i with uniq[i] >= xmin + o, for o in [0, range].
+  // 16-bit entries keep the table inside L1 for typical ranges; the caller
+  // guarantees u <= 65535. Filled run-by-run with 16-byte broadcast
+  // stores; a run may spill into its successors' slots, but runs are
+  // written in ascending order, so later (correct) stores win. The +16
+  // slack absorbs the final spill.
+  thread_local std::vector<uint16_t> succ;
+  const size_t slots = static_cast<size_t>(range) + 1;
+  if (succ.size() < slots + 16) succ.resize(slots + 16);
+  {
+    uint16_t* sp = succ.data();
+    const int64_t* up = uniq.data();
+    size_t prev = 0;
+    for (int i = 0; i < u; ++i) {
+      const size_t off = static_cast<size_t>(UnsignedRange(xmin, up[i]));
+      const uint64_t pat =
+          static_cast<uint64_t>(i) * 0x0001000100010001ULL;
+      const uint64_t buf[2] = {pat, pat};
+      std::memcpy(sp + prev, buf, 16);
+      for (size_t o = prev + 8; o <= off; o += 8) std::memcpy(sp + o, buf, 16);
+      prev = off + 1;
+    }
+  }
+
+  // Narrow-mode sidecars of the context arrays, sized to keep the
+  // Proposition 2 loop's working set inside L1: 16-bit value offsets
+  // instead of 64-bit uniques, and the lower-side (term, count) pair
+  // packed into one word (terms < 2^26, counts < 2^20, offsets < 2^17).
+  thread_local std::vector<uint16_t> off16;
+  thread_local std::vector<uint64_t> lower_pack;
+  if (off16.size() < static_cast<size_t>(u)) off16.resize(u);
+  if (lower_pack.size() < static_cast<size_t>(u)) lower_pack.resize(u);
+  for (int i = 0; i < u; ++i) {
+    off16[i] = static_cast<uint16_t>(UnsignedRange(xmin, uniq[i]));
+    lower_pack[i] = (ctx.lower_term[i] << 20) | ctx.lower_count[i];
+  }
+
+  // One word per upper boundary so a candidate's upper-side cost pieces
+  // are a single load: (uniq[ui-1]-xmin) << 46 | upper_count << 26 |
+  // upper_term. The narrow-mode bounds make the fields fit: offsets take
+  // 17 bits, counts 20 (n <= 2^19), terms 26 (cost terms < 65n < 2^26).
+  thread_local std::vector<uint64_t> upper_pack;
+  if (upper_pack.size() < static_cast<size_t>(u) + 1) {
+    upper_pack.resize(static_cast<size_t>(u) + 1);
+  }
+  for (int ui = 1; ui <= u; ++ui) {
+    upper_pack[ui] = (UnsignedRange(xmin, uniq[ui - 1]) << 46) |
+                     (ctx.upper_count[ui] << 26) | ctx.upper_term[ui];
+  }
+
+  // Case beta <= gamma (Proposition 2): xu = minXc + 2^beta. The cursor
+  // loop's skip condition (no unique value >= threshold) coincides with
+  // its break condition, so inside the loop the successor always exists
+  // (and is >= li + 2: uniq[li+1] < threshold).
+  const uint16_t* sp = succ.data();
+  const uint16_t* op = off16.data();
+  const uint64_t* upk = upper_pack.data();
+  const uint64_t* lpk = lower_pack.data();
+  const uint64_t n = ctx.n;
+
+  // Scratch for the per-beta successor pass: ui for candidate li = j - 1.
+  thread_local std::vector<uint16_t> ui_buf;
+  if (ui_buf.size() < static_cast<size_t>(u) + 8) ui_buf.resize(u + 8);
+  uint16_t* ub = ui_buf.data();
+
+  Best b = *best;
+  for (int beta = 1; beta < 64; ++beta) {
+    const uint64_t step = 1ULL << beta;
+    if (step > range) break;
+    // The inner loop of the cursor formulation breaks at the first li with
+    // 2^beta > xmax - minXc; offsets are monotone, so that boundary is a
+    // binary search, and the remaining iterations split into an address
+    // pass (successor lookups, store-forwarded below) and a cost pass.
+    const uint16_t keep = static_cast<uint16_t>(range - step);
+    int jn = static_cast<int>(
+        std::upper_bound(op, op + u, keep) - op);
+    jn = std::min(jn, li_max + 2);
+    for (int j = 0; j < jn; ++j) ub[j] = sp[op[j] + step];
+    // li == -1 (no lower outliers) first, as in the candidate order.
+    {
+      const uint64_t pk = upk[ub[0]];
+      const uint64_t nu = (pk >> 26) & 0xFFFFF;
+      const uint64_t cost = n + (pk & ((1ULL << 26) - 1)) +
+                            (n - nu) * RangeBitWidth(pk >> 46);
+      if (cost < b.cost) {
+        b.cost = cost;
+        b.li = -1;
+        b.ui = ub[0];
+        b.separated = true;
+      }
+    }
+#ifdef BOS_SEPARATION_X86
+    if (HasAvx2() && jn - 1 >= 8) {
+      const uint64_t incumbent = b.cost << 20;
+      const uint64_t packed =
+          Prop2ScanAvx2(upk, lpk, ub, op, n, 1, jn, incumbent);
+      if (packed < incumbent) {
+        b.cost = packed >> 20;
+        b.li = static_cast<int>(packed & 0xFFFFF) - 1;
+        b.ui = ub[b.li + 1];
+        b.separated = true;
+      }
+      continue;
+    }
+#endif
+    for (int j = 1; j < jn; ++j) {
+      const uint64_t head = op[j];
+      const int ui = ub[j];
+      const uint64_t pk = upk[ui];
+      const uint64_t lp = lpk[j - 1];
+      const uint64_t nl = lp & 0xFFFFF;
+      const uint64_t nu = (pk >> 26) & 0xFFFFF;
+      const uint64_t nc = n - nl - nu;
+      const uint64_t cost = n + (lp >> 20) + (pk & ((1ULL << 26) - 1)) +
+                            nc * RangeBitWidth((pk >> 46) - head);
+      if (cost < b.cost) {
+        b.cost = cost;
+        b.li = j - 1;
+        b.ui = ui;
+        b.separated = true;
+      }
+    }
+  }
+  *best = b;
+
+  // Case beta > gamma (Proposition 3): xu = xmax - 2^gamma + 1 does not
+  // depend on xl, so the index is resolved once per gamma.
+  for (int gamma = 1; gamma < 64; ++gamma) {
+    const uint64_t step = (1ULL << gamma) - 1;
+    if (step > range) break;
+    const int ui = succ[range - step];
+    ScanFixedUpper(ctx, -1, std::min(li_max, ui - 2), ui, best);
+  }
+
+  // No upper outliers for each xl. Cost(li, u) reads upper_term[u] ==
+  // upper_count[u] == 0 and max_xc = uniq[u - 1], so the fixed-upper scan
+  // applies unchanged.
+  ScanFixedUpper(ctx, 0, li_max, u, best);
+}
+
 Separation BitWidthSearch(std::span<const int64_t> values, bool allow_lower) {
   const uint64_t n = values.size();
   const UniqueCounts uc = BuildUniqueCounts(values);
@@ -175,6 +601,13 @@ Separation BitWidthSearch(std::span<const int64_t> values, bool allow_lower) {
   const SearchContext ctx(uc, n);
   Best best{PlainCostBits(n, uc.uniq.front(), xmax)};
   const int li_max = allow_lower ? u - 2 : -1;
+
+  const uint64_t range = UnsignedRange(uc.uniq.front(), xmax);
+  if (g_histogram_search.load(std::memory_order_relaxed) &&
+      NarrowRangeEligible(n, range) && u <= 65535) {
+    NarrowBitWidthCandidates(ctx, li_max, &best);
+    return Finish(uc, n, best);
+  }
 
   // Case beta <= gamma (Proposition 2): xu = minXc + 2^beta. As Algorithm
   // 2 notes, traversing the bit-width first lets the cumulative count of
@@ -217,6 +650,14 @@ Separation BitWidthSearch(std::span<const int64_t> values, bool allow_lower) {
 }
 
 }  // namespace
+
+void SetHistogramSearchEnabled(bool enabled) {
+  g_histogram_search.store(enabled, std::memory_order_relaxed);
+}
+
+bool HistogramSearchEnabled() {
+  return g_histogram_search.load(std::memory_order_relaxed);
+}
 
 std::string_view SeparationStrategyName(SeparationStrategy s) {
   switch (s) {

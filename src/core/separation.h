@@ -36,6 +36,14 @@ enum class SeparationStrategy {
 
 std::string_view SeparationStrategyName(SeparationStrategy s);
 
+/// \brief Toggles the histogram/narrow-range search acceleration (counting
+/// front-end plus successor-index candidate enumeration). Defaults to
+/// enabled; both settings produce bit-identical separations — the toggle
+/// exists so benchmarks can measure the old sort+cursor path. Affects all
+/// threads (relaxed atomic), intended for tests and benchmarks only.
+void SetHistogramSearchEnabled(bool enabled);
+bool HistogramSearchEnabled();
+
 /// \brief BOS-V (Algorithm 1): enumerates every pair of block values as
 /// (xl, xu) via cumulative counts; provably optimal (Proposition 1).
 /// `values` must be non-empty.

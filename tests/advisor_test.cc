@@ -83,6 +83,32 @@ TEST(AdvisorTest, InvalidCandidatePropagates) {
   EXPECT_TRUE(AdviseCodec(x, options).status().IsInvalidArgument());
 }
 
+TEST(AdvisorTest, HybridFlagSwapsExactSearchForHybrid) {
+  const auto values = data::GenerateInteger(*data::FindDataset("MT"), 20000);
+  AdvisorOptions options;
+  options.hybrid = true;
+  auto rec = AdviseCodec(values, options);
+  ASSERT_TRUE(rec.ok());
+  for (const auto& score : rec->ranking) {
+    EXPECT_EQ(score.spec.find("BOS-B"), std::string::npos) << score.spec;
+  }
+  // The recommended spec must be usable: the hybrid operator is
+  // registered even though it is not in the default operator list.
+  auto codec = MakeSeriesCodec(rec->spec);
+  ASSERT_TRUE(codec.ok()) << rec->spec;
+  Bytes out;
+  ASSERT_TRUE((*codec)->Compress(values, &out).ok());
+  std::vector<int64_t> back;
+  ASSERT_TRUE((*codec)->Decompress(out, &back).ok());
+  EXPECT_EQ(back, values);
+
+  // Explicit candidates win over the flag.
+  options.candidates = {"TS2DIFF+BOS-B"};
+  auto explicit_rec = AdviseCodec(values, options);
+  ASSERT_TRUE(explicit_rec.ok());
+  EXPECT_EQ(explicit_rec->spec, "TS2DIFF+BOS-B");
+}
+
 TEST(AdvisorTest, SamplingKeepsAdviceCheap) {
   // Advising on 200k values must only compress ~8k of them per candidate;
   // just assert it completes and picks a sane spec.

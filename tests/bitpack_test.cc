@@ -195,6 +195,103 @@ TEST(VarintTest, LengthMatchesEncoding) {
   }
 }
 
+// The dispatched decoder (BMI2 fast path where available) must agree
+// with the scalar reference byte for byte: same values, same offsets,
+// for short varints decoded mid-stream and long ones near the tail.
+TEST(VarintTest, DispatchedMatchesScalarOnRandomStreams) {
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes out;
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 50; ++i) {
+      // Mix of all encoded lengths, including 9- and 10-byte ones that
+      // the fast path must hand back to the scalar decoder.
+      const uint64_t v = rng.Next() >> rng.Uniform(64);
+      values.push_back(v);
+      PutVarint(&out, v);
+    }
+    size_t fast_offset = 0, scalar_offset = 0;
+    for (uint64_t expect : values) {
+      uint64_t fast = 0, scalar = 0;
+      ASSERT_TRUE(GetVarint(out, &fast_offset, &fast).ok());
+      ASSERT_TRUE(GetVarintScalar(out, &scalar_offset, &scalar).ok());
+      ASSERT_EQ(fast, expect);
+      ASSERT_EQ(scalar, expect);
+      ASSERT_EQ(fast_offset, scalar_offset);
+    }
+    ASSERT_EQ(fast_offset, out.size());
+  }
+}
+
+TEST(VarintTest, RunMatchesSequentialScalar) {
+  Rng rng(78);
+  for (size_t count : {size_t{0}, size_t{1}, size_t{7}, size_t{100}}) {
+    Bytes out;
+    std::vector<uint64_t> values;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t v = rng.Next() >> rng.Uniform(64);
+      values.push_back(v);
+      PutVarint(&out, v);
+    }
+    std::vector<uint64_t> got(count, ~0ULL);
+    size_t offset = 0;
+    ASSERT_TRUE(GetVarintRun(out, &offset, count, got.data()).ok());
+    EXPECT_EQ(got, values);
+    EXPECT_EQ(offset, out.size());
+  }
+}
+
+TEST(VarintTest, RunRejectsCorruptVarintAndLeavesOffsetUnchanged) {
+  Bytes out;
+  PutVarint(&out, 7);
+  PutVarint(&out, 1ULL << 40);
+  out.pop_back();  // truncate the second varint
+  std::vector<uint64_t> got(2);
+  size_t offset = 0;
+  EXPECT_TRUE(GetVarintRun(out, &offset, 2, got.data()).IsCorruption());
+  EXPECT_EQ(offset, 0u);
+
+  Bytes overlong(11, 0x80);
+  offset = 0;
+  EXPECT_TRUE(GetVarintRun(overlong, &offset, 1, got.data()).IsCorruption());
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(VarintTest, DispatchedAcceptsNonCanonicalLikeScalar) {
+  // {0x80, 0x00} is a non-canonical two-byte encoding of zero: both
+  // decoders accept it (only >10-byte and 64-bit-overflow encodings are
+  // rejected), and must agree on value and length.
+  const Bytes data{0x80, 0x00, 0x01};
+  size_t fast_offset = 0, scalar_offset = 0;
+  uint64_t fast = 99, scalar = 99;
+  ASSERT_TRUE(GetVarint(data, &fast_offset, &fast).ok());
+  ASSERT_TRUE(GetVarintScalar(data, &scalar_offset, &scalar).ok());
+  EXPECT_EQ(fast, 0u);
+  EXPECT_EQ(scalar, 0u);
+  EXPECT_EQ(fast_offset, 2u);
+  EXPECT_EQ(scalar_offset, 2u);
+}
+
+TEST(VarintTest, TenByteBoundaryEncodings) {
+  // ~0ULL is the canonical 10-byte encoding; a 10th byte above 1 would
+  // overflow 64 bits and must fail on both decoders. The fast path sees
+  // 8 continuation bytes and defers to the scalar decoder here.
+  Bytes max_enc;
+  PutVarint(&max_enc, ~0ULL);
+  ASSERT_EQ(max_enc.size(), 10u);
+  size_t offset = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint(max_enc, &offset, &v).ok());
+  EXPECT_EQ(v, ~0ULL);
+  EXPECT_EQ(offset, 10u);
+
+  Bytes overflow = max_enc;
+  overflow[9] = 0x02;  // one bit past the top
+  offset = 0;
+  EXPECT_TRUE(GetVarint(overflow, &offset, &v).IsCorruption());
+  EXPECT_EQ(offset, 0u);
+}
+
 TEST(Simple8bTest, AllZerosUseDenseSelectors) {
   std::vector<uint64_t> zeros(480, 0);
   Bytes out;

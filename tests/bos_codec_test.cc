@@ -250,5 +250,53 @@ TEST(BosCodecTest, VAndBProduceSameSize) {
   }
 }
 
+TEST(BosCodecTest, HybridThresholdExtremesMatchPureStrategies) {
+  // t = 0 escalates every block (exact search everywhere), so the bytes
+  // must equal BOS-B's; t = 1 never escalates, so they must equal
+  // BOS-M's. The default sits between and must still round-trip.
+  Rng rng(321);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<int64_t> x(512);
+    for (auto& v : x) {
+      v = static_cast<int64_t>(rng.Normal(0, 50));
+      if (rng.Bernoulli(0.05)) v *= 1000;
+    }
+    Bytes b_out, m_out, exact_out, approx_out;
+    ASSERT_TRUE(BosOperator(SeparationStrategy::kBitWidth).Encode(x, &b_out).ok());
+    ASSERT_TRUE(BosOperator(SeparationStrategy::kMedian).Encode(x, &m_out).ok());
+    ASSERT_TRUE(BosHybridOperator(0.0).Encode(x, &exact_out).ok());
+    ASSERT_TRUE(BosHybridOperator(1.0).Encode(x, &approx_out).ok());
+    EXPECT_EQ(exact_out, b_out);
+    EXPECT_EQ(approx_out, m_out);
+    ExpectRoundTrip(BosHybridOperator(), x);
+  }
+}
+
+TEST(BosCodecTest, HybridStreamDecodesAsOrdinaryBos) {
+  // The hybrid emits ordinary BOS blocks: any BosOperator can decode
+  // them, never worse than BOS-M and never better than BOS-B in size.
+  Rng rng(654);
+  std::vector<int64_t> x(2048);
+  for (auto& v : x) {
+    v = rng.UniformInt(0, 1000);
+    if (rng.Bernoulli(0.03)) v += 1 << 20;
+  }
+  const BosHybridOperator hybrid;
+  Bytes b_out, m_out, h_out;
+  ASSERT_TRUE(BosOperator(SeparationStrategy::kBitWidth).Encode(x, &b_out).ok());
+  ASSERT_TRUE(BosOperator(SeparationStrategy::kMedian).Encode(x, &m_out).ok());
+  ASSERT_TRUE(hybrid.Encode(x, &h_out).ok());
+  EXPECT_GE(h_out.size(), b_out.size());
+  EXPECT_LE(h_out.size(), m_out.size());
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(BosOperator(SeparationStrategy::kBitWidth)
+                  .Decode(h_out, &offset, &got)
+                  .ok());
+  EXPECT_EQ(got, x);
+  EXPECT_EQ(offset, h_out.size());
+  EXPECT_EQ(hybrid.name(), "BOS-H");
+}
+
 }  // namespace
 }  // namespace bos::core

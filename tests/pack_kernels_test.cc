@@ -1,0 +1,189 @@
+// Exhaustive coverage of the pack-side block kernels
+// (bitpack/unpack_kernels.h) against the scalar reference: every width
+// 0..64, block-boundary and non-multiple-of-32 counts, destination
+// slack variants with overrun sentinels, the fused rebase-and-pack
+// entry point, and the vectorized delta / delta-zigzag transforms
+// against direct transcriptions.
+
+#include "bitpack/unpack_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bitpack/zigzag.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace bos::bitpack {
+namespace {
+
+uint64_t WidthMask(int width) {
+  return width == 64 ? ~0ULL : (width == 0 ? 0 : ((1ULL << width) - 1));
+}
+
+// The adversarial value patterns of unpack_kernels_test, plus values
+// with garbage above the width: the kernels must mask, not trust.
+std::vector<std::vector<uint64_t>> Patterns(int width, size_t n,
+                                            uint64_t seed) {
+  const uint64_t mask = WidthMask(width);
+  std::vector<std::vector<uint64_t>> patterns;
+  patterns.emplace_back(n, mask);  // all ones
+  patterns.emplace_back(n, 0);     // all zeros
+  std::vector<uint64_t> alternating(n), dirty(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    alternating[i] = i % 2 == 0 ? mask : 0;
+    // Full-width random: bits above `width` are junk the pack side
+    // must drop, exactly as PackScalar does.
+    dirty[i] = static_cast<uint64_t>(rng.UniformInt(0, 1 << 30)) << 34 |
+               static_cast<uint64_t>(rng.UniformInt(0, 1 << 30));
+  }
+  patterns.push_back(std::move(alternating));
+  patterns.push_back(std::move(dirty));
+  return patterns;
+}
+
+const size_t kCounts[] = {0, 1, 5, 31, 32, 33, 63, 64, 100, 1000, 1024};
+
+TEST(PackKernels, MatchesScalarEveryWidthCountAndSlack) {
+  for (int width = 0; width <= 64; ++width) {
+    for (size_t n : kCounts) {
+      const size_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
+      for (const auto& values : Patterns(width, n, 0x9ACC + width)) {
+        std::vector<uint8_t> expect(bytes);
+        PackScalar(values.data(), n, width, expect.data());
+        // The wide kernels may clobber slack bytes inside dst_len with
+        // zeros, but must never touch a byte at dst_len or beyond.
+        for (size_t slack : {size_t{0}, size_t{3}, size_t{8}}) {
+          std::vector<uint8_t> got(bytes + slack + 8, 0x55);
+          PackBlocks(values.data(), n, width, got.data(), bytes + slack);
+          if (bytes > 0) {
+            ASSERT_EQ(std::memcmp(expect.data(), got.data(), bytes), 0)
+                << "width=" << width << " n=" << n << " slack=" << slack;
+          }
+          for (size_t i = bytes + slack; i < got.size(); ++i) {
+            ASSERT_EQ(got[i], 0x55)
+                << "overrun at +" << i - bytes - slack << " width=" << width
+                << " n=" << n << " slack=" << slack;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PackKernels, SubBaseMatchesRebasedScalar) {
+  for (int width = 0; width <= 64; ++width) {
+    for (size_t n : kCounts) {
+      const size_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
+      const auto values = Patterns(width, n, 0xBA5E + width).back();
+      std::vector<int64_t> signed_values(n);
+      for (size_t i = 0; i < n; ++i) {
+        signed_values[i] = static_cast<int64_t>(values[i]);
+      }
+      for (uint64_t base : {uint64_t{0}, uint64_t{1}, uint64_t{0x123456789},
+                            static_cast<uint64_t>(-5)}) {
+        // Reference: rebase with wrapping subtraction, then pack.
+        std::vector<uint64_t> rebased(n);
+        for (size_t i = 0; i < n; ++i) rebased[i] = values[i] - base;
+        std::vector<uint8_t> expect(bytes);
+        PackScalar(rebased.data(), n, width, expect.data());
+        std::vector<uint8_t> got(bytes + 16, 0x55);
+        PackBlocksSubBase(signed_values.data(), n, width, base, got.data(),
+                          bytes + 8);
+        if (bytes > 0) {
+          ASSERT_EQ(std::memcmp(expect.data(), got.data(), bytes), 0)
+              << "width=" << width << " n=" << n << " base=" << base;
+        }
+        for (size_t i = bytes + 8; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], 0x55) << "overrun width=" << width << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackKernels, PackedSubBaseRoundTripsThroughAddBase) {
+  for (int width : {1, 7, 8, 9, 13, 16, 24, 40, 64}) {
+    const size_t n = 1000;
+    Rng rng(0x707 + width);
+    std::vector<int64_t> values(n);
+    const int64_t base = -123456;
+    for (auto& v : values) {
+      v = base + static_cast<int64_t>(rng.Next() & WidthMask(width));
+    }
+    const size_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
+    std::vector<uint8_t> packed(bytes + 8);
+    PackBlocksSubBase(values.data(), n, width, static_cast<uint64_t>(base),
+                      packed.data(), packed.size());
+    std::vector<int64_t> back(n);
+    UnpackBlocksAddBase(packed.data(), packed.size(), width, n,
+                        static_cast<uint64_t>(base), back.data());
+    ASSERT_EQ(back, values) << "width=" << width;
+  }
+}
+
+TEST(PackKernels, DeltaEncodeMatchesDirectTranscription) {
+  Rng rng(0xDE17A);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{100}, size_t{1023}}) {
+    std::vector<int64_t> in(n);
+    for (auto& v : in) {
+      v = static_cast<int64_t>(static_cast<uint64_t>(rng.Next()));
+    }
+    const int64_t prev = -987654321;
+    std::vector<int64_t> got(n, ~0);
+    DeltaEncode(in.data(), n, prev, got.data());
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t d = static_cast<int64_t>(
+          static_cast<uint64_t>(in[i]) -
+          static_cast<uint64_t>(i == 0 ? prev : in[i - 1]));
+      ASSERT_EQ(got[i], d) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PackKernels, DeltaZigZagEncodeMatchesDirectTranscription) {
+  Rng rng(0x2122A6);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                   size_t{100}, size_t{1023}}) {
+    std::vector<int64_t> in(n);
+    for (auto& v : in) {
+      v = static_cast<int64_t>(static_cast<uint64_t>(rng.Next()));
+    }
+    const int64_t prev = 42;
+    std::vector<int64_t> got(n, ~0);
+    DeltaZigZagEncode(in.data(), n, prev, got.data());
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t d = static_cast<int64_t>(
+          static_cast<uint64_t>(in[i]) -
+          static_cast<uint64_t>(i == 0 ? prev : in[i - 1]));
+      ASSERT_EQ(got[i], static_cast<int64_t>(ZigZagEncode(d)))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// INT64_MIN deltas and the extremes must survive the vector lanes: the
+// transforms are defined on wrapping two's-complement arithmetic.
+TEST(PackKernels, DeltaTransformsHandleExtremes) {
+  const std::vector<int64_t> in = {INT64_MAX, INT64_MIN, -1, 0,
+                                   INT64_MIN, INT64_MAX, 1,  -2};
+  std::vector<int64_t> delta(in.size()), zz(in.size());
+  DeltaEncode(in.data(), in.size(), 0, delta.data());
+  DeltaZigZagEncode(in.data(), in.size(), 0, zz.data());
+  int64_t prev = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const int64_t d = static_cast<int64_t>(static_cast<uint64_t>(in[i]) -
+                                           static_cast<uint64_t>(prev));
+    EXPECT_EQ(delta[i], d) << i;
+    EXPECT_EQ(zz[i], static_cast<int64_t>(ZigZagEncode(d))) << i;
+    prev = in[i];
+  }
+}
+
+}  // namespace
+}  // namespace bos::bitpack

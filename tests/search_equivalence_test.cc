@@ -1,0 +1,126 @@
+// The histogram/narrow-range search front-end and the original
+// sort+cursor front-end must be indistinguishable: identical Separation
+// results (boundaries, partitions, modeled cost) and byte-identical
+// encoder output on every strategy, across adversarial distributions
+// and the synthetic dataset suite.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/bos_codec.h"
+#include "core/separation.h"
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace bos::core {
+namespace {
+
+// Toggles the front-end around each call so a failure in one test can't
+// leak the sort path into the rest of the suite.
+class SearchEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetHistogramSearchEnabled(true); }
+};
+
+void ExpectSame(const Separation& sort_r, const Separation& hist_r,
+                const char* context) {
+  ASSERT_EQ(sort_r.separated, hist_r.separated) << context;
+  ASSERT_EQ(sort_r.cost_bits, hist_r.cost_bits) << context;
+  if (!sort_r.separated) return;  // other fields are meaningless
+  ASSERT_EQ(sort_r.has_lower, hist_r.has_lower) << context;
+  ASSERT_EQ(sort_r.has_upper, hist_r.has_upper) << context;
+  if (sort_r.has_lower) {
+    ASSERT_EQ(sort_r.xl, hist_r.xl) << context;
+  }
+  if (sort_r.has_upper) {
+    ASSERT_EQ(sort_r.xu, hist_r.xu) << context;
+  }
+  ASSERT_EQ(sort_r.partition.nl, hist_r.partition.nl) << context;
+  ASSERT_EQ(sort_r.partition.nu, hist_r.partition.nu) << context;
+  ASSERT_EQ(sort_r.partition.min_xc, hist_r.partition.min_xc) << context;
+  ASSERT_EQ(sort_r.partition.max_xc, hist_r.partition.max_xc) << context;
+}
+
+void CheckBothFrontEnds(std::span<const int64_t> values,
+                        const char* context) {
+  for (const auto strategy :
+       {SeparationStrategy::kValue, SeparationStrategy::kBitWidth,
+        SeparationStrategy::kMedian}) {
+    SetHistogramSearchEnabled(false);
+    const Separation sort_r = Separate(strategy, values);
+    SetHistogramSearchEnabled(true);
+    const Separation hist_r = Separate(strategy, values);
+    ExpectSame(sort_r, hist_r, context);
+
+    BosOperator op(strategy);
+    Bytes sort_bytes, hist_bytes;
+    SetHistogramSearchEnabled(false);
+    ASSERT_TRUE(op.Encode(values, &sort_bytes).ok()) << context;
+    SetHistogramSearchEnabled(true);
+    ASSERT_TRUE(op.Encode(values, &hist_bytes).ok()) << context;
+    ASSERT_EQ(sort_bytes, hist_bytes)
+        << context << " strategy=" << SeparationStrategyName(strategy);
+  }
+}
+
+// One generator per adversarial shape: dense narrow ranges that stay in
+// the counting window, ranges straddling its cap, constant blocks,
+// negatives, 60-bit spreads, bimodal spikes, and head-heavy outliers.
+std::vector<int64_t> MakeValues(int kind, int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (int i = 0; i < n; ++i) {
+    switch (kind) {
+      case 0: v[i] = rng.UniformInt(0, 100); break;
+      case 1:
+        v[i] = rng.UniformInt(0, 10000);
+        if (rng.UniformInt(0, 50) == 0) v[i] += 1 << 14;
+        break;
+      case 2: v[i] = 42; break;
+      case 3:
+        v[i] = rng.UniformInt(-5, 5) +
+               (rng.UniformInt(0, 20) == 0 ? -40000 : 0);
+        break;
+      case 4: v[i] = static_cast<int64_t>(rng.UniformInt(0, 1 << 30)) << 30; break;
+      case 5: v[i] = i % 2 == 0 ? 0 : 65536; break;  // exactly at the cap
+      case 6: v[i] = rng.UniformInt(0, 3); break;
+      default:
+        v[i] = i < n / 100 + 1 ? 1000000 + rng.UniformInt(0, 100)
+                               : rng.UniformInt(0, 500);
+        break;
+    }
+  }
+  return v;
+}
+
+TEST_F(SearchEquivalenceTest, AdversarialDistributions) {
+  for (int kind = 0; kind < 8; ++kind) {
+    for (int n : {1, 2, 3, 7, 31, 64, 200, 1024, 4096}) {
+      for (uint64_t seed = 0; seed < 3; ++seed) {
+        const auto values =
+            MakeValues(kind, n, kind * 1000 + n * 7 + seed);
+        const std::string context =
+            "kind=" + std::to_string(kind) + " n=" + std::to_string(n) +
+            " seed=" + std::to_string(seed);
+        CheckBothFrontEnds(values, context.c_str());
+      }
+    }
+  }
+}
+
+TEST_F(SearchEquivalenceTest, SyntheticDatasetBlocks) {
+  for (const auto& info : data::AllDatasets()) {
+    const auto values = data::GenerateInteger(info, 16384, /*seed=*/11);
+    for (size_t start = 0; start < values.size(); start += 1024) {
+      const auto block = std::span(values).subspan(
+          start, std::min<size_t>(1024, values.size() - start));
+      CheckBothFrontEnds(block, info.abbr.c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bos::core
