@@ -106,6 +106,22 @@ int main(int argc, char** argv) {
                         static_cast<uint8_t>(specs.size()), &rng);
   }
 
+  // fuzz_inspect: same spec table; seeds are encoded streams the walker
+  // must accept, plus round-trip seeds.
+  {
+    int index = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      auto codec = *bos::codecs::MakeSeriesCodec(specs[i], 64);
+      const auto values = bos::fuzz::StructuredValues(&rng, 256);
+      bos::Bytes encoded;
+      if (!codec->Compress(values, &encoded).ok()) return 1;
+      WriteSeed(root / "fuzz_inspect", index++, static_cast<uint8_t>(i << 1),
+                encoded);
+    }
+    WriteRoundTripSeeds(root / "fuzz_inspect", index,
+                        static_cast<uint8_t>(specs.size()), &rng);
+  }
+
   // fuzz_streaming: a complete chunked stream.
   {
     auto codec = *bos::codecs::MakeSeriesCodec("TS2DIFF+BOS-B", 64);

@@ -4,6 +4,7 @@
 
 #include "codecs/registry.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/macros.h"
 
 namespace bos::codecs {
@@ -53,13 +54,18 @@ Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
   }
   BOS_TELEMETRY_COUNTER_ADD("bos.codecs.advisor.runs", 1);
   BOS_TELEMETRY_SPAN("bos.codecs.advisor.advise_ns");
+  BOS_TRACE_SPAN("bos.codecs.advisor.advise");
   const std::vector<std::string> candidates =
       options.candidates.empty() ? DefaultCandidates(options.hybrid)
                                  : options.candidates;
   const std::vector<int64_t> sample = Sample(values, options.sample_values);
+  BOS_TRACE_ANNOTATE("sample_values", static_cast<int64_t>(sample.size()));
+  BOS_TRACE_ANNOTATE("candidates", static_cast<int64_t>(candidates.size()));
 
   Recommendation rec;
   for (const std::string& spec : candidates) {
+    BOS_TRACE_SPAN("bos.codecs.advisor.trial");
+    BOS_TRACE_ANNOTATE("spec", spec);
     BOS_ASSIGN_OR_RETURN(auto codec, MakeSeriesCodec(spec));
     Bytes out;
     BOS_RETURN_NOT_OK(codec->Compress(sample, &out));
@@ -67,6 +73,7 @@ Result<Recommendation> AdviseCodec(std::span<const int64_t> values,
     score.spec = spec;
     score.ratio = static_cast<double>(sample.size() * 8) /
                   static_cast<double>(out.size());
+    BOS_TRACE_ANNOTATE("bytes", static_cast<int64_t>(out.size()));
     rec.ranking.push_back(std::move(score));
   }
   std::sort(rec.ranking.begin(), rec.ranking.end(),

@@ -1,0 +1,726 @@
+#include "codecs/inspect.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "bitpack/simple8b.h"
+#include "codecs/registry.h"
+#include "bitpack/varint.h"
+#include "core/block_io.h"
+#include "pfor/pfor_common.h"
+#include "telemetry/telemetry.h"
+#include "util/bits.h"
+#include "util/macros.h"
+#include "util/safe_math.h"
+
+namespace bos::codecs {
+namespace {
+
+// Block mode bytes, mirrored from core/block_io.h usage.
+constexpr uint8_t kPlain = core::kPlainBlockMode;
+constexpr uint8_t kBitmap = core::kSeparatedBlockMode;
+constexpr uint8_t kList = core::kSeparatedListBlockMode;
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+Status ReadWidthByte(BytesView data, size_t* offset, uint32_t* width,
+                     const char* what) {
+  if (*offset >= data.size()) {
+    return Status::Corruption(std::string(what) + ": truncated width byte");
+  }
+  *width = data[(*offset)++];
+  if (*width > 64) {
+    return Status::Corruption(std::string(what) + ": width > 64");
+  }
+  return Status::OK();
+}
+
+Status SkipPacked(BytesView data, size_t* offset, uint64_t bits,
+                  const char* what) {
+  const uint64_t bytes = BitsToBytes(bits);
+  if (!SliceFits(data.size(), *offset, bytes)) {
+    return Status::Corruption(std::string(what) + ": payload truncated");
+  }
+  *offset += bytes;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// BOS / BP block (one PackingOperator::Encode unit for the BOS family).
+// Field-for-field mirror of DecodeBosBlockImpl and the three body
+// decoders in core/bos_codec.cc — only offsets move, no values.
+// ---------------------------------------------------------------------
+
+Status WalkBosBlock(BytesView data, size_t* offset, BlockReport* block) {
+  if (*offset >= data.size()) {
+    return Status::Corruption("BOS block: no mode byte");
+  }
+  const size_t start = *offset;
+  const uint8_t mode = data[(*offset)++];
+
+  if (mode == kPlain) {
+    block->mode = "plain";
+    uint64_t n;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+    if (n > core::kMaxBlockValues) {
+      return Status::Corruption("plain block: n too large");
+    }
+    block->values = n;
+    if (n > 0) {
+      int64_t min;
+      BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+      BOS_RETURN_NOT_OK(ReadWidthByte(data, offset, &block->width, "plain block"));
+      block->header_bytes = *offset - start;
+      block->value_bits = n * static_cast<uint64_t>(block->width);
+      BOS_RETURN_NOT_OK(SkipPacked(data, offset, block->value_bits, "plain block"));
+      block->payload_bytes = BitsToBytes(block->value_bits);
+    } else {
+      block->header_bytes = *offset - start;
+    }
+    block->bytes = *offset - start;
+    return Status::OK();
+  }
+
+  if (mode != kBitmap && mode != kList) {
+    return Status::Corruption("BOS block: unknown mode byte");
+  }
+  block->mode = mode == kBitmap ? "bitmap" : "list";
+
+  uint64_t n, nl, nu;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &nl));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &nu));
+  if (n > core::kMaxBlockValues) {
+    return Status::Corruption("BOS block: n too large");
+  }
+  if (nl > n || nu > n || nl + nu > n) {
+    return Status::Corruption("BOS block: outlier counts exceed n");
+  }
+  block->values = n;
+  block->nl = nl;
+  block->nu = nu;
+
+  int64_t base;
+  if (nl > 0) BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &base));
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &base));
+  if (nu > 0) BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &base));
+
+  if (nl > 0) BOS_RETURN_NOT_OK(ReadWidthByte(data, offset, &block->alpha, "BOS block"));
+  BOS_RETURN_NOT_OK(ReadWidthByte(data, offset, &block->beta, "BOS block"));
+  if (nu > 0) BOS_RETURN_NOT_OK(ReadWidthByte(data, offset, &block->gamma, "BOS block"));
+  block->header_bytes = *offset - start;
+
+  block->value_bits = nl * static_cast<uint64_t>(block->alpha) +
+                      nu * static_cast<uint64_t>(block->gamma) +
+                      (n - nl - nu) * static_cast<uint64_t>(block->beta);
+
+  if (mode == kList) {
+    // Two ascending gap lists (first = absolute position, then gap-1),
+    // validated exactly like DecodeSeparatedListBody.
+    const size_t positions_start = *offset;
+    auto skip_positions = [&](uint64_t count) -> Status {
+      uint64_t pos = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t gap;
+        BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &gap));
+        pos = (i == 0) ? gap : pos + 1 + gap;
+        if (pos >= n) return Status::Corruption("BOS-LIST: bad position");
+      }
+      return Status::OK();
+    };
+    BOS_RETURN_NOT_OK(skip_positions(nl));
+    BOS_RETURN_NOT_OK(skip_positions(nu));
+    block->position_bytes = *offset - positions_start;
+    BOS_RETURN_NOT_OK(SkipPacked(data, offset, block->value_bits, "BOS-LIST"));
+  } else {
+    block->bitmap_bits = n + nl + nu;
+    BOS_RETURN_NOT_OK(
+        SkipPacked(data, offset, block->bitmap_bits + block->value_bits,
+                   "BOS block"));
+  }
+  block->payload_bytes = BitsToBytes(block->bitmap_bits + block->value_bits);
+  block->bytes = *offset - start;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// PFOR family (one operator stream: varint n + 128-value chunks).
+// Mirrors of DecodePforChunk / DecodeNewPforChunk /
+// FastPforOperator::DecodeImpl in src/pfor/pfor.cc.
+// ---------------------------------------------------------------------
+
+enum class PforFlavor { kPfor, kNewPfor, kFastPfor };
+
+Status WalkPforChunk(BytesView data, size_t* offset, size_t len,
+                     BlockReport* block) {
+  const size_t start = *offset;
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+  uint32_t b;
+  BOS_RETURN_NOT_OK(ReadWidthByte(data, offset, &b, "PFOR chunk"));
+  uint64_t num_exc;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &num_exc));
+  if (num_exc > len) return Status::Corruption("PFOR exception count");
+  if (num_exc > 0) {
+    uint64_t first_idx;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &first_idx));
+    if (first_idx >= len) return Status::Corruption("PFOR chain head");
+  }
+  block->header_bytes += *offset - start;
+  const uint64_t slot_bits = len * static_cast<uint64_t>(b);
+  BOS_RETURN_NOT_OK(SkipPacked(data, offset, slot_bits, "PFOR chunk"));
+  block->payload_bytes += BitsToBytes(slot_bits);
+  if (!SliceFits(data.size(), *offset, num_exc * 8)) {
+    return Status::Corruption("PFOR payload truncated");
+  }
+  *offset += num_exc * 8;
+  block->position_bytes += num_exc * 8;
+  block->exceptions += num_exc;
+  return Status::OK();
+}
+
+Status WalkNewPforChunk(BytesView data, size_t* offset, size_t len,
+                        BlockReport* block) {
+  const size_t start = *offset;
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+  uint32_t b;
+  BOS_RETURN_NOT_OK(ReadWidthByte(data, offset, &b, "NewPFOR chunk"));
+  uint64_t num_exc;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &num_exc));
+  if (num_exc > len) return Status::Corruption("NewPFOR exception count");
+  block->header_bytes += *offset - start;
+  const uint64_t slot_bits = len * static_cast<uint64_t>(b);
+  BOS_RETURN_NOT_OK(SkipPacked(data, offset, slot_bits, "NewPFOR chunk"));
+  block->payload_bytes += BitsToBytes(slot_bits);
+  if (num_exc > 0) {
+    // The two Simple-8b runs are self-delimiting only through their
+    // decoder; the scratch values are discarded (they are positions and
+    // high bits, not series values).
+    const size_t exc_start = *offset;
+    std::vector<uint64_t> scratch;
+    BOS_RETURN_NOT_OK(bitpack::Simple8bDecode(data, offset, num_exc, &scratch));
+    scratch.clear();
+    BOS_RETURN_NOT_OK(bitpack::Simple8bDecode(data, offset, num_exc, &scratch));
+    block->position_bytes += *offset - exc_start;
+  }
+  block->exceptions += num_exc;
+  return Status::OK();
+}
+
+Status WalkFastPforStream(BytesView data, size_t* offset, BlockReport* block) {
+  const size_t start = *offset;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > core::kMaxBlockValues) {
+    return Status::Corruption("FastPFOR: n too large");
+  }
+  block->mode = "chunked";
+  block->values = n;
+  block->header_bytes = *offset - start;
+  if (n == 0) {
+    block->bytes = *offset - start;
+    return Status::OK();
+  }
+  for (uint64_t done = 0; done < n; done += pfor::kChunkSize) {
+    const size_t len = std::min<uint64_t>(pfor::kChunkSize, n - done);
+    const size_t chunk_start = *offset;
+    int64_t min;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+    if (!SliceFits(data.size(), *offset, 3)) {
+      return Status::Corruption("FastPFOR truncated");
+    }
+    const int b = data[(*offset)++];
+    const int maxbits = data[(*offset)++];
+    const int num_exc = data[(*offset)++];
+    if (b > 64 || maxbits > 64 || b > maxbits ||
+        num_exc > static_cast<int>(len)) {
+      return Status::Corruption("FastPFOR chunk header");
+    }
+    block->header_bytes += *offset - chunk_start;
+    if (!SliceFits(data.size(), *offset, num_exc)) {
+      return Status::Corruption("FastPFOR positions truncated");
+    }
+    for (int i = 0; i < num_exc; ++i) {
+      if (data[*offset + i] >= len) {
+        return Status::Corruption("FastPFOR position range");
+      }
+    }
+    *offset += num_exc;
+    block->position_bytes += num_exc;
+    const uint64_t slot_bits = len * static_cast<uint64_t>(b);
+    BOS_RETURN_NOT_OK(SkipPacked(data, offset, slot_bits, "FastPFOR chunk"));
+    block->payload_bytes += BitsToBytes(slot_bits);
+    block->exceptions += num_exc;
+    ++block->chunks;
+  }
+  // Trailer: per-width exception pages, zero-width terminated.
+  const size_t trailer_start = *offset;
+  for (;;) {
+    if (*offset >= data.size()) return Status::Corruption("FastPFOR trailer");
+    const int w = data[(*offset)++];
+    if (w == 0) break;
+    if (w > 64) return Status::Corruption("FastPFOR trailer width");
+    uint64_t count;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &count));
+    if (count > n) return Status::Corruption("FastPFOR trailer count");
+    BOS_RETURN_NOT_OK(
+        SkipPacked(data, offset, count * static_cast<uint64_t>(w),
+                   "FastPFOR trailer"));
+  }
+  block->position_bytes += *offset - trailer_start;
+  block->bytes = *offset - start;
+  return Status::OK();
+}
+
+Status WalkPforStream(PforFlavor flavor, BytesView data, size_t* offset,
+                      BlockReport* block) {
+  if (flavor == PforFlavor::kFastPfor) {
+    return WalkFastPforStream(data, offset, block);
+  }
+  const size_t start = *offset;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > core::kMaxBlockValues) {
+    return Status::Corruption("PFOR: n too large");
+  }
+  block->mode = "chunked";
+  block->values = n;
+  block->header_bytes = *offset - start;
+  for (uint64_t done = 0; done < n; done += pfor::kChunkSize) {
+    const size_t len = std::min<uint64_t>(pfor::kChunkSize, n - done);
+    BOS_RETURN_NOT_OK(flavor == PforFlavor::kPfor
+                          ? WalkPforChunk(data, offset, len, block)
+                          : WalkNewPforChunk(data, offset, len, block));
+    ++block->chunks;
+  }
+  block->bytes = *offset - start;
+  return Status::OK();
+}
+
+enum class OpKind { kBos, kPfor, kNewPfor, kFastPfor, kUnknown };
+
+OpKind KindOf(std::string_view op) {
+  if (op == "BP" || op.substr(0, 4) == "BOS-") return OpKind::kBos;
+  if (op == "PFOR") return OpKind::kPfor;
+  if (op == "NEWPFOR" || op == "OPTPFOR") return OpKind::kNewPfor;
+  if (op == "FASTPFOR") return OpKind::kFastPfor;
+  return OpKind::kUnknown;
+}
+
+bool KnownOperator(std::string_view op) {
+  for (const auto& name : OperatorNames()) {
+    if (op == name) return true;
+  }
+  return op == "BOS-H";  // opt-in, not in OperatorNames()
+}
+
+// One operator Encode unit; dispatches on the operator family.
+Status WalkOperatorUnit(OpKind kind, BytesView data, size_t* offset,
+                        std::vector<BlockReport>* blocks) {
+  BlockReport block;
+  block.offset = *offset;
+  switch (kind) {
+    case OpKind::kBos:
+      BOS_RETURN_NOT_OK(WalkBosBlock(data, offset, &block));
+      break;
+    case OpKind::kPfor:
+      BOS_RETURN_NOT_OK(WalkPforStream(PforFlavor::kPfor, data, offset, &block));
+      break;
+    case OpKind::kNewPfor:
+      BOS_RETURN_NOT_OK(
+          WalkPforStream(PforFlavor::kNewPfor, data, offset, &block));
+      break;
+    case OpKind::kFastPfor:
+      BOS_RETURN_NOT_OK(
+          WalkPforStream(PforFlavor::kFastPfor, data, offset, &block));
+      break;
+    case OpKind::kUnknown:
+      return Status::InvalidArgument("unknown packing operator");
+  }
+  blocks->push_back(std::move(block));
+  return Status::OK();
+}
+
+// Expects the next unit to decode to exactly `expect` values.
+Status WalkExpectedUnit(OpKind kind, BytesView data, size_t* offset,
+                        uint64_t expect, std::vector<BlockReport>* blocks,
+                        const char* what) {
+  BOS_RETURN_NOT_OK(WalkOperatorUnit(kind, data, offset, blocks));
+  if (blocks->back().values != expect) {
+    return Status::Corruption(std::string(what) + ": block length mismatch");
+  }
+  return Status::OK();
+}
+
+// TS2DIFF and SPRINTZ share the stream grammar: varint n, then per block
+// of `block_size` values: svarint first + one operator unit of len-1.
+Status WalkDeltaStream(OpKind kind, BytesView data, size_t block_size,
+                       StreamReport* report, const char* what) {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) {
+    return Status::Corruption(std::string(what) + ": n too large");
+  }
+  report->values = n;
+  for (uint64_t done = 0; done < n; done += block_size) {
+    const uint64_t len = std::min<uint64_t>(block_size, n - done);
+    int64_t first;
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, &offset, &first));
+    BOS_RETURN_NOT_OK(
+        WalkExpectedUnit(kind, data, &offset, len - 1, &report->blocks, what));
+  }
+  if (offset != data.size()) {
+    return Status::Corruption(std::string(what) + ": trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status WalkRleStream(OpKind kind, BytesView data, size_t block_size,
+                     StreamReport* report) {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("RLE: n too large");
+  report->values = n;
+  for (uint64_t done = 0; done < n; done += block_size) {
+    const uint64_t len = std::min<uint64_t>(block_size, n - done);
+    uint64_t num_runs;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &num_runs));
+    if (num_runs > len) return Status::Corruption("RLE: too many runs");
+    uint64_t total = 0;
+    for (uint64_t r = 0; r < num_runs; ++r) {
+      uint64_t rl;
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &rl));
+      if (rl == 0 || !CheckedAdd(total, rl, &total) || total > len) {
+        return Status::Corruption("RLE: bad run length");
+      }
+    }
+    if (total != len) return Status::Corruption("RLE: run lengths mismatch");
+    BOS_RETURN_NOT_OK(
+        WalkExpectedUnit(kind, data, &offset, num_runs, &report->blocks, "RLE"));
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("RLE: trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status WalkDictStream(OpKind kind, BytesView data, size_t block_size,
+                      StreamReport* report) {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("DICT: n too large");
+  report->values = n;
+  for (uint64_t done = 0; done < n; done += block_size) {
+    const uint64_t len = std::min<uint64_t>(block_size, n - done);
+    if (offset >= data.size()) return Status::Corruption("DICT: truncated");
+    const uint8_t mode = data[offset++];
+    if (mode == 0) {  // raw block: one unit of len values
+      BOS_RETURN_NOT_OK(
+          WalkExpectedUnit(kind, data, &offset, len, &report->blocks, "DICT"));
+      continue;
+    }
+    if (mode != 1) return Status::Corruption("DICT: bad block mode");
+    // Dictionary block: the dictionary unit (its own length) then the
+    // index unit of exactly len values.
+    BOS_RETURN_NOT_OK(WalkOperatorUnit(kind, data, &offset, &report->blocks));
+    if (report->blocks.back().values > len) {
+      return Status::Corruption("DICT: dictionary larger than block");
+    }
+    BOS_RETURN_NOT_OK(
+        WalkExpectedUnit(kind, data, &offset, len, &report->blocks, "DICT"));
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("DICT: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InspectOperatorUnit(std::string_view op, BytesView data, size_t* offset,
+                           std::vector<BlockReport>* blocks) {
+  const OpKind kind = KindOf(op);
+  if (kind == OpKind::kUnknown || !KnownOperator(op)) {
+    return Status::InvalidArgument("unknown packing operator: " +
+                                   std::string(op));
+  }
+  return WalkOperatorUnit(kind, data, offset, blocks);
+}
+
+Result<StreamReport> InspectSeriesStream(std::string_view spec, BytesView data,
+                                         size_t block_size) {
+  StreamReport report;
+  report.spec = std::string(spec);
+  report.bytes = data.size();
+  if (spec == "DOD") {
+    // Self-contained bit-level codec: only the stream length is framed.
+    size_t offset = 0;
+    uint64_t n;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+    if (n > kMaxStreamValues) return Status::Corruption("DOD: n too large");
+    report.values = n;
+    report.opaque = true;
+    return report;
+  }
+  const size_t plus = spec.find('+');
+  if (plus == std::string_view::npos) {
+    return Status::InvalidArgument("codec spec must be TRANSFORM+OPERATOR: " +
+                                   std::string(spec));
+  }
+  report.transform = std::string(spec.substr(0, plus));
+  report.op = std::string(spec.substr(plus + 1));
+  const OpKind kind = KindOf(report.op);
+  if (kind == OpKind::kUnknown || !KnownOperator(report.op)) {
+    return Status::InvalidArgument("unknown packing operator: " + report.op);
+  }
+  if (report.transform == "TS2DIFF") {
+    BOS_RETURN_NOT_OK(
+        WalkDeltaStream(kind, data, block_size, &report, "TS2DIFF"));
+  } else if (report.transform == "SPRINTZ") {
+    BOS_RETURN_NOT_OK(
+        WalkDeltaStream(kind, data, block_size, &report, "SPRINTZ"));
+  } else if (report.transform == "RLE") {
+    BOS_RETURN_NOT_OK(WalkRleStream(kind, data, block_size, &report));
+  } else if (report.transform == "DICT") {
+    BOS_RETURN_NOT_OK(WalkDictStream(kind, data, block_size, &report));
+  } else {
+    return Status::InvalidArgument("unknown transform: " + report.transform);
+  }
+  return report;
+}
+
+Result<ContainerReport> InspectContainer(BytesView data) {
+  if (data.size() < 5) {
+    return Status::Corruption("not a boscli-compressed file");
+  }
+  ContainerReport report;
+  report.file_bytes = data.size();
+  if (std::memcmp(data.data(), "BOSC", 4) == 0) {
+    report.format = "BOSC";
+  } else if (std::memcmp(data.data(), "BOSP", 4) == 0) {
+    report.format = "BOSP";
+  } else {
+    return Status::Corruption("not a boscli-compressed file");
+  }
+  size_t offset = 4;
+  uint64_t spec_len;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &spec_len));
+  if (!SliceFits(data.size(), offset, spec_len)) {
+    return Status::Corruption("corrupt spec header");
+  }
+  report.spec.assign(reinterpret_cast<const char*>(data.data() + offset),
+                     static_cast<size_t>(spec_len));
+  offset += spec_len;
+  const BytesView body = data.subspan(offset);
+
+  if (report.format == "BOSC") {
+    BOS_ASSIGN_OR_RETURN(auto stream, InspectSeriesStream(report.spec, body));
+    report.total_values = stream.values;
+    report.streams.push_back(std::move(stream));
+    return report;
+  }
+
+  // BOSP: the chunk-directory frame of exec::ParallelEncodeSeries.
+  // Same validation as ParseFrame in src/exec/parallel_codec.cc.
+  size_t pos = 0;
+  uint64_t total, chunk_values, num_chunks;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(body, &pos, &total));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(body, &pos, &chunk_values));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(body, &pos, &num_chunks));
+  if (total > kMaxStreamValues) {
+    return Status::Corruption("chunked frame: total too large");
+  }
+  if (chunk_values == 0) {
+    return Status::Corruption("chunked frame: zero chunk size");
+  }
+  const uint64_t expect_chunks =
+      total == 0 ? 0 : (total + chunk_values - 1) / chunk_values;
+  if (num_chunks != expect_chunks) {
+    return Status::Corruption("chunked frame: chunk count mismatch");
+  }
+  if (num_chunks > body.size() - pos) {
+    return Status::Corruption("chunked frame: directory truncated");
+  }
+  report.total_values = total;
+  report.chunk_values = chunk_values;
+  std::vector<uint64_t> sizes(num_chunks);
+  for (uint64_t i = 0; i < num_chunks; ++i) {
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(body, &pos, &sizes[i]));
+  }
+  uint64_t payload_pos = pos;
+  for (uint64_t i = 0; i < num_chunks; ++i) {
+    if (!SliceFits(body.size(), payload_pos, sizes[i])) {
+      return Status::Corruption("chunked frame: payload truncated");
+    }
+    BOS_ASSIGN_OR_RETURN(
+        auto stream,
+        InspectSeriesStream(report.spec,
+                            body.subspan(static_cast<size_t>(payload_pos),
+                                         static_cast<size_t>(sizes[i]))));
+    const uint64_t expect =
+        std::min<uint64_t>(chunk_values, total - i * chunk_values);
+    if (stream.values != expect) {
+      return Status::Corruption("chunked frame: chunk value count mismatch");
+    }
+    report.streams.push_back(std::move(stream));
+    payload_pos += sizes[i];
+  }
+  if (payload_pos != body.size()) {
+    return Status::Corruption("chunked frame: trailing bytes");
+  }
+  return report;
+}
+
+void AppendStreamText(const StreamReport& stream, const std::string& indent,
+                      std::string* out) {
+  Appendf(out, "%sstream %s: %" PRIu64 " values, %" PRIu64 " bytes",
+          indent.c_str(), stream.spec.c_str(), stream.values, stream.bytes);
+  if (stream.opaque) {
+    out->append(" (opaque payload)\n");
+    return;
+  }
+  Appendf(out, ", %zu blocks\n", stream.blocks.size());
+  for (size_t i = 0; i < stream.blocks.size(); ++i) {
+    const BlockReport& b = stream.blocks[i];
+    Appendf(out, "%s  block %zu @%" PRIu64 ": %-7s n=%-5" PRIu64
+            " %" PRIu64 "B (hdr %" PRIu64 "B",
+            indent.c_str(), i, b.offset, b.mode.c_str(), b.values, b.bytes,
+            b.header_bytes);
+    if (b.position_bytes > 0) Appendf(out, ", pos %" PRIu64 "B", b.position_bytes);
+    Appendf(out, ", payload %" PRIu64 "B)", b.payload_bytes);
+    if (b.mode == "plain") {
+      Appendf(out, " width=%u", b.width);
+    } else if (b.mode == "bitmap" || b.mode == "list") {
+      Appendf(out, " nl=%" PRIu64 " nu=%" PRIu64 " alpha=%u beta=%u gamma=%u",
+              b.nl, b.nu, b.alpha, b.beta, b.gamma);
+      if (b.mode == "bitmap") {
+        Appendf(out, " bitmap=%" PRIu64 "b", b.bitmap_bits);
+      }
+      Appendf(out, " values=%" PRIu64 "b", b.value_bits);
+    } else if (b.mode == "chunked") {
+      Appendf(out, " chunks=%" PRIu64 " exceptions=%" PRIu64, b.chunks,
+              b.exceptions);
+    }
+    out->push_back('\n');
+  }
+}
+
+void AppendStreamJson(const StreamReport& stream, std::string* out) {
+  out->append("{\"spec\":");
+  AppendJsonString(out, stream.spec);
+  out->append(",\"transform\":");
+  AppendJsonString(out, stream.transform);
+  out->append(",\"op\":");
+  AppendJsonString(out, stream.op);
+  Appendf(out, ",\"values\":%" PRIu64 ",\"bytes\":%" PRIu64 ",\"opaque\":%s",
+          stream.values, stream.bytes, stream.opaque ? "true" : "false");
+  out->append(",\"blocks\":[");
+  for (size_t i = 0; i < stream.blocks.size(); ++i) {
+    const BlockReport& b = stream.blocks[i];
+    if (i > 0) out->push_back(',');
+    out->append("{\"mode\":");
+    AppendJsonString(out, b.mode);
+    Appendf(out,
+            ",\"offset\":%" PRIu64 ",\"bytes\":%" PRIu64
+            ",\"values\":%" PRIu64 ",\"header_bytes\":%" PRIu64
+            ",\"position_bytes\":%" PRIu64 ",\"payload_bytes\":%" PRIu64,
+            b.offset, b.bytes, b.values, b.header_bytes, b.position_bytes,
+            b.payload_bytes);
+    if (b.mode == "plain") {
+      Appendf(out, ",\"width\":%u", b.width);
+    } else if (b.mode == "bitmap" || b.mode == "list") {
+      Appendf(out,
+              ",\"nl\":%" PRIu64 ",\"nu\":%" PRIu64
+              ",\"alpha\":%u,\"beta\":%u,\"gamma\":%u,\"bitmap_bits\":%" PRIu64
+              ",\"value_bits\":%" PRIu64,
+              b.nl, b.nu, b.alpha, b.beta, b.gamma, b.bitmap_bits,
+              b.value_bits);
+    } else if (b.mode == "chunked") {
+      Appendf(out, ",\"chunks\":%" PRIu64 ",\"exceptions\":%" PRIu64, b.chunks,
+              b.exceptions);
+    }
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+std::string RenderInspectText(const ContainerReport& report) {
+  std::string out;
+  Appendf(&out, "%s spec=%s: %" PRIu64 " bytes, %" PRIu64 " values",
+          report.format.c_str(), report.spec.c_str(), report.file_bytes,
+          report.total_values);
+  if (report.format == "BOSP") {
+    Appendf(&out, ", %zu chunks of %" PRIu64, report.streams.size(),
+            report.chunk_values);
+  }
+  out.push_back('\n');
+  for (const StreamReport& s : report.streams) {
+    AppendStreamText(s, "  ", &out);
+  }
+  return out;
+}
+
+std::string RenderInspectJson(const ContainerReport& report) {
+  std::string out;
+  Appendf(&out, "{\"schema_version\":%d,\"format\":", telemetry::kSchemaVersion);
+  AppendJsonString(&out, report.format);
+  out.append(",\"spec\":");
+  AppendJsonString(&out, report.spec);
+  Appendf(&out,
+          ",\"file_bytes\":%" PRIu64 ",\"total_values\":%" PRIu64
+          ",\"chunk_values\":%" PRIu64,
+          report.file_bytes, report.total_values, report.chunk_values);
+  out.append(",\"streams\":[");
+  for (size_t i = 0; i < report.streams.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendStreamJson(report.streams[i], &out);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace bos::codecs

@@ -1,0 +1,111 @@
+#ifndef BOS_CODECS_INSPECT_H_
+#define BOS_CODECS_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codecs/series_codec.h"
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::codecs {
+
+/// \brief EXPLAIN-style stream inspector: walks encoded streams block by
+/// block using only the headers and the format's own size arithmetic —
+/// no values are ever materialized. Every length it trusts goes through
+/// the same bounds checks as the real decoders, so inspecting hostile
+/// bytes is as safe as decoding them (fuzz/fuzz_inspect.cc holds it to
+/// that).
+///
+/// One `BlockReport` per encoded unit: a BOS/BP block, one PFOR-family
+/// operator stream (its 128-value chunks are aggregated), or one
+/// dictionary block. The Figure-7 sub-streams are reported as exact byte
+/// (or bit, for the packed segments) counts.
+
+/// Per-block breakdown. Fields beyond the common group are meaningful
+/// only for the modes that have them; JSON output omits the rest.
+struct BlockReport {
+  uint64_t offset = 0;  ///< byte offset of the unit within the stream
+  uint64_t bytes = 0;   ///< total encoded bytes of the unit
+  uint64_t values = 0;  ///< values the unit decodes to
+
+  /// "plain" | "bitmap" | "list" | "chunked" (PFOR family) |
+  /// "dict" | "raw" (dictionary blocks)
+  std::string mode;
+
+  // Sub-stream byte accounting (header + positions + payload == bytes).
+  uint64_t header_bytes = 0;    ///< mode byte, counts, bases, width bytes
+  uint64_t position_bytes = 0;  ///< gap lists / exception positions+values
+  uint64_t payload_bytes = 0;   ///< the bit-packed payload
+
+  // BOS separated detail (modes "bitmap"/"list"): outlier counts and the
+  // Figure-7 widths. `alpha`/`gamma` are 0 when the class is empty.
+  uint64_t nl = 0, nu = 0;
+  uint32_t alpha = 0, beta = 0, gamma = 0;
+  uint64_t bitmap_bits = 0;  ///< n + nl + nu ('0'/'10'/'11' codes)
+  uint64_t value_bits = 0;   ///< nl*alpha + nu*gamma + nc*beta
+
+  // Plain-mode detail.
+  uint32_t width = 0;
+
+  // PFOR-family detail (mode "chunked").
+  uint64_t chunks = 0;
+  uint64_t exceptions = 0;
+};
+
+/// One SeriesCodec stream (the output of one Compress call).
+struct StreamReport {
+  std::string spec;       ///< as passed in, e.g. "TS2DIFF+BOS-B"
+  std::string transform;  ///< "" for operator-only / self-contained specs
+  std::string op;         ///< "" for DOD
+  uint64_t values = 0;    ///< total values in the stream
+  uint64_t bytes = 0;     ///< total stream bytes
+  bool opaque = false;    ///< payload not block-walked (DOD)
+  std::vector<BlockReport> blocks;
+};
+
+/// A boscli-compressed file: "BOSC" (serial) or "BOSP" (chunk-parallel
+/// frame) magic, spec header, then one or many codec streams.
+struct ContainerReport {
+  std::string format;  ///< "BOSC" | "BOSP"
+  std::string spec;
+  uint64_t file_bytes = 0;
+  uint64_t total_values = 0;
+  uint64_t chunk_values = 0;  ///< BOSP only: values per chunk
+  std::vector<StreamReport> streams;  ///< BOSC: one; BOSP: one per chunk
+};
+
+/// Walks one operator-encoded unit (the output of one
+/// PackingOperator::Encode call) starting at `*offset`, appending one
+/// BlockReport and advancing the offset past the unit. `op` must be a
+/// registry operator name ("BP", "PFOR", ..., "BOS-H"); every BOS
+/// variant shares the block grammar, so any of them accepts any mode.
+Status InspectOperatorUnit(std::string_view op, BytesView data, size_t* offset,
+                           std::vector<BlockReport>* blocks);
+
+/// Walks a full series stream encoded with `spec` (anything
+/// MakeSeriesCodec accepts). Fails with Corruption on malformed bytes —
+/// same acceptance as the real decoder, without materializing values.
+Result<StreamReport> InspectSeriesStream(std::string_view spec, BytesView data,
+                                         size_t block_size = kDefaultBlockSize);
+
+/// Dispatches on the BOSC/BOSP magic of a boscli-compressed file.
+Result<ContainerReport> InspectContainer(BytesView data);
+
+/// Human-readable rendering (one line per block, indented).
+std::string RenderInspectText(const ContainerReport& report);
+
+/// JSON rendering; starts with "schema_version" (telemetry::kSchemaVersion).
+std::string RenderInspectJson(const ContainerReport& report);
+
+/// Shared by the renderers above and storage/tsfile_inspect.
+void AppendStreamText(const StreamReport& stream, const std::string& indent,
+                      std::string* out);
+void AppendStreamJson(const StreamReport& stream, std::string* out);
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_INSPECT_H_

@@ -11,6 +11,7 @@
 #include "bitpack/varint.h"
 #include "core/block_io.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/bits.h"
 #include "util/macros.h"
 #include "util/safe_math.h"
@@ -376,6 +377,14 @@ void DecodeClassedValuesBatched(const uint8_t* stream, size_t stream_len,
 void RecordSeparatedBlockStats(const char* mode_counter, const Partition& p,
                                const PartWidths& w) {
 #if BOS_TELEMETRY_ENABLED
+  // The mode decision and Figure-7 widths, attached to the enclosing
+  // per-block span ("bitmap"/"list": past the "...encode.mode_" prefix).
+  BOS_TRACE_ANNOTATE("mode", mode_counter + sizeof("bos.core.encode.mode_") - 1);
+  BOS_TRACE_ANNOTATE("nl", static_cast<int64_t>(p.nl));
+  BOS_TRACE_ANNOTATE("nu", static_cast<int64_t>(p.nu));
+  BOS_TRACE_ANNOTATE("alpha", static_cast<int64_t>(p.nl > 0 ? w.alpha : 0));
+  BOS_TRACE_ANNOTATE("beta", static_cast<int64_t>(w.beta));
+  BOS_TRACE_ANNOTATE("gamma", static_cast<int64_t>(p.nu > 0 ? w.gamma : 0));
   if (!telemetry::Enabled()) return;
   auto& registry = telemetry::Registry::Global();
   registry.GetCounter(mode_counter).Add(1);
@@ -664,6 +673,7 @@ Status EncodeWithSeparation(std::span<const int64_t> values,
                             const Separation& sep, Bytes* out) {
   if (!sep.separated) {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
+    BOS_TRACE_ANNOTATE("mode", "plain");
     EncodePlainBlock(values, out);
     return Status::OK();
   }
@@ -761,6 +771,9 @@ Status BosOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  BOS_TRACE_SPAN("bos.core.encode.block");
+  BOS_TRACE_ANNOTATE("op", SeparationStrategyName(strategy_));
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   const Separation sep = SeparateTimed(strategy_, values);
   return EncodeWithSeparation(values, sep, out);
 }
@@ -776,6 +789,9 @@ Status BosUpperOnlyOperator::Encode(std::span<const int64_t> values,
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  BOS_TRACE_SPAN("bos.core.encode.block");
+  BOS_TRACE_ANNOTATE("op", "BOS-UPPER");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   const Separation sep = SeparateUpperOnly(values);
   return EncodeWithSeparation(values, sep, out);
 }
@@ -791,9 +807,13 @@ Status BosListOperator::Encode(std::span<const int64_t> values,
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  BOS_TRACE_SPAN("bos.core.encode.block");
+  BOS_TRACE_ANNOTATE("op", "BOS-LIST");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   const Separation sep = SeparateBitWidth(values);
   if (!sep.separated) {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
+    BOS_TRACE_ANNOTATE("mode", "plain");
     EncodePlainBlock(values, out);
     return Status::OK();
   }
@@ -813,6 +833,9 @@ Status BosHybridOperator::Encode(std::span<const int64_t> values,
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  BOS_TRACE_SPAN("bos.core.encode.block");
+  BOS_TRACE_ANNOTATE("op", "BOS-H");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   Separation sep = SeparateTimed(SeparationStrategy::kMedian, values);
   // When BOS-M found no split its cost_bits already IS the Definition-1
   // plain cost (and its partition fields are meaningless), so the gap
@@ -830,6 +853,7 @@ Status BosHybridOperator::Encode(std::span<const int64_t> values,
   } else {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.hybrid_kept_median", 1);
   }
+  BOS_TRACE_ANNOTATE("escalated", static_cast<int64_t>(escalate ? 1 : 0));
   return EncodeWithSeparation(values, sep, out);
 }
 
@@ -844,9 +868,13 @@ Status BosAdaptiveOperator::Encode(std::span<const int64_t> values,
     EncodePlainBlock(values, out);
     return Status::OK();
   }
+  BOS_TRACE_SPAN("bos.core.encode.block");
+  BOS_TRACE_ANNOTATE("op", "BOS-ADAPTIVE");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   const Separation sep = SeparateBitWidth(values);
   if (!sep.separated) {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
+    BOS_TRACE_ANNOTATE("mode", "plain");
     EncodePlainBlock(values, out);
     return Status::OK();
   }

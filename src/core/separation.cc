@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "telemetry/trace.h"
 #include "util/bits.h"
 
 #if defined(__x86_64__) && defined(__GNUC__)
@@ -266,8 +267,11 @@ Separation PlainOnly(const UniqueCounts& uc, uint64_t n) {
 // upper-only ablation (and the BOS-B body reuses the candidate helpers).
 Separation ValueSearch(std::span<const int64_t> values, bool allow_lower) {
   const uint64_t n = values.size();
+  BOS_TRACE_SPAN("bos.core.search.value");
   const UniqueCounts uc = BuildUniqueCounts(values);
   const int u = static_cast<int>(uc.uniq.size());
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(n));
+  BOS_TRACE_ANNOTATE("unique", static_cast<int64_t>(u));
   if (u < 2) return PlainOnly(uc, n);
 
   const SearchContext ctx(uc, n);
@@ -593,8 +597,11 @@ void NarrowBitWidthCandidates(const SearchContext& ctx, int li_max,
 
 Separation BitWidthSearch(std::span<const int64_t> values, bool allow_lower) {
   const uint64_t n = values.size();
+  BOS_TRACE_SPAN("bos.core.search.bit_width");
   const UniqueCounts uc = BuildUniqueCounts(values);
   const int u = static_cast<int>(uc.uniq.size());
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(n));
+  BOS_TRACE_ANNOTATE("unique", static_cast<int64_t>(u));
   if (u < 2) return PlainOnly(uc, n);
 
   const int64_t xmax = uc.uniq.back();
@@ -605,9 +612,11 @@ Separation BitWidthSearch(std::span<const int64_t> values, bool allow_lower) {
   const uint64_t range = UnsignedRange(uc.uniq.front(), xmax);
   if (g_histogram_search.load(std::memory_order_relaxed) &&
       NarrowRangeEligible(n, range) && u <= 65535) {
+    BOS_TRACE_ANNOTATE("phase", "histogram");
     NarrowBitWidthCandidates(ctx, li_max, &best);
     return Finish(uc, n, best);
   }
+  BOS_TRACE_ANNOTATE("phase", "cursor");
 
   // Case beta <= gamma (Proposition 2): xu = minXc + 2^beta. As Algorithm
   // 2 notes, traversing the bit-width first lets the cumulative count of
@@ -689,6 +698,8 @@ Separation SeparateUpperOnly(std::span<const int64_t> values) {
 Separation SeparateMedian(std::span<const int64_t> values) {
   assert(!values.empty());
   const uint64_t n = values.size();
+  BOS_TRACE_SPAN("bos.core.search.median");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(n));
 
   // FindMedian (QuickSelect): the lower median, an actual block value.
   std::vector<int64_t> scratch(values.begin(), values.end());

@@ -5,6 +5,7 @@
 
 #include "bitpack/varint.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/macros.h"
 #include "util/safe_math.h"
 
@@ -117,6 +118,8 @@ Status ParallelEncodeSeries(const codecs::SeriesCodec& codec,
                             std::span<const int64_t> values, Bytes* out,
                             const ParallelCodecOptions& options) {
   BOS_TELEMETRY_SPAN("bos.exec.codec.encode_ns");
+  BOS_TRACE_SPAN("bos.exec.codec.encode");
+  BOS_TRACE_ANNOTATE("values", static_cast<int64_t>(values.size()));
   const size_t chunk_values = ChunkValuesOf(options);
   const size_t num_chunks =
       values.empty() ? 0 : (values.size() + chunk_values - 1) / chunk_values;
@@ -125,8 +128,11 @@ Status ParallelEncodeSeries(const codecs::SeriesCodec& codec,
   BOS_RETURN_NOT_OK(PoolOf(options).ParallelFor(
       num_chunks, 1, [&](size_t begin, size_t end) -> Status {
         for (size_t i = begin; i < end; ++i) {
+          BOS_TRACE_SPAN("bos.exec.codec.encode_chunk");
+          BOS_TRACE_ANNOTATE("chunk", static_cast<int64_t>(i));
           BOS_RETURN_NOT_OK(
               EncodeOneChunk(codec, values, chunk_values, i, &payloads[i]));
+          BOS_TRACE_ANNOTATE("bytes", static_cast<int64_t>(payloads[i].size()));
         }
         return Status::OK();
       }));
@@ -138,6 +144,7 @@ Status ParallelDecodeSeries(const codecs::SeriesCodec& codec, BytesView data,
                             std::vector<int64_t>* out,
                             const ParallelCodecOptions& options) {
   BOS_TELEMETRY_SPAN("bos.exec.codec.decode_ns");
+  BOS_TRACE_SPAN("bos.exec.codec.decode");
   FrameHeader hdr;
   BOS_RETURN_NOT_OK(codecs::CountDecodeRejection(ParseFrame(data, &hdr)));
   const size_t base = out->size();

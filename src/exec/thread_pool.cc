@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace bos::exec {
 namespace {
@@ -53,6 +54,20 @@ ThreadPool& ThreadPool::Default() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   BOS_TELEMETRY_COUNTER_ADD("bos.exec.pool.tasks", 1);
+#if BOS_TELEMETRY_ENABLED
+  // Trace-context propagation: wrap the task so it runs as a child of
+  // the span that submitted it, whichever worker picks it up. Only done
+  // while a trace is being recorded — otherwise submission cost is
+  // exactly the untraced path.
+  if (telemetry::trace::Active()) {
+    const uint64_t parent = telemetry::trace::CurrentSpanId();
+    task = [parent, inner = std::move(task)] {
+      telemetry::trace::ScopedContext context(parent);
+      BOS_TRACE_SPAN("bos.exec.pool.task");
+      inner();
+    };
+  }
+#endif
   if (tls_worker.pool == this) {
     Worker& w = *workers_[tls_worker.index];
     std::lock_guard<std::mutex> lock(w.mu);
@@ -143,6 +158,9 @@ struct ThreadPool::ForState {
   size_t n = 0;
   size_t grain = 1;
   size_t num_chunks = 0;
+  // Span that issued the ParallelFor; chunks adopt it as parent on
+  // whichever thread claims them. 0 when no trace is being recorded.
+  uint64_t trace_parent = 0;
   // Owned by the ParallelFor stack frame; only dereferenced while a
   // chunk is executing, which always happens before the caller returns.
   const std::function<Status(size_t, size_t)>* body = nullptr;
@@ -155,12 +173,19 @@ struct ThreadPool::ForState {
   Status first_error;
 
   void RunChunks() {
+    // Chunk spans parent directly to the submitting span (not to the
+    // worker's queue-task span), so the fan-out reads as one flat layer
+    // under the caller in the exported trace.
+    telemetry::trace::ScopedContext trace_context(trace_parent);
     for (;;) {
       const size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= num_chunks) return;
       if (!failed.load(std::memory_order_acquire)) {
         const size_t begin = chunk * grain;
         const size_t end = std::min(n, begin + grain);
+        BOS_TRACE_SPAN("bos.exec.parallel_for.chunk");
+        BOS_TRACE_ANNOTATE("begin", static_cast<int64_t>(begin));
+        BOS_TRACE_ANNOTATE("end", static_cast<int64_t>(end));
         Status st = (*body)(begin, end);
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(mu);
@@ -193,6 +218,9 @@ Status ThreadPool::ParallelFor(
   state->n = n;
   state->grain = grain;
   state->num_chunks = num_chunks;
+  if (telemetry::trace::Active()) {
+    state->trace_parent = telemetry::trace::CurrentSpanId();
+  }
   state->body = &body;
 
   // One runner per worker is enough: each runner loops over the claim

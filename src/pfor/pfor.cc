@@ -12,6 +12,7 @@
 #include "core/block_io.h"
 #include "pfor/pfor_common.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/bits.h"
 #include "util/macros.h"
 #include "util/safe_math.h"
@@ -353,6 +354,9 @@ struct FastChunkMeta {
 // ---------------------------------------------------------------------
 
 Status PforOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
+  BOS_TRACE_SPAN("bos.pfor.encode.block");
+  BOS_TRACE_ANNOTATE("op", "PFOR");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   bitpack::PutVarint(out, values.size());
   for (size_t start = 0; start < values.size(); start += kChunkSize) {
     const size_t len = std::min(kChunkSize, values.size() - start);
@@ -378,6 +382,9 @@ Status PforOperator::Decode(BytesView data, size_t* offset,
 
 Status NewPforOperator::Encode(std::span<const int64_t> values,
                                Bytes* out) const {
+  BOS_TRACE_SPAN("bos.pfor.encode.block");
+  BOS_TRACE_ANNOTATE("op", "NEWPFOR");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   bitpack::PutVarint(out, values.size());
   for (size_t start = 0; start < values.size(); start += kChunkSize) {
     const size_t len = std::min(kChunkSize, values.size() - start);
@@ -404,6 +411,9 @@ Status NewPforOperator::Decode(BytesView data, size_t* offset,
 
 Status OptPforOperator::Encode(std::span<const int64_t> values,
                                Bytes* out) const {
+  BOS_TRACE_SPAN("bos.pfor.encode.block");
+  BOS_TRACE_ANNOTATE("op", "OPTPFOR");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   bitpack::PutVarint(out, values.size());
   for (size_t start = 0; start < values.size(); start += kChunkSize) {
     const size_t len = std::min(kChunkSize, values.size() - start);
@@ -421,6 +431,9 @@ Status OptPforOperator::Decode(BytesView data, size_t* offset,
 
 Status FastPforOperator::Encode(std::span<const int64_t> values,
                                 Bytes* out) const {
+  BOS_TRACE_SPAN("bos.pfor.encode.block");
+  BOS_TRACE_ANNOTATE("op", "FASTPFOR");
+  BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
   bitpack::PutVarint(out, values.size());
   if (values.empty()) return Status::OK();
 

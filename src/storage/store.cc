@@ -6,6 +6,7 @@
 
 #include "codecs/advisor.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/macros.h"
 
 namespace bos::storage {
@@ -135,6 +136,8 @@ std::string TsStore::SpecFor(const std::string& series) const {
 Status TsStore::Flush() {
   if (memtable_size_ == 0) return Status::OK();
   BOS_TELEMETRY_SPAN("bos.storage.flush.span_ns");
+  BOS_TRACE_SPAN("bos.storage.flush");
+  BOS_TRACE_ANNOTATE("points", static_cast<int64_t>(memtable_size_));
 
   // Phase 1 (parallel): sort, advise, and compress every series into
   // memory. Each job owns its slot, the memtable and advised_specs_ are
@@ -156,6 +159,10 @@ Status TsStore::Flush() {
       jobs.size(), 1, [&](size_t begin, size_t end) -> Status {
         for (size_t j = begin; j < end; ++j) {
           FlushJob& job = jobs[j];
+          BOS_TRACE_SPAN("bos.storage.flush.series");
+          BOS_TRACE_ANNOTATE("series", *job.name);
+          BOS_TRACE_ANNOTATE("points",
+                             static_cast<int64_t>(job.points->size()));
           std::stable_sort(job.points->begin(), job.points->end(), TimeLess);
           std::string spec = SpecFor(*job.name);
           if (options_.auto_advise &&
@@ -201,6 +208,8 @@ Status TsStore::Flush() {
 
 Status TsStore::Query(const std::string& series, int64_t t_min, int64_t t_max,
                       std::vector<codecs::DataPoint>* out) {
+  BOS_TRACE_SPAN("bos.storage.query");
+  BOS_TRACE_ANNOTATE("series", series);
   // Readers are opened serially (the cache map mutates), then every
   // file's pages are read and decoded in parallel into per-file slots —
   // concatenating the slots in file order keeps the merge input, and so
@@ -216,8 +225,11 @@ Status TsStore::Query(const std::string& series, int64_t t_min, int64_t t_max,
       readers.size(), 1, [&](size_t begin, size_t end) -> Status {
         for (size_t i = begin; i < end; ++i) {
           if (!readers[i]->FindSeries(series).ok()) continue;  // not here
+          BOS_TRACE_SPAN("bos.storage.query.file");
+          BOS_TRACE_ANNOTATE("file", static_cast<int64_t>(i));
           BOS_RETURN_NOT_OK(
               readers[i]->ReadTimeRange(series, t_min, t_max, &parts[i]));
+          BOS_TRACE_ANNOTATE("points", static_cast<int64_t>(parts[i].size()));
         }
         return Status::OK();
       }));
@@ -284,6 +296,8 @@ Status TsStore::Compact() {
   BOS_RETURN_NOT_OK(Flush());
   if (files_.size() <= 1) return Status::OK();
   BOS_TELEMETRY_SPAN("bos.storage.compact.span_ns");
+  BOS_TRACE_SPAN("bos.storage.compact");
+  BOS_TRACE_ANNOTATE("files", static_cast<int64_t>(files_.size()));
 
   // Collect every series across all files (and warm the reader cache so
   // the parallel phase below never mutates it).

@@ -1,0 +1,225 @@
+#include "storage/tsfile_inspect.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "bitpack/varint.h"
+#include "telemetry/telemetry.h"
+#include "util/buffer.h"
+#include "util/crc32.h"
+#include "util/macros.h"
+#include "util/safe_math.h"
+
+namespace bos::storage {
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[256];
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(n, sizeof(buf) - 1));
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+Status ReadWholeFile(const std::string& path, Bytes* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot size " + path);
+  }
+  out->resize(static_cast<size_t>(size));
+  const bool ok = std::fread(out->data(), 1, out->size(), f) == out->size();
+  std::fclose(f);
+  if (!ok) return Status::IoError("short read of " + path);
+  return Status::OK();
+}
+
+// Mirrors Impl::FetchPagePayload in tsfile.cc: header, tiling, and CRC.
+Status PagePayload(BytesView file, const PageInfo& page, BytesView* payload) {
+  if (!SliceFits(file.size(), page.offset, page.size)) {
+    return Status::Corruption("page outside file");
+  }
+  const BytesView raw = file.subspan(page.offset, page.size);
+  size_t pos = 0;
+  uint64_t count, payload_size;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(raw, &pos, &count));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(raw, &pos, &payload_size));
+  if (!SliceFits(raw.size(), pos, payload_size) ||
+      pos + payload_size + 4 != raw.size() || count != page.count) {
+    return Status::Corruption("page header mismatch");
+  }
+  uint32_t crc = 0;
+  GetFixed<uint32_t>(raw, pos + payload_size, &crc);
+  if (crc != Crc32(raw.data() + pos, payload_size)) {
+    return Status::Corruption("page CRC mismatch");
+  }
+  *payload = raw.subspan(pos, payload_size);
+  return Status::OK();
+}
+
+Status InspectPage(BytesView file, const SeriesInfo& series,
+                   const PageInfo& page, TsPageReport* report) {
+  report->info = page;
+  BytesView payload;
+  BOS_RETURN_NOT_OK(PagePayload(file, page, &payload));
+  if (!series.timed) {
+    BOS_ASSIGN_OR_RETURN(report->value_stream, codecs::InspectSeriesStream(
+                                                   series.codec_spec, payload));
+    if (report->value_stream.values != page.count) {
+      return Status::Corruption("page value count mismatch");
+    }
+    return Status::OK();
+  }
+  // Timed page: "time_spec|value_spec" codec over
+  // varint time_len | time stream | value stream.
+  const size_t bar = series.codec_spec.find('|');
+  if (bar == std::string::npos) {
+    return Status::Corruption("timed series without a two-column spec");
+  }
+  const std::string time_spec = series.codec_spec.substr(0, bar);
+  const std::string value_spec = series.codec_spec.substr(bar + 1);
+  size_t offset = 0;
+  uint64_t time_len;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(payload, &offset, &time_len));
+  if (!SliceFits(payload.size(), offset, time_len)) {
+    return Status::Corruption("timed page: time column truncated");
+  }
+  BOS_ASSIGN_OR_RETURN(
+      report->time_stream,
+      codecs::InspectSeriesStream(time_spec, payload.subspan(offset, time_len)));
+  report->time_stream_bytes = time_len;
+  BOS_ASSIGN_OR_RETURN(
+      report->value_stream,
+      codecs::InspectSeriesStream(value_spec, payload.subspan(offset + time_len)));
+  if (report->time_stream.values != page.count ||
+      report->value_stream.values != page.count) {
+    return Status::Corruption("timed page: point count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TsFileReport> InspectTsFile(const std::string& path) {
+  TsFileReport report;
+  report.path = path;
+  // The reader validates both magics and the footer CRC.
+  TsFileReader reader;
+  BOS_RETURN_NOT_OK(reader.Open(path));
+  report.file_bytes = reader.file_size();
+  Bytes file;
+  BOS_RETURN_NOT_OK(ReadWholeFile(path, &file));
+  for (const SeriesInfo& s : reader.series()) {
+    TsSeriesReport series_report;
+    series_report.name = s.name;
+    series_report.codec_spec = s.codec_spec;
+    series_report.timed = s.timed;
+    series_report.num_values = s.num_values;
+    for (const PageInfo& page : s.pages) {
+      TsPageReport page_report;
+      BOS_RETURN_NOT_OK(InspectPage(file, s, page, &page_report));
+      series_report.pages.push_back(std::move(page_report));
+    }
+    report.series.push_back(std::move(series_report));
+  }
+  return report;
+}
+
+std::string RenderTsFileText(const TsFileReport& report) {
+  std::string out;
+  Appendf(&out, "%s: %" PRIu64 " bytes, %zu series\n", report.path.c_str(),
+          report.file_bytes, report.series.size());
+  for (const TsSeriesReport& s : report.series) {
+    Appendf(&out, "  %s [%s] %s: %" PRIu64 " values, %zu pages\n",
+            s.name.c_str(), s.codec_spec.c_str(), s.timed ? "timed" : "plain",
+            s.num_values, s.pages.size());
+    for (size_t p = 0; p < s.pages.size(); ++p) {
+      const TsPageReport& page = s.pages[p];
+      Appendf(&out, "    page %zu @%" PRIu64 ": %" PRIu64 " bytes, %" PRIu64
+              " values\n",
+              p, page.info.offset, page.info.size, page.info.count);
+      if (s.timed) {
+        AppendStreamText(page.time_stream, "      [time]  ", &out);
+        AppendStreamText(page.value_stream, "      [value] ", &out);
+      } else {
+        AppendStreamText(page.value_stream, "      ", &out);
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderTsFileJson(const TsFileReport& report) {
+  std::string out;
+  Appendf(&out, "{\"schema_version\":%d,\"format\":\"BOS1\",\"path\":",
+          telemetry::kSchemaVersion);
+  AppendJsonString(&out, report.path);
+  Appendf(&out, ",\"file_bytes\":%" PRIu64 ",\"series\":[", report.file_bytes);
+  for (size_t i = 0; i < report.series.size(); ++i) {
+    const TsSeriesReport& s = report.series[i];
+    if (i > 0) out.push_back(',');
+    out.append("{\"name\":");
+    AppendJsonString(&out, s.name);
+    out.append(",\"spec\":");
+    AppendJsonString(&out, s.codec_spec);
+    Appendf(&out, ",\"timed\":%s,\"values\":%" PRIu64 ",\"pages\":[",
+            s.timed ? "true" : "false", s.num_values);
+    for (size_t p = 0; p < s.pages.size(); ++p) {
+      const TsPageReport& page = s.pages[p];
+      if (p > 0) out.push_back(',');
+      Appendf(&out,
+              "{\"offset\":%" PRIu64 ",\"bytes\":%" PRIu64
+              ",\"values\":%" PRIu64,
+              page.info.offset, page.info.size, page.info.count);
+      if (s.timed) {
+        out.append(",\"time_stream\":");
+        AppendStreamJson(page.time_stream, &out);
+      }
+      out.append(",\"value_stream\":");
+      AppendStreamJson(page.value_stream, &out);
+      out.push_back('}');
+    }
+    out.append("]}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace bos::storage

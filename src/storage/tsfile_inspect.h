@@ -1,0 +1,52 @@
+#ifndef BOS_STORAGE_TSFILE_INSPECT_H_
+#define BOS_STORAGE_TSFILE_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codecs/inspect.h"
+#include "storage/tsfile.h"
+#include "util/result.h"
+
+namespace bos::storage {
+
+/// \brief EXPLAIN-style walk of a TsFile-lite container: footer, page
+/// directory, and — via codecs::InspectSeriesStream — the per-block
+/// Figure-7 breakdown of every page payload, all without materializing a
+/// single decoded value. Page CRCs are verified (that reads the page
+/// bytes, not the values).
+
+struct TsPageReport {
+  PageInfo info;  ///< the footer's directory entry
+  /// Timed pages split into a time column and a value column; plain
+  /// pages use only `value_stream`.
+  codecs::StreamReport value_stream;
+  codecs::StreamReport time_stream;
+  uint64_t time_stream_bytes = 0;  ///< 0 for plain pages
+};
+
+struct TsSeriesReport {
+  std::string name;
+  std::string codec_spec;
+  bool timed = false;
+  uint64_t num_values = 0;
+  std::vector<TsPageReport> pages;
+};
+
+struct TsFileReport {
+  std::string path;
+  uint64_t file_bytes = 0;
+  std::vector<TsSeriesReport> series;
+};
+
+/// Opens `path`, parses the footer through TsFileReader, then walks
+/// every page payload block by block.
+Result<TsFileReport> InspectTsFile(const std::string& path);
+
+std::string RenderTsFileText(const TsFileReport& report);
+std::string RenderTsFileJson(const TsFileReport& report);
+
+}  // namespace bos::storage
+
+#endif  // BOS_STORAGE_TSFILE_INSPECT_H_

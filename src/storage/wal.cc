@@ -9,6 +9,7 @@
 
 #include "bitpack/varint.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/buffer.h"
 #include "util/crc32.h"
 #include "util/macros.h"
@@ -85,6 +86,7 @@ Result<uint64_t> ReplayWal(
     const std::function<void(const std::string& series,
                              const codecs::DataPoint& point)>& sink) {
   BOS_TELEMETRY_SPAN("bos.storage.wal.replay_ns");
+  BOS_TRACE_SPAN("bos.storage.wal.replay");
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return uint64_t{0};  // no log, nothing to replay
   // ftell returns -1 on unseekable streams (pipes, some special files);
@@ -139,6 +141,7 @@ Result<uint64_t> ReplayWal(
     BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.torn_tail", 1);
   }
   BOS_TELEMETRY_COUNTER_ADD("bos.storage.wal.records_replayed", replayed);
+  BOS_TRACE_ANNOTATE("records", static_cast<int64_t>(replayed));
   return replayed;
 }
 

@@ -90,6 +90,31 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return counts;
 }
 
+double Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    const double in_bucket =
+        static_cast<double>(buckets_[i].load(std::memory_order_relaxed));
+    if (cumulative + in_bucket < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow samples have no upper edge: clamp to the largest finite
+    // bound (mirrors Prometheus' histogram_quantile).
+    if (i >= bounds_.size()) {
+      return bounds_.empty() ? 0 : static_cast<double>(bounds_.back());
+    }
+    const double hi = static_cast<double>(bounds_[i]);
+    const double lo = i == 0 ? 0 : static_cast<double>(bounds_[i - 1]);
+    return lo + (hi - lo) * ((target - cumulative) / in_bucket);
+  }
+  return bounds_.empty() ? 0 : static_cast<double>(bounds_.back());
+}
+
 void Histogram::Reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -202,10 +227,13 @@ std::string Registry::SnapshotText() const {
   for (const auto& [name, h] : histograms_) {
     const uint64_t count = h->count();
     const uint64_t sum = h->sum();
-    Appendf(&out, "  %-44s count=%-10" PRIu64 " sum=%-14" PRIu64 " avg=%.1f\n",
+    Appendf(&out,
+            "  %-44s count=%-10" PRIu64 " sum=%-14" PRIu64
+            " avg=%.1f p50=%.0f p95=%.0f p99=%.0f\n",
             name.c_str(), count, sum,
             count == 0 ? 0.0
-                       : static_cast<double>(sum) / static_cast<double>(count));
+                       : static_cast<double>(sum) / static_cast<double>(count),
+            h->Quantile(0.50), h->Quantile(0.95), h->Quantile(0.99));
     const auto& bounds = h->bounds();
     const auto buckets = h->BucketCounts();
     out.append("   ");
@@ -225,7 +253,7 @@ std::string Registry::SnapshotText() const {
 std::string Registry::SnapshotJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  out.append("{\"enabled\":");
+  Appendf(&out, "{\"schema_version\":%d,\"enabled\":", kSchemaVersion);
   out.append(CompiledIn() && Enabled() ? "true" : "false");
   out.append(",\"counters\":{");
   bool first = true;
@@ -249,8 +277,13 @@ std::string Registry::SnapshotJson() const {
     if (!first) out.push_back(',');
     first = false;
     AppendJsonString(&out, name);
-    Appendf(&out, ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"buckets\":[",
-            h->count(), h->sum());
+    Appendf(&out,
+            ":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"p50\":%" PRIu64
+            ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64 ",\"buckets\":[",
+            h->count(), h->sum(),
+            static_cast<uint64_t>(h->Quantile(0.50) + 0.5),
+            static_cast<uint64_t>(h->Quantile(0.95) + 0.5),
+            static_cast<uint64_t>(h->Quantile(0.99) + 0.5));
     const auto& bounds = h->bounds();
     const auto buckets = h->BucketCounts();
     for (size_t i = 0; i < buckets.size(); ++i) {

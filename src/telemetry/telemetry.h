@@ -49,6 +49,12 @@ namespace bos::telemetry {
 /// True when the library was compiled with telemetry support.
 constexpr bool CompiledIn() { return BOS_TELEMETRY_ENABLED != 0; }
 
+/// Version of the machine-readable output schemas. Emitted as
+/// `schema_version` by every JSON producer in the toolchain — stats
+/// snapshots, trace exports and `boscli inspect` — so downstream
+/// consumers can match parsers to formats.
+constexpr int kSchemaVersion = 1;
+
 /// Runtime master switch for the instrumentation macros. Defaults to
 /// enabled; a no-op in builds with telemetry compiled out.
 void SetEnabled(bool enabled);
@@ -95,6 +101,10 @@ class Histogram {
   const std::vector<uint64_t>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
+  /// Estimates the `q`-quantile (0 < q <= 1) by linear interpolation
+  /// inside the bucket the target rank falls in; samples in the overflow
+  /// bucket clamp to the largest finite bound. Returns 0 when empty.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -138,12 +148,14 @@ class Registry {
   std::string SnapshotText() const;
 
   /// Stable JSON object:
-  /// {"enabled":bool,"counters":{name:n,...},"gauges":{name:n,...},
-  ///  "histograms":{name:{"count":n,"sum":n,
+  /// {"schema_version":N,"enabled":bool,
+  ///  "counters":{name:n,...},"gauges":{name:n,...},
+  ///  "histograms":{name:{"count":n,"sum":n,"p50":n,"p95":n,"p99":n,
   ///                      "buckets":[{"le":bound,"count":n},...,
   ///                                 {"le":"+Inf","count":n}]},...}}
-  /// Metrics are sorted by name and all numbers are integers, so two
-  /// snapshots of identical metric values are byte-identical strings.
+  /// Metrics are sorted by name and all numbers are integers (quantile
+  /// estimates are rounded), so two snapshots of identical metric values
+  /// are byte-identical strings.
   std::string SnapshotJson() const;
 
  private:

@@ -1,0 +1,260 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace bos::telemetry::trace {
+
+namespace {
+
+// Events buffered per thread. 16k events x ~120 bytes ~= 2 MiB per
+// traced thread, allocated lazily on the thread's first span.
+constexpr size_t kBufferCapacity = 16384;
+
+// One thread's event buffer. Single-writer (the owning thread): appends
+// are plain stores into `events` published by a release store of `size`;
+// the exporter pairs it with acquire loads. `dropped` is written by the
+// owner and read by anyone, so it is atomic too.
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t tid_in) : tid(tid_in) {
+    events.resize(kBufferCapacity);
+  }
+  const uint32_t tid;
+  std::vector<TraceEvent> events;
+  std::atomic<size_t> size{0};
+  std::atomic<uint64_t> dropped{0};
+};
+
+std::atomic<bool> g_active{false};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_base_ticks{0};
+
+// Registry of every thread buffer ever created. Buffers are leaked (a
+// handful of threads, process lifetime) so exporting never races a
+// thread destructor.
+std::mutex g_buffers_mu;
+std::vector<ThreadBuffer*>& Buffers() {
+  static std::vector<ThreadBuffer*>* buffers = new std::vector<ThreadBuffer*>();
+  return *buffers;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+thread_local uint64_t tls_current_span = 0;
+thread_local TraceSpan* tls_active_span = nullptr;
+
+ThreadBuffer& LocalBuffer() {
+  if (tls_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    auto& buffers = Buffers();
+    tls_buffer = new ThreadBuffer(static_cast<uint32_t>(buffers.size()));
+    buffers.push_back(tls_buffer);
+  }
+  return *tls_buffer;
+}
+
+void AppendEvent(const TraceEvent& event) {
+  ThreadBuffer& buf = LocalBuffer();
+  const size_t size = buf.size.load(std::memory_order_relaxed);
+  if (size >= kBufferCapacity) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    BOS_TELEMETRY_COUNTER_ADD("bos.telemetry.trace.dropped", 1);
+    return;
+  }
+  buf.events[size] = event;
+  buf.size.store(size + 1, std::memory_order_release);
+}
+
+void SetAnnotation(Annotation* a, const char* key, int64_t value) {
+  a->key = key;
+  a->is_string = false;
+  a->int_value = value;
+}
+
+void SetAnnotation(Annotation* a, const char* key, std::string_view value) {
+  a->key = key;
+  a->is_string = true;
+  const size_t n = std::min(value.size(), Annotation::kMaxStringValue);
+  std::memcpy(a->string_value, value.data(), n);
+  a->string_value[n] = '\0';
+}
+
+template <typename... Args>
+void Appendf(std::string* out, const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  out->append(buf, static_cast<size_t>(std::min<int>(n, sizeof(buf) - 1)));
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+bool StartTracing() {
+  if (!CompiledIn()) return false;
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  for (ThreadBuffer* buf : Buffers()) {
+    buf->size.store(0, std::memory_order_relaxed);
+    buf->dropped.store(0, std::memory_order_relaxed);
+  }
+  g_next_span_id.store(1, std::memory_order_relaxed);
+  g_base_ticks.store(SpanClockTicks(), std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+  return true;
+}
+
+void StopTracing() { g_active.store(false, std::memory_order_release); }
+
+uint64_t DroppedCount() {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  uint64_t total = 0;
+  for (const ThreadBuffer* buf : Buffers()) {
+    total += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t EventCount() {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  uint64_t total = 0;
+  for (const ThreadBuffer* buf : Buffers()) {
+    total += buf->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t CurrentSpanId() { return tls_current_span; }
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Active()) return;
+  event_.name = name;
+  event_.span_id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event_.parent_id = tls_current_span;
+  prev_current_ = tls_current_span;
+  prev_active_ = tls_active_span;
+  tls_current_span = event_.span_id;
+  tls_active_span = this;
+  event_.start_ticks = SpanClockTicks();
+}
+
+TraceSpan::~TraceSpan() {
+  if (event_.span_id == 0) return;
+  event_.end_ticks = SpanClockTicks();
+  tls_current_span = prev_current_;
+  tls_active_span = prev_active_;
+  // Recorded even if StopTracing ran mid-span: the buffers outlive the
+  // active window and the exporter wants the enclosing roots.
+  AppendEvent(event_);
+}
+
+void TraceSpan::Annotate(const char* key, int64_t value) {
+  if (event_.span_id == 0) return;
+  if (event_.num_annotations >= TraceEvent::kMaxAnnotations) return;
+  SetAnnotation(&event_.annotations[event_.num_annotations++], key, value);
+}
+
+void TraceSpan::Annotate(const char* key, std::string_view value) {
+  if (event_.span_id == 0) return;
+  if (event_.num_annotations >= TraceEvent::kMaxAnnotations) return;
+  SetAnnotation(&event_.annotations[event_.num_annotations++], key, value);
+}
+
+ScopedContext::ScopedContext(uint64_t parent_id)
+    : prev_current_(tls_current_span), prev_active_(tls_active_span) {
+  tls_current_span = parent_id;
+  // The adopted id is not a span owned by this thread, so annotations
+  // must not land on whatever span happened to be active here.
+  tls_active_span = nullptr;
+}
+
+ScopedContext::~ScopedContext() {
+  tls_current_span = prev_current_;
+  tls_active_span = prev_active_;
+}
+
+void AnnotateCurrent(const char* key, int64_t value) {
+  if (tls_active_span != nullptr) tls_active_span->Annotate(key, value);
+}
+
+void AnnotateCurrent(const char* key, std::string_view value) {
+  if (tls_active_span != nullptr) tls_active_span->Annotate(key, value);
+}
+
+std::string ExportChromeTraceJson() {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  const uint64_t base = g_base_ticks.load(std::memory_order_relaxed);
+  std::string out;
+  Appendf(&out, "{\"schema_version\":%d,\"displayTimeUnit\":\"ns\"",
+          kSchemaVersion);
+  out.append(",\"traceEvents\":[");
+  bool first = true;
+  uint64_t dropped = 0;
+  for (const ThreadBuffer* buf : Buffers()) {
+    dropped += buf->dropped.load(std::memory_order_relaxed);
+    const size_t size = buf->size.load(std::memory_order_acquire);
+    if (size == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    Appendf(&out,
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"name\":\"thread-%u\"}}",
+            buf->tid, buf->tid);
+    for (size_t i = 0; i < size; ++i) {
+      const TraceEvent& ev = buf->events[i];
+      const uint64_t start_ns =
+          SpanTicksToNanos(ev.start_ticks >= base ? ev.start_ticks - base : 0);
+      const uint64_t dur_ns = SpanTicksToNanos(
+          ev.end_ticks >= ev.start_ticks ? ev.end_ticks - ev.start_ticks : 0);
+      out.push_back(',');
+      out.append("{\"name\":");
+      AppendJsonString(&out, ev.name != nullptr ? ev.name : "?");
+      Appendf(&out,
+              ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+              "\"args\":{\"span_id\":%" PRIu64 ",\"parent_id\":%" PRIu64,
+              static_cast<double>(start_ns) / 1000.0,
+              static_cast<double>(dur_ns) / 1000.0, buf->tid, ev.span_id,
+              ev.parent_id);
+      for (uint32_t a = 0; a < ev.num_annotations; ++a) {
+        const Annotation& ann = ev.annotations[a];
+        out.push_back(',');
+        AppendJsonString(&out, ann.key != nullptr ? ann.key : "?");
+        out.push_back(':');
+        if (ann.is_string) {
+          AppendJsonString(&out, ann.string_value);
+        } else {
+          Appendf(&out, "%" PRId64, ann.int_value);
+        }
+      }
+      out.append("}}");
+    }
+  }
+  Appendf(&out, "],\"dropped_events\":%" PRIu64 "}", dropped);
+  return out;
+}
+
+}  // namespace bos::telemetry::trace

@@ -1,0 +1,185 @@
+#ifndef BOS_TELEMETRY_TRACE_H_
+#define BOS_TELEMETRY_TRACE_H_
+
+/// \file
+/// Structured tracing on top of the telemetry layer: hierarchical spans
+/// (TSC-clocked begin/end with parent ids and typed key/value
+/// annotations) recorded into per-thread fixed-capacity buffers, plus an
+/// exporter that emits Chrome trace-event JSON loadable in Perfetto or
+/// chrome://tracing.
+///
+/// Model (DESIGN.md section 11):
+///
+///  * A span is a `TraceSpan` RAII object. Construction assigns a
+///    process-unique id, captures the thread's current span as parent
+///    and reads the span clock; destruction reads the clock again and
+///    appends one completed event to the calling thread's buffer. While
+///    a span is the innermost one on its thread, `AnnotateCurrent` (the
+///    `BOS_TRACE_ANNOTATE` macro) attaches bounded key/value pairs to it.
+///  * Parenting is tracked per thread. `CurrentSpanId()` reads the
+///    thread-local current span; `ScopedContext` installs a captured id
+///    as the current span on another thread, which is how the exec pool
+///    makes `ParallelFor` chunk spans children of the submitting span.
+///  * Buffers are per-thread and single-writer: the owning thread
+///    appends with plain stores and publishes with one release store of
+///    the size; the exporter reads sizes with acquire loads. No locks or
+///    CAS loops anywhere on the record path. When a buffer is full new
+///    events are dropped (drop-newest keeps span ancestry intact),
+///    counted per buffer, in `DroppedCount()`, in the exported footer,
+///    and in the `bos.telemetry.trace.dropped` telemetry counter.
+///  * Tracing is off by default. `StartTracing()` clears all buffers,
+///    restarts span ids from 1 (so equal runs export equal ids) and
+///    captures the base timestamp; `StopTracing()` flips recording off
+///    but keeps the buffers for export. When tracing is inactive — or
+///    telemetry is compiled out — `TraceSpan` construction is one
+///    relaxed atomic load and records nothing, and the macros below
+///    compile to nothing under `-DBOS_ENABLE_TELEMETRY=OFF`.
+///
+/// Span names and annotation keys must be string literals (or otherwise
+/// outlive the trace): events store the pointers, not copies.
+/// Tracing only observes — like the rest of telemetry, enabling it must
+/// never change any encoded byte (tests/telemetry_diff_test.cc).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace bos::telemetry::trace {
+
+/// One typed key/value annotation attached to a span. Values are either
+/// signed integers or short strings (longer strings are truncated).
+struct Annotation {
+  static constexpr size_t kMaxStringValue = 31;
+  const char* key = nullptr;
+  bool is_string = false;
+  int64_t int_value = 0;
+  char string_value[kMaxStringValue + 1] = {0};
+};
+
+/// A completed span event, POD so buffers never allocate.
+struct TraceEvent {
+  static constexpr size_t kMaxAnnotations = 8;
+  const char* name = nullptr;  ///< string literal
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root
+  uint64_t start_ticks = 0;
+  uint64_t end_ticks = 0;
+  uint32_t num_annotations = 0;
+  Annotation annotations[kMaxAnnotations];
+};
+
+/// True while StartTracing..StopTracing is in effect. One relaxed load.
+bool Active();
+
+/// Clears every per-thread buffer, resets span ids and drop counts,
+/// captures the base timestamp and enables recording. Returns false when
+/// telemetry is compiled out (tracing then cannot be enabled).
+bool StartTracing();
+
+/// Disables recording. Buffers are kept for ExportChromeTraceJson.
+void StopTracing();
+
+/// Events dropped to full buffers since StartTracing, summed over all
+/// thread buffers.
+uint64_t DroppedCount();
+
+/// Total events currently buffered, summed over all thread buffers.
+uint64_t EventCount();
+
+/// The innermost open span id on this thread (0 = none).
+uint64_t CurrentSpanId();
+
+/// \brief RAII span. See the file comment for the lifecycle; `name` must
+/// be a string literal. Construction while tracing is inactive makes the
+/// span inert: it never reads the clock and records nothing.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// This span's id (0 when inert). Capture it to parent work submitted
+  /// to another thread via ScopedContext.
+  uint64_t id() const { return event_.span_id; }
+  bool active() const { return event_.span_id != 0; }
+
+  /// Attaches a key/value pair (keys must be string literals). Beyond
+  /// TraceEvent::kMaxAnnotations pairs, annotations are silently capped.
+  void Annotate(const char* key, int64_t value);
+  void Annotate(const char* key, std::string_view value);
+
+ private:
+  TraceEvent event_;
+  TraceSpan* prev_active_ = nullptr;
+  uint64_t prev_current_ = 0;
+};
+
+/// \brief Installs `parent_id` as this thread's current span for the
+/// scope, so spans opened inside parent to it. Used by the exec pool to
+/// adopt the submitting thread's context; the previous context (and the
+/// annotation target) is restored on destruction.
+class ScopedContext {
+ public:
+  explicit ScopedContext(uint64_t parent_id);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  uint64_t prev_current_ = 0;
+  TraceSpan* prev_active_ = nullptr;
+};
+
+/// Annotates this thread's innermost open span; a no-op when there is
+/// none (or the innermost one is inert).
+void AnnotateCurrent(const char* key, int64_t value);
+void AnnotateCurrent(const char* key, std::string_view value);
+
+/// \brief Serializes every buffered event as Chrome trace-event JSON:
+/// `{"schema_version":N,"displayTimeUnit":"ns","traceEvents":[...],
+///   "dropped_events":N}`.
+/// Each event is a `ph:"X"` complete event with `ts`/`dur` in
+/// microseconds relative to StartTracing, `pid` 1, `tid` the buffer's
+/// registration index, and `args` carrying `span_id`, `parent_id` and
+/// the annotations. Thread-name metadata events precede the spans.
+/// Deterministic: equal buffer contents yield byte-identical strings.
+std::string ExportChromeTraceJson();
+
+}  // namespace bos::telemetry::trace
+
+// ---------------------------------------------------------------------
+// Instrumentation macros. Like the BOS_TELEMETRY_* family these vanish
+// when telemetry is compiled out, so traced hot paths revert to the
+// uninstrumented code bit for bit.
+// ---------------------------------------------------------------------
+
+#if BOS_TELEMETRY_ENABLED
+
+/// Opens a trace span for the rest of the enclosing scope.
+#define BOS_TRACE_SPAN(name)                                   \
+  ::bos::telemetry::trace::TraceSpan BOS_TELEMETRY_UNIQ(       \
+      bos_trace_span_) { name }
+
+/// Annotates the innermost open span (no-op when tracing is inactive).
+#define BOS_TRACE_ANNOTATE(key, value)                         \
+  do {                                                         \
+    if (::bos::telemetry::trace::Active()) {                   \
+      ::bos::telemetry::trace::AnnotateCurrent(key, value);    \
+    }                                                          \
+  } while (0)
+
+#else  // !BOS_TELEMETRY_ENABLED
+
+#define BOS_TRACE_SPAN(name) \
+  do {                       \
+  } while (0)
+#define BOS_TRACE_ANNOTATE(key, value) \
+  do {                                 \
+  } while (0)
+
+#endif  // BOS_TELEMETRY_ENABLED
+
+#endif  // BOS_TELEMETRY_TRACE_H_

@@ -1,0 +1,334 @@
+// Tests for the EXPLAIN-style inspector (src/codecs/inspect.h and
+// src/storage/tsfile_inspect.h): every registered TRANSFORM+OPERATOR
+// spec is encoded, inspected, and cross-checked against the full-decode
+// ground truth — value counts, byte accounting, and the Figure-7
+// sub-stream arithmetic all have to agree with what the real decoder
+// accepts, without the inspector ever materializing values.
+
+#include "codecs/inspect.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bitpack/varint.h"
+#include "codecs/registry.h"
+#include "exec/parallel_codec.h"
+#include "storage/store.h"
+#include "storage/tsfile_inspect.h"
+#include "telemetry/telemetry.h"
+#include "test_json.h"
+#include "util/bits.h"
+
+namespace bos::codecs {
+namespace {
+
+using testjson::Json;
+using testjson::JsonParser;
+
+// Deterministic series with both outlier classes: a narrow bulk, ~2%
+// large positive spikes and ~1.5% large negative dips, so BOS specs
+// exercise the bitmap/list modes and PFOR specs produce exceptions.
+std::vector<int64_t> OutlierData(size_t n) {
+  std::vector<int64_t> values(n);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    values[i] = static_cast<int64_t>((state >> 40) % 997);
+    if (i % 53 == 7) values[i] += int64_t{1} << 30;
+    if (i % 71 == 3) values[i] -= int64_t{1} << 25;
+  }
+  return values;
+}
+
+// All specs MakeSeriesCodec accepts: the registered transform x operator
+// grid plus the opt-in extras ("BOS-H", the "DICT" transform) and the
+// self-contained "DOD".
+std::vector<std::string> AllSpecs() {
+  std::vector<std::string> specs;
+  std::vector<std::string> ops = OperatorNames();
+  ops.push_back("BOS-H");
+  for (const std::string& transform : TransformNames()) {
+    for (const std::string& op : ops) {
+      specs.push_back(transform + "+" + op);
+    }
+  }
+  specs.push_back("DICT+BOS-B");
+  specs.push_back("DICT+FASTPFOR");
+  specs.push_back("DOD");
+  return specs;
+}
+
+// The invariants every (non-opaque) block must satisfy.
+void CheckBlock(const std::string& spec, const BlockReport& block,
+                uint64_t stream_bytes) {
+  SCOPED_TRACE(spec);
+  EXPECT_FALSE(block.mode.empty());
+  EXPECT_LE(block.offset + block.bytes, stream_bytes);
+  // Sub-stream accounting must tile the unit exactly.
+  EXPECT_EQ(block.header_bytes + block.position_bytes + block.payload_bytes,
+            block.bytes);
+  if (block.mode == "plain") {
+    EXPECT_LE(block.width, 64u);
+    EXPECT_EQ(block.payload_bytes, BitsToBytes(block.values * block.width));
+  } else if (block.mode == "bitmap" || block.mode == "list") {
+    EXPECT_LE(block.nl + block.nu, block.values);
+    EXPECT_LE(block.alpha, 64u);
+    EXPECT_LE(block.beta, 64u);
+    EXPECT_LE(block.gamma, 64u);
+    // Figure-7 arithmetic: the packed payload is exactly the bitmap bits
+    // (bitmap mode only) plus the three value classes at their widths.
+    EXPECT_EQ(block.value_bits,
+              block.nl * block.alpha + block.nu * block.gamma +
+                  (block.values - block.nl - block.nu) * block.beta);
+    if (block.mode == "bitmap") {
+      EXPECT_EQ(block.bitmap_bits, block.values + block.nl + block.nu);
+    } else {
+      EXPECT_EQ(block.bitmap_bits, 0u);
+      EXPECT_GT(block.position_bytes, 0u);
+    }
+    EXPECT_EQ(block.payload_bytes,
+              BitsToBytes(block.bitmap_bits + block.value_bits));
+  } else if (block.mode == "chunked") {
+    EXPECT_GT(block.chunks, 0u);
+  }
+}
+
+TEST(InspectTest, MatchesFullDecodeGroundTruthForEverySpec) {
+  const std::vector<int64_t> values = OutlierData(2600);
+  for (const std::string& spec : AllSpecs()) {
+    SCOPED_TRACE(spec);
+    auto codec = MakeSeriesCodec(spec);
+    ASSERT_TRUE(codec.ok()) << codec.status().message();
+    Bytes encoded;
+    ASSERT_TRUE((*codec)->Compress(values, &encoded).ok());
+
+    // Ground truth: the real decoder accepts the bytes and returns the
+    // original series.
+    std::vector<int64_t> decoded;
+    ASSERT_TRUE((*codec)->Decompress(encoded, &decoded).ok());
+    ASSERT_EQ(decoded, values);
+
+    auto report = InspectSeriesStream(spec, encoded);
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    EXPECT_EQ(report->spec, spec);
+    EXPECT_EQ(report->values, decoded.size());
+    EXPECT_EQ(report->bytes, encoded.size());
+    if (spec == "DOD") {
+      EXPECT_TRUE(report->opaque);
+      EXPECT_TRUE(report->blocks.empty());
+      continue;
+    }
+    EXPECT_FALSE(report->opaque);
+    EXPECT_EQ(report->transform + "+" + report->op, spec);
+    ASSERT_FALSE(report->blocks.empty());
+    uint64_t prev_end = 0;
+    for (const BlockReport& block : report->blocks) {
+      EXPECT_GE(block.offset, prev_end) << "blocks must not overlap";
+      prev_end = block.offset + block.bytes;
+      CheckBlock(spec, block, report->bytes);
+    }
+  }
+}
+
+TEST(InspectTest, SeparatedDataShowsOutlierBlocks) {
+  // With 2% upper / 1.5% lower outliers BOS-M must pick a separated
+  // representation for at least one block, and the reported outlier
+  // counts must be non-zero there.
+  const std::vector<int64_t> values = OutlierData(4096);
+  auto codec = MakeSeriesCodec("TS2DIFF+BOS-M");
+  ASSERT_TRUE(codec.ok());
+  Bytes encoded;
+  ASSERT_TRUE((*codec)->Compress(values, &encoded).ok());
+  auto report = InspectSeriesStream("TS2DIFF+BOS-M", encoded);
+  ASSERT_TRUE(report.ok());
+  uint64_t separated = 0, outliers = 0;
+  for (const BlockReport& block : report->blocks) {
+    if (block.mode == "bitmap" || block.mode == "list") {
+      ++separated;
+      outliers += block.nl + block.nu;
+    }
+  }
+  EXPECT_GT(separated, 0u);
+  EXPECT_GT(outliers, 0u);
+}
+
+TEST(InspectTest, RejectsCorruptStreams) {
+  const std::vector<int64_t> values = OutlierData(1500);
+  auto codec = MakeSeriesCodec("TS2DIFF+BOS-B");
+  ASSERT_TRUE(codec.ok());
+  Bytes encoded;
+  ASSERT_TRUE((*codec)->Compress(values, &encoded).ok());
+
+  // Truncations anywhere must be rejected, never crash or over-read.
+  for (size_t keep : {size_t{0}, size_t{1}, encoded.size() / 2,
+                      encoded.size() - 1}) {
+    auto report = InspectSeriesStream(
+        "TS2DIFF+BOS-B", BytesView(encoded.data(), keep));
+    EXPECT_FALSE(report.ok()) << "kept " << keep << " bytes";
+  }
+  // Trailing garbage is rejected (same as the decoder).
+  Bytes padded = encoded;
+  padded.push_back(0);
+  EXPECT_FALSE(InspectSeriesStream("TS2DIFF+BOS-B", padded).ok());
+  // Unknown specs are invalid-argument, not a crash.
+  EXPECT_FALSE(InspectSeriesStream("TS2DIFF+NOPE", encoded).ok());
+  EXPECT_FALSE(InspectSeriesStream("noplus", encoded).ok());
+}
+
+Bytes BoscContainer(const std::string& spec, BytesView stream,
+                    bool parallel = false) {
+  Bytes out;
+  out.reserve(4 + 10 + spec.size() + stream.size());
+  for (char c : std::string_view(parallel ? "BOSP" : "BOSC")) {
+    out.push_back(static_cast<uint8_t>(c));
+  }
+  bitpack::PutVarint(&out, spec.size());
+  for (char c : spec) out.push_back(static_cast<uint8_t>(c));
+  out.insert(out.end(), stream.begin(), stream.end());
+  return out;
+}
+
+TEST(InspectTest, WalksBoscContainer) {
+  const std::vector<int64_t> values = OutlierData(2048);
+  auto codec = MakeSeriesCodec("RLE+FASTPFOR");
+  ASSERT_TRUE(codec.ok());
+  Bytes stream;
+  ASSERT_TRUE((*codec)->Compress(values, &stream).ok());
+  const Bytes file = BoscContainer("RLE+FASTPFOR", stream);
+
+  auto report = InspectContainer(file);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->format, "BOSC");
+  EXPECT_EQ(report->spec, "RLE+FASTPFOR");
+  EXPECT_EQ(report->file_bytes, file.size());
+  EXPECT_EQ(report->total_values, values.size());
+  ASSERT_EQ(report->streams.size(), 1u);
+  EXPECT_EQ(report->streams[0].values, values.size());
+}
+
+TEST(InspectTest, WalksBospChunkDirectory) {
+  const std::vector<int64_t> values = OutlierData(5000);
+  auto codec = MakeSeriesCodec("TS2DIFF+BOS-B");
+  ASSERT_TRUE(codec.ok());
+  Bytes frame;
+  ASSERT_TRUE(exec::SerialEncodeChunked(**codec, values, &frame,
+                                        /*chunk_values=*/2048)
+                  .ok());
+  const Bytes file = BoscContainer("TS2DIFF+BOS-B", frame, /*parallel=*/true);
+
+  auto report = InspectContainer(file);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report->format, "BOSP");
+  EXPECT_EQ(report->total_values, values.size());
+  EXPECT_EQ(report->chunk_values, 2048u);
+  ASSERT_EQ(report->streams.size(), 3u);  // ceil(5000 / 2048)
+  uint64_t total = 0;
+  for (const StreamReport& stream : report->streams) {
+    total += stream.values;
+  }
+  EXPECT_EQ(total, values.size());
+
+  // The frame with its directory tampered must be rejected.
+  Bytes truncated(file.begin(), file.end() - 10);
+  EXPECT_FALSE(InspectContainer(truncated).ok());
+  Bytes not_container = {'n', 'o', 'p', 'e', 0};
+  EXPECT_FALSE(InspectContainer(not_container).ok());
+}
+
+TEST(InspectTest, RendersSchemaStableJson) {
+  const std::vector<int64_t> values = OutlierData(1300);
+  auto codec = MakeSeriesCodec("TS2DIFF+BOS-M");
+  ASSERT_TRUE(codec.ok());
+  Bytes stream;
+  ASSERT_TRUE((*codec)->Compress(values, &stream).ok());
+  auto report = InspectContainer(BoscContainer("TS2DIFF+BOS-M", stream));
+  ASSERT_TRUE(report.ok());
+
+  const std::string json = RenderInspectJson(*report);
+  Json root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json.substr(0, 200);
+  const Json* schema = root.Find("schema_version");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(static_cast<int>(schema->number), telemetry::kSchemaVersion);
+  EXPECT_EQ(root.Find("format")->str, "BOSC");
+  const Json* streams = root.Find("streams");
+  ASSERT_NE(streams, nullptr);
+  ASSERT_EQ(streams->items.size(), 1u);
+  const Json* blocks = streams->items[0].Find("blocks");
+  ASSERT_NE(blocks, nullptr);
+  ASSERT_FALSE(blocks->items.empty());
+  for (const Json& block : blocks->items) {
+    ASSERT_NE(block.Find("mode"), nullptr);
+    ASSERT_NE(block.Find("bytes"), nullptr);
+    const std::string& mode = block.Find("mode")->str;
+    if (mode == "bitmap" || mode == "list") {
+      ASSERT_NE(block.Find("nl"), nullptr);
+      ASSERT_NE(block.Find("beta"), nullptr);
+    }
+  }
+  // The text rendering mentions every block mode the JSON does.
+  const std::string text = RenderInspectText(*report);
+  EXPECT_NE(text.find("TS2DIFF+BOS-M"), std::string::npos);
+  EXPECT_NE(text.find("block 0"), std::string::npos);
+
+  // Deterministic: rendering twice gives identical bytes.
+  EXPECT_EQ(json, RenderInspectJson(*report));
+}
+
+TEST(InspectTest, WalksTsFilesWrittenByTheStore) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("bos_inspect_" + std::to_string(::getpid())))
+          .string();
+  storage::StoreOptions options;
+  options.dir = dir;
+  options.memtable_points = 1 << 20;
+  auto store = storage::TsStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().message();
+
+  const std::vector<int64_t> raw = OutlierData(3000);
+  std::vector<codecs::DataPoint> points(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    points[i] = {static_cast<int64_t>(i) * 10, raw[i]};
+  }
+  ASSERT_TRUE((*store)->WriteBatch("inspect.series", points).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_GE((*store)->num_files(), 1u);
+
+  size_t files = 0;
+  uint64_t values_seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".tsfile") continue;
+    ++files;
+    auto report = storage::InspectTsFile(entry.path().string());
+    ASSERT_TRUE(report.ok()) << report.status().message();
+    ASSERT_EQ(report->series.size(), 1u);
+    const storage::TsSeriesReport& series = report->series[0];
+    EXPECT_EQ(series.name, "inspect.series");
+    EXPECT_TRUE(series.timed);
+    values_seen += series.num_values;
+    uint64_t page_values = 0;
+    for (const storage::TsPageReport& page : series.pages) {
+      EXPECT_EQ(page.time_stream.values, page.info.count);
+      EXPECT_EQ(page.value_stream.values, page.info.count);
+      page_values += page.info.count;
+    }
+    EXPECT_EQ(page_values, series.num_values);
+
+    const std::string json = storage::RenderTsFileJson(*report);
+    Json root;
+    ASSERT_TRUE(JsonParser(json).Parse(&root)) << json.substr(0, 200);
+    EXPECT_EQ(root.Find("format")->str, "BOS1");
+    ASSERT_NE(root.Find("schema_version"), nullptr);
+  }
+  EXPECT_GE(files, 1u);
+  EXPECT_EQ(values_seen, points.size());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bos::codecs

@@ -1,7 +1,9 @@
 // Differential test: telemetry must only observe. Encoding with the
 // runtime switch on and off has to produce byte-identical streams, and
 // decoding those streams identical values — for the raw BOS-M operator
-// and for a full TS2DIFF+BOS-M series codec.
+// and for a full TS2DIFF+BOS-M series codec. The same holds for trace
+// recording: a span-instrumented encode under StartTracing must emit the
+// same bytes as one with tracing off.
 
 #include <cstdint>
 #include <span>
@@ -11,7 +13,9 @@
 
 #include "codecs/registry.h"
 #include "core/bos_codec.h"
+#include "exec/parallel_codec.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/random.h"
 
 namespace bos {
@@ -96,6 +100,35 @@ TEST(TelemetryDiffTest, SeriesCodecStreamIsIdenticalOnAndOff) {
   std::vector<int64_t> back;
   ASSERT_TRUE((*codec)->Decompress(on_stream, &back).ok());
   EXPECT_EQ(back, values);
+}
+
+TEST(TelemetryDiffTest, TraceRecordingNeverChangesEncodedBytes) {
+  const std::vector<int64_t> values = OutlierSeries(1 << 13, 0x7ACE);
+  auto codec = codecs::MakeSeriesCodec("TS2DIFF+BOS-M");
+  ASSERT_TRUE(codec.ok());
+
+  // Through the traced pool path as well as the plain serial codec, so
+  // the span instrumentation in thread_pool/parallel_codec is on the
+  // measured path.
+  auto compress = [&](bool tracing) {
+    if (tracing) {
+      EXPECT_TRUE(telemetry::trace::StartTracing());
+    }
+    Bytes serial, chunked;
+    EXPECT_TRUE((*codec)->Compress(values, &serial).ok());
+    EXPECT_TRUE(exec::ParallelEncodeSeries(**codec, values, &chunked).ok());
+    if (tracing) {
+      telemetry::trace::StopTracing();
+      EXPECT_GT(telemetry::trace::EventCount(), 0u)
+          << "tracing was on, spans must have been recorded";
+    }
+    serial.insert(serial.end(), chunked.begin(), chunked.end());
+    return serial;
+  };
+
+  const Bytes traced = compress(true);
+  const Bytes untraced = compress(false);
+  EXPECT_EQ(traced, untraced);
 }
 
 }  // namespace

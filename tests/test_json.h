@@ -1,0 +1,158 @@
+#ifndef BOS_TESTS_TEST_JSON_H_
+#define BOS_TESTS_TEST_JSON_H_
+
+// Minimal JSON reader for tests: just enough to schema-check the JSON
+// the library emits (telemetry snapshots, trace exports, inspect
+// reports). Shared by telemetry_test, trace_test, and inspect_test.
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bos::testjson {
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool flag = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> items;                            // kArray
+  std::vector<std::pair<std::string, Json>> members;  // kObject
+
+  const Json* Find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool Parse(Json* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        c = text_[pos_++];
+        if (c == 'u') {
+          if (pos_ + 4 > text_.size()) return false;
+          pos_ += 4;  // escaped control char; value irrelevant to the schema
+          c = '?';
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseValue(Json* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = Json::Type::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        SkipWs();
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (!Consume(':')) return false;
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->members.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->type = Json::Type::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->items.push_back(std::move(value));
+        SkipWs();
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.substr(pos_, 4) == "true") {
+      out->type = Json::Type::kBool;
+      out->flag = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->type = Json::Type::kBool;
+      out->flag = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = Json::Type::kNumber;
+    out->number = std::strtod(
+        std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace bos::testjson
+
+#endif  // BOS_TESTS_TEST_JSON_H_

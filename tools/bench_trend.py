@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Bench-trend regression guard.
+
+Compares a fresh BENCH_*.json run (JSON-lines, one record per line, as
+written by bench/bench_common.h's JsonlWriter) against the committed
+baselines in bench/baselines/ and fails when a headline throughput
+metric regresses by more than the threshold.
+
+Conventions this relies on (see bench_common.h):
+  * every record carries a "bench" discriminator;
+  * throughput metrics are named *_gbps / *_mbps — higher is better;
+  * "hardware_threads"/"avx2"/"bmi2" describe the machine, not the run.
+
+Records are matched by their identity fields (everything that is not a
+float metric or a hardware field: width, dataset, spec, threads, ...).
+A record present on only one side is reported but never fails the run —
+adding or removing bench cases must not break CI; only a measured
+regression on a matched case does.
+
+Usage:
+  tools/bench_trend.py                                # compare defaults
+  tools/bench_trend.py --threshold 0.5                # noisy-box margin
+  tools/bench_trend.py --update                       # refresh baselines
+  tools/bench_trend.py --baseline DIR --current DIR --files BENCH_encode.json
+
+Exit codes: 0 ok, 1 regression found, 2 bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_FILES = ["BENCH_kernels.json", "BENCH_parallel.json", "BENCH_encode.json"]
+HARDWARE_FIELDS = {"hardware_threads", "avx2", "bmi2"}
+METRIC_SUFFIXES = ("_gbps", "_mbps")
+
+
+def is_metric(key, value):
+    return key.endswith(METRIC_SUFFIXES) and isinstance(value, (int, float))
+
+
+def identity(record):
+    """Stable key of a record: the bench kind plus every non-metric,
+    non-hardware, non-float field (floats are measurements, not labels)."""
+    parts = [("bench", record.get("bench", "?"))]
+    for key in sorted(record):
+        if key == "bench" or key in HARDWARE_FIELDS:
+            continue
+        value = record[key]
+        if isinstance(value, float) or is_metric(key, value):
+            continue
+        parts.append((key, value))
+    return tuple(parts)
+
+
+def load_records(path):
+    records = []
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{line_no}: {e}") from e
+    return records
+
+
+def index_records(records):
+    by_id = {}
+    for record in records:
+        by_id.setdefault(identity(record), record)
+    return by_id
+
+
+def format_id(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def compare_file(name, baseline_path, current_path, threshold):
+    """Returns (regressions, compared) for one BENCH_*.json pair."""
+    baseline = index_records(load_records(baseline_path))
+    current = index_records(load_records(current_path))
+
+    regressions = []
+    compared = 0
+    for key, base_record in sorted(baseline.items()):
+        cur_record = current.get(key)
+        if cur_record is None:
+            print(f"  note: {name}: no current record for [{format_id(key)}]")
+            continue
+        for metric, base_value in base_record.items():
+            if not is_metric(metric, base_value) or base_value <= 0:
+                continue
+            cur_value = cur_record.get(metric)
+            if not isinstance(cur_value, (int, float)):
+                continue
+            compared += 1
+            drop = (base_value - cur_value) / base_value
+            if drop > threshold:
+                regressions.append(
+                    f"{name} [{format_id(key)}] {metric}: "
+                    f"{base_value:.2f} -> {cur_value:.2f} "
+                    f"({100.0 * drop:.1f}% drop, limit {100.0 * threshold:.0f}%)"
+                )
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  note: {name}: no baseline for [{format_id(key)}]")
+    return regressions, compared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current", default="build/bench",
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--files", nargs="+", default=DEFAULT_FILES,
+                        help="which BENCH_*.json files to compare")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional drop (0.20 = 20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy the current files over the baselines "
+                             "instead of comparing")
+    args = parser.parse_args()
+
+    if args.threshold <= 0:
+        print("bench_trend: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        for name in args.files:
+            src = os.path.join(args.current, name)
+            if not os.path.exists(src):
+                print(f"bench_trend: cannot update, missing {src}",
+                      file=sys.stderr)
+                return 2
+            shutil.copy(src, os.path.join(args.baseline, name))
+            print(f"updated {os.path.join(args.baseline, name)}")
+        return 0
+
+    all_regressions = []
+    total_compared = 0
+    for name in args.files:
+        baseline_path = os.path.join(args.baseline, name)
+        current_path = os.path.join(args.current, name)
+        if not os.path.exists(baseline_path):
+            print(f"  note: no baseline {baseline_path}; skipping "
+                  f"(run with --update to create it)")
+            continue
+        if not os.path.exists(current_path):
+            print(f"bench_trend: missing current run {current_path}",
+                  file=sys.stderr)
+            return 2
+        try:
+            regressions, compared = compare_file(
+                name, baseline_path, current_path, args.threshold)
+        except (ValueError, OSError) as e:
+            print(f"bench_trend: {e}", file=sys.stderr)
+            return 2
+        total_compared += compared
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(f"bench_trend: {len(all_regressions)} regression(s) over "
+              f"{total_compared} compared metrics:")
+        for line in all_regressions:
+            print(f"  REGRESSION: {line}")
+        return 1
+    print(f"bench_trend: OK ({total_compared} metrics within "
+          f"{100.0 * args.threshold:.0f}% of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,13 +4,21 @@
 //   boscli gen <abbr> <n> <file>             write a dataset as raw int64 LE
 //   boscli compress <spec> <in> <out>        compress raw int64 LE file
 //   boscli decompress <in> <out>             invert `compress`
-//   boscli inspect <file.tsfile>             dump a TsFile-lite footer
+//   boscli inspect <file> [--json]           EXPLAIN a compressed file
+//   boscli store <dir> [n]                   TsStore write/flush/query demo
 //   boscli bench <abbr> [spec ...]           quick ratio table for a profile
 //
 // Global flags (any command): --stats prints the telemetry snapshot after
 // the command runs; --stats-json prints it as JSON instead; --threads N
 // runs compress/decompress chunk-parallel on an N-worker pool (N = 0
-// sizes the pool to the hardware).
+// sizes the pool to the hardware); --trace <out.json> records trace
+// spans across the command (including pool workers) and writes a Chrome
+// trace-event file loadable in Perfetto / chrome://tracing.
+//
+// `inspect` understands all three on-disk formats — "BOSC"/"BOSP"
+// compressed files and "BOS1" TsFile-lite containers — and reports every
+// page/block's operator, mode, and Figure-7 sub-stream breakdown without
+// decoding any values.
 //
 // Compressed files are framed as: "BOSC" magic | varint spec length | spec
 // string | codec stream — so `decompress` needs no extra arguments. With
@@ -29,12 +37,16 @@
 
 #include "bitpack/varint.h"
 #include "codecs/advisor.h"
+#include "codecs/inspect.h"
 #include "codecs/registry.h"
 #include "data/dataset.h"
 #include "exec/parallel_codec.h"
 #include "exec/thread_pool.h"
+#include "storage/store.h"
 #include "storage/tsfile.h"
+#include "storage/tsfile_inspect.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "util/buffer.h"
 
 namespace {
@@ -212,26 +224,73 @@ int CmdAdvise(const std::string& in) {
   return 0;
 }
 
-int CmdInspect(const std::string& path) {
-  storage::TsFileReader reader;
-  const Status st = reader.Open(path);
-  if (!st.ok()) return Fail("inspect " + path, st);
-  std::printf("%s: %llu bytes, %zu series\n", path.c_str(),
-              static_cast<unsigned long long>(reader.file_size()),
-              reader.series().size());
-  for (const auto& s : reader.series()) {
-    std::printf("  %-20s %-28s %s %8llu values, %zu pages\n", s.name.c_str(),
-                s.codec_spec.c_str(), s.timed ? "timed" : "plain",
-                static_cast<unsigned long long>(s.num_values), s.pages.size());
-    for (size_t p = 0; p < s.pages.size() && p < 4; ++p) {
-      const auto& page = s.pages[p];
-      std::printf("    page %zu: offset %llu, %llu bytes, %llu values\n", p,
-                  static_cast<unsigned long long>(page.offset),
-                  static_cast<unsigned long long>(page.size),
-                  static_cast<unsigned long long>(page.count));
-    }
-    if (s.pages.size() > 4) std::printf("    ... %zu more\n", s.pages.size() - 4);
+int CmdInspect(const std::string& path, bool json) {
+  Bytes head;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Fail("cannot read " + path);
+    head.resize(4);
+    const size_t got = std::fread(head.data(), 1, head.size(), f);
+    std::fclose(f);
+    head.resize(got);
   }
+  if (head.size() == 4 && std::memcmp(head.data(), "BOS1", 4) == 0) {
+    auto report = storage::InspectTsFile(path);
+    if (!report.ok()) return Fail("inspect " + path, report.status());
+    const std::string rendered = json ? storage::RenderTsFileJson(*report)
+                                      : storage::RenderTsFileText(*report);
+    std::printf("%s%s", rendered.c_str(), json ? "\n" : "");
+    return 0;
+  }
+  Bytes data;
+  if (!ReadFile(path, &data)) return Fail("cannot read " + path);
+  auto report = codecs::InspectContainer(data);
+  if (!report.ok()) return Fail("inspect " + path, report.status());
+  const std::string rendered = json ? codecs::RenderInspectJson(*report)
+                                    : codecs::RenderInspectText(*report);
+  std::printf("%s%s", rendered.c_str(), json ? "\n" : "");
+  return 0;
+}
+
+// Drives a TsStore write -> flush -> query -> aggregate round so the
+// storage stack shows up under --stats / --trace with real work in it.
+int CmdStore(const std::string& dir, const std::string& count) {
+  const size_t n =
+      count.empty() ? 20000 : std::strtoull(count.c_str(), nullptr, 10);
+  storage::StoreOptions options;
+  options.dir = dir;
+  options.memtable_points = n * 2 + 16;  // flush manually below
+  options.threads = g_threads <= 0 ? 0 : static_cast<size_t>(g_threads);
+  auto store = storage::TsStore::Open(options);
+  if (!store.ok()) return Fail("store open " + dir, store.status());
+
+  const char* const kSeries[2] = {"demo.temperature", "demo.requests"};
+  for (int s = 0; s < 2; ++s) {
+    auto info = data::FindDataset(s == 0 ? "VC" : "CS");
+    if (!info.ok()) return Fail("store dataset", info.status());
+    const auto values = data::GenerateInteger(*info, n);
+    std::vector<codecs::DataPoint> points(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      points[i] = {static_cast<int64_t>(i), values[i]};
+    }
+    const Status st = (*store)->WriteBatch(kSeries[s], points);
+    if (!st.ok()) return Fail(std::string("store write ") + kSeries[s], st);
+  }
+  Status st = (*store)->Flush();
+  if (!st.ok()) return Fail("store flush", st);
+  for (const char* series : kSeries) {
+    std::vector<codecs::DataPoint> points;
+    st = (*store)->Query(series, 0, static_cast<int64_t>(n), &points);
+    if (!st.ok()) return Fail(std::string("store query ") + series, st);
+    auto agg = (*store)->Aggregate(series);
+    if (!agg.ok()) return Fail(std::string("store aggregate ") + series,
+                               agg.status());
+    std::printf("%s: %zu points, min %lld max %lld\n", series, points.size(),
+                static_cast<long long>(agg->min),
+                static_cast<long long>(agg->max));
+  }
+  std::printf("store %s: %zu series, %zu files\n", dir.c_str(),
+              (*store)->ListSeries().size(), (*store)->num_files());
   return 0;
 }
 
@@ -266,26 +325,31 @@ int CmdBench(const std::string& abbr, const std::vector<std::string>& specs) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: boscli [--stats|--stats-json] <command> [args]\n"
+               "usage: boscli [flags] <command> [args]\n"
                "  ops\n"
                "  gen <abbr> <n> <file>\n"
                "  compress <spec> <in> <out>\n"
                "  decompress <in> <out>\n"
                "  advise <in>\n"
-               "  inspect <file.tsfile>\n"
+               "  inspect <file> [--json]\n"
+               "  store <dir> [n]\n"
                "  bench <abbr> [spec ...]\n"
                "flags:\n"
                "  --stats       print the telemetry snapshot after the command\n"
                "  --stats-json  same, as a JSON object\n"
                "  --threads N   chunk-parallel compress/decompress on N\n"
                "                workers (0 = all cores); output bytes do not\n"
-               "                depend on N\n");
+               "                depend on N\n"
+               "  --trace FILE  write a Chrome trace-event JSON of the\n"
+               "                command's spans (Perfetto-loadable)\n");
   return 2;
 }
 
 int RunCommand(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   const std::string& cmd = args[0];
+  BOS_TRACE_SPAN("bos.cli.command");
+  BOS_TRACE_ANNOTATE("cmd", cmd);
   if (cmd == "ops") return CmdOps();
   if (cmd == "gen" && args.size() == 4) return CmdGen(args[1], args[2], args[3]);
   if (cmd == "compress" && args.size() == 4) {
@@ -295,7 +359,14 @@ int RunCommand(const std::vector<std::string>& args) {
     return CmdDecompress(args[1], args[2]);
   }
   if (cmd == "advise" && args.size() == 2) return CmdAdvise(args[1]);
-  if (cmd == "inspect" && args.size() == 2) return CmdInspect(args[1]);
+  if (cmd == "inspect" && (args.size() == 2 || args.size() == 3)) {
+    const bool json = args.size() == 3 && args[2] == "--json";
+    if (args.size() == 3 && !json) return Usage();
+    return CmdInspect(args[1], json);
+  }
+  if (cmd == "store" && (args.size() == 2 || args.size() == 3)) {
+    return CmdStore(args[1], args.size() == 3 ? args[2] : "");
+  }
   if (cmd == "bench" && args.size() >= 2) {
     return CmdBench(args[1], {args.begin() + 2, args.end()});
   }
@@ -308,6 +379,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   bool stats_text = false;
   bool stats_json = false;
+  std::string trace_path;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--stats") {
       stats_text = true;
@@ -320,11 +392,37 @@ int main(int argc, char** argv) {
       g_threads = std::atoi((it + 1)->c_str());
       if (g_threads < 0) return Usage();
       it = args.erase(it, it + 2);
+    } else if (*it == "--trace") {
+      if (it + 1 == args.end()) return Usage();
+      trace_path = *(it + 1);
+      it = args.erase(it, it + 2);
     } else {
       ++it;
     }
   }
-  const int rc = RunCommand(args);
+  if (!trace_path.empty() && !telemetry::trace::StartTracing()) {
+    return Fail("--trace " + trace_path,
+                Status::InvalidArgument(
+                    "tracing requires a build with BOS_ENABLE_TELEMETRY=ON"));
+  }
+  int rc = RunCommand(args);
+  if (!trace_path.empty()) {
+    telemetry::trace::StopTracing();
+    const std::string json = telemetry::trace::ExportChromeTraceJson();
+    Bytes bytes(json.begin(), json.end());
+    if (!WriteFile(trace_path, bytes)) {
+      // The trace is part of what the user asked for: a path we cannot
+      // write is a command failure with the full context, not a warning.
+      rc = Fail("write trace to " + trace_path,
+                Status::IoError("cannot write file"));
+    } else if (const uint64_t dropped = telemetry::trace::DroppedCount();
+               dropped > 0) {
+      std::fprintf(stderr,
+                   "boscli: trace ring buffers overflowed; %llu spans dropped "
+                   "(also recorded in the trace footer)\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+  }
   // The snapshot is printed even when the command failed: the counters up to
   // the failure point are exactly what you want when debugging it.
   if (stats_json) {
