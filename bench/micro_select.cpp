@@ -1,0 +1,192 @@
+// Micro-benchmark of the selective-decode path: DecompressSelected at
+// several selection fractions against the full-decode-then-gather
+// baseline, plus DecompressFilter with zone-map pruning against the
+// decode-everything-then-compare scan. Emits BENCH_select.json (JSON
+// lines, same schema as the other micro benches) so the sparse-read
+// speedup is a guarded trend point, not a one-off claim.
+//
+// Throughputs are logical-series MB/s: (values * 8 bytes) / seconds to
+// answer the query over the whole series. A sparse selection that skips
+// most blocks therefore shows select_mbps well above full_mbps; at a
+// 100% selection the two converge (the selected path may pay a small
+// positional-bookkeeping tax, which this file also makes visible).
+//
+// Usage: micro_select [values_per_series]
+// CI smoke runs use a few thousand values; the default is large enough
+// for stable readings.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "codecs/registry.h"
+#include "select/selection.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bos;
+
+// Sensor-style series: a narrow random walk with rare large outliers, so
+// BOS blocks separate and zone maps carry tight, varied ranges.
+std::vector<int64_t> WalkSeries(uint64_t seed, size_t n,
+                                double outlier_p = 0.01) {
+  Rng rng(seed);
+  std::vector<int64_t> values(n);
+  int64_t cur = 5000;
+  for (auto& v : values) {
+    cur += static_cast<int64_t>(rng.Normal(0, 8));
+    v = cur;
+    if (rng.Bernoulli(outlier_p)) v += rng.UniformInt(-1'000'000, 1'000'000);
+  }
+  return values;
+}
+
+// A uniform selection of ~`permille`/1000 of the positions in [0, n).
+select::SelectionVector UniformSelection(uint64_t seed, size_t n,
+                                         int permille) {
+  select::SelectionVector sel;
+  if (permille >= 1000) {
+    sel.AddRange(0, n);
+    return sel;
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(permille / 1000.0)) sel.Add(i);
+  }
+  if (sel.empty() && n > 0) sel.Add(n / 2);  // never bench an empty query
+  return sel;
+}
+
+int BenchSelect(const std::string& spec, const std::vector<int64_t>& values,
+                bench::JsonlWriter* out) {
+  auto codec_result = codecs::MakeSeriesCodec(spec);
+  if (!codec_result.ok()) {
+    std::fprintf(stderr, "unknown spec %s\n", spec.c_str());
+    return 1;
+  }
+  const auto& codec = *codec_result;
+  Bytes encoded;
+  if (!codec->Compress(values, &encoded).ok()) return 1;
+  const double logical_mb =
+      static_cast<double>(values.size()) * 8.0 / (1024.0 * 1024.0);
+
+  // The baseline either path must beat: decode everything once.
+  std::vector<int64_t> full;
+  const double full_s = bench::BestTimePerCall([&] {
+    full.clear();
+    if (!codec->Decompress(encoded, &full).ok()) std::abort();
+  });
+  const double full_mbps = logical_mb / full_s;
+
+  for (const int permille : {1, 10, 100, 1000}) {
+    const select::SelectionVector sel =
+        UniformSelection(0xBEEF + permille, values.size(), permille);
+    const select::SelectionView view(sel, 0, values.size());
+    std::vector<int64_t> got;
+    const double select_s = bench::BestTimePerCall([&] {
+      got.clear();
+      if (!codec->DecompressSelected(encoded, view, &got).ok()) std::abort();
+    });
+    // Correctness gate: the bench never reports a wrong-answer speedup.
+    std::vector<int64_t> want;
+    want.reserve(sel.cardinality());
+    sel.ForEach([&](uint64_t pos) { want.push_back(values[pos]); });
+    if (got != want) {
+      std::fprintf(stderr, "%s: DecompressSelected mismatch\n", spec.c_str());
+      return 1;
+    }
+    const double select_mbps = logical_mb / select_s;
+    std::printf("%-16s %5.1f%%  select %9.1f MB/s  full %9.1f MB/s  (%.2fx)\n",
+                spec.c_str(), permille / 10.0, select_mbps, full_mbps,
+                select_mbps / full_mbps);
+    out->WriteRecord("select_decode",
+                     {{"spec", spec},
+                      {"values", values.size()},
+                      {"permille", permille},
+                      {"selected", static_cast<size_t>(sel.cardinality())},
+                      {"select_mbps", select_mbps},
+                      {"full_mbps", full_mbps},
+                      {"speedup", select_mbps / full_mbps}});
+  }
+  return 0;
+}
+
+volatile uint64_t benchmark_dummy = 0;
+
+int BenchFilter(const std::string& spec, const std::vector<int64_t>& values,
+                bench::JsonlWriter* out) {
+  auto codec_result = codecs::MakeSeriesCodec(spec);
+  if (!codec_result.ok()) return 1;
+  const auto& codec = *codec_result;
+  Bytes encoded;
+  if (!codec->Compress(values, &encoded).ok()) return 1;
+  const double logical_mb =
+      static_cast<double>(values.size()) * 8.0 / (1024.0 * 1024.0);
+
+  // A predicate on the outlier tail: almost every zone-mapped block of
+  // the narrow walk is disjoint from it and prunes without decoding.
+  const int64_t v_min = 500'000;
+  const int64_t v_max = INT64_MAX;
+  std::vector<std::pair<uint64_t, int64_t>> hits;
+  const double filter_s = bench::BestTimePerCall([&] {
+    hits.clear();
+    uint64_t decoded = 0;
+    if (!codec->DecompressFilter(encoded, v_min, v_max, 0, &hits, &decoded)
+             .ok()) {
+      std::abort();
+    }
+  });
+  std::vector<int64_t> full;
+  const double scan_s = bench::BestTimePerCall([&] {
+    full.clear();
+    if (!codec->Decompress(encoded, &full).ok()) std::abort();
+    for (size_t i = 0; i < full.size(); ++i) {
+      if (full[i] >= v_min && full[i] <= v_max) {
+        // Count, don't store: the cheapest possible post-decode scan.
+        benchmark_dummy = benchmark_dummy + 1;
+      }
+    }
+  });
+  const double filter_mbps = logical_mb / filter_s;
+  const double scan_mbps = logical_mb / scan_s;
+  std::printf("%-16s filter %9.1f MB/s  scan %9.1f MB/s  (%.2fx, %zu hits)\n",
+              spec.c_str(), filter_mbps, scan_mbps, filter_mbps / scan_mbps,
+              hits.size());
+  out->WriteRecord("filter_decode",
+                   {{"spec", spec},
+                    {"values", values.size()},
+                    {"hits", hits.size()},
+                    {"filter_mbps", filter_mbps},
+                    {"scan_mbps", scan_mbps},
+                    {"speedup", filter_mbps / scan_mbps}});
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = 1 << 20;
+  if (argc > 1) n = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+  if (n == 0) {
+    std::fprintf(stderr, "usage: %s [values_per_series]\n", argv[0]);
+    return 2;
+  }
+  bench::JsonlWriter out("BENCH_select.json");
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open BENCH_select.json\n");
+    return 1;
+  }
+  const std::vector<int64_t> values = WalkSeries(0xCAFE, n);
+  std::printf("micro_select: %zu values per series\n", values.size());
+  for (const char* spec : {"RAW+BOS-B", "RAW+BOS-B.Z", "TS2DIFF+BOS-B"}) {
+    if (BenchSelect(spec, values, &out) != 0) return 1;
+  }
+  // Filter bench: rare outliers, so most zone-mapped blocks are disjoint
+  // from the tail predicate and prune without decoding.
+  const std::vector<int64_t> sparse = WalkSeries(0xD00D, n, 0.0005);
+  if (BenchFilter("RAW+BOS-B.Z", sparse, &out) != 0) return 1;
+  return 0;
+}

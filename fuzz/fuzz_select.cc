@@ -1,0 +1,145 @@
+// Fuzz target: the selection-vector containers (src/select) and the
+// DecodeSelected path of the BOS packing operators. Input layout:
+// byte0 bit0 selects the mode, bits 1+ select the operator; see
+// fuzz_common.h for the two modes.
+//
+//  * arbitrary-bytes mode: the remaining bytes go into
+//    SelectionVector::Deserialize. Any status is fine; on success the
+//    container must re-serialize to an equal set.
+//  * structured mode: a PRNG-built set is checked against a std::set
+//    model (cardinality, contains, rank/select, serialize round-trip,
+//    intersection), then DecodeSelected over an encoded block must
+//    match a gather from the full decode, byte-position-exact.
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "codecs/registry.h"
+#include "fuzz_common.h"
+#include "select/selection.h"
+
+namespace {
+
+const char* kOperators[] = {"BP",        "BOS-V",        "BOS-B",
+                            "BOS-M",     "BOS-UPPER",    "BOS-LIST",
+                            "BOS-ADAPTIVE", "BOS-H",     "BOS-B.Z",
+                            "BOS-LIST.Z"};
+constexpr size_t kNumOperators = sizeof(kOperators) / sizeof(kOperators[0]);
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+
+  if ((selector & 1) == 0) {
+    // Arbitrary-bytes deserialize: any status, no crash, and a
+    // successful parse must survive a serialize round trip unchanged.
+    auto sel = bos::select::SelectionVector::Deserialize(in.Rest());
+    if (sel.ok()) {
+      bos::Bytes bytes;
+      sel->Serialize(&bytes);
+      auto back = bos::select::SelectionVector::Deserialize(bytes);
+      BOS_FUZZ_ASSERT(back.ok(), "re-serialized container must parse");
+      BOS_FUZZ_ASSERT(back->SetEquals(*sel),
+                      "serialize round-trip changed the set");
+    }
+    return 0;
+  }
+
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+
+  // Container invariants against a std::set model.
+  bos::select::SelectionVector sel;
+  std::set<uint64_t> model;
+  const size_t ops = rng.Uniform(200);
+  for (size_t i = 0; i < ops; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      const uint64_t start = rng.Uniform(1 << 17);
+      const uint64_t len = rng.Uniform(300);
+      sel.AddRange(start, start + len);
+      for (uint64_t p = start; p < start + len; ++p) model.insert(p);
+    } else {
+      const uint64_t p = rng.Uniform(1 << 17);
+      sel.Add(p);
+      model.insert(p);
+    }
+  }
+  if (rng.Bernoulli(0.5)) sel.RunOptimize();
+  BOS_FUZZ_ASSERT(sel.cardinality() == model.size(), "cardinality mismatch");
+  const std::vector<uint64_t> sorted(model.begin(), model.end());
+  for (int i = 0; i < 32; ++i) {
+    const uint64_t p = rng.Uniform(1 << 17);
+    BOS_FUZZ_ASSERT(sel.Contains(p) == (model.count(p) > 0),
+                    "contains disagrees with model");
+  }
+  if (!sorted.empty()) {
+    const uint64_t k = rng.Uniform(sorted.size());
+    uint64_t pos = 0;
+    BOS_FUZZ_ASSERT(sel.Select(k, &pos), "select within cardinality failed");
+    BOS_FUZZ_ASSERT(pos == sorted[k], "select disagrees with model");
+    BOS_FUZZ_ASSERT(sel.Rank(pos) == k, "rank is not select's inverse");
+  }
+  {
+    bos::Bytes bytes;
+    sel.Serialize(&bytes);
+    auto back = bos::select::SelectionVector::Deserialize(bytes);
+    BOS_FUZZ_ASSERT(back.ok(), "serialized container must parse");
+    BOS_FUZZ_ASSERT(back->SetEquals(sel), "round trip changed the set");
+  }
+  {
+    bos::select::SelectionVector mask;
+    const uint64_t start = rng.Uniform(1 << 17);
+    mask.AddRange(start, start + rng.Uniform(5000));
+    bos::select::SelectionVector both = sel;
+    both.IntersectWith(mask);
+    uint64_t expect = 0;
+    for (uint64_t p : sorted) {
+      if (mask.Contains(p)) ++expect;
+    }
+    BOS_FUZZ_ASSERT(both.cardinality() == expect,
+                    "intersection disagrees with model");
+  }
+
+  // DecodeSelected oracle: gather(full decode, positions) with the
+  // stream offset landing exactly where the full decode leaves it.
+  auto op_result =
+      bos::codecs::MakeOperator(kOperators[(selector >> 1) % kNumOperators]);
+  BOS_FUZZ_ASSERT(op_result.ok(), "registry must know its own operators");
+  const auto& op = *op_result;
+  const std::vector<int64_t> values = bos::fuzz::StructuredValues(&rng, 1024);
+  bos::Bytes encoded;
+  BOS_FUZZ_ASSERT(op->Encode(values, &encoded).ok(), "encode failed");
+
+  size_t full_offset = 0;
+  std::vector<int64_t> full;
+  BOS_FUZZ_ASSERT(op->Decode(encoded, &full_offset, &full).ok(),
+                  "clean decode failed");
+  BOS_FUZZ_ASSERT(full == values, "clean round-trip must be exact");
+
+  bos::select::SelectionVector picks;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (rng.Bernoulli(0.2)) picks.Add(i);
+  }
+  const bos::select::SelectionView view(picks, 0, values.size());
+  size_t offset = 0;
+  std::vector<int64_t> got;
+  BOS_FUZZ_ASSERT(op->DecodeSelected(encoded, &offset, view, &got).ok(),
+                  "in-range DecodeSelected failed");
+  BOS_FUZZ_ASSERT(offset == full_offset,
+                  "DecodeSelected must end where Decode ends");
+  std::vector<int64_t> want;
+  picks.ForEach([&](uint64_t pos) { want.push_back(values[pos]); });
+  BOS_FUZZ_ASSERT(got == want, "DecodeSelected disagrees with gather");
+
+  // A position past the block is a clean InvalidArgument, never a crash.
+  bos::select::SelectionVector past;
+  past.Add(values.size());
+  const bos::select::SelectionView bad(past, 0, values.size() + 1);
+  size_t bad_offset = 0;
+  std::vector<int64_t> sink;
+  BOS_FUZZ_ASSERT(!op->DecodeSelected(encoded, &bad_offset, bad, &sink).ok(),
+                  "past-end selection must be rejected");
+  return 0;
+}

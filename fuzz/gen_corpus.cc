@@ -21,6 +21,7 @@
 #include "fuzz_common.h"
 #include "general/lz4lite.h"
 #include "general/lzma_lite.h"
+#include "select/selection.h"
 #include "bitpack/varint.h"
 #include "storage/tsfile.h"
 #include "storage/wal.h"
@@ -120,6 +121,29 @@ int main(int argc, char** argv) {
     }
     WriteRoundTripSeeds(root / "fuzz_inspect", index,
                         static_cast<uint8_t>(specs.size()), &rng);
+  }
+
+  // fuzz_select: serialized selection containers in every representation
+  // (arbitrary-deserialize mode), plus round-trip seeds that exercise
+  // the DecodeSelected oracle per operator.
+  {
+    int index = 0;
+    for (int shape = 0; shape < 3; ++shape) {
+      bos::select::SelectionVector sel;
+      if (shape == 0) {
+        for (int i = 0; i < 50; ++i) sel.Add(rng.Uniform(1 << 17));
+      } else if (shape == 1) {
+        sel.AddRange(60000, 70000);  // bitmap/run chunk spanning a boundary
+      } else {
+        sel.AddRange(0, 300);
+        sel.Add(1 << 16);
+        sel.RunOptimize();
+      }
+      bos::Bytes bytes;
+      sel.Serialize(&bytes);
+      WriteSeed(root / "fuzz_select", index++, 0, bytes);
+    }
+    WriteRoundTripSeeds(root / "fuzz_select", index, 10, &rng);
   }
 
   // fuzz_streaming: a complete chunked stream.

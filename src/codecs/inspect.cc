@@ -96,7 +96,20 @@ Status WalkBosBlock(BytesView data, size_t* offset, BlockReport* block) {
     return Status::Corruption("BOS block: no mode byte");
   }
   const size_t start = *offset;
-  const uint8_t mode = data[(*offset)++];
+  uint8_t mode = data[(*offset)++];
+
+  if (mode == core::kZoneMapBlockMode) {
+    BOS_RETURN_NOT_OK(core::DecodeZoneMapHeader(data, offset, &block->zone_min,
+                                                &block->zone_max));
+    block->has_zone_map = true;
+    if (*offset >= data.size()) {
+      return Status::Corruption("zone-mapped block: no inner mode byte");
+    }
+    mode = data[(*offset)++];
+    if (mode == core::kZoneMapBlockMode) {
+      return Status::Corruption("zone-mapped block: nested wrapper");
+    }
+  }
 
   if (mode == kPlain) {
     block->mode = "plain";
@@ -340,8 +353,20 @@ Status WalkPforStream(PforFlavor flavor, BytesView data, size_t* offset,
 
 enum class OpKind { kBos, kPfor, kNewPfor, kFastPfor, kUnknown };
 
+// ".Z" names are the zone-map-emitting variants; only the BOS family
+// (which owns the block grammar the wrapper extends) accepts them.
+std::string_view StripZoneSuffix(std::string_view op) {
+  if (op.size() > 2 && op.substr(op.size() - 2) == ".Z") {
+    return op.substr(0, op.size() - 2);
+  }
+  return op;
+}
+
 OpKind KindOf(std::string_view op) {
+  const bool zoned = op != StripZoneSuffix(op);
+  op = StripZoneSuffix(op);
   if (op == "BP" || op.substr(0, 4) == "BOS-") return OpKind::kBos;
+  if (zoned) return OpKind::kUnknown;
   if (op == "PFOR") return OpKind::kPfor;
   if (op == "NEWPFOR" || op == "OPTPFOR") return OpKind::kNewPfor;
   if (op == "FASTPFOR") return OpKind::kFastPfor;
@@ -349,6 +374,7 @@ OpKind KindOf(std::string_view op) {
 }
 
 bool KnownOperator(std::string_view op) {
+  if (KindOf(op) == OpKind::kBos) op = StripZoneSuffix(op);
   for (const auto& name : OperatorNames()) {
     if (op == name) return true;
   }
@@ -447,6 +473,27 @@ Status WalkRleStream(OpKind kind, BytesView data, size_t block_size,
   return Status::OK();
 }
 
+// RAW is the identity transform: varint n, then fixed-stride operator
+// units of exactly block_size values (last one partial). The stride is
+// part of the grammar (DecompressSelected's windows depend on it).
+Status WalkRawStream(OpKind kind, BytesView data, size_t block_size,
+                     StreamReport* report) {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("RAW: n too large");
+  report->values = n;
+  for (uint64_t done = 0; done < n; done += block_size) {
+    const uint64_t len = std::min<uint64_t>(block_size, n - done);
+    BOS_RETURN_NOT_OK(
+        WalkExpectedUnit(kind, data, &offset, len, &report->blocks, "RAW"));
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("RAW: trailing bytes");
+  }
+  return Status::OK();
+}
+
 Status WalkDictStream(OpKind kind, BytesView data, size_t block_size,
                       StreamReport* report) {
   size_t offset = 0;
@@ -527,6 +574,8 @@ Result<StreamReport> InspectSeriesStream(std::string_view spec, BytesView data,
     BOS_RETURN_NOT_OK(WalkRleStream(kind, data, block_size, &report));
   } else if (report.transform == "DICT") {
     BOS_RETURN_NOT_OK(WalkDictStream(kind, data, block_size, &report));
+  } else if (report.transform == "RAW") {
+    BOS_RETURN_NOT_OK(WalkRawStream(kind, data, block_size, &report));
   } else {
     return Status::InvalidArgument("unknown transform: " + report.transform);
   }
@@ -645,6 +694,9 @@ void AppendStreamText(const StreamReport& stream, const std::string& indent,
       Appendf(out, " chunks=%" PRIu64 " exceptions=%" PRIu64, b.chunks,
               b.exceptions);
     }
+    if (b.has_zone_map) {
+      Appendf(out, " zone=[%" PRId64 ",%" PRId64 "]", b.zone_min, b.zone_max);
+    }
     out->push_back('\n');
   }
 }
@@ -682,6 +734,12 @@ void AppendStreamJson(const StreamReport& stream, std::string* out) {
     } else if (b.mode == "chunked") {
       Appendf(out, ",\"chunks\":%" PRIu64 ",\"exceptions\":%" PRIu64, b.chunks,
               b.exceptions);
+    }
+    if (b.has_zone_map) {
+      Appendf(out,
+              ",\"has_zone_map\":true,\"zone_min\":%" PRId64
+              ",\"zone_max\":%" PRId64,
+              b.zone_min, b.zone_max);
     }
     out->push_back('}');
   }

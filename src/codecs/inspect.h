@@ -51,6 +51,14 @@ struct BlockReport {
   // Plain-mode detail.
   uint32_t width = 0;
 
+  // Zone-map wrapper (block mode 3, ".Z" operator names): the block-level
+  // min/max read from the versioned header. `zone_min`/`zone_max` are
+  // meaningful only when `has_zone_map` is true; wrapper bytes are
+  // counted in `header_bytes`.
+  bool has_zone_map = false;
+  int64_t zone_min = 0;
+  int64_t zone_max = 0;
+
   // PFOR-family detail (mode "chunked").
   uint64_t chunks = 0;
   uint64_t exceptions = 0;

@@ -1,0 +1,137 @@
+#include "codecs/raw.h"
+
+#include <algorithm>
+
+#include "bitpack/varint.h"
+#include "core/bos_codec.h"
+#include "util/macros.h"
+
+namespace bos::codecs {
+
+RawCodec::RawCodec(std::shared_ptr<const core::PackingOperator> op,
+                   size_t block_size)
+    : op_(std::move(op)), block_size_(block_size) {}
+
+std::string RawCodec::name() const {
+  return std::string("RAW+") + std::string(op_->name());
+}
+
+Status RawCodec::Compress(std::span<const int64_t> values, Bytes* out) const {
+  bitpack::PutVarint(out, values.size());
+  for (size_t start = 0; start < values.size(); start += block_size_) {
+    const size_t len = std::min(block_size_, values.size() - start);
+    BOS_RETURN_NOT_OK(op_->Encode(values.subspan(start, len), out));
+  }
+  return Status::OK();
+}
+
+Status RawCodec::Decompress(BytesView data, std::vector<int64_t>* out) const {
+  return CountDecodeRejection(DecompressImpl(data, out));
+}
+
+Status RawCodec::DecompressImpl(BytesView data,
+                                std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("RAW: n too large");
+  ReserveBounded(out, n);
+  const size_t old_size = out->size();
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, out));
+    // The stride is part of the grammar: every block except the last
+    // holds exactly block_size values (DecompressSelected's per-block
+    // windows depend on it).
+    if (out->size() - old_size != done + len) {
+      return Status::Corruption("RAW: block length mismatch");
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("RAW: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+Status RawCodec::DecompressSelected(BytesView data,
+                                    const select::SelectionView& sel,
+                                    std::vector<int64_t>* out) const {
+  return CountDecodeRejection(DecompressSelectedImpl(data, sel, out));
+}
+
+Status RawCodec::DecompressSelectedImpl(BytesView data,
+                                        const select::SelectionView& sel,
+                                        std::vector<int64_t>* out) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("RAW: n too large");
+  uint64_t covered = 0;  // selected positions that fell inside some block
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    const select::SelectionView window = sel.SubView(done, len);
+    covered += window.count();
+    // An empty window still advances the offset — DecodeSelected is the
+    // skip primitive, so unselected blocks cost a header parse only.
+    BOS_RETURN_NOT_OK(op_->DecodeSelected(data, &offset, window, out));
+  }
+  if (covered != sel.count()) {
+    return Status::InvalidArgument(
+        "DecompressSelected: position past end of stream");
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("RAW: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+Status RawCodec::DecompressFilter(
+    BytesView data, int64_t v_min, int64_t v_max, uint64_t base_index,
+    std::vector<std::pair<uint64_t, int64_t>>* out,
+    uint64_t* values_decoded) const {
+  return CountDecodeRejection(DecompressFilterImpl(data, v_min, v_max,
+                                                   base_index, out,
+                                                   values_decoded));
+}
+
+Status RawCodec::DecompressFilterImpl(
+    BytesView data, int64_t v_min, int64_t v_max, uint64_t base_index,
+    std::vector<std::pair<uint64_t, int64_t>>* out,
+    uint64_t* values_decoded) const {
+  size_t offset = 0;
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &n));
+  if (n > kMaxStreamValues) return Status::Corruption("RAW: n too large");
+  std::vector<int64_t> scratch;
+  const select::SelectionView empty;
+  for (uint64_t done = 0; done < n; done += block_size_) {
+    const uint64_t len = std::min<uint64_t>(block_size_, n - done);
+    int64_t zone_min, zone_max;
+    if (core::PeekBlockZoneMap(data, offset, &zone_min, &zone_max) &&
+        (zone_max < v_min || zone_min > v_max)) {
+      // The block's value range is disjoint from the predicate: skip it
+      // without touching the payload.
+      BOS_TELEMETRY_COUNTER_ADD("bos.select.blocks_pruned", 1);
+      BOS_RETURN_NOT_OK(op_->DecodeSelected(data, &offset, empty, &scratch));
+      continue;
+    }
+    scratch.clear();
+    BOS_RETURN_NOT_OK(op_->Decode(data, &offset, &scratch));
+    if (scratch.size() != len) {
+      return Status::Corruption("RAW: block length mismatch");
+    }
+    if (values_decoded != nullptr) *values_decoded += len;
+    for (uint64_t i = 0; i < len; ++i) {
+      const int64_t v = scratch[static_cast<size_t>(i)];
+      if (v >= v_min && v <= v_max) {
+        out->emplace_back(base_index + done + i, v);
+      }
+    }
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("RAW: trailing bytes after stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

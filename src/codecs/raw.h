@@ -1,0 +1,57 @@
+#ifndef BOS_CODECS_RAW_H_
+#define BOS_CODECS_RAW_H_
+
+#include <memory>
+
+#include "codecs/series_codec.h"
+#include "core/packing.h"
+
+namespace bos::codecs {
+
+/// \brief RAW: the identity transform — values go straight into the
+/// packing operator with no delta/run/dictionary preprocessing, in
+/// fixed-stride blocks of `block_size` values:
+///
+///   varint n | ceil(n / block_size) operator blocks, block b holding
+///   values [b*block_size, min((b+1)*block_size, n)) in order
+///
+/// Because nothing entangles neighboring values, this is the transform
+/// that makes the selective read path real: `DecompressSelected` windows
+/// the selection per block and skips unselected blocks outright, and
+/// `DecompressFilter` prunes whole blocks via the zone-map wrapper when
+/// the operator was built with one (a ".Z" spec, e.g. "RAW+BOS-B.Z").
+///
+/// Opt-in: accepted by MakeSeriesCodec but not listed in TransformNames()
+/// — the Figure-10 grid and the format-golden coverage are unchanged.
+class RawCodec final : public SeriesCodec {
+ public:
+  RawCodec(std::shared_ptr<const core::PackingOperator> op,
+           size_t block_size = kDefaultBlockSize);
+
+  std::string name() const override;
+  Status Compress(std::span<const int64_t> values, Bytes* out) const override;
+  Status Decompress(BytesView data, std::vector<int64_t>* out) const override;
+  Status DecompressSelected(BytesView data, const select::SelectionView& sel,
+                            std::vector<int64_t>* out) const override;
+  Status DecompressFilter(BytesView data, int64_t v_min, int64_t v_max,
+                          uint64_t base_index,
+                          std::vector<std::pair<uint64_t, int64_t>>* out,
+                          uint64_t* values_decoded) const override;
+
+ private:
+  Status DecompressImpl(BytesView data, std::vector<int64_t>* out) const;
+  Status DecompressSelectedImpl(BytesView data,
+                                const select::SelectionView& sel,
+                                std::vector<int64_t>* out) const;
+  Status DecompressFilterImpl(BytesView data, int64_t v_min, int64_t v_max,
+                              uint64_t base_index,
+                              std::vector<std::pair<uint64_t, int64_t>>* out,
+                              uint64_t* values_decoded) const;
+
+  std::shared_ptr<const core::PackingOperator> op_;
+  size_t block_size_;
+};
+
+}  // namespace bos::codecs
+
+#endif  // BOS_CODECS_RAW_H_

@@ -2,6 +2,7 @@
 
 #include "codecs/dictionary.h"
 #include "codecs/dod.h"
+#include "codecs/raw.h"
 #include "codecs/rle.h"
 #include "codecs/sprintz.h"
 #include "codecs/ts2diff.h"
@@ -28,26 +29,54 @@ Result<std::shared_ptr<const core::PackingOperator>> MakeOperator(
                          .GetCounter("bos.codecs.registry.operator." +
                                      std::string(name))
                          .Add(1));
-  if (name == "BP") return {std::make_shared<core::BitPackingOperator>()};
+  // A ".Z" suffix turns on the per-block zone-map wrapper (opt-in, like
+  // "BOS-H": the wrapped bytes differ from the golden format, so ".Z"
+  // names stay out of OperatorNames()). Decoders accept wrapped blocks
+  // regardless of the flag, so "BOS-B" reads "BOS-B.Z" streams.
+  bool zone_maps = false;
+  std::string_view base = name;
+  if (base.size() > 2 && base.substr(base.size() - 2) == ".Z") {
+    zone_maps = true;
+    base = base.substr(0, base.size() - 2);
+  }
+  if (base == "BP") {
+    return {std::make_shared<core::BitPackingOperator>(zone_maps)};
+  }
+  if (base == "BOS-V") {
+    return {std::make_shared<core::BosOperator>(SeparationStrategy::kValue,
+                                                zone_maps)};
+  }
+  if (base == "BOS-B") {
+    return {std::make_shared<core::BosOperator>(SeparationStrategy::kBitWidth,
+                                                zone_maps)};
+  }
+  if (base == "BOS-M") {
+    return {std::make_shared<core::BosOperator>(SeparationStrategy::kMedian,
+                                                zone_maps)};
+  }
+  // Opt-in (not in OperatorNames): encoded bytes depend on the
+  // escalation threshold, so the hybrid stays out of the default grid
+  // and the format-golden coverage.
+  if (base == "BOS-H") {
+    return {std::make_shared<core::BosHybridOperator>(0.95, zone_maps)};
+  }
+  if (base == "BOS-UPPER") {
+    return {std::make_shared<core::BosUpperOnlyOperator>(zone_maps)};
+  }
+  if (base == "BOS-LIST") {
+    return {std::make_shared<core::BosListOperator>(zone_maps)};
+  }
+  if (base == "BOS-ADAPTIVE") {
+    return {std::make_shared<core::BosAdaptiveOperator>(zone_maps)};
+  }
+  if (zone_maps) {
+    return Status::InvalidArgument("zone maps are not supported by operator: " +
+                                   std::string(name));
+  }
   if (name == "PFOR") return {std::make_shared<pfor::PforOperator>()};
   if (name == "NEWPFOR") return {std::make_shared<pfor::NewPforOperator>()};
   if (name == "OPTPFOR") return {std::make_shared<pfor::OptPforOperator>()};
   if (name == "FASTPFOR") return {std::make_shared<pfor::FastPforOperator>()};
-  if (name == "BOS-V")
-    return {std::make_shared<core::BosOperator>(SeparationStrategy::kValue)};
-  if (name == "BOS-B")
-    return {std::make_shared<core::BosOperator>(SeparationStrategy::kBitWidth)};
-  if (name == "BOS-M")
-    return {std::make_shared<core::BosOperator>(SeparationStrategy::kMedian)};
-  // Opt-in (not in OperatorNames): encoded bytes depend on the
-  // escalation threshold, so the hybrid stays out of the default grid
-  // and the format-golden coverage.
-  if (name == "BOS-H") return {std::make_shared<core::BosHybridOperator>()};
-  if (name == "BOS-UPPER")
-    return {std::make_shared<core::BosUpperOnlyOperator>()};
-  if (name == "BOS-LIST") return {std::make_shared<core::BosListOperator>()};
-  if (name == "BOS-ADAPTIVE")
-    return {std::make_shared<core::BosAdaptiveOperator>()};
   return Status::InvalidArgument("unknown packing operator: " +
                                  std::string(name));
 }
@@ -76,6 +105,11 @@ Result<std::shared_ptr<const SeriesCodec>> MakeSeriesCodec(
   }
   if (transform == "DICT") {
     return {std::make_shared<DictionaryCodec>(std::move(op), block_size)};
+  }
+  // Opt-in (not in TransformNames): the identity transform that enables
+  // true selective decode — see raw.h.
+  if (transform == "RAW") {
+    return {std::make_shared<RawCodec>(std::move(op), block_size)};
   }
   return Status::InvalidArgument("unknown transform: " + std::string(transform));
 }

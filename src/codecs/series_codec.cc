@@ -1,0 +1,47 @@
+#include "codecs/series_codec.h"
+
+#include "util/macros.h"
+
+namespace bos::codecs {
+
+Status SeriesCodec::DecompressSelected(BytesView data,
+                                       const select::SelectionView& sel,
+                                       std::vector<int64_t>* out) const {
+  // Transform codecs entangle neighboring values (deltas, runs,
+  // dictionaries), so the portable default is decode-all + gather. The
+  // fallback counter makes "selected reads that did not actually skip
+  // work" visible in production.
+  std::vector<int64_t> scratch;
+  BOS_RETURN_NOT_OK(Decompress(data, &scratch));
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.fallback_decodes", 1);
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.values_decoded", scratch.size());
+  Status status;
+  sel.ForEach([&](uint64_t rel) {
+    if (!status.ok()) return;
+    if (rel >= scratch.size()) {
+      status = Status::InvalidArgument(
+          "DecompressSelected: position past end of stream");
+      return;
+    }
+    out->push_back(scratch[static_cast<size_t>(rel)]);
+  });
+  return status;
+}
+
+Status SeriesCodec::DecompressFilter(
+    BytesView data, int64_t v_min, int64_t v_max, uint64_t base_index,
+    std::vector<std::pair<uint64_t, int64_t>>* out,
+    uint64_t* values_decoded) const {
+  std::vector<int64_t> scratch;
+  BOS_RETURN_NOT_OK(Decompress(data, &scratch));
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.fallback_decodes", 1);
+  if (values_decoded != nullptr) *values_decoded += scratch.size();
+  for (size_t i = 0; i < scratch.size(); ++i) {
+    if (scratch[i] >= v_min && scratch[i] <= v_max) {
+      out->emplace_back(base_index + i, scratch[i]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bos::codecs

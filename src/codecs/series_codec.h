@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "select/selection.h"
 #include "telemetry/telemetry.h"
 #include "util/buffer.h"
 #include "util/result.h"
@@ -31,6 +33,29 @@ class SeriesCodec {
 
   /// Decompresses a buffer produced by Compress. Appends to `out`.
   virtual Status Decompress(BytesView data, std::vector<int64_t>* out) const = 0;
+
+  /// Decompresses only the stream positions selected by `sel` (positions
+  /// are relative to the stream, i.e. rel in [0, num_values)), appending
+  /// the selected values in ascending position order. A selected position
+  /// past the end of the stream is InvalidArgument.
+  ///
+  /// The base implementation decodes everything and gathers; codecs whose
+  /// streams support random access (the RAW transform) override it to
+  /// skip unselected blocks entirely.
+  virtual Status DecompressSelected(BytesView data,
+                                    const select::SelectionView& sel,
+                                    std::vector<int64_t>* out) const;
+
+  /// Value-predicate scan: appends `(base_index + position, value)` pairs
+  /// for every stream value in `[v_min, v_max]`, in position order.
+  /// `*values_decoded` (optional) is incremented by the number of values
+  /// actually materialized, so callers can audit pushdown effectiveness.
+  /// The base implementation decodes everything; the RAW transform
+  /// consults per-block zone maps to skip disjoint blocks.
+  virtual Status DecompressFilter(BytesView data, int64_t v_min, int64_t v_max,
+                                  uint64_t base_index,
+                                  std::vector<std::pair<uint64_t, int64_t>>* out,
+                                  uint64_t* values_decoded) const;
 };
 
 /// Default block size used across the evaluation, matching the paper's

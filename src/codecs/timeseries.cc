@@ -59,6 +59,33 @@ Status TimeSeriesCodec::Decompress(BytesView data,
   return Status::OK();
 }
 
+Status TimeSeriesCodec::DecompressSelected(BytesView data,
+                                           const select::SelectionView& sel,
+                                           std::vector<DataPoint>* out) const {
+  size_t offset = 0;
+  uint64_t time_len;
+  BOS_RETURN_NOT_OK(
+      CountDecodeRejection(bitpack::GetVarint(data, &offset, &time_len)));
+  BOS_ASSIGN_OR_RETURN(
+      const BytesView time_stream,
+      CountDecodeRejection(
+          CheckedSlice(data, offset, time_len, "timeseries time column")));
+  std::vector<int64_t> timestamps;
+  BOS_RETURN_NOT_OK(
+      time_codec_->DecompressSelected(time_stream, sel, &timestamps));
+  std::vector<int64_t> values;
+  BOS_RETURN_NOT_OK(value_codec_->DecompressSelected(
+      data.subspan(offset + time_len), sel, &values));
+  if (timestamps.size() != values.size()) {
+    return Status::Corruption("timeseries: column length mismatch");
+  }
+  out->reserve(out->size() + values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out->push_back({timestamps[i], values[i]});
+  }
+  return Status::OK();
+}
+
 Result<std::shared_ptr<const TimeSeriesCodec>> MakeTimeSeriesCodec(
     std::string_view spec, size_t block_size) {
   const size_t bar = spec.find('|');

@@ -34,6 +34,13 @@ class TimeSeriesCodec {
   Status Compress(std::span<const DataPoint> points, Bytes* out) const;
   Status Decompress(BytesView data, std::vector<DataPoint>* out) const;
 
+  /// Decodes only the row positions selected by `sel` (relative to the
+  /// series, ascending) from both columns and zips them back into points.
+  /// Skips whatever each column codec can skip (see
+  /// SeriesCodec::DecompressSelected).
+  Status DecompressSelected(BytesView data, const select::SelectionView& sel,
+                            std::vector<DataPoint>* out) const;
+
  private:
   std::shared_ptr<const SeriesCodec> time_codec_;
   std::shared_ptr<const SeriesCodec> value_codec_;

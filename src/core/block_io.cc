@@ -57,4 +57,40 @@ Status DecodePlainBlockBody(BytesView data, size_t* offset,
   return Status::OK();
 }
 
+void EncodeZoneMapHeader(int64_t min, int64_t max, Bytes* out) {
+  out->push_back(kZoneMapBlockMode);
+  out->push_back(kZoneMapVersion);
+  Bytes ext;
+  bitpack::PutSignedVarint(&ext, min);
+  bitpack::PutSignedVarint(&ext, max);
+  bitpack::PutVarint(out, ext.size());
+  out->insert(out->end(), ext.begin(), ext.end());
+}
+
+Status DecodeZoneMapHeader(BytesView data, size_t* offset, int64_t* min,
+                           int64_t* max) {
+  if (*offset >= data.size()) {
+    return Status::Corruption("zone map: truncated version");
+  }
+  const uint8_t version = data[(*offset)++];
+  if (version < kZoneMapVersion) {
+    return Status::Corruption("zone map: bad version");
+  }
+  uint64_t ext_len;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &ext_len));
+  if (!SliceFits(data.size(), *offset, ext_len)) {
+    return Status::Corruption("zone map: extension truncated");
+  }
+  const size_t ext_end = *offset + static_cast<size_t>(ext_len);
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, min));
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, max));
+  if (*offset > ext_end) {
+    return Status::Corruption("zone map: bounds overrun extension");
+  }
+  if (*min > *max) return Status::Corruption("zone map: min > max");
+  // Skip any fields a newer version appended.
+  *offset = ext_end;
+  return Status::OK();
+}
+
 }  // namespace bos::core

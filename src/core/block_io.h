@@ -19,6 +19,16 @@ inline constexpr uint8_t kSeparatedBlockMode = 1;
 /// of the bitmap (the §II-C position-encoding ablation).
 inline constexpr uint8_t kSeparatedListBlockMode = 2;
 
+/// Versioned zone-map extension wrapper: `3 | version | varint ext_len |
+/// ext payload | inner block (mode 0/1/2)`. The v1 payload is the
+/// zigzag-varint min and max of the block's original values. Readers
+/// accept any version >= 1 by parsing the known prefix fields and
+/// skipping the remaining `ext_len` bytes, so future versions can append
+/// fields without breaking old binaries; files that never use the
+/// wrapper are byte-identical to the pre-extension format.
+inline constexpr uint8_t kZoneMapBlockMode = 3;
+inline constexpr uint8_t kZoneMapVersion = 1;
+
 /// Upper bound on the declared value count of a single block, far above
 /// any real block size; decoders reject larger counts as corruption
 /// before allocating.
@@ -33,6 +43,17 @@ void EncodePlainBlock(std::span<const int64_t> values, Bytes* out);
 /// consumed and verified the mode byte). Appends to `out`.
 Status DecodePlainBlockBody(BytesView data, size_t* offset,
                             std::vector<int64_t>* out);
+
+/// \brief Appends the zone-map wrapper prefix (mode byte through ext
+/// payload); the caller appends the inner block right after.
+void EncodeZoneMapHeader(int64_t min, int64_t max, Bytes* out);
+
+/// \brief Parses a zone-map wrapper after the caller consumed the mode
+/// byte `kZoneMapBlockMode`: reads version + ext, returns the min/max
+/// bounds and leaves `*offset` at the inner block's mode byte. Unknown
+/// trailing extension bytes are skipped (forward compatibility).
+Status DecodeZoneMapHeader(BytesView data, size_t* offset, int64_t* min,
+                           int64_t* max);
 
 }  // namespace bos::core
 

@@ -1,5 +1,6 @@
 #include "core/bos_codec.h"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cassert>
@@ -7,6 +8,7 @@
 
 #include "bitpack/bit_reader.h"
 #include "bitpack/bit_writer.h"
+#include "bitpack/bitpacking.h"
 #include "bitpack/unpack_kernels.h"
 #include "bitpack/varint.h"
 #include "core/block_io.h"
@@ -683,7 +685,7 @@ Status EncodeWithSeparation(std::span<const int64_t> values,
 }
 
 Status DecodeBosBlockImpl(BytesView data, size_t* offset,
-                          std::vector<int64_t>* out) {
+                          std::vector<int64_t>* out, bool allow_zone = true) {
   if (*offset >= data.size()) return Status::Corruption("BOS block: no mode byte");
   const uint8_t mode = data[(*offset)++];
   switch (mode) {
@@ -696,6 +698,16 @@ Status DecodeBosBlockImpl(BytesView data, size_t* offset,
     case kSeparatedListBlockMode:
       BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.mode_list", 1);
       return DecodeSeparatedListBody(data, offset, out);
+    case kZoneMapBlockMode: {
+      if (!allow_zone) {
+        return Status::Corruption("zone map: nested wrapper");
+      }
+      BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.mode_zonemap", 1);
+      int64_t zone_min, zone_max;
+      BOS_RETURN_NOT_OK(
+          DecodeZoneMapHeader(data, offset, &zone_min, &zone_max));
+      return DecodeBosBlockImpl(data, offset, out, /*allow_zone=*/false);
+    }
     default:
       BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.bad_mode", 1);
       return Status::Corruption("BOS block: unknown mode byte");
@@ -711,6 +723,328 @@ Status DecodeBosBlock(BytesView data, size_t* offset,
     BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.corrupt_rejected", 1);
   }
   return st;
+}
+
+// ---------------------------------------------------------------------
+// Selective decode: unpack only the rows a SelectionView asks for. Every
+// body advances *offset past the whole block exactly as the full decode
+// would (DecodeSelected doubles as the block-skip primitive), and the
+// per-row bit offsets are derived from the same headers the full decode
+// validates, so reads never leave the validated payload.
+// ---------------------------------------------------------------------
+
+void RecordSelectedDecode(uint64_t n, uint64_t selected) {
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.values_decoded", selected);
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.values_skipped", n - selected);
+}
+
+// Shared header parse of the separated layouts (modes 1 and 2), mirroring
+// DecodeSeparatedBody / DecodeSeparatedListBody field for field.
+struct SeparatedHeader {
+  uint64_t n = 0, nl = 0, nu = 0;
+  int64_t bases[3] = {0, 0, 0};  // indexed by Class
+  int widths[3] = {0, 0, 0};
+};
+
+Status ParseSeparatedHeader(BytesView data, size_t* offset,
+                            SeparatedHeader* h) {
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &h->n));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &h->nl));
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &h->nu));
+  if (h->n > kMaxBlockValues) {
+    return Status::Corruption("BOS block: n too large");
+  }
+  if (h->nl > h->n || h->nu > h->n || h->nl + h->nu > h->n) {
+    return Status::Corruption("BOS block: outlier counts exceed n");
+  }
+  if (h->nl > 0) {
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &h->bases[kLower]));
+  }
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &h->bases[kCenter]));
+  if (h->nu > 0) {
+    BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &h->bases[kUpper]));
+  }
+  auto read_width = [&](int* width) -> Status {
+    if (*offset >= data.size()) return Status::Corruption("BOS block truncated");
+    *width = data[(*offset)++];
+    if (*width > 64) return Status::Corruption("BOS block width > 64");
+    return Status::OK();
+  };
+  if (h->nl > 0) BOS_RETURN_NOT_OK(read_width(&h->widths[kLower]));
+  BOS_RETURN_NOT_OK(read_width(&h->widths[kCenter]));
+  if (h->nu > 0) BOS_RETURN_NOT_OK(read_width(&h->widths[kUpper]));
+  return Status::OK();
+}
+
+// Given ascending class counts before position p, decode the single
+// value stored at the derived bit offset.
+Status DecodeOneClassedValue(const uint8_t* stream, size_t stream_len,
+                             const SeparatedHeader& h, uint64_t value_bit_base,
+                             int cls, uint64_t cl, uint64_t cu, uint64_t cc,
+                             std::vector<int64_t>* out) {
+  // The class counts walked so far must stay inside the header's counts,
+  // or the bit offset below would leave the validated payload.
+  const uint64_t before[3] = {cc, cl, cu};
+  const uint64_t totals[3] = {h.n - h.nl - h.nu, h.nl, h.nu};
+  for (int c = 0; c < 3; ++c) {
+    if (before[c] > totals[c]) {
+      return Status::Corruption("BOS bitmap does not match outlier counts");
+    }
+  }
+  if (before[cls] >= totals[cls]) {
+    return Status::Corruption("BOS bitmap does not match outlier counts");
+  }
+  const uint64_t bit = value_bit_base +
+                       cl * static_cast<uint64_t>(h.widths[kLower]) +
+                       cu * static_cast<uint64_t>(h.widths[kUpper]) +
+                       cc * static_cast<uint64_t>(h.widths[kCenter]);
+  int64_t value;
+  bitpack::UnpackRunAddBase(stream, stream_len, bit, h.widths[cls], 1,
+                            static_cast<uint64_t>(h.bases[cls]), &value);
+  out->push_back(value);
+  return Status::OK();
+}
+
+Status DecodeSelectedPlainBody(BytesView data, size_t* offset,
+                               const select::SelectionView& sel,
+                               std::vector<int64_t>* out) {
+  uint64_t n;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, offset, &n));
+  if (n > kMaxBlockValues) return Status::Corruption("plain block: n too large");
+  uint64_t max_pos = 0;
+  uint64_t selected = 0;
+  sel.ForEachRun([&](uint64_t start, uint64_t len) {
+    max_pos = start + len;  // runs ascend; the last one carries the max
+    selected += len;
+  });
+  if (selected > 0 && max_pos > n) {
+    return Status::InvalidArgument(
+        "DecodeSelected: position past end of block");
+  }
+  if (n == 0) return Status::OK();
+  int64_t min;
+  BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(data, offset, &min));
+  if (*offset >= data.size()) return Status::Corruption("plain block truncated");
+  const int width = data[(*offset)++];
+  if (width > 64) return Status::Corruption("plain block width > 64");
+  const uint64_t bytes = BitsToBytes(static_cast<uint64_t>(width) * n);
+  if (!SliceFits(data.size(), *offset, bytes)) {
+    return Status::Corruption("plain block payload truncated");
+  }
+  const uint8_t* stream = data.data() + *offset;
+  const size_t stream_len = data.size() - *offset;
+  *offset += bytes;
+  if (selected > 0) {
+    const size_t old_size = out->size();
+    out->resize(old_size + selected);
+    int64_t* dst = out->data() + old_size;
+    sel.ForEachRun([&](uint64_t start, uint64_t len) {
+      // Plain blocks random-access directly: row i starts at bit i*width.
+      bitpack::UnpackRunAddBase(stream, stream_len,
+                                start * static_cast<uint64_t>(width), width,
+                                len, static_cast<uint64_t>(min), dst);
+      dst += len;
+    });
+  }
+  RecordSelectedDecode(n, selected);
+  return Status::OK();
+}
+
+Status DecodeSelectedSeparatedBody(BytesView data, size_t* offset,
+                                   const select::SelectionView& sel,
+                                   std::vector<int64_t>* out) {
+  SeparatedHeader h;
+  BOS_RETURN_NOT_OK(ParseSeparatedHeader(data, offset, &h));
+  const uint64_t bitmap_bits = h.n + h.nl + h.nu;
+  const uint64_t payload_bits =
+      bitmap_bits + h.nl * static_cast<uint64_t>(h.widths[kLower]) +
+      h.nu * static_cast<uint64_t>(h.widths[kUpper]) +
+      (h.n - h.nl - h.nu) * static_cast<uint64_t>(h.widths[kCenter]);
+  const uint64_t payload_bytes = BitsToBytes(payload_bits);
+  if (!SliceFits(data.size(), *offset, payload_bytes)) {
+    return Status::Corruption("BOS block payload truncated");
+  }
+  const uint8_t* stream = data.data() + *offset;
+  const size_t stream_len = data.size() - *offset;
+  *offset += payload_bytes;
+
+  const std::vector<uint64_t> targets = sel.ToVector();
+  if (!targets.empty() && targets.back() >= h.n) {
+    return Status::InvalidArgument(
+        "DecodeSelected: position past end of block");
+  }
+  // One forward walk over the class bitmap for all targets (they ascend):
+  // whole bytes whose entries all precede the next target are charged via
+  // kBitmapByteTable without touching their bits; only the byte holding
+  // the target entry is replayed bit by bit.
+  size_t bpos = 0;
+  int state = 0;
+  uint64_t sym = 0, sl = 0, su = 0;
+  for (const uint64_t p : targets) {
+    while (true) {
+      const uint8_t byte = bpos < stream_len ? stream[bpos] : 0;
+      const BitmapByte e = kBitmapByteTable[state][byte];
+      if (sym + e.nsym > p) break;
+      sym += e.nsym;
+      sl += static_cast<uint64_t>(e.nout) - e.nup;
+      su += e.nup;
+      state = e.next_state;
+      ++bpos;
+    }
+    // Replay from the byte boundary until entry p completes. Bits past
+    // the stream read as zero, matching MsbBitCursor, so this always
+    // terminates (zero bits complete center entries).
+    uint64_t sym2 = sym, sl2 = sl, su2 = su;
+    int st2 = state;
+    size_t bp = bpos;
+    int cls = -1;
+    while (cls < 0) {
+      const uint8_t byte = bp < stream_len ? stream[bp] : 0;
+      ++bp;
+      for (int bitpos = 7; bitpos >= 0; --bitpos) {
+        const int bit = (byte >> bitpos) & 1;
+        if (st2 == 1) {
+          if (sym2 == p) {
+            cls = kLower + bit;
+            break;
+          }
+          (bit != 0 ? su2 : sl2) += 1;
+          ++sym2;
+          st2 = 0;
+        } else if (bit == 0) {
+          if (sym2 == p) {
+            cls = kCenter;
+            break;
+          }
+          ++sym2;
+        } else {
+          st2 = 1;
+        }
+      }
+    }
+    BOS_RETURN_NOT_OK(DecodeOneClassedValue(stream, stream_len, h, bitmap_bits,
+                                            cls, sl2, su2, p - sl2 - su2,
+                                            out));
+  }
+  RecordSelectedDecode(h.n, targets.size());
+  return Status::OK();
+}
+
+Status DecodeSelectedSeparatedListBody(BytesView data, size_t* offset,
+                                       const select::SelectionView& sel,
+                                       std::vector<int64_t>* out) {
+  SeparatedHeader h;
+  BOS_RETURN_NOT_OK(ParseSeparatedHeader(data, offset, &h));
+
+  std::vector<uint32_t> lower_pos, upper_pos;
+  lower_pos.reserve(h.nl);
+  upper_pos.reserve(h.nu);
+  std::vector<uint64_t> gaps(std::max(h.nl, h.nu));
+  auto read_positions = [&](uint64_t count,
+                            std::vector<uint32_t>* pos_list) -> Status {
+    BOS_RETURN_NOT_OK(bitpack::GetVarintRun(data, offset, count, gaps.data()));
+    uint64_t pos = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      pos = (i == 0) ? gaps[i] : pos + 1 + gaps[i];
+      if (pos >= h.n) return Status::Corruption("BOS-LIST: bad position");
+      pos_list->push_back(static_cast<uint32_t>(pos));
+    }
+    return Status::OK();
+  };
+  BOS_RETURN_NOT_OK(read_positions(h.nl, &lower_pos));
+  BOS_RETURN_NOT_OK(read_positions(h.nu, &upper_pos));
+
+  const uint64_t payload_bits =
+      h.nl * static_cast<uint64_t>(h.widths[kLower]) +
+      h.nu * static_cast<uint64_t>(h.widths[kUpper]) +
+      (h.n - h.nl - h.nu) * static_cast<uint64_t>(h.widths[kCenter]);
+  const uint64_t payload_bytes = BitsToBytes(payload_bits);
+  if (!SliceFits(data.size(), *offset, payload_bytes)) {
+    return Status::Corruption("BOS-LIST: payload truncated");
+  }
+  const uint8_t* stream = data.data() + *offset;
+  const size_t stream_len = data.size() - *offset;
+  *offset += payload_bytes;
+
+  const std::vector<uint64_t> targets = sel.ToVector();
+  if (!targets.empty() && targets.back() >= h.n) {
+    return Status::InvalidArgument(
+        "DecodeSelected: position past end of block");
+  }
+  for (const uint64_t p : targets) {
+    // Class counts before p come from binary searches over the ascending
+    // position lists; membership decides p's own class.
+    const auto l_it =
+        std::lower_bound(lower_pos.begin(), lower_pos.end(), p);
+    const auto u_it =
+        std::lower_bound(upper_pos.begin(), upper_pos.end(), p);
+    const uint64_t cl = static_cast<uint64_t>(l_it - lower_pos.begin());
+    const uint64_t cu = static_cast<uint64_t>(u_it - upper_pos.begin());
+    const bool is_lower = l_it != lower_pos.end() && *l_it == p;
+    const bool is_upper = u_it != upper_pos.end() && *u_it == p;
+    if (is_lower && is_upper) {
+      return Status::Corruption("BOS-LIST: bad position");
+    }
+    const int cls = is_lower ? kLower : is_upper ? kUpper : kCenter;
+    BOS_RETURN_NOT_OK(DecodeOneClassedValue(stream, stream_len, h,
+                                            /*value_bit_base=*/0, cls, cl, cu,
+                                            p - cl - cu, out));
+  }
+  RecordSelectedDecode(h.n, targets.size());
+  return Status::OK();
+}
+
+Status DecodeBosBlockSelectedImpl(BytesView data, size_t* offset,
+                                  const select::SelectionView& sel,
+                                  std::vector<int64_t>* out,
+                                  bool allow_zone = true) {
+  if (*offset >= data.size()) return Status::Corruption("BOS block: no mode byte");
+  const uint8_t mode = data[(*offset)++];
+  switch (mode) {
+    case kPlainBlockMode:
+      return DecodeSelectedPlainBody(data, offset, sel, out);
+    case kSeparatedBlockMode:
+      return DecodeSelectedSeparatedBody(data, offset, sel, out);
+    case kSeparatedListBlockMode:
+      return DecodeSelectedSeparatedListBody(data, offset, sel, out);
+    case kZoneMapBlockMode: {
+      if (!allow_zone) {
+        return Status::Corruption("zone map: nested wrapper");
+      }
+      int64_t zone_min, zone_max;
+      BOS_RETURN_NOT_OK(
+          DecodeZoneMapHeader(data, offset, &zone_min, &zone_max));
+      return DecodeBosBlockSelectedImpl(data, offset, sel, out,
+                                        /*allow_zone=*/false);
+    }
+    default:
+      BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.bad_mode", 1);
+      return Status::Corruption("BOS block: unknown mode byte");
+  }
+}
+
+Status DecodeBosBlockSelected(BytesView data, size_t* offset,
+                              const select::SelectionView& sel,
+                              std::vector<int64_t>* out) {
+  if (sel.empty()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.select.blocks_skipped", 1);
+  }
+  Status st = DecodeBosBlockSelectedImpl(data, offset, sel, out);
+  if (st.IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.corrupt_rejected", 1);
+  }
+  return st;
+}
+
+// Emits the zone-map wrapper ahead of the inner block when the operator
+// was constructed with zone maps on. Empty blocks stay unwrapped, so the
+// "empty block" golden bytes are flag-independent.
+void MaybeWrapZoneMap(bool zone_maps, std::span<const int64_t> values,
+                      Bytes* out) {
+  if (!zone_maps || values.empty()) return;
+  const auto mm = bitpack::ComputeMinMax(values);
+  EncodeZoneMapHeader(mm.min, mm.max, out);
+  BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.zone_maps", 1);
 }
 
 #if BOS_TELEMETRY_ENABLED
@@ -740,10 +1074,39 @@ Separation SeparateTimed(SeparationStrategy strategy,
   return Separate(strategy, values);
 }
 
+// Consumes the mode byte of a BP block, unwrapping at most one zone-map
+// extension; leaves *offset at the plain block body.
+Status ConsumePlainMode(BytesView data, size_t* offset) {
+  if (*offset >= data.size()) {
+    return Status::Corruption("BP block: no mode byte");
+  }
+  uint8_t mode = data[(*offset)++];
+  if (mode == kZoneMapBlockMode) {
+    int64_t zone_min, zone_max;
+    BOS_RETURN_NOT_OK(DecodeZoneMapHeader(data, offset, &zone_min, &zone_max));
+    if (*offset >= data.size()) {
+      return Status::Corruption("BP block: no mode byte");
+    }
+    mode = data[(*offset)++];
+  }
+  if (mode != kPlainBlockMode) {
+    return Status::Corruption("BP block: unexpected mode byte");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+bool PeekBlockZoneMap(BytesView data, size_t offset, int64_t* min,
+                      int64_t* max) {
+  if (offset >= data.size() || data[offset] != kZoneMapBlockMode) return false;
+  ++offset;
+  return DecodeZoneMapHeader(data, &offset, min, max).ok();
+}
 
 Status BitPackingOperator::Encode(std::span<const int64_t> values,
                                   Bytes* out) const {
+  MaybeWrapZoneMap(zone_maps_, values, out);
   EncodePlainBlock(values, out);
   return Status::OK();
 }
@@ -751,14 +1114,24 @@ Status BitPackingOperator::Encode(std::span<const int64_t> values,
 Status BitPackingOperator::Decode(BytesView data, size_t* offset,
                                   std::vector<int64_t>* out) const {
   Status st = [&]() -> Status {
-    if (*offset >= data.size()) {
-      return Status::Corruption("BP block: no mode byte");
-    }
-    const uint8_t mode = data[(*offset)++];
-    if (mode != kPlainBlockMode) {
-      return Status::Corruption("BP block: unexpected mode byte");
-    }
+    BOS_RETURN_NOT_OK(ConsumePlainMode(data, offset));
     return DecodePlainBlockBody(data, offset, out);
+  }();
+  if (st.IsCorruption()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.corrupt_rejected", 1);
+  }
+  return st;
+}
+
+Status BitPackingOperator::DecodeSelected(BytesView data, size_t* offset,
+                                          const select::SelectionView& sel,
+                                          std::vector<int64_t>* out) const {
+  if (sel.empty()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.select.blocks_skipped", 1);
+  }
+  Status st = [&]() -> Status {
+    BOS_RETURN_NOT_OK(ConsumePlainMode(data, offset));
+    return DecodeSelectedPlainBody(data, offset, sel, out);
   }();
   if (st.IsCorruption()) {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.decode.corrupt_rejected", 1);
@@ -774,6 +1147,7 @@ Status BosOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
   BOS_TRACE_SPAN("bos.core.encode.block");
   BOS_TRACE_ANNOTATE("op", SeparationStrategyName(strategy_));
   BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
+  MaybeWrapZoneMap(zone_maps_, values, out);
   const Separation sep = SeparateTimed(strategy_, values);
   return EncodeWithSeparation(values, sep, out);
 }
@@ -781,6 +1155,12 @@ Status BosOperator::Encode(std::span<const int64_t> values, Bytes* out) const {
 Status BosOperator::Decode(BytesView data, size_t* offset,
                            std::vector<int64_t>* out) const {
   return DecodeBosBlock(data, offset, out);
+}
+
+Status BosOperator::DecodeSelected(BytesView data, size_t* offset,
+                                   const select::SelectionView& sel,
+                                   std::vector<int64_t>* out) const {
+  return DecodeBosBlockSelected(data, offset, sel, out);
 }
 
 Status BosUpperOnlyOperator::Encode(std::span<const int64_t> values,
@@ -792,6 +1172,7 @@ Status BosUpperOnlyOperator::Encode(std::span<const int64_t> values,
   BOS_TRACE_SPAN("bos.core.encode.block");
   BOS_TRACE_ANNOTATE("op", "BOS-UPPER");
   BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
+  MaybeWrapZoneMap(zone_maps_, values, out);
   const Separation sep = SeparateUpperOnly(values);
   return EncodeWithSeparation(values, sep, out);
 }
@@ -799,6 +1180,12 @@ Status BosUpperOnlyOperator::Encode(std::span<const int64_t> values,
 Status BosUpperOnlyOperator::Decode(BytesView data, size_t* offset,
                                     std::vector<int64_t>* out) const {
   return DecodeBosBlock(data, offset, out);
+}
+
+Status BosUpperOnlyOperator::DecodeSelected(BytesView data, size_t* offset,
+                                            const select::SelectionView& sel,
+                                            std::vector<int64_t>* out) const {
+  return DecodeBosBlockSelected(data, offset, sel, out);
 }
 
 Status BosListOperator::Encode(std::span<const int64_t> values,
@@ -810,6 +1197,7 @@ Status BosListOperator::Encode(std::span<const int64_t> values,
   BOS_TRACE_SPAN("bos.core.encode.block");
   BOS_TRACE_ANNOTATE("op", "BOS-LIST");
   BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
+  MaybeWrapZoneMap(zone_maps_, values, out);
   const Separation sep = SeparateBitWidth(values);
   if (!sep.separated) {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
@@ -827,6 +1215,12 @@ Status BosListOperator::Decode(BytesView data, size_t* offset,
   return DecodeBosBlock(data, offset, out);
 }
 
+Status BosListOperator::DecodeSelected(BytesView data, size_t* offset,
+                                       const select::SelectionView& sel,
+                                       std::vector<int64_t>* out) const {
+  return DecodeBosBlockSelected(data, offset, sel, out);
+}
+
 Status BosHybridOperator::Encode(std::span<const int64_t> values,
                                  Bytes* out) const {
   if (values.empty()) {
@@ -836,6 +1230,7 @@ Status BosHybridOperator::Encode(std::span<const int64_t> values,
   BOS_TRACE_SPAN("bos.core.encode.block");
   BOS_TRACE_ANNOTATE("op", "BOS-H");
   BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
+  MaybeWrapZoneMap(zone_maps_, values, out);
   Separation sep = SeparateTimed(SeparationStrategy::kMedian, values);
   // When BOS-M found no split its cost_bits already IS the Definition-1
   // plain cost (and its partition fields are meaningless), so the gap
@@ -862,6 +1257,12 @@ Status BosHybridOperator::Decode(BytesView data, size_t* offset,
   return DecodeBosBlock(data, offset, out);
 }
 
+Status BosHybridOperator::DecodeSelected(BytesView data, size_t* offset,
+                                         const select::SelectionView& sel,
+                                         std::vector<int64_t>* out) const {
+  return DecodeBosBlockSelected(data, offset, sel, out);
+}
+
 Status BosAdaptiveOperator::Encode(std::span<const int64_t> values,
                                    Bytes* out) const {
   if (values.empty()) {
@@ -871,6 +1272,7 @@ Status BosAdaptiveOperator::Encode(std::span<const int64_t> values,
   BOS_TRACE_SPAN("bos.core.encode.block");
   BOS_TRACE_ANNOTATE("op", "BOS-ADAPTIVE");
   BOS_TRACE_ANNOTATE("n", static_cast<int64_t>(values.size()));
+  MaybeWrapZoneMap(zone_maps_, values, out);
   const Separation sep = SeparateBitWidth(values);
   if (!sep.separated) {
     BOS_TELEMETRY_COUNTER_ADD("bos.core.encode.mode_plain", 1);
@@ -893,6 +1295,12 @@ Status BosAdaptiveOperator::Encode(std::span<const int64_t> values,
 Status BosAdaptiveOperator::Decode(BytesView data, size_t* offset,
                                    std::vector<int64_t>* out) const {
   return DecodeBosBlock(data, offset, out);
+}
+
+Status BosAdaptiveOperator::DecodeSelected(BytesView data, size_t* offset,
+                                           const select::SelectionView& sel,
+                                           std::vector<int64_t>* out) const {
+  return DecodeBosBlockSelected(data, offset, sel, out);
 }
 
 }  // namespace bos::core

@@ -2,6 +2,7 @@
 #define BOS_CORE_BOS_CODEC_H_
 
 #include <memory>
+#include <string>
 
 #include "core/packing.h"
 #include "core/separation.h"
@@ -16,14 +17,36 @@ namespace bos::core {
 void SetBosBatchedDecodeEnabled(bool enabled);
 bool BosBatchedDecodeEnabled();
 
+/// \brief Peeks the zone-map bounds of the block starting at `offset`
+/// without decoding it. Returns true and fills `*min`/`*max` when the
+/// block carries a well-formed zone-map wrapper; false otherwise
+/// (including for every pre-extension block).
+bool PeekBlockZoneMap(BytesView data, size_t offset, int64_t* min,
+                      int64_t* max);
+
 /// \brief Plain bit-packing (BP): the operator BOS replaces. Encodes each
 /// block as frame-of-reference fixed-width values (Definition 1).
+///
+/// With `zone_maps` set ("BP.Z" in the registry), every non-empty block
+/// is wrapped in the versioned zone-map extension (block_io.h); decoding
+/// accepts wrapped and unwrapped blocks either way, so old files read
+/// unchanged.
 class BitPackingOperator final : public PackingOperator {
  public:
-  std::string_view name() const override { return "BP"; }
+  explicit BitPackingOperator(bool zone_maps = false)
+      : zone_maps_(zone_maps), name_(zone_maps ? "BP.Z" : "BP") {}
+
+  std::string_view name() const override { return name_; }
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+  Status DecodeSelected(BytesView data, size_t* offset,
+                        const select::SelectionView& sel,
+                        std::vector<int64_t>* out) const override;
+
+ private:
+  bool zone_maps_;
+  std::string name_;
 };
 
 /// \brief Bit-packing with Outlier Separation — the paper's contribution.
@@ -42,29 +65,46 @@ class BitPackingOperator final : public PackingOperator {
 ///   its class base (Figure 7), so decoding scans the data exactly once.
 class BosOperator final : public PackingOperator {
  public:
-  explicit BosOperator(SeparationStrategy strategy) : strategy_(strategy) {}
+  explicit BosOperator(SeparationStrategy strategy, bool zone_maps = false)
+      : strategy_(strategy),
+        zone_maps_(zone_maps),
+        name_(std::string(SeparationStrategyName(strategy)) +
+              (zone_maps ? ".Z" : "")) {}
 
-  std::string_view name() const override {
-    return SeparationStrategyName(strategy_);
-  }
+  std::string_view name() const override { return name_; }
   SeparationStrategy strategy() const { return strategy_; }
 
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+  Status DecodeSelected(BytesView data, size_t* offset,
+                        const select::SelectionView& sel,
+                        std::vector<int64_t>* out) const override;
 
  private:
   SeparationStrategy strategy_;
+  bool zone_maps_;
+  std::string name_;
 };
 
 /// \brief Figure-12 ablation: BOS restricted to upper-outlier separation
 /// only (lower outliers are never split off), exact search.
 class BosUpperOnlyOperator final : public PackingOperator {
  public:
-  std::string_view name() const override { return "BOS-UPPER"; }
+  explicit BosUpperOnlyOperator(bool zone_maps = false)
+      : zone_maps_(zone_maps), name_(zone_maps ? "BOS-UPPER.Z" : "BOS-UPPER") {}
+
+  std::string_view name() const override { return name_; }
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+  Status DecodeSelected(BytesView data, size_t* offset,
+                        const select::SelectionView& sel,
+                        std::vector<int64_t>* out) const override;
+
+ private:
+  bool zone_maps_;
+  std::string name_;
 };
 
 /// \brief Position-encoding ablation (paper §II-C): the PFOR family keeps
@@ -74,10 +114,20 @@ class BosUpperOnlyOperator final : public PackingOperator {
 /// identical splits.
 class BosListOperator final : public PackingOperator {
  public:
-  std::string_view name() const override { return "BOS-LIST"; }
+  explicit BosListOperator(bool zone_maps = false)
+      : zone_maps_(zone_maps), name_(zone_maps ? "BOS-LIST.Z" : "BOS-LIST") {}
+
+  std::string_view name() const override { return name_; }
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+  Status DecodeSelected(BytesView data, size_t* offset,
+                        const select::SelectionView& sel,
+                        std::vector<int64_t>* out) const override;
+
+ private:
+  bool zone_maps_;
+  std::string name_;
 };
 
 /// \brief Adaptive position encoding: encodes each block both ways
@@ -86,10 +136,21 @@ class BosListOperator final : public PackingOperator {
 /// list does. Decodes any of the three block modes.
 class BosAdaptiveOperator final : public PackingOperator {
  public:
-  std::string_view name() const override { return "BOS-ADAPTIVE"; }
+  explicit BosAdaptiveOperator(bool zone_maps = false)
+      : zone_maps_(zone_maps),
+        name_(zone_maps ? "BOS-ADAPTIVE.Z" : "BOS-ADAPTIVE") {}
+
+  std::string_view name() const override { return name_; }
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+  Status DecodeSelected(BytesView data, size_t* offset,
+                        const select::SelectionView& sel,
+                        std::vector<int64_t>* out) const override;
+
+ private:
+  bool zone_maps_;
+  std::string name_;
 };
 
 /// \brief "BOS-H": hybrid search for write-heavy tenants. Each block is
@@ -108,18 +169,26 @@ class BosHybridOperator final : public PackingOperator {
   /// modeled_separated_cost > t * modeled_plain_cost, i.e. when BOS-M's
   /// modeled saving is below the fraction (1 - t). t = 0 always
   /// escalates (exact search everywhere); t = 1 never does (pure BOS-M).
-  explicit BosHybridOperator(double escalate_threshold = 0.95)
-      : escalate_threshold_(escalate_threshold) {}
+  explicit BosHybridOperator(double escalate_threshold = 0.95,
+                             bool zone_maps = false)
+      : escalate_threshold_(escalate_threshold),
+        zone_maps_(zone_maps),
+        name_(zone_maps ? "BOS-H.Z" : "BOS-H") {}
 
-  std::string_view name() const override { return "BOS-H"; }
+  std::string_view name() const override { return name_; }
   double escalate_threshold() const { return escalate_threshold_; }
 
   Status Encode(std::span<const int64_t> values, Bytes* out) const override;
   Status Decode(BytesView data, size_t* offset,
                 std::vector<int64_t>* out) const override;
+  Status DecodeSelected(BytesView data, size_t* offset,
+                        const select::SelectionView& sel,
+                        std::vector<int64_t>* out) const override;
 
  private:
   double escalate_threshold_;
+  bool zone_maps_;
+  std::string name_;
 };
 
 }  // namespace bos::core

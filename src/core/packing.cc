@@ -1,0 +1,32 @@
+#include "core/packing.h"
+
+#include "telemetry/telemetry.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace bos::core {
+
+Status PackingOperator::DecodeSelected(BytesView data, size_t* offset,
+                                       const select::SelectionView& sel,
+                                       std::vector<int64_t>* out) const {
+  // Fallback for operators without a random-access layout: decode the
+  // whole block and gather. Correct for every operator, and the oracle
+  // the specialized overrides are tested against.
+  std::vector<int64_t> scratch;
+  BOS_RETURN_NOT_OK(Decode(data, offset, &scratch));
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.fallback_decodes", 1);
+  BOS_TELEMETRY_COUNTER_ADD("bos.select.values_decoded", scratch.size());
+  Status status;
+  sel.ForEach([&](uint64_t rel) {
+    if (!status.ok()) return;
+    if (rel >= scratch.size()) {
+      status = Status::InvalidArgument(
+          "DecodeSelected: position past end of block");
+      return;
+    }
+    out->push_back(scratch[static_cast<size_t>(rel)]);
+  });
+  return status;
+}
+
+}  // namespace bos::core

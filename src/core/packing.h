@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "select/selection.h"
 #include "util/buffer.h"
 #include "util/status.h"
 
@@ -41,6 +42,23 @@ class PackingOperator {
   /// Decoded values are appended to `out`.
   virtual Status Decode(BytesView data, size_t* offset,
                         std::vector<int64_t>* out) const = 0;
+
+  /// Decodes only the block positions selected by `sel` (positions are
+  /// relative to the block, i.e. `sel` reports rel ∈ [0, n)), appending
+  /// them to `out` in ascending position order.
+  ///
+  /// Contract:
+  ///  * `*offset` is advanced past the whole block exactly as `Decode`
+  ///    would advance it — even when `sel` is empty, so the call doubles
+  ///    as a cheap block-skip primitive.
+  ///  * A selected position >= the block's value count is InvalidArgument.
+  ///  * The base implementation decodes the full block into stack scratch
+  ///    and gathers (counted by `bos.select.fallback_decodes`); operators
+  ///    with random-access layouts (plain packing, the BOS modes) override
+  ///    it to unpack only the requested rows.
+  virtual Status DecodeSelected(BytesView data, size_t* offset,
+                                const select::SelectionView& sel,
+                                std::vector<int64_t>* out) const;
 };
 
 }  // namespace bos::core

@@ -1,0 +1,573 @@
+#include "select/selection.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "bitpack/varint.h"
+#include "util/macros.h"
+#include "util/safe_math.h"
+
+namespace bos::select {
+
+namespace {
+
+constexpr size_t kBitmapWords = 1024;  // 65536 bits
+/// Keys are `pos >> 16`, so anything above 48 bits would overflow the
+/// position space when shifted back.
+constexpr uint64_t kMaxChunkKey = (1ULL << 48) - 1;
+
+uint32_t BitmapCardinality(const std::vector<uint64_t>& words) {
+  uint32_t count = 0;
+  for (uint64_t w : words) count += static_cast<uint32_t>(std::popcount(w));
+  return count;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Chunk lookup / maintenance
+// ---------------------------------------------------------------------
+
+SelectionVector::Chunk* SelectionVector::FindChunk(uint64_t key) {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint64_t k) { return c.key < k; });
+  return it != chunks_.end() && it->key == key ? &*it : nullptr;
+}
+
+const SelectionVector::Chunk* SelectionVector::FindChunk(uint64_t key) const {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint64_t k) { return c.key < k; });
+  return it != chunks_.end() && it->key == key ? &*it : nullptr;
+}
+
+SelectionVector::Chunk* SelectionVector::FindOrCreateChunk(uint64_t key) {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint64_t k) { return c.key < k; });
+  if (it == chunks_.end() || it->key != key) {
+    Chunk chunk;
+    chunk.key = key;
+    it = chunks_.insert(it, std::move(chunk));
+  }
+  return &*it;
+}
+
+void SelectionVector::DropEmptyChunk(uint64_t key) {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint64_t k) { return c.key < k; });
+  if (it != chunks_.end() && it->key == key && it->cardinality == 0) {
+    chunks_.erase(it);
+  }
+}
+
+void SelectionVector::ToBitmap(Chunk* chunk) {
+  if (chunk->type == ContainerType::kBitmap) return;
+  std::vector<uint64_t> words(kBitmapWords, 0);
+  if (chunk->type == ContainerType::kArray) {
+    for (uint16_t v : chunk->array) words[v >> 6] |= 1ULL << (v & 63);
+    chunk->array.clear();
+    chunk->array.shrink_to_fit();
+  } else {
+    for (const auto& [start, last] : chunk->runs) {
+      for (uint32_t v = start; v <= last; ++v) words[v >> 6] |= 1ULL << (v & 63);
+    }
+    chunk->runs.clear();
+    chunk->runs.shrink_to_fit();
+  }
+  chunk->bitmap = std::move(words);
+  chunk->type = ContainerType::kBitmap;
+}
+
+void SelectionVector::AddToChunk(Chunk* chunk, uint16_t low) {
+  switch (chunk->type) {
+    case ContainerType::kArray: {
+      auto it = std::lower_bound(chunk->array.begin(), chunk->array.end(), low);
+      if (it != chunk->array.end() && *it == low) return;
+      chunk->array.insert(it, low);
+      ++chunk->cardinality;
+      if (chunk->cardinality > kArrayToBitmapThreshold) ToBitmap(chunk);
+      return;
+    }
+    case ContainerType::kBitmap: {
+      uint64_t& word = chunk->bitmap[low >> 6];
+      const uint64_t bit = 1ULL << (low & 63);
+      if ((word & bit) == 0) {
+        word |= bit;
+        ++chunk->cardinality;
+      }
+      return;
+    }
+    case ContainerType::kRun:
+      // Point inserts into run form fall back to the bitmap (runs are a
+      // read-optimized final form; RunOptimize() restores them).
+      ToBitmap(chunk);
+      AddToChunk(chunk, low);
+      return;
+  }
+}
+
+void SelectionVector::AddRangeToChunk(Chunk* chunk, uint32_t lo, uint32_t hi) {
+  if (lo >= hi) return;
+  if (chunk->cardinality == 0) {
+    chunk->type = ContainerType::kRun;
+    chunk->array.clear();
+    chunk->bitmap.clear();
+    chunk->runs.assign(1, {static_cast<uint16_t>(lo),
+                           static_cast<uint16_t>(hi - 1)});
+    chunk->cardinality = hi - lo;
+    return;
+  }
+  ToBitmap(chunk);
+  for (uint32_t v = lo; v < hi;) {
+    const uint32_t word = v >> 6;
+    const uint32_t bit = v & 63;
+    const uint32_t span = std::min<uint32_t>(64 - bit, hi - v);
+    const uint64_t mask =
+        (span == 64 ? ~0ULL : ((1ULL << span) - 1)) << bit;
+    chunk->bitmap[word] |= mask;
+    v += span;
+  }
+  chunk->cardinality = BitmapCardinality(chunk->bitmap);
+}
+
+bool SelectionVector::ChunkContains(const Chunk& chunk, uint16_t low) {
+  switch (chunk.type) {
+    case ContainerType::kArray:
+      return std::binary_search(chunk.array.begin(), chunk.array.end(), low);
+    case ContainerType::kBitmap:
+      return (chunk.bitmap[low >> 6] >> (low & 63)) & 1;
+    case ContainerType::kRun: {
+      auto it = std::upper_bound(
+          chunk.runs.begin(), chunk.runs.end(), low,
+          [](uint16_t v, const std::pair<uint16_t, uint16_t>& run) {
+            return v < run.first;
+          });
+      return it != chunk.runs.begin() && low <= std::prev(it)->second;
+    }
+  }
+  return false;
+}
+
+uint32_t SelectionVector::ChunkRank(const Chunk& chunk, uint32_t low) {
+  // Entries strictly below `low` (low in [0, 65536]).
+  switch (chunk.type) {
+    case ContainerType::kArray:
+      return static_cast<uint32_t>(
+          std::lower_bound(chunk.array.begin(), chunk.array.end(), low) -
+          chunk.array.begin());
+    case ContainerType::kBitmap: {
+      uint32_t count = 0;
+      const uint32_t full_words = low >> 6;
+      for (uint32_t w = 0; w < full_words; ++w) {
+        count += static_cast<uint32_t>(std::popcount(chunk.bitmap[w]));
+      }
+      const uint32_t tail_bits = low & 63;
+      if (tail_bits != 0 && full_words < kBitmapWords) {
+        count += static_cast<uint32_t>(std::popcount(
+            chunk.bitmap[full_words] & ((1ULL << tail_bits) - 1)));
+      }
+      return count;
+    }
+    case ContainerType::kRun: {
+      uint32_t count = 0;
+      for (const auto& [start, last] : chunk.runs) {
+        if (start >= low) break;
+        count += std::min<uint32_t>(last, low - 1) - start + 1;
+      }
+      return count;
+    }
+  }
+  return 0;
+}
+
+uint16_t SelectionVector::ChunkSelect(const Chunk& chunk, uint32_t k) {
+  // Preconditions: k < chunk.cardinality.
+  switch (chunk.type) {
+    case ContainerType::kArray:
+      return chunk.array[k];
+    case ContainerType::kBitmap: {
+      for (uint32_t w = 0; w < kBitmapWords; ++w) {
+        const uint32_t pop =
+            static_cast<uint32_t>(std::popcount(chunk.bitmap[w]));
+        if (k < pop) {
+          uint64_t word = chunk.bitmap[w];
+          for (uint32_t i = 0; i < k; ++i) word &= word - 1;
+          return static_cast<uint16_t>(
+              (w << 6) + static_cast<uint32_t>(std::countr_zero(word)));
+        }
+        k -= pop;
+      }
+      return 0;  // unreachable when preconditions hold
+    }
+    case ContainerType::kRun: {
+      for (const auto& [start, last] : chunk.runs) {
+        const uint32_t len = static_cast<uint32_t>(last) - start + 1;
+        if (k < len) return static_cast<uint16_t>(start + k);
+        k -= len;
+      }
+      return 0;  // unreachable when preconditions hold
+    }
+  }
+  return 0;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> SelectionVector::MaterializeRuns(
+    const Chunk& chunk, uint64_t lo, uint64_t hi) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (lo >= hi) return out;
+  const auto emit = [&out](uint32_t start, uint32_t len) {
+    if (len == 0) return;
+    if (!out.empty() && out.back().first + out.back().second == start) {
+      out.back().second += len;
+    } else {
+      out.emplace_back(start, len);
+    }
+  };
+  switch (chunk.type) {
+    case ContainerType::kArray: {
+      auto it = std::lower_bound(chunk.array.begin(), chunk.array.end(),
+                                 static_cast<uint16_t>(lo));
+      for (; it != chunk.array.end() && *it < hi; ++it) emit(*it, 1);
+      break;
+    }
+    case ContainerType::kBitmap: {
+      const uint32_t first_word = static_cast<uint32_t>(lo >> 6);
+      const uint32_t last_word = static_cast<uint32_t>((hi - 1) >> 6);
+      for (uint32_t w = first_word; w <= last_word && w < kBitmapWords; ++w) {
+        uint64_t word = chunk.bitmap[w];
+        if (w == first_word && (lo & 63) != 0) {
+          word &= ~0ULL << (lo & 63);
+        }
+        if (w == last_word && (hi & 63) != 0) {
+          word &= (1ULL << (hi & 63)) - 1;
+        }
+        while (word != 0) {
+          const uint32_t bit = static_cast<uint32_t>(std::countr_zero(word));
+          // Length of the run of consecutive ones starting at `bit`.
+          const uint64_t shifted = word >> bit;
+          const uint32_t len =
+              static_cast<uint32_t>(std::countr_one(shifted));
+          emit((w << 6) + bit, len);
+          if (bit + len >= 64) break;
+          word &= ~0ULL << (bit + len);
+        }
+      }
+      break;
+    }
+    case ContainerType::kRun: {
+      for (const auto& [start, last] : chunk.runs) {
+        if (last < lo) continue;
+        if (start >= hi) break;
+        const uint32_t s = std::max<uint32_t>(start, static_cast<uint32_t>(lo));
+        const uint32_t e =
+            std::min<uint32_t>(last, static_cast<uint32_t>(hi - 1));
+        emit(s, e - s + 1);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Public mutators / queries
+// ---------------------------------------------------------------------
+
+void SelectionVector::Add(uint64_t pos) {
+  Chunk* chunk = FindOrCreateChunk(pos >> 16);
+  const uint32_t before = chunk->cardinality;
+  AddToChunk(chunk, static_cast<uint16_t>(pos & 0xFFFF));
+  cardinality_ += chunk->cardinality - before;
+}
+
+void SelectionVector::AddRange(uint64_t begin, uint64_t end) {
+  while (begin < end) {
+    const uint64_t key = begin >> 16;
+    const uint64_t chunk_end = (key + 1) << 16;
+    const uint64_t hi = end < chunk_end ? end : chunk_end;
+    Chunk* chunk = FindOrCreateChunk(key);
+    const uint32_t before = chunk->cardinality;
+    AddRangeToChunk(chunk, static_cast<uint32_t>(begin & 0xFFFF),
+                    static_cast<uint32_t>(((hi - 1) & 0xFFFF) + 1));
+    cardinality_ += chunk->cardinality - before;
+    begin = hi;
+  }
+}
+
+bool SelectionVector::Contains(uint64_t pos) const {
+  const Chunk* chunk = FindChunk(pos >> 16);
+  return chunk != nullptr &&
+         ChunkContains(*chunk, static_cast<uint16_t>(pos & 0xFFFF));
+}
+
+uint64_t SelectionVector::Rank(uint64_t pos) const {
+  const uint64_t key = pos >> 16;
+  uint64_t rank = 0;
+  for (const Chunk& chunk : chunks_) {
+    if (chunk.key < key) {
+      rank += chunk.cardinality;
+    } else if (chunk.key == key) {
+      rank += ChunkRank(chunk, static_cast<uint32_t>(pos & 0xFFFF));
+      break;
+    } else {
+      break;
+    }
+  }
+  return rank;
+}
+
+bool SelectionVector::Select(uint64_t k, uint64_t* pos) const {
+  if (k >= cardinality_) return false;
+  for (const Chunk& chunk : chunks_) {
+    if (k < chunk.cardinality) {
+      *pos = (chunk.key << 16) |
+             ChunkSelect(chunk, static_cast<uint32_t>(k));
+      return true;
+    }
+    k -= chunk.cardinality;
+  }
+  return false;  // unreachable: cardinality_ matches the chunk sum
+}
+
+void SelectionVector::IntersectWith(const SelectionVector& other) {
+  std::vector<Chunk> kept;
+  uint64_t cardinality = 0;
+  for (Chunk& chunk : chunks_) {
+    const Chunk* theirs = other.FindChunk(chunk.key);
+    if (theirs == nullptr) continue;
+    Chunk merged;
+    merged.key = chunk.key;
+    for (const auto& [start, len] : MaterializeRuns(chunk, 0, kChunkSpan)) {
+      for (uint32_t i = 0; i < len; ++i) {
+        const uint16_t low = static_cast<uint16_t>(start + i);
+        if (ChunkContains(*theirs, low)) merged.array.push_back(low);
+      }
+    }
+    merged.cardinality = static_cast<uint32_t>(merged.array.size());
+    if (merged.cardinality == 0) continue;
+    if (merged.cardinality > kArrayToBitmapThreshold) ToBitmap(&merged);
+    cardinality += merged.cardinality;
+    kept.push_back(std::move(merged));
+  }
+  chunks_ = std::move(kept);
+  cardinality_ = cardinality;
+}
+
+void SelectionVector::RunOptimize() {
+  for (Chunk& chunk : chunks_) {
+    const auto runs = MaterializeRuns(chunk, 0, kChunkSpan);
+    const size_t run_bytes = runs.size() * 4;
+    const size_t current_bytes = chunk.type == ContainerType::kArray
+                                     ? chunk.array.size() * 2
+                                 : chunk.type == ContainerType::kBitmap
+                                     ? kBitmapWords * 8
+                                     : chunk.runs.size() * 4;
+    if (run_bytes >= current_bytes) continue;
+    chunk.runs.clear();
+    chunk.runs.reserve(runs.size());
+    for (const auto& [start, len] : runs) {
+      chunk.runs.emplace_back(static_cast<uint16_t>(start),
+                              static_cast<uint16_t>(start + len - 1));
+    }
+    chunk.array.clear();
+    chunk.array.shrink_to_fit();
+    chunk.bitmap.clear();
+    chunk.bitmap.shrink_to_fit();
+    chunk.type = ContainerType::kRun;
+  }
+}
+
+std::vector<uint64_t> SelectionVector::ToVector() const {
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(cardinality_));
+  ForEach([&out](uint64_t pos) { out.push_back(pos); });
+  return out;
+}
+
+bool SelectionVector::SetEquals(const SelectionVector& other) const {
+  if (cardinality_ != other.cardinality_) return false;
+  return ToVector() == other.ToVector();
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+namespace {
+
+void PutU16(Bytes* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xFF));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU64(Bytes* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t GetU16(BytesView data, size_t offset) {
+  return static_cast<uint16_t>(data[offset] |
+                               static_cast<uint16_t>(data[offset + 1]) << 8);
+}
+
+uint64_t GetU64(BytesView data, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data[offset + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void SelectionVector::Serialize(Bytes* out) const {
+  bitpack::PutVarint(out, chunks_.size());
+  for (const Chunk& chunk : chunks_) {
+    bitpack::PutVarint(out, chunk.key);
+    out->push_back(static_cast<uint8_t>(chunk.type));
+    switch (chunk.type) {
+      case ContainerType::kArray:
+        bitpack::PutVarint(out, chunk.array.size());
+        for (uint16_t v : chunk.array) PutU16(out, v);
+        break;
+      case ContainerType::kBitmap:
+        for (uint64_t w : chunk.bitmap) PutU64(out, w);
+        break;
+      case ContainerType::kRun:
+        bitpack::PutVarint(out, chunk.runs.size());
+        for (const auto& [start, last] : chunk.runs) {
+          PutU16(out, start);
+          PutU16(out, last);
+        }
+        break;
+    }
+  }
+}
+
+Status SelectionVector::ValidateChunk(const Chunk& chunk) {
+  switch (chunk.type) {
+    case ContainerType::kArray:
+      for (size_t i = 1; i < chunk.array.size(); ++i) {
+        if (chunk.array[i] <= chunk.array[i - 1]) {
+          return Status::Corruption("selection: array not strictly ascending");
+        }
+      }
+      return Status::OK();
+    case ContainerType::kBitmap:
+      return Status::OK();
+    case ContainerType::kRun:
+      for (size_t i = 0; i < chunk.runs.size(); ++i) {
+        if (chunk.runs[i].first > chunk.runs[i].second) {
+          return Status::Corruption("selection: inverted run");
+        }
+        // Adjacent runs must have been coalesced, so require a gap.
+        if (i > 0 && chunk.runs[i].first <=
+                         static_cast<uint32_t>(chunk.runs[i - 1].second) + 1) {
+          return Status::Corruption("selection: overlapping runs");
+        }
+      }
+      return Status::OK();
+  }
+  return Status::Corruption("selection: unknown container type");
+}
+
+Result<SelectionVector> SelectionVector::Deserialize(BytesView data) {
+  SelectionVector vec;
+  size_t offset = 0;
+  uint64_t num_chunks;
+  BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &num_chunks));
+  // Each chunk costs at least 3 bytes (key, type, count), so a huge
+  // declared count on a short buffer is rejected before any allocation.
+  if (num_chunks > data.size() / 3 + 1) {
+    return Status::Corruption("selection: chunk count too large");
+  }
+  vec.chunks_.reserve(static_cast<size_t>(num_chunks));
+  uint64_t prev_key = 0;
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    Chunk chunk;
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &chunk.key));
+    if (chunk.key > kMaxChunkKey) {
+      return Status::Corruption("selection: chunk key out of range");
+    }
+    if (c > 0 && chunk.key <= prev_key) {
+      return Status::Corruption("selection: chunk keys not ascending");
+    }
+    prev_key = chunk.key;
+    if (offset >= data.size()) {
+      return Status::Corruption("selection: truncated container type");
+    }
+    const uint8_t type = data[offset++];
+    if (type > static_cast<uint8_t>(ContainerType::kRun)) {
+      return Status::Corruption("selection: unknown container type");
+    }
+    chunk.type = static_cast<ContainerType>(type);
+    switch (chunk.type) {
+      case ContainerType::kArray: {
+        uint64_t count;
+        BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &count));
+        if (count > kChunkSpan) {
+          return Status::Corruption("selection: array count too large");
+        }
+        uint64_t bytes;
+        if (!CheckedMul(count, uint64_t{2}, &bytes) ||
+            !SliceFits(data.size(), offset, bytes)) {
+          return Status::Corruption("selection: array truncated");
+        }
+        chunk.array.reserve(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i) {
+          chunk.array.push_back(GetU16(data, offset));
+          offset += 2;
+        }
+        chunk.cardinality = static_cast<uint32_t>(count);
+        break;
+      }
+      case ContainerType::kBitmap: {
+        if (!SliceFits(data.size(), offset, kBitmapWords * 8)) {
+          return Status::Corruption("selection: bitmap truncated");
+        }
+        chunk.bitmap.reserve(kBitmapWords);
+        for (size_t w = 0; w < kBitmapWords; ++w) {
+          chunk.bitmap.push_back(GetU64(data, offset));
+          offset += 8;
+        }
+        chunk.cardinality = BitmapCardinality(chunk.bitmap);
+        break;
+      }
+      case ContainerType::kRun: {
+        uint64_t count;
+        BOS_RETURN_NOT_OK(bitpack::GetVarint(data, &offset, &count));
+        if (count > kChunkSpan / 2) {
+          return Status::Corruption("selection: run count too large");
+        }
+        uint64_t bytes;
+        if (!CheckedMul(count, uint64_t{4}, &bytes) ||
+            !SliceFits(data.size(), offset, bytes)) {
+          return Status::Corruption("selection: runs truncated");
+        }
+        chunk.runs.reserve(static_cast<size_t>(count));
+        uint32_t cardinality = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+          const uint16_t start = GetU16(data, offset);
+          const uint16_t last = GetU16(data, offset + 2);
+          offset += 4;
+          chunk.runs.emplace_back(start, last);
+          cardinality += last >= start ? last - start + 1 : 0;
+        }
+        chunk.cardinality = cardinality;
+        break;
+      }
+    }
+    BOS_RETURN_NOT_OK(ValidateChunk(chunk));
+    if (chunk.cardinality == 0) {
+      return Status::Corruption("selection: empty container");
+    }
+    vec.cardinality_ += chunk.cardinality;
+    vec.chunks_.push_back(std::move(chunk));
+  }
+  if (offset != data.size()) {
+    return Status::Corruption("selection: trailing bytes");
+  }
+  return vec;
+}
+
+}  // namespace bos::select

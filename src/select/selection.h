@@ -1,0 +1,258 @@
+#ifndef BOS_SELECT_SELECTION_H_
+#define BOS_SELECT_SELECTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::select {
+
+/// \brief A sorted set of row positions, stored Roaring-style: the
+/// position space is partitioned into 65536-wide chunks keyed by
+/// `pos >> 16`, and each chunk holds its low 16 bits in whichever
+/// container is smallest — a sorted array (sparse), a 1024-word bitmap
+/// (dense), or a list of inclusive runs (clustered). This is the
+/// selection-vector representation the selective decode path
+/// (`PackingOperator::DecodeSelected`) and the storage point-lookup
+/// queries consume.
+///
+/// The container switch mirrors the Roaring papers: arrays convert to
+/// bitmaps past 4096 entries, and `RunOptimize()` converts either form
+/// to runs when that is strictly smaller. All mutators keep the chunk
+/// list sorted and cardinality counts exact, so `Rank`/`Select` are a
+/// chunk scan plus one in-container step.
+///
+/// Thread safety: const methods are safe to call concurrently; mutation
+/// requires external synchronization (same contract as std::vector).
+class SelectionVector {
+ public:
+  /// Positions per chunk (the low-16-bit space of one container).
+  static constexpr uint64_t kChunkSpan = 1ULL << 16;
+  /// Array containers convert to bitmaps past this cardinality, the
+  /// point where 2-byte entries outgrow the fixed 8 KiB bitmap.
+  static constexpr uint32_t kArrayToBitmapThreshold = 4096;
+
+  /// Inserts one position (idempotent; any order).
+  void Add(uint64_t pos);
+
+  /// Inserts every position in the half-open range [begin, end).
+  void AddRange(uint64_t begin, uint64_t end);
+
+  bool Contains(uint64_t pos) const;
+
+  uint64_t cardinality() const { return cardinality_; }
+  bool empty() const { return cardinality_ == 0; }
+
+  /// Number of selected positions strictly below `pos`.
+  uint64_t Rank(uint64_t pos) const;
+
+  /// The k-th (0-based) smallest selected position. Returns false when
+  /// `k >= cardinality()`.
+  bool Select(uint64_t k, uint64_t* pos) const;
+
+  /// Keeps only positions present in both vectors.
+  void IntersectWith(const SelectionVector& other);
+
+  /// Converts containers to run form wherever that is strictly smaller.
+  void RunOptimize();
+
+  /// All positions, ascending.
+  std::vector<uint64_t> ToVector() const;
+
+  /// Set equality (independent of container representation).
+  bool SetEquals(const SelectionVector& other) const;
+
+  /// Appends the portable serialized form to `out`:
+  ///   varint chunk count, then per chunk (ascending keys):
+  ///   varint key | type byte | container payload
+  ///   (array: varint count + count little-endian uint16;
+  ///    bitmap: 1024 little-endian uint64 words;
+  ///    runs:   varint count + count (start,last) little-endian uint16
+  ///    pairs, start <= last, ascending and non-overlapping).
+  void Serialize(Bytes* out) const;
+
+  /// Parses a buffer produced by Serialize. Every length and bound is
+  /// checked (DESIGN.md section 8 idioms): hostile bytes get a
+  /// Corruption status, never a crash or an over-allocation.
+  static Result<SelectionVector> Deserialize(BytesView data);
+
+  /// Calls `fn(uint64_t pos)` for each selected position, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachRun([&fn](uint64_t start, uint64_t len) {
+      for (uint64_t i = 0; i < len; ++i) fn(start + i);
+    });
+  }
+
+  /// Calls `fn(uint64_t start, uint64_t len)` for each maximal run of
+  /// consecutive selected positions, ascending.
+  template <typename Fn>
+  void ForEachRun(Fn&& fn) const {
+    uint64_t run_start = 0, run_len = 0;
+    for (const Chunk& chunk : chunks_) {
+      const uint64_t base = chunk.key << 16;
+      WalkContainerRuns(chunk, 0, kChunkSpan, [&](uint64_t s, uint64_t l) {
+        const uint64_t abs = base + s;
+        if (run_len > 0 && run_start + run_len == abs) {
+          run_len += l;
+        } else {
+          if (run_len > 0) fn(run_start, run_len);
+          run_start = abs;
+          run_len = l;
+        }
+      });
+    }
+    if (run_len > 0) fn(run_start, run_len);
+  }
+
+  /// ForEachRun clipped to [begin, end); runs are truncated at the
+  /// window edges. `SelectionView` is the ergonomic wrapper over this.
+  template <typename Fn>
+  void ForEachRunInRange(uint64_t begin, uint64_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    uint64_t run_start = 0, run_len = 0;
+    for (const Chunk& chunk : chunks_) {
+      const uint64_t base = chunk.key << 16;
+      if (base >= end) break;
+      if (base + kChunkSpan <= begin) continue;
+      const uint64_t lo = begin > base ? begin - base : 0;
+      const uint64_t hi = end - base < kChunkSpan ? end - base : kChunkSpan;
+      WalkContainerRuns(chunk, lo, hi, [&](uint64_t s, uint64_t l) {
+        const uint64_t abs = base + s;
+        if (run_len > 0 && run_start + run_len == abs) {
+          run_len += l;
+        } else {
+          if (run_len > 0) fn(run_start, run_len);
+          run_start = abs;
+          run_len = l;
+        }
+      });
+    }
+    if (run_len > 0) fn(run_start, run_len);
+  }
+
+ private:
+  enum class ContainerType : uint8_t { kArray = 0, kBitmap = 1, kRun = 2 };
+
+  struct Chunk {
+    uint64_t key = 0;  ///< pos >> 16
+    ContainerType type = ContainerType::kArray;
+    uint32_t cardinality = 0;
+    std::vector<uint16_t> array;   ///< kArray: sorted unique low-16 values
+    std::vector<uint64_t> bitmap;  ///< kBitmap: 1024 words
+    /// kRun: sorted, non-overlapping, non-adjacent inclusive [start,last].
+    std::vector<std::pair<uint16_t, uint16_t>> runs;
+  };
+
+  Chunk* FindChunk(uint64_t key);
+  const Chunk* FindChunk(uint64_t key) const;
+  Chunk* FindOrCreateChunk(uint64_t key);
+  void DropEmptyChunk(uint64_t key);
+
+  static void AddToChunk(Chunk* chunk, uint16_t low);
+  static void AddRangeToChunk(Chunk* chunk, uint32_t lo, uint32_t hi);
+  static bool ChunkContains(const Chunk& chunk, uint16_t low);
+  static uint32_t ChunkRank(const Chunk& chunk, uint32_t low);
+  static uint16_t ChunkSelect(const Chunk& chunk, uint32_t k);
+  static void ToBitmap(Chunk* chunk);
+  static Status ValidateChunk(const Chunk& chunk);
+
+  /// Calls `fn(start, len)` for each maximal run of the chunk clipped to
+  /// low-16 window [lo, hi). Implemented in the .cc via an out-of-line
+  /// run materializer to keep this header light.
+  template <typename Fn>
+  static void WalkContainerRuns(const Chunk& chunk, uint64_t lo, uint64_t hi,
+                                Fn&& fn) {
+    // Runs per chunk are bounded (<= 32768), so materializing them is
+    // cheap relative to the per-position work every caller does.
+    for (const auto& [start, len] : MaterializeRuns(chunk, lo, hi)) {
+      fn(start, len);
+    }
+  }
+
+  static std::vector<std::pair<uint32_t, uint32_t>> MaterializeRuns(
+      const Chunk& chunk, uint64_t lo, uint64_t hi);
+
+  std::vector<Chunk> chunks_;  ///< sorted by key
+  uint64_t cardinality_ = 0;
+};
+
+/// \brief A borrowed window [base, base+size) of a SelectionVector, with
+/// positions reported relative to `base`. This is what block decoders
+/// consume: the storage layer windows one global selection per page, and
+/// the series codecs re-window per block via `SubView` — no per-block
+/// copies of the selection are ever made.
+class SelectionView {
+ public:
+  /// An empty view (matches nothing).
+  SelectionView() = default;
+
+  /// Window of `vec` covering absolute positions [base, base+size).
+  /// `vec` must outlive the view.
+  SelectionView(const SelectionVector& vec, uint64_t base, uint64_t size)
+      : vec_(&vec), base_(base), size_(ClampSize(base, size)) {
+    count_ = vec.Rank(base_ + size_) - vec.Rank(base_);
+  }
+
+  uint64_t base() const { return base_; }
+  /// Window length (positions it spans, not positions selected).
+  uint64_t size() const { return size_; }
+  /// Selected positions inside the window.
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// A sub-window at [offset, offset+len) relative to this view.
+  SelectionView SubView(uint64_t offset, uint64_t len) const {
+    if (vec_ == nullptr || offset >= size_) return SelectionView();
+    const uint64_t avail = size_ - offset;
+    return SelectionView(*vec_, base_ + offset, len < avail ? len : avail);
+  }
+
+  /// Calls `fn(uint64_t rel)` for each selected position, ascending,
+  /// relative to base().
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachRun([&fn](uint64_t start, uint64_t len) {
+      for (uint64_t i = 0; i < len; ++i) fn(start + i);
+    });
+  }
+
+  /// Calls `fn(uint64_t rel_start, uint64_t len)` per maximal run,
+  /// ascending, relative to base().
+  template <typename Fn>
+  void ForEachRun(Fn&& fn) const {
+    if (vec_ == nullptr || count_ == 0) return;
+    const uint64_t base = base_;
+    vec_->ForEachRunInRange(base_, base_ + size_,
+                            [&fn, base](uint64_t start, uint64_t len) {
+                              fn(start - base, len);
+                            });
+  }
+
+  /// Relative positions inside the window, ascending.
+  std::vector<uint64_t> ToVector() const {
+    std::vector<uint64_t> out;
+    out.reserve(static_cast<size_t>(count_));
+    ForEach([&out](uint64_t rel) { out.push_back(rel); });
+    return out;
+  }
+
+ private:
+  static uint64_t ClampSize(uint64_t base, uint64_t size) {
+    const uint64_t avail = ~base;  // UINT64_MAX - base
+    return size < avail ? size : avail;
+  }
+
+  const SelectionVector* vec_ = nullptr;
+  uint64_t base_ = 0;
+  uint64_t size_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace bos::select
+
+#endif  // BOS_SELECT_SELECTION_H_

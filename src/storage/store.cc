@@ -251,20 +251,59 @@ Status TsStore::Query(const std::string& series, int64_t t_min, int64_t t_max,
   return Status::OK();
 }
 
+Status TsStore::QuerySelected(const std::string& series,
+                              const select::SelectionVector& sel,
+                              std::vector<codecs::DataPoint>* out) {
+  BOS_TRACE_SPAN("bos.storage.query_selected");
+  BOS_TRACE_ANNOTATE("series", series);
+  uint64_t base = 0;     // store-order position of the next source's start
+  uint64_t covered = 0;  // selected positions that fell inside some source
+  for (const std::string& path : files_) {
+    BOS_ASSIGN_OR_RETURN(TsFileReader* reader, ReaderFor(path));
+    const auto found = reader->FindSeries(series);
+    if (!found.ok()) continue;  // not in this file
+    const uint64_t n = (*found)->num_values;
+    // Rebase the store-order window onto this file's series index space.
+    select::SelectionVector local;
+    sel.ForEachRunInRange(base, base + n, [&](uint64_t start, uint64_t len) {
+      local.AddRange(start - base, start - base + len);
+    });
+    if (!local.empty()) {
+      covered += local.cardinality();
+      BOS_RETURN_NOT_OK(reader->ReadSelectedPoints(series, local, out));
+    }
+    base += n;
+  }
+  const auto it = memtable_.find(series);
+  if (it != memtable_.end()) {
+    const std::vector<codecs::DataPoint>& tail = it->second;
+    sel.ForEachRunInRange(base, base + tail.size(),
+                          [&](uint64_t start, uint64_t len) {
+                            for (uint64_t i = 0; i < len; ++i) {
+                              out->push_back(
+                                  tail[static_cast<size_t>(start - base + i)]);
+                            }
+                            covered += len;
+                          });
+  }
+  if (covered != sel.cardinality()) {
+    return Status::InvalidArgument("selection position past end of series: " +
+                                   series);
+  }
+  return Status::OK();
+}
+
 Result<AggregateResult> TsStore::Aggregate(const std::string& series) {
+  // The defaults are the documented count==0 sentinel (min=INT64_MAX,
+  // max=INT64_MIN, sum=0) — the identity elements, so folding needs no
+  // first-part special case and an empty series returns the same result
+  // as TsFileReader's aggregate paths.
   AggregateResult agg;
-  bool first = true;
   auto fold = [&](const AggregateResult& part) {
     if (part.count == 0) return;
     agg.count += part.count;
-    if (first) {
-      agg.min = part.min;
-      agg.max = part.max;
-      first = false;
-    } else {
-      agg.min = std::min(agg.min, part.min);
-      agg.max = std::max(agg.max, part.max);
-    }
+    agg.min = std::min(agg.min, part.min);
+    agg.max = std::max(agg.max, part.max);
     agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
                                    static_cast<uint64_t>(part.sum));
   };
@@ -280,7 +319,6 @@ Result<AggregateResult> TsStore::Aggregate(const std::string& series) {
   if (it != memtable_.end() && !it->second.empty()) {
     AggregateResult part;
     part.count = it->second.size();
-    part.min = part.max = it->second.front().value;
     for (const codecs::DataPoint& p : it->second) {
       part.min = std::min(part.min, p.value);
       part.max = std::max(part.max, p.value);

@@ -8,6 +8,7 @@
 
 #include "codecs/timeseries.h"
 #include "exec/thread_pool.h"
+#include "select/selection.h"
 #include "storage/tsfile.h"
 #include "storage/wal.h"
 #include "util/result.h"
@@ -88,6 +89,17 @@ class TsStore {
   /// the memtable and all files, sorted by timestamp.
   Status Query(const std::string& series, int64_t t_min, int64_t t_max,
                std::vector<codecs::DataPoint>* out);
+
+  /// Point lookup: the points of `series` at the positions in `sel`,
+  /// where position indexes the series' points in store order — on-disk
+  /// files oldest first (each file in its stored time order), then the
+  /// memtable tail in insertion order. The selective decode path
+  /// (`TsFileReader::ReadSelectedPoints`) skips pages and blocks with
+  /// no selected position. A position at or past the series' total
+  /// point count is InvalidArgument.
+  Status QuerySelected(const std::string& series,
+                       const select::SelectionVector& sel,
+                       std::vector<codecs::DataPoint>* out);
 
   /// count/min/max/sum over the series' *values*: pushdown over on-disk
   /// page statistics plus a scan of the memtable tail.

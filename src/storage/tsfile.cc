@@ -357,6 +357,72 @@ struct TsFileReader::Impl {
     return Status::OK();
   }
 
+  // Fetches one page and filters it to values in [v_min, v_max],
+  // decoding only what the codec's block zone maps cannot prune.
+  // `values_scanned` counts decoded values, not page.count.
+  Status ReadPageFiltered(const SeriesInfo& info, const PageInfo& page,
+                          const codecs::SeriesCodec& codec, int64_t v_min,
+                          int64_t v_max,
+                          std::vector<std::pair<uint64_t, int64_t>>* out,
+                          ScanStats* stats) {
+    Bytes raw;
+    BytesView payload;
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    const auto decode_start = std::chrono::steady_clock::now();
+    uint64_t decoded = 0;
+    BOS_RETURN_NOT_OK(codec.DecompressFilter(payload, v_min, v_max,
+                                             page.first_index, out, &decoded));
+    if (stats != nullptr) {
+      stats->decode_seconds += SecondsSince(decode_start);
+      stats->values_scanned += decoded;
+    }
+    return Status::OK();
+  }
+
+  // Fetches one page and decodes only the positions in `window` (a view
+  // of the query's selection based at the page's first index).
+  Status ReadPageSelected(const SeriesInfo& info, const PageInfo& page,
+                          const codecs::SeriesCodec& codec,
+                          const select::SelectionView& window,
+                          std::vector<int64_t>* out, ScanStats* stats) {
+    Bytes raw;
+    BytesView payload;
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    const auto decode_start = std::chrono::steady_clock::now();
+    const size_t before = out->size();
+    BOS_RETURN_NOT_OK(codec.DecompressSelected(payload, window, out));
+    if (out->size() - before != window.count()) {
+      return Status::Corruption("page selected count mismatch");
+    }
+    if (stats != nullptr) {
+      stats->decode_seconds += SecondsSince(decode_start);
+      stats->values_scanned += window.count();
+    }
+    return Status::OK();
+  }
+
+  // ReadPageSelected for a timed page.
+  Status ReadTimedPageSelected(const SeriesInfo& info, const PageInfo& page,
+                               const codecs::TimeSeriesCodec& codec,
+                               const select::SelectionView& window,
+                               std::vector<codecs::DataPoint>* out,
+                               ScanStats* stats) {
+    Bytes raw;
+    BytesView payload;
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    const auto decode_start = std::chrono::steady_clock::now();
+    const size_t before = out->size();
+    BOS_RETURN_NOT_OK(codec.DecompressSelected(payload, window, out));
+    if (out->size() - before != window.count()) {
+      return Status::Corruption("page selected count mismatch");
+    }
+    if (stats != nullptr) {
+      stats->decode_seconds += SecondsSince(decode_start);
+      stats->values_scanned += window.count();
+    }
+    return Status::OK();
+  }
+
   // Fetches and decodes one timed page, appending to `out`.
   Status ReadTimedPage(const SeriesInfo& info, const PageInfo& page,
                        const codecs::TimeSeriesCodec& codec,
@@ -503,24 +569,119 @@ Status TsFileReader::ReadRange(const std::string& name, uint64_t first,
 Status TsFileReader::ReadValueRange(
     const std::string& name, int64_t v_min, int64_t v_max,
     std::vector<std::pair<uint64_t, int64_t>>* out, ScanStats* stats) {
+  if (v_min > v_max) {
+    return Status::InvalidArgument("empty value predicate: v_min > v_max");
+  }
   BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
   if (info->timed) {
     return Status::InvalidArgument("series is timed; use ReadTimeRange: " +
                                    name);
   }
   BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
-  std::vector<int64_t> page_values;
   for (const PageInfo& page : info->pages) {
     if (page.count == 0 || page.max_value < v_min || page.min_value > v_max) {
       continue;  // pruned by value statistics
     }
-    page_values.clear();
-    BOS_RETURN_NOT_OK(impl_->ReadPage(*info, page, *codec, &page_values, stats));
-    for (uint64_t i = 0; i < page.count; ++i) {
-      if (page_values[i] >= v_min && page_values[i] <= v_max) {
-        out->emplace_back(page.first_index + i, page_values[i]);
-      }
+    BOS_RETURN_NOT_OK(
+        impl_->ReadPageFiltered(*info, page, *codec, v_min, v_max, out, stats));
+  }
+  return Status::OK();
+}
+
+Result<AggregateResult> TsFileReader::AggregateValueRange(
+    const std::string& name, int64_t v_min, int64_t v_max, ScanStats* stats) {
+  if (v_min > v_max) {
+    return Status::InvalidArgument("empty value predicate: v_min > v_max");
+  }
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  if (info->timed) {
+    return Status::InvalidArgument("series is timed: " + name);
+  }
+  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  AggregateResult agg;
+  std::vector<std::pair<uint64_t, int64_t>> matches;
+  for (const PageInfo& page : info->pages) {
+    if (page.count == 0 || page.max_value < v_min || page.min_value > v_max) {
+      continue;  // pruned by value statistics
     }
+    if (v_min <= page.min_value && page.max_value <= v_max) {
+      // Every value in the page matches: answer from the footer
+      // statistics without reading the page.
+      agg.count += page.count;
+      agg.min = std::min(agg.min, page.min_value);
+      agg.max = std::max(agg.max, page.max_value);
+      agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
+                                     static_cast<uint64_t>(page.sum_value));
+      continue;
+    }
+    matches.clear();
+    BOS_RETURN_NOT_OK(impl_->ReadPageFiltered(*info, page, *codec, v_min,
+                                              v_max, &matches, stats));
+    for (const auto& [index, v] : matches) {
+      (void)index;
+      ++agg.count;
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+      agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
+                                     static_cast<uint64_t>(v));
+    }
+  }
+  return agg;
+}
+
+Status TsFileReader::ReadSelected(const std::string& name,
+                                  const select::SelectionVector& sel,
+                                  std::vector<int64_t>* out, ScanStats* stats) {
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  if (info->timed) {
+    return Status::InvalidArgument("series is timed; use ReadSelectedPoints: " +
+                                   name);
+  }
+  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  uint64_t covered = 0;  // selected positions that fell inside some page
+  for (const PageInfo& page : info->pages) {
+    if (page.count == 0) continue;
+    const select::SelectionView window(sel, page.first_index, page.count);
+    if (window.count() == 0) {
+      BOS_TELEMETRY_COUNTER_ADD("bos.select.pages_skipped", 1);
+      continue;  // no selected position in this page: no IO at all
+    }
+    covered += window.count();
+    BOS_RETURN_NOT_OK(
+        impl_->ReadPageSelected(*info, page, *codec, window, out, stats));
+  }
+  if (covered != sel.cardinality()) {
+    return Status::InvalidArgument("selection position past end of series: " +
+                                   name);
+  }
+  return Status::OK();
+}
+
+Status TsFileReader::ReadSelectedPoints(const std::string& name,
+                                        const select::SelectionVector& sel,
+                                        std::vector<codecs::DataPoint>* out,
+                                        ScanStats* stats) {
+  BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
+  if (!info->timed) {
+    return Status::InvalidArgument("series is not timed: " + name);
+  }
+  BOS_ASSIGN_OR_RETURN(auto codec,
+                       codecs::MakeTimeSeriesCodec(info->codec_spec));
+  uint64_t covered = 0;
+  for (const PageInfo& page : info->pages) {
+    if (page.count == 0) continue;
+    const select::SelectionView window(sel, page.first_index, page.count);
+    if (window.count() == 0) {
+      BOS_TELEMETRY_COUNTER_ADD("bos.select.pages_skipped", 1);
+      continue;
+    }
+    covered += window.count();
+    BOS_RETURN_NOT_OK(
+        impl_->ReadTimedPageSelected(*info, page, *codec, window, out, stats));
+  }
+  if (covered != sel.cardinality()) {
+    return Status::InvalidArgument("selection position past end of series: " +
+                                   name);
   }
   return Status::OK();
 }
@@ -561,19 +722,15 @@ Result<AggregateResult> TsFileReader::AggregateQuery(const std::string& name,
   BOS_ASSIGN_OR_RETURN(const SeriesInfo* info, FindSeries(name));
   // Pushdown: combine the footer's per-page statistics. No page IO.
   (void)stats;  // nothing is read, so the stats stay zero by design
+  // A series with no values keeps the documented count==0 sentinel
+  // (min=INT64_MAX, max=INT64_MIN, sum=0) from AggregateResult's
+  // defaults, matching AggregateQueryScan exactly.
   AggregateResult agg;
-  bool first = true;
   for (const PageInfo& page : info->pages) {
     if (page.count == 0) continue;
     agg.count += page.count;
-    if (first) {
-      agg.min = page.min_value;
-      agg.max = page.max_value;
-      first = false;
-    } else {
-      agg.min = std::min(agg.min, page.min_value);
-      agg.max = std::max(agg.max, page.max_value);
-    }
+    agg.min = std::min(agg.min, page.min_value);
+    agg.max = std::max(agg.max, page.max_value);
     agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
                                    static_cast<uint64_t>(page.sum_value));
   }
@@ -584,16 +741,15 @@ Result<AggregateResult> TsFileReader::AggregateQueryScan(
     const std::string& name, ScanStats* stats) {
   std::vector<int64_t> values;
   BOS_RETURN_NOT_OK(ReadSeries(name, &values, stats));
+  // Empty series keep the count==0 sentinel from the defaults, so the
+  // scan and pushdown paths agree field-for-field.
   AggregateResult agg;
   agg.count = values.size();
-  if (!values.empty()) {
-    agg.min = agg.max = values[0];
-    for (int64_t v : values) {
-      agg.min = std::min(agg.min, v);
-      agg.max = std::max(agg.max, v);
-      agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
-                                     static_cast<uint64_t>(v));
-    }
+  for (int64_t v : values) {
+    agg.min = std::min(agg.min, v);
+    agg.max = std::max(agg.max, v);
+    agg.sum = static_cast<int64_t>(static_cast<uint64_t>(agg.sum) +
+                                   static_cast<uint64_t>(v));
   }
   return agg;
 }

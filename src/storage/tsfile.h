@@ -10,6 +10,7 @@
 
 #include "codecs/series_codec.h"
 #include "codecs/timeseries.h"
+#include "select/selection.h"
 #include "util/buffer.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -152,10 +153,16 @@ struct ScanStats {
 };
 
 /// \brief Aggregates computed by AggregateQuery.
+///
+/// When `count == 0` there is no value to take a min or max of, so the
+/// bounds are the identity elements of min/max: `min = INT64_MAX`,
+/// `max = INT64_MIN`, `sum = 0`. Callers must check `count` before
+/// trusting the bounds. Every aggregate path (pushdown, scan, store)
+/// returns this same sentinel, so the paths can be diffed directly.
 struct AggregateResult {
   uint64_t count = 0;
-  int64_t min = 0;
-  int64_t max = 0;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
   int64_t sum = 0;  ///< wrapping sum
 };
 
@@ -203,10 +210,40 @@ class TsFileReader {
 
   /// Reads the values (and their series indexes) with value in
   /// [v_min, v_max], pruning pages whose min/max statistics cannot
-  /// overlap — a predicate pushdown over the footer statistics.
+  /// overlap — a predicate pushdown over the footer statistics. Inside
+  /// surviving pages the predicate is pushed into the codec
+  /// (SeriesCodec::DecompressFilter), so block zone maps prune at block
+  /// granularity too; `stats->values_scanned` counts only the values
+  /// actually decoded. An empty predicate (`v_min > v_max`) is rejected
+  /// as InvalidArgument rather than silently scanning pages.
   Status ReadValueRange(const std::string& name, int64_t v_min, int64_t v_max,
                         std::vector<std::pair<uint64_t, int64_t>>* out,
                         ScanStats* stats = nullptr);
+
+  /// Aggregate over only the values in [v_min, v_max]. Pages entirely
+  /// inside the predicate are answered from the footer statistics
+  /// without IO; disjoint pages are pruned; only straddling pages are
+  /// read and filtered. Rejects `v_min > v_max` as InvalidArgument.
+  Result<AggregateResult> AggregateValueRange(const std::string& name,
+                                              int64_t v_min, int64_t v_max,
+                                              ScanStats* stats = nullptr);
+
+  /// Reads exactly the series positions in `sel` (ascending, in series
+  /// index space), appending the values in position order. Pages with
+  /// no selected position are never read; within a page the selection
+  /// is pushed into the codec (SeriesCodec::DecompressSelected), so a
+  /// sparse selection decodes far fewer values than a full scan. A
+  /// position at or past the series length is InvalidArgument.
+  Status ReadSelected(const std::string& name,
+                      const select::SelectionVector& sel,
+                      std::vector<int64_t>* out, ScanStats* stats = nullptr);
+
+  /// ReadSelected for timed series: returns the (timestamp, value)
+  /// points at the selected positions.
+  Status ReadSelectedPoints(const std::string& name,
+                            const select::SelectionVector& sel,
+                            std::vector<codecs::DataPoint>* out,
+                            ScanStats* stats = nullptr);
 
   /// Reads a full timestamped series.
   Status ReadTimeSeries(const std::string& name,

@@ -7,6 +7,7 @@
 
 #include "codecs/inspect.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -16,6 +17,7 @@
 
 #include "bitpack/varint.h"
 #include "codecs/registry.h"
+#include "core/block_io.h"
 #include "exec/parallel_codec.h"
 #include "storage/store.h"
 #include "storage/tsfile_inspect.h"
@@ -59,6 +61,16 @@ std::vector<std::string> AllSpecs() {
   specs.push_back("DICT+BOS-B");
   specs.push_back("DICT+FASTPFOR");
   specs.push_back("DOD");
+  // Opt-in extras: the RAW identity transform and the zone-map-emitting
+  // ".Z" operator names (neither is in the registered-name lists).
+  specs.push_back("RAW+BP");
+  specs.push_back("RAW+BOS-B");
+  specs.push_back("RAW+PFOR");
+  specs.push_back("RAW+FASTPFOR");
+  specs.push_back("RAW+BOS-B.Z");
+  specs.push_back("TS2DIFF+BOS-B.Z");
+  specs.push_back("RLE+BP.Z");
+  specs.push_back("DICT+BOS-M.Z");
   return specs;
 }
 
@@ -277,6 +289,83 @@ TEST(InspectTest, RendersSchemaStableJson) {
 
   // Deterministic: rendering twice gives identical bytes.
   EXPECT_EQ(json, RenderInspectJson(*report));
+}
+
+TEST(InspectTest, ZoneMappedBlocksReportMinMax) {
+  // A ".Z" spec wraps every non-empty block in the mode-3 zone-map
+  // header; the inspector must surface the min/max it carries. With the
+  // RAW transform the block stride is the value stride, so the reported
+  // zones must equal the exact per-block extrema.
+  const std::vector<int64_t> values = OutlierData(2600);
+  auto codec = MakeSeriesCodec("RAW+BOS-B.Z");
+  ASSERT_TRUE(codec.ok()) << codec.status().message();
+  Bytes encoded;
+  ASSERT_TRUE((*codec)->Compress(values, &encoded).ok());
+
+  auto report = InspectSeriesStream("RAW+BOS-B.Z", encoded);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  ASSERT_EQ(report->blocks.size(), (values.size() + 1023) / 1024);
+  for (size_t i = 0; i < report->blocks.size(); ++i) {
+    const BlockReport& block = report->blocks[i];
+    ASSERT_TRUE(block.has_zone_map) << "block " << i;
+    const auto begin = values.begin() + i * 1024;
+    const auto end = values.begin() +
+                     std::min(values.size(), (i + 1) * 1024);
+    EXPECT_EQ(block.zone_min, *std::min_element(begin, end));
+    EXPECT_EQ(block.zone_max, *std::max_element(begin, end));
+    CheckBlock("RAW+BOS-B.Z", block, report->bytes);
+  }
+
+  // Plain-named specs never report zones.
+  auto plain_codec = MakeSeriesCodec("RAW+BOS-B");
+  ASSERT_TRUE(plain_codec.ok());
+  Bytes plain;
+  ASSERT_TRUE((*plain_codec)->Compress(values, &plain).ok());
+  auto plain_report = InspectSeriesStream("RAW+BOS-B", plain);
+  ASSERT_TRUE(plain_report.ok());
+  for (const BlockReport& block : plain_report->blocks) {
+    EXPECT_FALSE(block.has_zone_map);
+  }
+
+  // Renderings carry the zone fields (and omit them when absent).
+  const std::string json =
+      RenderInspectJson(*InspectContainer(BoscContainer("RAW+BOS-B.Z", encoded)));
+  Json root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json.substr(0, 200);
+  const Json* blocks = root.Find("streams")->items[0].Find("blocks");
+  ASSERT_NE(blocks, nullptr);
+  for (const Json& block : blocks->items) {
+    ASSERT_NE(block.Find("has_zone_map"), nullptr);
+    ASSERT_NE(block.Find("zone_min"), nullptr);
+    ASSERT_NE(block.Find("zone_max"), nullptr);
+  }
+  const std::string text = RenderInspectText(
+      *InspectContainer(BoscContainer("RAW+BOS-B.Z", encoded)));
+  EXPECT_NE(text.find("zone=["), std::string::npos);
+  const std::string plain_json = RenderInspectJson(
+      *InspectContainer(BoscContainer("RAW+BOS-B", plain)));
+  EXPECT_EQ(plain_json.find("zone_min"), std::string::npos);
+
+  // A nested wrapper is corruption for the inspector too.
+  Bytes nested;
+  core::EncodeZoneMapHeader(0, 0, &nested);
+  size_t inner_start = 0;
+  std::vector<BlockReport> scratch;
+  // Grab the first (wrapped) unit of the stream, skipping the varint n.
+  uint64_t n;
+  ASSERT_TRUE(bitpack::GetVarint(encoded, &inner_start, &n).ok());
+  const size_t unit_start = inner_start;
+  ASSERT_TRUE(
+      InspectOperatorUnit("BOS-B.Z", encoded, &inner_start, &scratch).ok());
+  nested.insert(nested.end(), encoded.begin() + unit_start,
+                encoded.begin() + inner_start);
+  size_t offset = 0;
+  scratch.clear();
+  const Status st = InspectOperatorUnit("BOS-B.Z", nested, &offset, &scratch);
+  ASSERT_FALSE(st.ok());
+
+  // ".Z" is only meaningful for the BOS block grammar.
+  EXPECT_FALSE(InspectSeriesStream("RAW+PFOR.Z", encoded).ok());
 }
 
 TEST(InspectTest, WalksTsFilesWrittenByTheStore) {

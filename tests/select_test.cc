@@ -1,0 +1,289 @@
+#include "select/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bos::select {
+namespace {
+
+std::vector<uint64_t> Sorted(std::set<uint64_t> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(SelectionVectorTest, EmptyVector) {
+  SelectionVector sel;
+  EXPECT_TRUE(sel.empty());
+  EXPECT_EQ(sel.cardinality(), 0u);
+  EXPECT_FALSE(sel.Contains(0));
+  EXPECT_EQ(sel.Rank(12345), 0u);
+  uint64_t pos;
+  EXPECT_FALSE(sel.Select(0, &pos));
+  EXPECT_TRUE(sel.ToVector().empty());
+}
+
+TEST(SelectionVectorTest, AddAndContains) {
+  SelectionVector sel;
+  sel.Add(5);
+  sel.Add(0);
+  sel.Add(5);  // idempotent
+  sel.Add(1'000'000);
+  EXPECT_EQ(sel.cardinality(), 3u);
+  EXPECT_TRUE(sel.Contains(0));
+  EXPECT_TRUE(sel.Contains(5));
+  EXPECT_TRUE(sel.Contains(1'000'000));
+  EXPECT_FALSE(sel.Contains(4));
+  EXPECT_FALSE(sel.Contains(999'999));
+  EXPECT_EQ(sel.ToVector(), (std::vector<uint64_t>{0, 5, 1'000'000}));
+}
+
+TEST(SelectionVectorTest, AddRangeSpansChunks) {
+  SelectionVector sel;
+  // Crosses the 65536 chunk boundary.
+  sel.AddRange(65530, 65550);
+  EXPECT_EQ(sel.cardinality(), 20u);
+  for (uint64_t p = 65530; p < 65550; ++p) EXPECT_TRUE(sel.Contains(p));
+  EXPECT_FALSE(sel.Contains(65529));
+  EXPECT_FALSE(sel.Contains(65550));
+  // Empty and single-element ranges.
+  sel.AddRange(10, 10);
+  EXPECT_EQ(sel.cardinality(), 20u);
+  sel.AddRange(10, 11);
+  EXPECT_EQ(sel.cardinality(), 21u);
+}
+
+TEST(SelectionVectorTest, RankSelectInverse) {
+  SelectionVector sel;
+  const std::vector<uint64_t> positions{0, 1, 7, 100, 65535, 65536, 200000};
+  for (uint64_t p : positions) sel.Add(p);
+  for (size_t k = 0; k < positions.size(); ++k) {
+    uint64_t pos;
+    ASSERT_TRUE(sel.Select(k, &pos));
+    EXPECT_EQ(pos, positions[k]);
+    EXPECT_EQ(sel.Rank(pos), k);          // strictly-below semantics
+    EXPECT_EQ(sel.Rank(pos + 1), k + 1);  // position itself counted
+  }
+  uint64_t pos;
+  EXPECT_FALSE(sel.Select(positions.size(), &pos));
+}
+
+TEST(SelectionVectorTest, ArrayToBitmapConversion) {
+  SelectionVector sel;
+  // Push one chunk past the array->bitmap threshold with odd positions
+  // (not coalescible into runs).
+  for (uint64_t p = 1; p < 2 * SelectionVector::kArrayToBitmapThreshold + 3;
+       p += 2) {
+    sel.Add(p);
+  }
+  const uint64_t n = sel.cardinality();
+  EXPECT_GT(n, SelectionVector::kArrayToBitmapThreshold);
+  EXPECT_TRUE(sel.Contains(1));
+  EXPECT_FALSE(sel.Contains(2));
+  EXPECT_EQ(sel.Rank(101), 50u);
+  // The representation change must not change the set.
+  const auto before = sel.ToVector();
+  sel.RunOptimize();
+  EXPECT_EQ(sel.ToVector(), before);
+}
+
+TEST(SelectionVectorTest, RunOptimizePreservesSet) {
+  SelectionVector sel;
+  sel.AddRange(0, 5000);
+  sel.AddRange(70000, 70100);
+  sel.Add(200000);
+  const auto before = sel.ToVector();
+  sel.RunOptimize();
+  EXPECT_EQ(sel.ToVector(), before);
+  EXPECT_EQ(sel.Rank(70050), 5050u);
+  // Point-insert after run conversion still works.
+  sel.Add(70200);
+  EXPECT_TRUE(sel.Contains(70200));
+  EXPECT_EQ(sel.cardinality(), before.size() + 1);
+}
+
+TEST(SelectionVectorTest, IntersectWith) {
+  SelectionVector a;
+  a.AddRange(0, 100);
+  a.Add(65536 + 5);
+  SelectionVector b;
+  b.AddRange(50, 150);
+  b.Add(65536 + 5);
+  b.Add(1'000'000);
+  a.IntersectWith(b);
+  std::vector<uint64_t> want;
+  for (uint64_t p = 50; p < 100; ++p) want.push_back(p);
+  want.push_back(65536 + 5);
+  EXPECT_EQ(a.ToVector(), want);
+}
+
+TEST(SelectionVectorTest, IntersectWithEmpty) {
+  SelectionVector a;
+  a.AddRange(0, 10);
+  SelectionVector none;
+  a.IntersectWith(none);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SelectionVectorTest, ForEachRunCoalescesAcrossChunks) {
+  SelectionVector sel;
+  // One run spanning the chunk boundary must be reported as one run.
+  sel.AddRange(65530, 65542);
+  std::vector<std::pair<uint64_t, uint64_t>> runs;
+  sel.ForEachRun([&](uint64_t start, uint64_t len) {
+    runs.emplace_back(start, len);
+  });
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<uint64_t, uint64_t>{65530, 12}));
+}
+
+TEST(SelectionVectorTest, SerializeRoundTripAllContainerTypes) {
+  SelectionVector sel;
+  sel.Add(3);                   // sparse chunk -> array
+  sel.AddRange(65536, 72000);   // dense chunk -> bitmap after AddRange
+  sel.AddRange(200000, 200500); // another chunk
+  sel.RunOptimize();            // converts what run form shrinks
+  Bytes bytes;
+  sel.Serialize(&bytes);
+  auto back = SelectionVector::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->SetEquals(sel));
+  EXPECT_EQ(back->ToVector(), sel.ToVector());
+}
+
+TEST(SelectionVectorTest, SetEqualsIgnoresRepresentation) {
+  SelectionVector runs;
+  runs.AddRange(0, 300);
+  runs.RunOptimize();
+  SelectionVector array;
+  for (uint64_t p = 0; p < 300; ++p) array.Add(p);
+  EXPECT_TRUE(runs.SetEquals(array));
+  array.Add(300);
+  EXPECT_FALSE(runs.SetEquals(array));
+}
+
+TEST(SelectionVectorTest, DeserializeRejectsHostileInput) {
+  SelectionVector sel;
+  sel.AddRange(0, 100);
+  sel.Add(70000);
+  Bytes good;
+  sel.Serialize(&good);
+  // Truncations at every length must fail cleanly, never crash.
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto r = SelectionVector::Deserialize(BytesView(good).subspan(0, len));
+    EXPECT_FALSE(r.ok()) << "truncated to " << len;
+  }
+  // Trailing garbage is rejected too.
+  Bytes extra = good;
+  extra.push_back(0);
+  EXPECT_FALSE(SelectionVector::Deserialize(extra).ok());
+}
+
+TEST(SelectionVectorTest, RandomizedAgainstStdSet) {
+  Rng rng(42);
+  SelectionVector sel;
+  std::set<uint64_t> model;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      const uint64_t start = rng.Uniform(1 << 20);
+      const uint64_t len = rng.Uniform(200);
+      sel.AddRange(start, start + len);
+      for (uint64_t p = start; p < start + len; ++p) model.insert(p);
+    } else {
+      const uint64_t p = rng.Uniform(1 << 20);
+      sel.Add(p);
+      model.insert(p);
+    }
+  }
+  ASSERT_EQ(sel.cardinality(), model.size());
+  EXPECT_EQ(sel.ToVector(), Sorted(model));
+  // Spot-check rank/select/contains against the model.
+  const std::vector<uint64_t> sorted = Sorted(model);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t p = rng.Uniform(1 << 20);
+    EXPECT_EQ(sel.Contains(p), model.count(p) > 0) << p;
+    const uint64_t rank = static_cast<uint64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), p) - sorted.begin());
+    EXPECT_EQ(sel.Rank(p), rank) << p;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t k = rng.Uniform(sorted.size());
+    uint64_t pos;
+    ASSERT_TRUE(sel.Select(k, &pos));
+    EXPECT_EQ(pos, sorted[k]);
+  }
+  // Serialize -> deserialize -> same set, also after RunOptimize.
+  sel.RunOptimize();
+  EXPECT_EQ(sel.ToVector(), Sorted(model));
+  Bytes bytes;
+  sel.Serialize(&bytes);
+  auto back = SelectionVector::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->SetEquals(sel));
+}
+
+TEST(SelectionViewTest, WindowBasics) {
+  SelectionVector sel;
+  sel.Add(3);
+  sel.Add(10);
+  sel.Add(11);
+  sel.Add(25);
+  const SelectionView view(sel, 10, 10);  // absolute [10, 20)
+  EXPECT_EQ(view.base(), 10u);
+  EXPECT_EQ(view.size(), 10u);
+  EXPECT_EQ(view.count(), 2u);
+  EXPECT_EQ(view.ToVector(), (std::vector<uint64_t>{0, 1}));  // relative
+}
+
+TEST(SelectionViewTest, EmptyAndDefaultViews) {
+  const SelectionView none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.count(), 0u);
+  none.ForEach([](uint64_t) { FAIL() << "empty view must not visit"; });
+
+  SelectionVector sel;
+  sel.Add(100);
+  const SelectionView miss(sel, 0, 50);
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST(SelectionViewTest, SubViewRebases) {
+  SelectionVector sel;
+  sel.AddRange(0, 100);
+  const SelectionView page(sel, 20, 60);   // absolute [20, 80)
+  const SelectionView block = page.SubView(10, 20);  // absolute [30, 50)
+  EXPECT_EQ(block.count(), 20u);
+  std::vector<std::pair<uint64_t, uint64_t>> runs;
+  block.ForEachRun([&](uint64_t start, uint64_t len) {
+    runs.emplace_back(start, len);
+  });
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<uint64_t, uint64_t>{0, 20}));
+  // Sub-windows past the parent are empty, and lengths clamp.
+  EXPECT_TRUE(page.SubView(60, 5).empty());
+  EXPECT_EQ(page.SubView(50, 100).size(), 10u);
+}
+
+TEST(SelectionViewTest, CountMatchesRankDifference) {
+  Rng rng(7);
+  SelectionVector sel;
+  for (int i = 0; i < 1000; ++i) sel.Add(rng.Uniform(10000));
+  for (uint64_t base = 0; base < 10000; base += 512) {
+    const SelectionView view(sel, base, 512);
+    EXPECT_EQ(view.count(), sel.Rank(base + 512) - sel.Rank(base));
+    uint64_t visited = 0;
+    view.ForEach([&](uint64_t rel) {
+      EXPECT_LT(rel, 512u);
+      EXPECT_TRUE(sel.Contains(base + rel));
+      ++visited;
+    });
+    EXPECT_EQ(visited, view.count());
+  }
+}
+
+}  // namespace
+}  // namespace bos::select

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "select/selection.h"
 #include "storage/tsfile.h"
 #include "util/random.h"
 
@@ -368,6 +369,258 @@ TEST_F(TsFileTest, SmallPageSize) {
   std::vector<int64_t> got;
   ASSERT_TRUE(reader.ReadSeries("s", &got).ok());
   EXPECT_EQ(got, x);
+}
+
+TEST_F(TsFileTest, EmptySeriesAggregateSentinel) {
+  // Regression: both aggregate paths used to return min=max=sum=0 for a
+  // series with no values, indistinguishable from a real all-zero
+  // series. count==0 now carries the documented sentinel on both paths.
+  const std::string path = Path("empty_agg.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("none", "TS2DIFF+BOS-B", {}).ok());
+    ASSERT_TRUE(writer.AppendSeries("zero", "TS2DIFF+BOS-B",
+                                    std::vector<int64_t>{0, 0, 0})
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  auto pushdown = reader.AggregateQuery("none");
+  ASSERT_TRUE(pushdown.ok());
+  EXPECT_EQ(pushdown->count, 0u);
+  EXPECT_EQ(pushdown->min, INT64_MAX);
+  EXPECT_EQ(pushdown->max, INT64_MIN);
+  EXPECT_EQ(pushdown->sum, 0);
+
+  // The scan path agrees field-for-field.
+  auto scanned = reader.AggregateQueryScan("none");
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->count, pushdown->count);
+  EXPECT_EQ(scanned->min, pushdown->min);
+  EXPECT_EQ(scanned->max, pushdown->max);
+  EXPECT_EQ(scanned->sum, pushdown->sum);
+
+  // A genuinely all-zero series is now distinguishable from empty.
+  auto zero = reader.AggregateQuery("zero");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->count, 3u);
+  EXPECT_EQ(zero->min, 0);
+  EXPECT_EQ(zero->max, 0);
+  EXPECT_EQ(zero->sum, 0);
+}
+
+TEST_F(TsFileTest, EmptyValuePredicateRejected) {
+  // Regression: v_min > v_max used to walk (and prune) pages silently
+  // and return an empty result; it is an InvalidArgument now.
+  const std::string path = Path("empty_pred.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BOS-B",
+                                    std::vector<int64_t>{1, 2, 3})
+                    .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<std::pair<uint64_t, int64_t>> hits;
+  ScanStats stats;
+  const Status st = reader.ReadValueRange("s", 10, 9, &hits, &stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(stats.pages_read, 0u);
+
+  auto agg = reader.AggregateValueRange("s", 10, 9);
+  ASSERT_FALSE(agg.ok());
+  EXPECT_TRUE(agg.status().IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, ValueRangePruningAtInt64Extremes) {
+  // Boundary regression: pruning comparisons at the edges of the int64
+  // domain must not wrap. Values include both extremes.
+  std::vector<int64_t> x{INT64_MIN, -5, 0, 5, INT64_MAX};
+  const std::string path = Path("vedges.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "RLE+BP", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  std::vector<std::pair<uint64_t, int64_t>> hits;
+  ASSERT_TRUE(
+      reader.ReadValueRange("s", INT64_MIN, INT64_MIN, &hits, nullptr).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (std::pair<uint64_t, int64_t>{0, INT64_MIN}));
+
+  hits.clear();
+  ASSERT_TRUE(
+      reader.ReadValueRange("s", INT64_MAX, INT64_MAX, &hits, nullptr).ok());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (std::pair<uint64_t, int64_t>{4, INT64_MAX}));
+
+  hits.clear();
+  ASSERT_TRUE(
+      reader.ReadValueRange("s", INT64_MIN, INT64_MAX, &hits, nullptr).ok());
+  EXPECT_EQ(hits.size(), x.size());  // degenerate full-domain predicate
+}
+
+TEST_F(TsFileTest, ReadSelectedSkipsUnselectedPages) {
+  const auto x = SensorSeries(21, 10240);  // 10 pages at the default size
+  const std::string path = Path("selected.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  select::SelectionVector sel;
+  sel.Add(10);
+  sel.AddRange(1030, 1040);
+  sel.Add(10239);
+  ScanStats stats;
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadSelected("s", sel, &got, &stats).ok());
+  std::vector<int64_t> want;
+  sel.ForEach([&](uint64_t pos) { want.push_back(x[pos]); });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(stats.pages_read, 3u);  // pages 0, 1 and 9 only
+  EXPECT_EQ(stats.values_scanned, sel.cardinality());
+
+  // A position past the series end is rejected.
+  sel.Add(10240);
+  got.clear();
+  const Status st = reader.ReadSelected("s", sel, &got, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+
+  // An empty selection reads nothing.
+  select::SelectionVector none;
+  got.clear();
+  stats = ScanStats();
+  ASSERT_TRUE(reader.ReadSelected("s", none, &got, &stats).ok());
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(stats.pages_read, 0u);
+}
+
+TEST_F(TsFileTest, ReadSelectedPointsOnTimedSeries) {
+  std::vector<bos::codecs::DataPoint> points(5000);
+  Rng rng(31);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i] = {static_cast<int64_t>(i * 10 + rng.Uniform(5)),
+                 rng.UniformInt(-1000, 1000)};
+  }
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) { return a.timestamp < b.timestamp; });
+  const std::string path = Path("selected_points.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(
+        writer.AppendTimeSeries("s", "TS2DIFF+BOS-B|TS2DIFF+BOS-B", points)
+            .ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  select::SelectionVector sel;
+  sel.Add(0);
+  sel.AddRange(2048, 2060);
+  sel.Add(4999);
+  ScanStats stats;
+  std::vector<bos::codecs::DataPoint> got;
+  ASSERT_TRUE(reader.ReadSelectedPoints("s", sel, &got, &stats).ok());
+  std::vector<bos::codecs::DataPoint> want;
+  sel.ForEach([&](uint64_t pos) { want.push_back(points[pos]); });
+  EXPECT_EQ(got, want);
+  EXPECT_LE(stats.pages_read, 3u);
+
+  // Untimed entry point on a timed series (and vice versa) is rejected.
+  std::vector<int64_t> values;
+  EXPECT_TRUE(reader.ReadSelected("s", sel, &values).IsInvalidArgument());
+}
+
+TEST_F(TsFileTest, AggregateValueRangeUsesFooterForCoveredPages) {
+  // Values 0..10239 ascending: pages hold disjoint value ranges, so a
+  // predicate covering whole pages answers those from the footer.
+  std::vector<int64_t> x(10240);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<int64_t>(i);
+  const std::string path = Path("vagg.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "TS2DIFF+BOS-B", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  // [1500, 4000]: pages 1 and 3 straddle, page 2 (2048..3071) is fully
+  // covered and must be answered without IO.
+  ScanStats stats;
+  auto agg = reader.AggregateValueRange("s", 1500, 4000, &stats);
+  ASSERT_TRUE(agg.ok());
+  const uint64_t n = 4000 - 1500 + 1;
+  EXPECT_EQ(agg->count, n);
+  EXPECT_EQ(agg->min, 1500);
+  EXPECT_EQ(agg->max, 4000);
+  EXPECT_EQ(agg->sum, static_cast<int64_t>((1500 + 4000) * n / 2));
+  EXPECT_EQ(stats.pages_read, 2u);  // the two straddling pages only
+
+  // A fully covering predicate equals the plain aggregate, zero IO.
+  stats = ScanStats();
+  auto all = reader.AggregateValueRange("s", INT64_MIN, INT64_MAX, &stats);
+  ASSERT_TRUE(all.ok());
+  auto plain = reader.AggregateQuery("s");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(all->count, plain->count);
+  EXPECT_EQ(all->min, plain->min);
+  EXPECT_EQ(all->max, plain->max);
+  EXPECT_EQ(all->sum, plain->sum);
+  EXPECT_EQ(stats.pages_read, 0u);
+
+  // A disjoint predicate yields the count==0 sentinel.
+  auto none = reader.AggregateValueRange("s", 100000, 200000);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->count, 0u);
+  EXPECT_EQ(none->min, INT64_MAX);
+  EXPECT_EQ(none->max, INT64_MIN);
+  EXPECT_EQ(none->sum, 0);
+}
+
+TEST_F(TsFileTest, ReadValueRangeCountsOnlyDecodedValues) {
+  // With a zone-mapped RAW codec the filter prunes at block granularity:
+  // values_scanned reports what was actually decoded, which for a
+  // narrow predicate over sorted data is a fraction of the series.
+  std::vector<int64_t> x(10240);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<int64_t>(i);
+  const std::string path = Path("vzone.bos");
+  {
+    TsFileWriter writer(path);
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendSeries("s", "RAW+BOS-B.Z", x).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  ScanStats stats;
+  std::vector<std::pair<uint64_t, int64_t>> hits;
+  ASSERT_TRUE(reader.ReadValueRange("s", 3000, 3050, &hits, &stats).ok());
+  ASSERT_EQ(hits.size(), 51u);
+  EXPECT_EQ(hits.front(), (std::pair<uint64_t, int64_t>{3000, 3000}));
+  // One page read, and within it only the overlapping block decoded.
+  EXPECT_EQ(stats.pages_read, 1u);
+  EXPECT_LE(stats.values_scanned, 2048u);
+  EXPECT_LT(stats.values_scanned, x.size() / 5);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "select/selection.h"
 #include "storage/store.h"
 #include "util/random.h"
 
@@ -260,6 +261,63 @@ TEST_F(TsStoreTest, CorruptAdoptedFileFailsOpen) {
                                  std::filesystem::file_size(entry.path()) - 4);
   }
   EXPECT_FALSE(TsStore::Open(Options()).ok());
+}
+
+TEST_F(TsStoreTest, QuerySelectedSpansFilesAndMemtable) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  // Two flushed files plus a memtable tail; positions are store-order:
+  // oldest file first, memtable last.
+  std::vector<DataPoint> all;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto batch =
+        Points(seed, 500, all.empty() ? 0 : all.back().timestamp);
+    ASSERT_TRUE((*store)->WriteBatch("s", batch).ok());
+    if (seed < 3) {
+      ASSERT_TRUE((*store)->Flush().ok());
+    }
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ((*store)->num_files(), 2u);
+
+  select::SelectionVector sel;
+  sel.Add(0);               // first point of the oldest file
+  sel.AddRange(498, 503);   // straddles the file 0 / file 1 boundary
+  sel.Add(999);             // last point of file 1
+  sel.AddRange(1000, 1002); // start of the memtable tail
+  sel.Add(1499);            // last memtable point
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->QuerySelected("s", sel, &got).ok());
+  std::vector<DataPoint> want;
+  sel.ForEach([&](uint64_t pos) { want.push_back(all[pos]); });
+  EXPECT_EQ(got, want);
+
+  // A position past the store's total count is rejected.
+  sel.Add(1500);
+  got.clear();
+  const Status st = (*store)->QuerySelected("s", sel, &got);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+
+  // Empty selections and unknown series yield empty results.
+  select::SelectionVector none;
+  got.clear();
+  ASSERT_TRUE((*store)->QuerySelected("s", none, &got).ok());
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE((*store)->QuerySelected("missing", none, &got).ok());
+}
+
+TEST_F(TsStoreTest, AggregateEmptySeriesSentinel) {
+  auto store = TsStore::Open(Options());
+  ASSERT_TRUE(store.ok());
+  // Unknown series aggregates to the count==0 sentinel, matching the
+  // file-level AggregateQuery convention.
+  auto agg = (*store)->Aggregate("missing");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 0u);
+  EXPECT_EQ(agg->min, INT64_MAX);
+  EXPECT_EQ(agg->max, INT64_MIN);
+  EXPECT_EQ(agg->sum, 0);
 }
 
 }  // namespace

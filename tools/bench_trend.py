@@ -13,9 +13,11 @@ Conventions this relies on (see bench_common.h):
 
 Records are matched by their identity fields (everything that is not a
 float metric or a hardware field: width, dataset, spec, threads, ...).
-A record present on only one side is reported but never fails the run —
-adding or removing bench cases must not break CI; only a measured
-regression on a matched case does.
+A record present only in the current run is reported but never fails —
+adding bench cases must not break CI. A record present only in the
+baseline DOES fail: the committed case silently stopped being measured,
+which is exactly the coverage loss this guard exists to catch. Removing
+a case on purpose requires refreshing the baseline with --update.
 
 Usage:
   tools/bench_trend.py                                # compare defaults
@@ -32,7 +34,8 @@ import os
 import shutil
 import sys
 
-DEFAULT_FILES = ["BENCH_kernels.json", "BENCH_parallel.json", "BENCH_encode.json"]
+DEFAULT_FILES = ["BENCH_kernels.json", "BENCH_parallel.json",
+                 "BENCH_encode.json", "BENCH_select.json"]
 HARDWARE_FIELDS = {"hardware_threads", "avx2", "bmi2"}
 METRIC_SUFFIXES = ("_gbps", "_mbps")
 
@@ -81,16 +84,17 @@ def format_id(key):
 
 
 def compare_file(name, baseline_path, current_path, threshold):
-    """Returns (regressions, compared) for one BENCH_*.json pair."""
+    """Returns (regressions, missing, compared) for one BENCH_*.json pair."""
     baseline = index_records(load_records(baseline_path))
     current = index_records(load_records(current_path))
 
     regressions = []
+    missing = []
     compared = 0
     for key, base_record in sorted(baseline.items()):
         cur_record = current.get(key)
         if cur_record is None:
-            print(f"  note: {name}: no current record for [{format_id(key)}]")
+            missing.append(f"{name}: no current record for [{format_id(key)}]")
             continue
         for metric, base_value in base_record.items():
             if not is_metric(metric, base_value) or base_value <= 0:
@@ -108,7 +112,7 @@ def compare_file(name, baseline_path, current_path, threshold):
                 )
     for key in sorted(set(current) - set(baseline)):
         print(f"  note: {name}: no baseline for [{format_id(key)}]")
-    return regressions, compared
+    return regressions, missing, compared
 
 
 def main():
@@ -143,6 +147,7 @@ def main():
         return 0
 
     all_regressions = []
+    all_missing = []
     total_compared = 0
     for name in args.files:
         baseline_path = os.path.join(args.baseline, name)
@@ -156,19 +161,23 @@ def main():
                   file=sys.stderr)
             return 2
         try:
-            regressions, compared = compare_file(
+            regressions, missing, compared = compare_file(
                 name, baseline_path, current_path, args.threshold)
         except (ValueError, OSError) as e:
             print(f"bench_trend: {e}", file=sys.stderr)
             return 2
         total_compared += compared
         all_regressions.extend(regressions)
+        all_missing.extend(missing)
 
-    if all_regressions:
-        print(f"bench_trend: {len(all_regressions)} regression(s) over "
+    if all_regressions or all_missing:
+        print(f"bench_trend: {len(all_regressions)} regression(s), "
+              f"{len(all_missing)} missing record(s) over "
               f"{total_compared} compared metrics:")
         for line in all_regressions:
             print(f"  REGRESSION: {line}")
+        for line in all_missing:
+            print(f"  MISSING: {line}")
         return 1
     print(f"bench_trend: OK ({total_compared} metrics within "
           f"{100.0 * args.threshold:.0f}% of baseline)")

@@ -5,8 +5,17 @@
 //   boscli compress <spec> <in> <out>        compress raw int64 LE file
 //   boscli decompress <in> <out>             invert `compress`
 //   boscli inspect <file> [--json]           EXPLAIN a compressed file
+//   boscli select <in> <positions>           decode only the given rows
+//   boscli filter <in> <v_min> <v_max>       rows with value in [v_min,v_max]
 //   boscli store <dir> [n]                   TsStore write/flush/query demo
 //   boscli bench <abbr> [spec ...]           quick ratio table for a profile
+//
+// `select` takes a comma-separated position list with inclusive ranges
+// ("0,5,100-200") and uses the selective decode path — with a "RAW"
+// transform only the blocks holding selected rows are unpacked. `filter`
+// pushes the value predicate into the stream; blocks compressed with a
+// ".Z" operator (e.g. "RAW+BOS-B.Z") carry zone maps and are pruned
+// without decoding.
 //
 // Global flags (any command): --stats prints the telemetry snapshot after
 // the command runs; --stats-json prints it as JSON instead; --threads N
@@ -42,6 +51,7 @@
 #include "data/dataset.h"
 #include "exec/parallel_codec.h"
 #include "exec/thread_pool.h"
+#include "select/selection.h"
 #include "storage/store.h"
 #include "storage/tsfile.h"
 #include "storage/tsfile_inspect.h"
@@ -252,6 +262,113 @@ int CmdInspect(const std::string& path, bool json) {
   return 0;
 }
 
+// Parses the serial "BOSC" frame shared by decompress/select/filter.
+// Returns 0 and fills the outputs on success; otherwise the error has
+// already been reported and the exit code should be returned as-is.
+int ParseCompressedFrame(const std::string& in, Bytes* data, std::string* spec,
+                         size_t* offset) {
+  if (!ReadFile(in, data)) return Fail("cannot read " + in);
+  if (data->size() >= 4 &&
+      std::memcmp(data->data(), kMagicParallel, 4) == 0) {
+    return Fail("select/filter need a serial file (compress without --threads)");
+  }
+  if (data->size() < 5 || std::memcmp(data->data(), kMagic, 4) != 0) {
+    return Fail("not a boscli-compressed file");
+  }
+  *offset = 4;
+  uint64_t spec_len;
+  if (!bitpack::GetVarint(*data, offset, &spec_len).ok() ||
+      *offset + spec_len > data->size()) {
+    return Fail("corrupt spec header");
+  }
+  spec->assign(reinterpret_cast<const char*>(data->data() + *offset), spec_len);
+  *offset += spec_len;
+  return 0;
+}
+
+// "0,5,100-200" -> selection (ranges are inclusive). Rejects empty or
+// malformed lists and descending ranges.
+bool ParseSelection(const std::string& text, select::SelectionVector* sel) {
+  if (text.empty()) return false;
+  size_t i = 0;
+  while (i < text.size()) {
+    char* end = nullptr;
+    const uint64_t first = std::strtoull(text.c_str() + i, &end, 10);
+    if (end == text.c_str() + i) return false;
+    size_t j = static_cast<size_t>(end - text.c_str());
+    uint64_t last = first;
+    if (j < text.size() && text[j] == '-') {
+      ++j;
+      char* end2 = nullptr;
+      last = std::strtoull(text.c_str() + j, &end2, 10);
+      if (end2 == text.c_str() + j) return false;
+      j = static_cast<size_t>(end2 - text.c_str());
+    }
+    if (last < first || last == UINT64_MAX) return false;
+    sel->AddRange(first, last + 1);
+    if (j < text.size() && text[j++] != ',') return false;
+    i = j;
+  }
+  return true;
+}
+
+int CmdSelect(const std::string& in, const std::string& positions) {
+  Bytes data;
+  std::string spec;
+  size_t offset = 0;
+  if (const int rc = ParseCompressedFrame(in, &data, &spec, &offset)) return rc;
+  select::SelectionVector sel;
+  if (!ParseSelection(positions, &sel)) {
+    return Fail("bad position list (use e.g. 0,5,100-200): " + positions);
+  }
+  auto codec = codecs::MakeSeriesCodec(spec);
+  if (!codec.ok()) return Fail("select " + in + " with " + spec, codec.status());
+  const select::SelectionView view(sel, 0, UINT64_MAX);
+  std::vector<int64_t> values;
+  const Status st = (*codec)->DecompressSelected(BytesView(data).subspan(offset),
+                                                 view, &values);
+  if (!st.ok()) return Fail("select " + in + " with " + spec, st);
+  const std::vector<uint64_t> index = view.ToVector();
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::printf("%llu %lld\n", static_cast<unsigned long long>(index[i]),
+                static_cast<long long>(values[i]));
+  }
+  std::printf("selected %zu values [%s]\n", values.size(), spec.c_str());
+  return 0;
+}
+
+int CmdFilter(const std::string& in, const std::string& lo_text,
+              const std::string& hi_text) {
+  char* end = nullptr;
+  const int64_t v_min = std::strtoll(lo_text.c_str(), &end, 10);
+  if (end == lo_text.c_str() || *end != '\0') {
+    return Fail("bad v_min: " + lo_text);
+  }
+  const int64_t v_max = std::strtoll(hi_text.c_str(), &end, 10);
+  if (end == hi_text.c_str() || *end != '\0') {
+    return Fail("bad v_max: " + hi_text);
+  }
+  if (v_min > v_max) return Fail("empty predicate: v_min > v_max");
+  Bytes data;
+  std::string spec;
+  size_t offset = 0;
+  if (const int rc = ParseCompressedFrame(in, &data, &spec, &offset)) return rc;
+  auto codec = codecs::MakeSeriesCodec(spec);
+  if (!codec.ok()) return Fail("filter " + in + " with " + spec, codec.status());
+  std::vector<std::pair<uint64_t, int64_t>> matches;
+  uint64_t decoded = 0;
+  const Status st = (*codec)->DecompressFilter(
+      BytesView(data).subspan(offset), v_min, v_max, 0, &matches, &decoded);
+  if (!st.ok()) return Fail("filter " + in + " with " + spec, st);
+  for (const auto& [index, value] : matches) {
+    std::printf("%llu %lld\n", static_cast<unsigned long long>(index),
+                static_cast<long long>(value));
+  }
+  std::printf("%zu matches, %llu values decoded [%s]\n", matches.size(),
+              static_cast<unsigned long long>(decoded), spec.c_str());
+  return 0;
+}
+
 // Drives a TsStore write -> flush -> query -> aggregate round so the
 // storage stack shows up under --stats / --trace with real work in it.
 int CmdStore(const std::string& dir, const std::string& count) {
@@ -332,6 +449,8 @@ int Usage() {
                "  decompress <in> <out>\n"
                "  advise <in>\n"
                "  inspect <file> [--json]\n"
+               "  select <in> <positions>   e.g. 0,5,100-200 (inclusive)\n"
+               "  filter <in> <v_min> <v_max>\n"
                "  store <dir> [n]\n"
                "  bench <abbr> [spec ...]\n"
                "flags:\n"
@@ -363,6 +482,10 @@ int RunCommand(const std::vector<std::string>& args) {
     const bool json = args.size() == 3 && args[2] == "--json";
     if (args.size() == 3 && !json) return Usage();
     return CmdInspect(args[1], json);
+  }
+  if (cmd == "select" && args.size() == 3) return CmdSelect(args[1], args[2]);
+  if (cmd == "filter" && args.size() == 4) {
+    return CmdFilter(args[1], args[2], args[3]);
   }
   if (cmd == "store" && (args.size() == 2 || args.size() == 3)) {
     return CmdStore(args[1], args.size() == 3 ? args[2] : "");
