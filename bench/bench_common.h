@@ -36,6 +36,21 @@ inline double Seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Compiler barrier: forces `value` to be materialized each time and
+/// keeps the optimizer from hoisting the computation that produced it
+/// out of a timing loop. Needed whenever the timed body is pure and
+/// fully inlinable (e.g. summing bytes out of an mmap view) — without
+/// it the rep loop of TimePerCall collapses to a single evaluation.
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(value) : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
 /// Calls `fn` in growing batches until at least `min_seconds` have
 /// elapsed, then returns the average seconds per call. Coarse but
 /// steady-state enough for throughput numbers.

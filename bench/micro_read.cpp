@@ -1,0 +1,336 @@
+// Micro-benchmark of the tiered read path, emitting BENCH_read.json:
+//
+//  * read_source — raw page delivery throughput: page-sized chunked
+//    reads over a real TsFile in three flavors — the historical stdio
+//    path (fseek+fread under a mutex, what every read paid before
+//    PageSource existed), the pread FilePageSource, and the zero-copy
+//    MmapPageSource — with a cheap byte-sum fold standing in for a
+//    consumer that touches every byte (and doubling as the
+//    byte-equality gate between the flavors). stdio pays a lock, a
+//    seek, and a double copy through the FILE buffer; pread a syscall
+//    and one copy into scratch; mmap hands back a view into the
+//    mapping, so its cost is the touch alone. Deliberately NOT a CRC
+//    fold: CRC runs ~1 GB/s here and would bury the source-layer
+//    difference under per-byte hash work.
+//  * read_cached — repeated narrow time-range queries against a
+//    fixed-interval series stored with large pages and the RAW value
+//    transform (true selective decode: only the blocks holding
+//    selected rows are unpacked). Cold (no cache) pays
+//    pread + CRC-verify of the whole multi-KB page per query; warm
+//    (shared PageCache) pins the verified page and decodes the same
+//    one block. This is the query shape the block cache exists for;
+//    the speedup is the headline number of the tier.
+//  * fixed_interval — full-scan throughput of a regular-timestamp
+//    series (fixed-interval pages: no time column stored, timestamps
+//    synthesized) against the same values with jittered timestamps
+//    (explicit two-column pages).
+//
+// Every section gates on correctness first — a wrong-answer speedup is
+// never reported — and the cached section asserts the cache-on and
+// cache-off results are identical element for element.
+//
+// Usage: micro_read [points]
+// CI smoke runs use a few thousand points; the default is large enough
+// for stable readings.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "storage/page_cache.h"
+#include "storage/page_source.h"
+#include "storage/tsfile.h"
+#include "util/crc32.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace bos;
+using codecs::DataPoint;
+
+constexpr const char* kSpec = "TS2DIFF+BOS-B|TS2DIFF+BOS-B";
+// Cached-query shape: big pages make the per-query fill cost (pread +
+// CRC over the whole payload) real, and the RAW value transform keeps
+// the warm-side work at one unpacked block per narrow window.
+constexpr const char* kCachedSpec = "TS2DIFF+BOS-B|RAW+BOS-B";
+constexpr size_t kCachedPageSize = 32768;
+constexpr int64_t kInterval = 10;
+
+std::vector<DataPoint> MakePoints(size_t n, bool jitter) {
+  Rng rng(42);
+  std::vector<DataPoint> points(n);
+  int64_t t = 0;
+  for (auto& p : points) {
+    t += jitter ? 1 + static_cast<int64_t>(rng.Uniform(2 * kInterval - 1))
+                : kInterval;
+    p = {t, 5000 + static_cast<int64_t>(rng.Normal(0, 8))};
+  }
+  return points;
+}
+
+bool WriteTsFile(const std::string& path, const std::vector<DataPoint>& points,
+                 const char* series, const char* spec = kSpec,
+                 size_t page_size = codecs::kDefaultBlockSize) {
+  storage::TsFileWriter writer(path, page_size);
+  return writer.Open().ok() &&
+         writer.AppendTimeSeries(series, spec, points).ok() &&
+         writer.Finish().ok();
+}
+
+// ---------------------------------------------------------------------
+// read_source: page-sized chunked reads + byte-sum touch, stdio vs
+// pread vs mmap. The chunk matches a typical encoded page payload, so
+// the loop has the same fetch-per-page rhythm as the real read path.
+// ---------------------------------------------------------------------
+int BenchSource(const std::string& path, bench::JsonlWriter* out) {
+  // The bench file is written at the default page size, whose encoded
+  // payloads run ~3 KB — a 4 KB chunk reproduces the fetch rhythm the
+  // source actually sees.
+  constexpr uint64_t kChunk = 4 * 1024;
+  double stdio_mbps = 0;
+  uint64_t want_sum = 0;
+
+  // Baseline: the pre-PageSource read path — fseek+fread on a shared
+  // FILE under a mutex, copying through the stdio buffer.
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr || std::fseek(file, 0, SEEK_END) != 0) {
+      std::fprintf(stderr, "open %s failed\n", path.c_str());
+      return 1;
+    }
+    const uint64_t file_size = static_cast<uint64_t>(std::ftell(file));
+    std::mutex io_mu;
+    Bytes scratch;
+    uint64_t sum = 0;
+    const double s = bench::BestTimePerCall([&] {
+      sum = 0;
+      for (uint64_t off = 0; off < file_size; off += kChunk) {
+        const uint64_t len = std::min(kChunk, file_size - off);
+        scratch.resize(static_cast<size_t>(len));
+        {
+          std::lock_guard<std::mutex> lock(io_mu);
+          if (std::fseek(file, static_cast<long>(off), SEEK_SET) != 0 ||
+              std::fread(scratch.data(), 1, scratch.size(), file) !=
+                  scratch.size()) {
+            std::abort();
+          }
+        }
+        for (const uint8_t b : scratch) sum += b;
+      }
+      bench::DoNotOptimize(sum);
+    });
+    std::fclose(file);
+    want_sum = sum;
+    stdio_mbps = static_cast<double>(file_size) / (1024.0 * 1024.0) / s;
+    std::printf("read_source  %-6s %10.0f MB/s  (zero_copy=0)\n", "stdio",
+                stdio_mbps);
+    out->WriteRecord("read_source", {{"source", "stdio"},
+                                     {"file_bytes", file_size},
+                                     {"read_mbps", stdio_mbps},
+                                     {"mmap_speedup", 1.0}});
+  }
+
+  for (const bool use_mmap : {false, true}) {
+    auto source = storage::MakePageSource(
+        path, storage::PageSourceOptions{.use_mmap = use_mmap});
+    if (!source.ok()) {
+      std::fprintf(stderr, "open %s failed: %s\n", path.c_str(),
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    const uint64_t file_size = (*source)->file_size();
+    Bytes scratch;
+    uint64_t sum = 0;
+    const double s = bench::BestTimePerCall([&] {
+      sum = 0;
+      for (uint64_t off = 0; off < file_size; off += kChunk) {
+        const uint64_t len = std::min(kChunk, file_size - off);
+        BytesView view;
+        if (!(*source)->ReadAt(off, len, &scratch, &view).ok()) std::abort();
+        for (const uint8_t b : view) sum += b;  // vectorizes; ~memory speed
+      }
+      bench::DoNotOptimize(sum);  // the body is pure under mmap
+    });
+    // Gate: every flavor must deliver identical bytes. The sum guards
+    // the timed loop itself; one untimed whole-file CRC comparison
+    // between pread and mmap makes the equality check collision-proof.
+    {
+      BytesView whole;
+      if (!(*source)->ReadAt(0, file_size, &scratch, &whole).ok()) return 1;
+      const uint32_t crc = Crc32(whole.data(), whole.size());
+      static uint32_t want_crc = 0;
+      if (sum != want_sum || (use_mmap && crc != want_crc)) {
+        std::fprintf(stderr, "read_source: source byte mismatch\n");
+        return 1;
+      }
+      want_crc = crc;
+    }
+    const double mbps =
+        static_cast<double>(file_size) / (1024.0 * 1024.0) / s;
+    std::printf("read_source  %-6s %10.0f MB/s  (zero_copy=%d)\n",
+                use_mmap ? "mmap" : "pread", mbps,
+                (*source)->zero_copy() ? 1 : 0);
+    out->WriteRecord("read_source",
+                     {{"source", use_mmap ? "mmap" : "pread"},
+                      {"file_bytes", file_size},
+                      {"read_mbps", mbps},
+                      {"mmap_speedup", mbps / stdio_mbps}});
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// read_cached: narrow time-range queries, cold vs warm cache.
+// ---------------------------------------------------------------------
+int BenchCached(const std::string& path, const std::vector<DataPoint>& points,
+                bench::JsonlWriter* out) {
+  // Narrow windows (8 samples wide) spread across the series.
+  constexpr size_t kQueries = 64;
+  std::vector<std::pair<int64_t, int64_t>> windows(kQueries);
+  Rng rng(7);
+  for (auto& [lo, hi] : windows) {
+    const size_t i = rng.Uniform(points.size() - 8);
+    lo = points[i].timestamp;
+    hi = points[i + 7].timestamp;
+  }
+
+  storage::TsFileReader cold_reader;
+  if (!cold_reader.Open(path).ok()) return 1;
+  storage::PageCache cache(64 << 20);
+  storage::TsFileReader warm_reader;
+  if (!warm_reader.Open(path, storage::ReaderOptions{.cache = &cache}).ok()) {
+    return 1;
+  }
+
+  // Correctness gate + identical-results assert + cache warm-up, all in
+  // one pass: cold and warm answers must match brute force exactly.
+  uint64_t result_points = 0;
+  for (const auto& [lo, hi] : windows) {
+    std::vector<DataPoint> expect, got_cold, got_warm;
+    for (const DataPoint& p : points) {
+      if (p.timestamp >= lo && p.timestamp <= hi) expect.push_back(p);
+    }
+    if (!cold_reader.ReadTimeRange("s", lo, hi, &got_cold).ok() ||
+        !warm_reader.ReadTimeRange("s", lo, hi, &got_warm).ok() ||
+        got_cold != expect || got_warm != expect) {
+      std::fprintf(stderr, "read_cached: wrong query answer\n");
+      return 1;
+    }
+    result_points += expect.size();
+  }
+
+  const auto run_all = [&windows](storage::TsFileReader& reader) {
+    std::vector<DataPoint> got;
+    for (const auto& [lo, hi] : windows) {
+      got.clear();
+      if (!reader.ReadTimeRange("s", lo, hi, &got).ok()) std::abort();
+    }
+  };
+  const double cold_s = bench::BestTimePerCall([&] { run_all(cold_reader); });
+  const double warm_s = bench::BestTimePerCall([&] { run_all(warm_reader); });
+  // Logical result bytes per query set; same numerator both sides, so
+  // the mbps ratio IS the speedup.
+  const double logical_mb =
+      static_cast<double>(result_points) * 16.0 / (1024.0 * 1024.0);
+  const double speedup = cold_s / warm_s;
+  std::printf("read_cached  cold %8.1f us/query   warm %8.1f us/query   "
+              "speedup %.1fx\n",
+              cold_s * 1e6 / kQueries, warm_s * 1e6 / kQueries, speedup);
+  out->WriteRecord("read_cached", {{"mode", "cold"},
+                                   {"queries", kQueries},
+                                   {"query_mbps", logical_mb / cold_s}});
+  out->WriteRecord("read_cached", {{"mode", "warm"},
+                                   {"queries", kQueries},
+                                   {"query_mbps", logical_mb / warm_s},
+                                   {"warm_speedup", speedup}});
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// fixed_interval: full scans, fixed-interval vs explicit timed pages.
+// ---------------------------------------------------------------------
+int BenchFixedInterval(const std::string& fixed_path,
+                       const std::string& jitter_path, size_t n,
+                       bench::JsonlWriter* out) {
+  const double logical_mb = static_cast<double>(n) * 16.0 / (1024.0 * 1024.0);
+  double explicit_mbps = 0;
+  for (const bool fixed : {false, true}) {
+    const std::string& path = fixed ? fixed_path : jitter_path;
+    storage::TsFileReader reader;
+    if (!reader.Open(path).ok()) return 1;
+    const auto info = reader.FindSeries("s");
+    if (!info.ok()) return 1;
+    // The layouts must really differ, or the comparison is meaningless.
+    for (const storage::PageInfo& page : (*info)->pages) {
+      if (page.fixed_interval != fixed) {
+        std::fprintf(stderr, "fixed_interval: unexpected page layout\n");
+        return 1;
+      }
+    }
+    std::vector<DataPoint> got;
+    const double s = bench::BestTimePerCall([&] {
+      got.clear();
+      if (!reader.ReadTimeSeries("s", &got).ok()) std::abort();
+    });
+    if (got.size() != n) {
+      std::fprintf(stderr, "fixed_interval: short scan\n");
+      return 1;
+    }
+    const double mbps = logical_mb / s;
+    if (!fixed) explicit_mbps = mbps;
+    std::printf("fixed_interval %-8s %8.0f MB/s   file %8llu bytes\n",
+                fixed ? "fixed" : "explicit", mbps,
+                static_cast<unsigned long long>(reader.file_size()));
+    out->WriteRecord("fixed_interval",
+                     {{"layout", fixed ? "fixed" : "explicit"},
+                      {"file_bytes", reader.file_size()},
+                      {"scan_mbps", mbps},
+                      {"fixed_speedup", fixed ? mbps / explicit_mbps : 1.0}});
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000;
+  if (n < 16) {
+    std::fprintf(stderr, "usage: micro_read [points>=16]\n");
+    return 2;
+  }
+  bench::JsonlWriter out("BENCH_read.json");
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot write BENCH_read.json\n");
+    return 1;
+  }
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("bos_micro_read_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string fixed_path = (dir / "fixed.bos").string();
+  const std::string jitter_path = (dir / "jitter.bos").string();
+  const std::string cached_path = (dir / "cached.bos").string();
+
+  const auto fixed_points = MakePoints(n, /*jitter=*/false);
+  const auto jitter_points = MakePoints(n, /*jitter=*/true);
+  int rc = 1;
+  if (WriteTsFile(fixed_path, fixed_points, "s") &&
+      WriteTsFile(jitter_path, jitter_points, "s") &&
+      WriteTsFile(cached_path, fixed_points, "s", kCachedSpec,
+                  kCachedPageSize)) {
+    rc = BenchSource(jitter_path, &out);
+    if (rc == 0) rc = BenchCached(cached_path, fixed_points, &out);
+    if (rc == 0) {
+      rc = BenchFixedInterval(fixed_path, jitter_path, n, &out);
+    }
+  } else {
+    std::fprintf(stderr, "writing bench files failed\n");
+  }
+  std::filesystem::remove_all(dir);
+  return rc;
+}

@@ -1,6 +1,16 @@
 // Fuzz target: the TsFile-lite container. Arbitrary bytes must be
 // rejected as a file; a bit-flipped real file must fail cleanly (footer
 // CRC, page CRC, or a Corruption status) — never crash or overread.
+//
+// Selector bits steer the read configuration so the hostile bytes also
+// travel the cache fill path and the mmap page source:
+//   bit 0: arbitrary-bytes mode (0) vs round-trip bit-flip mode (1)
+//   bit 1: round-trip writes a timed series too (mixed fixed-interval
+//          and explicit pages, so flips land in the flags/interval
+//          footer fields and in fixed-page payloads)
+//   bit 2: open with mmap instead of pread
+// Every scan runs twice through a small shared PageCache: the first
+// pass fills it (CRC on the fill path), the second hits it.
 
 #include <unistd.h>
 
@@ -11,6 +21,7 @@
 #include <string>
 
 #include "fuzz_common.h"
+#include "storage/page_cache.h"
 #include "storage/tsfile.h"
 
 namespace {
@@ -29,13 +40,43 @@ void WriteFile(const std::string& path, const bos::Bytes& bytes) {
           static_cast<std::streamsize>(bytes.size()));
 }
 
-void OpenAndScan(const std::string& path) {
+void OpenAndScan(const std::string& path, bool use_mmap) {
+  // Small budget: inserts and evictions both happen under fuzz inputs.
+  bos::storage::PageCache cache(/*capacity_bytes=*/1 << 14);
   bos::storage::TsFileReader reader;
-  if (!reader.Open(path).ok()) return;
-  for (const auto& info : reader.series()) {
-    std::vector<int64_t> values;
-    (void)reader.ReadSeries(info.name, &values, nullptr);
+  const bos::storage::ReaderOptions options{.use_mmap = use_mmap,
+                                            .cache = &cache};
+  if (!reader.Open(path, options).ok()) return;
+  // Two passes: pass 0 fills the cache from hostile bytes, pass 1 reads
+  // back through it (hits must behave exactly like the original read).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& info : reader.series()) {
+      if (info.timed) {
+        std::vector<bos::codecs::DataPoint> points;
+        (void)reader.ReadTimeSeries(info.name, &points, nullptr);
+        (void)reader.ReadTimeRange(info.name, -1000, 1000, &points, nullptr);
+      } else {
+        std::vector<int64_t> values;
+        (void)reader.ReadSeries(info.name, &values, nullptr);
+      }
+    }
   }
+}
+
+// Timestamps that alternate page-by-page between a pure arithmetic
+// sequence and a jittered one (page_size 64), so the file carries both
+// fixed-interval and explicit timed pages.
+std::vector<bos::codecs::DataPoint> MixedTimedPoints(bos::Rng* rng,
+                                                     size_t max_n) {
+  const size_t n = rng->Uniform(max_n + 1);
+  std::vector<bos::codecs::DataPoint> points(n);
+  int64_t t = rng->UniformInt(-1000, 1000);
+  for (size_t i = 0; i < n; ++i) {
+    const bool regular_page = ((i / 64) % 2) == 0;
+    t += regular_page ? 10 : 1 + static_cast<int64_t>(rng->Uniform(9));
+    points[i] = {t, rng->UniformInt(-100000, 100000)};
+  }
+  return points;
 }
 
 }  // namespace
@@ -43,12 +84,13 @@ void OpenAndScan(const std::string& path) {
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   bos::fuzz::FuzzInput in(data, size);
   const uint8_t selector = in.TakeByte();
+  const bool use_mmap = (selector & 4) != 0;
   const std::string path = TempFilePath();
 
   if ((selector & 1) == 0) {
     const bos::BytesView rest = in.Rest();
     WriteFile(path, bos::Bytes(rest.begin(), rest.end()));
-    OpenAndScan(path);  // any status, no crash
+    OpenAndScan(path, use_mmap);  // any status, no crash
     std::filesystem::remove(path);
     return 0;
   }
@@ -63,6 +105,14 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
                     "append failed");
     BOS_FUZZ_ASSERT(writer.AppendSeries("b", "RLE+BP", b).ok(),
                     "append failed");
+    if ((selector & 2) != 0) {
+      const auto points = MixedTimedPoints(&rng, 256);
+      BOS_FUZZ_ASSERT(
+          writer
+              .AppendTimeSeries("t", "TS2DIFF+BOS-B|TS2DIFF+BOS-B", points)
+              .ok(),
+          "append timed failed");
+    }
     BOS_FUZZ_ASSERT(writer.Finish().ok(), "finish failed");
   }
   bos::Bytes file;
@@ -73,7 +123,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   }
   (void)bos::fuzz::FlipBits(&file, &in);
   WriteFile(path, file);
-  OpenAndScan(path);  // CRCs catch most flips; the rest must fail cleanly
+  OpenAndScan(path, use_mmap);  // CRCs catch most flips; rest fail cleanly
   std::filesystem::remove(path);
   return 0;
 }

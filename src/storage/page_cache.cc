@@ -1,0 +1,161 @@
+#include "storage/page_cache.h"
+
+#include <bit>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace bos::storage {
+namespace {
+
+// 64-bit mix of the key pair; the high bits pick the shard and the full
+// hash feeds the shard's table, so both distributions stay independent
+// of page-offset alignment patterns.
+uint64_t Mix(uint64_t file_id, uint64_t offset) {
+  uint64_t h = file_id * 0x9e3779b97f4a7c15ULL;
+  h ^= offset + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+struct PageCache::Shard {
+  struct Key {
+    uint64_t file_id = 0;
+    uint64_t offset = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(Mix(k.file_id, k.offset));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Bytes> payload;
+    size_t charge = 0;
+  };
+
+  std::mutex mu;
+  std::list<Entry> lru;  ///< front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+  size_t bytes = 0;
+};
+
+PageCache::PageCache(size_t capacity_bytes, size_t shards)
+    : capacity_(capacity_bytes) {
+  const size_t n = std::bit_ceil(shards == 0 ? size_t{1} : shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = capacity_ / n;
+}
+
+PageCache::~PageCache() = default;
+
+uint64_t PageCache::NewFileId() {
+  return next_file_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PageCache::Shard& PageCache::ShardFor(uint64_t file_id, uint64_t offset) {
+  // The table hash uses the low bits; take the shard index from the top.
+  const uint64_t h = Mix(file_id, offset);
+  return *shards_[static_cast<size_t>(h >> 32) & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const Bytes> PageCache::Lookup(uint64_t file_id,
+                                               uint64_t offset) {
+  Shard& shard = ShardFor(file_id, offset);
+  const Shard::Key key{file_id, offset};
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    BOS_TELEMETRY_COUNTER_ADD("bos.storage.cache.misses", 1);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.cache.hits", 1);
+  return it->second->payload;
+}
+
+void PageCache::Insert(uint64_t file_id, uint64_t offset,
+                       std::shared_ptr<const Bytes> payload) {
+  if (payload == nullptr) return;
+  const size_t charge = payload->size();
+  if (charge > shard_capacity_) return;  // would evict a whole shard
+  Shard& shard = ShardFor(file_id, offset);
+  const Shard::Key key{file_id, offset};
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Files are immutable and ids unique, so the bytes are already
+      // here; just refresh recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Shard::Entry{key, std::move(payload), charge});
+    shard.map.emplace(key, shard.lru.begin());
+    shard.bytes += charge;
+    bytes_.fetch_add(charge, std::memory_order_relaxed);
+    while (shard.bytes > shard_capacity_) {
+      const Shard::Entry& victim = shard.lru.back();
+      shard.bytes -= victim.charge;
+      bytes_.fetch_sub(victim.charge, std::memory_order_relaxed);
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    BOS_TELEMETRY_COUNTER_ADD("bos.storage.cache.evictions",
+                              static_cast<int64_t>(evicted));
+  }
+  BOS_TELEMETRY_GAUGE_SET("bos.storage.cache.bytes",
+                          static_cast<int64_t>(bytes_used()));
+}
+
+void PageCache::ForgetFile(uint64_t file_id) {
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file_id == file_id) {
+        shard.bytes -= it->charge;
+        bytes_.fetch_sub(it->charge, std::memory_order_relaxed);
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  BOS_TELEMETRY_GAUGE_SET("bos.storage.cache.bytes",
+                          static_cast<int64_t>(bytes_used()));
+}
+
+PageCache::Stats PageCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    stats.entries += shard_ptr->map.size();
+  }
+  return stats;
+}
+
+}  // namespace bos::storage

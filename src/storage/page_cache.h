@@ -1,0 +1,94 @@
+#ifndef BOS_STORAGE_PAGE_CACHE_H_
+#define BOS_STORAGE_PAGE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/buffer.h"
+
+namespace bos::storage {
+
+/// \brief Sharded LRU cache of validated page payloads, keyed by
+/// (file_id, page_offset).
+///
+/// Entries hold the codec payload *after* its CRC has been verified, so
+/// a hit skips both the disk read and the re-verification — the two
+/// costs repeated queries would otherwise pay per page, per query.
+/// Payloads are handed out as `shared_ptr` pins: eviction under a
+/// concurrent reader only drops the cache's reference, never the bytes
+/// the reader is still decoding.
+///
+/// Identity is never the file path: paths can be reused (compaction
+/// removes files and the sequence counter restarts on reopen), so every
+/// `TsFileReader::Open` draws a fresh id from `NewFileId()` and calls
+/// `ForgetFile` when it closes.
+///
+/// Thread safety: fully thread-safe. The key space is sharded by hash
+/// across independently locked LRU lists, so concurrent readers on
+/// different pages rarely contend on the same mutex. The byte budget is
+/// split evenly across shards and enforced per shard at insert time.
+///
+/// Telemetry: `bos.storage.cache.{hits,misses,evictions}` counters and a
+/// `bos.storage.cache.bytes` gauge; the same numbers are exposed
+/// programmatically through `GetStats` for tests and `boscli`.
+class PageCache {
+ public:
+  /// `capacity_bytes` bounds the cached payload bytes; `shards` is
+  /// rounded up to a power of two.
+  explicit PageCache(size_t capacity_bytes, size_t shards = 16);
+  ~PageCache();
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// A process-unique id for one opened file.
+  uint64_t NewFileId();
+
+  /// The payload cached under (file_id, offset), or nullptr. A hit
+  /// refreshes the entry's LRU recency.
+  std::shared_ptr<const Bytes> Lookup(uint64_t file_id, uint64_t offset);
+
+  /// Caches `payload` (which the caller has already CRC-verified),
+  /// evicting least-recently-used entries past the shard budget. An
+  /// entry larger than one shard's whole budget is not cached at all.
+  void Insert(uint64_t file_id, uint64_t offset,
+              std::shared_ptr<const Bytes> payload);
+
+  /// Drops every entry of `file_id` (called when a reader closes or a
+  /// compaction removes the file).
+  void ForgetFile(uint64_t file_id);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;    ///< cached payload bytes right now
+    uint64_t entries = 0;  ///< cached pages right now
+  };
+  Stats GetStats() const;
+
+  size_t capacity_bytes() const { return capacity_; }
+  uint64_t bytes_used() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard;
+
+  Shard& ShardFor(uint64_t file_id, uint64_t offset);
+
+  size_t capacity_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_file_id_{1};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace bos::storage
+
+#endif  // BOS_STORAGE_PAGE_CACHE_H_

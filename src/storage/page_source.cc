@@ -1,0 +1,175 @@
+#include "storage/page_source.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BOS_STORAGE_HAVE_POSIX_IO 1
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#include <mutex>
+#endif
+
+#include "telemetry/telemetry.h"
+#include "util/safe_math.h"
+
+namespace bos::storage {
+namespace {
+
+#if defined(BOS_STORAGE_HAVE_POSIX_IO)
+
+/// Positional pread on a plain fd. No mutex: pread carries its own
+/// offset, so concurrent page reads on one descriptor never serialize.
+class FilePageSource final : public PageSource {
+ public:
+  FilePageSource(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~FilePageSource() override { ::close(fd_); }
+
+  Status ReadAt(uint64_t offset, uint64_t size, Bytes* scratch,
+                BytesView* out) const override {
+    if (!SliceFits(size_, offset, size)) {
+      return Status::IoError("read past end of file");
+    }
+    scratch->resize(static_cast<size_t>(size));
+    uint64_t done = 0;
+    while (done < size) {
+      const ssize_t got =
+          ::pread(fd_, scratch->data() + done, static_cast<size_t>(size - done),
+                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError("pread failed");
+      }
+      if (got == 0) return Status::IoError("short read");
+      done += static_cast<uint64_t>(got);
+    }
+    *out = BytesView(*scratch);
+    return Status::OK();
+  }
+
+  uint64_t file_size() const override { return size_; }
+  bool zero_copy() const override { return false; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+/// Read-only mapping of the whole file; ReadAt is pointer math, the
+/// decoders run directly over the page cache's copy of the bytes.
+class MmapPageSource final : public PageSource {
+ public:
+  MmapPageSource(const uint8_t* map, uint64_t size) : map_(map), size_(size) {}
+  ~MmapPageSource() override {
+    ::munmap(const_cast<uint8_t*>(map_), static_cast<size_t>(size_));
+  }
+
+  Status ReadAt(uint64_t offset, uint64_t size, Bytes* scratch,
+                BytesView* out) const override {
+    (void)scratch;
+    if (!SliceFits(size_, offset, size)) {
+      return Status::IoError("read past end of file");
+    }
+    *out = BytesView(map_ + offset, static_cast<size_t>(size));
+    return Status::OK();
+  }
+
+  uint64_t file_size() const override { return size_; }
+  bool zero_copy() const override { return true; }
+
+ private:
+  const uint8_t* map_;
+  uint64_t size_;
+};
+
+#else  // stdio fallback: seek+read under a mutex, as before PageSource.
+
+class StdioPageSource final : public PageSource {
+ public:
+  StdioPageSource(std::FILE* file, uint64_t size) : file_(file), size_(size) {}
+  ~StdioPageSource() override { std::fclose(file_); }
+
+  Status ReadAt(uint64_t offset, uint64_t size, Bytes* scratch,
+                BytesView* out) const override {
+    if (!SliceFits(size_, offset, size)) {
+      return Status::IoError("read past end of file");
+    }
+    scratch->resize(static_cast<size_t>(size));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("seek failed");
+    }
+    if (std::fread(scratch->data(), 1, scratch->size(), file_) !=
+        scratch->size()) {
+      return Status::IoError("short read");
+    }
+    *out = BytesView(*scratch);
+    return Status::OK();
+  }
+
+  uint64_t file_size() const override { return size_; }
+  bool zero_copy() const override { return false; }
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_;
+  uint64_t size_;
+};
+
+#endif
+
+}  // namespace
+
+Result<std::unique_ptr<PageSource>> MakePageSource(
+    const std::string& path, const PageSourceOptions& options) {
+#if defined(BOS_STORAGE_HAVE_POSIX_IO)
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (options.use_mmap && size > 0) {
+    void* map = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);  // the mapping keeps the file alive
+      BOS_TELEMETRY_COUNTER_ADD("bos.storage.source.open_mmap", 1);
+      std::unique_ptr<PageSource> source = std::make_unique<MmapPageSource>(
+          static_cast<const uint8_t*>(map), size);
+      return source;
+    }
+    // mmap can fail where open succeeded (e.g. no address space); the
+    // pread source answers the same reads, just with a copy.
+  }
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.source.open_pread", 1);
+  std::unique_ptr<PageSource> source =
+      std::make_unique<FilePageSource>(fd, size);
+  return source;
+#else
+  (void)options;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open " + path);
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed");
+  }
+  const long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot determine size of " + path);
+  }
+  BOS_TELEMETRY_COUNTER_ADD("bos.storage.source.open_stdio", 1);
+  std::unique_ptr<PageSource> source =
+      std::make_unique<StdioPageSource>(file, static_cast<uint64_t>(size));
+  return source;
+#endif
+}
+
+}  // namespace bos::storage

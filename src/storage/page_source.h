@@ -1,0 +1,59 @@
+#ifndef BOS_STORAGE_PAGE_SOURCE_H_
+#define BOS_STORAGE_PAGE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::storage {
+
+/// How MakePageSource opens the file.
+struct PageSourceOptions {
+  /// Map the whole file read-only and hand out views straight into the
+  /// mapping (zero-copy) instead of pread+copy. Falls back to the file
+  /// source when mmap is unavailable or fails.
+  bool use_mmap = false;
+};
+
+/// \brief Random-access byte source behind TsFileReader and the
+/// inspector — the seam that separates "where page bytes come from"
+/// (pread, mmap, someday a remote blob) from the format logic above it.
+///
+/// Contract (LevelDB RandomAccessFile style): `ReadAt` either fills
+/// `*scratch` and points `*out` at it, or points `*out` at memory the
+/// source owns (`zero_copy()` sources). Either way `*out` stays valid
+/// until the next ReadAt that reuses the same scratch, or until the
+/// source is destroyed — whichever comes first.
+///
+/// Thread safety: ReadAt is positional and lock-free on POSIX (pread /
+/// pointer math into the mapping), so any number of threads may read
+/// concurrently as long as each brings its own scratch buffer.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+
+  /// Reads exactly [offset, offset+size); short files are IoError.
+  virtual Status ReadAt(uint64_t offset, uint64_t size, Bytes* scratch,
+                        BytesView* out) const = 0;
+
+  /// Total size of the file in bytes.
+  virtual uint64_t file_size() const = 0;
+
+  /// True when ReadAt returns views into source-owned memory (the view
+  /// then does not depend on scratch, but still dies with the source).
+  virtual bool zero_copy() const = 0;
+};
+
+/// Opens `path` per `options`: an mmap source when requested (and
+/// possible), otherwise positional pread with no shared-handle mutex
+/// (portable stdio fallback on platforms without pread).
+Result<std::unique_ptr<PageSource>> MakePageSource(
+    const std::string& path, const PageSourceOptions& options = {});
+
+}  // namespace bos::storage
+
+#endif  // BOS_STORAGE_PAGE_SOURCE_H_

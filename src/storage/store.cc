@@ -35,6 +35,9 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(const StoreOptions& options) {
   if (ec) return Status::IoError("cannot create " + options.dir);
 
   auto store = std::unique_ptr<TsStore>(new TsStore(options));
+  if (options.cache_mb > 0) {
+    store->cache_ = std::make_unique<PageCache>(options.cache_mb << 20);
+  }
 
   if (options.enable_wal) {
     const std::string wal_path = (fs::path(options.dir) / "wal").string();
@@ -60,9 +63,9 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(const StoreOptions& options) {
   }
   std::sort(found.begin(), found.end());
   for (const std::string& path : found) {
-    // Validate eagerly so a corrupt store fails at open, not at query.
-    TsFileReader reader;
-    BOS_RETURN_NOT_OK(reader.Open(path));
+    // Validate eagerly so a corrupt store fails at open, not at query;
+    // the opened reader goes straight into the shared reader cache.
+    BOS_RETURN_NOT_OK(store->ReaderFor(path).status());
     store->files_.push_back(path);
   }
   store->next_file_seq_ = found.size();
@@ -85,11 +88,13 @@ Status TsStore::MaybeSyncWal(size_t appended) {
   return wal_->Sync();
 }
 
-Result<TsFileReader*> TsStore::ReaderFor(const std::string& path) {
+Result<TsFileReader*> TsStore::ReaderFor(const std::string& path) const {
   auto it = readers_.find(path);
   if (it == readers_.end()) {
     auto reader = std::make_unique<TsFileReader>();
-    BOS_RETURN_NOT_OK(reader->Open(path));
+    BOS_RETURN_NOT_OK(reader->Open(
+        path, ReaderOptions{.use_mmap = options_.use_mmap,
+                            .cache = cache_.get()}));
     it = readers_.emplace(path, std::move(reader)).first;
   }
   return it->second.get();
@@ -385,9 +390,9 @@ std::vector<std::string> TsStore::ListSeries() const {
   std::set<std::string> names;
   for (const auto& [series, points] : memtable_) names.insert(series);
   for (const std::string& path : files_) {
-    TsFileReader reader;
-    if (!reader.Open(path).ok()) continue;  // const method: no cache access
-    for (const SeriesInfo& s : reader.series()) names.insert(s.name);
+    const auto reader = ReaderFor(path);
+    if (!reader.ok()) continue;  // validated at open; tolerate races
+    for (const SeriesInfo& s : (*reader)->series()) names.insert(s.name);
   }
   return {names.begin(), names.end()};
 }

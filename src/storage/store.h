@@ -9,6 +9,7 @@
 #include "codecs/timeseries.h"
 #include "exec/thread_pool.h"
 #include "select/selection.h"
+#include "storage/page_cache.h"
 #include "storage/tsfile.h"
 #include "storage/wal.h"
 #include "util/result.h"
@@ -47,6 +48,16 @@ struct StoreOptions {
   /// crash but not a power failure). Syncs are counted in telemetry as
   /// `bos.storage.wal.syncs`.
   size_t wal_sync_every_n = 0;
+
+  /// Byte budget (in MiB) of the store's block cache, shared by every
+  /// file reader: CRC-verified page payloads are kept so repeated
+  /// queries skip both the read and the re-verification. 0 disables the
+  /// cache entirely.
+  size_t cache_mb = 64;
+
+  /// Open file readers over mmap (zero-copy page views) instead of
+  /// positional pread. Falls back to pread where mmap is unavailable.
+  bool use_mmap = false;
 };
 
 /// \brief A miniature IoTDB-style time-series store: an in-memory
@@ -112,6 +123,9 @@ class TsStore {
   /// All series names across memtable and files, sorted.
   std::vector<std::string> ListSeries() const;
 
+  /// The store's block cache (for stats), or nullptr when disabled.
+  const PageCache* page_cache() const { return cache_.get(); }
+
   /// The codec spec a series flushes with ("time|value"); reflects the
   /// advisor's pick once auto_advise has seen the series.
   std::string SpecFor(const std::string& series) const;
@@ -132,14 +146,19 @@ class TsStore {
   Status MaybeSyncWal(size_t appended);
 
   /// Cached reader for an immutable file (files never change once
-  /// written, so readers stay valid until the file is removed).
-  Result<TsFileReader*> ReaderFor(const std::string& path);
+  /// written, so readers stay valid until the file is removed). Const —
+  /// the reader map is a cache, not observable state — so const paths
+  /// like ListSeries share readers instead of opening throwaway ones.
+  Result<TsFileReader*> ReaderFor(const std::string& path) const;
 
   StoreOptions options_;
   std::unique_ptr<exec::ThreadPool> owned_pool_;
   size_t wal_unsynced_appends_ = 0;
   std::unique_ptr<WalWriter> wal_;
-  std::map<std::string, std::unique_ptr<TsFileReader>> readers_;
+  // Declared before readers_: readers drop their cache entries on
+  // destruction, so the cache must be destroyed after them.
+  std::unique_ptr<PageCache> cache_;
+  mutable std::map<std::string, std::unique_ptr<TsFileReader>> readers_;
   std::map<std::string, std::vector<codecs::DataPoint>> memtable_;
   size_t memtable_size_ = 0;
   std::vector<std::string> files_;  // oldest first

@@ -4,10 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
 #include "bitpack/varint.h"
 #include "codecs/registry.h"
+#include "storage/page_cache.h"
+#include "storage/page_source.h"
 #include "telemetry/telemetry.h"
 #include "util/crc32.h"
 #include "util/macros.h"
@@ -37,6 +38,37 @@ Status GetString(BytesView data, size_t* offset, std::string* s) {
   s->assign(reinterpret_cast<const char*>(data.data() + *offset), len);
   *offset += len;
   return Status::OK();
+}
+
+// Footer page-flag bits. Unknown bits are rejected at Open so a future
+// format revision cannot be silently misread.
+constexpr uint64_t kPageFlagFixedInterval = 1;
+
+// The value half of a "time_spec|value_spec" pair. Only called with
+// specs MakeTimeSeriesCodec accepted, so the bar is present.
+std::string_view ValueSpecOf(std::string_view spec) {
+  return spec.substr(spec.find('|') + 1);
+}
+
+// Detects a pure arithmetic timestamp sequence: every delta equal,
+// positive, and the total span representable in int64 (so reader-side
+// index arithmetic cannot overflow). Wrap-free by working in uint64.
+bool DetectFixedInterval(std::span<const codecs::DataPoint> points,
+                         int64_t* interval) {
+  if (points.size() < 2) return false;
+  const uint64_t d0 = static_cast<uint64_t>(points[1].timestamp) -
+                      static_cast<uint64_t>(points[0].timestamp);
+  if (d0 == 0 || d0 > static_cast<uint64_t>(INT64_MAX)) return false;
+  for (size_t i = 2; i < points.size(); ++i) {
+    const uint64_t d = static_cast<uint64_t>(points[i].timestamp) -
+                       static_cast<uint64_t>(points[i - 1].timestamp);
+    if (d != d0) return false;
+  }
+  const uint64_t span = static_cast<uint64_t>(points.back().timestamp) -
+                        static_cast<uint64_t>(points.front().timestamp);
+  if (span > static_cast<uint64_t>(INT64_MAX)) return false;
+  *interval = static_cast<int64_t>(d0);
+  return true;
 }
 
 }  // namespace
@@ -107,11 +139,21 @@ void FillValueStats(std::span<const int64_t> values, EncodedPage* page) {
 
 }  // namespace
 
+// Codec block size for a page: the page is the unit of IO and CRC, the
+// block is the unit of (selective) decode. A page larger than the codec
+// default simply holds several blocks, so widening pages for IO
+// efficiency never widens the minimum decode. Pages at or below the
+// default keep their historical single-block encoding byte for byte.
+static size_t PageBlockSize(size_t page_size) {
+  return std::min(page_size, codecs::kDefaultBlockSize);
+}
+
 Result<EncodedSeries> EncodeSeriesPages(const std::string& name,
                                         std::string_view spec,
                                         std::span<const int64_t> values,
                                         size_t page_size) {
-  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(spec, page_size));
+  BOS_ASSIGN_OR_RETURN(auto codec,
+                       codecs::MakeSeriesCodec(spec, PageBlockSize(page_size)));
 
   EncodedSeries series;
   series.name = name;
@@ -136,8 +178,15 @@ Result<EncodedSeries> EncodeSeriesPages(const std::string& name,
 Result<EncodedSeries> EncodeTimeSeriesPages(
     const std::string& name, std::string_view spec,
     std::span<const codecs::DataPoint> points, size_t page_size) {
-  BOS_ASSIGN_OR_RETURN(auto codec,
-                       codecs::MakeTimeSeriesCodec(spec, page_size));
+  BOS_ASSIGN_OR_RETURN(
+      auto codec,
+      codecs::MakeTimeSeriesCodec(spec, PageBlockSize(page_size)));
+  // The value codec alone, for fixed-interval pages that store no time
+  // column. Same spec half, same block size, so a fixed page's value
+  // stream is byte-identical to the value half of an explicit page.
+  BOS_ASSIGN_OR_RETURN(
+      auto value_codec,
+      codecs::MakeSeriesCodec(ValueSpecOf(spec), PageBlockSize(page_size)));
   for (size_t i = 1; i < points.size(); ++i) {
     if (points[i].timestamp < points[i - 1].timestamp) {
       return Status::InvalidArgument("time series must be sorted by time");
@@ -154,15 +203,23 @@ Result<EncodedSeries> EncodeTimeSeriesPages(
   for (size_t start = 0; start == 0 || start < points.size();
        start += page_size) {
     const size_t len = std::min(page_size, points.size() - start);
+    const auto page_points = points.subspan(start, len);
     EncodedPage page;
-    BOS_RETURN_NOT_OK(
-        codec->Compress(points.subspan(start, len), &page.payload));
     page.count = len;
     page.first_index = start;
     page.min_time = len > 0 ? points[start].timestamp : 0;
     page.max_time = len > 0 ? points[start + len - 1].timestamp : 0;
     page_values.resize(len);
     for (size_t i = 0; i < len; ++i) page_values[i] = points[start + i].value;
+    if (DetectFixedInterval(page_points, &page.interval)) {
+      // Regular sampling: drop the time column entirely; the footer's
+      // (min_time, interval, count) triple regenerates it.
+      page.fixed_interval = true;
+      BOS_RETURN_NOT_OK(value_codec->Compress(page_values, &page.payload));
+      BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.fixed_interval", 1);
+    } else {
+      BOS_RETURN_NOT_OK(codec->Compress(page_points, &page.payload));
+    }
     FillValueStats(page_values, &page);
     series.pages.push_back(std::move(page));
     if (points.empty()) break;  // single empty page
@@ -188,6 +245,8 @@ Status TsFileWriter::WritePage(const EncodedPage& encoded, SeriesInfo* info) {
   pi.min_value = encoded.min_value;
   pi.max_value = encoded.max_value;
   pi.sum_value = encoded.sum_value;
+  pi.fixed_interval = encoded.fixed_interval;
+  pi.interval = encoded.interval;
   info->pages.push_back(pi);
   BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.writes", 1);
   BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.write_bytes", page.size());
@@ -249,6 +308,9 @@ Status TsFileWriter::Finish() {
       bitpack::PutSignedVarint(&footer, p.min_value);
       bitpack::PutSignedVarint(&footer, p.max_value);
       bitpack::PutSignedVarint(&footer, p.sum_value);
+      bitpack::PutVarint(&footer,
+                         p.fixed_interval ? kPageFlagFixedInterval : 0);
+      if (p.fixed_interval) bitpack::PutSignedVarint(&footer, p.interval);
     }
   }
   PutFixed<uint32_t>(&footer, Crc32(footer.data(), footer.size()));
@@ -270,30 +332,84 @@ Status TsFileWriter::Finish() {
 // Reader
 // ---------------------------------------------------------------------
 
+namespace {
+
+// The decoders a timed series needs: the two-column pair codec for
+// explicit pages, the value codec alone for fixed-interval pages.
+struct TimedCodecs {
+  std::shared_ptr<const codecs::TimeSeriesCodec> pair;
+  std::shared_ptr<const codecs::SeriesCodec> value;
+};
+
+// Pages are always encoded with a block size of
+// min(page_size, kDefaultBlockSize) — see PageBlockSize — so the
+// default-block decoder handles every page: large pages are a sequence
+// of default-size blocks, small pages a single short final block.
+Result<TimedCodecs> MakeTimedCodecs(const std::string& spec) {
+  TimedCodecs tc;
+  BOS_ASSIGN_OR_RETURN(tc.pair, codecs::MakeTimeSeriesCodec(spec));
+  BOS_ASSIGN_OR_RETURN(tc.value, codecs::MakeSeriesCodec(ValueSpecOf(spec)));
+  return tc;
+}
+
+}  // namespace
+
 struct TsFileReader::Impl {
-  std::FILE* file = nullptr;
+  std::unique_ptr<PageSource> source;
   uint64_t file_size = 0;
   std::vector<SeriesInfo> series;
-  // Serializes seek+read pairs on the shared handle so concurrent page
-  // reads (TsStore's parallel query/compact) never interleave; decode
-  // happens outside this lock.
-  std::mutex io_mu;
+  PageCache* cache = nullptr;
+  uint64_t cache_file_id = 0;
+
+  // Decoders built once at Open: codec construction parses the spec and
+  // allocates the whole operator chain, far too costly to repeat on
+  // every query call. A bad spec is kept as a Status and surfaces on
+  // first use of that series, exactly as the old per-call construction
+  // did. Immutable after Open, so the read path stays lock-free.
+  struct SeriesDecoders {
+    Status status = Status::OK();
+    std::shared_ptr<const codecs::SeriesCodec> value;  ///< untimed series
+    TimedCodecs timed;                                 ///< timed series
+    /// Pages are non-overlapping and ascending in time (what the writer
+    /// always produces for a sorted series), so time-range queries may
+    /// binary-search the page directory. Checked at Open — a hostile
+    /// footer that interleaves page time ranges just falls back to the
+    /// linear scan.
+    bool time_ordered = false;
+  };
+  std::vector<SeriesDecoders> decoders;  ///< parallel to `series`
 
   ~Impl() {
-    if (file != nullptr) std::fclose(file);
+    if (cache != nullptr) cache->ForgetFile(cache_file_id);
   }
 
-  Status ReadAt(uint64_t offset, uint64_t size, Bytes* out) {
-    out->resize(size);
-    std::lock_guard<std::mutex> lock(io_mu);
-    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IoError("seek failed");
-    }
-    if (std::fread(out->data(), 1, size, file) != size) {
-      return Status::IoError("short read");
-    }
-    return Status::OK();
+  Result<const codecs::SeriesCodec*> ValueCodecFor(
+      const SeriesInfo* info) const {
+    const SeriesDecoders& d = decoders[static_cast<size_t>(
+        info - series.data())];
+    BOS_RETURN_NOT_OK(d.status);
+    return d.value.get();
   }
+
+  Result<const TimedCodecs*> TimedCodecsFor(const SeriesInfo* info) const {
+    const SeriesDecoders& d = decoders[static_cast<size_t>(
+        info - series.data())];
+    BOS_RETURN_NOT_OK(d.status);
+    return &d.timed;
+  }
+
+  bool TimeOrdered(const SeriesInfo* info) const {
+    return decoders[static_cast<size_t>(info - series.data())].time_ordered;
+  }
+
+  // Per-call read state, owned by each Read*/Aggregate* call (never
+  // shared between threads): `scratch` is reused across page fetches,
+  // `pinned` keeps a cache payload alive while it is being decoded —
+  // eviction can only drop the cache's own reference.
+  struct PageBuffer {
+    Bytes scratch;
+    std::shared_ptr<const Bytes> pinned;
+  };
 
   const SeriesInfo* Find(const std::string& name) const {
     for (const SeriesInfo& s : series) {
@@ -302,12 +418,25 @@ struct TsFileReader::Impl {
     return nullptr;
   }
 
-  // Reads and CRC-checks one page; `raw` receives the page bytes and
-  // `payload` the validated codec payload view into it.
+  // Produces one page's validated codec payload in `*payload`. A cache
+  // hit pins the stored bytes and touches neither the file nor the CRC
+  // (verified once, at fill); a miss reads through `source`, validates,
+  // and (with a cache) inserts an owned copy. The view stays valid
+  // until the next fetch through the same `buf`.
   Status FetchPagePayload(const SeriesInfo& info, const PageInfo& page,
-                          Bytes* raw, BytesView* payload, ScanStats* stats) {
+                          PageBuffer* buf, BytesView* payload,
+                          ScanStats* stats) {
+    if (cache != nullptr) {
+      if (auto hit = cache->Lookup(cache_file_id, page.offset)) {
+        *payload = BytesView(*hit);
+        buf->pinned = std::move(hit);
+        return Status::OK();
+      }
+    }
     const auto io_start = std::chrono::steady_clock::now();
-    BOS_RETURN_NOT_OK(ReadAt(page.offset, page.size, raw));
+    BytesView raw;
+    BOS_RETURN_NOT_OK(source->ReadAt(page.offset, page.size, &buf->scratch,
+                                     &raw));
     BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.reads", 1);
     BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.read_bytes", page.size);
     if (stats != nullptr) {
@@ -318,32 +447,40 @@ struct TsFileReader::Impl {
 
     size_t pos = 0;
     uint64_t count, payload_size;
-    BOS_RETURN_NOT_OK(bitpack::GetVarint(*raw, &pos, &count));
-    BOS_RETURN_NOT_OK(bitpack::GetVarint(*raw, &pos, &payload_size));
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(raw, &pos, &count));
+    BOS_RETURN_NOT_OK(bitpack::GetVarint(raw, &pos, &payload_size));
     // SliceFits first: a near-2^64 payload_size would wrap `pos +
     // payload_size + 4` back into range and pass the equality check.
-    if (!SliceFits(raw->size(), pos, payload_size) ||
-        pos + payload_size + 4 != raw->size() || count != page.count) {
+    if (!SliceFits(raw.size(), pos, payload_size) ||
+        pos + payload_size + 4 != raw.size() || count != page.count) {
       BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.header_mismatches", 1);
       return Status::Corruption("page header mismatch");
     }
     uint32_t crc = 0;
-    GetFixed<uint32_t>(*raw, pos + payload_size, &crc);
-    if (crc != Crc32(raw->data() + pos, payload_size)) {
+    GetFixed<uint32_t>(raw, pos + payload_size, &crc);
+    if (crc != Crc32(raw.data() + pos, payload_size)) {
       BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.crc_failures", 1);
       return Status::Corruption("page CRC mismatch in series " + info.name);
     }
-    *payload = BytesView(*raw).subspan(pos, payload_size);
+    *payload = raw.subspan(pos, payload_size);
+    if (cache != nullptr) {
+      // Cache an owned copy, never a view into the mmap: a pin handed
+      // out later must survive this reader (and its mapping) closing.
+      std::shared_ptr<const Bytes> owned = std::make_shared<Bytes>(
+          payload->begin(), payload->end());
+      *payload = BytesView(*owned);
+      cache->Insert(cache_file_id, page.offset, owned);
+      buf->pinned = std::move(owned);
+    }
     return Status::OK();
   }
 
   // Fetches and decodes one plain (untimed) page, appending to `out`.
   Status ReadPage(const SeriesInfo& info, const PageInfo& page,
-                  const codecs::SeriesCodec& codec, std::vector<int64_t>* out,
-                  ScanStats* stats) {
-    Bytes raw;
+                  const codecs::SeriesCodec& codec, PageBuffer* buf,
+                  std::vector<int64_t>* out, ScanStats* stats) {
     BytesView payload;
-    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, buf, &payload, stats));
     const auto decode_start = std::chrono::steady_clock::now();
     const size_t before = out->size();
     BOS_RETURN_NOT_OK(codec.Decompress(payload, out));
@@ -362,12 +499,11 @@ struct TsFileReader::Impl {
   // `values_scanned` counts decoded values, not page.count.
   Status ReadPageFiltered(const SeriesInfo& info, const PageInfo& page,
                           const codecs::SeriesCodec& codec, int64_t v_min,
-                          int64_t v_max,
+                          int64_t v_max, PageBuffer* buf,
                           std::vector<std::pair<uint64_t, int64_t>>* out,
                           ScanStats* stats) {
-    Bytes raw;
     BytesView payload;
-    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, buf, &payload, stats));
     const auto decode_start = std::chrono::steady_clock::now();
     uint64_t decoded = 0;
     BOS_RETURN_NOT_OK(codec.DecompressFilter(payload, v_min, v_max,
@@ -383,11 +519,10 @@ struct TsFileReader::Impl {
   // of the query's selection based at the page's first index).
   Status ReadPageSelected(const SeriesInfo& info, const PageInfo& page,
                           const codecs::SeriesCodec& codec,
-                          const select::SelectionView& window,
+                          const select::SelectionView& window, PageBuffer* buf,
                           std::vector<int64_t>* out, ScanStats* stats) {
-    Bytes raw;
     BytesView payload;
-    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, buf, &payload, stats));
     const auto decode_start = std::chrono::steady_clock::now();
     const size_t before = out->size();
     BOS_RETURN_NOT_OK(codec.DecompressSelected(payload, window, out));
@@ -401,20 +536,38 @@ struct TsFileReader::Impl {
     return Status::OK();
   }
 
-  // ReadPageSelected for a timed page.
+  // ReadPageSelected for a timed page. Fixed-interval pages decode only
+  // the value column and synthesize the selected timestamps.
   Status ReadTimedPageSelected(const SeriesInfo& info, const PageInfo& page,
-                               const codecs::TimeSeriesCodec& codec,
+                               const TimedCodecs& tc,
                                const select::SelectionView& window,
+                               PageBuffer* buf,
                                std::vector<codecs::DataPoint>* out,
                                ScanStats* stats) {
-    Bytes raw;
     BytesView payload;
-    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, buf, &payload, stats));
     const auto decode_start = std::chrono::steady_clock::now();
     const size_t before = out->size();
-    BOS_RETURN_NOT_OK(codec.DecompressSelected(payload, window, out));
-    if (out->size() - before != window.count()) {
-      return Status::Corruption("page selected count mismatch");
+    if (page.fixed_interval) {
+      std::vector<int64_t> values;
+      BOS_RETURN_NOT_OK(tc.value->DecompressSelected(payload, window, &values));
+      if (values.size() != window.count()) {
+        return Status::Corruption("page selected count mismatch");
+      }
+      out->reserve(out->size() + values.size());
+      size_t i = 0;
+      window.ForEach([&](uint64_t rel) {
+        // Open validated (count-1)*interval against INT64_MAX, so this
+        // never overflows for rel < count.
+        out->push_back({page.min_time + static_cast<int64_t>(rel) *
+                                            page.interval,
+                        values[i++]});
+      });
+    } else {
+      BOS_RETURN_NOT_OK(tc.pair->DecompressSelected(payload, window, out));
+      if (out->size() - before != window.count()) {
+        return Status::Corruption("page selected count mismatch");
+      }
     }
     if (stats != nullptr) {
       stats->decode_seconds += SecondsSince(decode_start);
@@ -423,18 +576,32 @@ struct TsFileReader::Impl {
     return Status::OK();
   }
 
-  // Fetches and decodes one timed page, appending to `out`.
+  // Fetches and decodes one timed page, appending to `out`. A
+  // fixed-interval page costs one value-column decode and zero time
+  // decode — its timestamps are pure arithmetic.
   Status ReadTimedPage(const SeriesInfo& info, const PageInfo& page,
-                       const codecs::TimeSeriesCodec& codec,
+                       const TimedCodecs& tc, PageBuffer* buf,
                        std::vector<codecs::DataPoint>* out, ScanStats* stats) {
-    Bytes raw;
     BytesView payload;
-    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, &raw, &payload, stats));
+    BOS_RETURN_NOT_OK(FetchPagePayload(info, page, buf, &payload, stats));
     const auto decode_start = std::chrono::steady_clock::now();
     const size_t before = out->size();
-    BOS_RETURN_NOT_OK(codec.Decompress(payload, out));
-    if (out->size() - before != page.count) {
-      return Status::Corruption("page point count mismatch");
+    if (page.fixed_interval) {
+      std::vector<int64_t> values;
+      BOS_RETURN_NOT_OK(tc.value->Decompress(payload, &values));
+      if (values.size() != page.count) {
+        return Status::Corruption("page point count mismatch");
+      }
+      out->reserve(out->size() + values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        out->push_back({page.min_time + static_cast<int64_t>(i) * page.interval,
+                        values[i]});
+      }
+    } else {
+      BOS_RETURN_NOT_OK(tc.pair->Decompress(payload, out));
+      if (out->size() - before != page.count) {
+        return Status::Corruption("page point count mismatch");
+      }
     }
     if (stats != nullptr) {
       stats->decode_seconds += SecondsSince(decode_start);
@@ -448,25 +615,36 @@ TsFileReader::TsFileReader() : impl_(std::make_unique<Impl>()) {}
 TsFileReader::~TsFileReader() = default;
 
 Status TsFileReader::Open(const std::string& path) {
-  impl_->file = std::fopen(path.c_str(), "rb");
-  if (impl_->file == nullptr) return Status::IoError("cannot open " + path);
-  if (std::fseek(impl_->file, 0, SEEK_END) != 0) {
-    return Status::IoError("seek failed");
+  return Open(path, ReaderOptions{});
+}
+
+Status TsFileReader::Open(const std::string& path,
+                          const ReaderOptions& options) {
+  BOS_ASSIGN_OR_RETURN(
+      impl_->source,
+      MakePageSource(path, PageSourceOptions{.use_mmap = options.use_mmap}));
+  impl_->file_size = impl_->source->file_size();
+  if (options.cache != nullptr) {
+    impl_->cache = options.cache;
+    impl_->cache_file_id = options.cache->NewFileId();
   }
-  const long file_size = std::ftell(impl_->file);
-  if (file_size < 0) return Status::IoError("cannot determine size of " + path);
-  impl_->file_size = static_cast<uint64_t>(file_size);
   if (impl_->file_size < sizeof(kMagic) * 2 + 8 + 4) {
     return Status::Corruption("file too small");
   }
 
-  Bytes head;
-  BOS_RETURN_NOT_OK(impl_->ReadAt(0, sizeof(kMagic), &head));
-  Bytes tail;
+  // One scratch serves all three reads; each view is checked before the
+  // next read invalidates it.
+  Impl::PageBuffer buf;
+  BytesView head;
   BOS_RETURN_NOT_OK(
-      impl_->ReadAt(impl_->file_size - 12, 12, &tail));
-  if (std::memcmp(head.data(), kMagic, 4) != 0 ||
-      std::memcmp(tail.data() + 8, kMagic, 4) != 0) {
+      impl_->source->ReadAt(0, sizeof(kMagic), &buf.scratch, &head));
+  if (std::memcmp(head.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  BytesView tail;
+  BOS_RETURN_NOT_OK(
+      impl_->source->ReadAt(impl_->file_size - 12, 12, &buf.scratch, &tail));
+  if (std::memcmp(tail.data() + 8, kMagic, 4) != 0) {
     return Status::Corruption("bad magic");
   }
   uint64_t footer_offset = 0;
@@ -475,10 +653,10 @@ Status TsFileReader::Open(const std::string& path) {
     return Status::Corruption("bad footer offset");
   }
 
-  Bytes footer;
-  BOS_RETURN_NOT_OK(impl_->ReadAt(footer_offset,
-                                  impl_->file_size - 12 - footer_offset,
-                                  &footer));
+  BytesView footer;
+  BOS_RETURN_NOT_OK(impl_->source->ReadAt(
+      footer_offset, impl_->file_size - 12 - footer_offset, &buf.scratch,
+      &footer));
   if (footer.size() < 4) return Status::Corruption("footer too small");
   uint32_t crc = 0;
   GetFixed<uint32_t>(footer, footer.size() - 4, &crc);
@@ -513,12 +691,67 @@ Status TsFileReader::Open(const std::string& path) {
       BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.min_value));
       BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.max_value));
       BOS_RETURN_NOT_OK(bitpack::GetSignedVarint(footer, &pos, &page.sum_value));
+      uint64_t flags = 0;
+      BOS_RETURN_NOT_OK(bitpack::GetVarint(footer, &pos, &flags));
+      if ((flags & ~kPageFlagFixedInterval) != 0) {
+        return Status::Corruption("unknown page flags");
+      }
+      if ((flags & kPageFlagFixedInterval) != 0) {
+        page.fixed_interval = true;
+        BOS_RETURN_NOT_OK(
+            bitpack::GetSignedVarint(footer, &pos, &page.interval));
+        // The read path synthesizes timestamps as min_time + k*interval
+        // for k < count with plain int64 arithmetic, so every quantity
+        // in that expression is pinned down here, on untrusted input:
+        // positive interval, total span within int64, and a max_time
+        // that actually equals the arithmetic endpoint.
+        uint64_t span = 0;
+        int64_t last = 0;
+        if (!info.timed || page.count < 2 || page.interval <= 0 ||
+            !CheckedMul(page.count - 1, static_cast<uint64_t>(page.interval),
+                        &span) ||
+            span > static_cast<uint64_t>(INT64_MAX) ||
+            __builtin_add_overflow(page.min_time, static_cast<int64_t>(span),
+                                   &last) ||
+            last != page.max_time) {
+          BOS_TELEMETRY_COUNTER_ADD("bos.storage.page.header_mismatches", 1);
+          return Status::Corruption("bad fixed-interval page");
+        }
+      }
       if (!SliceFits(footer_offset, page.offset, page.size)) {
         return Status::Corruption("page out of bounds");
       }
       info.pages.push_back(page);
     }
     impl_->series.push_back(std::move(info));
+  }
+  impl_->decoders.clear();
+  for (const SeriesInfo& s : impl_->series) {
+    Impl::SeriesDecoders d;
+    if (s.timed) {
+      auto tc = MakeTimedCodecs(s.codec_spec);
+      if (tc.ok()) {
+        d.timed = std::move(*tc);
+      } else {
+        d.status = tc.status();
+      }
+      d.time_ordered = true;
+      for (size_t i = 0; i < s.pages.size() && d.time_ordered; ++i) {
+        const PageInfo& p = s.pages[i];
+        if (p.count == 0 || p.min_time > p.max_time ||
+            (i > 0 && p.min_time < s.pages[i - 1].max_time)) {
+          d.time_ordered = false;
+        }
+      }
+    } else {
+      auto codec = codecs::MakeSeriesCodec(s.codec_spec);
+      if (codec.ok()) {
+        d.value = std::move(*codec);
+      } else {
+        d.status = codec.status();
+      }
+    }
+    impl_->decoders.push_back(std::move(d));
   }
   return Status::OK();
 }
@@ -549,7 +782,9 @@ Status TsFileReader::ReadRange(const std::string& name, uint64_t first,
     return Status::InvalidArgument("series is timed; use ReadTimeSeries: " +
                                    name);
   }
-  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  BOS_ASSIGN_OR_RETURN(const codecs::SeriesCodec* codec,
+                       impl_->ValueCodecFor(info));
+  Impl::PageBuffer buf;
   std::vector<int64_t> page_values;
   for (const PageInfo& page : info->pages) {
     const uint64_t page_last = page.first_index + page.count;
@@ -557,7 +792,8 @@ Status TsFileReader::ReadRange(const std::string& name, uint64_t first,
       continue;  // pruned
     }
     page_values.clear();
-    BOS_RETURN_NOT_OK(impl_->ReadPage(*info, page, *codec, &page_values, stats));
+    BOS_RETURN_NOT_OK(
+        impl_->ReadPage(*info, page, *codec, &buf, &page_values, stats));
     const uint64_t lo = std::max(first, page.first_index) - page.first_index;
     const uint64_t hi =
         std::min<uint64_t>(last - page.first_index, page.count - 1);
@@ -577,13 +813,15 @@ Status TsFileReader::ReadValueRange(
     return Status::InvalidArgument("series is timed; use ReadTimeRange: " +
                                    name);
   }
-  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  BOS_ASSIGN_OR_RETURN(const codecs::SeriesCodec* codec,
+                       impl_->ValueCodecFor(info));
+  Impl::PageBuffer buf;
   for (const PageInfo& page : info->pages) {
     if (page.count == 0 || page.max_value < v_min || page.min_value > v_max) {
       continue;  // pruned by value statistics
     }
-    BOS_RETURN_NOT_OK(
-        impl_->ReadPageFiltered(*info, page, *codec, v_min, v_max, out, stats));
+    BOS_RETURN_NOT_OK(impl_->ReadPageFiltered(*info, page, *codec, v_min,
+                                              v_max, &buf, out, stats));
   }
   return Status::OK();
 }
@@ -597,8 +835,10 @@ Result<AggregateResult> TsFileReader::AggregateValueRange(
   if (info->timed) {
     return Status::InvalidArgument("series is timed: " + name);
   }
-  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  BOS_ASSIGN_OR_RETURN(const codecs::SeriesCodec* codec,
+                       impl_->ValueCodecFor(info));
   AggregateResult agg;
+  Impl::PageBuffer buf;
   std::vector<std::pair<uint64_t, int64_t>> matches;
   for (const PageInfo& page : info->pages) {
     if (page.count == 0 || page.max_value < v_min || page.min_value > v_max) {
@@ -616,7 +856,7 @@ Result<AggregateResult> TsFileReader::AggregateValueRange(
     }
     matches.clear();
     BOS_RETURN_NOT_OK(impl_->ReadPageFiltered(*info, page, *codec, v_min,
-                                              v_max, &matches, stats));
+                                              v_max, &buf, &matches, stats));
     for (const auto& [index, v] : matches) {
       (void)index;
       ++agg.count;
@@ -637,7 +877,9 @@ Status TsFileReader::ReadSelected(const std::string& name,
     return Status::InvalidArgument("series is timed; use ReadSelectedPoints: " +
                                    name);
   }
-  BOS_ASSIGN_OR_RETURN(auto codec, codecs::MakeSeriesCodec(info->codec_spec));
+  BOS_ASSIGN_OR_RETURN(const codecs::SeriesCodec* codec,
+                       impl_->ValueCodecFor(info));
+  Impl::PageBuffer buf;
   uint64_t covered = 0;  // selected positions that fell inside some page
   for (const PageInfo& page : info->pages) {
     if (page.count == 0) continue;
@@ -647,8 +889,8 @@ Status TsFileReader::ReadSelected(const std::string& name,
       continue;  // no selected position in this page: no IO at all
     }
     covered += window.count();
-    BOS_RETURN_NOT_OK(
-        impl_->ReadPageSelected(*info, page, *codec, window, out, stats));
+    BOS_RETURN_NOT_OK(impl_->ReadPageSelected(*info, page, *codec, window,
+                                              &buf, out, stats));
   }
   if (covered != sel.cardinality()) {
     return Status::InvalidArgument("selection position past end of series: " +
@@ -665,8 +907,8 @@ Status TsFileReader::ReadSelectedPoints(const std::string& name,
   if (!info->timed) {
     return Status::InvalidArgument("series is not timed: " + name);
   }
-  BOS_ASSIGN_OR_RETURN(auto codec,
-                       codecs::MakeTimeSeriesCodec(info->codec_spec));
+  BOS_ASSIGN_OR_RETURN(const TimedCodecs* tc, impl_->TimedCodecsFor(info));
+  Impl::PageBuffer buf;
   uint64_t covered = 0;
   for (const PageInfo& page : info->pages) {
     if (page.count == 0) continue;
@@ -676,8 +918,8 @@ Status TsFileReader::ReadSelectedPoints(const std::string& name,
       continue;
     }
     covered += window.count();
-    BOS_RETURN_NOT_OK(
-        impl_->ReadTimedPageSelected(*info, page, *codec, window, out, stats));
+    BOS_RETURN_NOT_OK(impl_->ReadTimedPageSelected(*info, page, *tc, window,
+                                                   &buf, out, stats));
   }
   if (covered != sel.cardinality()) {
     return Status::InvalidArgument("selection position past end of series: " +
@@ -700,16 +942,61 @@ Status TsFileReader::ReadTimeRange(const std::string& name, int64_t t_min,
   if (!info->timed) {
     return Status::InvalidArgument("series is not timed: " + name);
   }
-  BOS_ASSIGN_OR_RETURN(auto codec,
-                       codecs::MakeTimeSeriesCodec(info->codec_spec));
+  BOS_ASSIGN_OR_RETURN(const TimedCodecs* tc, impl_->TimedCodecsFor(info));
+  Impl::PageBuffer buf;
   std::vector<codecs::DataPoint> page_points;
-  for (const PageInfo& page : info->pages) {
+  // Writer-produced timed pages are ascending and non-overlapping in
+  // time (checked once at Open), so the first candidate is a binary
+  // search away and the walk stops at the first page past the window.
+  // Narrow queries touch O(log pages) directory entries instead of all
+  // of them; an out-of-order (hostile) footer falls back to the full
+  // linear scan below.
+  const bool ordered = impl_->TimeOrdered(info);
+  const std::vector<PageInfo>& pages = info->pages;
+  auto it = pages.begin();
+  if (ordered) {
+    it = std::lower_bound(
+        pages.begin(), pages.end(), t_min,
+        [](const PageInfo& p, int64_t t) { return p.max_time < t; });
+  }
+  for (; it != pages.end(); ++it) {
+    const PageInfo& page = *it;
+    if (ordered && page.min_time > t_max) break;  // rest is later still
     if (page.count == 0 || page.max_time < t_min || page.min_time > t_max) {
       continue;  // pruned by the page time index
     }
+    if (page.fixed_interval) {
+      // O(1) window addressing: the k-th timestamp is min_time +
+      // k*interval, so the first/last in-range indexes are one division
+      // each. 128-bit intermediates because t_min - min_time can span
+      // nearly the whole int64 range.
+      const __int128 start = page.min_time;
+      const __int128 iv = page.interval;
+      __int128 lo = 0;
+      if (t_min > page.min_time) {
+        lo = (static_cast<__int128>(t_min) - start + iv - 1) / iv;
+      }
+      __int128 hi = static_cast<__int128>(page.count) - 1;
+      if (t_max < page.max_time) {
+        hi = (static_cast<__int128>(t_max) - start) / iv;
+      }
+      if (lo > hi) continue;  // window falls between two samples
+      if (lo == 0 && hi == static_cast<__int128>(page.count) - 1) {
+        BOS_RETURN_NOT_OK(
+            impl_->ReadTimedPage(*info, page, *tc, &buf, out, stats));
+      } else {
+        select::SelectionVector rows;
+        rows.AddRange(static_cast<uint64_t>(lo),
+                      static_cast<uint64_t>(hi) + 1);
+        const select::SelectionView window(rows, 0, page.count);
+        BOS_RETURN_NOT_OK(impl_->ReadTimedPageSelected(*info, page, *tc, window,
+                                                       &buf, out, stats));
+      }
+      continue;
+    }
     page_points.clear();
     BOS_RETURN_NOT_OK(
-        impl_->ReadTimedPage(*info, page, *codec, &page_points, stats));
+        impl_->ReadTimedPage(*info, page, *tc, &buf, &page_points, stats));
     for (const codecs::DataPoint& p : page_points) {
       if (p.timestamp >= t_min && p.timestamp <= t_max) out->push_back(p);
     }

@@ -17,6 +17,8 @@
 
 namespace bos::storage {
 
+class PageCache;
+
 /// \brief TsFile-lite: a columnar time-series file format standing in for
 /// Apache TsFile in the Figure-11 storage/query experiment.
 ///
@@ -25,11 +27,20 @@ namespace bos::storage {
 ///   pages (per series, in order): varint count | varint payload size |
 ///     payload (one SeriesCodec stream) | crc32 of the payload |
 ///   footer: varint series count, per series { name, codec spec,
-///     page directory (offset, size, count, first index) } |
+///     page directory (offset, size, count, first index, time range,
+///     value stats, varint flags [+ svarint interval when flags bit 0]) } |
 ///   fixed64 footer offset | "BOS1" magic
 ///
 /// Pages are independently decodable, so range queries touch only the
 /// pages that overlap the requested index window.
+///
+/// Flags bit 0 marks a *fixed-interval* page: the page's timestamps are
+/// the pure arithmetic sequence `min_time + k * interval`, so the time
+/// column is not stored at all — the payload is the value-codec stream
+/// alone, and readers synthesize timestamps from (min_time, interval,
+/// count). The writer detects this per page automatically (the bseries
+/// layout for regular sampling). All other flag bits are reserved and
+/// rejected at Open.
 struct PageInfo {
   uint64_t offset = 0;       ///< file offset of the page payload header
   uint64_t size = 0;         ///< bytes including header and CRC
@@ -41,6 +52,10 @@ struct PageInfo {
   int64_t min_value = 0;
   int64_t max_value = 0;
   int64_t sum_value = 0;  ///< wrapping sum of the page's values
+  /// Timestamps are exactly `min_time + k * interval` for k in
+  /// [0, count); the payload holds only the value stream.
+  bool fixed_interval = false;
+  int64_t interval = 0;  ///< > 0 when fixed_interval
 };
 
 struct SeriesInfo {
@@ -64,6 +79,10 @@ struct EncodedPage {
   int64_t min_value = 0;
   int64_t max_value = 0;
   int64_t sum_value = 0;  ///< wrapping sum of the page's values
+  /// See PageInfo: payload is the value stream only, timestamps are
+  /// synthesized from (min_time, interval).
+  bool fixed_interval = false;
+  int64_t interval = 0;
 };
 
 /// \brief A fully compressed series, ready for `TsFileWriter::AppendEncoded`.
@@ -166,14 +185,28 @@ struct AggregateResult {
   int64_t sum = 0;  ///< wrapping sum
 };
 
+/// How TsFileReader::Open reads pages.
+struct ReaderOptions {
+  /// Map the file and decode straight from the mapping (zero-copy)
+  /// instead of pread+copy. Silently falls back to pread when mmap is
+  /// unavailable.
+  bool use_mmap = false;
+  /// Shared cache of CRC-verified page payloads; nullptr disables
+  /// caching. The cache must outlive the reader (the reader drops its
+  /// entries on destruction). Cached bytes are always owned copies, so
+  /// pins stay valid even after the reader (and any mapping) is gone.
+  PageCache* cache = nullptr;
+};
+
 /// \brief Reader with page-level pruning.
 ///
 /// Thread safety: after `Open()` succeeds the footer is immutable, and
 /// the `Read*` / `Aggregate*` methods may be called concurrently from
-/// any number of threads — page IO on the shared file handle is
-/// serialized internally; decoding runs outside the lock. (TsStore's
-/// parallel query/compact paths rely on this.) Concurrent calls must
-/// not share one `ScanStats` object — pass per-thread stats or nullptr.
+/// any number of threads — page reads are positional (pread / pointer
+/// math into an mmap), so no lock is taken anywhere on the read path.
+/// (TsStore's parallel query/compact paths rely on this.) Concurrent
+/// calls must not share one `ScanStats` object — pass per-thread stats
+/// or nullptr.
 class TsFileReader {
  public:
   TsFileReader();
@@ -184,6 +217,8 @@ class TsFileReader {
 
   /// Opens the file and parses the footer (validating both magics).
   Status Open(const std::string& path);
+  /// Open with an explicit page source / cache configuration.
+  Status Open(const std::string& path, const ReaderOptions& options);
 
   const std::vector<SeriesInfo>& series() const;
   Result<const SeriesInfo*> FindSeries(const std::string& name) const;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bitpack/varint.h"
+#include "storage/page_source.h"
 #include "telemetry/telemetry.h"
 #include "util/buffer.h"
 #include "util/crc32.h"
@@ -54,23 +55,6 @@ void AppendJsonString(std::string* out, std::string_view s) {
   out->push_back('"');
 }
 
-Status ReadWholeFile(const std::string& path, Bytes* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IoError("cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(f);
-    return Status::IoError("cannot size " + path);
-  }
-  out->resize(static_cast<size_t>(size));
-  const bool ok = std::fread(out->data(), 1, out->size(), f) == out->size();
-  std::fclose(f);
-  if (!ok) return Status::IoError("short read of " + path);
-  return Status::OK();
-}
-
 // Mirrors Impl::FetchPagePayload in tsfile.cc: header, tiling, and CRC.
 Status PagePayload(BytesView file, const PageInfo& page, BytesView* payload) {
   if (!SliceFits(file.size(), page.offset, page.size)) {
@@ -107,14 +91,24 @@ Status InspectPage(BytesView file, const SeriesInfo& series,
     }
     return Status::OK();
   }
-  // Timed page: "time_spec|value_spec" codec over
-  // varint time_len | time stream | value stream.
   const size_t bar = series.codec_spec.find('|');
   if (bar == std::string::npos) {
     return Status::Corruption("timed series without a two-column spec");
   }
   const std::string time_spec = series.codec_spec.substr(0, bar);
   const std::string value_spec = series.codec_spec.substr(bar + 1);
+  if (page.fixed_interval) {
+    // Fixed-interval page: no time column at all, the payload is the
+    // bare value stream.
+    BOS_ASSIGN_OR_RETURN(report->value_stream,
+                         codecs::InspectSeriesStream(value_spec, payload));
+    if (report->value_stream.values != page.count) {
+      return Status::Corruption("fixed page: value count mismatch");
+    }
+    return Status::OK();
+  }
+  // Timed page: "time_spec|value_spec" codec over
+  // varint time_len | time stream | value stream.
   size_t offset = 0;
   uint64_t time_len;
   BOS_RETURN_NOT_OK(bitpack::GetVarint(payload, &offset, &time_len));
@@ -144,8 +138,13 @@ Result<TsFileReport> InspectTsFile(const std::string& path) {
   TsFileReader reader;
   BOS_RETURN_NOT_OK(reader.Open(path));
   report.file_bytes = reader.file_size();
-  Bytes file;
-  BOS_RETURN_NOT_OK(ReadWholeFile(path, &file));
+  // One whole-file view, zero-copy when the platform can mmap.
+  BOS_ASSIGN_OR_RETURN(
+      const std::unique_ptr<PageSource> source,
+      MakePageSource(path, PageSourceOptions{.use_mmap = true}));
+  Bytes scratch;
+  BytesView file;
+  BOS_RETURN_NOT_OK(source->ReadAt(0, source->file_size(), &scratch, &file));
   for (const SeriesInfo& s : reader.series()) {
     TsSeriesReport series_report;
     series_report.name = s.name;
@@ -173,9 +172,13 @@ std::string RenderTsFileText(const TsFileReport& report) {
     for (size_t p = 0; p < s.pages.size(); ++p) {
       const TsPageReport& page = s.pages[p];
       Appendf(&out, "    page %zu @%" PRIu64 ": %" PRIu64 " bytes, %" PRIu64
-              " values\n",
+              " values",
               p, page.info.offset, page.info.size, page.info.count);
-      if (s.timed) {
+      if (page.info.fixed_interval) {
+        Appendf(&out, ", fixed interval %" PRId64, page.info.interval);
+      }
+      out.push_back('\n');
+      if (s.timed && !page.info.fixed_interval) {
         AppendStreamText(page.time_stream, "      [time]  ", &out);
         AppendStreamText(page.value_stream, "      [value] ", &out);
       } else {
@@ -206,9 +209,13 @@ std::string RenderTsFileJson(const TsFileReport& report) {
       if (p > 0) out.push_back(',');
       Appendf(&out,
               "{\"offset\":%" PRIu64 ",\"bytes\":%" PRIu64
-              ",\"values\":%" PRIu64,
-              page.info.offset, page.info.size, page.info.count);
-      if (s.timed) {
+              ",\"values\":%" PRIu64 ",\"fixed_interval\":%s",
+              page.info.offset, page.info.size, page.info.count,
+              page.info.fixed_interval ? "true" : "false");
+      if (page.info.fixed_interval) {
+        Appendf(&out, ",\"interval\":%" PRId64, page.info.interval);
+      }
+      if (s.timed && !page.info.fixed_interval) {
         out.append(",\"time_stream\":");
         AppendStreamJson(page.time_stream, &out);
       }

@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "select/selection.h"
+#include "storage/store.h"
+#include "storage/tsfile.h"
+#include "util/random.h"
+
+namespace bos::storage {
+namespace {
+
+using codecs::DataPoint;
+
+constexpr const char* kSpec = "TS2DIFF+BOS-B|TS2DIFF+BOS-B";
+
+class FixedIntervalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bos_fixed_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static std::vector<DataPoint> RegularPoints(size_t n, int64_t start,
+                                              int64_t interval,
+                                              uint64_t seed = 11) {
+    Rng rng(seed);
+    std::vector<DataPoint> points(n);
+    for (size_t i = 0; i < n; ++i) {
+      points[i] = {start + static_cast<int64_t>(i) * interval,
+                   rng.UniformInt(-5000, 5000)};
+    }
+    return points;
+  }
+
+  static std::vector<DataPoint> BruteForceRange(
+      const std::vector<DataPoint>& points, int64_t t_min, int64_t t_max) {
+    std::vector<DataPoint> out;
+    for (const DataPoint& p : points) {
+      if (p.timestamp >= t_min && p.timestamp <= t_max) out.push_back(p);
+    }
+    return out;
+  }
+
+  // Writes `points` as one timed series and returns the opened reader's
+  // page directory for "s".
+  std::vector<PageInfo> WriteAndDescribe(const std::string& path,
+                                         const std::vector<DataPoint>& points,
+                                         size_t page_size = 1024) {
+    TsFileWriter writer(path, page_size);
+    EXPECT_TRUE(writer.Open().ok());
+    EXPECT_TRUE(writer.AppendTimeSeries("s", kSpec, points).ok());
+    EXPECT_TRUE(writer.Finish().ok());
+    TsFileReader reader;
+    EXPECT_TRUE(reader.Open(path).ok());
+    auto info = reader.FindSeries("s");
+    EXPECT_TRUE(info.ok());
+    return (*info)->pages;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ------------------------- detection ---------------------------------
+
+TEST_F(FixedIntervalTest, RegularTimestampsProduceFixedPages) {
+  const auto points = RegularPoints(3000, /*start=*/-500, /*interval=*/7);
+  const auto pages = WriteAndDescribe(Path("regular.bos"), points);
+  ASSERT_GT(pages.size(), 1u);
+  for (const PageInfo& page : pages) {
+    EXPECT_TRUE(page.fixed_interval);
+    EXPECT_EQ(page.interval, 7);
+  }
+}
+
+TEST_F(FixedIntervalTest, JitteredTimestampsStayExplicit) {
+  Rng rng(3);
+  std::vector<DataPoint> points(3000);
+  int64_t t = 0;
+  for (auto& p : points) {
+    t += 1 + static_cast<int64_t>(rng.Uniform(3));
+    p = {t, rng.UniformInt(-100, 100)};
+  }
+  const auto pages = WriteAndDescribe(Path("jitter.bos"), points);
+  for (const PageInfo& page : pages) {
+    EXPECT_FALSE(page.fixed_interval);
+  }
+}
+
+TEST_F(FixedIntervalTest, DuplicateTimestampsStayExplicit) {
+  // All-equal timestamps give delta 0, which is not a valid interval.
+  std::vector<DataPoint> points(100, DataPoint{42, 1});
+  const auto pages = WriteAndDescribe(Path("dup.bos"), points);
+  for (const PageInfo& page : pages) {
+    EXPECT_FALSE(page.fixed_interval);
+  }
+}
+
+TEST_F(FixedIntervalTest, SinglePointPageStaysExplicit) {
+  // One point has no delta to generalize from.
+  const std::vector<DataPoint> points{{123, 456}};
+  const auto pages = WriteAndDescribe(Path("one.bos"), points);
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_FALSE(pages[0].fixed_interval);
+}
+
+TEST_F(FixedIntervalTest, IntervalPastInt64MaxStaysExplicit) {
+  // min -> 0 is a step of 2^63, too wide to represent as an interval.
+  const std::vector<DataPoint> points{
+      {std::numeric_limits<int64_t>::min(), 1}, {0, 2}};
+  const auto pages = WriteAndDescribe(Path("wide.bos"), points);
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_FALSE(pages[0].fixed_interval);
+}
+
+TEST_F(FixedIntervalTest, TwoPointPageIsDetected) {
+  const std::vector<DataPoint> points{{10, 1}, {20, 2}};
+  const auto pages = WriteAndDescribe(Path("two.bos"), points);
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_TRUE(pages[0].fixed_interval);
+  EXPECT_EQ(pages[0].interval, 10);
+}
+
+TEST_F(FixedIntervalTest, MixedPagesWithinOneSeries) {
+  // First page regular, second page jittered (page_size 64).
+  std::vector<DataPoint> points;
+  for (int64_t i = 0; i < 64; ++i) points.push_back({i * 10, i});
+  int64_t t = 64 * 10;
+  Rng rng(5);
+  for (int64_t i = 0; i < 64; ++i) {
+    t += 1 + static_cast<int64_t>(rng.Uniform(4));
+    points.push_back({t, i});
+  }
+  const std::string path = Path("mixed.bos");
+  const auto pages = WriteAndDescribe(path, points, /*page_size=*/64);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_TRUE(pages[0].fixed_interval);
+  EXPECT_FALSE(pages[1].fixed_interval);
+
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<DataPoint> got;
+  ASSERT_TRUE(reader.ReadTimeSeries("s", &got).ok());
+  EXPECT_EQ(got, points);
+  got.clear();
+  // A window straddling the fixed/explicit page boundary.
+  ASSERT_TRUE(reader.ReadTimeRange("s", 300, 700, &got).ok());
+  EXPECT_EQ(got, BruteForceRange(points, 300, 700));
+}
+
+// ------------------------- reads -------------------------------------
+
+TEST_F(FixedIntervalTest, FullScanRoundTrips) {
+  const auto points = RegularPoints(5000, /*start=*/1000, /*interval=*/25);
+  const std::string path = Path("scan.bos");
+  WriteAndDescribe(path, points);
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  std::vector<DataPoint> got;
+  ScanStats stats;
+  ASSERT_TRUE(reader.ReadTimeSeries("s", &got, &stats).ok());
+  EXPECT_EQ(got, points);
+  EXPECT_EQ(stats.values_scanned, points.size());
+}
+
+TEST_F(FixedIntervalTest, TimeRangeMatchesBruteForce) {
+  const auto points = RegularPoints(4096, /*start=*/0, /*interval=*/10);
+  const std::string path = Path("range.bos");
+  WriteAndDescribe(path, points);
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  const int64_t last = points.back().timestamp;
+  const std::pair<int64_t, int64_t> windows[] = {
+      {0, last},             // everything
+      {-100, -1},            // entirely before
+      {last + 1, last + 9},  // entirely after
+      {3, 7},                // between two samples: empty
+      {10235, 10239},        // between two samples, mid-series
+      {0, 0},                // exactly the first sample
+      {last, last},          // exactly the last sample
+      {5, 10},               // half-open-ish: only t=10
+      {10, 15},              // only t=10 again (max between samples)
+      {95, 20000},           // partial prefix cut
+      {10230, 10250},        // two samples mid-series
+      {10200, 30000},        // crosses a page boundary (1024*10 = 10240)
+      {-50, 12},             // ragged start
+  };
+  for (const auto& [lo, hi] : windows) {
+    SCOPED_TRACE(testing::Message() << "window [" << lo << ", " << hi << "]");
+    std::vector<DataPoint> got;
+    ASSERT_TRUE(reader.ReadTimeRange("s", lo, hi, &got).ok());
+    EXPECT_EQ(got, BruteForceRange(points, lo, hi));
+  }
+}
+
+TEST_F(FixedIntervalTest, TimeRangeSweepAgainstBruteForce) {
+  const auto points = RegularPoints(600, /*start=*/-300, /*interval=*/3);
+  const std::string path = Path("sweep.bos");
+  WriteAndDescribe(path, points, /*page_size=*/100);
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t a = rng.UniformInt(-400, 1600);
+    const int64_t b = rng.UniformInt(-400, 1600);
+    const int64_t lo = std::min(a, b);
+    const int64_t hi = std::max(a, b);
+    std::vector<DataPoint> got;
+    ASSERT_TRUE(reader.ReadTimeRange("s", lo, hi, &got).ok());
+    EXPECT_EQ(got, BruteForceRange(points, lo, hi))
+        << "window [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST_F(FixedIntervalTest, SelectedPointsMatchPositions) {
+  const auto points = RegularPoints(3000, /*start=*/50, /*interval=*/4);
+  const std::string path = Path("select.bos");
+  WriteAndDescribe(path, points, /*page_size=*/256);
+  TsFileReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+
+  select::SelectionVector sel;
+  sel.Add(0);
+  sel.Add(1);
+  sel.Add(255);   // last row of page 0
+  sel.Add(256);   // first row of page 1
+  sel.AddRange(1000, 1010);
+  sel.Add(2999);  // last row
+  std::vector<DataPoint> got;
+  ASSERT_TRUE(reader.ReadSelectedPoints("s", sel, &got).ok());
+  const std::vector<uint64_t> positions =
+      select::SelectionView(sel, 0, points.size()).ToVector();
+  ASSERT_EQ(got.size(), positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(got[i], points[positions[i]]) << "position " << positions[i];
+  }
+}
+
+// ------------------------- store integration --------------------------
+
+TEST_F(FixedIntervalTest, StoreFlushCompactAndQuery) {
+  StoreOptions options;
+  options.dir = Path("store");
+  options.memtable_points = 1 << 20;
+  auto store = TsStore::Open(options);
+  ASSERT_TRUE(store.ok());
+
+  // Regular sampling, written out of order across two flushes.
+  const auto points = RegularPoints(4000, /*start=*/0, /*interval=*/5);
+  const std::vector<DataPoint> first(points.begin(), points.begin() + 2500);
+  const std::vector<DataPoint> second(points.begin() + 2500, points.end());
+  ASSERT_TRUE((*store)->WriteBatch("m", first).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->WriteBatch("m", second).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*store)->Query("m", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, points);
+  got.clear();
+  ASSERT_TRUE((*store)->Query("m", 1001, 2499, &got).ok());
+  EXPECT_EQ(got, BruteForceRange(points, 1001, 2499));
+
+  // Compaction rebuilds one file; regular pages must survive it.
+  ASSERT_TRUE((*store)->Compact().ok());
+  EXPECT_EQ((*store)->num_files(), 1u);
+  got.clear();
+  ASSERT_TRUE((*store)->Query("m", INT64_MIN, INT64_MAX, &got).ok());
+  EXPECT_EQ(got, points);
+
+  select::SelectionVector sel;
+  sel.Add(0);
+  sel.AddRange(1024, 1028);
+  sel.Add(3999);
+  got.clear();
+  ASSERT_TRUE((*store)->QuerySelected("m", sel, &got).ok());
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(got[0], points[0]);
+  EXPECT_EQ(got[1], points[1024]);
+  EXPECT_EQ(got[5], points[3999]);
+
+  // The compacted file's pages really are the fixed-interval layout.
+  size_t fixed_pages = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.dir)) {
+    if (entry.path().filename() == "wal") continue;
+    TsFileReader reader;
+    ASSERT_TRUE(reader.Open(entry.path().string()).ok());
+    for (const SeriesInfo& series : reader.series()) {
+      for (const PageInfo& page : series.pages) {
+        if (page.fixed_interval) {
+          EXPECT_EQ(page.interval, 5);
+          ++fixed_pages;
+        }
+      }
+    }
+  }
+  EXPECT_GT(fixed_pages, 0u);
+}
+
+TEST_F(FixedIntervalTest, StoreCacheAndMmapAgreeOnFixedPages) {
+  const auto points = RegularPoints(3000, /*start=*/100, /*interval=*/2);
+  std::vector<DataPoint> base;
+  for (const bool mmap : {false, true}) {
+    for (const size_t cache_mb : {size_t{0}, size_t{8}}) {
+      StoreOptions options;
+      options.dir = Path("store_" + std::to_string(mmap) + "_" +
+                         std::to_string(cache_mb));
+      options.memtable_points = 1 << 20;
+      options.use_mmap = mmap;
+      options.cache_mb = cache_mb;
+      auto store = TsStore::Open(options);
+      ASSERT_TRUE(store.ok());
+      ASSERT_TRUE((*store)->WriteBatch("m", points).ok());
+      ASSERT_TRUE((*store)->Flush().ok());
+      EXPECT_EQ((*store)->page_cache() != nullptr, cache_mb > 0);
+
+      // Query twice; with a cache the second pass runs from memory.
+      for (int pass = 0; pass < 2; ++pass) {
+        std::vector<DataPoint> got;
+        ASSERT_TRUE((*store)->Query("m", 501, 1501, &got).ok());
+        EXPECT_EQ(got, BruteForceRange(points, 501, 1501))
+            << "mmap=" << mmap << " cache_mb=" << cache_mb
+            << " pass=" << pass;
+        if (base.empty()) base = got;
+        EXPECT_EQ(got, base);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bos::storage

@@ -35,7 +35,8 @@ import shutil
 import sys
 
 DEFAULT_FILES = ["BENCH_kernels.json", "BENCH_parallel.json",
-                 "BENCH_encode.json", "BENCH_select.json"]
+                 "BENCH_encode.json", "BENCH_select.json",
+                 "BENCH_read.json"]
 HARDWARE_FIELDS = {"hardware_threads", "avx2", "bmi2"}
 METRIC_SUFFIXES = ("_gbps", "_mbps")
 
