@@ -1,0 +1,163 @@
+// Fuzz target: the bosd wire protocol (net/wire.h). Arbitrary-bytes
+// mode drives DecodeFrame and every payload parser with untrusted input
+// — any Status is fine, crashing or overreading is not. Round-trip mode
+// encodes a structured frame and checks two CRC invariants: an unflipped
+// frame decodes back byte-exactly, and a frame with 1–3 bit flips inside
+// the payload region NEVER decodes OK (CRC32's Hamming distance is ≥ 4
+// below ~11 KB of payload, so detection is guaranteed — flips elsewhere
+// could cancel in the CRC field itself, which is why the flip window is
+// restricted).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz_common.h"
+#include "net/wire.h"
+
+namespace {
+
+using bos::net::FrameType;
+
+void ParseAll(bos::BytesView payload) {
+  (void)bos::net::ParseError(payload);
+  (void)bos::net::ParseAppendRequest(payload);
+  (void)bos::net::ParseQueryRangeRequest(payload);
+  (void)bos::net::ParseQuerySelectedRequest(payload);
+  (void)bos::net::ParsePoints(payload);
+  (void)bos::net::ParseSeriesList(payload);
+}
+
+/// Builds one structured request frame of a PRNG-chosen type.
+bos::Bytes StructuredFrame(bos::Rng* rng) {
+  bos::Bytes payload;
+  uint8_t type;
+  switch (rng->Uniform(4)) {
+    case 0: {
+      bos::net::AppendRequest req;
+      req.series = "fuzz.series." + std::to_string(rng->Uniform(8));
+      const size_t n = rng->Uniform(64);
+      req.points.resize(n);
+      int64_t ts = rng->UniformInt(-1000, 1000);
+      for (size_t i = 0; i < n; ++i) {
+        ts += rng->UniformInt(0, 10);
+        req.points[i] = {ts, static_cast<int64_t>(rng->Next())};
+      }
+      bos::net::EncodeAppendRequest(req, &payload);
+      type = static_cast<uint8_t>(FrameType::kAppend);
+      break;
+    }
+    case 1: {
+      bos::net::QueryRangeRequest req;
+      req.series = "fuzz.series";
+      req.t_min = rng->UniformInt(-1'000'000, 1'000'000);
+      req.t_max = req.t_min + rng->UniformInt(0, 1'000'000);
+      req.has_value_filter = rng->Bernoulli(0.5);
+      req.v_min = rng->UniformInt(-100, 0);
+      req.v_max = rng->UniformInt(0, 100);
+      bos::net::EncodeQueryRangeRequest(req, &payload);
+      type = static_cast<uint8_t>(FrameType::kQueryRange);
+      break;
+    }
+    case 2: {
+      const size_t n = rng->Uniform(32);
+      std::vector<bos::codecs::DataPoint> points(n);
+      for (size_t i = 0; i < n; ++i) {
+        points[i] = {static_cast<int64_t>(i), static_cast<int64_t>(rng->Next())};
+      }
+      bos::net::EncodePoints(points, &payload);
+      type = static_cast<uint8_t>(FrameType::kPoints);
+      break;
+    }
+    default: {
+      std::vector<std::string> names;
+      const size_t n = rng->Uniform(8);
+      for (size_t i = 0; i < n; ++i) {
+        names.push_back("series." + std::to_string(rng->Next() % 100));
+      }
+      bos::net::EncodeSeriesList(names, &payload);
+      type = static_cast<uint8_t>(FrameType::kSeriesList);
+      break;
+    }
+  }
+  bos::Bytes frame;
+  bos::net::EncodeFrame(type, payload, &frame);
+  return frame;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  bos::fuzz::FuzzInput in(data, size);
+  const uint8_t selector = in.TakeByte();
+
+  if ((selector & 1) == 0) {
+    // Arbitrary bytes: the framing layer and every payload parser must
+    // return a Status, never crash. Also pump the incremental decoder
+    // the way the server does, in two chunks.
+    const bos::BytesView rest = in.Rest();
+    bos::net::FrameView view;
+    size_t consumed = 0;
+    const bos::Status st = bos::net::DecodeFrame(rest, &view, &consumed);
+    if (st.ok()) {
+      BOS_FUZZ_ASSERT(consumed <= rest.size(), "consumed past the buffer");
+      ParseAll(view.payload);
+    }
+    ParseAll(rest);
+
+    bos::net::FrameBuffer buffer;
+    const size_t split = rest.empty() ? 0 : rest.size() / 2;
+    buffer.Append(rest.subspan(0, split));
+    bos::net::OwnedFrame frame;
+    (void)buffer.Next(&frame);
+    buffer.Append(rest.subspan(split));
+    for (int i = 0; i < 4 && buffer.Next(&frame).ok(); ++i) {
+      ParseAll(frame.payload);
+    }
+    return 0;
+  }
+
+  // Round-trip mode.
+  bos::Rng rng(bos::fuzz::SeedFrom(in.Rest()));
+  const bos::Bytes frame = StructuredFrame(&rng);
+
+  // Unflipped: must decode, byte-exactly and completely.
+  {
+    bos::net::FrameView view;
+    size_t consumed = 0;
+    const bos::Status st = bos::net::DecodeFrame(frame, &view, &consumed);
+    BOS_FUZZ_ASSERT(st.ok(), "canonical frame failed to decode");
+    BOS_FUZZ_ASSERT(consumed == frame.size(), "canonical frame length drift");
+    bos::Bytes re;
+    bos::net::EncodeFrame(view.type, view.payload, &re);
+    BOS_FUZZ_ASSERT(re == frame, "re-encode is not byte-identical");
+  }
+
+  // Flip 1..3 bits *within the payload region only*: CRC32 must reject.
+  // (Flips that touch the CRC field could cancel a payload flip — the
+  // guarantee quoted in the header comment is for errors in the data the
+  // CRC covers minus the CRC itself.)
+  bos::net::FrameView view;
+  size_t consumed = 0;
+  BOS_FUZZ_ASSERT(bos::net::DecodeFrame(frame, &view, &consumed).ok(),
+                  "decode before flip");
+  if (!view.payload.empty()) {
+    const size_t payload_off =
+        static_cast<size_t>(view.payload.data() - frame.data());
+    bos::Bytes flipped = frame;
+    const size_t flips = 1 + rng.Uniform(3);
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t pos = payload_off + rng.Uniform(view.payload.size());
+      flipped[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(8));
+    }
+    // Distinct flip positions/bits can coincide and cancel out; only a
+    // stream that actually differs must be rejected.
+    if (flipped != frame) {
+      bos::net::FrameView bad;
+      size_t bad_consumed = 0;
+      const bos::Status st = bos::net::DecodeFrame(flipped, &bad, &bad_consumed);
+      BOS_FUZZ_ASSERT(!st.ok(), "CRC accepted a bit-flipped payload");
+    }
+  }
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "fuzz_common.h"
 #include "general/lz4lite.h"
 #include "general/lzma_lite.h"
+#include "net/wire.h"
 #include "select/selection.h"
 #include "bitpack/varint.h"
 #include "storage/tsfile.h"
@@ -242,6 +243,72 @@ int main(int argc, char** argv) {
     WriteSeed(root / "fuzz_tsfile", 0, 0, bytes);
     WriteRoundTripSeeds(root / "fuzz_tsfile", 1, 1, &rng);
     fs::remove(tmp);
+  }
+
+  // fuzz_wire: one well-formed frame per request/response type so the
+  // arbitrary-bytes mode starts from valid framing, plus round-trip
+  // seeds for the CRC bit-flip invariant.
+  {
+    int index = 0;
+    auto write_frame = [&](uint8_t type, bos::BytesView payload) {
+      bos::Bytes frame;
+      bos::net::EncodeFrame(type, payload, &frame);
+      WriteSeed(root / "fuzz_wire", index++, 0, frame);
+    };
+    {
+      bos::net::AppendRequest req;
+      req.series = "corpus.series";
+      for (int i = 0; i < 20; ++i) {
+        req.points.push_back({i, static_cast<int64_t>(rng.Next() % 1000)});
+      }
+      bos::Bytes payload;
+      bos::net::EncodeAppendRequest(req, &payload);
+      write_frame(static_cast<uint8_t>(bos::net::FrameType::kAppend), payload);
+    }
+    {
+      bos::net::QueryRangeRequest req;
+      req.series = "corpus.series";
+      req.t_min = 0;
+      req.t_max = 100;
+      req.has_value_filter = true;
+      req.v_min = -5;
+      req.v_max = 5;
+      bos::Bytes payload;
+      bos::net::EncodeQueryRangeRequest(req, &payload);
+      write_frame(static_cast<uint8_t>(bos::net::FrameType::kQueryRange),
+                  payload);
+    }
+    {
+      bos::net::QuerySelectedRequest req;
+      req.series = "corpus.series";
+      req.selection.AddRange(0, 10);
+      req.selection.Add(100);
+      bos::Bytes payload;
+      bos::net::EncodeQuerySelectedRequest(req, &payload);
+      write_frame(static_cast<uint8_t>(bos::net::FrameType::kQuerySelected),
+                  payload);
+    }
+    {
+      std::vector<bos::codecs::DataPoint> points;
+      for (int i = 0; i < 10; ++i) points.push_back({i * 5, i - 3});
+      bos::Bytes payload;
+      bos::net::EncodePoints(points, &payload);
+      write_frame(static_cast<uint8_t>(bos::net::FrameType::kPoints), payload);
+    }
+    {
+      bos::Bytes payload;
+      bos::net::EncodeSeriesList({"a", "b.c", "d.e.f"}, &payload);
+      write_frame(static_cast<uint8_t>(bos::net::FrameType::kSeriesList),
+                  payload);
+    }
+    {
+      bos::Bytes payload;
+      bos::net::EncodeError(
+          bos::Status::InvalidArgument("corpus error message"), &payload);
+      write_frame(static_cast<uint8_t>(bos::net::FrameType::kError), payload);
+    }
+    write_frame(static_cast<uint8_t>(bos::net::FrameType::kFlush), {});
+    WriteRoundTripSeeds(root / "fuzz_wire", index, 1, &rng);
   }
 
   std::printf("corpus written to %s\n", root.c_str());

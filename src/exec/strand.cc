@@ -1,0 +1,58 @@
+#include "exec/strand.h"
+
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace bos::exec {
+
+Strand::Strand(ThreadPool* pool) : pool_(pool) {}
+
+Strand::~Strand() { Wait(); }
+
+void Strand::Post(std::function<void()> task) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    if (!running_) {
+      running_ = true;
+      schedule = true;
+    }
+  }
+  BOS_TELEMETRY_COUNTER_ADD("bos.exec.strand.posted", 1);
+  if (schedule) pool_->Submit([this] { Drain(); });
+}
+
+void Strand::Drain() {
+  for (size_t ran = 0; ran < kQuantum; ++ran) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        running_ = false;
+        idle_cv_.notify_all();
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // queue_ unlocked: the task may Post to this strand
+  }
+  // Quantum exhausted with work left: yield the worker and requeue.
+  // running_ stays true, so Posts in between do not double-schedule.
+  BOS_TELEMETRY_COUNTER_ADD("bos.exec.strand.requeues", 1);
+  pool_->Submit([this] { Drain(); });
+}
+
+void Strand::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !running_; });
+}
+
+size_t Strand::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace bos::exec

@@ -1,0 +1,71 @@
+#ifndef BOS_EXEC_STRAND_H_
+#define BOS_EXEC_STRAND_H_
+
+/// \file
+/// Serialized executor over a ThreadPool (DESIGN.md §14).
+///
+/// A Strand guarantees that the tasks posted to it run one at a time, in
+/// FIFO order, on the underlying pool — the classic asio strand. It is
+/// the concurrency primitive the network server builds shards from: a
+/// `TsStore`'s public API is externally synchronized, so giving each
+/// shard a strand turns "serialize all access to this store" into "post
+/// to this shard's strand", with no mutex held across the store's own
+/// internal `ParallelFor` fan-out (strand tasks run *on* pool workers,
+/// and the pool's cooperative ParallelFor nests safely).
+///
+/// Scheduling: Post appends to the strand's queue; if no drain task is in
+/// flight, one is submitted to the pool. The drain task runs tasks from
+/// the queue one at a time and, when more remain after a bounded run
+/// quantum, resubmits itself — so one busy strand cannot monopolize a
+/// worker while other pool work starves.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace bos::exec {
+
+class Strand {
+ public:
+  /// Tasks run on `pool`, which must outlive the strand.
+  explicit Strand(ThreadPool* pool);
+
+  /// Blocks until the queue is empty and no task is running.
+  ~Strand();
+
+  Strand(const Strand&) = delete;
+  Strand& operator=(const Strand&) = delete;
+
+  /// Enqueues `task`. Tasks run in Post order, never concurrently with
+  /// each other. Safe to call from any thread, including from inside a
+  /// strand task (the nested task runs after the current one returns).
+  void Post(std::function<void()> task);
+
+  /// Blocks until every task posted before this call has finished.
+  /// Tasks posted concurrently with Wait may or may not be covered. Must
+  /// not be called from inside a strand task (it would wait on itself).
+  void Wait();
+
+  /// Queued-but-not-started tasks (diagnostics; racy by nature).
+  size_t pending() const;
+
+ private:
+  /// Runs up to `kQuantum` tasks, then either resubmits or goes idle.
+  void Drain();
+
+  static constexpr size_t kQuantum = 16;
+
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool running_ = false;  ///< a Drain task is submitted or executing
+};
+
+}  // namespace bos::exec
+
+#endif  // BOS_EXEC_STRAND_H_

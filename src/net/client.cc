@@ -1,0 +1,140 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "util/macros.h"
+
+namespace bos::net {
+
+namespace {
+
+/// The server answered `kError`: reconstruct the Status it sent.
+Status StatusFromErrorFrame(const OwnedFrame& frame) {
+  auto body = ParseError(frame.payload);
+  if (!body.ok()) return Status::Corruption("unparseable error frame");
+  return ErrorBodyToStatus(body.value());
+}
+
+Status ExpectType(const OwnedFrame& frame, FrameType want) {
+  if (static_cast<FrameType>(frame.type) == FrameType::kError) {
+    return StatusFromErrorFrame(frame);
+  }
+  if (static_cast<FrameType>(frame.type) != want) {
+    return Status::Corruption("unexpected response frame type " +
+                              std::to_string(frame.type));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BosClient> BosClient::Connect(const std::string& host, uint16_t port) {
+  BOS_ASSIGN_OR_RETURN(Socket sock, Socket::Connect(host, port));
+  return BosClient(std::move(sock));
+}
+
+Result<OwnedFrame> BosClient::ReadFrame() {
+  Bytes chunk;
+  for (;;) {
+    OwnedFrame frame;
+    const Status st = frames_.Next(&frame);
+    if (st.ok()) return frame;
+    if (!st.IsOutOfRange()) return st;  // corrupt response stream
+    chunk.clear();
+    BOS_RETURN_NOT_OK(sock_.RecvSome(64 * 1024, &chunk));
+    if (chunk.empty()) {
+      return Status::IoError("connection closed by server mid-response");
+    }
+    frames_.Append(chunk);
+  }
+}
+
+Result<OwnedFrame> BosClient::RoundTrip(FrameType type, BytesView payload) {
+  Bytes wire;
+  EncodeFrame(static_cast<uint8_t>(type), payload, &wire);
+  BOS_RETURN_NOT_OK(sock_.SendAll(wire));
+  return ReadFrame();
+}
+
+Status BosClient::SendRaw(BytesView bytes) { return sock_.SendAll(bytes); }
+
+Status BosClient::Append(const std::string& series,
+                         std::span<const codecs::DataPoint> points) {
+  AppendRequest req;
+  req.series = series;
+  req.points.assign(points.begin(), points.end());
+  Bytes payload;
+  EncodeAppendRequest(req, &payload);
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp,
+                       RoundTrip(FrameType::kAppend, payload));
+  return ExpectType(resp, FrameType::kAppendOk);
+}
+
+Status BosClient::Flush() {
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp, RoundTrip(FrameType::kFlush, {}));
+  return ExpectType(resp, FrameType::kFlushOk);
+}
+
+Status BosClient::QueryRange(const std::string& series, int64_t t_min,
+                             int64_t t_max,
+                             std::vector<codecs::DataPoint>* out) {
+  QueryRangeRequest req;
+  req.series = series;
+  req.t_min = t_min;
+  req.t_max = t_max;
+  Bytes payload;
+  EncodeQueryRangeRequest(req, &payload);
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp,
+                       RoundTrip(FrameType::kQueryRange, payload));
+  BOS_RETURN_NOT_OK(ExpectType(resp, FrameType::kPoints));
+  BOS_ASSIGN_OR_RETURN(*out, ParsePoints(resp.payload));
+  return Status::OK();
+}
+
+Status BosClient::QueryValueRange(const std::string& series, int64_t t_min,
+                                  int64_t t_max, int64_t v_min, int64_t v_max,
+                                  std::vector<codecs::DataPoint>* out) {
+  QueryRangeRequest req;
+  req.series = series;
+  req.t_min = t_min;
+  req.t_max = t_max;
+  req.has_value_filter = true;
+  req.v_min = v_min;
+  req.v_max = v_max;
+  Bytes payload;
+  EncodeQueryRangeRequest(req, &payload);
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp,
+                       RoundTrip(FrameType::kQueryRange, payload));
+  BOS_RETURN_NOT_OK(ExpectType(resp, FrameType::kPoints));
+  BOS_ASSIGN_OR_RETURN(*out, ParsePoints(resp.payload));
+  return Status::OK();
+}
+
+Status BosClient::QuerySelected(const std::string& series,
+                                const select::SelectionVector& sel,
+                                std::vector<codecs::DataPoint>* out) {
+  QuerySelectedRequest req;
+  req.series = series;
+  req.selection = sel;
+  Bytes payload;
+  EncodeQuerySelectedRequest(req, &payload);
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp,
+                       RoundTrip(FrameType::kQuerySelected, payload));
+  BOS_RETURN_NOT_OK(ExpectType(resp, FrameType::kPoints));
+  BOS_ASSIGN_OR_RETURN(*out, ParsePoints(resp.payload));
+  return Status::OK();
+}
+
+Result<std::string> BosClient::StatsJson() {
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp, RoundTrip(FrameType::kStats, {}));
+  BOS_RETURN_NOT_OK(ExpectType(resp, FrameType::kStatsJson));
+  return std::string(resp.payload.begin(), resp.payload.end());
+}
+
+Result<std::vector<std::string>> BosClient::ListSeries() {
+  BOS_ASSIGN_OR_RETURN(OwnedFrame resp, RoundTrip(FrameType::kListSeries, {}));
+  BOS_RETURN_NOT_OK(ExpectType(resp, FrameType::kSeriesList));
+  return ParseSeriesList(resp.payload);
+}
+
+}  // namespace bos::net

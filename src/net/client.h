@@ -1,0 +1,79 @@
+#ifndef BOS_NET_CLIENT_H_
+#define BOS_NET_CLIENT_H_
+
+/// \file
+/// Synchronous client for the bosd wire protocol (DESIGN.md §14). One
+/// request in flight per client; use one client per thread for
+/// concurrency (bosload does exactly that).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codecs/timeseries.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "select/selection.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::net {
+
+class BosClient {
+ public:
+  /// Connects to a bosd at `host:port` (IPv4 literal host).
+  static Result<BosClient> Connect(const std::string& host, uint16_t port);
+
+  BosClient(BosClient&&) = default;
+  BosClient& operator=(BosClient&&) = default;
+
+  /// Appends `points` to `series`. OK means the server has applied and
+  /// group-commit-fsynced the batch.
+  Status Append(const std::string& series,
+                std::span<const codecs::DataPoint> points);
+
+  /// Forces every shard's memtable to disk.
+  Status Flush();
+
+  /// Points of `series` with timestamp in [t_min, t_max].
+  Status QueryRange(const std::string& series, int64_t t_min, int64_t t_max,
+                    std::vector<codecs::DataPoint>* out);
+
+  /// Like QueryRange, with a server-side value predicate v in
+  /// [v_min, v_max].
+  Status QueryValueRange(const std::string& series, int64_t t_min,
+                         int64_t t_max, int64_t v_min, int64_t v_max,
+                         std::vector<codecs::DataPoint>* out);
+
+  /// Point lookup by store-order positions.
+  Status QuerySelected(const std::string& series,
+                       const select::SelectionVector& sel,
+                       std::vector<codecs::DataPoint>* out);
+
+  /// The server's stats snapshot (JSON text; schema_version inside).
+  Result<std::string> StatsJson();
+
+  /// All series names across every shard, sorted.
+  Result<std::vector<std::string>> ListSeries();
+
+  /// Sends raw bytes on the wire — test hook for malformed-frame and
+  /// CRC-corruption cases. Not part of the protocol.
+  Status SendRaw(BytesView bytes);
+
+  /// Sends a frame and returns the response frame — building block the
+  /// typed calls use; exposed for tests.
+  Result<OwnedFrame> RoundTrip(FrameType type, BytesView payload);
+
+ private:
+  explicit BosClient(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Reads until one complete frame is buffered.
+  Result<OwnedFrame> ReadFrame();
+
+  Socket sock_;
+  FrameBuffer frames_;
+};
+
+}  // namespace bos::net
+
+#endif  // BOS_NET_CLIENT_H_

@@ -1,0 +1,471 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <utility>
+
+#include "bitpack/varint.h"
+#include "telemetry/telemetry.h"
+#include "util/macros.h"
+
+namespace bos::net {
+
+namespace {
+
+/// Wraps `status` as a complete kError frame appended to `*out`.
+void AppendErrorFrame(const Status& status, Bytes* out) {
+  Bytes body;
+  EncodeError(status, &body);
+  EncodeFrame(static_cast<uint8_t>(FrameType::kError), body, out);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+BosServer::BosServer(ServerOptions options) : options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+}
+
+BosServer::~BosServer() { Stop(); }
+
+Status BosServer::Start() {
+  if (!shards_.empty()) return Status::InvalidArgument("server already started");
+  pool_ = std::make_unique<exec::ThreadPool>(options_.threads);
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    storage::StoreOptions so;
+    so.dir = (fs::path(options_.dir) / ("shard-" + std::to_string(i))).string();
+    so.memtable_points = options_.memtable_points;
+    so.spec = options_.spec;
+    so.cache_mb = options_.cache_mb;
+    // Store-internal fan-out uses the process default pool; strand tasks
+    // run on the server pool, and the nested ParallelFor is cooperative
+    // either way, so neither pool can deadlock the other.
+    so.threads = 0;
+    // Every explicit fsync is owned by the group-commit drain.
+    so.wal_sync_every_n = 0;
+    auto store = storage::TsStore::Open(so);
+    if (!store.ok()) {
+      shards_.clear();
+      pool_.reset();
+      return store.status();
+    }
+    auto shard = std::make_unique<Shard>();
+    shard->store = std::move(store).value();
+    shard->strand = std::make_unique<exec::Strand>(pool_.get());
+    shards_.push_back(std::move(shard));
+  }
+
+  const Status st = listener_.Listen(options_.port);
+  if (!st.ok()) {
+    shards_.clear();
+    pool_.reset();
+    return st;
+  }
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void BosServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: the first one is (or was) tearing down; just make
+    // sure the accept thread is gone before returning.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.Close();  // wakes the blocked Accept
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, sock] : live_sockets_) sock->ShutdownBoth();
+  }
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(connections_);
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) t.join();
+  }
+
+  // Connection threads are gone, so no new appends or queries; let every
+  // shard finish its queued drains, then flush and close the stores.
+  for (auto& shard : shards_) {
+    if (shard->strand) shard->strand->Wait();
+    shard->strand.reset();
+    if (shard->store) {
+      (void)shard->store->Flush();
+      shard->store.reset();
+    }
+  }
+  shards_.clear();
+  pool_.reset();
+}
+
+Status BosServer::FlushAll() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status st = RunOnShard(i, [this, i] { return shards_[i]->store->Flush(); });
+    BOS_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+void BosServer::AcceptLoop() {
+  for (;;) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      // Transient accept failure: keep serving until Stop closes us.
+      continue;
+    }
+    Socket sock = std::move(accepted).value();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (live_connections_ >= options_.max_connections) {
+        BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.overload", 1);
+        continue;  // sock closes on scope exit: connection refused
+      }
+      ++live_connections_;
+      total_connections_.fetch_add(1);
+      connections_.emplace_back(
+          [this, s = std::move(sock)]() mutable { ServeConnection(std::move(s)); });
+    }
+  }
+}
+
+void BosServer::ServeConnection(Socket sock) {
+  uint64_t conn_id;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_id = next_conn_id_++;
+    live_sockets_[conn_id] = &sock;
+  }
+  BOS_TELEMETRY_COUNTER_ADD("bos.net.connections.accepted", 1);
+
+  FrameBuffer frames;
+  Bytes chunk;
+  bool open = true;
+  while (open && !stopping_.load()) {
+    chunk.clear();
+    if (!sock.RecvSome(64 * 1024, &chunk).ok() || chunk.empty()) break;
+    BOS_TELEMETRY_COUNTER_ADD("bos.net.bytes.rx", chunk.size());
+    frames.Append(chunk);
+
+    for (;;) {
+      OwnedFrame frame;
+      const Status st = frames.Next(&frame);
+      if (st.IsOutOfRange()) break;  // need more bytes
+      Bytes response;
+      if (!st.ok()) {
+        // Unframeable stream: best-effort error, then close — there is
+        // no reliable way to find the next frame boundary.
+        BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.corrupt", 1);
+        AppendErrorFrame(st, &response);
+        (void)sock.SendAll(response);
+        open = false;
+        break;
+      }
+      BOS_TELEMETRY_COUNTER_ADD("bos.net.frames.rx", 1);
+      const bool keep = HandleFrame(frame, &response);
+      if (!response.empty()) {
+        BOS_TELEMETRY_COUNTER_ADD("bos.net.frames.tx", 1);
+        BOS_TELEMETRY_COUNTER_ADD("bos.net.bytes.tx", response.size());
+        if (!sock.SendAll(response).ok()) open = false;
+      }
+      if (!keep) open = false;
+      if (!open) break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    live_sockets_.erase(conn_id);
+    --live_connections_;
+  }
+  BOS_TELEMETRY_COUNTER_ADD("bos.net.connections.closed", 1);
+}
+
+bool BosServer::HandleFrame(const OwnedFrame& frame, Bytes* response) {
+  Status st;
+  switch (static_cast<FrameType>(frame.type)) {
+    case FrameType::kAppend:
+      st = HandleAppend(frame.payload, response);
+      break;
+    case FrameType::kFlush:
+      st = HandleFlush(response);
+      break;
+    case FrameType::kQueryRange:
+      st = HandleQueryRange(frame.payload, response);
+      break;
+    case FrameType::kQuerySelected:
+      st = HandleQuerySelected(frame.payload, response);
+      break;
+    case FrameType::kStats:
+      st = HandleStats(response);
+      break;
+    case FrameType::kListSeries:
+      st = HandleListSeries(response);
+      break;
+    default:
+      BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.unknown_type", 1);
+      st = Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(frame.type));
+  }
+  if (!st.ok()) {
+    if (st.IsResourceExhausted()) {
+      BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.backpressure", 1);
+    }
+    response->clear();
+    AppendErrorFrame(st, response);
+  }
+  // A frame that framed correctly never kills the connection, even when
+  // its payload was garbage — the stream is still in sync.
+  return true;
+}
+
+Status BosServer::HandleAppend(BytesView payload, Bytes* response) {
+  auto parsed = ParseAppendRequest(payload);
+  if (!parsed.ok()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.parse", 1);
+    return parsed.status();
+  }
+  AppendRequest req = std::move(parsed).value();
+  const uint64_t n = req.points.size();
+  BOS_RETURN_NOT_OK(EnqueueAppend(std::move(req)));
+  Bytes body;
+  bitpack::PutVarint(&body, n);
+  EncodeFrame(static_cast<uint8_t>(FrameType::kAppendOk), body, response);
+  return Status::OK();
+}
+
+Status BosServer::EnqueueAppend(AppendRequest req) {
+  const size_t shard_index = ShardFor(req.series);
+  Shard& shard = *shards_[shard_index];
+  const size_t n = req.points.size();
+  std::future<Status> done;
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.q_mu);
+    if (shard.queued_points + n > options_.max_pending_points) {
+      return Status::ResourceExhausted(
+          "shard " + std::to_string(shard_index) + " append queue full (" +
+          std::to_string(shard.queued_points) + " points pending, cap " +
+          std::to_string(options_.max_pending_points) + "); retry later");
+    }
+    shard.pending.emplace_back();
+    shard.pending.back().req = std::move(req);
+    done = shard.pending.back().done.get_future();
+    shard.queued_points += n;
+    if (!shard.drain_scheduled) {
+      shard.drain_scheduled = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    shard.strand->Post([this, shard_index] { DrainShard(shard_index); });
+  }
+  // Block this connection thread (never a pool worker) until the group
+  // commit that covers this batch has fsynced.
+  return done.get();
+}
+
+void BosServer::DrainShard(size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::deque<PendingAppend> batch;
+  {
+    std::lock_guard<std::mutex> lock(shard.q_mu);
+    batch.swap(shard.pending);
+    if (batch.empty()) {
+      shard.drain_scheduled = false;
+      return;
+    }
+  }
+
+  // Apply every parked batch, then pay for ONE fsync covering them all.
+  size_t applied_points = 0;
+  std::vector<Status> results;
+  results.reserve(batch.size());
+  for (auto& p : batch) {
+    Status st = shard.store->WriteBatch(p.req.series, p.req.points);
+    if (st.ok()) applied_points += p.req.points.size();
+    results.push_back(std::move(st));
+  }
+  const Status sync = shard.store->SyncWal();
+  BOS_TELEMETRY_COUNTER_ADD("bos.net.group_commit.drains", 1);
+  BOS_TELEMETRY_COUNTER_ADD("bos.net.group_commit.batches", batch.size());
+  BOS_TELEMETRY_COUNTER_ADD("bos.net.group_commit.points", applied_points);
+
+  size_t drained_points = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    drained_points += batch[i].req.points.size();
+    batch[i].done.set_value(results[i].ok() ? sync : std::move(results[i]));
+  }
+
+  bool more;
+  {
+    std::lock_guard<std::mutex> lock(shard.q_mu);
+    shard.queued_points -= drained_points;
+    more = !shard.pending.empty();
+    if (!more) shard.drain_scheduled = false;
+  }
+  // More arrived while we were applying: stay scheduled, but go through
+  // the strand again so queries posted in between get their turn.
+  if (more) {
+    shard.strand->Post([this, shard_index] { DrainShard(shard_index); });
+  }
+}
+
+Status BosServer::RunOnShard(size_t shard_index, std::function<Status()> fn) {
+  std::promise<Status> done;
+  std::future<Status> fut = done.get_future();
+  shards_[shard_index]->strand->Post(
+      [fn = std::move(fn), &done] { done.set_value(fn()); });
+  return fut.get();
+}
+
+Status BosServer::HandleQueryRange(BytesView payload, Bytes* response) {
+  auto parsed = ParseQueryRangeRequest(payload);
+  if (!parsed.ok()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.parse", 1);
+    return parsed.status();
+  }
+  const QueryRangeRequest req = std::move(parsed).value();
+  std::vector<codecs::DataPoint> points;
+  BOS_RETURN_NOT_OK(RunOnShard(ShardFor(req.series), [&] {
+    return shards_[ShardFor(req.series)]->store->Query(req.series, req.t_min,
+                                                       req.t_max, &points);
+  }));
+  if (req.has_value_filter) {
+    std::erase_if(points, [&](const codecs::DataPoint& p) {
+      return p.value < req.v_min || p.value > req.v_max;
+    });
+  }
+  Bytes body;
+  EncodePoints(points, &body);
+  EncodeFrame(static_cast<uint8_t>(FrameType::kPoints), body, response);
+  return Status::OK();
+}
+
+Status BosServer::HandleQuerySelected(BytesView payload, Bytes* response) {
+  auto parsed = ParseQuerySelectedRequest(payload);
+  if (!parsed.ok()) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.net.rejected.parse", 1);
+    return parsed.status();
+  }
+  const QuerySelectedRequest req = std::move(parsed).value();
+  std::vector<codecs::DataPoint> points;
+  BOS_RETURN_NOT_OK(RunOnShard(ShardFor(req.series), [&] {
+    return shards_[ShardFor(req.series)]->store->QuerySelected(
+        req.series, req.selection, &points);
+  }));
+  Bytes body;
+  EncodePoints(points, &body);
+  EncodeFrame(static_cast<uint8_t>(FrameType::kPoints), body, response);
+  return Status::OK();
+}
+
+Status BosServer::HandleFlush(Bytes* response) {
+  BOS_RETURN_NOT_OK(FlushAll());
+  EncodeFrame(static_cast<uint8_t>(FrameType::kFlushOk), {}, response);
+  return Status::OK();
+}
+
+Status BosServer::HandleListSeries(Bytes* response) {
+  // Fan out: every shard lists under its own strand; results merge here.
+  std::set<std::string> merged;
+  std::mutex merged_mu;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    BOS_RETURN_NOT_OK(RunOnShard(i, [&, i] {
+      std::vector<std::string> names = shards_[i]->store->ListSeries();
+      std::lock_guard<std::mutex> lock(merged_mu);
+      merged.insert(names.begin(), names.end());
+      return Status::OK();
+    }));
+  }
+  const std::vector<std::string> names(merged.begin(), merged.end());
+  Bytes body;
+  EncodeSeriesList(names, &body);
+  EncodeFrame(static_cast<uint8_t>(FrameType::kSeriesList), body, response);
+  return Status::OK();
+}
+
+std::string BosServer::StatsJsonLocked() {
+  // Store getters are externally synchronized, so each shard's numbers
+  // are read under that shard's own strand.
+  struct ShardStats {
+    size_t memtable_points = 0;
+    size_t num_files = 0;
+    size_t pending_points = 0;
+  };
+  std::vector<ShardStats> stats(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    (void)RunOnShard(i, [&, i] {
+      stats[i].memtable_points = shard.store->memtable_points();
+      stats[i].num_files = shard.store->num_files();
+      return Status::OK();
+    });
+    std::lock_guard<std::mutex> lock(shard.q_mu);
+    stats[i].pending_points = shard.queued_points;
+  }
+
+  std::string out;
+  out += "{\"schema_version\":";
+  out += std::to_string(telemetry::kSchemaVersion);
+  out += ",\"server\":{\"shards\":" + std::to_string(shards_.size());
+  out += ",\"threads\":" + std::to_string(pool_->num_threads());
+  out += ",\"connections_total\":" + std::to_string(total_connections_.load());
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    out += ",\"connections_live\":" + std::to_string(live_connections_);
+  }
+  out += ",\"dir\":";
+  AppendJsonString(options_.dir, &out);
+  out += "},\"shards\":[";
+  for (size_t i = 0; i < stats.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"memtable_points\":" + std::to_string(stats[i].memtable_points);
+    out += ",\"num_files\":" + std::to_string(stats[i].num_files);
+    out += ",\"pending_points\":" + std::to_string(stats[i].pending_points);
+    out += "}";
+  }
+  out += "],\"telemetry\":";
+  out += telemetry::Registry::Global().SnapshotJson();
+  out += "}";
+  return out;
+}
+
+Status BosServer::HandleStats(Bytes* response) {
+  const std::string json = StatsJsonLocked();
+  Bytes body(json.begin(), json.end());
+  EncodeFrame(static_cast<uint8_t>(FrameType::kStatsJson), body, response);
+  return Status::OK();
+}
+
+}  // namespace bos::net

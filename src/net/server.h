@@ -1,0 +1,172 @@
+#ifndef BOS_NET_SERVER_H_
+#define BOS_NET_SERVER_H_
+
+/// \file
+/// bosd: a sharded ingestion/query server over TsStore (DESIGN.md §14).
+///
+/// Architecture:
+///
+///   * N shards, each a private `TsStore` under `<dir>/shard-<i>` with
+///     its own `exec::Strand` on one shared work-stealing ThreadPool.
+///     A series lives on shard `SeriesHash(name) % N`; the store's
+///     externally-synchronized API is honoured by the strand (one task
+///     at a time per shard), with no shard mutex held across the
+///     store's internal ParallelFor fan-out.
+///   * Connections each get a dedicated std::thread (bounded by
+///     `max_connections`) that does the blocking socket I/O, parses
+///     frames, posts shard work, and waits for completion. Pool workers
+///     never block on other pool tasks, so the pool cannot deadlock.
+///   * Appends group-commit: each shard queues incoming batches; a
+///     single strand task drains the whole queue — every batch's
+///     WriteBatch, then ONE `TsStore::SyncWal()` fsync for all of them.
+///     The store runs with `wal_sync_every_n = 0`, so the drain task is
+///     the only thing paying for fsyncs; concurrent writers amortize it.
+///   * Backpressure is a bounded queue: when a shard already holds
+///     `max_pending_points` unapplied points, new appends are rejected
+///     with kResourceExhausted instead of buffered — memory is bounded
+///     by policy, not by the client's send rate.
+///
+/// Error policy, mirrored by the client: a frame that *parses* but whose
+/// payload or semantics are bad gets a kError response and the
+/// connection lives on; bytes that cannot be framed at all (bad magic,
+/// CRC mismatch, oversize length) get a best-effort kError and the
+/// connection is closed, because a desynchronized stream has no reliable
+/// resync point.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/strand.h"
+#include "exec/thread_pool.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "storage/store.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::net {
+
+struct ServerOptions {
+  std::string dir;     ///< root; shard i stores under dir/shard-<i>
+  uint16_t port = 0;   ///< 0 = ephemeral, readable from port()
+  size_t shards = 4;
+  size_t threads = 0;  ///< pool size; 0 = hardware concurrency
+
+  /// Per-shard StoreOptions knobs (wal_sync_every_n is forced to 0 —
+  /// the group-commit drain owns fsync policy).
+  size_t memtable_points = 65536;
+  std::string spec = "TS2DIFF+BOS-B|TS2DIFF+BOS-B";
+  size_t cache_mb = 16;
+
+  /// Bounded append queue per shard, in points. Appends that would
+  /// push a shard past this are rejected with kResourceExhausted.
+  size_t max_pending_points = 1u << 20;
+
+  /// Connection threads; further accepts are rejected by closing.
+  size_t max_connections = 64;
+};
+
+class BosServer {
+ public:
+  explicit BosServer(ServerOptions options);
+  ~BosServer();
+  BosServer(const BosServer&) = delete;
+  BosServer& operator=(const BosServer&) = delete;
+
+  /// Opens every shard store, binds the listener and starts the accept
+  /// thread. On any failure the server is left stopped.
+  Status Start();
+
+  /// Drains connections, flushes every shard and joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Flushes every shard's memtable (used by tests and shutdown).
+  Status FlushAll();
+
+  uint16_t port() const { return listener_.port(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  /// One parked append batch: the writer's connection thread blocks on
+  /// `done` until the group-commit drain has applied AND fsynced it, so
+  /// an acked append is durable to the same degree a lone WalWriter::Sync
+  /// would make it.
+  struct PendingAppend {
+    AppendRequest req;
+    std::promise<Status> done;
+  };
+
+  struct Shard {
+    std::unique_ptr<storage::TsStore> store;
+    std::unique_ptr<exec::Strand> strand;
+
+    // Group-commit queue: appends park here until the drain task runs.
+    std::mutex q_mu;
+    std::deque<PendingAppend> pending;
+    size_t queued_points = 0;  // sum of pending[i].req.points.size()
+    bool drain_scheduled = false;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Socket sock);
+
+  /// Dispatches one parsed frame; fills `*response` (always exactly one
+  /// frame). Returns false when the connection must close (unframeable
+  /// input).
+  bool HandleFrame(const OwnedFrame& frame, Bytes* response);
+
+  Status HandleAppend(BytesView payload, Bytes* response);
+  Status HandleQueryRange(BytesView payload, Bytes* response);
+  Status HandleQuerySelected(BytesView payload, Bytes* response);
+  Status HandleStats(Bytes* response);
+  Status HandleListSeries(Bytes* response);
+  Status HandleFlush(Bytes* response);
+
+  /// Queues `req` on its shard, schedules the group-commit drain and
+  /// blocks until the drain has durably applied the batch. Rejects with
+  /// kResourceExhausted past max_pending_points (without blocking).
+  Status EnqueueAppend(AppendRequest req);
+
+  /// The drain task body: applies every queued batch, then one SyncWal.
+  void DrainShard(size_t shard_index);
+
+  /// Runs `fn` on the series' shard strand and waits for the result.
+  /// Safe: the calling thread is a connection thread, never a pool
+  /// worker, so this wait cannot deadlock the pool.
+  Status RunOnShard(size_t shard_index, std::function<Status()> fn);
+
+  size_t ShardFor(std::string_view series) const {
+    return static_cast<size_t>(SeriesHash(series) % shards_.size());
+  }
+
+  std::string StatsJsonLocked();
+
+  ServerOptions options_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ListenSocket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  /// Live connection sockets, keyed by an id private to this map; Stop
+  /// calls ShutdownBoth on each so blocked reads wake with EOF.
+  std::map<uint64_t, Socket*> live_sockets_;
+  uint64_t next_conn_id_ = 0;
+  size_t live_connections_ = 0;
+  std::atomic<uint64_t> total_connections_{0};
+};
+
+}  // namespace bos::net
+
+#endif  // BOS_NET_SERVER_H_

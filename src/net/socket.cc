@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BOS_NET_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace bos::net {
+
+#if defined(BOS_NET_HAVE_SOCKETS)
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+#if !defined(MSG_NOSIGNAL)
+constexpr int MSG_NOSIGNAL = 0;  // macOS: rely on SO_NOSIGPIPE instead
+#endif
+
+void DisableSigpipe(int fd) {
+#if defined(SO_NOSIGPIPE)
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address literal: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  DisableSigpipe(fd);
+  return Socket(fd);
+}
+
+Status Socket::SendAll(BytesView data) {
+  if (fd_ < 0) return Status::InvalidArgument("send on closed socket");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvSome(size_t cap, Bytes* out) {
+  if (fd_ < 0) return Status::InvalidArgument("recv on closed socket");
+  const size_t old = out->size();
+  out->resize(old + cap);
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out->data() + old, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      out->resize(old);
+      return Errno("recv");
+    }
+    out->resize(old + static_cast<size_t>(n));
+    return Status::OK();
+  }
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ListenSocket::Listen(uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<Socket> ListenSocket::Accept() {
+  // Snapshot the fd: Close() from another thread sets fd_ = -1 and
+  // closes it, which makes the blocked accept below return with an
+  // error — the intended shutdown path.
+  const int fd = fd_;
+  if (fd < 0) return Status::InvalidArgument("accept on closed listener");
+  for (;;) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    DisableSigpipe(conn);
+    return Socket(conn);
+  }
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);  // wake a blocked Accept before closing
+    ::close(fd);
+  }
+}
+
+#else  // !BOS_NET_HAVE_SOCKETS
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+Result<Socket> Socket::Connect(const std::string&, uint16_t) {
+  return Status::NotImplemented("sockets require POSIX");
+}
+Status Socket::SendAll(BytesView) {
+  return Status::NotImplemented("sockets require POSIX");
+}
+Status Socket::RecvSome(size_t, Bytes*) {
+  return Status::NotImplemented("sockets require POSIX");
+}
+void Socket::ShutdownWrite() {}
+void Socket::ShutdownBoth() {}
+void Socket::Close() { fd_ = -1; }
+
+Status ListenSocket::Listen(uint16_t) {
+  return Status::NotImplemented("sockets require POSIX");
+}
+Result<Socket> ListenSocket::Accept() {
+  return Status::NotImplemented("sockets require POSIX");
+}
+void ListenSocket::Close() { fd_ = -1; }
+
+#endif  // BOS_NET_HAVE_SOCKETS
+
+}  // namespace bos::net

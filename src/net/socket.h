@@ -1,0 +1,94 @@
+#ifndef BOS_NET_SOCKET_H_
+#define BOS_NET_SOCKET_H_
+
+/// \file
+/// Minimal RAII TCP sockets for bosd and its client library
+/// (DESIGN.md §14). Loopback/IPv4 only — this is a service scaffold for
+/// benchmarking the store over a wire, not a production listener.
+///
+/// POSIX-only, like the mmap path in storage/page_source.cc: on other
+/// platforms every operation returns NotImplemented and the tools print
+/// a clear error instead of failing to build.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::net {
+
+/// One connected TCP stream. Movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to `host:port` (host must be an IPv4 literal, e.g.
+  /// "127.0.0.1"). Sets TCP_NODELAY — frames are small and latency
+  /// matters more than packet count.
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`, looping over short writes. Uses MSG_NOSIGNAL
+  /// so a peer reset surfaces as a Status, not SIGPIPE.
+  Status SendAll(BytesView data);
+
+  /// Reads at most `cap` bytes into `*out` (appended). Zero appended
+  /// bytes with OK status means orderly EOF.
+  Status RecvSome(size_t cap, Bytes* out);
+
+  /// Half-closes the write side (signals EOF to the peer's reader).
+  void ShutdownWrite();
+
+  /// Shuts down both directions without closing the fd: a thread blocked
+  /// in RecvSome on this socket wakes up with EOF. How the server nudges
+  /// its connection threads at shutdown.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens on loopback `port`; port 0 picks an ephemeral
+  /// port, readable afterwards from port().
+  Status Listen(uint16_t port);
+
+  /// Blocks until a connection arrives. Close() from another thread
+  /// wakes the accept with a non-OK status, which is how the server
+  /// shuts its accept loop down.
+  Result<Socket> Accept();
+
+  uint16_t port() const { return port_; }
+  bool listening() const { return fd_ >= 0; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace bos::net
+
+#endif  // BOS_NET_SOCKET_H_

@@ -1,0 +1,324 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "bitpack/varint.h"
+#include "telemetry/telemetry.h"
+#include "util/crc32.h"
+#include "util/macros.h"
+#include "util/safe_math.h"
+
+namespace bos::net {
+namespace {
+
+using bitpack::GetSignedVarint;
+using bitpack::GetVarint;
+using bitpack::PutSignedVarint;
+using bitpack::PutVarint;
+
+/// Reads `varint len | bytes` with the series-name bound applied.
+Status GetSeriesName(BytesView payload, size_t* offset, std::string* out) {
+  uint64_t len = 0;
+  BOS_RETURN_NOT_OK(GetVarint(payload, offset, &len));
+  if (len > kMaxSeriesNameBytes) {
+    return Status::InvalidArgument("series name over " +
+                                   std::to_string(kMaxSeriesNameBytes) +
+                                   " bytes");
+  }
+  BOS_ASSIGN_OR_RETURN(const BytesView name,
+                       CheckedSlice(payload, *offset, len, "series name"));
+  out->assign(reinterpret_cast<const char*>(name.data()), name.size());
+  *offset += static_cast<size_t>(len);
+  return Status::OK();
+}
+
+/// A parser that consumed less than the whole payload accepted a frame
+/// whose tail it never validated; reject instead.
+Status ExpectConsumedAll(BytesView payload, size_t offset, const char* what) {
+  if (offset != payload.size()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": trailing bytes after request");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeFrame(uint8_t type, BytesView payload, Bytes* out) {
+  out->insert(out->end(), kMagic, kMagic + sizeof(kMagic));
+  const size_t crc_begin = out->size();
+  out->push_back(type);
+  PutVarint(out, payload.size());
+  out->insert(out->end(), payload.begin(), payload.end());
+  const uint32_t crc =
+      Crc32(out->data() + crc_begin, out->size() - crc_begin);
+  PutFixed<uint32_t>(out, crc);
+}
+
+Status DecodeFrame(BytesView data, FrameView* out, size_t* consumed) {
+  if (data.empty()) return Status::OutOfRange("empty frame buffer");
+  if (data.size() < sizeof(kMagic)) {
+    // A shorter prefix of a valid frame must still match the magic.
+    if (std::memcmp(data.data(), kMagic, data.size()) != 0) {
+      return Status::Corruption("bad frame magic");
+    }
+    return Status::OutOfRange("incomplete frame header");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad frame magic");
+  }
+  size_t offset = sizeof(kMagic);
+  if (offset >= data.size()) return Status::OutOfRange("incomplete frame type");
+  const uint8_t type = data[offset++];
+
+  uint64_t payload_len = 0;
+  {
+    const size_t len_begin = offset;  // GetVarint leaves it here on failure
+    const Status st = GetVarint(data, &offset, &payload_len);
+    if (!st.ok()) {
+      // Incomplete, not corrupt, iff every available byte continues the
+      // varint and fewer than the 10-byte limit have arrived: more bytes
+      // could still complete it. Anything else can never parse.
+      const size_t avail = data.size() - len_begin;
+      bool all_continue = avail < 10;
+      for (size_t i = len_begin; all_continue && i < data.size(); ++i) {
+        all_continue = (data[i] & 0x80) != 0;
+      }
+      if (all_continue) return Status::OutOfRange("incomplete frame length");
+      return Status::Corruption("corrupt frame length varint");
+    }
+  }
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::Corruption("frame payload over " +
+                              std::to_string(kMaxPayloadBytes) + " bytes");
+  }
+  uint64_t need_after_len = 0;
+  if (!CheckedAdd(payload_len, sizeof(uint32_t), &need_after_len)) {
+    return Status::Corruption("frame length overflow");
+  }
+  if (!SliceFits(data.size(), offset, need_after_len)) {
+    return Status::OutOfRange("incomplete frame payload");
+  }
+  const BytesView payload = data.subspan(offset, payload_len);
+  offset += static_cast<size_t>(payload_len);
+  uint32_t stored_crc = 0;
+  (void)GetFixed<uint32_t>(data, offset, &stored_crc);  // bounds proven above
+  offset += sizeof(uint32_t);
+  const uint32_t actual_crc =
+      Crc32(data.data() + sizeof(kMagic), offset - sizeof(uint32_t) -
+                                              sizeof(kMagic));
+  if (stored_crc != actual_crc) {
+    BOS_TELEMETRY_COUNTER_ADD("bos.net.frames.crc_failures", 1);
+    return Status::Corruption("frame CRC mismatch");
+  }
+  out->type = type;
+  out->payload = payload;
+  *consumed = offset;
+  return Status::OK();
+}
+
+Status FrameBuffer::Next(OwnedFrame* out) {
+  FrameView view;
+  size_t consumed = 0;
+  BOS_RETURN_NOT_OK(DecodeFrame(buf_, &view, &consumed));
+  out->type = view.type;
+  out->payload.assign(view.payload.begin(), view.payload.end());
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed));
+  return Status::OK();
+}
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+StatusCode WireToStatusCode(uint8_t wire) {
+  switch (wire) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kCorruption;
+    case 3:
+      return StatusCode::kNotImplemented;
+    case 4:
+      return StatusCode::kIoError;
+    case 5:
+      return StatusCode::kOutOfRange;
+    case 7:
+      return StatusCode::kResourceExhausted;
+    default:
+      return StatusCode::kUnknown;
+  }
+}
+
+void EncodeError(const Status& status, Bytes* out) {
+  out->push_back(StatusCodeToWire(status.code()));
+  const std::string& msg = status.message();
+  PutVarint(out, msg.size());
+  out->insert(out->end(), msg.begin(), msg.end());
+}
+
+Result<ErrorBody> ParseError(BytesView payload) {
+  if (payload.empty()) return Status::InvalidArgument("empty error body");
+  ErrorBody body;
+  body.code = WireToStatusCode(payload[0]);
+  size_t offset = 1;
+  uint64_t len = 0;
+  BOS_RETURN_NOT_OK(GetVarint(payload, &offset, &len));
+  BOS_ASSIGN_OR_RETURN(const BytesView msg,
+                       CheckedSlice(payload, offset, len, "error message"));
+  body.message.assign(reinterpret_cast<const char*>(msg.data()), msg.size());
+  offset += static_cast<size_t>(len);
+  BOS_RETURN_NOT_OK(ExpectConsumedAll(payload, offset, "error body"));
+  return body;
+}
+
+Status ErrorBodyToStatus(const ErrorBody& body) {
+  if (body.code == StatusCode::kOk) return Status::OK();
+  return Status(body.code, body.message);
+}
+
+void EncodeAppendRequest(const AppendRequest& req, Bytes* out) {
+  PutVarint(out, req.series.size());
+  out->insert(out->end(), req.series.begin(), req.series.end());
+  PutVarint(out, req.points.size());
+  for (const codecs::DataPoint& p : req.points) {
+    PutSignedVarint(out, p.timestamp);
+    PutSignedVarint(out, p.value);
+  }
+}
+
+Result<AppendRequest> ParseAppendRequest(BytesView payload) {
+  AppendRequest req;
+  size_t offset = 0;
+  BOS_RETURN_NOT_OK(GetSeriesName(payload, &offset, &req.series));
+  if (req.series.empty()) {
+    return Status::InvalidArgument("append: empty series name");
+  }
+  uint64_t n = 0;
+  BOS_RETURN_NOT_OK(GetVarint(payload, &offset, &n));
+  // Every point is at least two bytes, so a count beyond the remaining
+  // payload is a lie — reject before sizing any allocation from it.
+  if (n > (payload.size() - offset) / 2) {
+    return Status::InvalidArgument("append: point count exceeds payload");
+  }
+  req.points.resize(static_cast<size_t>(n));
+  for (codecs::DataPoint& p : req.points) {
+    BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &p.timestamp));
+    BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &p.value));
+  }
+  BOS_RETURN_NOT_OK(ExpectConsumedAll(payload, offset, "append"));
+  return req;
+}
+
+void EncodeQueryRangeRequest(const QueryRangeRequest& req, Bytes* out) {
+  PutVarint(out, req.series.size());
+  out->insert(out->end(), req.series.begin(), req.series.end());
+  PutSignedVarint(out, req.t_min);
+  PutSignedVarint(out, req.t_max);
+  out->push_back(req.has_value_filter ? 1 : 0);
+  if (req.has_value_filter) {
+    PutSignedVarint(out, req.v_min);
+    PutSignedVarint(out, req.v_max);
+  }
+}
+
+Result<QueryRangeRequest> ParseQueryRangeRequest(BytesView payload) {
+  QueryRangeRequest req;
+  size_t offset = 0;
+  BOS_RETURN_NOT_OK(GetSeriesName(payload, &offset, &req.series));
+  BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &req.t_min));
+  BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &req.t_max));
+  if (offset >= payload.size()) {
+    return Status::InvalidArgument("query: missing filter flag");
+  }
+  const uint8_t flags = payload[offset++];
+  if (flags > 1) {
+    return Status::InvalidArgument("query: unknown filter flags");
+  }
+  req.has_value_filter = flags == 1;
+  if (req.has_value_filter) {
+    BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &req.v_min));
+    BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &req.v_max));
+  }
+  BOS_RETURN_NOT_OK(ExpectConsumedAll(payload, offset, "query"));
+  return req;
+}
+
+void EncodeQuerySelectedRequest(const QuerySelectedRequest& req, Bytes* out) {
+  PutVarint(out, req.series.size());
+  out->insert(out->end(), req.series.begin(), req.series.end());
+  req.selection.Serialize(out);
+}
+
+Result<QuerySelectedRequest> ParseQuerySelectedRequest(BytesView payload) {
+  QuerySelectedRequest req;
+  size_t offset = 0;
+  BOS_RETURN_NOT_OK(GetSeriesName(payload, &offset, &req.series));
+  // The selection is the last field; Deserialize consumes the remainder
+  // exactly (it rejects trailing bytes itself).
+  BOS_ASSIGN_OR_RETURN(
+      req.selection,
+      select::SelectionVector::Deserialize(payload.subspan(offset)));
+  return req;
+}
+
+void EncodePoints(std::span<const codecs::DataPoint> points, Bytes* out) {
+  PutVarint(out, points.size());
+  for (const codecs::DataPoint& p : points) {
+    PutSignedVarint(out, p.timestamp);
+    PutSignedVarint(out, p.value);
+  }
+}
+
+Result<std::vector<codecs::DataPoint>> ParsePoints(BytesView payload) {
+  size_t offset = 0;
+  uint64_t n = 0;
+  BOS_RETURN_NOT_OK(GetVarint(payload, &offset, &n));
+  if (n > (payload.size() - offset) / 2) {
+    return Status::Corruption("points response count exceeds payload");
+  }
+  std::vector<codecs::DataPoint> points(static_cast<size_t>(n));
+  for (codecs::DataPoint& p : points) {
+    BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &p.timestamp));
+    BOS_RETURN_NOT_OK(GetSignedVarint(payload, &offset, &p.value));
+  }
+  BOS_RETURN_NOT_OK(ExpectConsumedAll(payload, offset, "points response"));
+  return points;
+}
+
+void EncodeSeriesList(const std::vector<std::string>& names, Bytes* out) {
+  PutVarint(out, names.size());
+  for (const std::string& name : names) {
+    PutVarint(out, name.size());
+    out->insert(out->end(), name.begin(), name.end());
+  }
+}
+
+Result<std::vector<std::string>> ParseSeriesList(BytesView payload) {
+  size_t offset = 0;
+  uint64_t n = 0;
+  BOS_RETURN_NOT_OK(GetVarint(payload, &offset, &n));
+  // Every name costs at least its one-byte length varint.
+  if (n > payload.size() - offset) {
+    return Status::Corruption("series list count exceeds payload");
+  }
+  std::vector<std::string> names(static_cast<size_t>(n));
+  for (std::string& name : names) {
+    BOS_RETURN_NOT_OK(GetSeriesName(payload, &offset, &name));
+  }
+  BOS_RETURN_NOT_OK(ExpectConsumedAll(payload, offset, "series list"));
+  return names;
+}
+
+uint64_t SeriesHash(std::string_view series) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : series) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace bos::net

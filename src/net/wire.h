@@ -1,0 +1,188 @@
+#ifndef BOS_NET_WIRE_H_
+#define BOS_NET_WIRE_H_
+
+/// \file
+/// The bosd wire protocol: length-framed, CRC32-checked messages
+/// (DESIGN.md §14).
+///
+/// Frame grammar (all varints LEB128, fixed ints little-endian):
+///
+///   frame   = magic "BNF1" | type u8 | varint payload_len
+///           | payload payload_len bytes | crc u32
+///   crc     = Crc32 over everything between the magic and the crc
+///             field, i.e. [type | len varint | payload]
+///
+/// Frames arrive from the network, so every field is untrusted input:
+/// the decoder uses the §8 `safe_math.h` checked idioms (no length
+/// arithmetic that can wrap, no allocation sized from an unvalidated
+/// count), rejects payloads over kMaxPayloadBytes before buffering
+/// them, and distinguishes "incomplete — read more bytes"
+/// (StatusCode::kOutOfRange) from "corrupt — the stream cannot be
+/// resynchronized" (kCorruption). Request/response payload parsers are
+/// separate functions with the same discipline, so the framing layer
+/// accepts any type byte and dispatch rejects unknown ones.
+///
+/// The error-code half of the protocol is the `StatusCode` enum itself:
+/// a kError frame carries `u8 wire_code | varint msg_len | msg`, where
+/// wire_code is StatusCodeToWire(status.code()). Unknown wire codes map
+/// back to kUnknown, so old clients survive new error kinds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codecs/timeseries.h"
+#include "select/selection.h"
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bos::net {
+
+/// Frame magic: "BNF1" (Bos Net Frame, version 1).
+inline constexpr uint8_t kMagic[4] = {'B', 'N', 'F', '1'};
+
+/// Hard cap on a frame payload. Larger lengths are rejected before any
+/// buffering, so a hostile 2^60 length cannot size an allocation.
+inline constexpr uint64_t kMaxPayloadBytes = 16u << 20;
+
+/// Cap on a series name inside any request (matches nothing on disk —
+/// purely a protocol sanity bound).
+inline constexpr uint64_t kMaxSeriesNameBytes = 4096;
+
+/// Frame type bytes. Requests are < 16, responses >= 16.
+enum class FrameType : uint8_t {
+  kAppend = 1,         ///< AppendRequest  -> kAppendOk | kError
+  kFlush = 2,          ///< empty payload  -> kFlushOk  | kError
+  kQueryRange = 3,     ///< QueryRangeRequest -> kPoints | kError
+  kQuerySelected = 4,  ///< QuerySelectedRequest -> kPoints | kError
+  kStats = 5,          ///< empty payload  -> kStatsJson | kError
+  kListSeries = 6,     ///< empty payload  -> kSeriesList | kError
+
+  kError = 16,       ///< ErrorBody
+  kAppendOk = 17,    ///< varint points_appended
+  kFlushOk = 18,     ///< empty payload
+  kPoints = 19,      ///< varint n | n * (svarint ts | svarint value)
+  kStatsJson = 20,   ///< raw JSON bytes
+  kSeriesList = 21,  ///< varint n | n * (varint len | name)
+};
+
+/// One parsed frame, viewing the payload inside the caller's buffer.
+struct FrameView {
+  uint8_t type = 0;
+  BytesView payload;
+};
+
+/// One parsed frame owning its payload (what FrameBuffer hands out).
+struct OwnedFrame {
+  uint8_t type = 0;
+  Bytes payload;
+};
+
+/// Appends one encoded frame (magic, type, length, payload, CRC) to
+/// `*out`. The encoding is canonical: a round trip through DecodeFrame
+/// reproduces it byte for byte.
+void EncodeFrame(uint8_t type, BytesView payload, Bytes* out);
+
+/// Parses one frame from the front of `data`. On success fills `*out`
+/// (payload views into `data`) and `*consumed` with the frame's total
+/// size. Returns kOutOfRange when `data` is a valid but incomplete
+/// prefix (read more bytes and retry) and kCorruption when the bytes can
+/// never become a valid frame (bad magic, oversize length, CRC
+/// mismatch, overlong length varint).
+Status DecodeFrame(BytesView data, FrameView* out, size_t* consumed);
+
+/// Incremental frame decoder for a byte stream: feed network chunks with
+/// Append, pull complete frames with Next. Corruption is sticky — once
+/// the stream desynchronizes there is no reliable resync point, so the
+/// connection must be dropped.
+class FrameBuffer {
+ public:
+  void Append(BytesView chunk) {
+    buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  }
+
+  /// OK: one frame removed from the buffer into `*out`. kOutOfRange:
+  /// no complete frame buffered yet. kCorruption: stream unusable.
+  Status Next(OwnedFrame* out);
+
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// ---------------------------------------------------------------------
+// Status <-> wire error code taxonomy.
+// ---------------------------------------------------------------------
+
+/// StatusCode as a stable wire byte (the enum's numeric values are the
+/// wire format — see status.h; new codes append, never renumber).
+uint8_t StatusCodeToWire(StatusCode code);
+
+/// Inverse of StatusCodeToWire; unknown bytes map to kUnknown.
+StatusCode WireToStatusCode(uint8_t wire);
+
+/// Payload of a kError frame.
+struct ErrorBody {
+  StatusCode code = StatusCode::kUnknown;
+  std::string message;
+};
+
+void EncodeError(const Status& status, Bytes* out);
+Result<ErrorBody> ParseError(BytesView payload);
+
+/// Reconstructs the Status a kError frame carries.
+Status ErrorBodyToStatus(const ErrorBody& body);
+
+// ---------------------------------------------------------------------
+// Request / response payload codecs. Every parser treats the payload as
+// untrusted and returns InvalidArgument/Corruption instead of trusting
+// any count or length.
+// ---------------------------------------------------------------------
+
+struct AppendRequest {
+  std::string series;
+  std::vector<codecs::DataPoint> points;
+};
+
+struct QueryRangeRequest {
+  std::string series;
+  int64_t t_min = 0;
+  int64_t t_max = 0;
+  /// When true, only points with value in [v_min, v_max] are returned
+  /// (the server applies the predicate after the time-range merge).
+  bool has_value_filter = false;
+  int64_t v_min = 0;
+  int64_t v_max = 0;
+};
+
+struct QuerySelectedRequest {
+  std::string series;
+  select::SelectionVector selection;
+};
+
+void EncodeAppendRequest(const AppendRequest& req, Bytes* out);
+Result<AppendRequest> ParseAppendRequest(BytesView payload);
+
+void EncodeQueryRangeRequest(const QueryRangeRequest& req, Bytes* out);
+Result<QueryRangeRequest> ParseQueryRangeRequest(BytesView payload);
+
+void EncodeQuerySelectedRequest(const QuerySelectedRequest& req, Bytes* out);
+Result<QuerySelectedRequest> ParseQuerySelectedRequest(BytesView payload);
+
+/// kPoints / kAppendOk / kSeriesList payload helpers.
+void EncodePoints(std::span<const codecs::DataPoint> points, Bytes* out);
+Result<std::vector<codecs::DataPoint>> ParsePoints(BytesView payload);
+
+void EncodeSeriesList(const std::vector<std::string>& names, Bytes* out);
+Result<std::vector<std::string>> ParseSeriesList(BytesView payload);
+
+/// Stable shard assignment for a series name: FNV-1a 64 of the bytes.
+/// Both ends of the protocol (and DESIGN.md §14) agree on this, so a
+/// client can predict request fan-in and tests can target one shard.
+uint64_t SeriesHash(std::string_view series);
+
+}  // namespace bos::net
+
+#endif  // BOS_NET_WIRE_H_

@@ -1,5 +1,12 @@
 #include "storage/store.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define BOS_STORAGE_HAVE_FLOCK 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
 #include <algorithm>
 #include <filesystem>
 #include <set>
@@ -20,11 +27,38 @@ bool TimeLess(const codecs::DataPoint& a, const codecs::DataPoint& b) {
   return a.timestamp < b.timestamp;
 }
 
+// Takes an exclusive flock on `<dir>/LOCK`, returning the held fd, or a
+// contextual Status when another TsStore (any process, or this one) holds
+// it. flock locks attach to the open file description, so a second open
+// of the same path conflicts even within one process — exactly the "two
+// bosd instances on one shard directory" corruption this prevents. On
+// platforms without flock the guard is a no-op (-1).
+Result<int> AcquireDirLock(const std::string& dir) {
+#if defined(BOS_STORAGE_HAVE_FLOCK)
+  const std::string path = (fs::path(dir) / "LOCK").string();
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError("cannot create lock file " + path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return Status::IoError("store directory locked by another process: " +
+                           dir + " (is another bosd/TsStore using it?)");
+  }
+  return fd;
+#else
+  (void)dir;
+  return -1;
+#endif
+}
+
 }  // namespace
 
 TsStore::TsStore(StoreOptions options) : options_(std::move(options)) {}
 
-TsStore::~TsStore() = default;
+TsStore::~TsStore() {
+#if defined(BOS_STORAGE_HAVE_FLOCK)
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+#endif
+}
 
 Result<std::unique_ptr<TsStore>> TsStore::Open(const StoreOptions& options) {
   if (options.dir.empty()) {
@@ -35,6 +69,7 @@ Result<std::unique_ptr<TsStore>> TsStore::Open(const StoreOptions& options) {
   if (ec) return Status::IoError("cannot create " + options.dir);
 
   auto store = std::unique_ptr<TsStore>(new TsStore(options));
+  BOS_ASSIGN_OR_RETURN(store->lock_fd_, AcquireDirLock(options.dir));
   if (options.cache_mb > 0) {
     store->cache_ = std::make_unique<PageCache>(options.cache_mb << 20);
   }
@@ -78,6 +113,12 @@ exec::ThreadPool& TsStore::Pool() {
     owned_pool_ = std::make_unique<exec::ThreadPool>(options_.threads);
   }
   return *owned_pool_;
+}
+
+Status TsStore::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  wal_unsynced_appends_ = 0;
+  return wal_->Sync();
 }
 
 Status TsStore::MaybeSyncWal(size_t appended) {

@@ -96,6 +96,13 @@ class TsStore {
   /// Persists the memtable as a new immutable file (no-op when empty).
   Status Flush();
 
+  /// Forces every WAL append so far onto stable storage (fsync), or OK
+  /// when the WAL is disabled. This is the group-commit hook: a caller
+  /// batching many writers' appends applies their WriteBatch calls with
+  /// `wal_sync_every_n == 0` and then pays for one fsync here, instead
+  /// of one per writer (DESIGN.md section 14).
+  Status SyncWal();
+
   /// Points of `series` with timestamp in [t_min, t_max], merged across
   /// the memtable and all files, sorted by timestamp.
   Status Query(const std::string& series, int64_t t_min, int64_t t_max,
@@ -152,6 +159,11 @@ class TsStore {
   Result<TsFileReader*> ReaderFor(const std::string& path) const;
 
   StoreOptions options_;
+  /// flock'd `<dir>/LOCK` file descriptor (POSIX; -1 where unsupported
+  /// or before Open finishes). Held exclusively for the store's lifetime
+  /// so two processes — or two TsStore instances in one process — cannot
+  /// open the same directory and interleave WAL appends.
+  int lock_fd_ = -1;
   std::unique_ptr<exec::ThreadPool> owned_pool_;
   size_t wal_unsynced_appends_ = 0;
   std::unique_ptr<WalWriter> wal_;

@@ -18,6 +18,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Out of range";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError = 4,
   kOutOfRange = 5,
   kUnknown = 6,
+  kResourceExhausted = 7,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -66,6 +67,9 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -79,6 +83,9 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Renders e.g. "Corruption: bitmap truncated" (or "OK").
   std::string ToString() const;

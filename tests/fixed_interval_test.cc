@@ -293,7 +293,7 @@ TEST_F(FixedIntervalTest, StoreFlushCompactAndQuery) {
   size_t fixed_pages = 0;
   for (const auto& entry :
        std::filesystem::directory_iterator(options.dir)) {
-    if (entry.path().filename() == "wal") continue;
+    if (entry.path().extension() != ".tsfile") continue;
     TsFileReader reader;
     ASSERT_TRUE(reader.Open(entry.path().string()).ok());
     for (const SeriesInfo& series : reader.series()) {

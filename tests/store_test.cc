@@ -320,5 +320,41 @@ TEST_F(TsStoreTest, AggregateEmptySeriesSentinel) {
   EXPECT_EQ(agg->sum, 0);
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(TsStoreTest, DirLockRejectsSecondOpenWhileFirstIsLive) {
+  auto first = TsStore::Open(Options());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*first)->Write("s", {1, 2}).ok());
+
+  // flock is per open file description, so a second Open in the same
+  // process conflicts exactly like one from another process would.
+  auto second = TsStore::Open(Options());
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsIoError()) << second.status().ToString();
+  EXPECT_NE(second.status().ToString().find("locked"), std::string::npos)
+      << "lock error should say the dir is locked: "
+      << second.status().ToString();
+
+  // The failed Open must not have disturbed the live store.
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*first)->Query("s", 0, 10, &got).ok());
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST_F(TsStoreTest, DirLockReleasedOnClose) {
+  {
+    auto store = TsStore::Open(Options());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Write("s", {1, 2}).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }  // destructor closes the lock fd
+  auto reopened = TsStore::Open(Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  std::vector<DataPoint> got;
+  ASSERT_TRUE((*reopened)->Query("s", 0, 10, &got).ok());
+  EXPECT_EQ(got.size(), 1u);
+}
+#endif  // __unix__ || __APPLE__
+
 }  // namespace
 }  // namespace bos::storage

@@ -8,7 +8,10 @@ metric regresses by more than the threshold.
 
 Conventions this relies on (see bench_common.h):
   * every record carries a "bench" discriminator;
-  * throughput metrics are named *_gbps / *_mbps — higher is better;
+  * throughput metrics are named *_gbps / *_mbps / *_qps — higher is
+    better;
+  * latency measurements are named *_ms / *_us / *_ns — reported, never
+    trend-guarded (lower is better, the drop check doesn't apply);
   * "hardware_threads"/"avx2"/"bmi2" describe the machine, not the run.
 
 Records are matched by their identity fields (everything that is not a
@@ -36,24 +39,36 @@ import sys
 
 DEFAULT_FILES = ["BENCH_kernels.json", "BENCH_parallel.json",
                  "BENCH_encode.json", "BENCH_select.json",
-                 "BENCH_read.json"]
+                 "BENCH_read.json", "BENCH_service.json"]
 HARDWARE_FIELDS = {"hardware_threads", "avx2", "bmi2"}
-METRIC_SUFFIXES = ("_gbps", "_mbps")
+METRIC_SUFFIXES = ("_gbps", "_mbps", "_qps")
+# Measurements that are reported but not trend-guarded (latencies are
+# lower-is-better, so the higher-is-better drop check does not apply).
+# Like metrics, they are excluded from record identity — a latency that
+# happens to land on an integer must not change the record's key.
+MEASUREMENT_SUFFIXES = ("_ms", "_us", "_ns")
 
 
 def is_metric(key, value):
     return key.endswith(METRIC_SUFFIXES) and isinstance(value, (int, float))
 
 
+def is_measurement(key, value):
+    return key.endswith(MEASUREMENT_SUFFIXES) and isinstance(value,
+                                                             (int, float))
+
+
 def identity(record):
     """Stable key of a record: the bench kind plus every non-metric,
-    non-hardware, non-float field (floats are measurements, not labels)."""
+    non-measurement, non-hardware, non-float field (floats are
+    measurements, not labels)."""
     parts = [("bench", record.get("bench", "?"))]
     for key in sorted(record):
         if key == "bench" or key in HARDWARE_FIELDS:
             continue
         value = record[key]
-        if isinstance(value, float) or is_metric(key, value):
+        if (isinstance(value, float) or is_metric(key, value)
+                or is_measurement(key, value)):
             continue
         parts.append((key, value))
     return tuple(parts)

@@ -9,6 +9,13 @@
 //   boscli filter <in> <v_min> <v_max>       rows with value in [v_min,v_max]
 //   boscli store <dir> [n]                   TsStore write/flush/query demo
 //   boscli bench <abbr> [spec ...]           quick ratio table for a profile
+//   boscli remote <host:port> <cmd> [...]    talk to a running bosd:
+//     remote H:P append <series> <t0> <n>    append n points from t0
+//     remote H:P query <series> <t0> <t1>    time-range query
+//     remote H:P selected <series> <list>    point lookup ("0,5,100-200")
+//     remote H:P stats                       stats snapshot JSON
+//     remote H:P series                      list series
+//     remote H:P flush                       flush every shard
 //
 // `select` takes a comma-separated position list with inclusive ranges
 // ("0,5,100-200") and uses the selective decode path — with a "RAW"
@@ -48,6 +55,7 @@
 
 #include "bitpack/varint.h"
 #include "codecs/advisor.h"
+#include "net/client.h"
 #include "codecs/inspect.h"
 #include "codecs/registry.h"
 #include "data/dataset.h"
@@ -465,6 +473,93 @@ int CmdBench(const std::string& abbr, const std::vector<std::string>& specs) {
   return 0;
 }
 
+// "host:port" -> (host, port). Port must parse and fit in 16 bits.
+bool SplitHostPort(const std::string& text, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  char* end = nullptr;
+  const unsigned long p = std::strtoul(text.c_str() + colon + 1, &end, 10);
+  if (end == text.c_str() + colon + 1 || *end != '\0' || p == 0 || p > 65535) {
+    return false;
+  }
+  *host = text.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+int CmdRemote(const std::vector<std::string>& args) {
+  std::string host;
+  uint16_t port = 0;
+  if (args.size() < 2 || !SplitHostPort(args[0], &host, &port)) {
+    return Fail("remote needs <host:port> <cmd>, e.g. 127.0.0.1:4280 stats");
+  }
+  auto client = net::BosClient::Connect(host, port);
+  if (!client.ok()) return Fail("remote connect " + args[0], client.status());
+  const std::string& cmd = args[1];
+
+  if (cmd == "append" && args.size() == 5) {
+    const int64_t t0 = std::strtoll(args[3].c_str(), nullptr, 10);
+    const size_t n = std::strtoull(args[4].c_str(), nullptr, 10);
+    std::vector<codecs::DataPoint> points(n);
+    for (size_t i = 0; i < n; ++i) {
+      points[i] = {t0 + static_cast<int64_t>(i),
+                   static_cast<int64_t>(i % 1000)};
+    }
+    const Status st = client->Append(args[2], points);
+    if (!st.ok()) return Fail("remote append " + args[2], st);
+    std::printf("appended %zu points to %s\n", n, args[2].c_str());
+    return 0;
+  }
+  if (cmd == "query" && args.size() == 5) {
+    const int64_t t0 = std::strtoll(args[3].c_str(), nullptr, 10);
+    const int64_t t1 = std::strtoll(args[4].c_str(), nullptr, 10);
+    std::vector<codecs::DataPoint> points;
+    const Status st = client->QueryRange(args[2], t0, t1, &points);
+    if (!st.ok()) return Fail("remote query " + args[2], st);
+    for (const auto& p : points) {
+      std::printf("%lld %lld\n", static_cast<long long>(p.timestamp),
+                  static_cast<long long>(p.value));
+    }
+    std::printf("%zu points\n", points.size());
+    return 0;
+  }
+  if (cmd == "selected" && args.size() == 4) {
+    select::SelectionVector sel;
+    if (!ParseSelection(args[3], &sel)) {
+      return Fail("bad position list (use e.g. 0,5,100-200): " + args[3]);
+    }
+    std::vector<codecs::DataPoint> points;
+    const Status st = client->QuerySelected(args[2], sel, &points);
+    if (!st.ok()) return Fail("remote selected " + args[2], st);
+    for (const auto& p : points) {
+      std::printf("%lld %lld\n", static_cast<long long>(p.timestamp),
+                  static_cast<long long>(p.value));
+    }
+    std::printf("%zu points\n", points.size());
+    return 0;
+  }
+  if (cmd == "stats" && args.size() == 2) {
+    auto json = client->StatsJson();
+    if (!json.ok()) return Fail("remote stats", json.status());
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  if (cmd == "series" && args.size() == 2) {
+    auto names = client->ListSeries();
+    if (!names.ok()) return Fail("remote series", names.status());
+    for (const auto& name : *names) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (cmd == "flush" && args.size() == 2) {
+    const Status st = client->Flush();
+    if (!st.ok()) return Fail("remote flush", st);
+    std::printf("flushed\n");
+    return 0;
+  }
+  return Fail("unknown remote command: " + cmd);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: boscli [flags] <command> [args]\n"
@@ -478,6 +573,7 @@ int Usage() {
                "  filter <in> <v_min> <v_max>\n"
                "  store <dir> [n]\n"
                "  bench <abbr> [spec ...]\n"
+               "  remote <host:port> append|query|selected|stats|series|flush\n"
                "flags:\n"
                "  --stats       print the telemetry snapshot after the command\n"
                "  --stats-json  same, as a JSON object\n"
@@ -520,6 +616,9 @@ int RunCommand(const std::vector<std::string>& args) {
   }
   if (cmd == "bench" && args.size() >= 2) {
     return CmdBench(args[1], {args.begin() + 2, args.end()});
+  }
+  if (cmd == "remote" && args.size() >= 2) {
+    return CmdRemote({args.begin() + 1, args.end()});
   }
   return Usage();
 }

@@ -1,0 +1,96 @@
+// bosd: the sharded BOS ingestion/query daemon (DESIGN.md §14).
+//
+// Serves the bosd wire protocol on loopback TCP over N TsStore shards.
+// SIGTERM/SIGINT shut it down cleanly: connections are drained, every
+// shard's memtable is flushed, and the process exits 0 after printing
+// "bosd: shutdown complete" (the CI service-smoke job asserts both).
+//
+// Usage:
+//   bosd --dir DIR [--port 4280] [--shards 4] [--threads 0]
+//        [--memtable-points 65536] [--cache-mb 16]
+//        [--max-pending-points 1048576] [--max-connections 64]
+//        [--spec "TS2DIFF+BOS-B|TS2DIFF+BOS-B"]
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "bosd: %s\n", msg.c_str());
+  return 1;
+}
+
+bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg + len + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bos::net::ServerOptions options;
+  size_t port = 4280;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseStringFlag(arg, "--dir", &options.dir) ||
+        ParseStringFlag(arg, "--spec", &options.spec) ||
+        ParseSizeFlag(arg, "--port", &port) ||
+        ParseSizeFlag(arg, "--shards", &options.shards) ||
+        ParseSizeFlag(arg, "--threads", &options.threads) ||
+        ParseSizeFlag(arg, "--memtable-points", &options.memtable_points) ||
+        ParseSizeFlag(arg, "--cache-mb", &options.cache_mb) ||
+        ParseSizeFlag(arg, "--max-pending-points",
+                      &options.max_pending_points) ||
+        ParseSizeFlag(arg, "--max-connections", &options.max_connections)) {
+      continue;
+    }
+    return Fail(std::string("unknown flag: ") + arg);
+  }
+  if (options.dir.empty()) return Fail("--dir=DIR is required");
+  if (port > 65535) return Fail("--port out of range");
+  options.port = static_cast<uint16_t>(port);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  bos::net::BosServer server(options);
+  const bos::Status st = server.Start();
+  if (!st.ok()) return Fail("start failed: " + st.ToString());
+  std::printf("bosd: listening on 127.0.0.1:%u (%zu shards)\n",
+              static_cast<unsigned>(server.port()), server.num_shards());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("bosd: shutting down\n");
+  std::fflush(stdout);
+  server.Stop();
+  std::printf("bosd: shutdown complete\n");
+  return 0;
+}

@@ -1,0 +1,267 @@
+// bosload: load generator for bosd (DESIGN.md §14).
+//
+// Drives a running bosd over C concurrent client connections through an
+// ingest phase (batched appends) and a query phase (time-range queries),
+// then emits one JSONL record per phase to BENCH_service.json in the
+// bench_common schema — ingest MB/s and query QPS as trend-guarded
+// metrics, request latency p50/p99 as unguarded *_ms measurements.
+//
+// The identity fields (series, connections, points_per_batch, batches,
+// queries, shards, threads) must match the committed baseline exactly;
+// `shards` and `threads` describe the *server* under test and are taken
+// on trust from the flags, since the wire protocol does not expose them
+// per-request.
+//
+// Usage:
+//   bosload --port P [--host 127.0.0.1] [--connections 4] [--series 16]
+//           [--points-per-batch 512] [--batches 64] [--queries 256]
+//           [--shards 4] [--threads 4] [--out BENCH_service.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+
+namespace {
+
+using bos::codecs::DataPoint;
+using Clock = std::chrono::steady_clock;
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "bosload: %s\n", msg.c_str());
+  return 1;
+}
+
+bool ParseSizeFlag(const char* arg, const char* name, size_t* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg + len + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+double QuantileMs(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  const size_t rank = std::min(
+      samples->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples->size())));
+  return (*samples)[rank];
+}
+
+/// Deterministic synthetic values: a drifting base with occasional
+/// spikes, so BOS actually sees outliers and the WAL/flush path carries
+/// realistic entropy. xorshift keeps it reproducible across runs.
+int64_t SyntheticValue(uint64_t* state) {
+  *state ^= *state << 13;
+  *state ^= *state >> 7;
+  *state ^= *state << 17;
+  const int64_t base = static_cast<int64_t>(*state % 1024);
+  return (*state % 97 == 0) ? base + 1'000'000 : base;
+}
+
+struct Config {
+  std::string host = "127.0.0.1";
+  size_t port = 0;
+  size_t connections = 4;
+  size_t series = 16;
+  size_t points_per_batch = 512;
+  size_t batches = 64;  // per connection
+  size_t queries = 256;  // total, split across connections
+  size_t shards = 4;   // identity stamp: server-side shard count
+  size_t threads = 4;  // identity stamp: server-side pool size
+  std::string out = "BENCH_service.json";
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseStringFlag(arg, "--host", &cfg.host) ||
+        ParseStringFlag(arg, "--out", &cfg.out) ||
+        ParseSizeFlag(arg, "--port", &cfg.port) ||
+        ParseSizeFlag(arg, "--connections", &cfg.connections) ||
+        ParseSizeFlag(arg, "--series", &cfg.series) ||
+        ParseSizeFlag(arg, "--points-per-batch", &cfg.points_per_batch) ||
+        ParseSizeFlag(arg, "--batches", &cfg.batches) ||
+        ParseSizeFlag(arg, "--queries", &cfg.queries) ||
+        ParseSizeFlag(arg, "--shards", &cfg.shards) ||
+        ParseSizeFlag(arg, "--threads", &cfg.threads)) {
+      continue;
+    }
+    return Fail(std::string("unknown flag: ") + arg);
+  }
+  if (cfg.port == 0 || cfg.port > 65535) return Fail("--port=P is required");
+  if (cfg.connections == 0) cfg.connections = 1;
+  if (cfg.series == 0 || cfg.points_per_batch == 0 || cfg.batches == 0) {
+    return Fail("--series/--points-per-batch/--batches must be nonzero");
+  }
+
+  // ---- ingest phase -------------------------------------------------
+  std::mutex agg_mu;
+  std::vector<double> append_ms;
+  std::atomic<uint64_t> points_sent{0};
+  std::atomic<bool> failed{false};
+  std::string first_error;
+
+  auto record_error = [&](const bos::Status& st) {
+    std::lock_guard<std::mutex> lock(agg_mu);
+    if (!failed.exchange(true)) first_error = st.ToString();
+  };
+
+  const auto ingest_start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < cfg.connections; ++c) {
+      workers.emplace_back([&, c] {
+        auto client = bos::net::BosClient::Connect(
+            cfg.host, static_cast<uint16_t>(cfg.port));
+        if (!client.ok()) return record_error(client.status());
+        uint64_t rng = 0x9e3779b97f4a7c15ULL ^ (c + 1);
+        std::vector<double> local_ms;
+        std::vector<DataPoint> batch(cfg.points_per_batch);
+        for (size_t b = 0; b < cfg.batches && !failed.load(); ++b) {
+          const std::string series =
+              "sensor." + std::to_string((c * cfg.batches + b) % cfg.series);
+          const int64_t t0 = static_cast<int64_t>(
+              (c * cfg.batches + b) * cfg.points_per_batch);
+          for (size_t p = 0; p < cfg.points_per_batch; ++p) {
+            batch[p].timestamp = t0 + static_cast<int64_t>(p);
+            batch[p].value = SyntheticValue(&rng);
+          }
+          const auto start = Clock::now();
+          const bos::Status st = client.value().Append(series, batch);
+          if (!st.ok()) return record_error(st);
+          local_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+          points_sent.fetch_add(batch.size());
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        append_ms.insert(append_ms.end(), local_ms.begin(), local_ms.end());
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  const double ingest_s = bos::bench::Seconds(ingest_start);
+  if (failed.load()) return Fail("ingest failed: " + first_error);
+
+  // 16 raw bytes per point (two int64 columns), the same accounting the
+  // storage benches use.
+  const double ingest_mb =
+      static_cast<double>(points_sent.load()) * 16.0 / (1024.0 * 1024.0);
+  const double ingest_mbps = ingest_s > 0 ? ingest_mb / ingest_s : 0;
+
+  // Make ingested data visible on disk before the query phase.
+  {
+    auto client = bos::net::BosClient::Connect(cfg.host,
+                                               static_cast<uint16_t>(cfg.port));
+    if (!client.ok()) return Fail("flush connect: " + client.status().ToString());
+    const bos::Status st = client.value().Flush();
+    if (!st.ok()) return Fail("flush: " + st.ToString());
+  }
+
+  // ---- query phase --------------------------------------------------
+  std::vector<double> query_ms;
+  std::atomic<uint64_t> points_read{0};
+  std::atomic<uint64_t> queries_run{0};
+  const size_t queries_per_conn =
+      (cfg.queries + cfg.connections - 1) / cfg.connections;
+  const int64_t t_span = static_cast<int64_t>(cfg.connections * cfg.batches *
+                                              cfg.points_per_batch);
+
+  const auto query_start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (size_t c = 0; c < cfg.connections; ++c) {
+      workers.emplace_back([&, c] {
+        auto client = bos::net::BosClient::Connect(
+            cfg.host, static_cast<uint16_t>(cfg.port));
+        if (!client.ok()) return record_error(client.status());
+        uint64_t rng = 0xdeadbeefcafef00dULL ^ (c + 1);
+        std::vector<double> local_ms;
+        std::vector<DataPoint> out;
+        for (size_t q = 0; q < queries_per_conn && !failed.load(); ++q) {
+          rng ^= rng << 13;
+          rng ^= rng >> 7;
+          rng ^= rng << 17;
+          const std::string series =
+              "sensor." + std::to_string(rng % cfg.series);
+          const int64_t t_min = static_cast<int64_t>(rng % t_span);
+          const int64_t t_max =
+              std::min<int64_t>(t_span, t_min + t_span / 8 + 1);
+          out.clear();
+          const auto start = Clock::now();
+          const bos::Status st =
+              client.value().QueryRange(series, t_min, t_max, &out);
+          if (!st.ok()) return record_error(st);
+          local_ms.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - start)
+                  .count());
+          points_read.fetch_add(out.size());
+          queries_run.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        query_ms.insert(query_ms.end(), local_ms.begin(), local_ms.end());
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  const double query_s = bos::bench::Seconds(query_start);
+  if (failed.load()) return Fail("query failed: " + first_error);
+  const double qps =
+      query_s > 0 ? static_cast<double>(queries_run.load()) / query_s : 0;
+
+  // ---- report -------------------------------------------------------
+  bos::bench::JsonlWriter writer(cfg.out);
+  if (!writer.ok()) return Fail("cannot write " + cfg.out);
+  writer.WriteRecord(
+      "service_ingest",
+      {{"connections", cfg.connections},
+       {"series", cfg.series},
+       {"points_per_batch", cfg.points_per_batch},
+       {"batches", cfg.batches},
+       {"shards", cfg.shards},
+       {"threads", cfg.threads},
+       {"total_points", static_cast<size_t>(points_sent.load())},
+       {"ingest_mbps", ingest_mbps},
+       {"append_p50_ms", QuantileMs(&append_ms, 0.50)},
+       {"append_p99_ms", QuantileMs(&append_ms, 0.99)}});
+  writer.WriteRecord(
+      "service_query",
+      {{"connections", cfg.connections},
+       {"series", cfg.series},
+       {"queries", cfg.queries},
+       {"shards", cfg.shards},
+       {"threads", cfg.threads},
+       {"query_qps", qps},
+       {"query_p50_ms", QuantileMs(&query_ms, 0.50)},
+       {"query_p99_ms", QuantileMs(&query_ms, 0.99)}});
+
+  std::printf(
+      "bosload: ingest %.1f MB/s (%llu points, p99 %.2f ms) | "
+      "query %.0f QPS (p99 %.2f ms)\n",
+      ingest_mbps, static_cast<unsigned long long>(points_sent.load()),
+      QuantileMs(&append_ms, 0.99), qps, QuantileMs(&query_ms, 0.99));
+  return 0;
+}
